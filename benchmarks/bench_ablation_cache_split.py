@@ -1,0 +1,56 @@
+"""Ablation: the unquantified core/cache energy split in §5.5.
+
+The paper pins 80 % of baseline energy on memory but never says how the
+remaining 20 % splits between core and LLC; our model defaults to 5 %
+LLC. This ablation sweeps the split and shows Finding #8's categorical
+conclusions do not depend on it.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CachedProcessor, MemoryBoundWorkload
+from repro.cache.llc_study import llc_sweep
+from repro.core.classify import Sustainability
+from repro.report.table import format_table
+
+CACHE_SHARES = (0.0, 0.025, 0.05, 0.1, 0.2)
+
+
+def sweep_split():
+    rows = []
+    for share in CACHE_SHARES:
+        template = CachedProcessor(
+            llc_size_mb=1.0,
+            workload=MemoryBoundWorkload(cache_energy_share=share),
+        )
+        emb = llc_sweep(0.8, template=template)
+        op = llc_sweep(0.2, template=template)
+        rows.append(
+            (
+                share,
+                emb[-1].category,  # 16 MB, embodied-dominated
+                op[1].category,  # 2 MB, operational-dominated
+                op[-1].category,  # 16 MB, operational-dominated
+            )
+        )
+    return rows
+
+
+def test_cache_split_ablation(benchmark, emit):
+    rows = benchmark(sweep_split)
+    emit(
+        format_table(
+            [
+                "LLC energy share @1MB",
+                "16MB emb-dom",
+                "2MB op-dom",
+                "16MB op-dom",
+            ],
+            [[s, a.value, b.value, c.value] for s, a, b, c in rows],
+            title="\n=== ablation: core/cache energy split (paper leaves it open)",
+        )
+    )
+    for _, emb16, op2, op16 in rows:
+        assert emb16 is Sustainability.LESS
+        assert op2 is Sustainability.WEAK
+        assert op16 is Sustainability.LESS

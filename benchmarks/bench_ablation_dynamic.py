@@ -1,0 +1,58 @@
+"""Ablation/extension: Hill-Marty's dynamic multicore under FOCAL.
+
+The paper analyzes symmetric (§5.1) and asymmetric (§5.2) multicores.
+Hill & Marty's third organization — the dynamic multicore — maximizes
+speedup but burns all-N power in both phases. This bench quantifies
+where it lands versus the symmetric design: always worse on fixed-time
+power; on fixed-work it only pays at large N (32 BCEs: weakly
+sustainable) where the serial-phase speedup outweighs the symmetric
+chip's idle leakage — at 8 BCEs it is simply less sustainable.
+"""
+
+from __future__ import annotations
+
+from repro.amdahl.dynamic import DynamicMulticore
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.classify import Sustainability, classify
+from repro.report.table import format_table
+
+CONFIGS = [(n, f) for n in (8, 16, 32) for f in (0.5, 0.8, 0.95)]
+
+
+def sweep_dynamic():
+    rows = []
+    for n, f in CONFIGS:
+        dyn = DynamicMulticore(n, f).design_point()
+        sym = SymmetricMulticore(n, f).design_point()
+        verdict = classify(dyn, sym, 0.5)
+        rows.append(
+            (
+                n,
+                f,
+                dyn.perf / sym.perf,
+                verdict.ncf_fixed_work,
+                verdict.ncf_fixed_time,
+                verdict.category,
+            )
+        )
+    return rows
+
+
+def test_dynamic_multicore_ablation(benchmark, emit):
+    rows = benchmark(sweep_dynamic)
+    emit(
+        format_table(
+            ["BCEs", "f", "perf vs sym", "NCF_fw", "NCF_ft", "category"],
+            [[n, f, s, fw, ft, c.value] for n, f, s, fw, ft, c in rows],
+            title="\n=== extension: dynamic multicore vs symmetric (alpha=0.5)",
+        )
+    )
+    for n, f, speed, ncf_fw, ncf_ft, category in rows:
+        assert speed >= 1.0 - 1e-9  # never slower
+        assert ncf_ft > 1.0  # always pays in power
+        assert category in {Sustainability.WEAK, Sustainability.LESS}
+    # Only at large N does the fused core's serial-phase saving beat
+    # the leakage the symmetric chip spends idling 31 cores: dynamic is
+    # weakly sustainable at 32 BCEs, less sustainable at 8.
+    assert all(r[5] is Sustainability.WEAK for r in rows if r[0] == 32)
+    assert all(r[5] is Sustainability.LESS for r in rows if r[0] == 8)

@@ -1,0 +1,49 @@
+"""Benchmark: FOCAL-vs-ACT directional agreement (paper §3.5).
+
+Runs the simplified bottom-up ACT model against FOCAL over a grid of
+chip pairs (area and power ratios spanning 4x each way) and reports the
+directional-agreement rate and the median relative gap — the
+quantitative version of the paper's claim that FOCAL complements ACT.
+"""
+
+from __future__ import annotations
+
+from repro.act.compare import compare_focal_vs_act
+from repro.act.model import ActChipSpec
+from repro.report.table import format_table
+
+AREAS = (100.0, 200.0, 400.0, 800.0)
+POWERS = (5.0, 20.0, 80.0, 320.0)
+BASELINE = ActChipSpec("baseline", die_area_mm2=300.0, avg_power_w=60.0, node="7nm")
+
+
+def sweep_agreement():
+    reports = []
+    for area in AREAS:
+        for power in POWERS:
+            spec = ActChipSpec(
+                f"{area:g}mm2/{power:g}W", die_area_mm2=area, avg_power_w=power, node="7nm"
+            )
+            reports.append(compare_focal_vs_act(spec, BASELINE))
+    return reports
+
+
+def test_act_agreement(benchmark, emit):
+    reports = benchmark(sweep_agreement)
+    rows = [
+        [r.design, r.act_ratio, r.focal_ncf, r.relative_gap, r.agree]
+        for r in reports
+    ]
+    emit(
+        format_table(
+            ["design vs 300mm2/60W", "ACT ratio", "FOCAL NCF", "rel gap", "agree"],
+            rows,
+            title="\n=== FOCAL vs simplified ACT (alpha derived from ACT's split)",
+        )
+    )
+    agreement = sum(r.agree for r in reports) / len(reports)
+    gaps = sorted(r.relative_gap for r in reports)
+    median_gap = gaps[len(gaps) // 2]
+    emit(f"directional agreement: {agreement:.0%}; median relative gap: {median_gap:.1%}")
+    assert agreement == 1.0
+    assert median_gap < 0.10

@@ -1,0 +1,66 @@
+"""Extension benchmark: chiplet partitioning of a reticle-scale die.
+
+The performance-per-wafer analysis of Zhang et al. (the paper's ref.
+[52]) applied to an 800 mm^2 GPU: sweep 1-8 chiplets and report yield,
+systems per wafer, embodied footprint per system, and performance per
+wafer under the Murphy yield model.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DomainError
+from repro.multichip.chiplets import ChipletPartition, best_partition, evaluate_partition
+from repro.report.table import format_table
+
+LOGIC_AREA = 800.0
+
+
+def sweep_partitions():
+    outcomes = []
+    for k in range(1, 9):
+        try:
+            outcomes.append(evaluate_partition(ChipletPartition(k, LOGIC_AREA)))
+        except DomainError:
+            continue
+    return outcomes
+
+
+def test_chiplets(benchmark, emit):
+    outcomes = benchmark(sweep_partitions)
+    rows = [
+        [
+            o.partition.chiplets,
+            o.partition.die_area_mm2,
+            o.die_yield,
+            o.systems_per_wafer,
+            o.embodied_per_system * 1000,  # per-mil of a wafer
+            o.performance,
+            o.perf_per_wafer,
+        ]
+        for o in outcomes
+    ]
+    emit(
+        format_table(
+            [
+                "chiplets",
+                "die mm2",
+                "yield",
+                "systems/wafer",
+                "embodied (wafer/1000)",
+                "perf",
+                "perf/wafer",
+            ],
+            rows,
+            title=f"\n=== chiplet partitioning of a {LOGIC_AREA:g} mm2 GPU (Murphy, D0=0.09)",
+        )
+    )
+    best = best_partition(LOGIC_AREA, max_chiplets=8)
+    emit(
+        f"best partition: {best.partition.chiplets} chiplets "
+        f"({best.perf_per_wafer:.1f} perf/wafer vs "
+        f"{outcomes[0].perf_per_wafer:.1f} monolithic)"
+    )
+    assert best.partition.chiplets > 1
+    # Yield improves monotonically with splitting.
+    yields = [o.die_yield for o in outcomes]
+    assert yields == sorted(yields)

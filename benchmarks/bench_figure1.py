@@ -1,0 +1,25 @@
+"""Benchmark + reproduction: Figure 1 (embodied footprint vs die size).
+
+Regenerates both yield curves under timing and prints the series the
+paper plots, plus the headline shape checks (normalization at 100 mm^2,
+Murphy super-linearity).
+"""
+
+from __future__ import annotations
+
+from repro.studies.figure1 import figure1
+
+
+def test_figure1(benchmark, emit_figure, emit):
+    figure = benchmark(figure1)
+    emit_figure(figure)
+
+    panel = figure.panels[0]
+    perfect = panel.series_by_name("perfect yield")
+    murphy = panel.series_by_name("Murphy model")
+    assert perfect.points[0].y == 1.0
+    assert murphy.points[-1].y > perfect.points[-1].y
+    emit(
+        f"shape check: at 800 mm2 perfect={perfect.points[-1].y:.2f}x, "
+        f"murphy={murphy.points[-1].y:.2f}x (paper: ~8x vs ~16-20x)"
+    )

@@ -1,0 +1,28 @@
+"""Benchmark + reproduction: Figure 2 (scenario illustration).
+
+Conceptual in the paper; reproduced as exact step profiles whose
+integrals verify the two proxy identities the caption states.
+"""
+
+from __future__ import annotations
+
+from repro.studies.figure2 import DEFAULT_X, DEFAULT_Y, figure2, profile_energy
+
+
+def test_figure2(benchmark, emit_figure, emit):
+    figure = benchmark(figure2)
+    emit_figure(figure)
+
+    fixed_work = figure.panel("(a) fixed-work")
+    fixed_time = figure.panel("(b) fixed-time")
+    x_energy = profile_energy(fixed_work.series_by_name(DEFAULT_X.name))
+    y_power = profile_energy(
+        fixed_time.series_by_name(f"{DEFAULT_Y.name} (+extra work)")
+    )
+    emit(
+        f"proxy identities: fixed-work area(X) = {x_energy:.3f} = E_X "
+        f"({DEFAULT_X.energy:.3f}); fixed-time area(Y) = {y_power:.3f} = P_Y "
+        f"({DEFAULT_Y.power:.3f})"
+    )
+    assert abs(x_energy - DEFAULT_X.energy) < 1e-9
+    assert abs(y_power - DEFAULT_Y.power) < 1e-9

@@ -1,0 +1,18 @@
+"""Benchmark + reproduction: Figure 3 (symmetric multicore)."""
+
+from __future__ import annotations
+
+from repro.studies.figure3 import figure3
+
+
+def test_figure3(benchmark, emit_figure, emit):
+    figure = benchmark(figure3)
+    emit_figure(figure)
+
+    # Finding #1 shape: the 32-BCE f=0.95 multicore sits below the
+    # 32-BCE single core in every panel.
+    for panel in figure.panels:
+        multicore = panel.series_by_name("f=0.95").points[-1]
+        single = panel.series_by_name("single-core").points[-1]
+        assert multicore.y < single.y
+    emit("shape check: multicore below equal-area single core in all panels (Finding #1)")

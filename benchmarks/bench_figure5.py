@@ -1,0 +1,23 @@
+"""Benchmark + reproduction: Figure 5 (acceleration, dark silicon)."""
+
+from __future__ import annotations
+
+from repro.accel.accelerator import HAMEED_H264, breakeven_utilization
+from repro.accel.dark_silicon import PAPER_DARK_SILICON
+from repro.core.scenario import UseScenario
+from repro.studies.figure5 import figure5
+
+
+def test_figure5(benchmark, emit_figure, emit):
+    figure = benchmark(figure5)
+    emit_figure(figure)
+
+    accel_breakeven = breakeven_utilization(HAMEED_H264, 0.8, UseScenario.FIXED_WORK)
+    dark_breakeven = PAPER_DARK_SILICON.breakeven(0.2)
+    emit(
+        f"crossovers: H.264 breakeven @ alpha=0.8 t*={accel_breakeven:.3f} "
+        f"(paper: >0.30); dark silicon @ alpha=0.2 t*={dark_breakeven:.3f} "
+        "(paper: >0.50)"
+    )
+    assert 0.2 < accel_breakeven < 0.35
+    assert abs(dark_breakeven - 0.5) < 0.01

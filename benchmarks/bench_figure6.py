@@ -1,0 +1,21 @@
+"""Benchmark + reproduction: Figure 6 (LLC sizing)."""
+
+from __future__ import annotations
+
+from repro.studies.figure6 import figure6
+
+
+def test_figure6(benchmark, emit_figure, emit):
+    figure = benchmark(figure6)
+    emit_figure(figure)
+
+    # Finding #8 shape: embodied-dominated never below 1 above 1 MB;
+    # operational-dominated fixed-work dips below 1 at 2 MB.
+    emb_fw = figure.panel("(a) embodied dominated").series_by_name("fixed-work")
+    assert all(p.y >= 1.0 - 1e-9 for p in emb_fw.points)
+    op_fw = figure.panel("(b) operational dominated").series_by_name("fixed-work")
+    assert op_fw.points[1].y < 1.0
+    emit(
+        "shape check: caching not sustainable (embodied-dom); 2MB marginally "
+        "weakly sustainable (operational-dom) — Finding #8"
+    )

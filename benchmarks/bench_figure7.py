@@ -1,0 +1,19 @@
+"""Benchmark + reproduction: Figure 7 (InO / FSC / OoO)."""
+
+from __future__ import annotations
+
+from repro.studies.figure7 import figure7
+
+
+def test_figure7(benchmark, emit_figure, emit):
+    figure = benchmark(figure7)
+    emit_figure(figure)
+
+    for panel in figure.panels:
+        points = {p.label: p for p in panel.series[0].points}
+        assert points["FSC"].y < points["OoO"].y  # Finding #11
+        assert points["OoO"].y > 1.0  # Finding #9
+    emit(
+        "shape check: OoO above InO, FSC below OoO in every panel "
+        "(Findings #9-#11)"
+    )

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction: Figure 8 (branch prediction)."""
+
+from __future__ import annotations
+
+from repro.core.scenario import UseScenario
+from repro.speculation.branch_prediction import max_sustainable_area
+from repro.studies.figure8 import figure8
+
+
+def test_figure8(benchmark, emit_figure, emit):
+    figure = benchmark(figure8)
+    emit_figure(figure)
+
+    boundary = max_sustainable_area(UseScenario.FIXED_WORK, 0.8)
+    emit(
+        f"crossover: fixed-work embodied-dominated NCF=1 at "
+        f"{boundary:.2%} predictor area (paper: ~2%)"
+    )
+    assert 0.015 < boundary < 0.02
+    # Fixed-time is unsustainable at every size in both regimes.
+    for panel in figure.panels:
+        assert all(p.y > 1.0 for p in panel.series_by_name("fixed-time").points)

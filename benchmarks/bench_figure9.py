@@ -1,0 +1,38 @@
+"""Benchmark + reproduction: Figure 9 / §7 case study."""
+
+from __future__ import annotations
+
+from repro.core.classify import Sustainability
+from repro.report.table import format_table
+from repro.studies.case_study import case_study, figure9
+
+
+def test_figure9(benchmark, emit_figure, emit):
+    figure = benchmark(figure9)
+    emit_figure(figure)
+
+    points = case_study()
+    rows = [
+        [
+            p.cores,
+            p.frequency_multiplier,
+            p.perf,
+            p.embodied,
+            p.category(0.8).value,
+            p.category(0.2).value,
+        ]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["cores", "freq x", "perf x", "embodied x", "emb-dom", "op-dom"],
+            rows,
+            title="-- case study summary (vs old-node quad-core)",
+        )
+    )
+    by_cores = {p.cores: p for p in points}
+    for cores in (4, 5, 6):
+        assert by_cores[cores].category(0.8) is Sustainability.STRONG
+        assert by_cores[cores].category(0.2) is Sustainability.STRONG
+    assert by_cores[8].category(0.8) is Sustainability.LESS
+    assert by_cores[8].category(0.2) is Sustainability.WEAK

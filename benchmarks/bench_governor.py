@@ -1,0 +1,59 @@
+"""Extension benchmark: race-to-idle versus pacing across core types.
+
+Sweeps the leakage fraction (dynamic-dominated to leakage-dominated
+cores) at fixed slack and reports which policy the energy-minimal
+governor converges to — the §5.8 scaling laws turned into a scheduling
+insight.
+"""
+
+from __future__ import annotations
+
+from repro.dvfs.governor import EnergyModel, race_vs_pace
+from repro.report.table import format_table
+
+LEAKAGE_FRACTIONS = (0.0, 0.1, 0.3, 0.6, 0.9)
+DEADLINE = 3.0
+
+
+def sweep_governor():
+    rows = []
+    for leak in LEAKAGE_FRACTIONS:
+        model = EnergyModel(leakage_fraction=leak, idle_leakage=0.02)
+        result = race_vs_pace(DEADLINE, model)
+        rows.append((leak, result))
+    return rows
+
+
+def test_governor(benchmark, emit):
+    rows = benchmark(sweep_governor)
+    emit(
+        format_table(
+            [
+                "leakage fraction",
+                "race energy",
+                "pace energy",
+                "best policy",
+                "optimal s",
+                "optimal energy",
+            ],
+            [
+                [
+                    leak,
+                    r.race_energy,
+                    r.pace_energy,
+                    r.best_policy,
+                    r.optimal_multiplier,
+                    r.optimal_energy,
+                ]
+                for leak, r in rows
+            ],
+            title=f"\n=== race-to-idle vs pace at deadline {DEADLINE:g}x (voltage floor 0.5)",
+        )
+    )
+    by_leak = dict(rows)
+    # Dynamic-dominated cores pace; leakage-dominated cores race.
+    assert by_leak[0.0].best_policy == "pace"
+    assert by_leak[0.9].best_policy == "race-to-idle"
+    # The optimum never loses to either fixed policy.
+    for _, r in rows:
+        assert r.optimal_energy <= min(r.race_energy, r.pace_energy) + 1e-9

@@ -1,0 +1,58 @@
+"""Extension benchmark: upgrade indifference points across node gaps.
+
+GreenChip-style analysis wired through the ACT bridge: for an always-on
+server on each old node, how many years must the new-node replacement
+serve before the upgrade is carbon-positive?
+"""
+
+from __future__ import annotations
+
+from repro.act.model import ActChipSpec
+from repro.lifetime.act_bridge import device_from_act
+from repro.lifetime.replacement import footprint_per_work, indifference_point
+from repro.report.table import format_table
+
+OLD_NODES = ("28nm", "16nm", "7nm")
+NEW_NODE = "3nm"
+
+
+def sweep_upgrades():
+    new = device_from_act(
+        ActChipSpec("new 3nm", die_area_mm2=300.0, avg_power_w=120.0, node=NEW_NODE)
+    )
+    rows = []
+    for node in OLD_NODES:
+        # Older nodes burn more power for the same work.
+        power = {"28nm": 300.0, "16nm": 220.0, "7nm": 150.0}[node]
+        old = device_from_act(
+            ActChipSpec(f"old {node}", die_area_mm2=350.0, avg_power_w=power, node=node)
+        )
+        rows.append((node, old, new, indifference_point(old, new)))
+    return rows
+
+
+def test_lifetime_upgrades(benchmark, emit):
+    rows = benchmark(sweep_upgrades)
+    table = [
+        [
+            node,
+            old.operational_rate,
+            new.operational_rate,
+            new.embodied,
+            "never" if t is None else f"{t:.2f} yr",
+        ]
+        for node, old, new, t in rows
+    ]
+    emit(
+        format_table(
+            ["old node", "old kg/yr", "new kg/yr", "new embodied kg", "indifference point"],
+            table,
+            title="\n=== upgrade-to-3nm indifference points (GreenChip-style)",
+        )
+    )
+    # The dirtier the old node, the sooner the upgrade pays.
+    points = [t for _, _, _, t in rows if t is not None]
+    assert points == sorted(points)
+    # Junkyard check: footprint per work falls with service life.
+    _, old, _, _ = rows[0]
+    assert footprint_per_work(old, 6.0) < footprint_per_work(old, 3.0)

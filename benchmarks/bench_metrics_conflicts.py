@@ -1,0 +1,61 @@
+"""Extension benchmark: classical metrics versus FOCAL across the
+mechanism catalogue.
+
+§3.4's claim — architects already optimize area/energy/power, just not
+holistically — becomes measurable: for every catalogue mechanism and
+every classical metric, does the metric's verdict conflict with
+FOCAL's? A conflict means the metric endorses a less-sustainable design
+or rejects a strongly sustainable one.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import DesignPoint
+from repro.core.metrics import ClassicMetric, disagreement, metric_ratio
+from repro.report.table import format_table
+from repro.studies.mechanisms import catalogue_pairs
+
+ALPHA = 0.8  # embodied-dominated: where holism matters most
+
+
+def sweep_conflicts():
+    rows = []
+    for mechanism, _section, design, baseline in catalogue_pairs():
+        for metric in ClassicMetric:
+            result = disagreement(design, baseline, metric, ALPHA)
+            rows.append(
+                (
+                    mechanism,
+                    metric.name,
+                    metric_ratio(design, baseline, metric),
+                    result.focal_category.value,
+                    result.conflicting,
+                )
+            )
+    return rows
+
+
+def test_metric_conflicts(benchmark, emit):
+    rows = benchmark(sweep_conflicts)
+    conflicts = [r for r in rows if r[4]]
+    emit(
+        format_table(
+            ["mechanism", "metric", "metric goodness", "FOCAL verdict", "conflict"],
+            [list(r) for r in conflicts],
+            title=(
+                "\n=== classical-metric verdicts that conflict with FOCAL "
+                f"(alpha={ALPHA})"
+            ),
+        )
+    )
+    emit(
+        f"{len(conflicts)}/{len(rows)} metric-mechanism verdicts conflict "
+        "with the sustainability classification"
+    )
+    # The §5.6 flagship conflict must be among them: EDP endorses OoO.
+    assert any(
+        mech == "OoO core (vs InO)" and metric == "EDP" for mech, metric, *_ in conflicts
+    )
+    # And perf-oriented metrics must reject at least one strongly
+    # sustainable mechanism (pipeline gating is slower).
+    assert any(r[3] == "strongly sustainable" for r in conflicts)

@@ -1,0 +1,70 @@
+"""Extension benchmark: usage-rebound tipping points (§3.7).
+
+For each archetypal mechanism the paper studies, find the usage-rebound
+elasticity at which the mechanism stops paying off — the quantitative
+refinement of the strong/weak boundary: strongly sustainable designs
+never tip (None), weakly sustainable ones tip at some r* in (0, 1), and
+less sustainable ones are already unsustainable at r = 0.
+"""
+
+from __future__ import annotations
+
+from repro.amdahl.pollack import big_core_design
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.design import DesignPoint
+from repro.gating.pipeline_gating import gated_design
+from repro.microarch.cores import FSC_CORE, INO_CORE, OOO_CORE
+from repro.rebound.model import usage_rebound_tipping_point
+from repro.report.table import format_table
+from repro.speculation.runahead import runahead_design
+
+CASES = [
+    (
+        "multicore 32 vs single 32",
+        SymmetricMulticore(32, 0.95).design_point(),
+        big_core_design(32),
+    ),
+    ("FSC vs OoO", FSC_CORE, OOO_CORE),
+    ("FSC vs InO", FSC_CORE, INO_CORE),
+    ("PRE vs OoO", runahead_design(), DesignPoint.baseline("OoO")),
+    ("OoO vs InO", OOO_CORE, INO_CORE),
+    ("gating vs ungated", gated_design(), DesignPoint.baseline("ungated")),
+]
+
+
+def sweep_tipping_points():
+    results = []
+    for name, design, baseline in CASES:
+        for alpha in (0.8, 0.2):
+            results.append(
+                (
+                    name,
+                    alpha,
+                    usage_rebound_tipping_point(design, baseline, alpha),
+                )
+            )
+    return results
+
+
+def test_rebound_tipping_points(benchmark, emit):
+    results = benchmark(sweep_tipping_points)
+    rows = [
+        [name, alpha, "never tips" if r is None else f"{r:.3f}"]
+        for name, alpha, r in results
+    ]
+    emit(
+        format_table(
+            ["mechanism", "alpha", "usage-rebound tipping point r*"],
+            rows,
+            title="\n=== usage-rebound tipping points (r=0 fixed-work, r=1 fixed-time)",
+        )
+    )
+    lookup = {(name, alpha): r for name, alpha, r in results}
+    # Strongly sustainable mechanisms never tip.
+    assert lookup[("multicore 32 vs single 32", 0.2)] is None
+    assert lookup[("gating vs ungated", 0.8)] is None
+    # Weakly sustainable mechanisms tip inside (0, 1).
+    pre = lookup[("PRE vs OoO", 0.2)]
+    assert pre is not None and 0.0 < pre < 1.0
+    # Less sustainable mechanisms are gone at r = 0 already.
+    assert lookup[("OoO vs InO", 0.8)] == 0.0

@@ -1,0 +1,51 @@
+"""Extension benchmark: Moore's Law spent two ways (§6 discussion).
+
+Quantifies the paper's Jevons-paradox remark across the full Imec node
+range: shrinking the same chip every node versus doubling cores at
+constant area.
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import UseScenario
+from repro.report.table import format_table
+from repro.technode.roadmap import RoadmapPolicy, roadmap
+
+
+def run_both():
+    return {policy: roadmap(policy, 6) for policy in RoadmapPolicy}
+
+
+def test_roadmap(benchmark, emit):
+    trajectories = benchmark(run_both)
+    for policy, points in trajectories.items():
+        rows = [
+            [
+                p.generation,
+                p.cores,
+                p.embodied,
+                p.perf,
+                p.power,
+                p.ncf(UseScenario.FIXED_WORK, 0.5),
+                p.ncf(UseScenario.FIXED_TIME, 0.5),
+            ]
+            for p in points
+        ]
+        emit(
+            format_table(
+                ["gen", "cores", "embodied", "perf", "power", "NCF_fw", "NCF_ft"],
+                rows,
+                title=f"\n=== roadmap policy: {policy.value} (f=0.75, post-Dennard)",
+            )
+        )
+    shrink_end = trajectories[RoadmapPolicy.SHRINK][-1]
+    grow_end = trajectories[RoadmapPolicy.CONSTANT_AREA][-1]
+    emit(
+        f"after 6 nodes: shrink NCF_ft={shrink_end.ncf(UseScenario.FIXED_TIME, 0.5):.2f} "
+        f"(perf {shrink_end.perf:.1f}x) vs constant-area "
+        f"NCF_ft={grow_end.ncf(UseScenario.FIXED_TIME, 0.5):.2f} "
+        f"(perf {grow_end.perf:.1f}x) - Jevons' paradox quantified"
+    )
+    assert shrink_end.ncf(UseScenario.FIXED_TIME, 0.5) < 1.0
+    assert grow_end.ncf(UseScenario.FIXED_TIME, 0.5) > 1.0
+    assert grow_end.perf > shrink_end.perf

@@ -1,0 +1,47 @@
+"""Extension benchmark: why LCA-based validation must show a gap (§3.6).
+
+Sweeps the chip's share of the device total and reports the relative
+gap a *perfect* chip-level model would exhibit when scored against
+LCA totals — reproducing the structure behind ACT's reported
+"non-negligible gap".
+"""
+
+from __future__ import annotations
+
+from repro.report.table import format_table
+from repro.validation.lca import SystemLCA, chip_attribution_error, validation_gap
+
+CHIP_SHARES = (0.05, 0.1, 0.25, 0.5, 0.8)
+CHIP_RATIOS = (0.5, 0.7, 1.3, 2.0)
+
+
+def sweep_gaps():
+    rows = []
+    for share in CHIP_SHARES:
+        for ratio in CHIP_RATIOS:
+            rows.append((share, ratio, validation_gap(ratio, share)))
+    return rows
+
+
+def test_validation_gap(benchmark, emit):
+    rows = benchmark(sweep_gaps)
+    emit(
+        format_table(
+            ["chip share of device", "true chip ratio", "apparent gap vs LCA"],
+            [[s, r, g] for s, r, g in rows],
+            title="\n=== gap a PERFECT chip model shows against LCA totals (§3.6)",
+        )
+    )
+    # The gap shrinks monotonically as the chip dominates the device.
+    for ratio in CHIP_RATIOS:
+        gaps = [g for s, r, g in rows if r == ratio]
+        assert gaps == sorted(gaps, reverse=True)
+
+    phone = SystemLCA("phone A", chip=12.0)
+    phone_b = SystemLCA("phone B", chip=36.0)
+    emit(
+        f"attribution example: a 3.0x chip difference appears as a "
+        f"{phone_b.total / phone.total:.2f}x total difference "
+        f"(attribution error {chip_attribution_error(phone_b, phone):.2f}x)"
+    )
+    assert chip_attribution_error(phone_b, phone) > 2.0

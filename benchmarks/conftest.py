@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_figure*.py`` regenerates one paper figure under
+``pytest-benchmark`` timing and prints the same rows/series the paper
+plots, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+experiment reproduction run. The ``emit`` fixture prints through
+pytest's output capture so the tables land in the console/tee output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.report.series import FigureResult
+from repro.report.table import format_table
+
+
+@pytest.fixture
+def emit(capsys) -> Callable[[str], None]:
+    """Print *text* through pytest's capture (visible without -s)."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+@pytest.fixture
+def emit_figure(emit) -> Callable[[FigureResult], None]:
+    """Print every panel of a figure as the paper-shaped row table."""
+
+    def _emit(figure: FigureResult) -> None:
+        emit(f"\n=== {figure.figure_id}: {figure.caption}")
+        for note in figure.notes:
+            emit(f"    note: {note}")
+        for panel in figure.panels:
+            rows = [
+                [series.name, point.label, point.x, point.y]
+                for series in panel.series
+                for point in series.points
+            ]
+            emit(
+                format_table(
+                    ["series", "label", panel.x_label, panel.y_label],
+                    rows,
+                    title=f"-- {panel.name}",
+                )
+            )
+
+    return _emit

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Scenario: the same design choice on a phone versus in a datacenter.
+
+FOCAL's alpha_E2O is not a free parameter — it encodes where a device's
+carbon actually comes from. This script derives alpha per device class
+with the bottom-up ACT-style model (paper §3.5), then shows how one
+design decision (adopting the FSC core) lands differently:
+
+* a battery-operated phone SoC: embodied-dominated (Gupta et al.);
+* an always-on datacenter CPU: operational-dominated;
+
+and closes with a Monte-Carlo robustness check of each verdict inside
+its alpha uncertainty band.
+
+Run:  python examples/datacenter_vs_mobile.py
+"""
+
+from __future__ import annotations
+
+from repro.act.model import ActChipSpec, ActModel
+from repro.core.design import DesignPoint
+from repro.core.scenario import E2OWeight, UseScenario
+from repro.core.classify import classify
+from repro.dse.montecarlo import sample_verdicts
+from repro.microarch.cores import FSC_CORE, OOO_CORE
+from repro.report.table import format_table
+
+
+def derive_alpha(spec: ActChipSpec, model: ActModel) -> float:
+    """alpha_E2O = the device's embodied share of lifetime carbon."""
+    return model.footprint(spec).embodied_share
+
+
+def main() -> None:
+    act = ActModel()
+    phone = ActChipSpec("phone SoC", die_area_mm2=120.0, avg_power_w=0.25, node="5nm")
+    server = ActChipSpec("server CPU", die_area_mm2=450.0, avg_power_w=180.0, node="7nm")
+
+    rows = []
+    alphas = {}
+    for spec in (phone, server):
+        fp = act.footprint(spec)
+        alphas[spec.name] = fp.embodied_share
+        rows.append(
+            [
+                spec.name,
+                f"{fp.embodied_kg:.1f}",
+                f"{fp.operational_kg:.1f}",
+                f"{fp.embodied_share:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["device", "embodied kgCO2e", "operational kgCO2e", "derived alpha"],
+            rows,
+            title="Step 1: derive alpha_E2O bottom-up (simplified ACT)",
+        )
+    )
+    print(
+        "\nThe phone is embodied-dominated, the server operational-dominated\n"
+        "- matching the regimes the paper adopts from Gupta et al.\n"
+    )
+
+    print("Step 2: the same decision - replace the OoO core with FSC:")
+    decision_rows = []
+    for name, alpha in alphas.items():
+        verdict = classify(FSC_CORE, OOO_CORE, alpha)
+        decision_rows.append(
+            [
+                name,
+                f"{alpha:.2f}",
+                f"{verdict.ncf_fixed_work:.3f}",
+                f"{verdict.ncf_fixed_time:.3f}",
+                verdict.category.value,
+            ]
+        )
+    print(
+        format_table(
+            ["device", "alpha", "NCF_fw", "NCF_ft", "verdict"], decision_rows
+        )
+    )
+    print(
+        "\nFSC-for-OoO is strongly sustainable on both devices, but the\n"
+        "*magnitude* differs: the power-hungry server saves far more\n"
+        "(operational weight dominates there).\n"
+    )
+
+    print("Step 3: Monte-Carlo robustness inside each alpha band (+/-0.1):")
+    base = DesignPoint.baseline()
+    mc_rows = []
+    for name, alpha in alphas.items():
+        weight = E2OWeight(name, alpha=min(max(alpha, 0.1), 0.9), spread=0.1)
+        probs = sample_verdicts(FSC_CORE, OOO_CORE, weight, samples=5000, seed=1)
+        mc_rows.append(
+            [name, f"{probs.strong:.1%}", f"{probs.weak:.1%}", f"{probs.less:.1%}"]
+        )
+    print(format_table(["device", "P(strong)", "P(weak)", "P(less)"], mc_rows))
+    print(
+        "\n100% strong in both bands: the FSC verdict survives the data\n"
+        "uncertainty - the kind of conclusion the paper says we can trust."
+    )
+
+    # And a contrast: turbo boost on the server, which does NOT survive.
+    boosted = DesignPoint("turbo", area=1.01, perf=1.2, power=1.2**3)
+    verdict = classify(boosted, base, alphas["server CPU"])
+    print(f"\nContrast - turbo boost on the server: {verdict.category}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: assess a design choice's sustainability with FOCAL.
+
+This walks the library's core loop on the paper's §5.6 example
+(the Forward Slice Core vs in-order and out-of-order cores):
+
+1. describe designs by the four first-order quantities
+   (area, performance, power; energy is derived);
+2. compute the Normalized Carbon Footprint under both lifetime
+   scenarios — fixed-work (energy proxy) and fixed-time (power proxy,
+   i.e. the rebound-effect case illustrated in the paper's Figure 2);
+3. classify the choice as strongly / weakly / less sustainable;
+4. check the verdict's robustness across the embodied-to-operational
+   weight bands the paper sweeps (alpha = 0.8 +/- 0.1 and 0.2 +/- 0.1).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+    DesignPoint,
+    UseScenario,
+    classify,
+    ncf,
+    ncf_band,
+    robust_classification,
+)
+
+# ---------------------------------------------------------------- 1 --
+# A design point is (area, perf, power) relative to any consistent
+# unit. Here everything is relative to the in-order core.
+ino = DesignPoint.baseline("InO")
+fsc = DesignPoint("FSC", area=1.01, perf=1.64, power=1.01)
+ooo = DesignPoint("OoO", area=1.39, perf=1.75, power=2.32)
+
+print("Designs (relative to InO):")
+for core in (ino, fsc, ooo):
+    print(
+        f"  {core.name:>4}: area={core.area:5.2f}  perf={core.perf:5.2f}  "
+        f"power={core.power:5.2f}  energy/work={core.energy:5.2f}"
+    )
+
+# ---------------------------------------------------------------- 2 --
+# NCF < 1 means the design incurs a lower footprint than the baseline.
+# Fixed-work uses the energy ratio; fixed-time (think: a device that is
+# used *more* because it is faster — the rebound effect) uses power.
+print("\nNCF of FSC vs OoO (alpha = embodied weight):")
+for scenario in UseScenario:
+    for alpha in (0.8, 0.2):
+        value = ncf(fsc, ooo, scenario, alpha)
+        print(f"  {scenario.value:>10}, alpha={alpha}: NCF = {value:.3f}")
+
+# ---------------------------------------------------------------- 3 --
+# The two scenarios together give the paper's three-way verdict.
+print("\nClassification at alpha = 0.8:")
+for design, baseline in ((fsc, ino), (fsc, ooo), (ooo, ino)):
+    verdict = classify(design, baseline, alpha=0.8)
+    print(f"  {design.name} vs {baseline.name}: {verdict.category}")
+
+# ---------------------------------------------------------------- 4 --
+# FOCAL's answer to data uncertainty: sweep the alpha bands; a verdict
+# that holds across both regimes "holds true despite the unknowns".
+print("\nRobustness across both alpha regimes (0.7-0.9 and 0.1-0.3):")
+for design, baseline in ((fsc, ooo), (ooo, ino)):
+    conclusion = robust_classification(
+        design, baseline, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+    )
+    status = (
+        f"unanimous: {conclusion.consensus}"
+        if conclusion.unanimous
+        else f"depends on alpha: {[c.value for c in conclusion.categories]}"
+    )
+    print(f"  {design.name} vs {baseline.name}: {status}")
+
+# Error bars, exactly as the paper reports them:
+band = ncf_band(fsc, ooo, UseScenario.FIXED_WORK, EMBODIED_DOMINATED)
+print(
+    f"\nFSC vs OoO fixed-work NCF with error bars: "
+    f"{band.nominal:.3f} [{band.low:.3f}, {band.high:.3f}]"
+)
+print("=> FSC cuts the footprint by roughly a third to a half versus OoO")
+print("   at a 6.3% performance cost - the paper's Finding #11.")

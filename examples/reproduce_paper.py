@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate every reproducible figure and the findings table.
+
+Writes each figure as CSV + Markdown + standalone HTML (SVG charts)
+into ``out/`` and prints the
+findings scoreboard — the one-command full reproduction.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.report.export import write_figure
+from repro.report.table import format_mapping_rows
+from repro.studies.findings import all_findings
+from repro.studies.registry import run_study, study_names
+
+
+def main(out_dir: str = "out") -> int:
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+
+    print(f"Regenerating {len(study_names())} figures into {target}/ ...")
+    for name in study_names():
+        figure = run_study(name)
+        for suffix in ("csv", "md", "html"):
+            path = write_figure(figure, target / f"{name}.{suffix}")
+            print(f"  wrote {path} ({figure.total_points} points)")
+
+    checks = all_findings()
+    table = format_mapping_rows(
+        [c.as_dict() for c in checks],
+        columns=["finding", "claim", "paper", "computed", "passed"],
+        title="\nFindings #1-#17 + case study:",
+    )
+    print(table)
+    (target / "findings.txt").write_text(table + "\n")
+
+    failed = [c for c in checks if not c.passed]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} checks reproduce")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "out"))

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Scenario: how much should you trust a sustainability verdict?
+
+The paper's §2 is all about inherent data uncertainty. This script
+demonstrates the three uncertainty tools the library provides, on one
+running question — "is replacing the OoO core with FSC the right
+call?" — plus a deliberately marginal design to show what an
+*untrustworthy* verdict looks like:
+
+1. exact alpha-band analysis (the paper's error bars);
+2. tornado sensitivity: which input moves the NCF most;
+3. Monte-Carlo measurement noise: how often the verdict survives
+   errors in the area/energy/power numbers themselves.
+
+Run:  python examples/uncertainty_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.design import DesignPoint
+from repro.core.ncf import ncf_band, ncf_from_ratios
+from repro.core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED, UseScenario
+from repro.dse.montecarlo import sample_measurement_noise
+from repro.dse.sensitivity import tornado
+from repro.microarch.cores import FSC_CORE, OOO_CORE
+from repro.report.table import format_table
+
+FW = UseScenario.FIXED_WORK
+
+
+def alpha_bands() -> None:
+    print("1) Alpha-band analysis (the paper's error bars)")
+    rows = []
+    for weight in (EMBODIED_DOMINATED, OPERATIONAL_DOMINATED):
+        band = ncf_band(FSC_CORE, OOO_CORE, FW, weight)
+        rows.append(
+            [
+                weight.name,
+                f"{band.nominal:.3f}",
+                f"[{band.low:.3f}, {band.high:.3f}]",
+                "yes" if band.below_one() else "no",
+            ]
+        )
+    print(format_table(["regime", "NCF_fw", "band", "robustly < 1?"], rows))
+    print(
+        "   The whole band sits below 1 in both regimes: the FSC verdict\n"
+        "   does not depend on the embodied/operational split.\n"
+    )
+
+
+def tornado_analysis() -> None:
+    print("2) Tornado: which input uncertainty moves the verdict most?")
+    nominal = {
+        "alpha": 0.8,
+        "area_ratio": FSC_CORE.area / OOO_CORE.area,
+        "energy_ratio": FSC_CORE.energy / OOO_CORE.energy,
+    }
+
+    def metric(params):
+        return ncf_from_ratios(
+            params["area_ratio"], params["energy_ratio"], params["alpha"]
+        )
+
+    entries = tornado(
+        metric,
+        nominal,
+        {
+            "alpha": (0.7, 0.9),
+            "area_ratio": (nominal["area_ratio"] * 0.8, nominal["area_ratio"] * 1.2),
+            "energy_ratio": (
+                nominal["energy_ratio"] * 0.8,
+                nominal["energy_ratio"] * 1.2,
+            ),
+        },
+    )
+    rows = [
+        [e.parameter, f"{e.metric_at_low:.3f}", f"{e.metric_at_high:.3f}", f"{e.swing:.3f}"]
+        for e in entries
+    ]
+    print(format_table(["parameter (+/-20% or band)", "low", "high", "swing"], rows))
+    print(
+        f"   Largest lever: {entries[0].parameter}. Even so, every endpoint\n"
+        "   stays below 1 - the conclusion is insensitive to the inputs.\n"
+    )
+
+
+def measurement_noise() -> None:
+    print("3) Monte-Carlo measurement noise on area/energy/power")
+    marginal = DesignPoint("marginal", area=0.98, perf=1.0, power=0.98)
+    baseline = DesignPoint.baseline()
+    rows = []
+    for name, design, base in (
+        ("FSC vs OoO", FSC_CORE, OOO_CORE),
+        ("marginal 2% win", marginal, baseline),
+    ):
+        for sigma in (0.05, 0.15):
+            probs = sample_measurement_noise(
+                design, base, alpha=0.8, relative_sigma=sigma, samples=20_000, seed=42
+            )
+            rows.append(
+                [name, f"{sigma:.0%}", f"{probs.strong:.1%}", f"{probs.less:.1%}"]
+            )
+    print(
+        format_table(
+            ["comparison", "meas. noise", "P(strong)", "P(less)"], rows
+        )
+    )
+    print(
+        "   FSC's ~35% margins shrug off even 15% measurement error; the\n"
+        "   marginal 2% design flips constantly - exactly the kind of\n"
+        "   conclusion the paper warns should not be trusted."
+    )
+
+
+if __name__ == "__main__":
+    alpha_bands()
+    tornado_analysis()
+    measurement_noise()

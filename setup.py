@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on environments
+without the ``wheel`` package (offline PEP 660 fallback)."""
+
+from setuptools import setup
+
+setup()

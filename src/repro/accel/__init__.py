@@ -1,0 +1,22 @@
+"""Hardware acceleration and dark silicon (paper §5.3–§5.4, Figure 5)."""
+
+from .accelerator import (
+    HAMEED_H264,
+    AcceleratedSystem,
+    Accelerator,
+    breakeven_utilization,
+)
+from .dark_silicon import PAPER_DARK_SILICON, DarkSiliconSoC
+from .soc import ScheduledAccelerator, SoC, reconfigurable_equivalent
+
+__all__ = [
+    "Accelerator",
+    "AcceleratedSystem",
+    "HAMEED_H264",
+    "breakeven_utilization",
+    "DarkSiliconSoC",
+    "PAPER_DARK_SILICON",
+    "SoC",
+    "ScheduledAccelerator",
+    "reconfigurable_equivalent",
+]

@@ -1,0 +1,197 @@
+"""Hardware-acceleration sustainability model (paper §5.3, Figure 5a).
+
+The paper's running example is Hameed et al.'s H.264 accelerator: +6.5 %
+chip area, the *same* performance as the host out-of-order core, and
+500x less energy for the work it runs. The question FOCAL asks: for
+what fraction of time must the accelerator be used for the extra
+embodied footprint to pay off?
+
+This module implements a slightly more general model — the accelerator
+may also speed the offloaded work up and may leak when idle — with the
+paper's configuration as the default. With ``speedup = 1`` and no
+leakage the model reduces exactly to
+
+    NCF(t) = alpha (1 + a) + (1 - alpha) ((1 - t) + t / r)
+
+with ``a`` the area overhead, ``r`` the energy advantage and ``t`` the
+fraction of time on the accelerator; fixed-work and fixed-time coincide
+because performance is unchanged (Figure 5 accordingly shows a single
+curve per alpha regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.errors import ConvergenceError
+from ..core.ncf import ncf
+from ..core.quantities import (
+    ensure_fraction,
+    ensure_non_negative,
+    ensure_positive,
+)
+from ..core.scenario import UseScenario
+
+__all__ = ["Accelerator", "AcceleratedSystem", "HAMEED_H264"]
+
+
+@dataclass(frozen=True, slots=True)
+class Accelerator:
+    """An on-chip fixed-function accelerator, relative to its host core.
+
+    Parameters
+    ----------
+    area_overhead:
+        Extra chip area as a fraction of the host core's area (0.065
+        for the paper's H.264 example; 2.0 for the dark-silicon SoC).
+    energy_advantage:
+        How many times less energy the accelerator needs per unit of
+        work compared to the host core (500 in the paper).
+    speedup:
+        Performance of the accelerator on the offloaded work relative
+        to the host core (1.0 in the paper: "similar performance").
+    idle_leakage:
+        Accelerator leakage power, as a fraction of host-core active
+        power, while the accelerator is *not* in use (0 in the paper).
+    host_idle_leakage:
+        Host-core leakage, as a fraction of its active power, while the
+        accelerator *is* in use (0 in the paper: the core is gated).
+    """
+
+    area_overhead: float
+    energy_advantage: float
+    speedup: float = 1.0
+    idle_leakage: float = 0.0
+    host_idle_leakage: float = 0.0
+    name: str = "accelerator"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "area_overhead", ensure_non_negative(self.area_overhead, "area_overhead")
+        )
+        object.__setattr__(
+            self,
+            "energy_advantage",
+            ensure_positive(self.energy_advantage, "energy_advantage"),
+        )
+        object.__setattr__(self, "speedup", ensure_positive(self.speedup, "speedup"))
+        object.__setattr__(
+            self, "idle_leakage", ensure_non_negative(self.idle_leakage, "idle_leakage")
+        )
+        object.__setattr__(
+            self,
+            "host_idle_leakage",
+            ensure_non_negative(self.host_idle_leakage, "host_idle_leakage"),
+        )
+
+    @property
+    def energy_per_work(self) -> float:
+        """Accelerator energy per unit work, host core = 1."""
+        return 1.0 / self.energy_advantage
+
+    @property
+    def active_power(self) -> float:
+        """Accelerator power while active: (work/time) x (energy/work)."""
+        return self.speedup * self.energy_per_work
+
+
+#: The paper's example: Hameed et al.'s H.264 accelerator.
+HAMEED_H264 = Accelerator(
+    area_overhead=0.065, energy_advantage=500.0, name="H.264 (Hameed et al.)"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AcceleratedSystem:
+    """A host core plus one accelerator used a given fraction of time.
+
+    ``utilization`` is the fraction of total execution *time* spent on
+    the accelerator (the paper's x-axis). The host core is the
+    normalization baseline: area = perf = power = 1.
+    """
+
+    accelerator: Accelerator
+    utilization: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "utilization", ensure_fraction(self.utilization, "utilization")
+        )
+
+    # -- first-order quantities (host core = 1) -------------------------
+    @property
+    def area(self) -> float:
+        return 1.0 + self.accelerator.area_overhead
+
+    @property
+    def perf(self) -> float:
+        """Work per unit time: the core contributes ``1 - t``, the
+        accelerator ``t * speedup``."""
+        t = self.utilization
+        return (1.0 - t) + t * self.accelerator.speedup
+
+    @property
+    def power(self) -> float:
+        """Average power over the (unit) execution time."""
+        t = self.utilization
+        acc = self.accelerator
+        core_power = (1.0 - t) * 1.0 + t * acc.host_idle_leakage
+        accel_power = t * acc.active_power + (1.0 - t) * acc.idle_leakage
+        return core_power + accel_power
+
+    @property
+    def energy(self) -> float:
+        """Energy per unit work = power x time / work."""
+        return self.power / self.perf
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        return DesignPoint(
+            name=name or f"{self.accelerator.name} @ t={self.utilization:g}",
+            area=self.area,
+            perf=self.perf,
+            power=self.power,
+        )
+
+    def ncf(self, alpha: float, scenario: UseScenario = UseScenario.FIXED_WORK) -> float:
+        """NCF versus the bare host core (the paper's Figure 5 y-axis)."""
+        return ncf(self.design_point(), DesignPoint.baseline("host core"), scenario, alpha)
+
+
+def breakeven_utilization(
+    accelerator: Accelerator,
+    alpha: float,
+    scenario: UseScenario = UseScenario.FIXED_WORK,
+    *,
+    tol: float = 1e-10,
+) -> float | None:
+    """Minimum utilization at which adding the accelerator pays off.
+
+    Returns the smallest ``t`` in [0, 1] with ``NCF(t) <= 1``, or
+    ``None`` when even full-time use does not amortize the embodied
+    overhead (the dark-silicon failure mode). NCF is monotonically
+    non-increasing in ``t`` for any energy-advantaged accelerator, so a
+    bisection on the boundary is exact.
+    """
+    ensure_fraction(alpha, "alpha")
+
+    def value(t: float) -> float:
+        return AcceleratedSystem(accelerator, t).ncf(alpha, scenario)
+
+    if value(0.0) <= 1.0:
+        return 0.0
+    if value(1.0) > 1.0:
+        return None
+    lo, hi = 0.0, 1.0  # value(lo) > 1 >= value(hi)
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if value(mid) > 1.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            return hi
+    raise ConvergenceError("breakeven_utilization bisection failed to converge")
+
+
+__all__.append("breakeven_utilization")

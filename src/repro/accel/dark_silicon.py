@@ -1,0 +1,122 @@
+"""Dark silicon (paper §5.4, Figure 5b, Finding #7).
+
+A modern SoC integrates tens of accelerators that cannot all be powered
+simultaneously. The paper models this by assuming the accelerators
+occupy two thirds of the chip (+200 % area over the core), each with
+the same 500x energy advantage as §5.3's example and zero leakage when
+off. The resulting NCF curve shows dark silicon is *not sustainable*:
+~2.5x footprint increase when embodied emissions dominate, and a >50 %
+utilization requirement when operational emissions dominate — which is
+infeasible precisely because the silicon is dark (power/thermal limits
+prevent concurrent use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.quantities import ensure_fraction, ensure_positive
+from ..core.scenario import UseScenario
+from .accelerator import Accelerator, AcceleratedSystem, breakeven_utilization
+
+__all__ = ["DarkSiliconSoC", "PAPER_DARK_SILICON"]
+
+
+@dataclass(frozen=True, slots=True)
+class DarkSiliconSoC:
+    """An SoC whose accelerator estate is dark most of the time.
+
+    Parameters
+    ----------
+    accelerator_area_share:
+        Fraction of the *whole chip* occupied by accelerators (2/3 in
+        the paper). The implied area overhead over the core alone is
+        ``share / (1 - share)``.
+    energy_advantage:
+        Per-accelerator energy advantage when in use (500).
+    max_concurrent_utilization:
+        Upper bound on the achievable time-fraction of accelerator use
+        imposed by the power/thermal budget; used to flag infeasible
+        break-evens.
+    """
+
+    accelerator_area_share: float = 2.0 / 3.0
+    energy_advantage: float = 500.0
+    max_concurrent_utilization: float = 0.5
+
+    def __post_init__(self) -> None:
+        share = ensure_fraction(
+            self.accelerator_area_share, "accelerator_area_share"
+        )
+        if share >= 1.0:
+            from ..core.errors import ValidationError
+
+            raise ValidationError(
+                "accelerator_area_share must be < 1 (the core needs area too)"
+            )
+        object.__setattr__(self, "accelerator_area_share", share)
+        object.__setattr__(
+            self,
+            "energy_advantage",
+            ensure_positive(self.energy_advantage, "energy_advantage"),
+        )
+        object.__setattr__(
+            self,
+            "max_concurrent_utilization",
+            ensure_fraction(
+                self.max_concurrent_utilization, "max_concurrent_utilization"
+            ),
+        )
+
+    @property
+    def area_overhead(self) -> float:
+        """Accelerator area as a multiple of the core area.
+
+        Two thirds of the chip -> overhead = (2/3)/(1/3) = 2.0, the
+        paper's "+200 % extra chip area"."""
+        share = self.accelerator_area_share
+        return share / (1.0 - share)
+
+    def as_accelerator(self) -> Accelerator:
+        """The aggregate accelerator estate as one accelerator model."""
+        return Accelerator(
+            area_overhead=self.area_overhead,
+            energy_advantage=self.energy_advantage,
+            name="dark-silicon estate",
+        )
+
+    def system(self, utilization: float) -> AcceleratedSystem:
+        """SoC at a given aggregate accelerator time-utilization."""
+        return AcceleratedSystem(self.as_accelerator(), utilization)
+
+    def ncf(
+        self,
+        utilization: float,
+        alpha: float,
+        scenario: UseScenario = UseScenario.FIXED_WORK,
+    ) -> float:
+        """NCF versus the accelerator-free core (Figure 5b's y-axis)."""
+        return self.system(utilization).ncf(alpha, scenario)
+
+    def breakeven(
+        self, alpha: float, scenario: UseScenario = UseScenario.FIXED_WORK
+    ) -> float | None:
+        """Break-even utilization, or None if unreachable even at 100 %."""
+        return breakeven_utilization(self.as_accelerator(), alpha, scenario)
+
+    def breakeven_feasible(
+        self, alpha: float, scenario: UseScenario = UseScenario.FIXED_WORK
+    ) -> bool:
+        """Whether the break-even utilization fits the power budget.
+
+        Finding #7's punchline: under the operational-dominated regime
+        the break-even (~50 %) exceeds what dark silicon can deliver.
+        """
+        breakeven = self.breakeven(alpha, scenario)
+        if breakeven is None:
+            return False
+        return breakeven <= self.max_concurrent_utilization
+
+
+#: The paper's configuration for Figure 5(b).
+PAPER_DARK_SILICON = DarkSiliconSoC()

@@ -1,0 +1,152 @@
+"""SoC composition: many accelerators, one host core.
+
+Generalizes §5.3/§5.4 from one accelerator to an accelerator estate
+with a per-accelerator utilization schedule, and quantifies the
+paper's §5.4 discussion point that *reconfigurable* accelerators — one
+fabric reused across applications — amortize embodied footprint better
+than many fixed-function blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..core.ncf import ncf
+from ..core.quantities import ensure_fraction, ensure_positive
+from ..core.scenario import UseScenario
+from .accelerator import Accelerator
+
+__all__ = ["ScheduledAccelerator", "SoC", "reconfigurable_equivalent"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledAccelerator:
+    """An accelerator together with its time-utilization on the SoC."""
+
+    accelerator: Accelerator
+    utilization: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "utilization", ensure_fraction(self.utilization, "utilization")
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SoC:
+    """A host core plus a set of accelerators with a utilization schedule.
+
+    The schedule's utilizations must sum to at most 1; the remaining
+    time runs on the host core. All quantities are normalized to the
+    host core alone (area = perf = power = 1), so :meth:`ncf` matches
+    the Figure 5 convention.
+    """
+
+    schedule: tuple[ScheduledAccelerator, ...] = field(default_factory=tuple)
+    name: str = "SoC"
+
+    def __post_init__(self) -> None:
+        total = sum(item.utilization for item in self.schedule)
+        if total > 1.0 + 1e-12:
+            raise ValidationError(
+                f"accelerator utilizations sum to {total:g} > 1"
+            )
+
+    @classmethod
+    def build(
+        cls, pairs: Sequence[tuple[Accelerator, float]], name: str = "SoC"
+    ) -> "SoC":
+        """Build from ``(accelerator, utilization)`` pairs."""
+        return cls(
+            schedule=tuple(ScheduledAccelerator(acc, util) for acc, util in pairs),
+            name=name,
+        )
+
+    # -- first-order quantities ----------------------------------------
+    @property
+    def core_time(self) -> float:
+        """Fraction of time on the host core."""
+        return 1.0 - sum(item.utilization for item in self.schedule)
+
+    @property
+    def area(self) -> float:
+        return 1.0 + sum(item.accelerator.area_overhead for item in self.schedule)
+
+    @property
+    def perf(self) -> float:
+        work = self.core_time
+        for item in self.schedule:
+            work += item.utilization * item.accelerator.speedup
+        return work
+
+    @property
+    def power(self) -> float:
+        power = self.core_time * 1.0
+        for item in self.schedule:
+            acc = item.accelerator
+            power += item.utilization * acc.active_power
+            power += (1.0 - item.utilization) * acc.idle_leakage
+            power += item.utilization * acc.host_idle_leakage
+        return power
+
+    @property
+    def energy(self) -> float:
+        return self.power / ensure_positive(self.perf, "SoC perf")
+
+    def design_point(self) -> DesignPoint:
+        return DesignPoint(name=self.name, area=self.area, perf=self.perf, power=self.power)
+
+    def ncf(self, alpha: float, scenario: UseScenario = UseScenario.FIXED_WORK) -> float:
+        """NCF versus the bare host core."""
+        return ncf(self.design_point(), DesignPoint.baseline("host core"), scenario, alpha)
+
+
+def reconfigurable_equivalent(soc: SoC, *, area_premium: float = 1.0, name: str | None = None) -> SoC:
+    """The reconfigurable-fabric alternative to a fixed-function SoC.
+
+    Replaces the whole accelerator estate by a single fabric whose area
+    equals the *largest* accelerator's area times ``area_premium``
+    (reconfigurable logic is less dense, so a premium >= 1 is typical)
+    and which serves every scheduled task with each task's original
+    speedup/energy characteristics. This captures the §5.4 discussion:
+    one block amortizes embodied footprint across all applications.
+    """
+    if not soc.schedule:
+        raise ValidationError("reconfigurable_equivalent requires accelerators")
+    ensure_positive(area_premium, "area_premium")
+    fabric_area = area_premium * max(
+        item.accelerator.area_overhead for item in soc.schedule
+    )
+    new_schedule = []
+    for item in soc.schedule:
+        acc = item.accelerator
+        new_schedule.append(
+            (
+                Accelerator(
+                    area_overhead=0.0,  # area accounted once, below
+                    energy_advantage=acc.energy_advantage,
+                    speedup=acc.speedup,
+                    idle_leakage=0.0,
+                    host_idle_leakage=acc.host_idle_leakage,
+                    name=f"reconfig:{acc.name}",
+                ),
+                item.utilization,
+            )
+        )
+    # Attach the fabric area to the first entry so SoC.area is correct.
+    first_acc, first_util = new_schedule[0]
+    new_schedule[0] = (
+        Accelerator(
+            area_overhead=fabric_area,
+            energy_advantage=first_acc.energy_advantage,
+            speedup=first_acc.speedup,
+            idle_leakage=first_acc.idle_leakage,
+            host_idle_leakage=first_acc.host_idle_leakage,
+            name=first_acc.name,
+        ),
+        first_util,
+    )
+    return SoC.build(new_schedule, name=name or f"{soc.name} (reconfigurable)")

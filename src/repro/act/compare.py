@@ -1,0 +1,101 @@
+"""FOCAL versus ACT: directional-agreement harness (paper §3.5).
+
+FOCAL claims to be a *complement* to ACT: a relative first-order model
+that should reach the same *directional* conclusions as a bottom-up
+absolute model when the embodied-to-operational weight matches the
+device's actual footprint split. This module checks that claim:
+
+1. run ACT on two chip specs to get absolute totals;
+2. derive the effective alpha (the baseline's embodied share per ACT);
+3. run FOCAL's fixed-work NCF at that alpha;
+4. compare the direction (and magnitude) of the two verdicts.
+
+The agreement is exact when FOCAL's area proxy is proportional to ACT's
+embodied footprint (same node, yield regime linear in area) and
+approximate otherwise — which is precisely the first-order claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.ncf import ncf_from_ratios
+from .model import ActChipSpec, ActFootprint, ActModel
+
+__all__ = ["AgreementReport", "compare_focal_vs_act"]
+
+
+@dataclass(frozen=True, slots=True)
+class AgreementReport:
+    """Result of one FOCAL-vs-ACT comparison.
+
+    ``act_ratio`` is the ratio of ACT absolute totals (X / Y);
+    ``focal_ncf`` is FOCAL's fixed-work NCF at the ACT-derived alpha.
+    ``agree`` records whether both place the same design below 1.
+    """
+
+    design: str
+    baseline: str
+    effective_alpha: float
+    act_ratio: float
+    focal_ncf: float
+    act_design: ActFootprint
+    act_baseline: ActFootprint
+
+    @property
+    def agree(self) -> bool:
+        return (self.act_ratio < 1.0) == (self.focal_ncf < 1.0) or (
+            self.act_ratio == 1.0 and abs(self.focal_ncf - 1.0) < 1e-9
+        )
+
+    @property
+    def relative_gap(self) -> float:
+        """|FOCAL - ACT| / ACT — the paper's "non-negligible gap" axis."""
+        return abs(self.focal_ncf - self.act_ratio) / self.act_ratio
+
+
+def compare_focal_vs_act(
+    design_spec: ActChipSpec,
+    baseline_spec: ActChipSpec,
+    model: ActModel | None = None,
+) -> AgreementReport:
+    """Compare FOCAL's relative verdict against ACT's absolute one.
+
+    FOCAL's inputs are derived from the same specs (area ratio, power
+    ratio; performance is not needed under fixed-time, and we use the
+    fixed-time scenario because ACT's use phase integrates power over a
+    fixed lifetime — exactly FOCAL's fixed-time assumption).
+    """
+    act = model or ActModel()
+    fp_design = act.footprint(design_spec)
+    fp_baseline = act.footprint(baseline_spec)
+
+    effective_alpha = fp_baseline.embodied_share
+    area_ratio = design_spec.die_area_mm2 / baseline_spec.die_area_mm2
+    power_ratio = (
+        design_spec.avg_power_w / baseline_spec.avg_power_w
+        if baseline_spec.avg_power_w > 0
+        else 1.0
+    )
+    focal_ncf = ncf_from_ratios(area_ratio, power_ratio, effective_alpha)
+
+    return AgreementReport(
+        design=design_spec.name,
+        baseline=baseline_spec.name,
+        effective_alpha=effective_alpha,
+        act_ratio=fp_design.total_kg / fp_baseline.total_kg,
+        focal_ncf=focal_ncf,
+        act_design=fp_design,
+        act_baseline=fp_baseline,
+    )
+
+
+def focal_design_from_spec(spec: ActChipSpec, perf: float = 1.0) -> DesignPoint:
+    """Convenience: an ACT chip spec as a FOCAL design point."""
+    return DesignPoint(
+        name=spec.name, area=spec.die_area_mm2, perf=perf, power=max(spec.avg_power_w, 1e-12)
+    )
+
+
+__all__.append("focal_design_from_spec")

@@ -1,0 +1,128 @@
+"""A simplified bottom-up ACT-style carbon model (paper §3.5).
+
+Estimates absolute lifetime carbon (kg CO2e) of a processor:
+
+* **embodied**:
+  ``(CI_fab * EPA + GPA + MPA) * die_area / yield + packaging``
+  — fab energy carbon, direct gas emissions and material footprint,
+  all per wafer-cm^2, divided by yield to charge scrapped dies to the
+  good ones;
+* **operational**:
+  ``CI_use * avg_power_w * lifetime_hours / 1000``.
+
+This is the data-driven counterpart FOCAL positions itself against:
+absolute but uncertainty-laden, versus FOCAL's relative but robust
+first-order proxies. :mod:`repro.act.compare` quantifies when the two
+agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.quantities import ensure_non_negative, ensure_positive
+from ..wafer.yield_models import MurphyYield, YieldModel
+from .params import ACT_NODE_PARAMS, ActNodeParams, CarbonIntensity, WORLD_AVERAGE_GRID
+
+__all__ = ["ActChipSpec", "ActFootprint", "ActModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ActChipSpec:
+    """The inputs ACT needs for one chip."""
+
+    name: str
+    die_area_mm2: float
+    avg_power_w: float
+    node: str = "7nm"
+    lifetime_hours: float = 3.0 * 365 * 24  # three-year lifetime
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "die_area_mm2", ensure_positive(self.die_area_mm2, "die_area_mm2")
+        )
+        object.__setattr__(
+            self, "avg_power_w", ensure_non_negative(self.avg_power_w, "avg_power_w")
+        )
+        object.__setattr__(
+            self,
+            "lifetime_hours",
+            ensure_positive(self.lifetime_hours, "lifetime_hours"),
+        )
+        if self.node not in ACT_NODE_PARAMS:
+            from ..core.errors import ValidationError
+
+            known = ", ".join(sorted(ACT_NODE_PARAMS))
+            raise ValidationError(f"unknown node {self.node!r}; known: {known}")
+
+
+@dataclass(frozen=True, slots=True)
+class ActFootprint:
+    """Absolute footprint breakdown for one chip (kg CO2e)."""
+
+    name: str
+    embodied_kg: float
+    operational_kg: float
+
+    @property
+    def total_kg(self) -> float:
+        return self.embodied_kg + self.operational_kg
+
+    @property
+    def embodied_share(self) -> float:
+        """Embodied fraction of the total — ACT's empirical counterpart
+        to FOCAL's alpha_E2O parameter."""
+        return self.embodied_kg / self.total_kg if self.total_kg else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ActModel:
+    """The simplified ACT estimator.
+
+    Parameters
+    ----------
+    fab_grid / use_grid:
+        Electricity carbon intensity at the fab and during use.
+    yield_model:
+        Die-yield model charging scrapped dies to good ones.
+    packaging_kg:
+        Flat per-chip packaging footprint.
+    """
+
+    fab_grid: CarbonIntensity = WORLD_AVERAGE_GRID
+    use_grid: CarbonIntensity = WORLD_AVERAGE_GRID
+    yield_model: YieldModel = MurphyYield()
+    packaging_kg: float = 0.15
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "packaging_kg", ensure_non_negative(self.packaging_kg, "packaging_kg")
+        )
+
+    def node_params(self, node: str) -> ActNodeParams:
+        return ACT_NODE_PARAMS[node]
+
+    def embodied_kg(self, spec: ActChipSpec) -> float:
+        """Embodied carbon of one good chip."""
+        params = self.node_params(spec.node)
+        area_cm2 = spec.die_area_mm2 / 100.0
+        per_area = (
+            self.fab_grid.kg_per_kwh * params.energy_per_area_kwh
+            + params.gas_per_area_kg
+            + params.material_per_area_kg
+        )
+        die_yield = self.yield_model.die_yield(spec.die_area_mm2)
+        return per_area * area_cm2 / die_yield + self.packaging_kg
+
+    def operational_kg(self, spec: ActChipSpec) -> float:
+        """Use-phase carbon over the chip's lifetime."""
+        energy_kwh = spec.avg_power_w * spec.lifetime_hours / 1000.0
+        return self.use_grid.kg_per_kwh * energy_kwh
+
+    def footprint(self, spec: ActChipSpec) -> ActFootprint:
+        """Full absolute footprint for one chip."""
+        return ActFootprint(
+            name=spec.name,
+            embodied_kg=self.embodied_kg(spec),
+            operational_kg=self.operational_kg(spec),
+        )

@@ -1,0 +1,126 @@
+"""Full-device ACT-style estimation: chip + memory + storage + rest.
+
+ACT's public model covers more than logic dies: DRAM and NAND embodied
+footprints scale per GB, HDDs per TB, and the rest of the system
+(board, PSU, enclosure) is a per-device constant. This module extends
+:class:`~repro.act.model.ActModel` to whole devices, which
+
+* provides realistic component breakdowns for the §3.6 validation-
+  limits analysis (:class:`~repro.validation.lca.SystemLCA`), and
+* lets lifetime studies (:mod:`repro.lifetime`) work at device rather
+  than chip granularity.
+
+The per-GB/per-TB constants are representative of public LCA ranges
+(DESIGN.md documents the substitution policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.quantities import ensure_non_negative
+from ..validation.lca import SystemLCA
+from .model import ActChipSpec, ActModel
+
+__all__ = ["DeviceSpec", "DeviceFootprintBreakdown", "SystemActModel"]
+
+#: Representative embodied intensities (kg CO2e per unit).
+DRAM_KG_PER_GB = 2.3
+NAND_KG_PER_GB = 0.07
+HDD_KG_PER_TB = 15.0
+BOARD_AND_PSU_KG = 25.0
+ENCLOSURE_KG = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """A whole device: its processor plus commodity components."""
+
+    chip: ActChipSpec
+    dram_gb: float = 16.0
+    nand_gb: float = 512.0
+    hdd_tb: float = 0.0
+    #: Average power of everything that is not the processor (W).
+    rest_of_system_power_w: float = 20.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("dram_gb", "nand_gb", "hdd_tb", "rest_of_system_power_w"):
+            object.__setattr__(
+                self,
+                field_name,
+                ensure_non_negative(getattr(self, field_name), field_name),
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceFootprintBreakdown:
+    """Component-level totals (kg CO2e over the device's life)."""
+
+    name: str
+    chip_embodied: float
+    chip_operational: float
+    dram: float
+    storage: float
+    board: float
+    enclosure: float
+    rest_operational: float
+
+    @property
+    def chip_total(self) -> float:
+        return self.chip_embodied + self.chip_operational
+
+    @property
+    def device_total(self) -> float:
+        return (
+            self.chip_total
+            + self.dram
+            + self.storage
+            + self.board
+            + self.enclosure
+            + self.rest_operational
+        )
+
+    @property
+    def chip_share(self) -> float:
+        """The processor's share of the device total — what an LCA
+        report hides and §3.6 needs."""
+        total = self.device_total
+        return self.chip_total / total if total else 0.0
+
+    def as_system_lca(self) -> SystemLCA:
+        """Expose the breakdown to the validation-limits analysis."""
+        return SystemLCA(
+            name=self.name,
+            chip=self.chip_total,
+            other_components={
+                "memory": self.dram,
+                "storage": self.storage,
+                "board": self.board,
+                "enclosure": self.enclosure,
+                "use-phase (non-chip)": self.rest_operational,
+            },
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SystemActModel:
+    """Whole-device estimator wrapping the chip-level ACT model."""
+
+    chip_model: ActModel = ActModel()
+
+    def breakdown(self, device: DeviceSpec) -> DeviceFootprintBreakdown:
+        chip = device.chip
+        rest_energy_kwh = (
+            device.rest_of_system_power_w * chip.lifetime_hours / 1000.0
+        )
+        return DeviceFootprintBreakdown(
+            name=chip.name,
+            chip_embodied=self.chip_model.embodied_kg(chip),
+            chip_operational=self.chip_model.operational_kg(chip),
+            dram=device.dram_gb * DRAM_KG_PER_GB,
+            storage=device.nand_gb * NAND_KG_PER_GB
+            + device.hdd_tb * HDD_KG_PER_TB,
+            board=BOARD_AND_PSU_KG,
+            enclosure=ENCLOSURE_KG,
+            rest_operational=self.chip_model.use_grid.kg_per_kwh * rest_energy_kwh,
+        )

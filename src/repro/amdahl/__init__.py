@@ -1,0 +1,23 @@
+"""Multicore performance/power laws: Amdahl, Pollack, Hill–Marty and
+the Woo–Lee energy extensions (paper §5.1–§5.2)."""
+
+from .asymmetric import AsymmetricMulticore
+from .dynamic import DynamicMulticore
+from .pollack import (
+    big_core_design,
+    pollack_energy,
+    pollack_performance,
+    pollack_power,
+)
+from .symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+
+__all__ = [
+    "SymmetricMulticore",
+    "AsymmetricMulticore",
+    "DynamicMulticore",
+    "DEFAULT_LEAKAGE",
+    "pollack_performance",
+    "pollack_power",
+    "pollack_energy",
+    "big_core_design",
+]

@@ -1,0 +1,140 @@
+"""Asymmetric multicore: Hill–Marty + Woo–Lee (paper §5.2, Figure 4).
+
+An asymmetric multicore of ``N`` BCEs integrates one big core of ``M``
+BCEs (performance ``sqrt(M)`` by Pollack's rule, power ``M``) alongside
+``N - M`` small one-BCE cores. The serial phase runs on the big core;
+the parallel phase runs on the small cores while the big core idles.
+
+* speedup (paper Eq. 4):
+
+      S = 1 / ((1 - f) / sqrt(M) + f / (N - M))
+
+* average power (paper Eq. 5): serial phase lasts
+  ``(1 - f)/sqrt(M)`` and burns ``M + (N - M) gamma``; the parallel
+  phase lasts ``f/(N - M)`` and burns ``M gamma + (N - M)``:
+
+      P = [ (1-f)/sqrt(M) * (M + (N-M) g) + f/(N-M) * (M g + (N-M)) ] / T
+
+* energy per unit work (paper Eq. 6 = P / S = the numerator above).
+
+Note the paper's model runs the parallel phase on the small cores only
+(the big core idles); a variant where the big core helps is implemented
+in :mod:`repro.amdahl.dynamic`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.errors import DomainError
+from ..core.quantities import ensure_fraction, ensure_int_at_least
+from .symmetric import DEFAULT_LEAKAGE
+
+__all__ = ["AsymmetricMulticore"]
+
+
+@dataclass(frozen=True, slots=True)
+class AsymmetricMulticore:
+    """One ``big_core_bces``-BCE big core plus ``total_bces - big_core_bces``
+    small one-BCE cores.
+
+    The paper's Figure 4 uses ``big_core_bces = 4`` with
+    ``total_bces`` in {8, 16, 32}.
+    """
+
+    total_bces: int
+    big_core_bces: int
+    parallel_fraction: float
+    leakage: float = DEFAULT_LEAKAGE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "total_bces", ensure_int_at_least(self.total_bces, 2, "total_bces")
+        )
+        object.__setattr__(
+            self,
+            "big_core_bces",
+            ensure_int_at_least(self.big_core_bces, 1, "big_core_bces"),
+        )
+        if self.big_core_bces >= self.total_bces:
+            raise DomainError(
+                f"big core ({self.big_core_bces} BCEs) must leave at least one "
+                f"small core on a {self.total_bces}-BCE chip"
+            )
+        object.__setattr__(
+            self,
+            "parallel_fraction",
+            ensure_fraction(self.parallel_fraction, "parallel_fraction"),
+        )
+        object.__setattr__(self, "leakage", ensure_fraction(self.leakage, "leakage"))
+
+    # -- structure ------------------------------------------------------
+    @property
+    def small_cores(self) -> int:
+        """Number of one-BCE small cores (``N - M``)."""
+        return self.total_bces - self.big_core_bces
+
+    @property
+    def area(self) -> float:
+        """Chip area in BCEs."""
+        return float(self.total_bces)
+
+    @property
+    def big_core_perf(self) -> float:
+        """Big-core performance by Pollack's rule: ``sqrt(M)``."""
+        return math.sqrt(self.big_core_bces)
+
+    # -- timing ----------------------------------------------------------
+    @property
+    def serial_time(self) -> float:
+        """Serial phase duration: ``(1 - f) / sqrt(M)``."""
+        return (1.0 - self.parallel_fraction) / self.big_core_perf
+
+    @property
+    def parallel_time(self) -> float:
+        """Parallel phase duration: ``f / (N - M)``."""
+        return self.parallel_fraction / self.small_cores
+
+    @property
+    def speedup(self) -> float:
+        """Hill–Marty asymmetric speedup (paper Eq. 4)."""
+        return 1.0 / (self.serial_time + self.parallel_time)
+
+    # -- power/energy (Woo & Lee) ----------------------------------------
+    @property
+    def serial_power(self) -> float:
+        """Power during the serial phase: big core active, small idle."""
+        return self.big_core_bces + self.small_cores * self.leakage
+
+    @property
+    def parallel_power(self) -> float:
+        """Power during the parallel phase: small active, big idle."""
+        return self.big_core_bces * self.leakage + self.small_cores
+
+    @property
+    def energy(self) -> float:
+        """Energy per unit work (paper Eq. 6)."""
+        return (
+            self.serial_time * self.serial_power
+            + self.parallel_time * self.parallel_power
+        )
+
+    @property
+    def power(self) -> float:
+        """Average power (paper Eq. 5) = energy x speedup."""
+        return self.energy * self.speedup
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        """This asymmetric multicore as a normalized design point."""
+        return DesignPoint(
+            name=name
+            or (
+                f"asym {self.total_bces}BCE (1x{self.big_core_bces}+"
+                f"{self.small_cores}x1) f={self.parallel_fraction:g}"
+            ),
+            area=self.area,
+            perf=self.speedup,
+            power=self.power,
+        )

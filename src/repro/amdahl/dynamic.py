@@ -1,0 +1,86 @@
+"""Dynamic multicore (Hill–Marty's third organization).
+
+The paper's §5.1–§5.2 evaluate the symmetric and asymmetric
+organizations; Hill & Marty's original article also analyzes a
+*dynamic* multicore that fuses all ``N`` BCEs into one powerful
+``sqrt(N)``-performance core for the serial phase and splits them into
+``N`` base cores for the parallel phase. We include it as the natural
+extension study (it upper-bounds both other organizations on
+performance) together with a Woo–Lee-style power model:
+
+* serial phase, duration ``(1 - f)/sqrt(N)``: all BCEs active as one
+  big core, power ``N``;
+* parallel phase, duration ``f/N``: ``N`` base cores active, power
+  ``N``.
+
+Since both phases burn ``N`` units, average power is exactly ``N`` and
+energy is ``N / S``. Dynamic multicore therefore trades the best-in-
+class speedup against the worst-in-class power draw — a textbook
+weakly-sustainable mechanism, which the ablation benchmark
+(`benchmarks/bench_ablation_dynamic.py`) quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.quantities import ensure_fraction, ensure_int_at_least
+from .symmetric import DEFAULT_LEAKAGE
+
+__all__ = ["DynamicMulticore"]
+
+
+@dataclass(frozen=True, slots=True)
+class DynamicMulticore:
+    """A dynamic (fusable) multicore of ``bces`` base-core equivalents."""
+
+    bces: int
+    parallel_fraction: float
+    leakage: float = DEFAULT_LEAKAGE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bces", ensure_int_at_least(self.bces, 1, "bces"))
+        object.__setattr__(
+            self,
+            "parallel_fraction",
+            ensure_fraction(self.parallel_fraction, "parallel_fraction"),
+        )
+        object.__setattr__(self, "leakage", ensure_fraction(self.leakage, "leakage"))
+
+    @property
+    def area(self) -> float:
+        return float(self.bces)
+
+    @property
+    def serial_time(self) -> float:
+        """Serial phase on the fused core: ``(1 - f) / sqrt(N)``."""
+        return (1.0 - self.parallel_fraction) / math.sqrt(self.bces)
+
+    @property
+    def parallel_time(self) -> float:
+        return self.parallel_fraction / self.bces
+
+    @property
+    def speedup(self) -> float:
+        """Hill–Marty dynamic speedup: 1 / ((1-f)/sqrt(N) + f/N)."""
+        return 1.0 / (self.serial_time + self.parallel_time)
+
+    @property
+    def power(self) -> float:
+        """All BCEs are busy in both phases, so average power is N."""
+        return float(self.bces)
+
+    @property
+    def energy(self) -> float:
+        """Energy per unit work: ``N / S``."""
+        return self.power / self.speedup
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        return DesignPoint(
+            name=name or f"dyn {self.bces}BCE f={self.parallel_fraction:g}",
+            area=self.area,
+            perf=self.speedup,
+            power=self.power,
+        )

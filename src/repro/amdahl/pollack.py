@@ -1,0 +1,56 @@
+"""Pollack's rule (paper §5.1).
+
+Single-core performance grows with the square root of the resources
+(area) invested: a core built from ``r`` base-core equivalents (BCEs)
+delivers ``sqrt(r)`` the performance of a one-BCE core (Borkar,
+DAC'07). The paper further assumes a core's power consumption is
+proportional to its BCE count, so an ``r``-BCE core consumes ``r``
+units of power and ``r / sqrt(r) = sqrt(r)`` units of energy per unit
+work.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.design import DesignPoint
+from ..core.quantities import ensure_positive
+
+__all__ = [
+    "pollack_performance",
+    "pollack_power",
+    "pollack_energy",
+    "big_core_design",
+]
+
+
+def pollack_performance(bces: float) -> float:
+    """Performance of a single core of *bces* BCEs: ``sqrt(bces)``."""
+    return math.sqrt(ensure_positive(bces, "bces"))
+
+
+def pollack_power(bces: float) -> float:
+    """Power of a single core of *bces* BCEs (one unit per BCE)."""
+    return ensure_positive(bces, "bces")
+
+
+def pollack_energy(bces: float) -> float:
+    """Energy per unit work of a *bces*-BCE core: power / performance
+    = ``sqrt(bces)``."""
+    return pollack_power(bces) / pollack_performance(bces)
+
+
+def big_core_design(bces: float, name: str | None = None) -> DesignPoint:
+    """A single big core of *bces* BCEs as a design point.
+
+    Normalized to the one-BCE single core: area = bces,
+    perf = sqrt(bces), power = bces. This is the "single-core" curve in
+    the paper's Figure 3(d).
+    """
+    bces = ensure_positive(bces, "bces")
+    return DesignPoint(
+        name=name or f"single-core {bces:g} BCE",
+        area=bces,
+        perf=pollack_performance(bces),
+        power=pollack_power(bces),
+    )

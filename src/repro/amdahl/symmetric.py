@@ -1,0 +1,106 @@
+"""Symmetric multicore: Hill–Marty speedup + Woo–Lee power/energy
+(paper §5.1, Figure 3).
+
+A chip of ``N`` one-BCE cores running software with parallel fraction
+``f``:
+
+* speedup over a one-BCE single core (Hill & Marty, Eq. 1):
+
+      S = 1 / ((1 - f) + f / N)
+
+* average power (Woo & Lee, Eq. 2), with idle cores leaking ``gamma``
+  units each (0 < gamma < 1; an active core consumes one unit):
+
+      P = (1 + (1 - f) (N - 1) gamma) / ((1 - f) + f / N)
+
+* energy per unit work (Eq. 3 = Eq. 2 / Eq. 1):
+
+      E = 1 + (1 - f) (N - 1) gamma
+
+All quantities are normalized to the one-BCE single core, which makes
+:class:`SymmetricMulticore.design_point` directly chartable on the
+paper's axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.quantities import ensure_fraction, ensure_int_at_least
+
+__all__ = ["SymmetricMulticore", "DEFAULT_LEAKAGE"]
+
+#: The paper's leakage factor for an idle core (gamma).
+DEFAULT_LEAKAGE = 0.2
+
+
+@dataclass(frozen=True, slots=True)
+class SymmetricMulticore:
+    """A symmetric multicore of ``cores`` one-BCE cores.
+
+    Parameters
+    ----------
+    cores:
+        Number of cores (= BCEs), >= 1.
+    parallel_fraction:
+        Fraction ``f`` of sequential execution time that parallelizes,
+        in [0, 1].
+    leakage:
+        Idle-core leakage power ``gamma`` as a fraction of active
+        power, in [0, 1]. The paper uses 0.2.
+    """
+
+    cores: int
+    parallel_fraction: float
+    leakage: float = DEFAULT_LEAKAGE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cores", ensure_int_at_least(self.cores, 1, "cores"))
+        object.__setattr__(
+            self,
+            "parallel_fraction",
+            ensure_fraction(self.parallel_fraction, "parallel_fraction"),
+        )
+        object.__setattr__(self, "leakage", ensure_fraction(self.leakage, "leakage"))
+
+    # -- derived quantities (normalized to the one-BCE single core) ----
+    @property
+    def area(self) -> float:
+        """Chip area in BCEs."""
+        return float(self.cores)
+
+    @property
+    def serial_time(self) -> float:
+        """Time spent in the serial phase (baseline total time = 1)."""
+        return 1.0 - self.parallel_fraction
+
+    @property
+    def parallel_time(self) -> float:
+        """Time spent in the parallel phase."""
+        return self.parallel_fraction / self.cores
+
+    @property
+    def speedup(self) -> float:
+        """Hill–Marty speedup (paper Eq. 1)."""
+        return 1.0 / (self.serial_time + self.parallel_time)
+
+    @property
+    def energy(self) -> float:
+        """Energy per unit work (paper Eq. 3)."""
+        return 1.0 + (1.0 - self.parallel_fraction) * (self.cores - 1) * self.leakage
+
+    @property
+    def power(self) -> float:
+        """Average power (paper Eq. 2) = energy x speedup."""
+        return self.energy * self.speedup
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        """This multicore as a normalized design point."""
+        return DesignPoint(
+            name=name
+            or f"sym {self.cores}c f={self.parallel_fraction:g} g={self.leakage:g}",
+            area=self.area,
+            perf=self.speedup,
+            power=self.power,
+        )

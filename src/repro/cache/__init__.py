@@ -1,0 +1,25 @@
+"""Last-level-cache sustainability study (paper §5.5, Figure 6)."""
+
+from .cacti import CACTI_65NM_LLC, CactiCacheModel
+from .hierarchy import PAPER_LLC_WORKLOAD, CachedProcessor, MemoryBoundWorkload
+from .llc_study import (
+    PAPER_LLC_SIZES_MB,
+    LLCPoint,
+    classify_llc,
+    llc_sweep,
+)
+from .missrate import SQRT2_RULE, MissRateModel
+
+__all__ = [
+    "CactiCacheModel",
+    "CACTI_65NM_LLC",
+    "MissRateModel",
+    "SQRT2_RULE",
+    "MemoryBoundWorkload",
+    "PAPER_LLC_WORKLOAD",
+    "CachedProcessor",
+    "LLCPoint",
+    "llc_sweep",
+    "classify_llc",
+    "PAPER_LLC_SIZES_MB",
+]

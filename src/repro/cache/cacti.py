@@ -1,0 +1,103 @@
+"""Mini-CACTI: last-level-cache area and access-energy scaling.
+
+The paper's §5.5 uses CACTI 5.1 results at 65 nm for LLCs of 1–16 MB:
+
+* area grows by a factor **20.7x** from 1 MB to 16 MB;
+* access energy grows from **0.55 nJ** (1 MB) to **2.9 nJ** (16 MB).
+
+Only the anchors are quoted; intermediate sizes follow a power law
+fitted through the anchors (``factor = size^p`` with ``p`` chosen so
+the 16 MB anchor is hit exactly). A power law is the natural CACTI
+first-order behaviour: slightly super-linear area (extra decode/wiring)
+and sub-linear access energy per the usual ~sqrt banking trends.
+
+This is the substitution documented in DESIGN.md: we do not run CACTI
+(not available offline); the study's conclusions depend only on the
+anchor values and monotone interpolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.quantities import ensure_positive
+
+__all__ = ["CactiCacheModel", "CACTI_65NM_LLC"]
+
+
+@dataclass(frozen=True, slots=True)
+class CactiCacheModel:
+    """Power-law cache area/energy model through two anchor points.
+
+    Parameters
+    ----------
+    base_size_mb:
+        Anchor size (1 MB in the paper).
+    base_access_energy_nj:
+        Access energy at the anchor (0.55 nJ).
+    anchor_size_mb / anchor_area_factor / anchor_access_energy_nj:
+        Second anchor: at ``anchor_size_mb`` the area is
+        ``anchor_area_factor`` times the base area and an access costs
+        ``anchor_access_energy_nj``.
+    """
+
+    base_size_mb: float = 1.0
+    base_access_energy_nj: float = 0.55
+    anchor_size_mb: float = 16.0
+    anchor_area_factor: float = 20.7
+    anchor_access_energy_nj: float = 2.9
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "base_size_mb",
+            "base_access_energy_nj",
+            "anchor_size_mb",
+            "anchor_area_factor",
+            "anchor_access_energy_nj",
+        ):
+            object.__setattr__(
+                self, field_name, ensure_positive(getattr(self, field_name), field_name)
+            )
+        if self.anchor_size_mb <= self.base_size_mb:
+            from ..core.errors import ValidationError
+
+            raise ValidationError(
+                "anchor_size_mb must exceed base_size_mb for the power-law fit"
+            )
+
+    @property
+    def area_exponent(self) -> float:
+        """p with area_factor(size) = (size/base)^p; ~1.093 for the
+        paper's anchors (slightly super-linear)."""
+        ratio = self.anchor_size_mb / self.base_size_mb
+        return math.log(self.anchor_area_factor) / math.log(ratio)
+
+    @property
+    def energy_exponent(self) -> float:
+        """q with access_energy(size) = base * (size/base)^q; ~0.60 for
+        the paper's anchors (sub-linear, sqrt-like)."""
+        ratio = self.anchor_size_mb / self.base_size_mb
+        energy_ratio = self.anchor_access_energy_nj / self.base_access_energy_nj
+        return math.log(energy_ratio) / math.log(ratio)
+
+    def area_factor(self, size_mb: float) -> float:
+        """Cache area relative to the base size."""
+        size_mb = ensure_positive(size_mb, "size_mb")
+        return (size_mb / self.base_size_mb) ** self.area_exponent
+
+    def access_energy_nj(self, size_mb: float) -> float:
+        """Energy per cache access in nJ."""
+        size_mb = ensure_positive(size_mb, "size_mb")
+        return (
+            self.base_access_energy_nj
+            * (size_mb / self.base_size_mb) ** self.energy_exponent
+        )
+
+    def access_energy_factor(self, size_mb: float) -> float:
+        """Access energy relative to the base size."""
+        return self.access_energy_nj(size_mb) / self.base_access_energy_nj
+
+
+#: The paper's CACTI 5.1 @ 65 nm anchors.
+CACTI_65NM_LLC = CactiCacheModel()

@@ -1,0 +1,188 @@
+"""Workload + memory-hierarchy model for the LLC study (paper §5.5).
+
+The paper assumes a memory-intensive workload that, with the baseline
+1 MB LLC, spends 80 % of its execution *time* and 80 % of its *energy*
+waiting on memory. Growing the LLC cuts misses per the sqrt rule, which
+proportionally cuts both memory stall time and memory energy; the LLC
+itself costs more area and more energy per access.
+
+Execution time (baseline = 1):
+
+    T(s) = (1 - stall_share) + stall_share * miss_ratio(s)
+
+Energy (baseline = 1), split core / cache / memory:
+
+    E(s) = core_share + cache_share * access_energy_factor(s)
+                      + memory_share * miss_ratio(s)
+
+The paper fixes ``memory_share = 0.8`` and leaves the core/cache split
+of the remaining 0.2 unquantified; we default to cache_share = 0.05
+(cache access energy a quarter of the non-memory energy), a parameter
+exposed for sensitivity analysis. The study's qualitative conclusions
+(Finding #8) are insensitive to this split — see
+``benchmarks/bench_ablation_cache_split.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_fraction, ensure_positive
+from .cacti import CACTI_65NM_LLC, CactiCacheModel
+from .missrate import SQRT2_RULE, MissRateModel
+
+__all__ = ["MemoryBoundWorkload", "CachedProcessor", "PAPER_LLC_WORKLOAD"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryBoundWorkload:
+    """Execution-time and energy decomposition at the baseline cache.
+
+    Parameters
+    ----------
+    memory_time_share:
+        Fraction of execution time stalled on memory at the base LLC
+        (0.8 in the paper).
+    memory_energy_share:
+        Fraction of total energy spent in memory at the base LLC (0.8).
+    cache_energy_share:
+        Fraction of total energy spent in the LLC at the base size
+        (default 0.05; must satisfy memory + cache <= 1).
+    """
+
+    memory_time_share: float = 0.8
+    memory_energy_share: float = 0.8
+    cache_energy_share: float = 0.05
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "memory_time_share",
+            ensure_fraction(self.memory_time_share, "memory_time_share"),
+        )
+        object.__setattr__(
+            self,
+            "memory_energy_share",
+            ensure_fraction(self.memory_energy_share, "memory_energy_share"),
+        )
+        object.__setattr__(
+            self,
+            "cache_energy_share",
+            ensure_fraction(self.cache_energy_share, "cache_energy_share"),
+        )
+        if self.memory_energy_share + self.cache_energy_share > 1.0:
+            raise ValidationError(
+                "memory_energy_share + cache_energy_share must not exceed 1"
+            )
+
+    @property
+    def core_energy_share(self) -> float:
+        return 1.0 - self.memory_energy_share - self.cache_energy_share
+
+    @property
+    def core_time_share(self) -> float:
+        return 1.0 - self.memory_time_share
+
+
+#: The paper's workload: 80 % of time and energy in memory at 1 MB.
+PAPER_LLC_WORKLOAD = MemoryBoundWorkload()
+
+
+@dataclass(frozen=True, slots=True)
+class CachedProcessor:
+    """A core + LLC whose cache size is the design variable.
+
+    Parameters
+    ----------
+    llc_size_mb:
+        The LLC capacity under study.
+    base_llc_size_mb:
+        The baseline capacity everything is normalized to (1 MB).
+    llc_area_share:
+        LLC area as a fraction of the *core* area at the base size
+        (0.25 in the paper: "the 1 MB LLC occupies 25 % of the core
+        chip area").
+    workload, cacti, missrate:
+        The workload decomposition and the scaling models.
+    """
+
+    llc_size_mb: float
+    base_llc_size_mb: float = 1.0
+    llc_area_share: float = 0.25
+    workload: MemoryBoundWorkload = PAPER_LLC_WORKLOAD
+    cacti: CactiCacheModel = CACTI_65NM_LLC
+    missrate: MissRateModel = SQRT2_RULE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "llc_size_mb", ensure_positive(self.llc_size_mb, "llc_size_mb")
+        )
+        object.__setattr__(
+            self,
+            "base_llc_size_mb",
+            ensure_positive(self.base_llc_size_mb, "base_llc_size_mb"),
+        )
+        object.__setattr__(
+            self,
+            "llc_area_share",
+            ensure_positive(self.llc_area_share, "llc_area_share"),
+        )
+
+    # -- scaling factors relative to the base configuration -------------
+    @property
+    def miss_ratio(self) -> float:
+        return self.missrate.miss_ratio(self.llc_size_mb, self.base_llc_size_mb)
+
+    @property
+    def cache_area_factor(self) -> float:
+        return self.cacti.area_factor(self.llc_size_mb) / self.cacti.area_factor(
+            self.base_llc_size_mb
+        )
+
+    @property
+    def cache_energy_factor(self) -> float:
+        return self.cacti.access_energy_factor(
+            self.llc_size_mb
+        ) / self.cacti.access_energy_factor(self.base_llc_size_mb)
+
+    # -- first-order quantities (base configuration = 1) ----------------
+    @property
+    def area(self) -> float:
+        """Chip area (core + LLC) relative to the base chip."""
+        base_chip = 1.0 + self.llc_area_share
+        chip = 1.0 + self.llc_area_share * self.cache_area_factor
+        return chip / base_chip
+
+    @property
+    def exec_time(self) -> float:
+        """Execution time relative to the base chip."""
+        w = self.workload
+        return w.core_time_share + w.memory_time_share * self.miss_ratio
+
+    @property
+    def perf(self) -> float:
+        return 1.0 / self.exec_time
+
+    @property
+    def energy(self) -> float:
+        """Energy per unit work relative to the base chip."""
+        w = self.workload
+        return (
+            w.core_energy_share
+            + w.cache_energy_share * self.cache_energy_factor
+            + w.memory_energy_share * self.miss_ratio
+        )
+
+    @property
+    def power(self) -> float:
+        return self.energy / self.exec_time
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        return DesignPoint(
+            name=name or f"LLC {self.llc_size_mb:g}MB",
+            area=self.area,
+            perf=self.perf,
+            power=self.power,
+        )

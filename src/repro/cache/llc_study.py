@@ -1,0 +1,78 @@
+"""The LLC sizing study (paper §5.5, Figure 6, Finding #8).
+
+Sweeps the LLC from 1 MB to 16 MB in powers of two and computes the
+NCF of each size against the 1 MB baseline under both scenarios and
+both alpha regimes — the four curves of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..core.classify import Sustainability, classify_values
+from ..core.design import DesignPoint
+from ..core.ncf import ncf
+from ..core.scenario import UseScenario
+from .hierarchy import CachedProcessor
+
+__all__ = ["LLCPoint", "llc_sweep", "classify_llc", "PAPER_LLC_SIZES_MB"]
+
+#: The paper's sweep: 1 MB to 16 MB in powers of two.
+PAPER_LLC_SIZES_MB: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True, slots=True)
+class LLCPoint:
+    """One cache size with its chart coordinates."""
+
+    size_mb: float
+    perf: float
+    ncf_fixed_work: float
+    ncf_fixed_time: float
+
+    @property
+    def category(self) -> Sustainability:
+        return classify_values(self.ncf_fixed_work, self.ncf_fixed_time)
+
+
+def llc_sweep(
+    alpha: float,
+    sizes_mb: Sequence[float] = PAPER_LLC_SIZES_MB,
+    *,
+    template: CachedProcessor | None = None,
+) -> list[LLCPoint]:
+    """NCF versus performance for each LLC size at the given alpha.
+
+    ``template`` carries the workload/model configuration; its
+    ``llc_size_mb`` is overridden per sweep point. Every point is
+    normalized to the first size in *sizes_mb* — pass the paper's list
+    to normalize to 1 MB as Figure 6 does.
+    """
+    base = template or CachedProcessor(llc_size_mb=sizes_mb[0])
+    baseline_proc = replace(base, llc_size_mb=sizes_mb[0])
+    baseline: DesignPoint = baseline_proc.design_point()
+    points = []
+    for size in sizes_mb:
+        proc = replace(base, llc_size_mb=size)
+        design = proc.design_point()
+        points.append(
+            LLCPoint(
+                size_mb=size,
+                perf=design.perf_ratio(baseline),
+                ncf_fixed_work=ncf(design, baseline, UseScenario.FIXED_WORK, alpha),
+                ncf_fixed_time=ncf(design, baseline, UseScenario.FIXED_TIME, alpha),
+            )
+        )
+    return points
+
+
+def classify_llc(
+    size_mb: float,
+    alpha: float,
+    *,
+    template: CachedProcessor | None = None,
+) -> Sustainability:
+    """Sustainability category of growing the LLC from 1 MB to *size_mb*."""
+    points = llc_sweep(alpha, (1.0, size_mb), template=template)
+    return points[-1].category

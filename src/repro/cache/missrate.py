@@ -1,0 +1,54 @@
+"""Cache miss-rate scaling: the sqrt(2) rule (paper §5.5).
+
+Hartstein et al. (JILP 2008) observe empirically that cache miss rate
+scales with the inverse square root of capacity: doubling the cache
+cuts the miss rate by sqrt(2). The paper adopts this rule and further
+assumes memory stall time is proportional to miss rate.
+
+The exponent is a parameter (default 0.5) so sensitivity studies can
+probe friendlier or harsher workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.quantities import ensure_in_range, ensure_positive
+
+__all__ = ["MissRateModel", "SQRT2_RULE"]
+
+
+@dataclass(frozen=True, slots=True)
+class MissRateModel:
+    """Power-law miss-rate model: ``miss(size) ∝ size^(-exponent)``."""
+
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "exponent", ensure_in_range(self.exponent, 0.0, 1.0, "exponent")
+        )
+
+    def miss_ratio(self, size_mb: float, base_size_mb: float = 1.0) -> float:
+        """Miss rate relative to the base cache size (1.0 at base).
+
+        ``miss_ratio(4, 1) == 0.5`` under the sqrt rule: a 4x cache
+        halves the misses.
+        """
+        size = ensure_positive(size_mb, "size_mb")
+        base = ensure_positive(base_size_mb, "base_size_mb")
+        return (base / size) ** self.exponent
+
+    def capacity_for_miss_ratio(self, target_ratio: float, base_size_mb: float = 1.0) -> float:
+        """Inverse: the capacity needed to reach a target miss ratio."""
+        target = ensure_positive(target_ratio, "target_ratio")
+        base = ensure_positive(base_size_mb, "base_size_mb")
+        if self.exponent == 0.0:
+            from ..core.errors import DomainError
+
+            raise DomainError("miss rate does not depend on capacity when exponent=0")
+        return base * target ** (-1.0 / self.exponent)
+
+
+#: Hartstein et al.'s empirical rule, as used by the paper.
+SQRT2_RULE = MissRateModel(exponent=0.5)

@@ -1,0 +1,286 @@
+"""Command-line interface: regenerate any paper figure or the findings
+table from a terminal.
+
+Examples
+--------
+::
+
+    focal list
+    focal figure figure3                  # ASCII charts for all panels
+    focal figure figure6 --format csv
+    focal figure figure9 --out fig9.json
+    focal findings                        # the Findings #1-#17 table
+    focal findings --failed-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .report.ascii_plot import render_panel
+from .report.export import figure_to_csv, figure_to_json, figure_to_markdown, write_figure
+from .report.table import format_mapping_rows
+from .studies.findings import all_findings
+from .studies.registry import run_study, study_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="focal",
+        description="FOCAL (ASPLOS'24) reproduction: figures and findings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    fig = sub.add_parser("figure", help="regenerate one figure")
+    fig.add_argument("name", help=f"one of: {', '.join(study_names())}")
+    fig.add_argument(
+        "--format",
+        choices=("ascii", "csv", "json", "md", "html"),
+        default="ascii",
+        help="output format (default: ascii charts)",
+    )
+    fig.add_argument("--out", help="write to this file (suffix picks the format)")
+
+    findings = sub.add_parser("findings", help="verify Findings #1-#17")
+    findings.add_argument(
+        "--failed-only", action="store_true", help="only print failing checks"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="classify an ad-hoc design pair (X vs Y)"
+    )
+    for side in ("x", "y"):
+        compare.add_argument(
+            f"--{side}",
+            nargs=3,
+            type=float,
+            metavar=("AREA", "PERF", "POWER"),
+            required=True,
+            help=f"design {side.upper()}: area perf power",
+        )
+    compare.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="single embodied-to-operational weight (default: both paper regimes)",
+    )
+
+    road = sub.add_parser(
+        "roadmap", help="Moore's-Law roadmap: shrink vs constant-area policies"
+    )
+    road.add_argument("--generations", type=int, default=6)
+    road.add_argument("--cores", type=int, default=4)
+    road.add_argument("--parallel-fraction", type=float, default=0.75)
+
+    sub.add_parser(
+        "mechanisms",
+        help="the paper's strong/weak/less categorization table (§5-§6)",
+    )
+
+    advise = sub.add_parser(
+        "advise", help="rank the paper's mechanisms for a workload class"
+    )
+    advise.add_argument(
+        "workload",
+        help="a roster workload (desktop, mobile, datacenter, "
+        "hpc-strong-scaling, memory-intensive)",
+    )
+    advise.add_argument(
+        "--regime",
+        choices=("embodied", "operational"),
+        default="embodied",
+        help="which footprint dominates the device (default: embodied)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in study_names():
+        print(name)
+    return 0
+
+
+def _cmd_figure(name: str, fmt: str, out: str | None) -> int:
+    figure = run_study(name)
+    if out:
+        path = write_figure(figure, out)
+        print(f"wrote {path}")
+        return 0
+    if fmt == "csv":
+        print(figure_to_csv(figure), end="")
+    elif fmt == "json":
+        print(figure_to_json(figure))
+    elif fmt == "md":
+        print(figure_to_markdown(figure))
+    elif fmt == "html":
+        from .report.svg import figure_to_html
+
+        print(figure_to_html(figure))
+    else:
+        print(f"== {figure.figure_id}: {figure.caption}")
+        for note in figure.notes:
+            print(f"   note: {note}")
+        for panel in figure.panels:
+            print()
+            print(render_panel(panel))
+    return 0
+
+
+def _cmd_findings(failed_only: bool) -> int:
+    checks = all_findings()
+    shown = [c for c in checks if not (failed_only and c.passed)]
+    failed = [c for c in checks if not c.passed]
+    if shown:
+        rows = [check.as_dict() for check in shown]
+        print(
+            format_mapping_rows(
+                rows,
+                columns=["finding", "claim", "paper", "computed", "passed"],
+                title="FOCAL findings verification",
+            )
+        )
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} checks pass")
+    return 1 if failed else 0
+
+
+def _cmd_compare(x: list[float], y: list[float], alpha: float | None) -> int:
+    from .core.classify import classify
+    from .core.design import DesignPoint
+    from .core.scenario import STANDARD_WEIGHTS
+
+    design_x = DesignPoint("X", area=x[0], perf=x[1], power=x[2])
+    design_y = DesignPoint("Y", area=y[0], perf=y[1], power=y[2])
+    alphas = (
+        [(f"alpha={alpha:g}", alpha)]
+        if alpha is not None
+        else [(w.name, w.alpha) for w in STANDARD_WEIGHTS]
+    )
+    rows = []
+    for label, value in alphas:
+        verdict = classify(design_x, design_y, value)
+        rows.append(
+            {
+                "regime": label,
+                "alpha": value,
+                "NCF_fw": verdict.ncf_fixed_work,
+                "NCF_ft": verdict.ncf_fixed_time,
+                "verdict": verdict.category.value,
+            }
+        )
+    print(
+        format_mapping_rows(
+            rows,
+            title=(
+                f"X(area={x[0]:g}, perf={x[1]:g}, power={x[2]:g}) vs "
+                f"Y(area={y[0]:g}, perf={y[1]:g}, power={y[2]:g})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_roadmap(generations: int, cores: int, parallel_fraction: float) -> int:
+    from .core.scenario import UseScenario
+    from .technode.roadmap import RoadmapPolicy, roadmap
+
+    for policy in RoadmapPolicy:
+        points = roadmap(
+            policy,
+            generations,
+            start_cores=cores,
+            parallel_fraction=parallel_fraction,
+        )
+        rows = [
+            {
+                "gen": p.generation,
+                "cores": p.cores,
+                "embodied": p.embodied,
+                "perf": p.perf,
+                "power": p.power,
+                "NCF_fw(0.5)": p.ncf(UseScenario.FIXED_WORK, 0.5),
+                "NCF_ft(0.5)": p.ncf(UseScenario.FIXED_TIME, 0.5),
+            }
+            for p in points
+        ]
+        print(format_mapping_rows(rows, title=f"policy: {policy.value}"))
+        print()
+    return 0
+
+
+def _cmd_mechanisms() -> int:
+    from .studies.mechanisms import mechanism_catalogue
+
+    entries = mechanism_catalogue()
+    rows = [entry.as_dict() for entry in entries]
+    print(
+        format_mapping_rows(
+            rows,
+            columns=["mechanism", "section", "regime", "ncf_fw", "ncf_ft", "computed", "match"],
+            title="Archetypal mechanisms: strong/weak/less categorization (paper §5-§6)",
+        )
+    )
+    mismatches = [e for e in entries if not e.matches_paper]
+    print(f"\n{len(entries) - len(mismatches)}/{len(entries)} categories match the paper")
+    return 1 if mismatches else 0
+
+
+def _cmd_advise(workload_name: str, regime: str) -> int:
+    from .core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
+    from .workloads.advisor import advise
+    from .workloads.profiles import workload_by_name
+
+    workload = workload_by_name(workload_name)
+    weight = EMBODIED_DOMINATED if regime == "embodied" else OPERATIONAL_DOMINATED
+    rows = [
+        {
+            "mechanism": rec.mechanism,
+            "verdict": rec.category.value,
+            "NCF_fw": rec.verdict.ncf_fixed_work,
+            "NCF_ft": rec.verdict.ncf_fixed_time,
+            "perf": rec.perf_ratio,
+        }
+        for rec in advise(workload, weight)
+    ]
+    print(
+        format_mapping_rows(
+            rows,
+            title=(
+                f"{workload.name} (f={workload.parallel_fraction:g}, "
+                f"mem={workload.memory_time_share:g}, "
+                f"accel={workload.accelerator_utilization:g}) under "
+                f"{weight.name}"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_figure(args.name, args.format, args.out)
+    if args.command == "findings":
+        return _cmd_findings(args.failed_only)
+    if args.command == "compare":
+        return _cmd_compare(args.x, args.y, args.alpha)
+    if args.command == "roadmap":
+        return _cmd_roadmap(args.generations, args.cores, args.parallel_fraction)
+    if args.command == "advise":
+        return _cmd_advise(args.workload, args.regime)
+    if args.command == "mechanisms":
+        return _cmd_mechanisms()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Strong / weak / less sustainability classification (paper §4).
+
+FOCAL's fixed-work versus fixed-time distinction lets it classify a
+design choice ``X`` (relative to ``Y``):
+
+* **strongly sustainable** — lower footprint under *both* scenarios
+  (``NCF_fw < 1`` and ``NCF_ft < 1``): sustainable under all
+  circumstances, even under the rebound effect of increased usage;
+* **weakly sustainable** — lower footprint under exactly one scenario:
+  sustainable under specific circumstances only;
+* **less sustainable** — higher footprint under both scenarios
+  (``NCF_fw > 1`` and ``NCF_ft > 1``).
+
+Boundary cases (an NCF equal to 1 within tolerance) are reported as
+*neutral* on that axis; the aggregate classification treats a neutral
+axis as "not worse", so e.g. ``NCF_fw < 1`` with ``NCF_ft == 1``
+classifies as strongly sustainable — matching the paper's reading of
+Finding #10 where FSC's fixed-time NCF is "only barely" above 1 and FSC
+is called *close to* strongly sustainable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from .design import DesignPoint
+from .ncf import NCFAssessment, assess, ncf
+from .quantities import close
+from .scenario import E2OWeight, UseScenario
+
+__all__ = [
+    "Sustainability",
+    "Verdict",
+    "classify_values",
+    "classify",
+    "classify_assessment",
+]
+
+
+class Sustainability(enum.Enum):
+    """The paper's three-way sustainability categorization."""
+
+    STRONG = "strongly sustainable"
+    WEAK = "weakly sustainable"
+    LESS = "less sustainable"
+    #: Both scenarios sit exactly on the NCF = 1 boundary.
+    NEUTRAL = "neutral"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_values(
+    ncf_fixed_work: float,
+    ncf_fixed_time: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> Sustainability:
+    """Classify from the two NCF values directly.
+
+    Values within *rel_tol* of 1 are treated as neutral on that axis.
+    """
+
+    def sign(value: float) -> int:
+        if close(value, 1.0, rel_tol=rel_tol):
+            return 0
+        return -1 if value < 1.0 else 1
+
+    fw, ft = sign(ncf_fixed_work), sign(ncf_fixed_time)
+    if fw == 0 and ft == 0:
+        return Sustainability.NEUTRAL
+    if fw <= 0 and ft <= 0:
+        return Sustainability.STRONG
+    if fw >= 0 and ft >= 0:
+        return Sustainability.LESS
+    return Sustainability.WEAK
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """A classification together with the evidence behind it."""
+
+    design: str
+    baseline: str
+    alpha: float
+    ncf_fixed_work: float
+    ncf_fixed_time: float
+    category: Sustainability
+
+    @property
+    def is_strong(self) -> bool:
+        return self.category is Sustainability.STRONG
+
+    @property
+    def is_weak(self) -> bool:
+        return self.category is Sustainability.WEAK
+
+    @property
+    def is_less(self) -> bool:
+        return self.category is Sustainability.LESS
+
+    def as_dict(self) -> Mapping[str, object]:
+        return {
+            "design": self.design,
+            "baseline": self.baseline,
+            "alpha": self.alpha,
+            "ncf_fw": self.ncf_fixed_work,
+            "ncf_ft": self.ncf_fixed_time,
+            "category": self.category.value,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.design} vs {self.baseline} @ alpha={self.alpha:g}: "
+            f"NCF_fw={self.ncf_fixed_work:.3f}, NCF_ft={self.ncf_fixed_time:.3f} "
+            f"-> {self.category.value}"
+        )
+
+
+def classify(
+    design: DesignPoint,
+    baseline: DesignPoint,
+    alpha: float,
+    *,
+    rel_tol: float = 1e-9,
+) -> Verdict:
+    """Classify *design* against *baseline* at a single alpha."""
+    fw = ncf(design, baseline, UseScenario.FIXED_WORK, alpha)
+    ft = ncf(design, baseline, UseScenario.FIXED_TIME, alpha)
+    return Verdict(
+        design=design.name,
+        baseline=baseline.name,
+        alpha=alpha,
+        ncf_fixed_work=fw,
+        ncf_fixed_time=ft,
+        category=classify_values(fw, ft, rel_tol=rel_tol),
+    )
+
+
+def classify_assessment(assessment: NCFAssessment, *, rel_tol: float = 1e-9) -> Sustainability:
+    """Classify from a pre-computed :class:`~repro.core.ncf.NCFAssessment`."""
+    return classify_values(
+        assessment.fixed_work.nominal,
+        assessment.fixed_time.nominal,
+        rel_tol=rel_tol,
+    )
+
+
+def classify_pair(
+    design: DesignPoint,
+    baseline: DesignPoint,
+    weight: E2OWeight,
+    *,
+    rel_tol: float = 1e-9,
+) -> tuple[Verdict, NCFAssessment]:
+    """Classification plus the full banded assessment in one call."""
+    assessment = assess(design, baseline, weight)
+    verdict = classify(design, baseline, weight.alpha, rel_tol=rel_tol)
+    return verdict, assessment
+
+
+__all__.append("classify_pair")

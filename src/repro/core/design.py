@@ -1,0 +1,171 @@
+"""Design points: the unit of comparison in FOCAL.
+
+FOCAL assesses a processor design through exactly four first-order
+quantities (paper §3):
+
+* **area** — chip die area, the proxy for the embodied footprint;
+* **performance** — work per unit time (used to convert between the two
+  operational proxies and to place designs on the x-axis of every
+  figure);
+* **power** — average power while executing, the operational proxy
+  under the *fixed-time* scenario;
+* **energy** — energy per unit of work, the operational proxy under the
+  *fixed-work* scenario.
+
+Power, performance and energy are linked by the identity
+
+    energy = power / performance
+
+(energy per unit work equals average power times time per unit work).
+:class:`DesignPoint` enforces this identity by storing two of the three
+and deriving the third, so a design can never be self-inconsistent.
+
+All quantities are *relative*: FOCAL only ever compares designs, so the
+absolute unit is irrelevant as long as the same unit is used across the
+designs being compared. By convention the studies in this repository
+normalize to a named baseline design (e.g. the one-BCE single core in
+Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from .errors import ValidationError
+from .quantities import ensure_positive
+
+__all__ = ["DesignPoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class DesignPoint:
+    """A processor design reduced to FOCAL's four first-order quantities.
+
+    Construct either directly (``DesignPoint(name, area, perf, power)``)
+    or via :meth:`from_energy` when the energy per unit work is the
+    natural given. The ``energy`` property is always consistent with
+    ``power / perf``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in tables and plots.
+    area:
+        Chip area in arbitrary (but consistent) units; > 0.
+    perf:
+        Performance (work per unit time) in arbitrary units; > 0.
+    power:
+        Average power while executing, in arbitrary units; > 0.
+    """
+
+    name: str
+    area: float
+    perf: float
+    power: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("DesignPoint.name must be a non-empty string")
+        object.__setattr__(self, "area", ensure_positive(self.area, "area"))
+        object.__setattr__(self, "perf", ensure_positive(self.perf, "perf"))
+        object.__setattr__(self, "power", ensure_positive(self.power, "power"))
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_energy(cls, name: str, area: float, perf: float, energy: float) -> "DesignPoint":
+        """Build a design point from energy per unit work instead of power."""
+        energy = ensure_positive(energy, "energy")
+        perf = ensure_positive(perf, "perf")
+        return cls(name=name, area=area, perf=perf, power=energy * perf)
+
+    @classmethod
+    def baseline(cls, name: str = "baseline") -> "DesignPoint":
+        """The unit design: area = perf = power = energy = 1."""
+        return cls(name=name, area=1.0, perf=1.0, power=1.0)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def energy(self) -> float:
+        """Energy consumed per unit of work (``power / perf``)."""
+        return self.power / self.perf
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product per unit of work (a classical efficiency
+        metric, provided for cross-checking FOCAL against conventional
+        optimization targets)."""
+        return self.energy / self.perf
+
+    # ------------------------------------------------------------------
+    # Ratios against another design (the building blocks of NCF)
+    # ------------------------------------------------------------------
+    def area_ratio(self, other: "DesignPoint") -> float:
+        """``A_self / A_other`` — the normalized embodied footprint."""
+        return self.area / other.area
+
+    def energy_ratio(self, other: "DesignPoint") -> float:
+        """``E_self / E_other`` — the fixed-work operational proxy ratio."""
+        return self.energy / other.energy
+
+    def power_ratio(self, other: "DesignPoint") -> float:
+        """``P_self / P_other`` — the fixed-time operational proxy ratio."""
+        return self.power / other.power
+
+    def perf_ratio(self, other: "DesignPoint") -> float:
+        """``perf_self / perf_other`` — normalized performance."""
+        return self.perf / other.perf
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def normalized_to(self, baseline: "DesignPoint") -> "DesignPoint":
+        """Return this design re-expressed in units of *baseline*.
+
+        The result has area/perf/power equal to the respective ratios,
+        which makes chart series directly comparable to the paper's
+        normalized axes.
+        """
+        return DesignPoint(
+            name=self.name,
+            area=self.area_ratio(baseline),
+            perf=self.perf_ratio(baseline),
+            power=self.power_ratio(baseline),
+        )
+
+    def renamed(self, name: str) -> "DesignPoint":
+        """Return a copy of this design with a different label."""
+        return replace(self, name=name)
+
+    def scaled(
+        self,
+        *,
+        area: float = 1.0,
+        perf: float = 1.0,
+        power: float = 1.0,
+    ) -> "DesignPoint":
+        """Return a copy with the given multiplicative factors applied.
+
+        Useful for what-if analyses (e.g. "the same core with 10 % more
+        area"). Factors must be positive.
+        """
+        return DesignPoint(
+            name=self.name,
+            area=self.area * ensure_positive(area, "area factor"),
+            perf=self.perf * ensure_positive(perf, "perf factor"),
+            power=self.power * ensure_positive(power, "power factor"),
+        )
+
+    def as_dict(self) -> Mapping[str, float | str]:
+        """Serialize to a plain mapping (used by CSV/JSON export)."""
+        return {
+            "name": self.name,
+            "area": self.area,
+            "perf": self.perf,
+            "power": self.power,
+            "energy": self.energy,
+        }

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the FOCAL reproduction.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class. Specific subclasses communicate
+*why* an input or operation was rejected, which matters in a modeling
+library where silent garbage-in/garbage-out would corrupt conclusions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DomainError",
+    "ConvergenceError",
+    "ConfigurationError",
+    "UnknownStudyError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a model precondition.
+
+    Raised at construction time of model objects (e.g. a negative chip
+    area, a parallel fraction outside ``[0, 1]``), so that invalid
+    designs can never enter a study.
+    """
+
+
+class DomainError(ReproError, ValueError):
+    """A function was evaluated outside its mathematical domain.
+
+    Distinguished from :class:`ValidationError` in that the *object* is
+    valid but the requested *operation* is not (e.g. asking for the
+    speedup of an asymmetric multicore whose big core consumes the whole
+    chip, leaving no small cores for the parallel phase).
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver (bisection, fixed point) failed to converge."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A study or sweep was configured inconsistently."""
+
+
+class UnknownStudyError(ReproError, KeyError):
+    """A study name was not found in the study registry."""

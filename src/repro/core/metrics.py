@@ -1,0 +1,112 @@
+"""Classical efficiency metrics, for contrast with NCF.
+
+The paper's §3.4 argues that what sets sustainability apart is the
+*holistic* treatment of area, energy and power — computer architects
+optimize those individually all the time, just not with the goal of
+minimizing environmental impact. This module implements the
+conventional yardsticks so studies can show exactly where they agree
+and disagree with the NCF verdict:
+
+* energy-delay product (EDP) and ED^2P;
+* performance per watt;
+* performance per area (silicon efficiency);
+* a generic ``metric_ratio`` plus :func:`disagreement` which finds
+  design pairs that a classical metric endorses but NCF condemns (or
+  vice versa) — the quantitative version of "energy-efficient is not
+  the same as sustainable".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .classify import Sustainability, classify
+from .design import DesignPoint
+
+__all__ = [
+    "ClassicMetric",
+    "metric_value",
+    "metric_ratio",
+    "Disagreement",
+    "disagreement",
+]
+
+
+class ClassicMetric(enum.Enum):
+    """Conventional optimization targets (lower-is-better except the
+    perf-per-X family, handled uniformly by :func:`metric_ratio`)."""
+
+    EDP = "energy-delay product"
+    ED2P = "energy-delay-squared product"
+    PERF_PER_WATT = "performance per watt"
+    PERF_PER_AREA = "performance per area"
+    ENERGY = "energy per work"
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self in (ClassicMetric.PERF_PER_WATT, ClassicMetric.PERF_PER_AREA)
+
+
+def metric_value(design: DesignPoint, metric: ClassicMetric) -> float:
+    """The raw metric value for one design."""
+    if metric is ClassicMetric.EDP:
+        return design.energy / design.perf
+    if metric is ClassicMetric.ED2P:
+        return design.energy / design.perf**2
+    if metric is ClassicMetric.PERF_PER_WATT:
+        return design.perf / design.power
+    if metric is ClassicMetric.PERF_PER_AREA:
+        return design.perf / design.area
+    if metric is ClassicMetric.ENERGY:
+        return design.energy
+    raise AssertionError(f"unhandled metric {metric}")  # pragma: no cover
+
+
+def metric_ratio(
+    design: DesignPoint, baseline: DesignPoint, metric: ClassicMetric
+) -> float:
+    """Goodness ratio normalized so that > 1 always means *better*.
+
+    For lower-is-better metrics the ratio is inverted, making the
+    output directly comparable across metrics (and to 1/NCF).
+    """
+    ratio = metric_value(design, metric) / metric_value(baseline, metric)
+    return ratio if metric.higher_is_better else 1.0 / ratio
+
+
+@dataclass(frozen=True, slots=True)
+class Disagreement:
+    """A case where a classical metric and FOCAL point different ways."""
+
+    metric: ClassicMetric
+    metric_says_better: bool
+    focal_category: Sustainability
+
+    @property
+    def conflicting(self) -> bool:
+        """True when the metric endorses a less-sustainable design or
+        rejects a strongly sustainable one."""
+        if self.metric_says_better and self.focal_category is Sustainability.LESS:
+            return True
+        if not self.metric_says_better and self.focal_category is Sustainability.STRONG:
+            return True
+        return False
+
+
+def disagreement(
+    design: DesignPoint,
+    baseline: DesignPoint,
+    metric: ClassicMetric,
+    alpha: float,
+) -> Disagreement:
+    """Compare one classical metric's verdict with FOCAL's.
+
+    The canonical conflict is turbo boosting under EDP at high clock
+    gains: EDP can look neutral-to-good while every NCF is above 1.
+    """
+    return Disagreement(
+        metric=metric,
+        metric_says_better=metric_ratio(design, baseline, metric) > 1.0,
+        focal_category=classify(design, baseline, alpha).category,
+    )

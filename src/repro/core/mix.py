@@ -1,0 +1,75 @@
+"""Workload mixes: time-weighted composition of design behaviour.
+
+A real device does not run one workload; it spends shares of its
+lifetime in different phases (§3.2's examples already hint at this:
+decode video, idle, serve requests). If a design exhibits behaviour
+``(perf_i, power_i)`` during phase *i* and the phases occupy time
+shares ``t_i`` (summing to 1), the lifetime-aggregate behaviour is
+
+* average power  = sum_i t_i * power_i        (time-weighted)
+* throughput     = sum_i t_i * perf_i         (work per unit time)
+* energy per work = average power / throughput
+
+which is exactly a :class:`~repro.core.design.DesignPoint` again — so
+mixes compose with every FOCAL tool (NCF, classification, rebound,
+DSE) with no special cases. The chip's area is that of the design, not
+of a phase; all phase design points must therefore share one area.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .design import DesignPoint
+from .errors import ValidationError
+from .quantities import ensure_fraction
+
+__all__ = ["time_weighted_mix"]
+
+
+def time_weighted_mix(
+    phases: Sequence[tuple[DesignPoint, float]],
+    *,
+    name: str | None = None,
+    share_tolerance: float = 1e-9,
+) -> DesignPoint:
+    """Compose phase behaviours into one lifetime design point.
+
+    Parameters
+    ----------
+    phases:
+        ``(behaviour, time_share)`` pairs. Shares must sum to 1 within
+        *share_tolerance*; every behaviour must report the same chip
+        area (it is the same chip in every phase).
+    name:
+        Label for the mix (defaults to joining the phase names).
+
+    Example: a mobile SoC that decodes video 30 % of the time (on its
+    accelerator profile) and idles 70 %::
+
+        mix = time_weighted_mix([(decode, 0.3), (idle, 0.7)])
+    """
+    if not phases:
+        raise ValidationError("time_weighted_mix requires at least one phase")
+    total_share = 0.0
+    area = phases[0][0].area
+    for design, share in phases:
+        ensure_fraction(share, f"share of {design.name!r}")
+        total_share += share
+        if abs(design.area - area) > 1e-9 * max(1.0, area):
+            raise ValidationError(
+                f"phase {design.name!r} has area {design.area:g} but the mix's "
+                f"chip has area {area:g}; phases must describe one chip"
+            )
+    if abs(total_share - 1.0) > share_tolerance:
+        raise ValidationError(
+            f"phase shares must sum to 1, got {total_share:g}"
+        )
+    avg_power = sum(share * design.power for design, share in phases)
+    throughput = sum(share * design.perf for design, share in phases)
+    return DesignPoint(
+        name=name or " + ".join(f"{s:.0%} {d.name}" for d, s in phases),
+        area=area,
+        perf=throughput,
+        power=avg_power,
+    )

@@ -1,0 +1,89 @@
+"""Pareto analysis over the performance-versus-footprint plane.
+
+Every figure in the paper is a scatter of designs in the
+(normalized performance, normalized carbon footprint) plane, where
+"towards the bottom-right is optimal" (paper §5.6). This module finds
+the Pareto-optimal subset of such a scatter: designs for which no other
+design has both higher (or equal) performance and lower (or equal)
+footprint with at least one strict improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .design import DesignPoint
+from .errors import ValidationError
+from .ncf import ncf
+from .scenario import UseScenario
+
+__all__ = ["ParetoPoint", "pareto_frontier", "pareto_designs"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoPoint:
+    """A labelled point in the performance/footprint plane."""
+
+    name: str
+    perf: float
+    footprint: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True iff this point is at least as good on both axes and
+        strictly better on at least one (higher perf, lower footprint)."""
+        at_least_as_good = self.perf >= other.perf and self.footprint <= other.footprint
+        strictly_better = self.perf > other.perf or self.footprint < other.footprint
+        return at_least_as_good and strictly_better
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated subset, sorted by increasing performance.
+
+    Duplicate coordinates are kept once (the first occurrence wins), so
+    the frontier never contains two points with identical axes.
+    """
+    if not points:
+        raise ValidationError("pareto_frontier requires at least one point")
+    # Sort by perf descending, footprint ascending; a single sweep then
+    # finds the frontier in O(n log n).
+    ordered = sorted(points, key=lambda p: (-p.perf, p.footprint))
+    frontier: list[ParetoPoint] = []
+    best_footprint = float("inf")
+    seen_coords: set[tuple[float, float]] = set()
+    for point in ordered:
+        if point.footprint < best_footprint:
+            coords = (point.perf, point.footprint)
+            if coords not in seen_coords:
+                frontier.append(point)
+                seen_coords.add(coords)
+            best_footprint = point.footprint
+    frontier.sort(key=lambda p: p.perf)
+    return frontier
+
+
+def pareto_designs(
+    designs: Sequence[DesignPoint],
+    baseline: DesignPoint,
+    scenario: UseScenario,
+    alpha: float,
+    *,
+    key: Callable[[DesignPoint], str] | None = None,
+) -> list[ParetoPoint]:
+    """Pareto frontier of *designs* in the NCF-versus-performance plane.
+
+    All designs are normalized to *baseline* exactly as the paper's
+    figures do. The returned frontier is sorted by performance.
+    """
+    if not designs:
+        raise ValidationError("pareto_designs requires at least one design")
+    label = key or (lambda d: d.name)
+    points = [
+        ParetoPoint(
+            name=label(design),
+            perf=design.perf_ratio(baseline),
+            footprint=ncf(design, baseline, scenario, alpha),
+        )
+        for design in designs
+    ]
+    return pareto_frontier(points)

@@ -1,0 +1,132 @@
+"""Validated scalar quantities used throughout the model.
+
+FOCAL is a first-order model: every quantity is a dimensionless ratio or
+a simple physical scalar. This module centralizes the validation rules
+so that the rest of the library can assume its inputs are sane.
+
+The helpers raise :class:`~repro.core.errors.ValidationError` with a
+message naming the offending parameter, which makes mis-configured
+sweeps easy to diagnose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .errors import ValidationError
+
+__all__ = [
+    "ensure_finite",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_fraction",
+    "ensure_open_fraction",
+    "ensure_in_range",
+    "ensure_at_least",
+    "ensure_int_at_least",
+    "ensure_monotone_increasing",
+    "close",
+]
+
+#: Default relative tolerance for :func:`close`. First-order model
+#: comparisons never need more than ~9 significant digits.
+REL_TOL = 1e-9
+
+
+def ensure_finite(value: float, name: str) -> float:
+    """Return *value* if it is a finite real number; raise otherwise."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Return *value* if it is finite and strictly positive."""
+    value = ensure_finite(value, name)
+    if value <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is finite and >= 0."""
+    value = ensure_finite(value, name)
+    if value < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def ensure_fraction(value: float, name: str) -> float:
+    """Return *value* if it lies in the closed interval ``[0, 1]``."""
+    value = ensure_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def ensure_open_fraction(value: float, name: str) -> float:
+    """Return *value* if it lies in the open interval ``(0, 1)``."""
+    value = ensure_finite(value, name)
+    if not 0.0 < value < 1.0:
+        raise ValidationError(f"{name} must lie in (0, 1), got {value!r}")
+    return value
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return *value* if it lies in the closed interval ``[low, high]``."""
+    value = ensure_finite(value, name)
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_at_least(value: float, low: float, name: str) -> float:
+    """Return *value* if it is finite and >= *low*."""
+    value = ensure_finite(value, name)
+    if value < low:
+        raise ValidationError(f"{name} must be >= {low}, got {value!r}")
+    return value
+
+
+def ensure_int_at_least(value: int, low: int, name: str) -> int:
+    """Return *value* if it is an integer >= *low*.
+
+    Accepts floats that are exactly integral (convenient for sweeps that
+    produce ``numpy`` scalars) but rejects anything fractional.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got a bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    try:
+        ivalue = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an integer, got {value!r}") from exc
+    if ivalue != value:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if ivalue < low:
+        raise ValidationError(f"{name} must be >= {low}, got {ivalue}")
+    return ivalue
+
+
+def ensure_monotone_increasing(values: Iterable[float], name: str) -> list[float]:
+    """Return *values* as a list if strictly increasing; raise otherwise."""
+    out = [ensure_finite(v, name) for v in values]
+    for left, right in zip(out, out[1:]):
+        if right <= left:
+            raise ValidationError(
+                f"{name} must be strictly increasing, got {left!r} before {right!r}"
+            )
+    return out
+
+
+def close(a: float, b: float, rel_tol: float = REL_TOL, abs_tol: float = 1e-12) -> bool:
+    """Tolerant float comparison used by classification boundaries."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

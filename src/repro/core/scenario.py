@@ -1,0 +1,146 @@
+"""Use-case scenarios and the embodied-to-operational weight.
+
+FOCAL anticipates two lifetime use cases (paper §3.2, Figure 2):
+
+* **fixed-work** — the device performs a fixed amount of work over its
+  lifetime; the operational-footprint proxy is *energy* per unit work.
+  Examples: strong-scaling HPC workloads, a video decoder handling a
+  fixed number of frames.
+* **fixed-time** — a more efficient device performs *more* work within
+  the same lifetime (the rebound effect of increased usage); because
+  time is constant, the operational proxy is *power*. Examples:
+  weak-scaling HPC, always-on network interfaces, datacenters that fill
+  freed-up capacity with new applications.
+
+The relative importance of embodied versus operational emissions is the
+**embodied-to-operational weight** ``alpha_E2O`` (paper §3.3). Based on
+Gupta et al. (HPCA'21) the paper studies two regimes, each with an
+uncertainty band to absorb modeling error:
+
+* embodied-dominated: ``alpha = 0.8 ± 0.1`` (mobile devices, hyperscale
+  datacenter servers);
+* operational-dominated: ``alpha = 0.2 ± 0.1`` (always-connected
+  devices).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .design import DesignPoint
+from .errors import ValidationError
+from .quantities import ensure_fraction, ensure_non_negative
+
+__all__ = [
+    "UseScenario",
+    "E2OWeight",
+    "EMBODIED_DOMINATED",
+    "OPERATIONAL_DOMINATED",
+    "BALANCED",
+    "STANDARD_WEIGHTS",
+]
+
+
+class UseScenario(enum.Enum):
+    """The two lifetime use cases FOCAL distinguishes."""
+
+    FIXED_WORK = "fixed-work"
+    FIXED_TIME = "fixed-time"
+
+    @property
+    def operational_proxy(self) -> str:
+        """Name of the operational-footprint proxy under this scenario."""
+        return "energy" if self is UseScenario.FIXED_WORK else "power"
+
+    def operational_ratio(self, design: DesignPoint, baseline: DesignPoint) -> float:
+        """The normalized operational footprint of *design* vs *baseline*.
+
+        Energy ratio under fixed-work, power ratio under fixed-time.
+        """
+        if self is UseScenario.FIXED_WORK:
+            return design.energy_ratio(baseline)
+        return design.power_ratio(baseline)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class E2OWeight:
+    """The embodied-to-operational weight ``alpha_E2O`` with its band.
+
+    ``alpha`` is the nominal weight of the (normalized) embodied
+    footprint in the NCF sum; ``1 - alpha`` weighs the operational
+    footprint. ``spread`` is the half-width of the uncertainty band the
+    paper sweeps to absorb data uncertainty (0.1 for both standard
+    regimes); the band is clipped to ``[0, 1]``.
+    """
+
+    name: str
+    alpha: float
+    spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("E2OWeight.name must be a non-empty string")
+        object.__setattr__(self, "alpha", ensure_fraction(self.alpha, "alpha"))
+        object.__setattr__(self, "spread", ensure_non_negative(self.spread, "spread"))
+
+    @property
+    def low(self) -> float:
+        """Lower end of the uncertainty band (clipped to 0)."""
+        return max(0.0, self.alpha - self.spread)
+
+    @property
+    def high(self) -> float:
+        """Upper end of the uncertainty band (clipped to 1)."""
+        return min(1.0, self.alpha + self.spread)
+
+    @property
+    def band(self) -> tuple[float, float]:
+        """The ``(low, high)`` uncertainty band."""
+        return (self.low, self.high)
+
+    def alphas(self, samples: int = 3) -> Iterator[float]:
+        """Yield *samples* evenly spaced alphas across the band.
+
+        With the default three samples this yields ``low``, ``alpha``
+        (when the band is symmetric) and ``high`` — exactly the error
+        bars the paper reports.
+        """
+        if samples < 1:
+            raise ValidationError(f"samples must be >= 1, got {samples}")
+        if samples == 1 or self.spread == 0.0:
+            yield self.alpha
+            return
+        lo, hi = self.band
+        step = (hi - lo) / (samples - 1)
+        for i in range(samples):
+            yield lo + i * step
+
+    def with_alpha(self, alpha: float) -> "E2OWeight":
+        """A copy of this weight re-centred on *alpha* (same spread)."""
+        return E2OWeight(name=self.name, alpha=alpha, spread=self.spread)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.spread:
+            return f"{self.name} (alpha={self.alpha:g}±{self.spread:g})"
+        return f"{self.name} (alpha={self.alpha:g})"
+
+
+#: The paper's embodied-dominated regime: mobile and hyperscale devices.
+EMBODIED_DOMINATED = E2OWeight(name="embodied-dominated", alpha=0.8, spread=0.1)
+
+#: The paper's operational-dominated regime: always-connected devices.
+OPERATIONAL_DOMINATED = E2OWeight(name="operational-dominated", alpha=0.2, spread=0.1)
+
+#: A 50/50 weighting, useful for sensitivity studies.
+BALANCED = E2OWeight(name="balanced", alpha=0.5, spread=0.0)
+
+#: The two regimes every figure in the paper reports.
+STANDARD_WEIGHTS: tuple[E2OWeight, E2OWeight] = (
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+)

@@ -1,0 +1,192 @@
+"""Uncertainty handling: intervals and robust conclusions (paper §3.5).
+
+FOCAL's answer to inherent data uncertainty is to evaluate conclusions
+over *ranges* of the embodied-to-operational weight and over both use
+scenarios: "if we are reaching similar conclusions across a range of
+scenarios and weights, we can be confident that the conclusions hold
+true despite the unknowns."
+
+This module provides:
+
+* :class:`Interval` — closed-interval arithmetic for propagating
+  parameter bands through first-order expressions;
+* :func:`robust_classification` — classify a design pair at every alpha
+  across a weight band (and optionally several bands) and report
+  whether the verdict is unanimous;
+* :class:`RobustConclusion` — the structured result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .classify import Sustainability, Verdict, classify
+from .design import DesignPoint
+from .errors import ValidationError
+from .quantities import ensure_finite
+from .scenario import E2OWeight
+
+__all__ = [
+    "Interval",
+    "RobustConclusion",
+    "robust_classification",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed real interval ``[low, high]`` with exact arithmetic.
+
+    Only the operations needed by first-order carbon expressions are
+    implemented: addition, subtraction, multiplication, division by an
+    interval not containing zero, and scalar mixing. Scalars are
+    promoted automatically.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        low = ensure_finite(self.low, "low")
+        high = ensure_finite(self.high, "high")
+        if low > high:
+            raise ValidationError(f"Interval requires low <= high, got [{low}, {high}]")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return cls(value, value)
+
+    @classmethod
+    def from_center(cls, center: float, spread: float) -> "Interval":
+        """``[center - spread, center + spread]``."""
+        if spread < 0:
+            raise ValidationError(f"spread must be >= 0, got {spread}")
+        return cls(center - spread, center + spread)
+
+    @classmethod
+    def _coerce(cls, value: "Interval | float") -> "Interval":
+        return value if isinstance(value, Interval) else cls.point(float(value))
+
+    # -- properties -----------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def entirely_below(self, threshold: float) -> bool:
+        return self.high < threshold
+
+    def entirely_above(self, threshold: float) -> bool:
+        return self.low > threshold
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Interval | float") -> "Interval":
+        o = Interval._coerce(other)
+        return Interval(self.low + o.low, self.high + o.high)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    def __sub__(self, other: "Interval | float") -> "Interval":
+        return self + (-Interval._coerce(other))
+
+    def __rsub__(self, other: "Interval | float") -> "Interval":
+        return Interval._coerce(other) + (-self)
+
+    def __mul__(self, other: "Interval | float") -> "Interval":
+        o = Interval._coerce(other)
+        products = (
+            self.low * o.low,
+            self.low * o.high,
+            self.high * o.low,
+            self.high * o.high,
+        )
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | float") -> "Interval":
+        o = Interval._coerce(other)
+        if o.contains(0.0):
+            raise ValidationError(f"cannot divide by interval containing zero: {o}")
+        return self * Interval(1.0 / o.high, 1.0 / o.low)
+
+    def __rtruediv__(self, other: "Interval | float") -> "Interval":
+        return Interval._coerce(other) / self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.low:g}, {self.high:g}]"
+
+
+@dataclass(frozen=True, slots=True)
+class RobustConclusion:
+    """Result of classifying a design pair across alpha ranges.
+
+    ``unanimous`` is True when every sampled alpha (across every
+    supplied weight band) yields the same sustainability category — the
+    paper's criterion for a conclusion that "holds true despite the
+    unknowns". When verdicts differ, ``categories`` lists the distinct
+    categories observed, signalling that "we need to be more cautious".
+    """
+
+    design: str
+    baseline: str
+    verdicts: tuple[Verdict, ...]
+
+    @property
+    def categories(self) -> tuple[Sustainability, ...]:
+        seen: list[Sustainability] = []
+        for verdict in self.verdicts:
+            if verdict.category not in seen:
+                seen.append(verdict.category)
+        return tuple(seen)
+
+    @property
+    def unanimous(self) -> bool:
+        return len(self.categories) == 1
+
+    @property
+    def consensus(self) -> Sustainability | None:
+        """The single category, or ``None`` when verdicts disagree."""
+        cats = self.categories
+        return cats[0] if len(cats) == 1 else None
+
+
+def robust_classification(
+    design: DesignPoint,
+    baseline: DesignPoint,
+    weights: Sequence[E2OWeight] | Iterable[E2OWeight],
+    *,
+    samples_per_band: int = 3,
+    rel_tol: float = 1e-9,
+) -> RobustConclusion:
+    """Classify *design* vs *baseline* across one or more alpha bands.
+
+    Each weight band is sampled at *samples_per_band* evenly spaced
+    alphas (its edges are always included for ``samples_per_band >= 2``
+    because NCF is affine in alpha, the edges are the extremes).
+    """
+    verdicts: list[Verdict] = []
+    for weight in weights:
+        for alpha in weight.alphas(samples_per_band):
+            verdicts.append(classify(design, baseline, alpha, rel_tol=rel_tol))
+    if not verdicts:
+        raise ValidationError("robust_classification requires at least one weight")
+    return RobustConclusion(
+        design=design.name,
+        baseline=baseline.name,
+        verdicts=tuple(verdicts),
+    )

@@ -1,0 +1,30 @@
+"""Design-space exploration: grids, sweeps, Pareto frontiers,
+break-even solving, sensitivity and Monte-Carlo robustness."""
+
+from .breakeven import bisect_crossing, crossing_or_none
+from .explorer import ExplorationResult, Explorer
+from .grid import ParameterGrid, geometric_range, linear_range
+from .montecarlo import (
+    CategoryProbabilities,
+    sample_measurement_noise,
+    sample_verdicts,
+)
+from .optimizer import max_perf_subject_to_ncf, min_ncf_subject_to_perf
+from .sensitivity import SensitivityEntry, tornado
+
+__all__ = [
+    "ParameterGrid",
+    "geometric_range",
+    "linear_range",
+    "Explorer",
+    "ExplorationResult",
+    "bisect_crossing",
+    "crossing_or_none",
+    "SensitivityEntry",
+    "tornado",
+    "CategoryProbabilities",
+    "sample_verdicts",
+    "sample_measurement_noise",
+    "max_perf_subject_to_ncf",
+    "min_ncf_subject_to_perf",
+]

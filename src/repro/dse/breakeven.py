@@ -1,0 +1,80 @@
+"""Generic break-even (crossover) solving.
+
+Many of the paper's findings are crossover statements: "the accelerator
+needs to be used for more than 30 % of the time", "the branch predictor
+must stay below ~2 % of core area", "dark silicon breaks even above
+50 % utilization". This module provides a robust bisection for the
+``f(x) = target`` crossing of a monotone scalar function, used by the
+findings verifiers and available for user studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import ConvergenceError, DomainError
+from ..core.quantities import ensure_finite
+
+__all__ = ["bisect_crossing", "crossing_or_none"]
+
+
+def bisect_crossing(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    target: float = 1.0,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> float:
+    """Find ``x`` in ``[lo, hi]`` with ``func(x) == target``.
+
+    Requires ``func(lo) - target`` and ``func(hi) - target`` to have
+    opposite (or zero) signs; *func* need not be monotone but the
+    returned crossing is then just *a* crossing, not necessarily the
+    first. Raises :class:`~repro.core.errors.DomainError` when the
+    bracket does not straddle the target.
+    """
+    lo = ensure_finite(lo, "lo")
+    hi = ensure_finite(hi, "hi")
+    if lo > hi:
+        raise DomainError(f"bisect_crossing requires lo <= hi, got ({lo}, {hi})")
+    f_lo = func(lo) - target
+    f_hi = func(hi) - target
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0.0:
+        raise DomainError(
+            f"no crossing of target {target} in [{lo}, {hi}]: "
+            f"f(lo)-t={f_lo:g}, f(hi)-t={f_hi:g}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = func(mid) - target
+        if f_mid == 0.0 or (hi - lo) < tol:
+            return mid
+        if f_lo * f_mid < 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    raise ConvergenceError(
+        f"bisection did not reach tolerance {tol} within {max_iter} iterations"
+    )
+
+
+def crossing_or_none(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    target: float = 1.0,
+    *,
+    tol: float = 1e-10,
+) -> float | None:
+    """Like :func:`bisect_crossing` but returns ``None`` when the
+    bracket never crosses the target (instead of raising)."""
+    try:
+        return bisect_crossing(func, lo, hi, target, tol=tol)
+    except DomainError:
+        return None

@@ -1,0 +1,118 @@
+"""The design-space explorer.
+
+Maps a factory (parameters -> :class:`~repro.core.design.DesignPoint`)
+over a :class:`~repro.dse.grid.ParameterGrid`, evaluates NCF under the
+requested scenarios/weights against a baseline, and returns structured
+results ready for Pareto filtering, classification counting, or export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.classify import Sustainability, classify_values
+from ..core.design import DesignPoint
+from ..core.errors import ConfigurationError
+from ..core.ncf import ncf
+from ..core.pareto import ParetoPoint, pareto_frontier
+from ..core.scenario import E2OWeight, UseScenario
+from .grid import ParameterGrid
+
+__all__ = ["ExplorationResult", "Explorer"]
+
+DesignFactory = Callable[[Mapping[str, object]], DesignPoint]
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """One evaluated grid point."""
+
+    params: Mapping[str, object]
+    design: DesignPoint
+    perf: float
+    ncf_fixed_work: float
+    ncf_fixed_time: float
+
+    @property
+    def category(self) -> Sustainability:
+        return classify_values(self.ncf_fixed_work, self.ncf_fixed_time)
+
+    def as_dict(self) -> dict[str, object]:
+        row: dict[str, object] = dict(self.params)
+        row.update(
+            design=self.design.name,
+            perf=self.perf,
+            ncf_fw=self.ncf_fixed_work,
+            ncf_ft=self.ncf_fixed_time,
+            category=self.category.value,
+        )
+        return row
+
+
+@dataclass(frozen=True)
+class Explorer:
+    """Sweep a design factory over a grid against a baseline design."""
+
+    factory: DesignFactory
+    baseline: DesignPoint
+    weight: E2OWeight
+
+    def explore(self, grid: ParameterGrid) -> list[ExplorationResult]:
+        """Evaluate every grid point; factories may raise
+        :class:`~repro.core.errors.DomainError` to skip invalid corners
+        (e.g. a big core consuming the whole chip), which are dropped."""
+        from ..core.errors import DomainError
+
+        results: list[ExplorationResult] = []
+        for params in grid:
+            try:
+                design = self.factory(params)
+            except DomainError:
+                continue
+            results.append(
+                ExplorationResult(
+                    params=params,
+                    design=design,
+                    perf=design.perf_ratio(self.baseline),
+                    ncf_fixed_work=ncf(
+                        design, self.baseline, UseScenario.FIXED_WORK, self.weight.alpha
+                    ),
+                    ncf_fixed_time=ncf(
+                        design, self.baseline, UseScenario.FIXED_TIME, self.weight.alpha
+                    ),
+                )
+            )
+        if not results:
+            raise ConfigurationError("exploration produced no valid design points")
+        return results
+
+    def pareto(
+        self,
+        results: Sequence[ExplorationResult],
+        scenario: UseScenario = UseScenario.FIXED_WORK,
+    ) -> list[ParetoPoint]:
+        """Pareto frontier (max perf, min NCF) of exploration results."""
+        points = [
+            ParetoPoint(
+                name=result.design.name,
+                perf=result.perf,
+                footprint=(
+                    result.ncf_fixed_work
+                    if scenario is UseScenario.FIXED_WORK
+                    else result.ncf_fixed_time
+                ),
+            )
+            for result in results
+        ]
+        return pareto_frontier(points)
+
+    @staticmethod
+    def count_categories(
+        results: Sequence[ExplorationResult],
+    ) -> dict[Sustainability, int]:
+        """Histogram of sustainability categories across the sweep."""
+        counts: dict[Sustainability, int] = {}
+        for result in results:
+            counts[result.category] = counts.get(result.category, 0) + 1
+        return counts

@@ -1,0 +1,97 @@
+"""Parameter grids for design-space exploration.
+
+A :class:`ParameterGrid` is a small, explicit cartesian product over
+named parameter ranges — the shape of every sweep in the paper
+(BCE counts x parallel fractions, cache sizes, utilizations, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, Mapping, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ParameterGrid", "geometric_range", "linear_range"]
+
+
+def geometric_range(start: float, stop: float, factor: float = 2.0) -> list[float]:
+    """Values from *start* to *stop* inclusive, multiplying by *factor*.
+
+    ``geometric_range(1, 32)`` gives the paper's BCE ladder
+    ``[1, 2, 4, 8, 16, 32]``.
+    """
+    if start <= 0 or stop < start:
+        raise ConfigurationError(
+            f"geometric_range requires 0 < start <= stop, got ({start}, {stop})"
+        )
+    if factor <= 1.0:
+        raise ConfigurationError(f"factor must exceed 1, got {factor}")
+    values = []
+    value = float(start)
+    while value <= stop * (1.0 + 1e-12):
+        values.append(value)
+        value *= factor
+    return values
+
+
+def linear_range(start: float, stop: float, steps: int) -> list[float]:
+    """*steps* evenly spaced values from *start* to *stop* inclusive."""
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    if steps == 1:
+        return [float(start)]
+    stride = (stop - start) / (steps - 1)
+    return [start + i * stride for i in range(steps)]
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A named cartesian product of parameter values.
+
+    Iterating yields mappings from parameter name to value, in
+    row-major order of the declaration.
+    """
+
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ConfigurationError("ParameterGrid requires at least one axis")
+        for name, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {name!r} has no values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        names = list(self.axes)
+        for combo in product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def subgrid(self, **fixed: object) -> "ParameterGrid":
+        """Pin one or more axes to single values.
+
+        Unknown axis names raise; this catches typos in sweep configs.
+        """
+        for name in fixed:
+            if name not in self.axes:
+                raise ConfigurationError(
+                    f"unknown axis {name!r}; axes: {sorted(self.axes)}"
+                )
+        new_axes: dict[str, Sequence[object]] = {}
+        for name, values in self.axes.items():
+            if name in fixed:
+                if fixed[name] not in values:
+                    raise ConfigurationError(
+                        f"value {fixed[name]!r} not in axis {name!r}"
+                    )
+                new_axes[name] = [fixed[name]]
+            else:
+                new_axes[name] = values
+        return ParameterGrid(new_axes)

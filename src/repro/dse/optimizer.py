@@ -1,0 +1,80 @@
+"""Constrained selection over exploration results.
+
+Two dual queries architects actually ask, phrased over the output of
+:class:`~repro.dse.explorer.Explorer`:
+
+* :func:`max_perf_subject_to_ncf` — the fastest design whose footprint
+  does not exceed a cap (e.g. "at least carbon-neutral vs today":
+  NCF <= 1);
+* :func:`min_ncf_subject_to_perf` — the greenest design that still
+  meets a performance floor.
+
+Both respect the scenario choice and return ``None`` when the
+constraint is infeasible over the swept space, rather than silently
+relaxing it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.scenario import UseScenario
+from .explorer import ExplorationResult
+
+__all__ = ["max_perf_subject_to_ncf", "min_ncf_subject_to_perf"]
+
+
+def _ncf_of(result: ExplorationResult, scenario: UseScenario) -> float:
+    return (
+        result.ncf_fixed_work
+        if scenario is UseScenario.FIXED_WORK
+        else result.ncf_fixed_time
+    )
+
+
+def max_perf_subject_to_ncf(
+    results: Sequence[ExplorationResult],
+    ncf_cap: float = 1.0,
+    scenario: UseScenario = UseScenario.FIXED_WORK,
+    *,
+    require_both_scenarios: bool = False,
+) -> ExplorationResult | None:
+    """Fastest design with NCF <= *ncf_cap*; ``None`` if infeasible.
+
+    With ``require_both_scenarios`` the cap must hold under fixed-work
+    *and* fixed-time — i.e. the design must be (at least) as strongly
+    sustainable as the cap demands.
+    """
+    if not results:
+        raise ConfigurationError("no exploration results to select from")
+    if ncf_cap <= 0.0:
+        raise ConfigurationError(f"ncf_cap must be > 0, got {ncf_cap}")
+    feasible = [
+        r
+        for r in results
+        if (
+            (r.ncf_fixed_work <= ncf_cap and r.ncf_fixed_time <= ncf_cap)
+            if require_both_scenarios
+            else _ncf_of(r, scenario) <= ncf_cap
+        )
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda r: r.perf)
+
+
+def min_ncf_subject_to_perf(
+    results: Sequence[ExplorationResult],
+    perf_floor: float,
+    scenario: UseScenario = UseScenario.FIXED_WORK,
+) -> ExplorationResult | None:
+    """Greenest design with perf >= *perf_floor*; ``None`` if infeasible."""
+    if not results:
+        raise ConfigurationError("no exploration results to select from")
+    if perf_floor <= 0.0:
+        raise ConfigurationError(f"perf_floor must be > 0, got {perf_floor}")
+    feasible = [r for r in results if r.perf >= perf_floor]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda r: _ncf_of(r, scenario))

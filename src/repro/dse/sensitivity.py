@@ -1,0 +1,81 @@
+"""One-at-a-time sensitivity (tornado) analysis.
+
+FOCAL's answer to data uncertainty is sweeping parameters; a tornado
+analysis ranks which parameter's uncertainty moves a metric the most.
+Used by the examples and the ablation benchmarks (e.g. how sensitive
+Finding #8 is to the unquantified core/cache energy split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["SensitivityEntry", "tornado"]
+
+Metric = Callable[[Mapping[str, float]], float]
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityEntry:
+    """Metric swing caused by one parameter's range."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    metric_at_low: float
+    metric_at_high: float
+    baseline_metric: float
+
+    @property
+    def swing(self) -> float:
+        """Total metric excursion across the parameter's range."""
+        return abs(self.metric_at_high - self.metric_at_low)
+
+    @property
+    def signed_slope(self) -> float:
+        """Direction: > 0 when the metric rises with the parameter."""
+        if self.high_value == self.low_value:
+            return 0.0
+        return (self.metric_at_high - self.metric_at_low) / (
+            self.high_value - self.low_value
+        )
+
+
+def tornado(
+    metric: Metric,
+    nominal: Mapping[str, float],
+    ranges: Mapping[str, tuple[float, float]],
+) -> list[SensitivityEntry]:
+    """One-at-a-time sensitivity of *metric* around *nominal*.
+
+    For each parameter in *ranges*, the metric is evaluated with that
+    parameter at its low and high end while all others stay nominal.
+    Entries come back sorted by decreasing swing — the tornado order.
+    """
+    if not ranges:
+        raise ConfigurationError("tornado requires at least one parameter range")
+    unknown = set(ranges) - set(nominal)
+    if unknown:
+        raise ConfigurationError(f"ranges name unknown parameters: {sorted(unknown)}")
+    baseline_metric = metric(nominal)
+    entries: list[SensitivityEntry] = []
+    for name, (low, high) in ranges.items():
+        low_params = dict(nominal)
+        low_params[name] = low
+        high_params = dict(nominal)
+        high_params[name] = high
+        entries.append(
+            SensitivityEntry(
+                parameter=name,
+                low_value=low,
+                high_value=high,
+                metric_at_low=metric(low_params),
+                metric_at_high=metric(high_params),
+                baseline_metric=baseline_metric,
+            )
+        )
+    entries.sort(key=lambda entry: entry.swing, reverse=True)
+    return entries

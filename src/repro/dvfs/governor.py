@@ -1,0 +1,171 @@
+"""Energy-minimal frequency selection: pace versus race-to-idle.
+
+A classical power-management question with a direct FOCAL reading
+(§5.8): given slack — a deadline longer than the work strictly needs —
+should a core *race* at full frequency and idle, or *pace* at a lower
+V/f point and finish just in time?
+
+With the cubic/quadratic scaling laws and an idle-leakage floor the
+answer is analytic in shape: dynamic energy falls quadratically as the
+multiplier drops, but running longer accrues more leakage energy, so
+the energy-minimal multiplier sits strictly between "as slow as the
+deadline allows" and full speed whenever leakage is non-zero.
+
+:func:`optimal_multiplier` finds the energy-minimal frequency
+multiplier within the deadline by golden-section search (the energy
+function is unimodal in the multiplier); :func:`race_vs_pace` compares
+the two classical policies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_at_least, ensure_fraction, ensure_positive
+
+__all__ = ["EnergyModel", "energy_for_multiplier", "optimal_multiplier", "race_vs_pace"]
+
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyModel:
+    """A core's energy model for governor decisions.
+
+    At the nominal multiplier (1.0) the core consumes one unit of
+    power, split into dynamic power (cubic while voltage scales) and
+    leakage (linear in voltage while active). Voltage tracks frequency
+    only down to ``voltage_floor``: below it only the clock slows, so
+    dynamic power scales linearly with ``s`` at the floor voltage and
+    dynamic energy per unit work stops improving — the physical reason
+    race-to-idle can beat pacing. While *idle* the core leaks
+    ``idle_leakage`` regardless of the active operating point.
+    """
+
+    leakage_fraction: float = 0.1
+    idle_leakage: float = 0.05
+    voltage_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "leakage_fraction",
+            ensure_fraction(self.leakage_fraction, "leakage_fraction"),
+        )
+        object.__setattr__(
+            self,
+            "idle_leakage",
+            ensure_fraction(self.idle_leakage, "idle_leakage"),
+        )
+        floor = ensure_positive(self.voltage_floor, "voltage_floor")
+        if floor > 1.0:
+            raise ValidationError(
+                f"voltage_floor must be <= 1, got {floor:g}"
+            )
+        object.__setattr__(self, "voltage_floor", floor)
+
+    def active_power(self, multiplier: float) -> float:
+        """Power while executing at the given frequency multiplier."""
+        s = ensure_positive(multiplier, "multiplier")
+        voltage = max(s, self.voltage_floor)
+        dynamic = (1.0 - self.leakage_fraction) * s * voltage**2
+        leakage = self.leakage_fraction * voltage
+        return dynamic + leakage
+
+
+def energy_for_multiplier(
+    multiplier: float,
+    deadline: float,
+    model: EnergyModel = EnergyModel(),
+) -> float:
+    """Total energy to do one unit of work within *deadline*.
+
+    The busy phase lasts ``1/multiplier`` (work of 1 at nominal speed
+    1); the remaining time idles at the idle-leakage floor. The
+    multiplier must meet the deadline.
+    """
+    s = ensure_positive(multiplier, "multiplier")
+    deadline = ensure_at_least(deadline, 1.0, "deadline")
+    busy_time = 1.0 / s
+    if busy_time > deadline * (1.0 + 1e-12):
+        raise ValidationError(
+            f"multiplier {s:g} misses the deadline "
+            f"(needs {busy_time:g} > {deadline:g})"
+        )
+    idle_time = max(0.0, deadline - busy_time)
+    return model.active_power(s) * busy_time + model.idle_leakage * idle_time
+
+
+def optimal_multiplier(
+    deadline: float,
+    model: EnergyModel = EnergyModel(),
+    *,
+    max_multiplier: float = 1.0,
+    tol: float = 1e-10,
+) -> float:
+    """The energy-minimal multiplier meeting the deadline.
+
+    Searches ``[1/deadline, max_multiplier]`` (slower misses the
+    deadline; faster than nominal is turbo, excluded by default). The
+    energy function is unimodal on this interval, so golden-section
+    converges to the global minimum.
+    """
+    deadline = ensure_at_least(deadline, 1.0, "deadline")
+    max_multiplier = ensure_positive(max_multiplier, "max_multiplier")
+    lo = 1.0 / deadline
+    hi = max_multiplier
+    if lo > hi:
+        raise ValidationError(
+            f"deadline {deadline:g} cannot be met at max multiplier {hi:g}"
+        )
+    # Golden-section search on the unimodal energy function.
+    a, b = lo, hi
+    c = b - _GOLDEN * (b - a)
+    d = a + _GOLDEN * (b - a)
+    f_c = energy_for_multiplier(c, deadline, model)
+    f_d = energy_for_multiplier(d, deadline, model)
+    while b - a > tol:
+        if f_c < f_d:
+            b, d, f_d = d, c, f_c
+            c = b - _GOLDEN * (b - a)
+            f_c = energy_for_multiplier(c, deadline, model)
+        else:
+            a, c, f_c = c, d, f_d
+            d = a + _GOLDEN * (b - a)
+            f_d = energy_for_multiplier(d, deadline, model)
+    return 0.5 * (a + b)
+
+
+@dataclass(frozen=True, slots=True)
+class RaceVsPace:
+    """Comparison of the two classical policies plus the optimum."""
+
+    race_energy: float
+    pace_energy: float
+    optimal_multiplier: float
+    optimal_energy: float
+
+    @property
+    def best_policy(self) -> str:
+        if self.race_energy < self.pace_energy:
+            return "race-to-idle"
+        if self.pace_energy < self.race_energy:
+            return "pace"
+        return "tie"
+
+
+def race_vs_pace(deadline: float, model: EnergyModel = EnergyModel()) -> RaceVsPace:
+    """Race-to-idle (s = 1) versus pace-to-deadline (s = 1/deadline),
+    with the true energy optimum for reference."""
+    best = optimal_multiplier(deadline, model)
+    return RaceVsPace(
+        race_energy=energy_for_multiplier(1.0, deadline, model),
+        pace_energy=energy_for_multiplier(1.0 / deadline, deadline, model),
+        optimal_multiplier=best,
+        optimal_energy=energy_for_multiplier(best, deadline, model),
+    )
+
+
+__all__.append("RaceVsPace")

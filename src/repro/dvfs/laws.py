@@ -1,0 +1,50 @@
+"""Voltage/frequency scaling laws (paper §5.8).
+
+When voltage scales proportionally with frequency (the DVFS operating
+region):
+
+* dynamic power scales **cubically** with the frequency multiplier
+  (``P_dyn ∝ C V^2 f ∝ f^3``);
+* dynamic energy per unit work scales **quadratically**
+  (``E_dyn ∝ C V^2 ∝ f^2``);
+* leakage power scales **linearly** with voltage, hence with the
+  multiplier;
+* performance scales linearly with frequency.
+
+These four laws are all the paper needs for Findings #14 and #15 and
+for the §7 power-capped case study.
+"""
+
+from __future__ import annotations
+
+from ..core.quantities import ensure_positive
+
+__all__ = [
+    "dynamic_power_factor",
+    "dynamic_energy_factor",
+    "leakage_power_factor",
+    "performance_factor",
+]
+
+
+def dynamic_power_factor(freq_multiplier: float) -> float:
+    """Dynamic-power multiplier for a frequency (and voltage) multiplier."""
+    s = ensure_positive(freq_multiplier, "freq_multiplier")
+    return s**3
+
+
+def dynamic_energy_factor(freq_multiplier: float) -> float:
+    """Dynamic energy-per-work multiplier (quadratic in the multiplier)."""
+    s = ensure_positive(freq_multiplier, "freq_multiplier")
+    return s**2
+
+
+def leakage_power_factor(freq_multiplier: float) -> float:
+    """Leakage-power multiplier (linear in voltage = linear in the
+    multiplier within the DVFS region)."""
+    return ensure_positive(freq_multiplier, "freq_multiplier")
+
+
+def performance_factor(freq_multiplier: float) -> float:
+    """Performance multiplier (linear in frequency)."""
+    return ensure_positive(freq_multiplier, "freq_multiplier")

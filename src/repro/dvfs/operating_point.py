@@ -1,0 +1,97 @@
+"""DVFS operating points (paper §5.8, Finding #14).
+
+Re-runs a design at a scaled voltage/frequency point. The design's
+power is split into a dynamic part (cubic in the multiplier) and a
+leakage part (linear); performance scales linearly. On-chip voltage
+regulators add "no more than a couple percent" of core area (Kim et
+al., HPCA'08), modeled by ``regulator_area_overhead``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classify import Sustainability, classify
+from ..core.design import DesignPoint
+from ..core.quantities import ensure_fraction, ensure_non_negative, ensure_positive
+from .laws import dynamic_power_factor, leakage_power_factor, performance_factor
+
+__all__ = ["DVFSConfig", "scale_design", "classify_downscaling"]
+
+
+@dataclass(frozen=True, slots=True)
+class DVFSConfig:
+    """How a design responds to voltage/frequency scaling.
+
+    Parameters
+    ----------
+    leakage_fraction:
+        Share of the design's power that is leakage (scales linearly
+        instead of cubically). 0 = fully dynamic.
+    regulator_area_overhead:
+        Area added by on-chip regulators, as a fraction of the design's
+        area (default 2 %, the "couple percent" of Kim et al.).
+    """
+
+    leakage_fraction: float = 0.1
+    regulator_area_overhead: float = 0.02
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "leakage_fraction",
+            ensure_fraction(self.leakage_fraction, "leakage_fraction"),
+        )
+        object.__setattr__(
+            self,
+            "regulator_area_overhead",
+            ensure_non_negative(
+                self.regulator_area_overhead, "regulator_area_overhead"
+            ),
+        )
+
+
+def scale_design(
+    design: DesignPoint,
+    freq_multiplier: float,
+    config: DVFSConfig = DVFSConfig(),
+    *,
+    include_regulator_area: bool = True,
+) -> DesignPoint:
+    """Return *design* operated at ``freq_multiplier`` times its nominal
+    frequency (with proportional voltage scaling).
+
+    The regulator area is charged once — pass
+    ``include_regulator_area=False`` when comparing two operating
+    points of the *same* DVFS-capable chip.
+    """
+    s = ensure_positive(freq_multiplier, "freq_multiplier")
+    dynamic = (1.0 - config.leakage_fraction) * design.power
+    leakage = config.leakage_fraction * design.power
+    new_power = dynamic * dynamic_power_factor(s) + leakage * leakage_power_factor(s)
+    area_factor = 1.0 + (
+        config.regulator_area_overhead if include_regulator_area else 0.0
+    )
+    return DesignPoint(
+        name=f"{design.name} @ {s:g}x",
+        area=design.area * area_factor,
+        perf=design.perf * performance_factor(s),
+        power=new_power,
+    )
+
+
+def classify_downscaling(
+    alpha: float,
+    freq_multiplier: float = 0.8,
+    config: DVFSConfig = DVFSConfig(),
+) -> Sustainability:
+    """Sustainability category of scaling a core *down* (Finding #14).
+
+    Compares the DVFS-equipped core at the reduced operating point
+    against the fixed-frequency core without regulators. Strongly
+    sustainable whenever the cubic/quadratic savings beat the couple
+    percent of regulator area — i.e. for any non-trivial downscaling.
+    """
+    baseline = DesignPoint.baseline("fixed-frequency core")
+    scaled = scale_design(baseline, freq_multiplier, config)
+    return classify(scaled, baseline, alpha).category

@@ -1,0 +1,51 @@
+"""Iso-power frequency solving (used by the paper's §7 case study).
+
+Modern processors are power-constrained: adding cores forces the clock
+(and voltage) down so that total power stays within the budget. With
+the cubic power–frequency law, average multicore power at frequency
+multiplier ``phi`` is
+
+    P(phi, N) = (phi / phi_nominal)^3 * Pshape(N)
+
+where ``Pshape(N)`` is the Woo–Lee average-power shape of the N-core
+chip at the nominal multiplier. Solving ``P = budget`` gives
+
+    phi = phi_nominal * (budget / Pshape(N))^(1/3)
+
+Reproduces the paper's quoted multipliers exactly: the 4-core die
+shrink runs at 1.41x (post-Dennard nominal) and the 8-core option drops
+to 1.233x ≈ the paper's 1.24x.
+"""
+
+from __future__ import annotations
+
+from ..core.quantities import ensure_positive
+
+__all__ = ["capped_frequency_multiplier"]
+
+
+def capped_frequency_multiplier(
+    power_at_nominal: float,
+    power_budget: float,
+    nominal_multiplier: float = 1.0,
+) -> float:
+    """Frequency multiplier that exactly meets the power budget.
+
+    Parameters
+    ----------
+    power_at_nominal:
+        Average power the chip would draw at ``nominal_multiplier``.
+    power_budget:
+        The allowed average power (same units).
+    nominal_multiplier:
+        The frequency multiplier at which *power_at_nominal* holds
+        (e.g. 1.41 for a post-Dennard die shrink at full node speed).
+
+    Returns the multiplier ``phi`` with
+    ``(phi/nominal)^3 * power_at_nominal == power_budget``. Values
+    above the nominal multiplier mean the budget leaves headroom.
+    """
+    power_at_nominal = ensure_positive(power_at_nominal, "power_at_nominal")
+    power_budget = ensure_positive(power_budget, "power_budget")
+    nominal_multiplier = ensure_positive(nominal_multiplier, "nominal_multiplier")
+    return nominal_multiplier * (power_budget / power_at_nominal) ** (1.0 / 3.0)

@@ -1,0 +1,93 @@
+"""Turbo boosting (paper §5.8, Finding #15).
+
+Boosting clock frequency and voltage when thermal headroom allows
+(Rotem et al., the Sandy Bridge power architecture) raises both power
+(cubically) and energy (quadratically), on top of the extra chip area
+for the boost circuitry — under FOCAL a *less sustainable* mechanism
+under every scenario and weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classify import Sustainability, classify
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_fraction, ensure_non_negative, ensure_positive
+from .laws import dynamic_energy_factor, dynamic_power_factor
+
+__all__ = ["TurboBoost", "boosted_design", "classify_turboboost"]
+
+
+@dataclass(frozen=True, slots=True)
+class TurboBoost:
+    """A turbo-boost configuration.
+
+    Parameters
+    ----------
+    boost_multiplier:
+        Frequency multiplier while boosting (> 1).
+    boost_residency:
+        Fraction of execution time spent boosted (thermal headroom
+        limits residency; 1.0 = always boosted).
+    circuitry_area_overhead:
+        Extra chip area for the boost/power-management circuitry.
+    """
+
+    boost_multiplier: float = 1.2
+    boost_residency: float = 1.0
+    circuitry_area_overhead: float = 0.01
+
+    def __post_init__(self) -> None:
+        multiplier = ensure_positive(self.boost_multiplier, "boost_multiplier")
+        if multiplier <= 1.0:
+            raise ValidationError(
+                f"boost_multiplier must exceed 1, got {multiplier:g} "
+                "(use repro.dvfs.scale_design for downscaling)"
+            )
+        object.__setattr__(self, "boost_multiplier", multiplier)
+        object.__setattr__(
+            self,
+            "boost_residency",
+            ensure_fraction(self.boost_residency, "boost_residency"),
+        )
+        object.__setattr__(
+            self,
+            "circuitry_area_overhead",
+            ensure_non_negative(
+                self.circuitry_area_overhead, "circuitry_area_overhead"
+            ),
+        )
+
+
+def boosted_design(base: DesignPoint, boost: TurboBoost) -> DesignPoint:
+    """*base* equipped with turbo boost, time-weighted over residency.
+
+    During the boosted fraction of time performance rises linearly and
+    power cubically; the rest of the time runs at nominal. Energy per
+    unit work follows from the quadratic law per unit of boosted work.
+    """
+    r = boost.boost_residency
+    s = boost.boost_multiplier
+    # Work done per unit time: nominal work in (1-r), boosted in r.
+    perf = base.perf * ((1.0 - r) + r * s)
+    power = base.power * ((1.0 - r) + r * dynamic_power_factor(s))
+    # Consistency check: energy per work = power / perf; per-work energy of
+    # boosted work alone is base.energy * s^2 as the quadratic law demands
+    # when r = 1.
+    _ = dynamic_energy_factor  # documented relation, derived via power/perf
+    return DesignPoint(
+        name=f"{base.name} +turbo {s:g}x@{r:.0%}",
+        area=base.area * (1.0 + boost.circuitry_area_overhead),
+        perf=perf,
+        power=power,
+    )
+
+
+def classify_turboboost(
+    alpha: float, boost: TurboBoost = TurboBoost()
+) -> Sustainability:
+    """Finding #15: turbo boosting is less sustainable at any alpha."""
+    base = DesignPoint.baseline("nominal core")
+    return classify(boosted_design(base, boost), base, alpha).category

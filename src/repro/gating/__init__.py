@@ -1,0 +1,17 @@
+"""Power/energy saving via pipeline gating (paper §5.9, Finding #16)."""
+
+from .pipeline_gating import (
+    PARIKH_GATING,
+    PipelineGatingEffect,
+    classify_gating,
+    gated_design,
+    gating_ncf,
+)
+
+__all__ = [
+    "PipelineGatingEffect",
+    "PARIKH_GATING",
+    "gated_design",
+    "gating_ncf",
+    "classify_gating",
+]

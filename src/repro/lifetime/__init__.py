@@ -1,0 +1,18 @@
+"""Lifetime and replacement analyses: GreenChip indifference points and
+junkyard-computing amortization (paper §8 related work)."""
+
+from .act_bridge import device_from_act
+from .replacement import (
+    DeviceFootprint,
+    breakeven_lifetime_extension,
+    footprint_per_work,
+    indifference_point,
+)
+
+__all__ = [
+    "DeviceFootprint",
+    "indifference_point",
+    "footprint_per_work",
+    "breakeven_lifetime_extension",
+    "device_from_act",
+]

@@ -1,0 +1,34 @@
+"""Bridge from the bottom-up ACT model to lifetime analyses."""
+
+from __future__ import annotations
+
+from ..act.model import ActChipSpec, ActModel
+from ..core.quantities import ensure_positive
+from .replacement import DeviceFootprint
+
+__all__ = ["device_from_act"]
+
+_HOURS_PER_YEAR = 365.0 * 24.0
+
+
+def device_from_act(
+    spec: ActChipSpec,
+    model: ActModel | None = None,
+    *,
+    performance: float = 1.0,
+) -> DeviceFootprint:
+    """Convert an ACT chip spec into a :class:`DeviceFootprint`.
+
+    The embodied footprint comes straight from the ACT estimate; the
+    operational rate is the use-phase footprint divided by the spec's
+    lifetime, i.e. kg CO2e per year of the spec's duty cycle.
+    """
+    act = model or ActModel()
+    footprint = act.footprint(spec)
+    years = ensure_positive(spec.lifetime_hours, "lifetime_hours") / _HOURS_PER_YEAR
+    return DeviceFootprint(
+        name=spec.name,
+        embodied=footprint.embodied_kg,
+        operational_rate=footprint.operational_kg / years,
+        performance=performance,
+    )

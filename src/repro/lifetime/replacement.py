@@ -1,0 +1,149 @@
+"""Device lifetime and replacement analysis (paper §8 related work).
+
+Two analyses the paper surveys are natural FOCAL companions and are
+implemented here on top of the same first-order quantities:
+
+* **GreenChip's indifference point** (Kline et al.): when does a new,
+  more efficient device's *total* footprint (its embodied cost plus its
+  use-phase emissions) drop below the *marginal* footprint of simply
+  keeping the old device running? Before that time, upgrading increases
+  total emissions; after it, the upgrade has paid for itself.
+* **Junkyard amortization** (Switzer et al.): extending a device's
+  lifetime amortizes its (sunk) embodied footprint over more service,
+  cutting the footprint per unit of work delivered.
+
+All quantities are in arbitrary consistent units (e.g. kg CO2e and
+years); :func:`device_from_act` bridges from the bottom-up ACT model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "DeviceFootprint",
+    "indifference_point",
+    "footprint_per_work",
+    "breakeven_lifetime_extension",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceFootprint:
+    """A device's carbon profile for lifetime analyses.
+
+    Parameters
+    ----------
+    name:
+        Label for reports.
+    embodied:
+        One-time manufacturing footprint (e.g. kg CO2e).
+    operational_rate:
+        Use-phase footprint per unit time (e.g. kg CO2e / year).
+    performance:
+        Work delivered per unit time, used by per-work metrics
+        (arbitrary units; default 1).
+    """
+
+    name: str
+    embodied: float
+    operational_rate: float
+    performance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("DeviceFootprint.name must be non-empty")
+        object.__setattr__(self, "embodied", ensure_non_negative(self.embodied, "embodied"))
+        object.__setattr__(
+            self,
+            "operational_rate",
+            ensure_non_negative(self.operational_rate, "operational_rate"),
+        )
+        object.__setattr__(
+            self, "performance", ensure_positive(self.performance, "performance")
+        )
+
+    def total_footprint(self, lifetime: float) -> float:
+        """Embodied plus use-phase footprint over *lifetime*."""
+        ensure_non_negative(lifetime, "lifetime")
+        return self.embodied + self.operational_rate * lifetime
+
+    def embodied_share(self, lifetime: float) -> float:
+        """The device's own embodied-vs-total split at a given lifetime
+        — the empirical face of FOCAL's alpha_E2O."""
+        total = self.total_footprint(lifetime)
+        if total == 0.0:
+            return 0.0
+        return self.embodied / total
+
+
+def indifference_point(old: DeviceFootprint, new: DeviceFootprint) -> float | None:
+    """GreenChip's indifference point for replacing *old* with *new*.
+
+    The old device's embodied footprint is sunk; keeping it costs
+    ``rate_old * t`` going forward. Replacing costs
+    ``embodied_new + rate_new * t``. The crossing
+
+        t* = embodied_new / (rate_old - rate_new)
+
+    is the service time after which the upgrade is carbon-positive.
+    Returns ``None`` when the new device does not save operational
+    footprint (no crossing: the upgrade never pays).
+    """
+    saving_rate = old.operational_rate - new.operational_rate
+    if saving_rate <= 0.0:
+        return None
+    point = new.embodied / saving_rate
+    # A vanishing saving rate can overflow to infinity: the upgrade
+    # effectively never pays back.
+    if not math.isfinite(point):
+        return None
+    return point
+
+
+def footprint_per_work(device: DeviceFootprint, lifetime: float) -> float:
+    """Lifetime footprint divided by lifetime work (junkyard metric).
+
+    Monotonically decreasing in lifetime when the embodied share is
+    non-zero: longer service amortizes manufacturing.
+    """
+    lifetime = ensure_positive(lifetime, "lifetime")
+    work = device.performance * lifetime
+    return device.total_footprint(lifetime) / work
+
+
+def breakeven_lifetime_extension(
+    old: DeviceFootprint,
+    new: DeviceFootprint,
+    new_lifetime: float,
+) -> float | None:
+    """How much longer *old* must serve to beat buying *new*.
+
+    Compares footprint *per unit of work* over the planning horizon:
+    the new device delivers ``perf_new * new_lifetime`` work at
+    ``embodied_new + rate_new * new_lifetime``; the answer is the
+    service time ``t`` at which the (sunk-embodied) old device matches
+    that per-work footprint:
+
+        rate_old / perf_old = (embodied_new + rate_new * L) / (perf_new * L)
+        -> matching is possible only if old's marginal per-work rate is
+           below new's all-in per-work rate; otherwise returns None.
+
+    When possible, *any* continued use of the old device already beats
+    the new one per unit of work, so the function returns 0.0; when the
+    old device's marginal rate is higher, no extension helps and it
+    returns None. The interesting output is therefore the comparison of
+    the two rates, exposed as a crossover decision.
+    """
+    ensure_positive(new_lifetime, "new_lifetime")
+    old_marginal_per_work = old.operational_rate / old.performance
+    new_per_work = (
+        new.total_footprint(new_lifetime) / (new.performance * new_lifetime)
+    )
+    if old_marginal_per_work <= new_per_work:
+        return 0.0
+    return None

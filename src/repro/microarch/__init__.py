@@ -1,0 +1,16 @@
+"""Core microarchitectures: InO, FSC, OoO (paper §5.6, Figure 7)."""
+
+from .cores import CORE_ROSTER, FSC_CORE, INO_CORE, OOO_CORE, core_by_name
+from .study import CoreChartPoint, CoreComparison, compare_cores, core_chart
+
+__all__ = [
+    "INO_CORE",
+    "FSC_CORE",
+    "OOO_CORE",
+    "CORE_ROSTER",
+    "core_by_name",
+    "CoreChartPoint",
+    "core_chart",
+    "CoreComparison",
+    "compare_cores",
+]

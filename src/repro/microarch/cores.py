@@ -1,0 +1,45 @@
+"""Core microarchitecture design points (paper §5.6, Figure 7).
+
+The paper compares three 2-wide, 2 GHz cores with identical cache
+hierarchies, using McPAT + CACTI 6.5 numbers at 22 nm quoted from
+Lakshminarasimhan et al., "The Forward Slice Core Microarchitecture"
+(PACT 2020), all relative to the in-order (InO) core:
+
+* **FSC** (forward slice core): +64 % performance, +1 % area,
+  +1 % power;
+* **OoO** (out-of-order): +75 % performance, +39 % area, 2.32x power.
+
+These are encoded as :class:`~repro.core.design.DesignPoint` constants
+with the InO core as the unit baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.design import DesignPoint
+
+__all__ = ["INO_CORE", "FSC_CORE", "OOO_CORE", "CORE_ROSTER", "core_by_name"]
+
+#: The in-order baseline core (unit design).
+INO_CORE = DesignPoint(name="InO", area=1.0, perf=1.0, power=1.0)
+
+#: Forward Slice Core: near-OoO performance at near-InO cost.
+FSC_CORE = DesignPoint(name="FSC", area=1.01, perf=1.64, power=1.01)
+
+#: Out-of-order core.
+OOO_CORE = DesignPoint(name="OoO", area=1.39, perf=1.75, power=2.32)
+
+#: All three cores, InO first (the normalization baseline).
+CORE_ROSTER: tuple[DesignPoint, ...] = (INO_CORE, FSC_CORE, OOO_CORE)
+
+_BY_NAME = {core.name: core for core in CORE_ROSTER}
+
+
+def core_by_name(name: str) -> DesignPoint:
+    """Look up one of the three §5.6 cores by name (InO/FSC/OoO)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        from ..core.errors import ValidationError
+
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValidationError(f"unknown core {name!r}; known cores: {known}") from None

@@ -1,0 +1,93 @@
+"""The core-microarchitecture study (paper §5.6, Findings #9–#11).
+
+Produces the Figure 7 chart points (NCF versus performance for InO,
+FSC and OoO under the four scenario panels) and the pairwise
+comparisons behind the findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.classify import Sustainability, classify
+from ..core.design import DesignPoint
+from ..core.ncf import ncf, relative_footprint
+from ..core.scenario import UseScenario
+from .cores import CORE_ROSTER, INO_CORE
+
+__all__ = ["CoreChartPoint", "core_chart", "compare_cores"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreChartPoint:
+    """One core's position on a Figure 7 panel."""
+
+    name: str
+    perf: float
+    ncf: float
+
+
+def core_chart(
+    scenario: UseScenario,
+    alpha: float,
+    cores: Sequence[DesignPoint] = CORE_ROSTER,
+    baseline: DesignPoint = INO_CORE,
+) -> list[CoreChartPoint]:
+    """Chart points for one Figure 7 panel (one scenario, one alpha)."""
+    return [
+        CoreChartPoint(
+            name=core.name,
+            perf=core.perf_ratio(baseline),
+            ncf=ncf(core, baseline, scenario, alpha),
+        )
+        for core in cores
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class CoreComparison:
+    """Pairwise comparison of two cores under one alpha regime.
+
+    ``footprint_ratio_*`` are chart-NCF ratios (the paper's percentage
+    convention); ``category`` classifies design vs baseline directly.
+    """
+
+    design: str
+    baseline: str
+    alpha: float
+    perf_ratio: float
+    footprint_ratio_fixed_work: float
+    footprint_ratio_fixed_time: float
+    category: Sustainability
+
+
+def compare_cores(
+    design: DesignPoint,
+    baseline: DesignPoint,
+    alpha: float,
+    chart_baseline: DesignPoint = INO_CORE,
+) -> CoreComparison:
+    """Compare two cores the way the paper's text does.
+
+    Footprint ratios are ratios of chart NCF values (both cores
+    normalized to *chart_baseline*, InO); the sustainability category
+    comes from the direct pairwise NCF.
+    """
+    verdict = classify(design, baseline, alpha)
+    return CoreComparison(
+        design=design.name,
+        baseline=baseline.name,
+        alpha=alpha,
+        perf_ratio=design.perf_ratio(baseline),
+        footprint_ratio_fixed_work=relative_footprint(
+            design, baseline, chart_baseline, UseScenario.FIXED_WORK, alpha
+        ),
+        footprint_ratio_fixed_time=relative_footprint(
+            design, baseline, chart_baseline, UseScenario.FIXED_TIME, alpha
+        ),
+        category=verdict.category,
+    )
+
+
+__all__.append("CoreComparison")

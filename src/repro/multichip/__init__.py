@@ -1,0 +1,16 @@
+"""Chiplet disaggregation and the performance-per-wafer metric
+(Zhang et al., the paper's ref. [52])."""
+
+from .chiplets import (
+    ChipletPartition,
+    PartitionOutcome,
+    best_partition,
+    evaluate_partition,
+)
+
+__all__ = [
+    "ChipletPartition",
+    "PartitionOutcome",
+    "evaluate_partition",
+    "best_partition",
+]

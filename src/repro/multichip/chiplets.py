@@ -1,0 +1,190 @@
+"""Chiplet disaggregation and the performance-per-wafer metric.
+
+Zhang et al. (CAL 2023, the paper's ref. [52]) balance performance
+against cost and sustainability in multi-chip-module GPUs via a
+*performance per wafer* metric. This module implements that analysis on
+top of this repository's wafer/yield substrate:
+
+* a **monolithic** design of area ``A`` yields poorly at large ``A``;
+* a **chiplet** design splits the logic into ``k`` dies of area
+  ``A/k`` each (plus a per-die area overhead for die-to-die
+  interfaces), each yielding much better, at the price of a packaging
+  footprint overhead and an inter-chiplet performance penalty.
+
+The embodied footprint per *system* follows FOCAL's §3.1 proxy: wafer
+footprint divided by good systems per wafer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..core.quantities import (
+    ensure_fraction,
+    ensure_int_at_least,
+    ensure_non_negative,
+    ensure_positive,
+)
+from ..wafer.embodied import EmbodiedFootprintModel
+from ..wafer.yield_models import MurphyYield
+
+__all__ = ["ChipletPartition", "PartitionOutcome", "evaluate_partition", "best_partition"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChipletPartition:
+    """One way to build a system of ``logic_area_mm2`` of logic.
+
+    Parameters
+    ----------
+    chiplets:
+        Number of dies the logic is split into (1 = monolithic).
+    logic_area_mm2:
+        Total logic area of the system, excluding overheads.
+    interface_overhead:
+        Extra area per chiplet for die-to-die PHYs, as a fraction of
+        the chiplet's logic area (charged only when chiplets > 1).
+    packaging_overhead:
+        Extra embodied footprint for the multi-die package (interposer,
+        bonding), as a fraction of the silicon embodied footprint
+        (charged only when chiplets > 1).
+    perf_penalty_per_cut:
+        Multiplicative performance loss per additional chiplet beyond
+        the first (inter-die latency/bandwidth), e.g. 0.02 = 2 %.
+    """
+
+    chiplets: int
+    logic_area_mm2: float
+    interface_overhead: float = 0.10
+    packaging_overhead: float = 0.10
+    perf_penalty_per_cut: float = 0.02
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "chiplets", ensure_int_at_least(self.chiplets, 1, "chiplets")
+        )
+        object.__setattr__(
+            self,
+            "logic_area_mm2",
+            ensure_positive(self.logic_area_mm2, "logic_area_mm2"),
+        )
+        object.__setattr__(
+            self,
+            "interface_overhead",
+            ensure_non_negative(self.interface_overhead, "interface_overhead"),
+        )
+        object.__setattr__(
+            self,
+            "packaging_overhead",
+            ensure_non_negative(self.packaging_overhead, "packaging_overhead"),
+        )
+        object.__setattr__(
+            self,
+            "perf_penalty_per_cut",
+            ensure_fraction(self.perf_penalty_per_cut, "perf_penalty_per_cut"),
+        )
+
+    @property
+    def die_area_mm2(self) -> float:
+        """Area of one die, including the interface overhead."""
+        per_die_logic = self.logic_area_mm2 / self.chiplets
+        if self.chiplets == 1:
+            return per_die_logic
+        return per_die_logic * (1.0 + self.interface_overhead)
+
+    @property
+    def total_silicon_mm2(self) -> float:
+        return self.die_area_mm2 * self.chiplets
+
+    @property
+    def performance(self) -> float:
+        """System performance relative to the monolithic design."""
+        return (1.0 - self.perf_penalty_per_cut) ** (self.chiplets - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionOutcome:
+    """Evaluated metrics for one partition."""
+
+    partition: ChipletPartition
+    die_yield: float
+    systems_per_wafer: float
+    embodied_per_system: float
+    performance: float
+
+    @property
+    def perf_per_wafer(self) -> float:
+        """Zhang et al.'s metric: aggregate performance a wafer buys."""
+        return self.systems_per_wafer * self.performance
+
+    def design_point(self, name: str | None = None) -> DesignPoint:
+        """As a FOCAL design point: area = embodied-per-system proxy.
+
+        Power is approximated as proportional to total silicon (the
+        interface overhead burns energy too).
+        """
+        return DesignPoint(
+            name=name or f"{self.partition.chiplets} chiplet(s)",
+            area=self.embodied_per_system,
+            perf=self.performance,
+            power=self.partition.total_silicon_mm2 / self.partition.logic_area_mm2,
+        )
+
+
+def evaluate_partition(
+    partition: ChipletPartition,
+    model: EmbodiedFootprintModel | None = None,
+) -> PartitionOutcome:
+    """Evaluate yield, embodied footprint and performance-per-wafer."""
+    wafer_model = model or EmbodiedFootprintModel(yield_model=MurphyYield())
+    die_area = partition.die_area_mm2
+    good_dies = wafer_model.good_chips_per_wafer(die_area)
+    systems = good_dies / partition.chiplets
+    silicon_embodied = partition.chiplets * wafer_model.footprint_per_chip(die_area)
+    if partition.chiplets > 1:
+        silicon_embodied *= 1.0 + partition.packaging_overhead
+    return PartitionOutcome(
+        partition=partition,
+        die_yield=wafer_model.yield_model.die_yield(die_area),
+        systems_per_wafer=systems,
+        embodied_per_system=silicon_embodied,
+        performance=partition.performance,
+    )
+
+
+def best_partition(
+    logic_area_mm2: float,
+    max_chiplets: int = 8,
+    model: EmbodiedFootprintModel | None = None,
+    **partition_kwargs: float,
+) -> PartitionOutcome:
+    """The partition maximizing performance per wafer.
+
+    Sweeps 1..max_chiplets; raises when no candidate is valid (e.g. a
+    monolithic die beyond the wafer formula's validity *and* every
+    split also invalid, which cannot happen for sane inputs).
+    """
+    ensure_int_at_least(max_chiplets, 1, "max_chiplets")
+    best: PartitionOutcome | None = None
+    from ..core.errors import DomainError
+
+    for k in range(1, max_chiplets + 1):
+        try:
+            outcome = evaluate_partition(
+                ChipletPartition(
+                    chiplets=k, logic_area_mm2=logic_area_mm2, **partition_kwargs
+                ),
+                model,
+            )
+        except DomainError:
+            continue  # die too large for the wafer formula
+        if best is None or outcome.perf_per_wafer > best.perf_per_wafer:
+            best = outcome
+    if best is None:
+        raise ValidationError(
+            f"no valid partition of {logic_area_mm2:g} mm^2 into "
+            f"<= {max_chiplets} chiplets"
+        )
+    return best

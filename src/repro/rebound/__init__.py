@@ -1,0 +1,17 @@
+"""Quantitative rebound-effect modeling: the continuum between the
+paper's fixed-work and fixed-time scenarios, plus deployment rebound
+(paper §3.7)."""
+
+from .model import (
+    ReboundModel,
+    classify_with_rebound,
+    rebound_ncf,
+    usage_rebound_tipping_point,
+)
+
+__all__ = [
+    "ReboundModel",
+    "rebound_ncf",
+    "classify_with_rebound",
+    "usage_rebound_tipping_point",
+]

@@ -1,0 +1,34 @@
+"""Reporting: chart data types, tables, ASCII plots, and exporters."""
+
+from .ascii_plot import PlotCanvas, render_panel, render_series
+from .export import (
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+    figure_to_markdown,
+    read_figure,
+    write_figure,
+)
+from .series import FigureResult, Panel, Point, Series
+from .svg import figure_to_html, render_panel_svg
+from .table import format_mapping_rows, format_table
+
+__all__ = [
+    "Point",
+    "Series",
+    "Panel",
+    "FigureResult",
+    "format_table",
+    "format_mapping_rows",
+    "PlotCanvas",
+    "render_panel",
+    "render_series",
+    "figure_to_csv",
+    "figure_to_json",
+    "figure_to_markdown",
+    "figure_from_json",
+    "write_figure",
+    "read_figure",
+    "render_panel_svg",
+    "figure_to_html",
+]

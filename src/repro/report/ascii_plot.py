@@ -1,0 +1,134 @@
+"""ASCII scatter plots.
+
+The paper's figures are scatter/line charts; with no plotting library
+available offline, the CLI renders them as character rasters — enough
+to eyeball curve shapes, crossovers and orderings in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from .series import Panel, Series
+
+__all__ = ["PlotCanvas", "render_panel"]
+
+_MARKERS = "ox+*#@%&sdv^"
+
+
+@dataclass
+class PlotCanvas:
+    """A character raster with data-space axes."""
+
+    width: int = 72
+    height: int = 20
+    x_min: float = 0.0
+    x_max: float = 1.0
+    y_min: float = 0.0
+    y_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width < 10 or self.height < 5:
+            raise ValidationError("canvas must be at least 10x5")
+        if not (self.x_max > self.x_min and self.y_max > self.y_min):
+            raise ValidationError("canvas extents must be non-degenerate")
+        self._cells = [[" "] * self.width for _ in range(self.height)]
+
+    def _to_cell(self, x: float, y: float) -> tuple[int, int] | None:
+        if not (math.isfinite(x) and math.isfinite(y)):
+            return None
+        if not (self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max):
+            return None
+        col = round((x - self.x_min) / (self.x_max - self.x_min) * (self.width - 1))
+        row = round((self.y_max - y) / (self.y_max - self.y_min) * (self.height - 1))
+        return row, col
+
+    def mark(self, x: float, y: float, marker: str) -> None:
+        cell = self._to_cell(x, y)
+        if cell is None:
+            return
+        row, col = cell
+        self._cells[row][col] = marker[0]
+
+    def hline(self, y: float, char: str = "-") -> None:
+        """Horizontal reference line (e.g. NCF = 1), drawn under data."""
+        cell = self._to_cell(self.x_min, y)
+        if cell is None:
+            return
+        row, _ = cell
+        for col in range(self.width):
+            if self._cells[row][col] == " ":
+                self._cells[row][col] = char
+
+    def render(self) -> str:
+        y_lo = f"{self.y_min:g}"
+        y_hi = f"{self.y_max:g}"
+        gutter = max(len(y_lo), len(y_hi)) + 1
+        lines = []
+        for i, row in enumerate(self._cells):
+            if i == 0:
+                prefix = y_hi.rjust(gutter)
+            elif i == self.height - 1:
+                prefix = y_lo.rjust(gutter)
+            else:
+                prefix = " " * gutter
+            lines.append(prefix + "|" + "".join(row))
+        lines.append(" " * gutter + "+" + "-" * self.width)
+        x_axis = f"{self.x_min:g}".ljust(self.width // 2) + f"{self.x_max:g}".rjust(
+            self.width - self.width // 2
+        )
+        lines.append(" " * (gutter + 1) + x_axis)
+        return "\n".join(lines)
+
+
+def _extent(values: list[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        pad = abs(lo) * 0.1 or 1.0
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.05
+    return lo - pad, hi + pad
+
+
+def render_panel(
+    panel: Panel,
+    *,
+    width: int = 72,
+    height: int = 20,
+    reference_y: float | None = 1.0,
+) -> str:
+    """Render one figure panel as an ASCII chart with a legend.
+
+    ``reference_y`` draws a horizontal guide (the NCF = 1 boundary by
+    default); pass ``None`` to omit it.
+    """
+    xs = [p.x for s in panel.series for p in s.points]
+    ys = [p.y for s in panel.series for p in s.points]
+    if reference_y is not None:
+        ys.append(reference_y)
+    x_min, x_max = _extent(xs)
+    y_min, y_max = _extent(ys)
+    canvas = PlotCanvas(
+        width=width, height=height, x_min=x_min, x_max=x_max, y_min=y_min, y_max=y_max
+    )
+    if reference_y is not None:
+        canvas.hline(reference_y)
+    legend: list[str] = []
+    for index, series in enumerate(panel.series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {series.name}")
+        for point in series.points:
+            canvas.mark(point.x, point.y, marker)
+    header = f"{panel.name}   [y: {panel.y_label}; x: {panel.x_label}]"
+    return "\n".join([header, canvas.render(), "legend:"] + legend)
+
+
+def render_series(series: Series, **kwargs: object) -> str:
+    """Render a single series (wrapped in an anonymous panel)."""
+    panel = Panel(name=series.name, x_label="x", y_label="y", series=(series,))
+    return render_panel(panel, **kwargs)  # type: ignore[arg-type]
+
+
+__all__.append("render_series")

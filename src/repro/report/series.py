@@ -1,0 +1,121 @@
+"""Chart data types: points, series, and figure results.
+
+Every study driver returns a :class:`FigureResult` — a named set of
+:class:`Series` — which feeds the tests, the benchmarks, the CLI's
+ASCII rendering, and the CSV/JSON exporters, so a figure is computed
+exactly once and consumed everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..core.errors import ValidationError
+
+__all__ = ["Point", "Series", "Panel", "FigureResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """One chart point, optionally labelled (e.g. "16 BCEs", "4MB")."""
+
+    x: float
+    y: float
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """A named sequence of points (one curve/legend entry)."""
+
+    name: str
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("Series.name must be non-empty")
+        if not self.points:
+            raise ValidationError(f"series {self.name!r} has no points")
+
+    @classmethod
+    def from_xy(
+        cls,
+        name: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        labels: Sequence[str] | None = None,
+    ) -> "Series":
+        if len(xs) != len(ys):
+            raise ValidationError(
+                f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values"
+            )
+        if labels is not None and len(labels) != len(xs):
+            raise ValidationError(f"series {name!r}: label count mismatch")
+        labels = labels or [""] * len(xs)
+        return cls(
+            name=name,
+            points=tuple(Point(float(x), float(y), lab) for x, y, lab in zip(xs, ys, labels)),
+        )
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        return tuple(p.x for p in self.points)
+
+    @property
+    def ys(self) -> tuple[float, ...]:
+        return tuple(p.y for p in self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True, slots=True)
+class Panel:
+    """One subfigure: axis labels plus its series."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: tuple[Series, ...]
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValidationError(f"panel {self.name!r} has no series")
+
+    def series_by_name(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        known = ", ".join(s.name for s in self.series)
+        raise ValidationError(f"no series {name!r} in panel {self.name!r}; have: {known}")
+
+
+@dataclass(frozen=True, slots=True)
+class FigureResult:
+    """A reproduced figure: an id (e.g. "figure3"), a caption, panels."""
+
+    figure_id: str
+    caption: str
+    panels: tuple[Panel, ...]
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.panels:
+            raise ValidationError(f"figure {self.figure_id!r} has no panels")
+
+    def panel(self, name: str) -> Panel:
+        for panel in self.panels:
+            if panel.name == name:
+                return panel
+        known = ", ".join(p.name for p in self.panels)
+        raise ValidationError(
+            f"no panel {name!r} in {self.figure_id!r}; have: {known}"
+        )
+
+    @property
+    def total_points(self) -> int:
+        return sum(len(s) for panel in self.panels for s in panel.series)

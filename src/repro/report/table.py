@@ -1,0 +1,75 @@
+"""Plain-text table rendering.
+
+Monospace tables for terminal output: the CLI, the benchmark harness
+(which prints the same rows the paper's figures plot), and the
+examples. Keeps formatting concerns out of the model code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.errors import ValidationError
+
+__all__ = ["format_table", "format_mapping_rows"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render headers + rows as an aligned monospace table."""
+    if not headers:
+        raise ValidationError("format_table requires headers")
+    rendered_rows = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    for i, row in enumerate(rendered_rows):
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {i} has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_mapping_rows(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows (e.g. ``as_dict()`` outputs) as a table.
+
+    Column order defaults to the first row's key order.
+    """
+    if not rows:
+        raise ValidationError("format_mapping_rows requires at least one row")
+    cols = list(columns) if columns else list(rows[0].keys())
+    table_rows = [[row.get(col, "") for col in cols] for row in rows]
+    return format_table(cols, table_rows, precision=precision, title=title)

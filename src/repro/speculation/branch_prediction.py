@@ -1,0 +1,120 @@
+"""Branch-prediction sustainability model (paper §5.7, Figure 8).
+
+Parikh et al. (HPCA 2002) report that their largest hybrid branch
+predictor reduces total CPU *energy* by 7 % and improves performance by
+14 % versus a small bimodal predictor — which implies CPU *power* rises
+by 6.6 % (0.93 x 1.14 ≈ 1.066). The predictor's chip area was not
+reported; the paper therefore sweeps it from 0 % to 8 % of the core
+(modern TAGE-SC-L predictors land around 4.4 %), which is Figure 8's
+x-axis.
+
+Finding #12 falls out of the affine structure: under fixed-work +
+operational-dominated the footprint drops for any realistic size; under
+embodied-dominated + fixed-work the predictor must stay below ~2 % of
+core area; under fixed-time it never pays off (power went up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.ncf import ncf
+from ..core.quantities import ensure_fraction, ensure_non_negative, ensure_positive
+from ..core.scenario import UseScenario
+
+__all__ = [
+    "BranchPredictorEffect",
+    "PARIKH_HYBRID",
+    "predictor_design",
+    "ncf_vs_area",
+    "max_sustainable_area",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BranchPredictorEffect:
+    """Workload-level effect of a branch predictor versus a baseline
+    predictor: performance and energy multipliers (power is implied)."""
+
+    perf_factor: float
+    energy_factor: float
+    name: str = "branch predictor"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "perf_factor", ensure_positive(self.perf_factor, "perf_factor")
+        )
+        object.__setattr__(
+            self, "energy_factor", ensure_positive(self.energy_factor, "energy_factor")
+        )
+
+    @property
+    def power_factor(self) -> float:
+        """Power = energy x performance."""
+        return self.energy_factor * self.perf_factor
+
+
+#: Parikh et al.: the largest hybrid predictor vs a small bimodal one.
+PARIKH_HYBRID = BranchPredictorEffect(
+    perf_factor=1.14, energy_factor=0.93, name="hybrid (Parikh et al.)"
+)
+
+
+def predictor_design(
+    area_share: float,
+    effect: BranchPredictorEffect = PARIKH_HYBRID,
+) -> DesignPoint:
+    """Core-with-predictor design point versus the bimodal baseline.
+
+    ``area_share`` is the predictor's share of *core* chip area
+    (Figure 8's x-axis, 0–0.08).
+    """
+    area_share = ensure_non_negative(area_share, "area_share")
+    return DesignPoint(
+        name=f"{effect.name} @ {area_share:.1%} area",
+        area=1.0 + area_share,
+        perf=effect.perf_factor,
+        power=effect.power_factor,
+    )
+
+
+def ncf_vs_area(
+    area_share: float,
+    scenario: UseScenario,
+    alpha: float,
+    effect: BranchPredictorEffect = PARIKH_HYBRID,
+) -> float:
+    """One point of Figure 8: NCF at the given predictor area share."""
+    return ncf(
+        predictor_design(area_share, effect),
+        DesignPoint.baseline("bimodal"),
+        scenario,
+        alpha,
+    )
+
+
+def max_sustainable_area(
+    scenario: UseScenario,
+    alpha: float,
+    effect: BranchPredictorEffect = PARIKH_HYBRID,
+) -> float | None:
+    """Largest predictor area share with NCF <= 1, or None if none.
+
+    Solves ``alpha (1 + x) + (1 - alpha) op = 1`` for ``x``; the NCF is
+    affine and increasing in the area share, so the boundary is exact:
+    ``x* = (1 - op) (1 - alpha) / alpha`` (infinite for alpha = 0 when
+    the operational proxy improves).
+    """
+    ensure_fraction(alpha, "alpha")
+    operational = (
+        effect.energy_factor
+        if scenario is UseScenario.FIXED_WORK
+        else effect.power_factor
+    )
+    if alpha == 0.0:
+        return float("inf") if operational <= 1.0 else None
+    boundary = (1.0 - operational) * (1.0 - alpha) / alpha
+    if boundary < 0.0:
+        return None
+    return boundary

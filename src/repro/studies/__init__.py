@@ -1,0 +1,51 @@
+"""Per-figure study drivers, the Findings verification table, and the
+§7 case study."""
+
+from .case_study import CaseStudyConfig, CaseStudyPoint, case_study, figure9
+from .common import FOUR_PANELS, TWO_WEIGHT_PANELS, PanelSpec
+from .figure1 import figure1
+from .figure2 import figure2
+from .figure3 import PAPER_BCE_LADDER, PAPER_PARALLEL_FRACTIONS, figure3
+from .figure4 import figure4
+from .figure5 import figure5
+from .figure6 import figure6
+from .figure7 import figure7
+from .figure8 import figure8
+from .findings import FindingCheck, all_findings, failed_findings
+from .mechanisms import (
+    PAPER_CATEGORIES,
+    MechanismEntry,
+    catalogue_pairs,
+    mechanism_catalogue,
+)
+from .registry import STUDIES, run_study, study_names
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "case_study",
+    "CaseStudyConfig",
+    "CaseStudyPoint",
+    "FindingCheck",
+    "all_findings",
+    "failed_findings",
+    "MechanismEntry",
+    "PAPER_CATEGORIES",
+    "mechanism_catalogue",
+    "catalogue_pairs",
+    "STUDIES",
+    "run_study",
+    "study_names",
+    "PanelSpec",
+    "FOUR_PANELS",
+    "TWO_WEIGHT_PANELS",
+    "PAPER_BCE_LADDER",
+    "PAPER_PARALLEL_FRACTIONS",
+]

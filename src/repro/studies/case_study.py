@@ -1,0 +1,180 @@
+"""Figure 9 / §7: the sustainable-multicore-design case study.
+
+A quad-core (4 BCE) processor moves to the next technology node. The
+design options integrate 4-8 cores of the unchanged microarchitecture
+under an *iso-power* constraint: total average power in the new node
+equals the old node's. Assumptions (paper §7):
+
+* modestly parallel workload, f = 0.75; idle-core leakage gamma = 0.2;
+* post-Dennard device scaling: at the nominal new-node frequency
+  (1.41x the old node's) a shrunk core consumes the old core's power;
+* the iso-power cap is enforced through cubic voltage/frequency
+  scaling, so the achievable frequency multiplier falls from 1.41x at
+  4 cores to ~1.24x at 8 cores;
+* embodied footprint per chip scales with chip area times the Imec
+  +25.2 % per-node wafer-footprint growth: 0.625 for the 4-core die
+  shrink, 1.25 for the constant-area 8-core option.
+
+Under fixed-time the operational footprint is unchanged (power is
+capped at the old budget); under fixed-work it improves with achieved
+performance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from ..amdahl.symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+from ..core.classify import Sustainability, classify_values
+from ..core.ncf import ncf_from_ratios
+from ..core.quantities import ensure_fraction, ensure_int_at_least
+from ..core.scenario import UseScenario
+from ..dvfs.power_cap import capped_frequency_multiplier
+from ..report.series import FigureResult, Panel, Point, Series
+from ..technode.imec import IMEC_IEDM2020, ImecGrowthRates
+from ..technode.scaling import POST_DENNARD_SCALING
+from .common import TWO_WEIGHT_PANELS
+
+__all__ = ["CaseStudyConfig", "CaseStudyPoint", "case_study", "figure9"]
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyConfig:
+    """Inputs of the §7 case study (defaults = the paper's values)."""
+
+    old_cores: int = 4
+    core_options: tuple[int, ...] = (4, 5, 6, 7, 8)
+    parallel_fraction: float = 0.75
+    leakage: float = DEFAULT_LEAKAGE
+    nominal_frequency_gain: float = POST_DENNARD_SCALING.frequency_factor
+    rates: ImecGrowthRates = IMEC_IEDM2020
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "old_cores", ensure_int_at_least(self.old_cores, 1, "old_cores")
+        )
+        object.__setattr__(
+            self,
+            "parallel_fraction",
+            ensure_fraction(self.parallel_fraction, "parallel_fraction"),
+        )
+        object.__setattr__(self, "leakage", ensure_fraction(self.leakage, "leakage"))
+        for n in self.core_options:
+            ensure_int_at_least(n, 1, "core option")
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudyPoint:
+    """One core-count option in the new node, relative to the old-node
+    quad-core: all ratios are new / old."""
+
+    cores: int
+    frequency_multiplier: float
+    perf: float
+    embodied: float
+    power: float
+
+    @property
+    def energy(self) -> float:
+        return self.power / self.perf
+
+    def ncf(self, scenario: UseScenario, alpha: float) -> float:
+        operational = self.energy if scenario is UseScenario.FIXED_WORK else self.power
+        return ncf_from_ratios(self.embodied, operational, alpha)
+
+    def category(self, alpha: float) -> Sustainability:
+        return classify_values(
+            self.ncf(UseScenario.FIXED_WORK, alpha),
+            self.ncf(UseScenario.FIXED_TIME, alpha),
+        )
+
+
+def case_study(config: CaseStudyConfig = CaseStudyConfig()) -> list[CaseStudyPoint]:
+    """Evaluate every core-count option of the §7 case study."""
+    old = SymmetricMulticore(
+        cores=config.old_cores,
+        parallel_fraction=config.parallel_fraction,
+        leakage=config.leakage,
+    )
+    power_budget = old.power  # iso-power: the old chip's average power
+    points = []
+    for cores in config.core_options:
+        new = SymmetricMulticore(
+            cores=cores,
+            parallel_fraction=config.parallel_fraction,
+            leakage=config.leakage,
+        )
+        # Average power at the nominal new-node frequency (1.41x): each
+        # shrunk core consumes the old per-core power (post-Dennard), so
+        # the Woo-Lee shape applies unchanged; the cap then sets the
+        # cubic frequency back-off.
+        phi = capped_frequency_multiplier(
+            power_at_nominal=new.power,
+            power_budget=power_budget,
+            nominal_multiplier=config.nominal_frequency_gain,
+        )
+        perf_ratio = (phi / 1.0) * new.speedup / old.speedup
+        area_ratio = cores / config.old_cores
+        embodied = (
+            area_ratio
+            * POST_DENNARD_SCALING.area_factor
+            * config.rates.wafer_footprint_multiplier(1)
+        )
+        points.append(
+            CaseStudyPoint(
+                cores=cores,
+                frequency_multiplier=phi,
+                perf=perf_ratio,
+                embodied=embodied,
+                power=1.0,  # iso-power by construction
+            )
+        )
+    return points
+
+
+def figure9(config: CaseStudyConfig = CaseStudyConfig()) -> FigureResult:
+    """Reproduce Figure 9 (both panels) from the case study."""
+    points = case_study(config)
+    panels = []
+    for _, title, weight in TWO_WEIGHT_PANELS:
+        series = []
+        for scenario in (UseScenario.FIXED_WORK, UseScenario.FIXED_TIME):
+            series.append(
+                Series(
+                    name=scenario.value,
+                    points=tuple(
+                        Point(
+                            x=p.perf,
+                            y=p.ncf(scenario, weight.alpha),
+                            label=f"{p.cores} cores",
+                        )
+                        for p in points
+                    ),
+                )
+            )
+        panels.append(
+            Panel(
+                name=title,
+                x_label="normalized performance",
+                y_label="normalized carbon footprint",
+                series=tuple(series),
+            )
+        )
+    freq_low = min(p.frequency_multiplier for p in points)
+    freq_high = max(p.frequency_multiplier for p in points)
+    return FigureResult(
+        figure_id="figure9",
+        caption=(
+            "Next-node multicore options (4-8 cores) vs the old-node "
+            "quad-core under an iso-power cap; f = "
+            f"{config.parallel_fraction:g}, gamma = {config.leakage:g}. "
+            "4-6 cores are strongly sustainable; 7-8 cores are weakly (or "
+            "not) sustainable."
+        ),
+        panels=tuple(panels),
+        notes=(
+            f"Achievable frequency multipliers span {freq_low:.3f}x to "
+            f"{freq_high:.3f}x (paper: 1.24x to 1.41x).",
+            f"sanity: sqrt(2) nominal gain = {math.sqrt(2):.3f}",
+        ),
+    )

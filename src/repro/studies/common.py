@@ -1,0 +1,69 @@
+"""Shared scaffolding for the figure studies.
+
+The paper's §5 figures share a four-panel layout: {embodied-dominated,
+operational-dominated} x {fixed-work, fixed-time}. This module holds
+the panel specs and small helpers the individual figure drivers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scenario import (
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+    E2OWeight,
+    UseScenario,
+)
+
+__all__ = ["PanelSpec", "FOUR_PANELS", "TWO_WEIGHT_PANELS"]
+
+
+@dataclass(frozen=True, slots=True)
+class PanelSpec:
+    """One panel's scenario and weight regime."""
+
+    key: str
+    title: str
+    scenario: UseScenario
+    weight: E2OWeight
+
+    @property
+    def alpha(self) -> float:
+        return self.weight.alpha
+
+
+#: The standard four-panel layout of Figures 3, 4 and 7.
+FOUR_PANELS: tuple[PanelSpec, ...] = (
+    PanelSpec(
+        key="a",
+        title="(a) embodied dominated, fixed-work",
+        scenario=UseScenario.FIXED_WORK,
+        weight=EMBODIED_DOMINATED,
+    ),
+    PanelSpec(
+        key="b",
+        title="(b) embodied dominated, fixed-time",
+        scenario=UseScenario.FIXED_TIME,
+        weight=EMBODIED_DOMINATED,
+    ),
+    PanelSpec(
+        key="c",
+        title="(c) operational dominated, fixed-work",
+        scenario=UseScenario.FIXED_WORK,
+        weight=OPERATIONAL_DOMINATED,
+    ),
+    PanelSpec(
+        key="d",
+        title="(d) operational dominated, fixed-time",
+        scenario=UseScenario.FIXED_TIME,
+        weight=OPERATIONAL_DOMINATED,
+    ),
+)
+
+#: The two-panel layout of Figures 6, 8 and 9: one panel per weight
+#: regime, each carrying both scenarios as series.
+TWO_WEIGHT_PANELS: tuple[tuple[str, str, E2OWeight], ...] = (
+    ("a", "(a) embodied dominated", EMBODIED_DOMINATED),
+    ("b", "(b) operational dominated", OPERATIONAL_DOMINATED),
+)

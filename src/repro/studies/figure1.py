@@ -1,0 +1,67 @@
+"""Figure 1: embodied footprint per chip versus die size.
+
+300 mm wafer, die sizes from 100 mm^2 up to 800 mm^2 (near the reticle
+limit), normalized to 100 mm^2; perfect yield versus the Murphy model
+at 0.09 defects/cm^2.
+"""
+
+from __future__ import annotations
+
+from ..report.series import FigureResult, Panel, Point, Series
+from ..wafer.embodied import FIGURE1_REFERENCE_AREA_MM2, EmbodiedFootprintModel
+from ..wafer.yield_models import (
+    TSMC_VOLUME_DEFECT_DENSITY,
+    MurphyYield,
+    PerfectYield,
+)
+
+__all__ = ["figure1", "PAPER_DIE_SIZES_MM2"]
+
+#: The paper's x-axis: 100 to 800 mm^2.
+PAPER_DIE_SIZES_MM2: tuple[float, ...] = tuple(range(100, 801, 25))
+
+
+def figure1(
+    die_sizes_mm2: tuple[float, ...] = PAPER_DIE_SIZES_MM2,
+    defect_density_per_cm2: float = TSMC_VOLUME_DEFECT_DENSITY,
+) -> FigureResult:
+    """Reproduce Figure 1 (both yield curves, normalized to 100 mm^2)."""
+    perfect = EmbodiedFootprintModel(yield_model=PerfectYield())
+    murphy = EmbodiedFootprintModel(
+        yield_model=MurphyYield(defect_density_per_cm2=defect_density_per_cm2)
+    )
+
+    def series_for(model: EmbodiedFootprintModel, name: str) -> Series:
+        points = [
+            Point(
+                x=area,
+                y=model.normalized_footprint(area, FIGURE1_REFERENCE_AREA_MM2),
+                label=f"{area:g}mm2",
+            )
+            for area in die_sizes_mm2
+        ]
+        return Series(name=name, points=tuple(points))
+
+    panel = Panel(
+        name="embodied footprint per chip vs die size",
+        x_label="die size (mm2)",
+        y_label="normalized embodied footprint per chip",
+        series=(
+            series_for(perfect, "perfect yield"),
+            series_for(murphy, "Murphy model"),
+        ),
+    )
+    return FigureResult(
+        figure_id="figure1",
+        caption=(
+            "Embodied footprint per chip as a function of die size for a "
+            "300 mm wafer, perfect yield vs the Murphy model "
+            f"(D0 = {defect_density_per_cm2} /cm2), normalized to 100 mm2."
+        ),
+        panels=(panel,),
+        notes=(
+            "Perfect yield grows near-linearly with die size; Murphy grows "
+            "super-linearly (second-degree-polynomial-like), matching the "
+            "paper's trendline remark.",
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Figure 2: the fixed-work versus fixed-time proxies, illustrated.
+
+Figure 2 is conceptual — power-over-time profiles for two designs under
+the two lifetime scenarios — but it is still a figure, so we reproduce
+it as data: exact step profiles for a slow/frugal design X and a
+fast/hungry design Y over a unit observation window.
+
+* **fixed-work** (panel a): both designs perform one unit of work. X
+  takes longer at lower power; Y finishes early and idles. The
+  highlighted areas (energy = integral of power) are what the scenario
+  compares.
+* **fixed-time** (panel b): Y uses its freed-up time for extra work, so
+  both designs are busy for the whole window; total energy is now
+  proportional to *power*, the fixed-time proxy.
+
+The series are step functions sampled at the phase boundaries, so the
+areas computed from them are exact; :func:`profile_energy` integrates a
+profile and the tests verify the proxy identities the caption states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import DesignPoint
+from ..core.quantities import ensure_non_negative
+from ..report.series import FigureResult, Panel, Point, Series
+
+__all__ = ["figure2", "profile_energy", "DEFAULT_X", "DEFAULT_Y", "IDLE_POWER"]
+
+#: The illustration's two designs: X slow and frugal, Y fast and hungry.
+DEFAULT_X = DesignPoint("design X", area=1.0, perf=1.0, power=1.0)
+DEFAULT_Y = DesignPoint("design Y", area=1.0, perf=2.0, power=3.0)
+
+#: Idle power while a design waits out the rest of the window.
+IDLE_POWER = 0.1
+
+
+def _step_profile(name: str, segments: list[tuple[float, float]]) -> Series:
+    """A step function as a series: each segment is (duration, power).
+
+    Points come in pairs per segment (start and end at the same power),
+    so a line through them draws the rectangle outline exactly.
+    """
+    points: list[Point] = []
+    t = 0.0
+    for duration, power in segments:
+        points.append(Point(x=t, y=power, label=""))
+        t += duration
+        points.append(Point(x=t, y=power, label=""))
+    return Series(name=name, points=tuple(points))
+
+
+def profile_energy(series: Series) -> float:
+    """Integrate a step profile: sum of width x height per segment."""
+    total = 0.0
+    points = series.points
+    for start, end in zip(points[::2], points[1::2]):
+        width = ensure_non_negative(end.x - start.x, "segment width")
+        total += width * start.y
+    return total
+
+
+def figure2(
+    design_x: DesignPoint = DEFAULT_X,
+    design_y: DesignPoint = DEFAULT_Y,
+    idle_power: float = IDLE_POWER,
+) -> FigureResult:
+    """Reproduce Figure 2's two panels as exact step profiles.
+
+    The observation window is the slower design's execution time for
+    one unit of work (normalized to 1).
+    """
+    ensure_non_negative(idle_power, "idle_power")
+    window = 1.0 / min(design_x.perf, design_y.perf)
+
+    def busy_time(design: DesignPoint) -> float:
+        return 1.0 / design.perf
+
+    fixed_work = Panel(
+        name="(a) fixed-work",
+        x_label="time",
+        y_label="power",
+        series=(
+            _step_profile(
+                design_x.name,
+                [(busy_time(design_x), design_x.power)]
+                + (
+                    [(window - busy_time(design_x), idle_power)]
+                    if window > busy_time(design_x)
+                    else []
+                ),
+            ),
+            _step_profile(
+                design_y.name,
+                [(busy_time(design_y), design_y.power)]
+                + (
+                    [(window - busy_time(design_y), idle_power)]
+                    if window > busy_time(design_y)
+                    else []
+                ),
+            ),
+        ),
+    )
+    fixed_time = Panel(
+        name="(b) fixed-time",
+        x_label="time",
+        y_label="power",
+        series=(
+            _step_profile(design_x.name, [(window, design_x.power)]),
+            _step_profile(
+                f"{design_y.name} (+extra work)", [(window, design_y.power)]
+            ),
+        ),
+    )
+    return FigureResult(
+        figure_id="figure2",
+        caption=(
+            "Operational footprint is proportional to energy under "
+            "fixed-work (a) and to power under fixed-time (b): the "
+            "highlighted areas are the step-profile integrals."
+        ),
+        panels=(fixed_work, fixed_time),
+        notes=(
+            "Conceptual figure reproduced as exact step profiles; "
+            "profile_energy() integrates them and the tests verify the "
+            "caption's proxy identities.",
+        ),
+    )

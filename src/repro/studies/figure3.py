@@ -1,0 +1,98 @@
+"""Figure 3: symmetric multicore versus single-core sustainability.
+
+Four panels ({embodied, operational} x {fixed-work, fixed-time}); per
+panel one curve per parallel fraction f in {0.5, 0.7, 0.8, 0.9, 0.95}
+with points at N in {1, 2, 4, 8, 16, 32} BCEs, plus the Pollack
+single-core curve over the same BCE ladder. Everything is normalized
+to the one-BCE single-core processor; gamma = 0.2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..amdahl.pollack import big_core_design
+from ..amdahl.symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+from ..core.design import DesignPoint
+from ..core.ncf import ncf
+from ..report.series import FigureResult, Panel, Point, Series
+from .common import FOUR_PANELS, PanelSpec
+
+__all__ = ["figure3", "PAPER_BCE_LADDER", "PAPER_PARALLEL_FRACTIONS"]
+
+#: The paper's BCE counts: powers of two from 1 to 32.
+PAPER_BCE_LADDER: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: The paper's parallel fractions.
+PAPER_PARALLEL_FRACTIONS: tuple[float, ...] = (0.5, 0.7, 0.8, 0.9, 0.95)
+
+
+def _multicore_series(
+    spec: PanelSpec,
+    parallel_fraction: float,
+    bces: Sequence[int],
+    leakage: float,
+    baseline: DesignPoint,
+) -> Series:
+    points = []
+    for n in bces:
+        design = SymmetricMulticore(
+            cores=n, parallel_fraction=parallel_fraction, leakage=leakage
+        ).design_point()
+        points.append(
+            Point(
+                x=design.perf_ratio(baseline),
+                y=ncf(design, baseline, spec.scenario, spec.alpha),
+                label=f"{n} BCEs",
+            )
+        )
+    return Series(name=f"f={parallel_fraction:g}", points=tuple(points))
+
+
+def _single_core_series(
+    spec: PanelSpec, bces: Sequence[int], baseline: DesignPoint
+) -> Series:
+    points = []
+    for n in bces:
+        design = big_core_design(n)
+        points.append(
+            Point(
+                x=design.perf_ratio(baseline),
+                y=ncf(design, baseline, spec.scenario, spec.alpha),
+                label=f"{n} BCEs",
+            )
+        )
+    return Series(name="single-core", points=tuple(points))
+
+
+def figure3(
+    bces: Sequence[int] = PAPER_BCE_LADDER,
+    parallel_fractions: Sequence[float] = PAPER_PARALLEL_FRACTIONS,
+    leakage: float = DEFAULT_LEAKAGE,
+) -> FigureResult:
+    """Reproduce Figure 3 (all four panels)."""
+    baseline = DesignPoint.baseline("1-BCE single-core")
+    panels = []
+    for spec in FOUR_PANELS:
+        series = [_single_core_series(spec, bces, baseline)]
+        series.extend(
+            _multicore_series(spec, f, bces, leakage, baseline)
+            for f in parallel_fractions
+        )
+        panels.append(
+            Panel(
+                name=spec.title,
+                x_label="normalized performance",
+                y_label="normalized carbon footprint",
+                series=tuple(series),
+            )
+        )
+    return FigureResult(
+        figure_id="figure3",
+        caption=(
+            "Symmetric multicore vs single-core, 1-32 BCEs, f in "
+            f"{list(parallel_fractions)}, gamma = {leakage:g}; normalized to "
+            "the one-BCE single core. Multicore is strongly sustainable."
+        ),
+        panels=tuple(panels),
+    )

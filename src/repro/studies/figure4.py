@@ -1,0 +1,95 @@
+"""Figure 4: asymmetric versus symmetric multicore sustainability.
+
+Asymmetric multicores pair one 4-BCE big core with N-4 small one-BCE
+cores, compared against symmetric multicores of the same total area;
+N in {8, 16, 32}, f in {0.5, 0.8, 0.95}, gamma = 0.2, normalized to
+the one-BCE single core.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..amdahl.asymmetric import AsymmetricMulticore
+from ..amdahl.symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+from ..core.design import DesignPoint
+from ..core.ncf import ncf
+from ..report.series import FigureResult, Panel, Point, Series
+from .common import FOUR_PANELS, PanelSpec
+
+__all__ = ["figure4", "PAPER_ASYM_BCES", "PAPER_ASYM_FRACTIONS", "PAPER_BIG_CORE_BCES"]
+
+#: The paper's configurations for Figure 4.
+PAPER_ASYM_BCES: tuple[int, ...] = (8, 16, 32)
+PAPER_ASYM_FRACTIONS: tuple[float, ...] = (0.5, 0.8, 0.95)
+PAPER_BIG_CORE_BCES = 4
+
+
+def _series(
+    spec: PanelSpec,
+    kind: str,
+    parallel_fraction: float,
+    bces: Sequence[int],
+    big_core_bces: int,
+    leakage: float,
+    baseline: DesignPoint,
+) -> Series:
+    points = []
+    for n in bces:
+        if kind == "sym":
+            design = SymmetricMulticore(
+                cores=n, parallel_fraction=parallel_fraction, leakage=leakage
+            ).design_point()
+        else:
+            design = AsymmetricMulticore(
+                total_bces=n,
+                big_core_bces=big_core_bces,
+                parallel_fraction=parallel_fraction,
+                leakage=leakage,
+            ).design_point()
+        points.append(
+            Point(
+                x=design.perf_ratio(baseline),
+                y=ncf(design, baseline, spec.scenario, spec.alpha),
+                label=f"{n} BCEs",
+            )
+        )
+    return Series(name=f"{kind} {parallel_fraction:g}", points=tuple(points))
+
+
+def figure4(
+    bces: Sequence[int] = PAPER_ASYM_BCES,
+    parallel_fractions: Sequence[float] = PAPER_ASYM_FRACTIONS,
+    big_core_bces: int = PAPER_BIG_CORE_BCES,
+    leakage: float = DEFAULT_LEAKAGE,
+) -> FigureResult:
+    """Reproduce Figure 4 (all four panels, sym + asym series)."""
+    baseline = DesignPoint.baseline("1-BCE single-core")
+    panels = []
+    for spec in FOUR_PANELS:
+        series = []
+        for f in parallel_fractions:
+            series.append(
+                _series(spec, "sym", f, bces, big_core_bces, leakage, baseline)
+            )
+            series.append(
+                _series(spec, "asym", f, bces, big_core_bces, leakage, baseline)
+            )
+        panels.append(
+            Panel(
+                name=spec.title,
+                x_label="normalized performance",
+                y_label="normalized carbon footprint",
+                series=tuple(series),
+            )
+        )
+    return FigureResult(
+        figure_id="figure4",
+        caption=(
+            "Asymmetric multicores (one "
+            f"{big_core_bces}-BCE big core plus N-{big_core_bces} one-BCE "
+            "small cores) vs symmetric multicores of equal area; normalized "
+            "to the one-BCE single core. Heterogeneity is weakly sustainable."
+        ),
+        panels=tuple(panels),
+    )

@@ -1,0 +1,69 @@
+"""Figure 5: hardware acceleration and dark silicon.
+
+Panel (a): the H.264 accelerator (+6.5 % area, 500x energy advantage);
+panel (b): the dark-silicon SoC (+200 % area). Each panel plots NCF
+versus the fraction of time on the accelerator for the embodied- and
+operational-dominated regimes. Fixed-work and fixed-time coincide here
+because the accelerator delivers the same performance as the host core.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..accel.accelerator import HAMEED_H264, AcceleratedSystem, Accelerator
+from ..accel.dark_silicon import PAPER_DARK_SILICON
+from ..core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED, UseScenario
+from ..report.series import FigureResult, Panel, Point, Series
+
+__all__ = ["figure5", "DEFAULT_UTILIZATIONS"]
+
+#: The x-axis sweep: fraction of time on the accelerator.
+DEFAULT_UTILIZATIONS: tuple[float, ...] = tuple(i / 20.0 for i in range(21))
+
+
+def _panel(
+    name: str,
+    accelerator: Accelerator,
+    utilizations: Sequence[float],
+) -> Panel:
+    series = []
+    for weight in (EMBODIED_DOMINATED, OPERATIONAL_DOMINATED):
+        points = [
+            Point(
+                x=t,
+                y=AcceleratedSystem(accelerator, t).ncf(
+                    weight.alpha, UseScenario.FIXED_WORK
+                ),
+                label=f"t={t:g}",
+            )
+            for t in utilizations
+        ]
+        series.append(Series(name=weight.name, points=tuple(points)))
+    return Panel(
+        name=name,
+        x_label="fraction of time on accelerator",
+        y_label="normalized carbon footprint",
+        series=tuple(series),
+    )
+
+
+def figure5(utilizations: Sequence[float] = DEFAULT_UTILIZATIONS) -> FigureResult:
+    """Reproduce Figure 5 (both panels)."""
+    dark = PAPER_DARK_SILICON.as_accelerator()
+    return FigureResult(
+        figure_id="figure5",
+        caption=(
+            "Total footprint of hardware specialization normalized to the "
+            "OoO core: (a) +6.5 % chip area, (b) +200 % chip area (dark "
+            "silicon), both with a 500x energy advantage."
+        ),
+        panels=(
+            _panel("(a) 6.5% extra chip area", HAMEED_H264, utilizations),
+            _panel("(b) 200% extra chip area", dark, utilizations),
+        ),
+        notes=(
+            "Fixed-work and fixed-time NCF coincide: the accelerator matches "
+            "the host core's performance, so power and energy ratios are equal.",
+        ),
+    )

@@ -1,0 +1,45 @@
+"""Figure 7: InO versus FSC versus OoO microarchitectures.
+
+Four panels; each scatters the three cores in the NCF-versus-
+performance plane, normalized to InO.
+"""
+
+from __future__ import annotations
+
+from ..microarch.cores import INO_CORE
+from ..microarch.study import core_chart
+from ..report.series import FigureResult, Panel, Point, Series
+from .common import FOUR_PANELS
+
+__all__ = ["figure7"]
+
+
+def figure7() -> FigureResult:
+    """Reproduce Figure 7 (all four panels)."""
+    panels = []
+    for spec in FOUR_PANELS:
+        chart = core_chart(spec.scenario, spec.alpha)
+        series = Series(
+            name="cores",
+            points=tuple(
+                Point(x=point.perf, y=point.ncf, label=point.name) for point in chart
+            ),
+        )
+        panels.append(
+            Panel(
+                name=spec.title,
+                x_label="normalized performance",
+                y_label="normalized carbon footprint",
+                series=(series,),
+            )
+        )
+    return FigureResult(
+        figure_id="figure7",
+        caption=(
+            "InO, FSC and OoO microarchitectures, normalized to InO "
+            f"(baseline {INO_CORE.name}). OoO is less sustainable than InO; "
+            "FSC is (close to) strongly sustainable vs InO and strongly "
+            "sustainable vs OoO."
+        ),
+        panels=tuple(panels),
+    )

@@ -1,0 +1,59 @@
+"""Figure 8: branch-prediction sustainability versus predictor area.
+
+NCF as a function of the predictor's share of core chip area (0-8 %),
+one panel per alpha regime with fixed-work and fixed-time series, using
+Parikh et al.'s measured -7 % energy / +14 % performance effect.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.scenario import UseScenario
+from ..report.series import FigureResult, Panel, Point, Series
+from ..speculation.branch_prediction import PARIKH_HYBRID, BranchPredictorEffect, ncf_vs_area
+from .common import TWO_WEIGHT_PANELS
+
+__all__ = ["figure8", "DEFAULT_AREA_SHARES"]
+
+#: The x-axis: predictor area share, 0 % to 8 %.
+DEFAULT_AREA_SHARES: tuple[float, ...] = tuple(i / 200.0 for i in range(17))
+
+
+def figure8(
+    area_shares: Sequence[float] = DEFAULT_AREA_SHARES,
+    effect: BranchPredictorEffect = PARIKH_HYBRID,
+) -> FigureResult:
+    """Reproduce Figure 8 (both panels)."""
+    panels = []
+    for _, title, weight in TWO_WEIGHT_PANELS:
+        series = []
+        for scenario in (UseScenario.FIXED_WORK, UseScenario.FIXED_TIME):
+            points = tuple(
+                Point(
+                    x=share,
+                    y=ncf_vs_area(share, scenario, weight.alpha, effect),
+                    label=f"{share:.1%}",
+                )
+                for share in area_shares
+            )
+            series.append(Series(name=scenario.value, points=points))
+        panels.append(
+            Panel(
+                name=title,
+                x_label="branch predictor chip area",
+                y_label="normalized carbon footprint",
+                series=tuple(series),
+            )
+        )
+    return FigureResult(
+        figure_id="figure8",
+        caption=(
+            "Sustainability impact of branch prediction: NCF vs predictor "
+            "area share (Parikh et al.: -7 % energy, +14 % performance vs a "
+            "small bimodal predictor). Weakly sustainable when operational "
+            "emissions dominate; not sustainable beyond ~2 % area when "
+            "embodied emissions dominate."
+        ),
+        panels=tuple(panels),
+    )

@@ -1,0 +1,56 @@
+"""Study registry: every figure driver by name.
+
+The registry decouples consumers (CLI, benchmarks, integration tests)
+from the individual driver modules; ``run_study("figure3")`` is the
+single entry point for regenerating any figure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import UnknownStudyError
+from ..report.series import FigureResult
+from .case_study import figure9
+from .figure1 import figure1
+from .figure2 import figure2
+from .figure3 import figure3
+from .figure4 import figure4
+from .figure5 import figure5
+from .figure6 import figure6
+from .figure7 import figure7
+from .figure8 import figure8
+
+__all__ = ["STUDIES", "run_study", "study_names"]
+
+StudyDriver = Callable[[], FigureResult]
+
+#: All figures; Figure 2 is the paper's conceptual illustration,
+#: reproduced as exact step profiles (see repro.studies.figure2).
+STUDIES: dict[str, StudyDriver] = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+}
+
+
+def study_names() -> list[str]:
+    """Sorted names of all registered studies."""
+    return sorted(STUDIES)
+
+
+def run_study(name: str) -> FigureResult:
+    """Regenerate one figure by name (e.g. ``"figure3"``)."""
+    try:
+        driver = STUDIES[name]
+    except KeyError:
+        raise UnknownStudyError(
+            f"unknown study {name!r}; available: {', '.join(study_names())}"
+        ) from None
+    return driver()

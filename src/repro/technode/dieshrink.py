@@ -1,0 +1,123 @@
+"""Die-shrink sustainability analysis (paper §6, Finding #17).
+
+Re-implementing an existing processor in the next node halves its chip
+area but raises the per-wafer manufacturing footprint (Imec: +25.2 %
+scope-2, +19.5 % scope-1 per transition). To first order the embodied
+footprint per chip is proportional to area times per-wafer footprint,
+so a die shrink nets
+
+    embodied multiplier = 0.5 * 1.252 = 0.626  (scope-2-driven)
+
+— a clear reduction: *a die shrink is strongly sustainable* (the
+operational footprint also never increases, in either scaling regime).
+
+:func:`die_shrink` produces the shrunk design as a
+:class:`~repro.core.design.DesignPoint` whose area field carries the
+*embodied-footprint-equivalent* area (area multiplier times wafer-
+footprint multiplier), so NCF computations against the old-node design
+need no special-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.classify import Sustainability, classify_values
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..core.ncf import ncf_from_ratios
+from ..core.scenario import UseScenario
+from .imec import IMEC_IEDM2020, ImecGrowthRates
+from .scaling import POST_DENNARD_SCALING, ScalingRegime
+
+__all__ = ["DieShrinkOutcome", "die_shrink", "classify_die_shrink"]
+
+
+@dataclass(frozen=True, slots=True)
+class DieShrinkOutcome:
+    """All first-order multipliers of one die shrink.
+
+    Every field is the new-node value divided by the old-node value for
+    the *same* circuit.
+    """
+
+    regime: str
+    transitions: int
+    area: float
+    embodied: float
+    power: float
+    performance: float
+
+    @property
+    def energy(self) -> float:
+        return self.power / self.performance
+
+    def ncf(self, scenario: UseScenario, alpha: float) -> float:
+        """NCF of the shrunk design versus the old-node design."""
+        operational = self.energy if scenario is UseScenario.FIXED_WORK else self.power
+        return ncf_from_ratios(self.embodied, operational, alpha)
+
+
+def die_shrink(
+    regime: ScalingRegime = POST_DENNARD_SCALING,
+    transitions: int = 1,
+    rates: ImecGrowthRates = IMEC_IEDM2020,
+) -> DieShrinkOutcome:
+    """First-order multipliers for shrinking a circuit *transitions*
+    nodes ahead under the given scaling *regime*."""
+    if transitions < 0:
+        raise ValidationError(f"transitions must be >= 0, got {transitions}")
+    scaled = regime.after(transitions)
+    area = scaled.area_factor
+    embodied = area * rates.wafer_footprint_multiplier(transitions)
+    return DieShrinkOutcome(
+        regime=regime.name,
+        transitions=transitions,
+        area=area,
+        embodied=embodied,
+        power=scaled.power_factor,
+        performance=scaled.performance_factor,
+    )
+
+
+def classify_die_shrink(
+    regime: ScalingRegime = POST_DENNARD_SCALING,
+    alpha: float = 0.5,
+    transitions: int = 1,
+    rates: ImecGrowthRates = IMEC_IEDM2020,
+) -> Sustainability:
+    """Sustainability category of a die shrink (Finding #17: strong).
+
+    Post-Dennard fixed-time is exactly neutral on the operational axis
+    (power unchanged), and the embodied axis improves, so the aggregate
+    still classifies as strongly sustainable.
+    """
+    outcome = die_shrink(regime, transitions, rates)
+    return classify_values(
+        outcome.ncf(UseScenario.FIXED_WORK, alpha),
+        outcome.ncf(UseScenario.FIXED_TIME, alpha),
+    )
+
+
+def shrunk_design(
+    design: DesignPoint,
+    regime: ScalingRegime = POST_DENNARD_SCALING,
+    transitions: int = 1,
+    rates: ImecGrowthRates = IMEC_IEDM2020,
+) -> DesignPoint:
+    """Return *design* re-implemented *transitions* nodes ahead.
+
+    The returned design's ``area`` is the embodied-footprint-equivalent
+    area (it already folds in the per-wafer footprint growth), so NCF
+    against the original design is directly meaningful.
+    """
+    outcome = die_shrink(regime, transitions, rates)
+    return DesignPoint(
+        name=f"{design.name} ({regime.name} shrink x{transitions})",
+        area=design.area * outcome.embodied,
+        perf=design.perf * outcome.performance,
+        power=design.power * outcome.power,
+    )
+
+
+__all__.append("shrunk_design")

@@ -1,0 +1,78 @@
+"""CMOS technology-node roster.
+
+A minimal representation of the logic nodes the paper's manufacturing
+data spans (Imec's DTCO study covers 28 nm down to 3 nm). Nodes are
+ordered from oldest (largest feature size) to newest; consecutive nodes
+are one "node transition" apart, which is the unit the Imec growth
+rates apply to (paper §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_int_at_least, ensure_positive
+
+__all__ = ["TechNode", "NODE_ROSTER", "node_by_name", "transitions_between"]
+
+
+@dataclass(frozen=True, slots=True)
+class TechNode:
+    """One logic technology node.
+
+    ``index`` orders nodes oldest-to-newest (28 nm = 0); ``label`` is
+    the marketing name; ``years_per_node`` reflects the roughly
+    two-year cadence used to convert annual growth rates to per-node
+    rates.
+    """
+
+    label: str
+    feature_nm: float
+    index: int
+    years_per_node: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValidationError("TechNode.label must be non-empty")
+        object.__setattr__(self, "feature_nm", ensure_positive(self.feature_nm, "feature_nm"))
+        object.__setattr__(self, "index", ensure_int_at_least(self.index, 0, "index"))
+        object.__setattr__(
+            self, "years_per_node", ensure_positive(self.years_per_node, "years_per_node")
+        )
+
+
+#: Imec's study range: 28 nm through 3 nm.
+NODE_ROSTER: tuple[TechNode, ...] = (
+    TechNode("28nm", 28.0, 0),
+    TechNode("20nm", 20.0, 1),
+    TechNode("16nm", 16.0, 2),
+    TechNode("10nm", 10.0, 3),
+    TechNode("7nm", 7.0, 4),
+    TechNode("5nm", 5.0, 5),
+    TechNode("3nm", 3.0, 6),
+)
+
+_BY_NAME = {node.label: node for node in NODE_ROSTER}
+
+
+def node_by_name(label: str) -> TechNode:
+    """Look up a roster node by its label (e.g. ``"7nm"``)."""
+    try:
+        return _BY_NAME[label]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValidationError(f"unknown node {label!r}; known nodes: {known}") from None
+
+
+def transitions_between(old: TechNode, new: TechNode) -> int:
+    """Number of node transitions from *old* to *new* (>= 0).
+
+    Raises when *new* is older than *old*: the die-shrink analysis only
+    moves forward in time.
+    """
+    if new.index < old.index:
+        raise ValidationError(
+            f"cannot shrink from {old.label} to the older node {new.label}"
+        )
+    return new.index - old.index

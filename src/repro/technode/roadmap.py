@@ -1,0 +1,126 @@
+"""Multi-generation roadmap: Moore's Law spent two ways (paper §6
+discussion).
+
+The paper's §6 closes with a pointed observation: chips *would* have
+become more sustainable over time had architects used each node to make
+them smaller, but in practice the freed transistors were spent on more
+functionality — Jevons' paradox in silicon. This module quantifies that
+discussion across the full Imec node range with two policies:
+
+* **shrink** — keep the same multicore, let the die halve each node;
+* **constant-area** — double the core count each node, keeping die
+  area constant.
+
+Each generation applies post-Dennard (or classical) device scaling, the
+Imec per-wafer footprint growth, and the Woo–Lee multicore model for
+performance/power of the grown chip. The output is a per-generation
+trajectory of embodied footprint, power, performance and NCF relative
+to the starting design.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..amdahl.symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+from ..core.ncf import ncf_from_ratios
+from ..core.quantities import ensure_fraction, ensure_int_at_least
+from ..core.scenario import UseScenario
+from .imec import IMEC_IEDM2020, ImecGrowthRates
+from .scaling import POST_DENNARD_SCALING, ScalingRegime
+
+__all__ = ["RoadmapPolicy", "GenerationPoint", "roadmap"]
+
+
+class RoadmapPolicy(enum.Enum):
+    """How each node transition's transistor budget is spent."""
+
+    SHRINK = "shrink"
+    CONSTANT_AREA = "constant-area"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class GenerationPoint:
+    """One generation of the roadmap, relative to generation 0."""
+
+    generation: int
+    cores: int
+    area: float
+    embodied: float
+    perf: float
+    power: float
+
+    @property
+    def energy(self) -> float:
+        return self.power / self.perf
+
+    def ncf(self, scenario: UseScenario, alpha: float) -> float:
+        operational = self.energy if scenario is UseScenario.FIXED_WORK else self.power
+        return ncf_from_ratios(self.embodied, operational, alpha)
+
+
+def roadmap(
+    policy: RoadmapPolicy,
+    generations: int = 6,
+    *,
+    start_cores: int = 4,
+    parallel_fraction: float = 0.75,
+    leakage: float = DEFAULT_LEAKAGE,
+    regime: ScalingRegime = POST_DENNARD_SCALING,
+    rates: ImecGrowthRates = IMEC_IEDM2020,
+) -> list[GenerationPoint]:
+    """Trajectory over *generations* node transitions under *policy*.
+
+    Generation 0 is the starting chip (all ratios 1); the default six
+    transitions span the Imec 28 nm -> 3 nm range. Under SHRINK the
+    core count stays at ``start_cores``; under CONSTANT_AREA it doubles
+    every generation. Performance and power combine device scaling with
+    the Woo-Lee multicore model; the embodied footprint combines die
+    area with the per-wafer manufacturing growth.
+    """
+    ensure_int_at_least(generations, 0, "generations")
+    ensure_int_at_least(start_cores, 1, "start_cores")
+    ensure_fraction(parallel_fraction, "parallel_fraction")
+
+    base = SymmetricMulticore(start_cores, parallel_fraction, leakage)
+    points = [
+        GenerationPoint(
+            generation=0,
+            cores=start_cores,
+            area=1.0,
+            embodied=1.0,
+            perf=1.0,
+            power=1.0,
+        )
+    ]
+    for gen in range(1, generations + 1):
+        device = regime.after(gen)
+        wafer_growth = rates.wafer_footprint_multiplier(gen)
+        if policy is RoadmapPolicy.SHRINK:
+            cores = start_cores
+            area = device.area_factor  # same circuit, smaller die
+        else:
+            cores = start_cores * (2**gen)
+            area = 1.0  # the shrink is spent on doubling the cores
+        chip = SymmetricMulticore(cores, parallel_fraction, leakage)
+        # Per-core power at the new node's full frequency scales with
+        # the regime (x1 post-Dennard, x0.5^gen classical); the chip's
+        # activity shape is the Woo-Lee average over the (possibly
+        # larger) core count.
+        perf = device.frequency_factor * chip.speedup / base.speedup
+        power = device.power_factor * chip.power / base.power
+        points.append(
+            GenerationPoint(
+                generation=gen,
+                cores=cores,
+                area=area,
+                embodied=area * wafer_growth,
+                perf=perf,
+                power=power,
+            )
+        )
+    return points

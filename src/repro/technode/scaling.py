@@ -1,0 +1,95 @@
+"""Classical (Dennard) versus post-Dennard device scaling (paper §6).
+
+When a circuit is implemented in the next technology node its area
+halves; what happens to power and energy depends on the scaling regime:
+
+* **classical (Dennard) scaling** — supply voltage scales with feature
+  size: per-circuit power halves, the circuit clocks 1.41x faster, and
+  energy per unit work drops 2.82x (2 x 1.41);
+* **post-Dennard scaling** — voltage no longer scales: per-circuit
+  power stays constant, frequency still improves 1.41x, and energy per
+  unit work drops 1.41x.
+
+These are the multipliers the paper's §6 die-shrink discussion quotes
+verbatim. The :class:`ScalingRegime` dataclass generalizes to any
+number of consecutive transitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_positive
+
+__all__ = ["ScalingRegime", "CLASSICAL_SCALING", "POST_DENNARD_SCALING"]
+
+#: Linear-dimension shrink per node: sqrt(2), so area halves.
+LINEAR_SHRINK_PER_NODE = math.sqrt(2.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingRegime:
+    """Per-node-transition multipliers for one scaling regime.
+
+    All multipliers apply to the *same circuit* re-implemented in the
+    next node (not to a chip that re-spends the area on more logic).
+    """
+
+    name: str
+    area_factor: float
+    power_factor: float
+    frequency_factor: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("ScalingRegime.name must be non-empty")
+        object.__setattr__(self, "area_factor", ensure_positive(self.area_factor, "area_factor"))
+        object.__setattr__(
+            self, "power_factor", ensure_positive(self.power_factor, "power_factor")
+        )
+        object.__setattr__(
+            self,
+            "frequency_factor",
+            ensure_positive(self.frequency_factor, "frequency_factor"),
+        )
+
+    @property
+    def performance_factor(self) -> float:
+        """Single-circuit performance scales with clock frequency."""
+        return self.frequency_factor
+
+    @property
+    def energy_factor(self) -> float:
+        """Energy per unit work: power divided by performance."""
+        return self.power_factor / self.frequency_factor
+
+    def after(self, transitions: int) -> "ScalingRegime":
+        """Cumulative multipliers after *transitions* consecutive node
+        transitions (compounded)."""
+        if transitions < 0:
+            raise ValidationError(f"transitions must be >= 0, got {transitions}")
+        return ScalingRegime(
+            name=f"{self.name} x{transitions}",
+            area_factor=self.area_factor**transitions,
+            power_factor=self.power_factor**transitions,
+            frequency_factor=self.frequency_factor**transitions,
+        )
+
+
+#: Dennard scaling: power halves, frequency x1.41, energy /2.82.
+CLASSICAL_SCALING = ScalingRegime(
+    name="classical",
+    area_factor=0.5,
+    power_factor=0.5,
+    frequency_factor=LINEAR_SHRINK_PER_NODE,
+)
+
+#: Post-Dennard: power constant, frequency x1.41, energy /1.41.
+POST_DENNARD_SCALING = ScalingRegime(
+    name="post-Dennard",
+    area_factor=0.5,
+    power_factor=1.0,
+    frequency_factor=LINEAR_SHRINK_PER_NODE,
+)

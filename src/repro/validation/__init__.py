@@ -1,0 +1,6 @@
+"""Model-validation limits: synthetic LCA aggregation and the
+FOCAL-vs-LCA gap (paper §3.6)."""
+
+from .lca import SystemLCA, chip_attribution_error, validation_gap
+
+__all__ = ["SystemLCA", "chip_attribution_error", "validation_gap"]

@@ -1,0 +1,112 @@
+"""Synthetic LCA reports and the limits of model validation (paper §3.6).
+
+The paper argues that validating a processor carbon model is nearly
+impossible today: the only public data are system-level Life Cycle
+Assessment (LCA) reports that aggregate the *entire* device into one
+number, so the processor's contribution cannot be isolated. This module
+makes the argument quantitative:
+
+* :class:`SystemLCA` composes a device's total footprint from its
+  components (chip, memory, storage, board, enclosure, use phase) the
+  way an LCA report would — then publishes only the total;
+* :func:`chip_attribution_error` shows how badly a chip-level
+  conclusion drawn from LCA totals can be off: two devices whose chips
+  differ by a factor X have totals that differ by far less, with the
+  gap controlled by the chip's share of the total;
+* :func:`validation_gap` measures the FOCAL-vs-LCA discrepancy as a
+  function of chip share — reproducing the shape of ACT's reported
+  "non-negligible gap" from first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_non_negative
+
+__all__ = ["SystemLCA", "chip_attribution_error", "validation_gap"]
+
+
+@dataclass(frozen=True)
+class SystemLCA:
+    """A device's component-level footprint, published as a total.
+
+    Component values are kg CO2e over the device's life (embodied plus
+    use phase folded per component, as real LCA reports do).
+    """
+
+    name: str
+    chip: float
+    other_components: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "memory": 25.0,
+            "storage": 15.0,
+            "board": 20.0,
+            "enclosure": 10.0,
+            "use-phase": 60.0,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("SystemLCA.name must be non-empty")
+        ensure_non_negative(self.chip, "chip")
+        for component, value in self.other_components.items():
+            ensure_non_negative(value, f"component {component!r}")
+
+    @property
+    def rest_of_system(self) -> float:
+        return sum(self.other_components.values())
+
+    @property
+    def total(self) -> float:
+        """The only number a published LCA exposes."""
+        return self.chip + self.rest_of_system
+
+    @property
+    def chip_share(self) -> float:
+        """Ground truth a validator does not get to see."""
+        return self.chip / self.total if self.total else 0.0
+
+
+def chip_attribution_error(device_x: SystemLCA, device_y: SystemLCA) -> float:
+    """How much the LCA-total ratio understates the chip ratio.
+
+    Returns ``(chip ratio) / (total ratio)`` — 1.0 means LCA totals
+    faithfully reflect the chip difference; values far above 1 mean the
+    rest-of-system swamps it (the paper's §3.6 point).
+    """
+    if device_y.chip == 0.0 or device_y.total == 0.0:
+        raise ValidationError("baseline device must have non-zero chip and total")
+    chip_ratio = device_x.chip / device_y.chip
+    total_ratio = device_x.total / device_y.total
+    if total_ratio == 0.0:
+        raise ValidationError("degenerate total ratio")
+    return chip_ratio / total_ratio
+
+
+def validation_gap(
+    focal_chip_ratio: float,
+    chip_share: float,
+) -> float:
+    """Relative gap between a *correct* chip-level prediction and the
+    LCA-total ratio it would be validated against.
+
+    Assumes the rest of the system is identical across the two devices
+    (the best case for validation!). The LCA-total ratio is then
+
+        total_ratio = share * chip_ratio + (1 - share)
+
+    and the gap is ``|chip_ratio - total_ratio| / total_ratio``. Even a
+    perfect model shows this gap when scored against LCA totals, which
+    is the paper's §3.6 argument and its reading of ACT's reported
+    mismatch.
+    """
+    if focal_chip_ratio <= 0.0:
+        raise ValidationError(f"chip ratio must be > 0, got {focal_chip_ratio}")
+    if not 0.0 < chip_share <= 1.0:
+        raise ValidationError(f"chip_share must be in (0, 1], got {chip_share}")
+    total_ratio = chip_share * focal_chip_ratio + (1.0 - chip_share)
+    return abs(focal_chip_ratio - total_ratio) / total_ratio

@@ -1,0 +1,34 @@
+"""Wafer geometry, die yield, and the per-chip embodied-footprint proxy
+(paper §3.1, Figure 1)."""
+
+from .binning import BinnedYield, BinningModel
+from .embodied import FIGURE1_REFERENCE_AREA_MM2, EmbodiedFootprintModel
+from .geometry import WAFER_200MM, WAFER_300MM, WAFER_450MM, Wafer, chips_per_wafer
+from .yield_models import (
+    TSMC_VOLUME_DEFECT_DENSITY,
+    BoseEinsteinYield,
+    MurphyYield,
+    PerfectYield,
+    PoissonYield,
+    SeedsYield,
+    YieldModel,
+)
+
+__all__ = [
+    "Wafer",
+    "WAFER_200MM",
+    "WAFER_300MM",
+    "WAFER_450MM",
+    "chips_per_wafer",
+    "YieldModel",
+    "PerfectYield",
+    "PoissonYield",
+    "MurphyYield",
+    "SeedsYield",
+    "BoseEinsteinYield",
+    "TSMC_VOLUME_DEFECT_DENSITY",
+    "EmbodiedFootprintModel",
+    "FIGURE1_REFERENCE_AREA_MM2",
+    "BinningModel",
+    "BinnedYield",
+]

@@ -1,0 +1,104 @@
+"""Product binning: effective yield via selling defective dies.
+
+Paper §3.1: "In practice, to maximize profit, industry increases the
+effective yield by turning off or bypassing defective circuit blocks in
+large chips, selling those chips as lower-performance, lower-power
+products. In fact, profit is maximized when all defective chips can be
+sold as alternative products, thereby approaching the perfect yield
+model curve."
+
+This module makes that argument quantitative. A die is divided into
+``blocks`` redundant circuit blocks (e.g. cores); a die is sellable in
+bin *k* if at most *k* blocks are defective. Assuming Poisson-
+distributed defects with the die-level expected count split evenly over
+blocks, the sellable fraction interpolates between the raw yield model
+(no binning) and perfect yield (every die sellable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_int_at_least, ensure_non_negative, ensure_positive
+
+__all__ = ["BinningModel", "BinnedYield"]
+
+
+@dataclass(frozen=True, slots=True)
+class BinningModel:
+    """Sellable-die fraction for a block-redundant die.
+
+    Parameters
+    ----------
+    blocks:
+        Number of independent circuit blocks on the die (>= 1).
+    max_defective_blocks:
+        Dies with up to this many defective blocks are still sellable
+        (as lower bins). ``0`` means no binning; ``blocks`` means every
+        die sells (perfect effective yield for block-local defects).
+    defect_density_per_cm2:
+        Defect density.
+    """
+
+    blocks: int
+    max_defective_blocks: int
+    defect_density_per_cm2: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "blocks", ensure_int_at_least(self.blocks, 1, "blocks"))
+        object.__setattr__(
+            self,
+            "max_defective_blocks",
+            ensure_int_at_least(self.max_defective_blocks, 0, "max_defective_blocks"),
+        )
+        if self.max_defective_blocks > self.blocks:
+            raise ValidationError(
+                f"max_defective_blocks ({self.max_defective_blocks}) cannot exceed "
+                f"blocks ({self.blocks})"
+            )
+        object.__setattr__(
+            self,
+            "defect_density_per_cm2",
+            ensure_non_negative(self.defect_density_per_cm2, "defect_density_per_cm2"),
+        )
+
+    def _block_good_probability(self, die_area_mm2: float) -> float:
+        """Poisson probability that one block carries no defect."""
+        area_cm2 = ensure_positive(die_area_mm2, "die_area_mm2") / 100.0
+        expected_defects = area_cm2 * self.defect_density_per_cm2
+        return math.exp(-expected_defects / self.blocks)
+
+    def sellable_fraction(self, die_area_mm2: float) -> float:
+        """Probability a die has at most ``max_defective_blocks`` bad
+        blocks (binomial over independent blocks)."""
+        p_good = self._block_good_probability(die_area_mm2)
+        p_bad = 1.0 - p_good
+        total = 0.0
+        for k in range(self.max_defective_blocks + 1):
+            total += (
+                math.comb(self.blocks, k) * p_bad**k * p_good ** (self.blocks - k)
+            )
+        return min(1.0, total)
+
+    def expected_good_blocks(self, die_area_mm2: float) -> float:
+        """Mean number of functional blocks per die (sellable or not)."""
+        return self.blocks * self._block_good_probability(die_area_mm2)
+
+
+@dataclass(frozen=True, slots=True)
+class BinnedYield:
+    """Adapter exposing a :class:`BinningModel` as a yield model.
+
+    Lets the binning analysis plug directly into
+    :class:`~repro.wafer.embodied.EmbodiedFootprintModel`, quantifying
+    how binning moves the embodied-footprint curve from Murphy-like
+    toward the perfect-yield trendline.
+    """
+
+    binning: BinningModel
+    name: str = "binned"
+
+    def die_yield(self, area_mm2: float) -> float:
+        return self.binning.sellable_fraction(area_mm2)

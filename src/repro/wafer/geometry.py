@@ -1,0 +1,87 @@
+"""Wafer geometry: the de Vries chips-per-wafer formula (paper §3.1).
+
+The unit of production in a fab is a wafer; what architects control is
+die size. de Vries (IEEE TSM 2005) empirically derives the number of
+(gross) chips per wafer as a function of die area ``A``:
+
+    CPW = pi * d^2 / (4 * A)  -  0.58 * pi * d / sqrt(A)
+
+with ``d`` the wafer diameter. The first term is the wafer area divided
+by the die area; the second corrects for partial dies lost at the
+wafer's circular edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import DomainError
+from ..core.quantities import ensure_positive
+
+__all__ = ["Wafer", "WAFER_300MM", "WAFER_200MM", "WAFER_450MM", "chips_per_wafer"]
+
+#: Edge-loss coefficient fitted by de Vries.
+DE_VRIES_EDGE_COEFFICIENT = 0.58
+
+
+@dataclass(frozen=True, slots=True)
+class Wafer:
+    """A circular wafer of a given diameter (mm)."""
+
+    diameter_mm: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "diameter_mm", ensure_positive(self.diameter_mm, "diameter_mm")
+        )
+
+    @property
+    def area_mm2(self) -> float:
+        """Total wafer area in mm^2."""
+        return math.pi * self.diameter_mm**2 / 4.0
+
+    def gross_dies(self, die_area_mm2: float) -> float:
+        """Gross chips per wafer for a die of *die_area_mm2* (de Vries).
+
+        Returns a real number (the formula is an empirical continuous
+        fit); round down for a physical count. Raises
+        :class:`~repro.core.errors.DomainError` when the die is so
+        large that the formula predicts a non-positive count — beyond
+        the formula's region of validity.
+        """
+        area = ensure_positive(die_area_mm2, "die_area_mm2")
+        cpw = (
+            self.area_mm2 / area
+            - DE_VRIES_EDGE_COEFFICIENT * math.pi * self.diameter_mm / math.sqrt(area)
+        )
+        if cpw <= 0.0:
+            raise DomainError(
+                f"die area {area:g} mm^2 exceeds the de Vries formula's validity "
+                f"for a {self.diameter_mm:g} mm wafer (predicted CPW {cpw:g})"
+            )
+        return cpw
+
+    def max_practical_die_area_mm2(self) -> float:
+        """Largest die area (mm^2) for which the formula stays positive.
+
+        Solves ``gross_dies(A) = 0``: the quadratic in ``sqrt(A)`` gives
+        ``sqrt(A) = d / (4 * 0.58)``.
+        """
+        sqrt_area = self.diameter_mm / (4.0 * DE_VRIES_EDGE_COEFFICIENT)
+        return sqrt_area**2
+
+
+#: The mainstream production wafer (the paper's default).
+WAFER_300MM = Wafer(diameter_mm=300.0)
+
+#: Legacy wafer size, still used for mature nodes.
+WAFER_200MM = Wafer(diameter_mm=200.0)
+
+#: The (never commercialized) next step, for what-if analyses.
+WAFER_450MM = Wafer(diameter_mm=450.0)
+
+
+def chips_per_wafer(die_area_mm2: float, wafer: Wafer = WAFER_300MM) -> float:
+    """Convenience wrapper: gross chips per wafer for a 300 mm wafer."""
+    return wafer.gross_dies(die_area_mm2)

@@ -1,0 +1,181 @@
+"""Die-yield models (paper §3.1, Figure 1).
+
+The larger the die, the larger the probability that a manufacturing
+defect lands on it and the lower the yield. The paper contrasts a
+*perfect yield* model (every die is good — the limit industry
+approaches by selling partially defective chips as lower-bin products)
+with the *Murphy* model at a defect density of 0.09 defects/cm^2
+(achievable in volume production per TSMC's N5 disclosure).
+
+All models expose ``die_yield(area_mm2) -> fraction in (0, 1]`` and are
+parameterized by a defect density in defects/cm^2 (the industry's
+customary unit; areas are mm^2 throughout the library, the conversion
+happens here).
+
+Implemented models (Leachman, *Yield Modeling and Analysis*, 2014):
+
+* perfect:     ``Y = 1``
+* Poisson:     ``Y = exp(-A D)``
+* Murphy:      ``Y = ((1 - exp(-A D)) / (A D))^2``
+* Seeds:       ``Y = 1 / (1 + A D)``
+* Bose-Einstein (n critical layers): ``Y = 1 / (1 + A D)^n``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_int_at_least, ensure_non_negative, ensure_positive
+
+__all__ = [
+    "YieldModel",
+    "PerfectYield",
+    "PoissonYield",
+    "MurphyYield",
+    "SeedsYield",
+    "BoseEinsteinYield",
+    "TSMC_VOLUME_DEFECT_DENSITY",
+]
+
+#: Defect density (defects/cm^2) the paper cites as achievable in volume
+#: production (TSMC N5).
+TSMC_VOLUME_DEFECT_DENSITY = 0.09
+
+_MM2_PER_CM2 = 100.0
+
+
+def _defects_per_die(area_mm2: float, density_per_cm2: float) -> float:
+    """Expected defect count on a die: ``A * D`` in consistent units."""
+    area = ensure_positive(area_mm2, "area_mm2")
+    return area / _MM2_PER_CM2 * density_per_cm2
+
+
+@runtime_checkable
+class YieldModel(Protocol):
+    """Anything that maps a die area to a yield fraction."""
+
+    name: str
+
+    def die_yield(self, area_mm2: float) -> float:
+        """Fraction of good dies for the given die area, in (0, 1]."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class PerfectYield:
+    """All dies are good.
+
+    The paper motivates this as the profit-maximizing limit: industry
+    bins partially defective large chips into lower-performance
+    products, approaching perfect *effective* yield.
+    """
+
+    name: str = "perfect"
+
+    def die_yield(self, area_mm2: float) -> float:
+        ensure_positive(area_mm2, "area_mm2")
+        return 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonYield:
+    """Poisson model: defects land independently, any defect kills."""
+
+    defect_density_per_cm2: float = TSMC_VOLUME_DEFECT_DENSITY
+    name: str = "poisson"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "defect_density_per_cm2",
+            ensure_non_negative(self.defect_density_per_cm2, "defect_density_per_cm2"),
+        )
+
+    def die_yield(self, area_mm2: float) -> float:
+        return math.exp(-_defects_per_die(area_mm2, self.defect_density_per_cm2))
+
+
+@dataclass(frozen=True, slots=True)
+class MurphyYield:
+    """Murphy's model: defect density varies across the wafer
+    (triangular distribution), giving
+
+        Y = ((1 - exp(-A D)) / (A D))^2
+
+    — the model the paper uses for Figure 1. Tends to 1 as ``A D -> 0``
+    (handled analytically to avoid 0/0).
+    """
+
+    defect_density_per_cm2: float = TSMC_VOLUME_DEFECT_DENSITY
+    name: str = "murphy"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "defect_density_per_cm2",
+            ensure_non_negative(self.defect_density_per_cm2, "defect_density_per_cm2"),
+        )
+
+    def die_yield(self, area_mm2: float) -> float:
+        ad = _defects_per_die(area_mm2, self.defect_density_per_cm2)
+        if ad < 1e-12:
+            return 1.0
+        # -expm1(-x) = 1 - exp(-x), computed without the catastrophic
+        # cancellation the naive form suffers for small x.
+        return (-math.expm1(-ad) / ad) ** 2
+
+
+@dataclass(frozen=True, slots=True)
+class SeedsYield:
+    """Seeds' model: exponentially distributed defect density,
+    ``Y = 1 / (1 + A D)``. More pessimistic than Murphy for large dies."""
+
+    defect_density_per_cm2: float = TSMC_VOLUME_DEFECT_DENSITY
+    name: str = "seeds"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "defect_density_per_cm2",
+            ensure_non_negative(self.defect_density_per_cm2, "defect_density_per_cm2"),
+        )
+
+    def die_yield(self, area_mm2: float) -> float:
+        return 1.0 / (1.0 + _defects_per_die(area_mm2, self.defect_density_per_cm2))
+
+
+@dataclass(frozen=True, slots=True)
+class BoseEinsteinYield:
+    """Bose-Einstein model: ``Y = (1 + A D)^-n`` for *n* critical
+    process layers. Reduces to Seeds for ``n = 1``; widely used for
+    advanced multi-layer nodes."""
+
+    defect_density_per_cm2: float = TSMC_VOLUME_DEFECT_DENSITY
+    critical_layers: int = 10
+    name: str = "bose-einstein"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "defect_density_per_cm2",
+            ensure_non_negative(self.defect_density_per_cm2, "defect_density_per_cm2"),
+        )
+        object.__setattr__(
+            self,
+            "critical_layers",
+            ensure_int_at_least(self.critical_layers, 1, "critical_layers"),
+        )
+        if self.critical_layers > 1000:
+            raise ValidationError(
+                f"critical_layers={self.critical_layers} is implausibly large"
+            )
+
+    def die_yield(self, area_mm2: float) -> float:
+        ad = _defects_per_die(area_mm2, self.defect_density_per_cm2)
+        # Per-layer defect density: split D evenly across layers so the
+        # model is comparable to the single-layer models at small A*D.
+        per_layer = ad / self.critical_layers
+        return (1.0 + per_layer) ** (-self.critical_layers)

@@ -1,0 +1,14 @@
+"""Workload profiles and the mechanism advisor: the paper's §5
+catalogue applied to concrete software classes."""
+
+from .advisor import ADVISOR_BCES, Recommendation, advise
+from .profiles import WORKLOAD_ROSTER, WorkloadProfile, workload_by_name
+
+__all__ = [
+    "WorkloadProfile",
+    "WORKLOAD_ROSTER",
+    "workload_by_name",
+    "Recommendation",
+    "advise",
+    "ADVISOR_BCES",
+]

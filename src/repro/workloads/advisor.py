@@ -1,0 +1,201 @@
+"""The mechanism advisor: FOCAL's §5 catalogue applied to a workload.
+
+Given a workload profile and a device regime (embodied- or
+operational-dominated), evaluates every archetypal mechanism the paper
+studies on *that* workload and ranks them — the "insight and guidance
+for computer architects" the paper positions FOCAL to provide, packaged
+as an API.
+
+Each recommendation is a concrete design-pair comparison:
+
+* symmetric multicore (16 BCEs at the workload's f) vs the equal-area
+  big core;
+* asymmetric multicore vs the equal-area symmetric one;
+* the H.264-class accelerator at the workload's accelerator
+  utilization vs the bare core;
+* FSC vs OoO;
+* doubling the LLC on the workload's memory intensity;
+* pipeline gating, runahead (PRE), DVFS down-scaling, turbo boost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..accel.accelerator import HAMEED_H264, AcceleratedSystem
+from ..amdahl.asymmetric import AsymmetricMulticore
+from ..amdahl.pollack import big_core_design
+from ..amdahl.symmetric import SymmetricMulticore
+from ..cache.hierarchy import CachedProcessor, MemoryBoundWorkload
+from ..core.classify import Sustainability, Verdict, classify
+from ..core.design import DesignPoint
+from ..core.scenario import E2OWeight
+from ..dvfs.operating_point import DVFSConfig, scale_design
+from ..dvfs.turboboost import TurboBoost, boosted_design
+from ..gating.pipeline_gating import gated_design
+from ..microarch.cores import FSC_CORE, OOO_CORE
+from ..speculation.runahead import runahead_design
+from .profiles import WorkloadProfile
+
+__all__ = ["Recommendation", "advise"]
+
+#: Chip size used for the multicore comparisons, in BCEs.
+ADVISOR_BCES = 16
+
+_CATEGORY_ORDER = {
+    Sustainability.STRONG: 0,
+    Sustainability.NEUTRAL: 1,
+    Sustainability.WEAK: 2,
+    Sustainability.LESS: 3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One mechanism's verdict on the given workload."""
+
+    mechanism: str
+    verdict: Verdict
+    perf_ratio: float
+    rationale: str
+
+    @property
+    def category(self) -> Sustainability:
+        return self.verdict.category
+
+    def sort_key(self) -> tuple[int, float]:
+        """Strong first; within a category, lowest fixed-work NCF."""
+        return (_CATEGORY_ORDER[self.category], self.verdict.ncf_fixed_work)
+
+
+def _recommend(
+    mechanism: str,
+    design: DesignPoint,
+    baseline: DesignPoint,
+    alpha: float,
+    rationale: str,
+) -> Recommendation:
+    return Recommendation(
+        mechanism=mechanism,
+        verdict=classify(design, baseline, alpha),
+        perf_ratio=design.perf_ratio(baseline),
+        rationale=rationale,
+    )
+
+
+def advise(workload: WorkloadProfile, regime: E2OWeight) -> list[Recommendation]:
+    """Evaluate the paper's mechanism catalogue on *workload*.
+
+    Returns recommendations sorted most-sustainable-first. The list
+    always contains the same mechanisms; what changes with the workload
+    is each mechanism's verdict and magnitude.
+    """
+    alpha = regime.alpha
+    f = workload.parallel_fraction
+    recs: list[Recommendation] = []
+
+    multicore = SymmetricMulticore(ADVISOR_BCES, f).design_point()
+    big_core = big_core_design(ADVISOR_BCES)
+    recs.append(
+        _recommend(
+            "multicore (vs equal-area big core)",
+            multicore,
+            big_core,
+            alpha,
+            f"{ADVISOR_BCES} one-BCE cores at f={f:g} vs one "
+            f"{ADVISOR_BCES}-BCE Pollack core",
+        )
+    )
+
+    asym = AsymmetricMulticore(ADVISOR_BCES, 4, f).design_point()
+    recs.append(
+        _recommend(
+            "heterogeneity (vs symmetric multicore)",
+            asym,
+            multicore,
+            alpha,
+            f"one 4-BCE big core + {ADVISOR_BCES - 4} small at f={f:g}",
+        )
+    )
+
+    accel = AcceleratedSystem(
+        HAMEED_H264, workload.accelerator_utilization
+    ).design_point()
+    recs.append(
+        _recommend(
+            "fixed-function accelerator",
+            accel,
+            DesignPoint.baseline("host core"),
+            alpha,
+            f"H.264-class accelerator at {workload.accelerator_utilization:.0%} "
+            "utilization",
+        )
+    )
+
+    recs.append(
+        _recommend(
+            "low-complexity core (FSC vs OoO)",
+            FSC_CORE,
+            OOO_CORE,
+            alpha,
+            "forward-slice core instead of full out-of-order",
+        )
+    )
+
+    llc_base = CachedProcessor(
+        llc_size_mb=1.0,
+        workload=MemoryBoundWorkload(
+            memory_time_share=workload.memory_time_share,
+            memory_energy_share=workload.memory_time_share,
+        ),
+    )
+    doubled = replace(llc_base, llc_size_mb=2.0)
+    recs.append(
+        _recommend(
+            "double the LLC",
+            doubled.design_point(),
+            llc_base.design_point(),
+            alpha,
+            f"1 MB -> 2 MB at {workload.memory_time_share:.0%} memory intensity",
+        )
+    )
+
+    recs.append(
+        _recommend(
+            "pipeline gating",
+            gated_design(),
+            DesignPoint.baseline("ungated"),
+            alpha,
+            "confidence-gated fetch (Manne et al.)",
+        )
+    )
+    recs.append(
+        _recommend(
+            "runahead execution (PRE)",
+            runahead_design(),
+            DesignPoint.baseline("OoO"),
+            alpha,
+            "precise runahead on long-latency loads",
+        )
+    )
+    recs.append(
+        _recommend(
+            "DVFS down-scaling",
+            scale_design(DesignPoint.baseline(), 0.8, DVFSConfig()),
+            DesignPoint.baseline("nominal"),
+            alpha,
+            "run 20 % below nominal V/f",
+        )
+    )
+    recs.append(
+        _recommend(
+            "turbo boost",
+            boosted_design(DesignPoint.baseline(), TurboBoost()),
+            DesignPoint.baseline("nominal"),
+            alpha,
+            "opportunistic 1.2x V/f boost",
+        )
+    )
+
+    recs.sort(key=Recommendation.sort_key)
+    return recs

@@ -1,0 +1,115 @@
+"""Workload profiles: the software side of FOCAL's findings.
+
+Several of the paper's findings are statements about *software*:
+parallelize rather than add cores (#3), heterogeneity only pays when
+parallelism is modest (#5), accelerators only pay when hot (#6). This
+module gives those statements a home: a :class:`WorkloadProfile`
+captures the workload characteristics the §5 models consume, and a
+roster of literature-based profiles covers the classes the paper cites
+(desktop TLP from Blake et al., mobile TLP from Gao et al., and the
+memory-intensive §5.5 workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ValidationError
+from ..core.quantities import ensure_fraction
+
+__all__ = ["WorkloadProfile", "WORKLOAD_ROSTER", "workload_by_name"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """First-order workload characteristics.
+
+    Parameters
+    ----------
+    name:
+        Label.
+    parallel_fraction:
+        Amdahl ``f``: fraction of serial execution that parallelizes.
+    memory_time_share:
+        Fraction of execution time stalled on memory (cache study).
+    accelerator_utilization:
+        Fraction of time the workload can spend on a matching
+        fixed-function accelerator.
+    description:
+        One-line provenance note.
+    """
+
+    name: str
+    parallel_fraction: float
+    memory_time_share: float = 0.3
+    accelerator_utilization: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("WorkloadProfile.name must be non-empty")
+        for field_name in (
+            "parallel_fraction",
+            "memory_time_share",
+            "accelerator_utilization",
+        ):
+            object.__setattr__(
+                self, field_name, ensure_fraction(getattr(self, field_name), field_name)
+            )
+
+    @property
+    def is_highly_parallel(self) -> bool:
+        """The paper's f > 0.8 threshold where heterogeneity stops
+        being the sustainable way to buy performance (Finding #5)."""
+        return self.parallel_fraction > 0.8
+
+
+#: Literature-anchored workload classes.
+WORKLOAD_ROSTER: tuple[WorkloadProfile, ...] = (
+    WorkloadProfile(
+        name="desktop",
+        parallel_fraction=0.6,
+        memory_time_share=0.3,
+        accelerator_utilization=0.05,
+        description="limited TLP in desktop applications (Blake et al., ISCA'10)",
+    ),
+    WorkloadProfile(
+        name="mobile",
+        parallel_fraction=0.7,
+        memory_time_share=0.35,
+        accelerator_utilization=0.3,
+        description="modest TLP, heavy media acceleration (Gao et al., ISPASS'14)",
+    ),
+    WorkloadProfile(
+        name="hpc-strong-scaling",
+        parallel_fraction=0.95,
+        memory_time_share=0.4,
+        accelerator_utilization=0.0,
+        description="highly parallel, fixed-work scenario archetype",
+    ),
+    WorkloadProfile(
+        name="datacenter",
+        parallel_fraction=0.85,
+        memory_time_share=0.5,
+        accelerator_utilization=0.15,
+        description="abundant request parallelism, fixed-time archetype",
+    ),
+    WorkloadProfile(
+        name="memory-intensive",
+        parallel_fraction=0.75,
+        memory_time_share=0.8,
+        accelerator_utilization=0.0,
+        description="the paper's §5.5 cache-study workload",
+    ),
+)
+
+_BY_NAME = {w.name: w for w in WORKLOAD_ROSTER}
+
+
+def workload_by_name(name: str) -> WorkloadProfile:
+    """Look up a roster workload (e.g. ``"mobile"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise ValidationError(f"unknown workload {name!r}; known: {known}") from None

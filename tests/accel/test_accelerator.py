@@ -1,0 +1,114 @@
+"""Unit tests for the hardware-acceleration model (paper §5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.accelerator import (
+    HAMEED_H264,
+    AcceleratedSystem,
+    Accelerator,
+    breakeven_utilization,
+)
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestAccelerator:
+    def test_paper_example_parameters(self):
+        assert HAMEED_H264.area_overhead == 0.065
+        assert HAMEED_H264.energy_advantage == 500.0
+        assert HAMEED_H264.speedup == 1.0
+
+    def test_energy_per_work(self):
+        assert HAMEED_H264.energy_per_work == pytest.approx(1 / 500)
+
+    def test_active_power(self):
+        acc = Accelerator(area_overhead=0.1, energy_advantage=10.0, speedup=2.0)
+        assert acc.active_power == pytest.approx(2.0 / 10.0)
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ValidationError):
+            Accelerator(area_overhead=-0.1, energy_advantage=10.0)
+
+    def test_rejects_zero_advantage(self):
+        with pytest.raises(ValidationError):
+            Accelerator(area_overhead=0.1, energy_advantage=0.0)
+
+
+class TestAcceleratedSystem:
+    def test_unused_accelerator_costs_only_area(self):
+        system = AcceleratedSystem(HAMEED_H264, 0.0)
+        assert system.area == pytest.approx(1.065)
+        assert system.perf == 1.0
+        assert system.power == 1.0
+
+    def test_paper_energy_model(self):
+        """E(t) = (1 - t) + t/500 for the paper's configuration."""
+        for t in (0.1, 0.5, 0.9):
+            system = AcceleratedSystem(HAMEED_H264, t)
+            assert system.energy == pytest.approx((1 - t) + t / 500)
+
+    def test_performance_unchanged_when_speedup_one(self):
+        assert AcceleratedSystem(HAMEED_H264, 0.7).perf == pytest.approx(1.0)
+
+    def test_fixed_work_equals_fixed_time_when_speedup_one(self):
+        system = AcceleratedSystem(HAMEED_H264, 0.4)
+        assert system.ncf(0.3, FW) == pytest.approx(system.ncf(0.3, FT))
+
+    def test_speedup_raises_performance(self):
+        acc = Accelerator(area_overhead=0.1, energy_advantage=10.0, speedup=4.0)
+        system = AcceleratedSystem(acc, 0.5)
+        assert system.perf == pytest.approx(0.5 + 0.5 * 4.0)
+
+    def test_idle_leakage_charged_when_unused(self):
+        acc = Accelerator(area_overhead=0.1, energy_advantage=10.0, idle_leakage=0.05)
+        system = AcceleratedSystem(acc, 0.0)
+        assert system.power == pytest.approx(1.05)
+
+    def test_host_idle_leakage_charged_while_accelerating(self):
+        acc = Accelerator(
+            area_overhead=0.1, energy_advantage=10.0, host_idle_leakage=0.1
+        )
+        system = AcceleratedSystem(acc, 1.0)
+        assert system.power == pytest.approx(0.1 + 0.1)  # host leak + accel
+
+    def test_ncf_monotone_decreasing_in_utilization(self):
+        values = [
+            AcceleratedSystem(HAMEED_H264, t).ncf(0.8, FW)
+            for t in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_utilization_above_one(self):
+        with pytest.raises(ValidationError):
+            AcceleratedSystem(HAMEED_H264, 1.5)
+
+
+class TestBreakeven:
+    def test_paper_embodied_dominated_value(self):
+        """alpha = 0.8: analytic t* = 0.8*0.065 / (0.2*(1-1/500)) = 0.2605."""
+        t = breakeven_utilization(HAMEED_H264, 0.8, FW)
+        assert t == pytest.approx(0.2605, abs=1e-3)
+
+    def test_operational_dominated_breaks_even_early(self):
+        t = breakeven_utilization(HAMEED_H264, 0.2, FW)
+        assert t is not None and t < 0.02
+
+    def test_zero_area_accelerator_breaks_even_immediately(self):
+        acc = Accelerator(area_overhead=0.0, energy_advantage=2.0)
+        assert breakeven_utilization(acc, 0.8, FW) == 0.0
+
+    def test_unamortizable_returns_none(self):
+        """Huge area, tiny advantage: never pays off."""
+        acc = Accelerator(area_overhead=10.0, energy_advantage=1.01)
+        assert breakeven_utilization(acc, 0.8, FW) is None
+
+    def test_breakeven_ncf_is_one(self):
+        t = breakeven_utilization(HAMEED_H264, 0.8, FW)
+        assert AcceleratedSystem(HAMEED_H264, t).ncf(0.8, FW) == pytest.approx(
+            1.0, abs=1e-6
+        )

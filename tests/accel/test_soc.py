@@ -1,0 +1,91 @@
+"""Unit tests for SoC composition and the reconfigurable-fabric
+comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.accelerator import Accelerator, AcceleratedSystem
+from repro.accel.soc import SoC, reconfigurable_equivalent
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+
+FW = UseScenario.FIXED_WORK
+
+
+def make_acc(area: float, advantage: float = 100.0, speedup: float = 1.0) -> Accelerator:
+    return Accelerator(area_overhead=area, energy_advantage=advantage, speedup=speedup)
+
+
+class TestSoC:
+    def test_empty_soc_is_the_bare_core(self):
+        soc = SoC()
+        assert soc.area == 1.0
+        assert soc.perf == 1.0
+        assert soc.power == 1.0
+        assert soc.ncf(0.5) == pytest.approx(1.0)
+
+    def test_single_accelerator_matches_accelerated_system(self):
+        acc = make_acc(0.065, 500.0)
+        soc = SoC.build([(acc, 0.5)])
+        reference = AcceleratedSystem(acc, 0.5)
+        assert soc.area == pytest.approx(reference.area)
+        assert soc.perf == pytest.approx(reference.perf)
+        assert soc.power == pytest.approx(reference.power)
+
+    def test_utilizations_must_fit_unit_time(self):
+        acc = make_acc(0.1)
+        with pytest.raises(ValidationError, match="sum"):
+            SoC.build([(acc, 0.6), (acc, 0.6)])
+
+    def test_area_adds_across_accelerators(self):
+        soc = SoC.build([(make_acc(0.1), 0.2), (make_acc(0.3), 0.2)])
+        assert soc.area == pytest.approx(1.4)
+
+    def test_core_time_is_remainder(self):
+        soc = SoC.build([(make_acc(0.1), 0.25), (make_acc(0.1), 0.25)])
+        assert soc.core_time == pytest.approx(0.5)
+
+    def test_speedup_accumulates_work(self):
+        soc = SoC.build([(make_acc(0.1, speedup=3.0), 0.5)])
+        assert soc.perf == pytest.approx(0.5 + 1.5)
+
+    def test_idle_leakage_of_unused_blocks_counted(self):
+        leaky = Accelerator(area_overhead=0.1, energy_advantage=10.0, idle_leakage=0.2)
+        soc = SoC.build([(leaky, 0.0)])
+        assert soc.power == pytest.approx(1.0 + 0.2)
+
+
+class TestReconfigurable:
+    def test_area_is_largest_accelerator(self):
+        soc = SoC.build([(make_acc(0.3), 0.2), (make_acc(0.5), 0.2), (make_acc(0.1), 0.2)])
+        fabric = reconfigurable_equivalent(soc)
+        assert fabric.area == pytest.approx(1.5)
+
+    def test_area_premium_applies(self):
+        soc = SoC.build([(make_acc(0.4), 0.3)])
+        fabric = reconfigurable_equivalent(soc, area_premium=1.5)
+        assert fabric.area == pytest.approx(1.0 + 0.6)
+
+    def test_energy_profile_preserved(self):
+        soc = SoC.build([(make_acc(0.3, 100.0), 0.4), (make_acc(0.2, 50.0), 0.3)])
+        fabric = reconfigurable_equivalent(soc)
+        assert fabric.power == pytest.approx(soc.power)
+        assert fabric.perf == pytest.approx(soc.perf)
+
+    def test_fabric_more_sustainable_than_estate(self):
+        """The §5.4 discussion point: one reused block beats many
+        fixed-function blocks on embodied footprint."""
+        soc = SoC.build(
+            [(make_acc(0.3), 0.2), (make_acc(0.3), 0.2), (make_acc(0.3), 0.2)]
+        )
+        fabric = reconfigurable_equivalent(soc)
+        assert fabric.ncf(0.8) < soc.ncf(0.8)
+
+    def test_requires_accelerators(self):
+        with pytest.raises(ValidationError):
+            reconfigurable_equivalent(SoC())
+
+    def test_custom_name(self):
+        soc = SoC.build([(make_acc(0.3), 0.2)], name="video SoC")
+        assert "reconfigurable" in reconfigurable_equivalent(soc).name

@@ -1,0 +1,108 @@
+"""Unit tests for the simplified ACT-style bottom-up model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.act.model import ActChipSpec, ActModel
+from repro.act.params import (
+    ACT_NODE_PARAMS,
+    COAL_HEAVY_GRID,
+    RENEWABLE_GRID,
+    WORLD_AVERAGE_GRID,
+)
+from repro.core.errors import ValidationError
+from repro.wafer.yield_models import PerfectYield
+
+
+@pytest.fixture
+def model() -> ActModel:
+    return ActModel()
+
+
+@pytest.fixture
+def chip() -> ActChipSpec:
+    return ActChipSpec("server CPU", die_area_mm2=400.0, avg_power_w=100.0, node="7nm")
+
+
+class TestSpec:
+    def test_default_lifetime_three_years(self, chip):
+        assert chip.lifetime_hours == pytest.approx(3 * 365 * 24)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValidationError, match="unknown node"):
+            ActChipSpec("x", die_area_mm2=100.0, avg_power_w=10.0, node="6nm")
+
+    def test_zero_power_allowed(self):
+        """An always-off chip has a purely embodied footprint."""
+        spec = ActChipSpec("x", die_area_mm2=100.0, avg_power_w=0.0)
+        assert ActModel().operational_kg(spec) == 0.0
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ValidationError):
+            ActChipSpec("x", die_area_mm2=-1.0, avg_power_w=10.0)
+
+
+class TestEmbodied:
+    def test_closed_form_with_perfect_yield(self, chip):
+        model = ActModel(yield_model=PerfectYield(), packaging_kg=0.0)
+        params = ACT_NODE_PARAMS["7nm"]
+        per_cm2 = (
+            WORLD_AVERAGE_GRID.kg_per_kwh * params.energy_per_area_kwh
+            + params.gas_per_area_kg
+            + params.material_per_area_kg
+        )
+        assert model.embodied_kg(chip) == pytest.approx(per_cm2 * 4.0)
+
+    def test_yield_inflates_embodied(self, chip, model):
+        perfect = ActModel(yield_model=PerfectYield())
+        assert model.embodied_kg(chip) > perfect.embodied_kg(chip)
+
+    def test_packaging_added_flat(self, chip):
+        base = ActModel(packaging_kg=0.0)
+        packaged = ActModel(packaging_kg=0.5)
+        assert packaged.embodied_kg(chip) == pytest.approx(
+            base.embodied_kg(chip) + 0.5
+        )
+
+    def test_newer_node_higher_embodied_per_area(self, chip):
+        """The Imec trend is baked into the node table."""
+        older = ActChipSpec("x", die_area_mm2=400.0, avg_power_w=100.0, node="28nm")
+        newer = ActChipSpec("x", die_area_mm2=400.0, avg_power_w=100.0, node="3nm")
+        assert ActModel().embodied_kg(newer) > ActModel().embodied_kg(older)
+
+    def test_bigger_die_more_embodied(self, model):
+        small = ActChipSpec("s", die_area_mm2=100.0, avg_power_w=10.0)
+        big = ActChipSpec("b", die_area_mm2=600.0, avg_power_w=10.0)
+        assert model.embodied_kg(big) > 6 * model.embodied_kg(small) * 0.9
+
+
+class TestOperational:
+    def test_closed_form(self, chip, model):
+        expected = WORLD_AVERAGE_GRID.kg_per_kwh * 100.0 * chip.lifetime_hours / 1000.0
+        assert model.operational_kg(chip) == pytest.approx(expected)
+
+    def test_renewable_grid_slashes_use_phase(self, chip):
+        dirty = ActModel(use_grid=COAL_HEAVY_GRID)
+        clean = ActModel(use_grid=RENEWABLE_GRID)
+        assert clean.operational_kg(chip) < 0.1 * dirty.operational_kg(chip)
+
+
+class TestFootprint:
+    def test_total_is_sum(self, chip, model):
+        fp = model.footprint(chip)
+        assert fp.total_kg == pytest.approx(fp.embodied_kg + fp.operational_kg)
+
+    def test_embodied_share_in_unit_interval(self, chip, model):
+        share = model.footprint(chip).embodied_share
+        assert 0.0 < share < 1.0
+
+    def test_mobile_like_chip_is_embodied_dominated(self, model):
+        """Low average power (heavy idle): embodied dominates — the
+        Gupta et al. observation FOCAL's alpha=0.8 regime encodes."""
+        phone = ActChipSpec("phone SoC", die_area_mm2=120.0, avg_power_w=0.2, node="5nm")
+        assert model.footprint(phone).embodied_share > 0.5
+
+    def test_always_on_server_is_operational_dominated(self, model):
+        server = ActChipSpec("server", die_area_mm2=400.0, avg_power_w=200.0, node="7nm")
+        assert model.footprint(server).embodied_share < 0.5

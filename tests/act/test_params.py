@@ -1,0 +1,53 @@
+"""Unit tests for the ACT parameter tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.act.params import (
+    ACT_NODE_PARAMS,
+    COAL_HEAVY_GRID,
+    RENEWABLE_GRID,
+    WORLD_AVERAGE_GRID,
+    ActNodeParams,
+    CarbonIntensity,
+)
+from repro.core.errors import ValidationError
+from repro.technode.nodes import NODE_ROSTER
+
+
+class TestNodeTable:
+    def test_covers_the_roster(self):
+        assert set(ACT_NODE_PARAMS) == {n.label for n in NODE_ROSTER}
+
+    def test_energy_per_area_grows_with_newer_nodes(self):
+        ordered = [ACT_NODE_PARAMS[n.label].energy_per_area_kwh for n in NODE_ROSTER]
+        assert ordered == sorted(ordered)
+
+    def test_energy_growth_tracks_imec_rate(self):
+        """Consecutive nodes grow ~25 % in fab energy per area."""
+        ordered = [ACT_NODE_PARAMS[n.label].energy_per_area_kwh for n in NODE_ROSTER]
+        for older, newer in zip(ordered, ordered[1:]):
+            assert newer / older == pytest.approx(1.252, rel=0.02)
+
+    def test_gas_growth_tracks_imec_rate(self):
+        ordered = [ACT_NODE_PARAMS[n.label].gas_per_area_kg for n in NODE_ROSTER]
+        for older, newer in zip(ordered, ordered[1:]):
+            assert newer / older == pytest.approx(1.195, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ActNodeParams("x", energy_per_area_kwh=0.0, gas_per_area_kg=0.1, material_per_area_kg=0.5)
+
+
+class TestGrids:
+    def test_ordering(self):
+        assert (
+            RENEWABLE_GRID.kg_per_kwh
+            < WORLD_AVERAGE_GRID.kg_per_kwh
+            < COAL_HEAVY_GRID.kg_per_kwh
+        )
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValidationError):
+            CarbonIntensity("bad", -0.1)

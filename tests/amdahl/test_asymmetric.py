@@ -1,0 +1,108 @@
+"""Unit tests for the asymmetric multicore model (paper Eq. 4-6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.errors import DomainError, ValidationError
+
+
+def paper_config(n: int, f: float) -> AsymmetricMulticore:
+    """The Figure 4 configuration: one 4-BCE big core."""
+    return AsymmetricMulticore(total_bces=n, big_core_bces=4, parallel_fraction=f)
+
+
+class TestConstruction:
+    def test_structure(self):
+        mc = paper_config(32, 0.8)
+        assert mc.small_cores == 28
+        assert mc.area == 32.0
+        assert mc.big_core_perf == 2.0
+
+    def test_big_core_must_leave_small_cores(self):
+        with pytest.raises(DomainError):
+            AsymmetricMulticore(total_bces=4, big_core_bces=4, parallel_fraction=0.5)
+
+    def test_big_core_larger_than_chip_rejected(self):
+        with pytest.raises(DomainError):
+            AsymmetricMulticore(total_bces=4, big_core_bces=8, parallel_fraction=0.5)
+
+    def test_rejects_one_bce_chip(self):
+        with pytest.raises(ValidationError):
+            AsymmetricMulticore(total_bces=1, big_core_bces=1, parallel_fraction=0.5)
+
+
+class TestSpeedup:
+    def test_paper_eq4(self):
+        mc = paper_config(32, 0.8)
+        expected = 1.0 / ((1 - 0.8) / math.sqrt(4) + 0.8 / 28)
+        assert mc.speedup == pytest.approx(expected)
+
+    def test_finding5_speedup_value(self):
+        """asym 16 BCEs f=0.8: S = 6.0 (hand-checked from Eq. 4)."""
+        assert paper_config(16, 0.8).speedup == pytest.approx(6.0)
+
+    def test_asym_beats_sym_for_serial_heavy_code(self):
+        """The big core accelerates the serial phase: for modest f the
+        asymmetric design outperforms the equal-area symmetric one."""
+        assert paper_config(16, 0.5).speedup > SymmetricMulticore(16, 0.5).speedup
+
+    def test_sym_beats_asym_for_almost_fully_parallel_code(self):
+        """Near f = 1 the big core's area is better spent on small
+        cores: the equal-area symmetric design wins."""
+        assert paper_config(16, 0.99).speedup < SymmetricMulticore(16, 0.99).speedup
+
+
+class TestPowerEnergy:
+    def test_paper_eq5_eq6(self):
+        mc = paper_config(32, 0.8)
+        serial_t = 0.2 / 2.0
+        parallel_t = 0.8 / 28.0
+        serial_p = 4 + 28 * 0.2
+        parallel_p = 4 * 0.2 + 28
+        energy = serial_t * serial_p + parallel_t * parallel_p
+        assert mc.energy == pytest.approx(energy)
+        assert mc.power == pytest.approx(energy / (serial_t + parallel_t))
+
+    def test_power_is_energy_times_speedup(self):
+        mc = paper_config(16, 0.95)
+        assert mc.power == pytest.approx(mc.energy * mc.speedup)
+
+    def test_phase_powers(self):
+        mc = paper_config(8, 0.5)
+        assert mc.serial_power == pytest.approx(4 + 4 * 0.2)
+        assert mc.parallel_power == pytest.approx(4 * 0.2 + 4)
+
+    def test_zero_leakage_reduces_energy(self):
+        leaky = paper_config(32, 0.8)
+        tight = AsymmetricMulticore(
+            total_bces=32, big_core_bces=4, parallel_fraction=0.8, leakage=0.0
+        )
+        assert tight.energy < leaky.energy
+
+
+class TestDesignPoint:
+    def test_fields(self):
+        mc = paper_config(16, 0.8)
+        d = mc.design_point()
+        assert d.area == 16.0
+        assert d.perf == pytest.approx(mc.speedup)
+        assert d.power == pytest.approx(mc.power)
+
+    def test_default_name_describes_structure(self):
+        name = paper_config(16, 0.8).design_point().name
+        assert "16" in name and "4" in name
+
+
+class TestDegenerateFractions:
+    def test_fully_serial_runs_on_big_core(self):
+        mc = paper_config(8, 0.0)
+        assert mc.speedup == pytest.approx(2.0)  # sqrt(4)
+
+    def test_fully_parallel_runs_on_small_cores(self):
+        mc = paper_config(8, 1.0)
+        assert mc.speedup == pytest.approx(4.0)  # N - M small cores

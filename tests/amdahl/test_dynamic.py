@@ -1,0 +1,73 @@
+"""Unit tests for the dynamic multicore extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.dynamic import DynamicMulticore
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.errors import ValidationError
+
+
+class TestSpeedup:
+    def test_hill_marty_dynamic_formula(self):
+        mc = DynamicMulticore(16, 0.8)
+        expected = 1.0 / (0.2 / math.sqrt(16) + 0.8 / 16)
+        assert mc.speedup == pytest.approx(expected)
+
+    def test_upper_bounds_symmetric(self):
+        """Dynamic >= symmetric for every configuration (it fuses for
+        the serial phase)."""
+        for n in (4, 16, 32):
+            for f in (0.3, 0.8, 0.95):
+                assert (
+                    DynamicMulticore(n, f).speedup
+                    >= SymmetricMulticore(n, f).speedup - 1e-12
+                )
+
+    def test_upper_bounds_asymmetric(self):
+        for f in (0.3, 0.8, 0.95):
+            dyn = DynamicMulticore(16, f).speedup
+            asym = AsymmetricMulticore(
+                total_bces=16, big_core_bces=4, parallel_fraction=f
+            ).speedup
+            assert dyn >= asym - 1e-12
+
+    def test_single_bce(self):
+        assert DynamicMulticore(1, 0.5).speedup == pytest.approx(1.0)
+
+
+class TestPowerEnergy:
+    def test_power_is_bce_count(self):
+        assert DynamicMulticore(16, 0.8).power == 16.0
+
+    def test_energy_is_power_over_speedup(self):
+        mc = DynamicMulticore(16, 0.8)
+        assert mc.energy == pytest.approx(16.0 / mc.speedup)
+
+    def test_worst_in_class_power(self):
+        """Dynamic burns more average power than symmetric — the
+        weakly-sustainable trade-off the module docstring states."""
+        assert DynamicMulticore(16, 0.8).power > SymmetricMulticore(16, 0.8).power
+
+
+class TestValidation:
+    def test_rejects_zero_bces(self):
+        with pytest.raises(ValidationError):
+            DynamicMulticore(0, 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            DynamicMulticore(4, -0.1)
+
+
+class TestDesignPoint:
+    def test_fields(self):
+        mc = DynamicMulticore(8, 0.9)
+        d = mc.design_point()
+        assert d.area == 8.0
+        assert d.perf == pytest.approx(mc.speedup)
+        assert d.power == 8.0

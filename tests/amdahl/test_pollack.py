@@ -1,0 +1,58 @@
+"""Unit tests for Pollack's rule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amdahl.pollack import (
+    big_core_design,
+    pollack_energy,
+    pollack_performance,
+    pollack_power,
+)
+from repro.core.errors import ValidationError
+
+
+class TestPollackLaws:
+    def test_performance_sqrt(self):
+        assert pollack_performance(4.0) == 2.0
+        assert pollack_performance(32.0) == pytest.approx(math.sqrt(32))
+
+    def test_one_bce_is_unit(self):
+        assert pollack_performance(1.0) == 1.0
+        assert pollack_power(1.0) == 1.0
+        assert pollack_energy(1.0) == 1.0
+
+    def test_power_linear(self):
+        assert pollack_power(7.0) == 7.0
+
+    def test_energy_is_sqrt(self):
+        """E = P / S = N / sqrt(N) = sqrt(N) — the paper's statement."""
+        assert pollack_energy(16.0) == pytest.approx(4.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            pollack_performance(0.0)
+
+
+class TestBigCoreDesign:
+    def test_fields(self):
+        d = big_core_design(32)
+        assert d.area == 32.0
+        assert d.perf == pytest.approx(math.sqrt(32))
+        assert d.power == 32.0
+        assert d.energy == pytest.approx(math.sqrt(32))
+
+    def test_default_name(self):
+        assert "32" in big_core_design(32).name
+
+    def test_custom_name(self):
+        assert big_core_design(4, name="big").name == "big"
+
+    def test_diminishing_returns(self):
+        """Perf per area falls as the core grows (the multicore case)."""
+        small = big_core_design(4)
+        large = big_core_design(16)
+        assert large.perf / large.area < small.perf / small.area

@@ -1,0 +1,106 @@
+"""Unit tests for the symmetric multicore model (paper Eq. 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amdahl.symmetric import DEFAULT_LEAKAGE, SymmetricMulticore
+from repro.core.errors import ValidationError
+
+
+class TestConstruction:
+    def test_default_leakage_is_paper_gamma(self):
+        assert DEFAULT_LEAKAGE == 0.2
+        assert SymmetricMulticore(4, 0.5).leakage == 0.2
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValidationError):
+            SymmetricMulticore(0, 0.5)
+
+    def test_rejects_fraction_outside_unit(self):
+        with pytest.raises(ValidationError):
+            SymmetricMulticore(4, 1.5)
+
+    def test_rejects_bad_leakage(self):
+        with pytest.raises(ValidationError):
+            SymmetricMulticore(4, 0.5, leakage=-0.1)
+
+
+class TestSpeedup:
+    def test_amdahl_formula(self):
+        mc = SymmetricMulticore(4, 0.5)
+        assert mc.speedup == pytest.approx(1.0 / (0.5 + 0.5 / 4))
+
+    def test_single_core_no_speedup(self):
+        assert SymmetricMulticore(1, 0.9).speedup == pytest.approx(1.0)
+
+    def test_fully_serial_no_speedup(self):
+        assert SymmetricMulticore(32, 0.0).speedup == pytest.approx(1.0)
+
+    def test_fully_parallel_linear_speedup(self):
+        assert SymmetricMulticore(32, 1.0).speedup == pytest.approx(32.0)
+
+    def test_speedup_bounded_by_core_count(self):
+        for n in (2, 8, 32):
+            for f in (0.3, 0.8, 0.95):
+                s = SymmetricMulticore(n, f).speedup
+                assert 1.0 <= s <= n
+
+    def test_speedup_monotone_in_cores(self):
+        speedups = [SymmetricMulticore(n, 0.9).speedup for n in (1, 2, 4, 8, 16, 32)]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_monotone_in_parallelism(self):
+        speedups = [SymmetricMulticore(16, f).speedup for f in (0.1, 0.5, 0.9, 0.99)]
+        assert speedups == sorted(speedups)
+
+
+class TestEnergy:
+    def test_paper_eq3(self):
+        mc = SymmetricMulticore(32, 0.95, leakage=0.2)
+        assert mc.energy == pytest.approx(1.0 + 0.05 * 31 * 0.2)
+
+    def test_no_leakage_unit_energy(self):
+        """gamma = 0: idle cores cost nothing, energy is always 1."""
+        assert SymmetricMulticore(32, 0.5, leakage=0.0).energy == 1.0
+
+    def test_fully_parallel_unit_energy(self):
+        """f = 1: no serial phase, no idle leakage energy."""
+        assert SymmetricMulticore(32, 1.0, leakage=0.2).energy == pytest.approx(1.0)
+
+    def test_energy_grows_with_cores_for_serial_code(self):
+        energies = [SymmetricMulticore(n, 0.5).energy for n in (1, 4, 16)]
+        assert energies == sorted(energies)
+
+
+class TestPower:
+    def test_paper_eq2(self):
+        mc = SymmetricMulticore(32, 0.95, leakage=0.2)
+        expected = (1 + 0.05 * 31 * 0.2) / (0.05 + 0.95 / 32)
+        assert mc.power == pytest.approx(expected)
+
+    def test_power_equals_energy_times_speedup(self):
+        mc = SymmetricMulticore(16, 0.8)
+        assert mc.power == pytest.approx(mc.energy * mc.speedup)
+
+    def test_finding1_numbers(self):
+        """32 BCEs, f=0.95: P = 16.44 (vs 32 for the big single core)."""
+        mc = SymmetricMulticore(32, 0.95)
+        assert mc.power == pytest.approx(16.439, rel=1e-3)
+
+
+class TestDesignPoint:
+    def test_fields_match_model(self):
+        mc = SymmetricMulticore(8, 0.8)
+        d = mc.design_point()
+        assert d.area == 8.0
+        assert d.perf == pytest.approx(mc.speedup)
+        assert d.power == pytest.approx(mc.power)
+        assert d.energy == pytest.approx(mc.energy)
+
+    def test_custom_name(self):
+        assert SymmetricMulticore(8, 0.8).design_point("mc8").name == "mc8"
+
+    def test_timing_decomposition_sums_to_exec_time(self):
+        mc = SymmetricMulticore(8, 0.8)
+        assert mc.serial_time + mc.parallel_time == pytest.approx(1.0 / mc.speedup)

@@ -1,0 +1,69 @@
+"""Unit tests for the mini-CACTI cache area/energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.cacti import CACTI_65NM_LLC, CactiCacheModel
+from repro.core.errors import ValidationError
+
+
+class TestAnchors:
+    def test_base_anchor_exact(self):
+        assert CACTI_65NM_LLC.area_factor(1.0) == pytest.approx(1.0)
+        assert CACTI_65NM_LLC.access_energy_nj(1.0) == pytest.approx(0.55)
+
+    def test_16mb_anchor_exact(self):
+        """The paper's quoted CACTI numbers are hit exactly."""
+        assert CACTI_65NM_LLC.area_factor(16.0) == pytest.approx(20.7)
+        assert CACTI_65NM_LLC.access_energy_nj(16.0) == pytest.approx(2.9)
+
+    def test_area_slightly_superlinear(self):
+        exponent = CACTI_65NM_LLC.area_exponent
+        assert 1.0 < exponent < 1.2
+
+    def test_energy_sublinear(self):
+        exponent = CACTI_65NM_LLC.energy_exponent
+        assert 0.4 < exponent < 0.8
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("size", [2.0, 4.0, 8.0])
+    def test_monotone_between_anchors(self, size):
+        assert 1.0 < CACTI_65NM_LLC.area_factor(size) < 20.7
+        assert 0.55 < CACTI_65NM_LLC.access_energy_nj(size) < 2.9
+
+    def test_area_monotone(self):
+        sizes = [1, 2, 4, 8, 16]
+        factors = [CACTI_65NM_LLC.area_factor(s) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_doubling_area_factor_consistent(self):
+        """Power law: factor(2s)/factor(s) is size-independent."""
+        r1 = CACTI_65NM_LLC.area_factor(2.0) / CACTI_65NM_LLC.area_factor(1.0)
+        r2 = CACTI_65NM_LLC.area_factor(8.0) / CACTI_65NM_LLC.area_factor(4.0)
+        assert r1 == pytest.approx(r2)
+
+    def test_energy_factor_relative(self):
+        assert CACTI_65NM_LLC.access_energy_factor(16.0) == pytest.approx(2.9 / 0.55)
+
+
+class TestValidation:
+    def test_rejects_anchor_not_larger_than_base(self):
+        with pytest.raises(ValidationError):
+            CactiCacheModel(base_size_mb=4.0, anchor_size_mb=4.0)
+
+    def test_rejects_non_positive_size_query(self):
+        with pytest.raises(ValidationError):
+            CACTI_65NM_LLC.area_factor(0.0)
+
+    def test_rejects_non_positive_anchor_energy(self):
+        with pytest.raises(ValidationError):
+            CactiCacheModel(anchor_access_energy_nj=0.0)
+
+
+class TestCustomModel:
+    def test_linear_area_model(self):
+        model = CactiCacheModel(anchor_area_factor=16.0)  # exactly linear
+        assert model.area_exponent == pytest.approx(1.0)
+        assert model.area_factor(4.0) == pytest.approx(4.0)

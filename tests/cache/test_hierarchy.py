@@ -1,0 +1,100 @@
+"""Unit tests for the memory-hierarchy workload model (paper §5.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import (
+    PAPER_LLC_WORKLOAD,
+    CachedProcessor,
+    MemoryBoundWorkload,
+)
+from repro.core.errors import ValidationError
+
+
+class TestWorkload:
+    def test_paper_defaults(self):
+        assert PAPER_LLC_WORKLOAD.memory_time_share == 0.8
+        assert PAPER_LLC_WORKLOAD.memory_energy_share == 0.8
+        assert PAPER_LLC_WORKLOAD.core_time_share == pytest.approx(0.2)
+
+    def test_energy_shares_sum_to_one(self):
+        w = PAPER_LLC_WORKLOAD
+        assert w.core_energy_share + w.cache_energy_share + w.memory_energy_share == (
+            pytest.approx(1.0)
+        )
+
+    def test_rejects_oversubscribed_energy(self):
+        with pytest.raises(ValidationError):
+            MemoryBoundWorkload(memory_energy_share=0.9, cache_energy_share=0.2)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValidationError):
+            MemoryBoundWorkload(memory_time_share=1.2)
+
+
+class TestCachedProcessorBaseline:
+    def test_base_configuration_is_unity(self):
+        proc = CachedProcessor(llc_size_mb=1.0)
+        assert proc.area == pytest.approx(1.0)
+        assert proc.exec_time == pytest.approx(1.0)
+        assert proc.energy == pytest.approx(1.0)
+        assert proc.power == pytest.approx(1.0)
+        assert proc.perf == pytest.approx(1.0)
+
+
+class TestCachedProcessorScaling:
+    def test_16mb_performance_paper_value(self):
+        """T(16MB) = 0.2 + 0.8*0.25 = 0.4 -> perf 2.5x, the paper's
+        Figure 6 x-axis maximum."""
+        proc = CachedProcessor(llc_size_mb=16.0)
+        assert proc.perf == pytest.approx(2.5)
+
+    def test_16mb_chip_area(self):
+        """(1 + 0.25*20.7)/1.25 = 4.94x chip area."""
+        proc = CachedProcessor(llc_size_mb=16.0)
+        assert proc.area == pytest.approx((1 + 0.25 * 20.7) / 1.25)
+
+    def test_miss_ratio_uses_sqrt_rule(self):
+        assert CachedProcessor(llc_size_mb=4.0).miss_ratio == pytest.approx(0.5)
+
+    def test_energy_decomposition(self):
+        proc = CachedProcessor(llc_size_mb=4.0)
+        w = proc.workload
+        expected = (
+            w.core_energy_share
+            + w.cache_energy_share * proc.cache_energy_factor
+            + w.memory_energy_share * 0.5
+        )
+        assert proc.energy == pytest.approx(expected)
+
+    def test_larger_cache_larger_area(self):
+        areas = [CachedProcessor(llc_size_mb=s).area for s in (1, 2, 4, 8, 16)]
+        assert areas == sorted(areas)
+
+    def test_larger_cache_higher_perf(self):
+        perfs = [CachedProcessor(llc_size_mb=s).perf for s in (1, 2, 4, 8, 16)]
+        assert perfs == sorted(perfs)
+
+    def test_energy_dips_then_rises(self):
+        """Memory energy falls with sqrt(size) but cache energy rises;
+        for the paper's split the net energy keeps falling through
+        16 MB (memory dominates) — assert the direction."""
+        energies = [CachedProcessor(llc_size_mb=s).energy for s in (1, 2, 4, 8, 16)]
+        assert energies[1] < energies[0]
+
+    def test_power_is_energy_over_time(self):
+        proc = CachedProcessor(llc_size_mb=8.0)
+        assert proc.power == pytest.approx(proc.energy / proc.exec_time)
+
+    def test_design_point_naming(self):
+        assert "8" in CachedProcessor(llc_size_mb=8.0).design_point().name
+
+    def test_custom_base_size(self):
+        proc = CachedProcessor(llc_size_mb=4.0, base_llc_size_mb=4.0)
+        assert proc.miss_ratio == 1.0
+        assert proc.area == pytest.approx(1.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValidationError):
+            CachedProcessor(llc_size_mb=0.0)

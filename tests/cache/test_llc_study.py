@@ -1,0 +1,79 @@
+"""Unit tests for the LLC sweep study (Figure 6, Finding #8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.hierarchy import CachedProcessor, MemoryBoundWorkload
+from repro.cache.llc_study import (
+    PAPER_LLC_SIZES_MB,
+    classify_llc,
+    llc_sweep,
+)
+from repro.core.classify import Sustainability
+
+
+class TestSweepStructure:
+    def test_paper_sizes(self):
+        assert PAPER_LLC_SIZES_MB == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_sweep_length_and_order(self):
+        points = llc_sweep(0.8)
+        assert [p.size_mb for p in points] == list(PAPER_LLC_SIZES_MB)
+
+    def test_baseline_point_is_unity(self):
+        base = llc_sweep(0.2)[0]
+        assert base.perf == pytest.approx(1.0)
+        assert base.ncf_fixed_work == pytest.approx(1.0)
+        assert base.ncf_fixed_time == pytest.approx(1.0)
+
+    def test_perf_monotone(self):
+        perfs = [p.perf for p in llc_sweep(0.8)]
+        assert perfs == sorted(perfs)
+
+
+class TestFinding8:
+    def test_embodied_dominated_never_pays(self):
+        """Every size above 1 MB has NCF > 1 on both axes at alpha=0.8."""
+        for point in llc_sweep(0.8)[1:]:
+            assert point.ncf_fixed_work > 1.0
+            assert point.ncf_fixed_time > 1.0
+            assert point.category is Sustainability.LESS
+
+    def test_operational_dominated_small_cache_weakly_sustainable(self):
+        """2 MB at alpha=0.2: fixed-work < 1, fixed-time > 1."""
+        point = llc_sweep(0.2)[1]
+        assert point.size_mb == 2.0
+        assert point.ncf_fixed_work < 1.0
+        assert point.ncf_fixed_time > 1.0
+        assert point.category is Sustainability.WEAK
+
+    def test_operational_dominated_16mb_not_sustainable(self):
+        point = llc_sweep(0.2)[-1]
+        assert point.category is Sustainability.LESS
+
+    def test_classify_llc_wrapper(self):
+        assert classify_llc(16.0, 0.8) is Sustainability.LESS
+        assert classify_llc(2.0, 0.2) is Sustainability.WEAK
+
+
+class TestTemplates:
+    def test_less_memory_bound_workload_worsens_caching(self):
+        """A compute-bound workload gains little from a big LLC: NCF at
+        16 MB must be higher than for the paper's memory-bound one."""
+        compute_bound = CachedProcessor(
+            llc_size_mb=1.0,
+            workload=MemoryBoundWorkload(
+                memory_time_share=0.3, memory_energy_share=0.3
+            ),
+        )
+        default_pts = llc_sweep(0.2)
+        compute_pts = llc_sweep(0.2, template=compute_bound)
+        assert compute_pts[-1].ncf_fixed_work > default_pts[-1].ncf_fixed_work
+
+    def test_template_size_is_overridden(self):
+        """The template's own llc_size_mb must not leak into the sweep."""
+        template = CachedProcessor(llc_size_mb=8.0)
+        points = llc_sweep(0.5, (1.0, 2.0), template=template)
+        assert [p.size_mb for p in points] == [1.0, 2.0]
+        assert points[0].ncf_fixed_work == pytest.approx(1.0)

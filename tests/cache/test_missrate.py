@@ -1,0 +1,65 @@
+"""Unit tests for the sqrt(2) miss-rate rule."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.missrate import SQRT2_RULE, MissRateModel
+from repro.core.errors import DomainError, ValidationError
+
+
+class TestSqrtRule:
+    def test_base_size_unity(self):
+        assert SQRT2_RULE.miss_ratio(1.0) == 1.0
+
+    def test_doubling_cuts_by_sqrt2(self):
+        assert SQRT2_RULE.miss_ratio(2.0) == pytest.approx(1 / math.sqrt(2))
+
+    def test_quadrupling_halves(self):
+        assert SQRT2_RULE.miss_ratio(4.0) == pytest.approx(0.5)
+
+    def test_16x_quarters(self):
+        assert SQRT2_RULE.miss_ratio(16.0) == pytest.approx(0.25)
+
+    def test_shrinking_cache_raises_misses(self):
+        assert SQRT2_RULE.miss_ratio(0.5) == pytest.approx(math.sqrt(2))
+
+    def test_custom_base(self):
+        assert SQRT2_RULE.miss_ratio(8.0, base_size_mb=2.0) == pytest.approx(0.5)
+
+
+class TestCustomExponent:
+    def test_zero_exponent_flat(self):
+        model = MissRateModel(exponent=0.0)
+        assert model.miss_ratio(100.0) == 1.0
+
+    def test_linear_exponent(self):
+        model = MissRateModel(exponent=1.0)
+        assert model.miss_ratio(4.0) == pytest.approx(0.25)
+
+    def test_rejects_exponent_above_one(self):
+        with pytest.raises(ValidationError):
+            MissRateModel(exponent=1.5)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValidationError):
+            MissRateModel(exponent=-0.5)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        target = SQRT2_RULE.miss_ratio(9.0)
+        assert SQRT2_RULE.capacity_for_miss_ratio(target) == pytest.approx(9.0)
+
+    def test_halving_misses_needs_4x_capacity(self):
+        assert SQRT2_RULE.capacity_for_miss_ratio(0.5) == pytest.approx(4.0)
+
+    def test_flat_model_has_no_inverse(self):
+        with pytest.raises(DomainError):
+            MissRateModel(exponent=0.0).capacity_for_miss_ratio(0.5)
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ValidationError):
+            SQRT2_RULE.capacity_for_miss_ratio(0.0)

@@ -1,0 +1,115 @@
+"""Unit tests for the strong/weak/less sustainability classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import (
+    Sustainability,
+    classify,
+    classify_assessment,
+    classify_pair,
+    classify_values,
+)
+from repro.core.design import DesignPoint
+from repro.core.ncf import assess
+from repro.core.scenario import EMBODIED_DOMINATED
+
+
+class TestClassifyValues:
+    def test_strong(self):
+        assert classify_values(0.9, 0.95) is Sustainability.STRONG
+
+    def test_less(self):
+        assert classify_values(1.1, 1.05) is Sustainability.LESS
+
+    @pytest.mark.parametrize("fw,ft", [(0.9, 1.1), (1.1, 0.9)])
+    def test_weak_either_direction(self, fw, ft):
+        assert classify_values(fw, ft) is Sustainability.WEAK
+
+    def test_neutral_both_exactly_one(self):
+        assert classify_values(1.0, 1.0) is Sustainability.NEUTRAL
+
+    def test_one_axis_neutral_other_better_is_strong(self):
+        """Matches the paper's reading of die shrink under post-Dennard
+        fixed-time (power unchanged) as strongly sustainable."""
+        assert classify_values(0.9, 1.0) is Sustainability.STRONG
+
+    def test_one_axis_neutral_other_worse_is_less(self):
+        assert classify_values(1.0, 1.2) is Sustainability.LESS
+
+    def test_boundary_tolerance(self):
+        assert classify_values(0.9, 1.0 + 1e-12) is Sustainability.STRONG
+
+    def test_custom_tolerance(self):
+        # With a loose tolerance 1.005 counts as the boundary.
+        assert classify_values(0.9, 1.005, rel_tol=0.01) is Sustainability.STRONG
+        assert classify_values(0.9, 1.005) is Sustainability.WEAK
+
+    def test_trichotomy_covers_plane(self):
+        """Every (fw, ft) pair classifies to exactly one category."""
+        values = (0.5, 1.0, 1.5)
+        for fw in values:
+            for ft in values:
+                category = classify_values(fw, ft)
+                assert isinstance(category, Sustainability)
+
+
+class TestClassifyDesigns:
+    def test_strong_design(self, better_design, baseline):
+        verdict = classify(better_design, baseline, alpha=0.5)
+        assert verdict.category is Sustainability.STRONG
+        assert verdict.is_strong and not verdict.is_weak and not verdict.is_less
+
+    def test_less_design(self, worse_design, baseline):
+        assert classify(worse_design, baseline, alpha=0.5).is_less
+
+    def test_weak_design(self, weak_design, baseline):
+        """Energy improves (power/perf = 0.93) but power worsens."""
+        verdict = classify(weak_design, baseline, alpha=0.2)
+        assert verdict.is_weak
+
+    def test_self_comparison_is_neutral(self, baseline):
+        assert classify(baseline, baseline, 0.5).category is Sustainability.NEUTRAL
+
+    def test_verdict_records_evidence(self, better_design, baseline):
+        verdict = classify(better_design, baseline, alpha=0.3)
+        assert verdict.design == "better"
+        assert verdict.baseline == "baseline"
+        assert verdict.alpha == 0.3
+        assert verdict.ncf_fixed_work < 1.0
+        assert verdict.ncf_fixed_time < 1.0
+
+    def test_as_dict(self, better_design, baseline):
+        payload = classify(better_design, baseline, 0.5).as_dict()
+        assert payload["category"] == "strongly sustainable"
+
+    def test_str_mentions_category(self, better_design, baseline):
+        assert "strongly sustainable" in str(classify(better_design, baseline, 0.5))
+
+
+class TestAlphaDependence:
+    def test_category_can_flip_with_alpha(self, baseline):
+        """Small area increase, big energy/power win: less sustainable
+        at alpha ~ 1, strongly sustainable at low alpha."""
+        d = DesignPoint("accel", area=1.5, perf=1.0, power=0.3)
+        assert classify(d, baseline, alpha=0.95).is_less
+        assert classify(d, baseline, alpha=0.1).is_strong
+
+
+class TestClassifyAssessment:
+    def test_matches_direct_classification(self, weak_design, baseline):
+        assessment = assess(weak_design, baseline, EMBODIED_DOMINATED)
+        assert classify_assessment(assessment) is classify(
+            weak_design, baseline, EMBODIED_DOMINATED.alpha
+        ).category
+
+
+class TestClassifyPair:
+    def test_returns_consistent_verdict_and_assessment(self, better_design, baseline):
+        verdict, assessment = classify_pair(
+            better_design, baseline, EMBODIED_DOMINATED
+        )
+        assert verdict.alpha == EMBODIED_DOMINATED.alpha
+        assert assessment.fixed_work.nominal == pytest.approx(verdict.ncf_fixed_work)
+        assert assessment.fixed_time.nominal == pytest.approx(verdict.ncf_fixed_time)

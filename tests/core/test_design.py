@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.design.DesignPoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DesignPoint("core", area=2.0, perf=1.5, power=3.0)
+        assert d.name == "core"
+        assert d.area == 2.0
+        assert d.perf == 1.5
+        assert d.power == 3.0
+
+    def test_baseline_is_unit(self):
+        b = DesignPoint.baseline()
+        assert (b.area, b.perf, b.power, b.energy) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_baseline_custom_name(self):
+        assert DesignPoint.baseline("InO").name == "InO"
+
+    @pytest.mark.parametrize("field", ["area", "perf", "power"])
+    def test_rejects_non_positive(self, field):
+        kwargs = {"area": 1.0, "perf": 1.0, "power": 1.0, field: 0.0}
+        with pytest.raises(ValidationError, match=field):
+            DesignPoint("bad", **kwargs)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError, match="name"):
+            DesignPoint("", area=1.0, perf=1.0, power=1.0)
+
+    def test_rejects_nan_area(self):
+        with pytest.raises(ValidationError):
+            DesignPoint("bad", area=float("nan"), perf=1.0, power=1.0)
+
+    def test_frozen(self):
+        d = DesignPoint.baseline()
+        with pytest.raises(AttributeError):
+            d.area = 2.0  # type: ignore[misc]
+
+
+class TestFromEnergy:
+    def test_power_derived_from_energy(self):
+        d = DesignPoint.from_energy("x", area=1.0, perf=2.0, energy=0.5)
+        assert d.power == pytest.approx(1.0)
+        assert d.energy == pytest.approx(0.5)
+
+    def test_round_trip_identity(self):
+        original = DesignPoint("x", area=1.2, perf=1.7, power=2.3)
+        rebuilt = DesignPoint.from_energy(
+            "x", area=original.area, perf=original.perf, energy=original.energy
+        )
+        assert rebuilt.power == pytest.approx(original.power)
+
+    def test_rejects_non_positive_energy(self):
+        with pytest.raises(ValidationError, match="energy"):
+            DesignPoint.from_energy("x", area=1.0, perf=1.0, energy=0.0)
+
+
+class TestDerivedQuantities:
+    def test_energy_is_power_over_perf(self):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        assert d.energy == pytest.approx(1.5)
+
+    def test_edp(self):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        assert d.edp == pytest.approx(1.5 / 2.0)
+
+
+class TestRatios:
+    def test_ratios_against_baseline(self, baseline):
+        d = DesignPoint("x", area=2.0, perf=4.0, power=8.0)
+        assert d.area_ratio(baseline) == pytest.approx(2.0)
+        assert d.perf_ratio(baseline) == pytest.approx(4.0)
+        assert d.power_ratio(baseline) == pytest.approx(8.0)
+        assert d.energy_ratio(baseline) == pytest.approx(2.0)
+
+    def test_self_ratios_are_one(self):
+        d = DesignPoint("x", area=3.0, perf=2.0, power=5.0)
+        assert d.area_ratio(d) == 1.0
+        assert d.energy_ratio(d) == 1.0
+        assert d.power_ratio(d) == 1.0
+        assert d.perf_ratio(d) == 1.0
+
+    def test_ratio_antisymmetry(self):
+        a = DesignPoint("a", area=2.0, perf=1.5, power=1.2)
+        b = DesignPoint("b", area=5.0, perf=0.7, power=2.4)
+        assert a.area_ratio(b) == pytest.approx(1.0 / b.area_ratio(a))
+
+
+class TestTransformations:
+    def test_normalized_to(self):
+        base = DesignPoint("base", area=2.0, perf=2.0, power=4.0)
+        d = DesignPoint("x", area=4.0, perf=3.0, power=4.0)
+        n = d.normalized_to(base)
+        assert n.area == pytest.approx(2.0)
+        assert n.perf == pytest.approx(1.5)
+        assert n.power == pytest.approx(1.0)
+        assert n.name == "x"
+
+    def test_normalized_to_self_is_unit(self):
+        d = DesignPoint("x", area=7.0, perf=3.0, power=2.0)
+        n = d.normalized_to(d)
+        assert (n.area, n.perf, n.power) == (1.0, 1.0, 1.0)
+
+    def test_renamed(self):
+        d = DesignPoint.baseline("old").renamed("new")
+        assert d.name == "new"
+        assert d.area == 1.0
+
+    def test_scaled(self):
+        d = DesignPoint.baseline().scaled(area=1.1, perf=2.0, power=0.5)
+        assert d.area == pytest.approx(1.1)
+        assert d.perf == pytest.approx(2.0)
+        assert d.power == pytest.approx(0.5)
+
+    def test_scaled_rejects_zero_factor(self):
+        with pytest.raises(ValidationError):
+            DesignPoint.baseline().scaled(area=0.0)
+
+    def test_scaled_preserves_energy_identity(self):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0).scaled(perf=2.0)
+        assert d.energy == pytest.approx(d.power / d.perf)
+
+
+class TestSerialization:
+    def test_as_dict_round_trip(self):
+        d = DesignPoint("x", area=2.0, perf=1.5, power=3.0)
+        payload = d.as_dict()
+        assert payload["name"] == "x"
+        assert payload["energy"] == pytest.approx(2.0)
+        rebuilt = DesignPoint(
+            name=payload["name"],
+            area=payload["area"],
+            perf=payload["perf"],
+            power=payload["power"],
+        )
+        assert rebuilt == d

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    DomainError,
+    ReproError,
+    UnknownStudyError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ValidationError, DomainError, ConvergenceError, ConfigurationError, UnknownStudyError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_validation_error_is_value_error():
+    """Library users catching ValueError keep working."""
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(DomainError, ValueError)
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_convergence_error_is_runtime_error():
+    assert issubclass(ConvergenceError, RuntimeError)
+
+
+def test_unknown_study_is_key_error():
+    assert issubclass(UnknownStudyError, KeyError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise DomainError("outside domain")

@@ -1,0 +1,92 @@
+"""Unit tests for classical metrics and their disagreement with NCF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.metrics import (
+    ClassicMetric,
+    disagreement,
+    metric_ratio,
+    metric_value,
+)
+
+
+@pytest.fixture
+def ooo() -> DesignPoint:
+    return DesignPoint("OoO", area=1.39, perf=1.75, power=2.32)
+
+
+class TestMetricValues:
+    def test_edp(self, baseline):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=2.0)  # energy 1
+        assert metric_value(d, ClassicMetric.EDP) == pytest.approx(0.5)
+
+    def test_ed2p(self):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=2.0)
+        assert metric_value(d, ClassicMetric.ED2P) == pytest.approx(0.25)
+
+    def test_perf_per_watt(self):
+        d = DesignPoint("x", area=1.0, perf=3.0, power=1.5)
+        assert metric_value(d, ClassicMetric.PERF_PER_WATT) == pytest.approx(2.0)
+
+    def test_perf_per_area(self):
+        d = DesignPoint("x", area=2.0, perf=3.0, power=1.0)
+        assert metric_value(d, ClassicMetric.PERF_PER_AREA) == pytest.approx(1.5)
+
+    def test_energy(self):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        assert metric_value(d, ClassicMetric.ENERGY) == pytest.approx(1.5)
+
+
+class TestMetricRatio:
+    def test_normalized_direction(self, baseline):
+        """> 1 always means better, regardless of metric polarity."""
+        good = DesignPoint("good", area=0.5, perf=2.0, power=0.5)
+        for metric in ClassicMetric:
+            assert metric_ratio(good, baseline, metric) > 1.0
+
+    def test_self_ratio_is_one(self, baseline):
+        for metric in ClassicMetric:
+            assert metric_ratio(baseline, baseline, metric) == pytest.approx(1.0)
+
+    def test_ooo_wins_edp_vs_ino(self, ooo, baseline):
+        """The classical justification for OoO: better EDP than InO."""
+        assert metric_ratio(ooo, baseline, ClassicMetric.EDP) > 1.0
+
+
+class TestDisagreement:
+    def test_ooo_conflict_edp_vs_focal(self, ooo, baseline):
+        """The paper's point, sharpened: OoO improves EDP over InO but
+        is less sustainable under FOCAL in every regime."""
+        for alpha in (0.2, 0.8):
+            result = disagreement(ooo, baseline, ClassicMetric.EDP, alpha)
+            assert result.metric_says_better
+            assert result.focal_category is Sustainability.LESS
+            assert result.conflicting
+
+    def test_no_conflict_when_aligned(self, baseline):
+        good = DesignPoint("good", area=0.5, perf=2.0, power=0.5)
+        result = disagreement(good, baseline, ClassicMetric.EDP, 0.5)
+        assert result.metric_says_better
+        assert result.focal_category is Sustainability.STRONG
+        assert not result.conflicting
+
+    def test_metric_rejecting_strong_design_flags_conflict(self, baseline):
+        """A slower but frugal design: perf/watt can reject it while
+        FOCAL calls it strongly sustainable."""
+        frugal = DesignPoint("frugal", area=0.8, perf=0.5, power=0.55)
+        result = disagreement(frugal, baseline, ClassicMetric.PERF_PER_WATT, 0.8)
+        assert not result.metric_says_better
+        assert result.focal_category is Sustainability.STRONG
+        assert result.conflicting
+
+    def test_pipeline_gating_rejected_by_perf_metrics(self, baseline):
+        """Finding #16's design is a textbook conflict: strictly
+        strongly sustainable, yet slower (perf-oriented metrics can say
+        no)."""
+        gated = DesignPoint("gated", area=1.0, perf=0.934, power=0.901)
+        result = disagreement(gated, baseline, ClassicMetric.PERF_PER_AREA, 0.5)
+        assert result.conflicting

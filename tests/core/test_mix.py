@@ -1,0 +1,98 @@
+"""Unit tests for time-weighted workload mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.core.mix import time_weighted_mix
+from repro.core.ncf import ncf
+from repro.core.scenario import UseScenario
+
+
+def phase(name: str, perf: float, power: float, area: float = 1.0) -> DesignPoint:
+    return DesignPoint(name, area=area, perf=perf, power=power)
+
+
+class TestComposition:
+    def test_single_phase_is_identity(self):
+        busy = phase("busy", perf=2.0, power=3.0)
+        mix = time_weighted_mix([(busy, 1.0)])
+        assert mix.perf == pytest.approx(2.0)
+        assert mix.power == pytest.approx(3.0)
+        assert mix.area == 1.0
+
+    def test_time_weighted_power_and_throughput(self):
+        busy = phase("busy", perf=2.0, power=3.0)
+        idle = phase("idle", perf=0.01, power=0.1)
+        mix = time_weighted_mix([(busy, 0.25), (idle, 0.75)])
+        assert mix.power == pytest.approx(0.25 * 3.0 + 0.75 * 0.1)
+        assert mix.perf == pytest.approx(0.25 * 2.0 + 0.75 * 0.01)
+
+    def test_energy_identity_holds(self):
+        busy = phase("busy", perf=2.0, power=3.0)
+        idle = phase("idle", perf=0.01, power=0.1)
+        mix = time_weighted_mix([(busy, 0.5), (idle, 0.5)])
+        assert mix.energy == pytest.approx(mix.power / mix.perf)
+
+    def test_default_name_describes_shares(self):
+        mix = time_weighted_mix(
+            [(phase("decode", 1.0, 0.2), 0.3), (phase("idle", 0.01, 0.05), 0.7)]
+        )
+        assert "30%" in mix.name and "decode" in mix.name
+
+    def test_custom_name(self):
+        mix = time_weighted_mix([(phase("p", 1.0, 1.0), 1.0)], name="duty cycle")
+        assert mix.name == "duty cycle"
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            time_weighted_mix([(phase("a", 1, 1), 0.5), (phase("b", 1, 1), 0.4)])
+
+    def test_shares_must_be_fractions(self):
+        with pytest.raises(ValidationError):
+            time_weighted_mix([(phase("a", 1, 1), 1.5)])
+
+    def test_requires_phases(self):
+        with pytest.raises(ValidationError):
+            time_weighted_mix([])
+
+    def test_mismatched_areas_rejected(self):
+        with pytest.raises(ValidationError, match="one chip"):
+            time_weighted_mix(
+                [(phase("a", 1, 1, area=1.0), 0.5), (phase("b", 1, 1, area=2.0), 0.5)]
+            )
+
+
+class TestFOCALIntegration:
+    def test_duty_cycle_shapes_the_accelerator_verdict(self):
+        """An accelerator-equipped SoC compared against the plain core
+        under realistic duty cycles: heavy accelerator use must yield a
+        strictly lower NCF than light use."""
+        from repro.accel.accelerator import HAMEED_H264, AcceleratedSystem
+
+        def soc_at(duty: float) -> DesignPoint:
+            return AcceleratedSystem(HAMEED_H264, duty).design_point()
+
+        core = DesignPoint.baseline("core")
+        light = time_weighted_mix(
+            [(soc_at(0.1), 0.5), (soc_at(0.0), 0.5)], name="light use"
+        )
+        heavy = time_weighted_mix(
+            [(soc_at(0.9), 0.5), (soc_at(0.5), 0.5)], name="heavy use"
+        )
+        fw = UseScenario.FIXED_WORK
+        assert ncf(heavy, core, fw, 0.8) < ncf(light, core, fw, 0.8)
+
+    def test_idle_heavy_mix_is_power_cheap_but_energy_expensive(self):
+        """A mostly idle device draws little power but does little
+        work: its energy per unit work is worse than the busy phase's —
+        the fixed-work/fixed-time distinction at the duty-cycle level."""
+        busy = phase("busy", perf=1.0, power=1.0)
+        idle = phase("idle", perf=1e-3, power=0.1)
+        mix = time_weighted_mix([(busy, 0.2), (idle, 0.8)])
+        assert mix.power < busy.power
+        assert mix.energy > busy.energy

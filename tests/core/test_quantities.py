@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.quantities import (
+    close,
+    ensure_at_least,
+    ensure_finite,
+    ensure_fraction,
+    ensure_in_range,
+    ensure_int_at_least,
+    ensure_monotone_increasing,
+    ensure_non_negative,
+    ensure_open_fraction,
+    ensure_positive,
+)
+
+
+class TestEnsureFinite:
+    def test_accepts_plain_float(self):
+        assert ensure_finite(1.5, "x") == 1.5
+
+    def test_accepts_int_and_coerces(self):
+        value = ensure_finite(3, "x")
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValidationError, match="finite"):
+            ensure_finite(bad, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="real number"):
+            ensure_finite("abc", "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="myparam"):
+            ensure_finite(float("nan"), "myparam")
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(0.001, "x") == 0.001
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -0.0001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError, match="> 0"):
+            ensure_positive(bad, "x")
+
+
+class TestEnsureNonNegative:
+    def test_accepts_zero(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            ensure_non_negative(-1e-9, "x")
+
+
+class TestEnsureFraction:
+    @pytest.mark.parametrize("good", [0.0, 0.5, 1.0])
+    def test_accepts_closed_interval(self, good):
+        assert ensure_fraction(good, "x") == good
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            ensure_fraction(bad, "x")
+
+
+class TestEnsureOpenFraction:
+    def test_accepts_interior(self):
+        assert ensure_open_fraction(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_rejects_endpoints(self, bad):
+        with pytest.raises(ValidationError):
+            ensure_open_fraction(bad, "x")
+
+
+class TestEnsureInRange:
+    def test_accepts_endpoint(self):
+        assert ensure_in_range(2.0, 2.0, 4.0, "x") == 2.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            ensure_in_range(4.5, 2.0, 4.0, "x")
+
+
+class TestEnsureAtLeast:
+    def test_accepts_equal(self):
+        assert ensure_at_least(2.0, 2.0, "x") == 2.0
+
+    def test_rejects_below(self):
+        with pytest.raises(ValidationError):
+            ensure_at_least(1.99, 2.0, "x")
+
+
+class TestEnsureIntAtLeast:
+    def test_accepts_int(self):
+        assert ensure_int_at_least(4, 1, "x") == 4
+
+    def test_accepts_integral_float(self):
+        assert ensure_int_at_least(4.0, 1, "x") == 4
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ValidationError, match="integer"):
+            ensure_int_at_least(4.5, 1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            ensure_int_at_least(True, 0, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            ensure_int_at_least(1, 2, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            ensure_int_at_least("3", 1, "x")
+
+
+class TestEnsureMonotoneIncreasing:
+    def test_accepts_increasing(self):
+        assert ensure_monotone_increasing([1, 2, 3], "x") == [1.0, 2.0, 3.0]
+
+    def test_accepts_single_element(self):
+        assert ensure_monotone_increasing([5], "x") == [5.0]
+
+    def test_rejects_equal_neighbours(self):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            ensure_monotone_increasing([1, 1], "x")
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValidationError):
+            ensure_monotone_increasing([2, 1], "x")
+
+
+class TestClose:
+    def test_equal_values(self):
+        assert close(1.0, 1.0)
+
+    def test_within_tolerance(self):
+        assert close(1.0, 1.0 + 1e-12)
+
+    def test_outside_tolerance(self):
+        assert not close(1.0, 1.001)
+
+    def test_near_zero_uses_abs_tol(self):
+        assert close(0.0, 1e-13)
+        assert not close(0.0, 1e-6)
+
+    def test_symmetry(self):
+        assert close(2.0, 2.0 + 1e-12) == close(2.0 + 1e-12, 2.0)
+
+    def test_matches_math_isclose_semantics(self):
+        assert close(100.0, 100.0 * (1 + 1e-10)) == math.isclose(
+            100.0, 100.0 * (1 + 1e-10), rel_tol=1e-9, abs_tol=1e-12
+        )

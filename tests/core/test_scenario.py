@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.core.scenario import (
+    BALANCED,
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+    STANDARD_WEIGHTS,
+    E2OWeight,
+    UseScenario,
+)
+
+
+class TestUseScenario:
+    def test_proxies(self):
+        assert UseScenario.FIXED_WORK.operational_proxy == "energy"
+        assert UseScenario.FIXED_TIME.operational_proxy == "power"
+
+    def test_operational_ratio_fixed_work_uses_energy(self, baseline):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0)  # energy 1.5
+        assert UseScenario.FIXED_WORK.operational_ratio(d, baseline) == pytest.approx(1.5)
+
+    def test_operational_ratio_fixed_time_uses_power(self, baseline):
+        d = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        assert UseScenario.FIXED_TIME.operational_ratio(d, baseline) == pytest.approx(3.0)
+
+    def test_scenarios_differ_only_when_perf_differs(self, baseline):
+        same_perf = DesignPoint("x", area=1.0, perf=1.0, power=0.7)
+        assert UseScenario.FIXED_WORK.operational_ratio(
+            same_perf, baseline
+        ) == pytest.approx(
+            UseScenario.FIXED_TIME.operational_ratio(same_perf, baseline)
+        )
+
+
+class TestE2OWeight:
+    def test_paper_regimes(self):
+        assert EMBODIED_DOMINATED.alpha == 0.8
+        assert EMBODIED_DOMINATED.spread == 0.1
+        assert OPERATIONAL_DOMINATED.alpha == 0.2
+        assert OPERATIONAL_DOMINATED.spread == 0.1
+
+    def test_standard_weights_tuple(self):
+        assert STANDARD_WEIGHTS == (EMBODIED_DOMINATED, OPERATIONAL_DOMINATED)
+
+    def test_band(self):
+        assert EMBODIED_DOMINATED.band == (pytest.approx(0.7), pytest.approx(0.9))
+
+    def test_band_clipped_to_unit_interval(self):
+        w = E2OWeight("extreme", alpha=0.95, spread=0.2)
+        assert w.low == pytest.approx(0.75)
+        assert w.high == 1.0
+
+    def test_rejects_alpha_outside_unit(self):
+        with pytest.raises(ValidationError):
+            E2OWeight("bad", alpha=1.2)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ValidationError):
+            E2OWeight("bad", alpha=0.5, spread=-0.1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            E2OWeight("", alpha=0.5)
+
+    def test_alphas_default_three_samples(self):
+        alphas = list(EMBODIED_DOMINATED.alphas())
+        assert alphas == [pytest.approx(0.7), pytest.approx(0.8), pytest.approx(0.9)]
+
+    def test_alphas_single_sample_is_nominal(self):
+        assert list(EMBODIED_DOMINATED.alphas(1)) == [0.8]
+
+    def test_alphas_zero_spread_yields_nominal_once(self):
+        assert list(BALANCED.alphas(5)) == [0.5]
+
+    def test_alphas_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            list(EMBODIED_DOMINATED.alphas(0))
+
+    def test_alphas_includes_band_edges(self):
+        alphas = list(OPERATIONAL_DOMINATED.alphas(5))
+        assert alphas[0] == pytest.approx(0.1)
+        assert alphas[-1] == pytest.approx(0.3)
+        assert len(alphas) == 5
+
+    def test_with_alpha(self):
+        w = EMBODIED_DOMINATED.with_alpha(0.75)
+        assert w.alpha == 0.75
+        assert w.spread == EMBODIED_DOMINATED.spread
+        assert w.name == EMBODIED_DOMINATED.name
+
+    def test_str_includes_spread(self):
+        assert "±" in str(EMBODIED_DOMINATED) or "0.1" in str(EMBODIED_DOMINATED)

@@ -1,0 +1,158 @@
+"""Unit tests for interval arithmetic and robust classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.core.scenario import (
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+    E2OWeight,
+)
+from repro.core.uncertainty import Interval, robust_classification
+
+
+class TestIntervalConstruction:
+    def test_basic(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.low == 1.0
+        assert iv.high == 2.0
+        assert iv.width == 1.0
+        assert iv.midpoint == 1.5
+
+    def test_point(self):
+        assert Interval.point(3.0).width == 0.0
+
+    def test_from_center(self):
+        iv = Interval.from_center(0.8, 0.1)
+        assert iv.low == pytest.approx(0.7)
+        assert iv.high == pytest.approx(0.9)
+
+    def test_from_center_rejects_negative_spread(self):
+        with pytest.raises(ValidationError):
+            Interval.from_center(0.5, -0.1)
+
+    def test_rejects_disordered(self):
+        with pytest.raises(ValidationError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            Interval(float("nan"), 1.0)
+
+
+class TestIntervalPredicates:
+    def test_contains(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0) and iv.contains(2.0) and iv.contains(1.5)
+        assert not iv.contains(0.99)
+
+    def test_entirely_below_above(self):
+        iv = Interval(0.5, 0.9)
+        assert iv.entirely_below(1.0)
+        assert not iv.entirely_above(1.0)
+        assert Interval(1.1, 1.2).entirely_above(1.0)
+
+
+class TestIntervalArithmetic:
+    def test_addition(self):
+        result = Interval(1, 2) + Interval(10, 20)
+        assert (result.low, result.high) == (11, 22)
+
+    def test_scalar_addition_commutes(self):
+        assert (Interval(1, 2) + 5).low == (5 + Interval(1, 2)).low == 6
+
+    def test_negation(self):
+        result = -Interval(1, 2)
+        assert (result.low, result.high) == (-2, -1)
+
+    def test_subtraction(self):
+        result = Interval(5, 6) - Interval(1, 2)
+        assert (result.low, result.high) == (3, 5)
+
+    def test_rsub(self):
+        result = 10 - Interval(1, 2)
+        assert (result.low, result.high) == (8, 9)
+
+    def test_multiplication_mixed_signs(self):
+        result = Interval(-1, 2) * Interval(-3, 4)
+        # candidates: 3, -4, -6, 8
+        assert (result.low, result.high) == (-6, 8)
+
+    def test_scalar_multiplication(self):
+        result = 2 * Interval(1, 3)
+        assert (result.low, result.high) == (2, 6)
+
+    def test_division(self):
+        result = Interval(1, 2) / Interval(2, 4)
+        assert result.low == pytest.approx(0.25)
+        assert result.high == pytest.approx(1.0)
+
+    def test_division_by_zero_interval_rejected(self):
+        with pytest.raises(ValidationError, match="zero"):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_rtruediv(self):
+        result = 1 / Interval(2, 4)
+        assert result.low == pytest.approx(0.25)
+        assert result.high == pytest.approx(0.5)
+
+    def test_ncf_band_via_intervals_is_conservative(self):
+        """Interval NCF: alpha in [0.7,0.9], area 2, power 0.5. Because
+        alpha appears twice, naive interval evaluation over-approximates
+        (the dependency problem) — the result must *contain* the exact
+        affine band but may be wider. ncf_band computes the exact band."""
+        alpha = Interval(0.7, 0.9)
+        ncf_interval = alpha * 2.0 + (1 - alpha) * 0.5
+        exact_low = 0.7 * 2 + 0.3 * 0.5
+        exact_high = 0.9 * 2 + 0.1 * 0.5
+        assert ncf_interval.low <= exact_low
+        assert ncf_interval.high >= exact_high
+        # Rewriting to use alpha once gives the exact band:
+        tight = 0.5 + alpha * (2.0 - 0.5)
+        assert tight.low == pytest.approx(exact_low)
+        assert tight.high == pytest.approx(exact_high)
+
+
+class TestRobustClassification:
+    def test_unanimous_strong(self, better_design, baseline):
+        conclusion = robust_classification(
+            better_design, baseline, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+        )
+        assert conclusion.unanimous
+        assert conclusion.consensus is Sustainability.STRONG
+        assert len(conclusion.verdicts) == 6  # two bands x three samples
+
+    def test_disagreement_detected(self, baseline):
+        """A design whose verdict flips between the two alpha regimes."""
+        d = DesignPoint("accel", area=1.5, perf=1.0, power=0.3)
+        conclusion = robust_classification(
+            d, baseline, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+        )
+        assert not conclusion.unanimous
+        assert conclusion.consensus is None
+        assert Sustainability.STRONG in conclusion.categories
+        assert Sustainability.LESS in conclusion.categories
+
+    def test_single_band_single_sample(self, worse_design, baseline):
+        conclusion = robust_classification(
+            worse_design, baseline, [E2OWeight("mid", 0.5)], samples_per_band=1
+        )
+        assert conclusion.unanimous
+        assert conclusion.consensus is Sustainability.LESS
+        assert len(conclusion.verdicts) == 1
+
+    def test_requires_weights(self, better_design, baseline):
+        with pytest.raises(ValidationError):
+            robust_classification(better_design, baseline, [])
+
+    def test_categories_preserve_first_seen_order(self, baseline):
+        d = DesignPoint("accel", area=1.5, perf=1.0, power=0.3)
+        conclusion = robust_classification(
+            d, baseline, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+        )
+        # Embodied band (alpha 0.7-0.9) is evaluated first -> LESS first.
+        assert conclusion.categories[0] is Sustainability.LESS

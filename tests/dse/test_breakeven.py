@@ -1,0 +1,51 @@
+"""Unit tests for the generic break-even bisection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.dse.breakeven import bisect_crossing, crossing_or_none
+
+
+class TestBisect:
+    def test_linear_crossing(self):
+        assert bisect_crossing(lambda x: 2 * x, 0.0, 1.0, target=1.0) == (
+            pytest.approx(0.5)
+        )
+
+    def test_nonlinear_crossing(self):
+        root = bisect_crossing(lambda x: x**3, 0.0, 2.0, target=2.0)
+        assert root == pytest.approx(2.0 ** (1 / 3))
+
+    def test_decreasing_function(self):
+        root = bisect_crossing(lambda x: math.exp(-x), 0.0, 10.0, target=0.5)
+        assert root == pytest.approx(math.log(2))
+
+    def test_endpoint_hits(self):
+        assert bisect_crossing(lambda x: x, 1.0, 2.0, target=1.0) == 1.0
+        assert bisect_crossing(lambda x: x, 1.0, 2.0, target=2.0) == 2.0
+
+    def test_no_crossing_raises(self):
+        with pytest.raises(DomainError, match="no crossing"):
+            bisect_crossing(lambda x: x + 10, 0.0, 1.0, target=1.0)
+
+    def test_disordered_bracket_raises(self):
+        with pytest.raises(DomainError):
+            bisect_crossing(lambda x: x, 2.0, 1.0)
+
+    def test_tolerance_respected(self):
+        root = bisect_crossing(lambda x: x, 0.0, 1.0, target=0.3, tol=1e-12)
+        assert abs(root - 0.3) < 1e-10
+
+
+class TestCrossingOrNone:
+    def test_returns_crossing(self):
+        assert crossing_or_none(lambda x: x, 0.0, 1.0, target=0.25) == (
+            pytest.approx(0.25)
+        )
+
+    def test_returns_none_without_crossing(self):
+        assert crossing_or_none(lambda x: x + 5, 0.0, 1.0, target=1.0) is None

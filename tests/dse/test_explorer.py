@@ -1,0 +1,112 @@
+"""Unit tests for the design-space explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ConfigurationError
+from repro.core.scenario import OPERATIONAL_DOMINATED, UseScenario
+from repro.dse.explorer import Explorer
+from repro.dse.grid import ParameterGrid
+
+
+def multicore_factory(params):
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+@pytest.fixture
+def explorer(baseline) -> Explorer:
+    return Explorer(
+        factory=multicore_factory, baseline=baseline, weight=OPERATIONAL_DOMINATED
+    )
+
+
+@pytest.fixture
+def grid() -> ParameterGrid:
+    return ParameterGrid({"cores": [1, 2, 4, 8], "f": [0.5, 0.9]})
+
+
+class TestExplore:
+    def test_one_result_per_grid_point(self, explorer, grid):
+        results = explorer.explore(grid)
+        assert len(results) == len(grid)
+
+    def test_result_values_match_direct_computation(self, explorer, grid, baseline):
+        from repro.core.ncf import ncf
+
+        result = next(
+            r for r in explorer.explore(grid) if r.params == {"cores": 8, "f": 0.9}
+        )
+        design = multicore_factory({"cores": 8, "f": 0.9})
+        assert result.perf == pytest.approx(design.perf)
+        assert result.ncf_fixed_work == pytest.approx(
+            ncf(design, baseline, UseScenario.FIXED_WORK, 0.2)
+        )
+
+    def test_domain_errors_skipped(self, baseline):
+        """An asymmetric factory hits invalid corners (M >= N); the
+        explorer must skip them, not crash."""
+
+        def factory(params):
+            return AsymmetricMulticore(
+                total_bces=params["n"], big_core_bces=4, parallel_fraction=0.8
+            ).design_point()
+
+        explorer = Explorer(factory=factory, baseline=baseline, weight=OPERATIONAL_DOMINATED)
+        grid = ParameterGrid({"n": [2, 4, 8, 16]})  # 2 and 4 are invalid
+        results = explorer.explore(grid)
+        assert [r.params["n"] for r in results] == [8, 16]
+
+    def test_all_invalid_raises(self, baseline):
+        def factory(params):
+            raise_from = AsymmetricMulticore(
+                total_bces=2, big_core_bces=4, parallel_fraction=0.5
+            )
+            return raise_from.design_point()  # pragma: no cover
+
+        explorer = Explorer(factory=factory, baseline=baseline, weight=OPERATIONAL_DOMINATED)
+        with pytest.raises(ConfigurationError):
+            explorer.explore(ParameterGrid({"n": [1]}))
+
+    def test_as_dict_merges_params_and_metrics(self, explorer, grid):
+        row = explorer.explore(grid)[0].as_dict()
+        assert "cores" in row and "ncf_fw" in row and "category" in row
+
+
+class TestParetoAndCounts:
+    def test_pareto_subset(self, explorer, grid):
+        results = explorer.explore(grid)
+        frontier = explorer.pareto(results)
+        assert 0 < len(frontier) <= len(results)
+        perfs = [p.perf for p in frontier]
+        assert perfs == sorted(perfs)
+
+    def test_category_histogram_sums(self, explorer, grid):
+        results = explorer.explore(grid)
+        counts = Explorer.count_categories(results)
+        assert sum(counts.values()) == len(results)
+
+    def test_multicore_vs_equal_area_single_core_is_strong(self, baseline):
+        """Figure 3's message (Finding #1): the N-core multicore is
+        strongly sustainable against the *equal-area* single core, for
+        every N > 1 and f. (Against the tiny 1-BCE baseline it is of
+        course less sustainable — it is simply a bigger chip.)"""
+        from repro.amdahl.pollack import big_core_design
+        from repro.core.classify import classify
+
+        for n in (2, 4, 8):
+            for f in (0.5, 0.9):
+                mc = SymmetricMulticore(cores=n, parallel_fraction=f).design_point()
+                big = big_core_design(n)
+                assert classify(mc, big, 0.2).category is Sustainability.STRONG
+
+    def test_sweep_vs_one_bce_baseline_counts(self, explorer, grid):
+        counts = Explorer.count_categories(explorer.explore(grid))
+        assert counts[Sustainability.NEUTRAL] == 2  # the two N=1 points
+        assert counts[Sustainability.LESS] == 6  # bigger chips, more power

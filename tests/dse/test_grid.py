@@ -1,0 +1,83 @@
+"""Unit tests for parameter grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dse.grid import ParameterGrid, geometric_range, linear_range
+
+
+class TestGeometricRange:
+    def test_paper_bce_ladder(self):
+        assert geometric_range(1, 32) == [1, 2, 4, 8, 16, 32]
+
+    def test_custom_factor(self):
+        assert geometric_range(1, 100, factor=10) == [1, 10, 100]
+
+    def test_stop_not_on_grid(self):
+        assert geometric_range(1, 30) == [1, 2, 4, 8, 16]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            geometric_range(4, 2)
+
+    def test_rejects_factor_one(self):
+        with pytest.raises(ConfigurationError):
+            geometric_range(1, 8, factor=1.0)
+
+
+class TestLinearRange:
+    def test_inclusive_endpoints(self):
+        values = linear_range(0.0, 1.0, 5)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+        assert len(values) == 5
+
+    def test_single_step(self):
+        assert linear_range(3.0, 9.0, 1) == [3.0]
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ConfigurationError):
+            linear_range(0, 1, 0)
+
+
+class TestParameterGrid:
+    def test_cartesian_product_size(self):
+        grid = ParameterGrid({"a": [1, 2, 3], "b": ["x", "y"]})
+        assert len(grid) == 6
+
+    def test_iteration_yields_dicts(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x"]})
+        combos = list(grid)
+        assert {"a": 1, "b": "x"} in combos
+        assert {"a": 2, "b": "x"} in combos
+        assert len(combos) == 2
+
+    def test_row_major_order(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [10, 20]})
+        assert list(grid)[:2] == [{"a": 1, "b": 10}, {"a": 1, "b": 20}]
+
+    def test_requires_axes(self):
+        with pytest.raises(ConfigurationError):
+            ParameterGrid({})
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            ParameterGrid({"a": []})
+
+    def test_subgrid_pins_axis(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [10, 20]})
+        sub = grid.subgrid(a=2)
+        assert len(sub) == 2
+        assert all(combo["a"] == 2 for combo in sub)
+
+    def test_subgrid_unknown_axis(self):
+        grid = ParameterGrid({"a": [1]})
+        with pytest.raises(ConfigurationError, match="unknown axis"):
+            grid.subgrid(c=1)
+
+    def test_subgrid_unknown_value(self):
+        grid = ParameterGrid({"a": [1, 2]})
+        with pytest.raises(ConfigurationError, match="not in axis"):
+            grid.subgrid(a=3)

@@ -1,0 +1,94 @@
+"""Unit tests for constrained selection over exploration results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.design import DesignPoint
+from repro.core.errors import ConfigurationError
+from repro.core.scenario import OPERATIONAL_DOMINATED, UseScenario
+from repro.dse.explorer import Explorer
+from repro.dse.grid import ParameterGrid
+from repro.dse.optimizer import max_perf_subject_to_ncf, min_ncf_subject_to_perf
+
+
+@pytest.fixture
+def results(baseline):
+    explorer = Explorer(
+        factory=lambda p: SymmetricMulticore(
+            cores=int(p["cores"]), parallel_fraction=0.9
+        ).design_point(),
+        baseline=baseline,
+        weight=OPERATIONAL_DOMINATED,
+    )
+    return explorer.explore(ParameterGrid({"cores": [1, 2, 4, 8, 16, 32]}))
+
+
+class TestMaxPerf:
+    def test_cap_respected(self, results):
+        best = max_perf_subject_to_ncf(results, ncf_cap=3.0)
+        assert best is not None
+        assert best.ncf_fixed_work <= 3.0
+        # No faster feasible design exists.
+        for r in results:
+            if r.ncf_fixed_work <= 3.0:
+                assert r.perf <= best.perf
+
+    def test_loose_cap_picks_fastest(self, results):
+        best = max_perf_subject_to_ncf(results, ncf_cap=1e9)
+        assert best.params["cores"] == 32
+
+    def test_infeasible_returns_none(self, results):
+        assert max_perf_subject_to_ncf(results, ncf_cap=1e-6) is None
+
+    def test_both_scenarios_constraint_is_stricter(self, results):
+        loose = max_perf_subject_to_ncf(results, ncf_cap=5.0)
+        strict = max_perf_subject_to_ncf(
+            results, ncf_cap=5.0, require_both_scenarios=True
+        )
+        assert strict is None or strict.perf <= loose.perf
+
+    def test_scenario_selects_proxy(self, results):
+        fw = max_perf_subject_to_ncf(results, 4.0, UseScenario.FIXED_WORK)
+        ft = max_perf_subject_to_ncf(results, 4.0, UseScenario.FIXED_TIME)
+        # Fixed-time is harsher for multicores (power grows faster), so
+        # its winner cannot be faster than fixed-work's.
+        assert ft.perf <= fw.perf
+
+    def test_requires_results(self):
+        with pytest.raises(ConfigurationError):
+            max_perf_subject_to_ncf([], 1.0)
+
+    def test_rejects_bad_cap(self, results):
+        with pytest.raises(ConfigurationError):
+            max_perf_subject_to_ncf(results, 0.0)
+
+
+class TestMinNCF:
+    def test_floor_respected(self, results):
+        best = min_ncf_subject_to_perf(results, perf_floor=4.0)
+        assert best is not None
+        assert best.perf >= 4.0
+        for r in results:
+            if r.perf >= 4.0:
+                assert r.ncf_fixed_work >= best.ncf_fixed_work
+
+    def test_trivial_floor_picks_greenest(self, results):
+        best = min_ncf_subject_to_perf(results, perf_floor=0.5)
+        assert best.params["cores"] == 1  # the baseline itself
+
+    def test_infeasible_returns_none(self, results):
+        assert min_ncf_subject_to_perf(results, perf_floor=1e9) is None
+
+    def test_rejects_bad_floor(self, results):
+        with pytest.raises(ConfigurationError):
+            min_ncf_subject_to_perf(results, 0.0)
+
+    def test_duality_with_max_perf(self, results):
+        """Selecting by each other's optimum is self-consistent."""
+        fastest_green = max_perf_subject_to_ncf(results, ncf_cap=4.0)
+        greenest_fast = min_ncf_subject_to_perf(
+            results, perf_floor=fastest_green.perf
+        )
+        assert greenest_fast.ncf_fixed_work <= 4.0

@@ -1,0 +1,66 @@
+"""Unit tests for tornado sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dse.sensitivity import tornado
+
+
+def ncf_metric(params):
+    """A FOCAL-shaped metric: alpha*area + (1-alpha)*energy."""
+    return params["alpha"] * params["area"] + (1 - params["alpha"]) * params["energy"]
+
+
+NOMINAL = {"alpha": 0.5, "area": 1.2, "energy": 0.8}
+
+
+class TestTornado:
+    def test_sorted_by_swing(self):
+        entries = tornado(
+            ncf_metric,
+            NOMINAL,
+            {"area": (1.0, 1.4), "energy": (0.75, 0.85), "alpha": (0.4, 0.6)},
+        )
+        swings = [e.swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_swing_values_exact(self):
+        entries = tornado(ncf_metric, NOMINAL, {"area": (1.0, 1.4)})
+        entry = entries[0]
+        assert entry.metric_at_low == pytest.approx(0.5 * 1.0 + 0.5 * 0.8)
+        assert entry.metric_at_high == pytest.approx(0.5 * 1.4 + 0.5 * 0.8)
+        assert entry.swing == pytest.approx(0.2)
+
+    def test_baseline_metric_recorded(self):
+        entries = tornado(ncf_metric, NOMINAL, {"area": (1.0, 1.4)})
+        assert entries[0].baseline_metric == pytest.approx(ncf_metric(NOMINAL))
+
+    def test_signed_slope_direction(self):
+        entries = tornado(ncf_metric, NOMINAL, {"area": (1.0, 1.4)})
+        assert entries[0].signed_slope > 0  # NCF rises with area
+
+    def test_degenerate_range_zero_slope(self):
+        entries = tornado(ncf_metric, NOMINAL, {"area": (1.2, 1.2)})
+        assert entries[0].signed_slope == 0.0
+        assert entries[0].swing == 0.0
+
+    def test_other_params_stay_nominal(self):
+        seen = []
+
+        def spy(params):
+            seen.append(dict(params))
+            return 0.0
+
+        tornado(spy, NOMINAL, {"area": (1.0, 1.4)})
+        # Calls: baseline, low, high — alpha/energy never move.
+        assert all(p["alpha"] == 0.5 and p["energy"] == 0.8 for p in seen)
+
+    def test_requires_ranges(self):
+        with pytest.raises(ConfigurationError):
+            tornado(ncf_metric, NOMINAL, {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            tornado(ncf_metric, NOMINAL, {"volume": (0, 1)})

@@ -1,0 +1,54 @@
+"""Unit tests for the DVFS scaling laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.dvfs.laws import (
+    dynamic_energy_factor,
+    dynamic_power_factor,
+    leakage_power_factor,
+    performance_factor,
+)
+
+
+class TestLaws:
+    def test_cubic_power(self):
+        assert dynamic_power_factor(2.0) == 8.0
+        assert dynamic_power_factor(0.5) == 0.125
+
+    def test_quadratic_energy(self):
+        assert dynamic_energy_factor(2.0) == 4.0
+        assert dynamic_energy_factor(0.5) == 0.25
+
+    def test_linear_leakage(self):
+        assert leakage_power_factor(0.7) == 0.7
+
+    def test_linear_performance(self):
+        assert performance_factor(1.3) == 1.3
+
+    def test_unity_multiplier_is_identity(self):
+        for law in (
+            dynamic_power_factor,
+            dynamic_energy_factor,
+            leakage_power_factor,
+            performance_factor,
+        ):
+            assert law(1.0) == 1.0
+
+    def test_energy_is_power_over_performance(self):
+        """P ~ s^3, perf ~ s -> E ~ s^2: the laws are mutually
+        consistent."""
+        s = 1.37
+        assert dynamic_energy_factor(s) == pytest.approx(
+            dynamic_power_factor(s) / performance_factor(s)
+        )
+
+    @pytest.mark.parametrize(
+        "law",
+        [dynamic_power_factor, dynamic_energy_factor, leakage_power_factor, performance_factor],
+    )
+    def test_rejects_non_positive(self, law):
+        with pytest.raises(ValidationError):
+            law(0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for DVFS operating points (Finding #14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.dvfs.operating_point import DVFSConfig, classify_downscaling, scale_design
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = DVFSConfig()
+        assert config.leakage_fraction == 0.1
+        assert config.regulator_area_overhead == 0.02
+
+    def test_rejects_bad_leakage(self):
+        with pytest.raises(ValidationError):
+            DVFSConfig(leakage_fraction=1.5)
+
+
+class TestScaleDesign:
+    def test_fully_dynamic_cubic(self):
+        base = DesignPoint.baseline()
+        scaled = scale_design(
+            base, 0.5, DVFSConfig(leakage_fraction=0.0, regulator_area_overhead=0.0)
+        )
+        assert scaled.power == pytest.approx(0.125)
+        assert scaled.perf == pytest.approx(0.5)
+        assert scaled.energy == pytest.approx(0.25)
+
+    def test_leakage_scales_linearly(self):
+        base = DesignPoint.baseline()
+        scaled = scale_design(
+            base, 0.5, DVFSConfig(leakage_fraction=1.0, regulator_area_overhead=0.0)
+        )
+        assert scaled.power == pytest.approx(0.5)
+
+    def test_mixed_split(self):
+        base = DesignPoint.baseline()
+        config = DVFSConfig(leakage_fraction=0.3, regulator_area_overhead=0.0)
+        scaled = scale_design(base, 0.5, config)
+        assert scaled.power == pytest.approx(0.7 * 0.125 + 0.3 * 0.5)
+
+    def test_regulator_area_charged(self):
+        base = DesignPoint.baseline()
+        scaled = scale_design(base, 0.9)
+        assert scaled.area == pytest.approx(1.02)
+
+    def test_regulator_area_skippable(self):
+        base = DesignPoint.baseline()
+        scaled = scale_design(base, 0.9, include_regulator_area=False)
+        assert scaled.area == 1.0
+
+    def test_unit_multiplier_keeps_power(self):
+        base = DesignPoint("x", area=2.0, perf=3.0, power=4.0)
+        scaled = scale_design(base, 1.0)
+        assert scaled.power == pytest.approx(4.0)
+        assert scaled.perf == pytest.approx(3.0)
+
+    def test_name_records_multiplier(self):
+        assert "0.8" in scale_design(DesignPoint.baseline(), 0.8).name
+
+
+class TestFinding14:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_downscaling_strongly_sustainable(self, alpha):
+        assert classify_downscaling(alpha) is Sustainability.STRONG
+
+    def test_tiny_downscale_with_huge_regulator_not_sustainable(self):
+        """The paper's caveat: DVFS could fail to pay if the area cost
+        is not offset — a 1 % downscale against a 20 % regulator."""
+        config = DVFSConfig(regulator_area_overhead=0.2)
+        assert classify_downscaling(0.9, 0.99, config) is Sustainability.LESS

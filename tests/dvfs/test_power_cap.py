@@ -1,0 +1,57 @@
+"""Unit tests for iso-power frequency solving (paper §7)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.errors import ValidationError
+from repro.dvfs.power_cap import capped_frequency_multiplier
+
+
+class TestBasics:
+    def test_budget_equals_power_keeps_nominal(self):
+        assert capped_frequency_multiplier(10.0, 10.0, 1.41) == pytest.approx(1.41)
+
+    def test_half_budget_cube_root(self):
+        assert capped_frequency_multiplier(2.0, 1.0) == pytest.approx(0.5 ** (1 / 3))
+
+    def test_headroom_raises_multiplier(self):
+        assert capped_frequency_multiplier(1.0, 8.0) == pytest.approx(2.0)
+
+    def test_rejects_non_positive_inputs(self):
+        with pytest.raises(ValidationError):
+            capped_frequency_multiplier(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            capped_frequency_multiplier(1.0, -1.0)
+
+    def test_cubic_consistency(self):
+        """(phi/nominal)^3 * power == budget by construction."""
+        phi = capped_frequency_multiplier(3.7, 2.2, 1.41)
+        assert (phi / 1.41) ** 3 * 3.7 == pytest.approx(2.2)
+
+
+class TestPaperCaseStudy:
+    """The §7 frequency multipliers fall out of this solver with the
+    Woo-Lee power shapes."""
+
+    @staticmethod
+    def shape(cores: int) -> float:
+        return SymmetricMulticore(cores, 0.75, leakage=0.2).power
+
+    def test_four_cores_full_nominal(self):
+        phi = capped_frequency_multiplier(self.shape(4), self.shape(4), math.sqrt(2))
+        assert phi == pytest.approx(1.414, abs=0.001)
+
+    def test_eight_cores_paper_value(self):
+        phi = capped_frequency_multiplier(self.shape(8), self.shape(4), math.sqrt(2))
+        assert phi == pytest.approx(1.24, abs=0.01)
+
+    def test_multiplier_decreases_with_core_count(self):
+        phis = [
+            capped_frequency_multiplier(self.shape(n), self.shape(4), math.sqrt(2))
+            for n in (4, 5, 6, 7, 8)
+        ]
+        assert phis == sorted(phis, reverse=True)

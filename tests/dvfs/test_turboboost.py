@@ -1,0 +1,66 @@
+"""Unit tests for turbo boosting (Finding #15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.dvfs.turboboost import TurboBoost, boosted_design, classify_turboboost
+
+
+class TestConfig:
+    def test_rejects_non_boosting_multiplier(self):
+        with pytest.raises(ValidationError, match="exceed 1"):
+            TurboBoost(boost_multiplier=1.0)
+
+    def test_rejects_bad_residency(self):
+        with pytest.raises(ValidationError):
+            TurboBoost(boost_multiplier=1.2, boost_residency=1.5)
+
+
+class TestBoostedDesign:
+    def test_full_residency_cubic_power(self):
+        base = DesignPoint.baseline()
+        boosted = boosted_design(
+            base, TurboBoost(boost_multiplier=1.2, circuitry_area_overhead=0.0)
+        )
+        assert boosted.perf == pytest.approx(1.2)
+        assert boosted.power == pytest.approx(1.2**3)
+        assert boosted.energy == pytest.approx(1.2**2)
+
+    def test_partial_residency_time_weighted(self):
+        base = DesignPoint.baseline()
+        boost = TurboBoost(
+            boost_multiplier=1.5, boost_residency=0.5, circuitry_area_overhead=0.0
+        )
+        boosted = boosted_design(base, boost)
+        assert boosted.perf == pytest.approx(0.5 + 0.5 * 1.5)
+        assert boosted.power == pytest.approx(0.5 + 0.5 * 1.5**3)
+
+    def test_area_overhead_charged(self):
+        base = DesignPoint.baseline()
+        boosted = boosted_design(base, TurboBoost(circuitry_area_overhead=0.03))
+        assert boosted.area == pytest.approx(1.03)
+
+    def test_zero_residency_only_costs_area(self):
+        base = DesignPoint.baseline()
+        boosted = boosted_design(
+            base, TurboBoost(boost_multiplier=1.4, boost_residency=0.0)
+        )
+        assert boosted.perf == pytest.approx(1.0)
+        assert boosted.power == pytest.approx(1.0)
+
+
+class TestFinding15:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_less_sustainable_everywhere(self, alpha):
+        assert classify_turboboost(alpha) is Sustainability.LESS
+
+    def test_energy_rises_despite_performance_gain(self):
+        """Boosting buys performance with super-linear energy: energy
+        per unit work must increase."""
+        base = DesignPoint.baseline()
+        boosted = boosted_design(base, TurboBoost(boost_multiplier=1.3))
+        assert boosted.energy > base.energy

@@ -1,0 +1,67 @@
+"""Unit tests for pipeline gating (Finding #16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.scenario import UseScenario
+from repro.gating.pipeline_gating import (
+    PARIKH_GATING,
+    PipelineGatingEffect,
+    classify_gating,
+    gated_design,
+    gating_ncf,
+)
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestParikhNumbers:
+    def test_quoted_effect(self):
+        assert PARIKH_GATING.perf_factor == pytest.approx(0.934)
+        assert PARIKH_GATING.energy_factor == pytest.approx(0.965)
+        assert PARIKH_GATING.area_overhead == 0.0
+
+    def test_power_drops_almost_ten_percent(self):
+        assert PARIKH_GATING.power_factor == pytest.approx(0.901, abs=0.001)
+
+
+class TestDesign:
+    def test_no_area_cost(self):
+        assert gated_design().area == 1.0
+
+    def test_energy_matches_effect(self):
+        assert gated_design().energy == pytest.approx(0.965)
+
+
+class TestFinding16:
+    @pytest.mark.parametrize(
+        "scenario,alpha,expected",
+        [
+            (FW, 0.8, 0.99),
+            (FT, 0.8, 0.98),
+            (FW, 0.2, 0.97),
+            (FT, 0.2, 0.92),
+        ],
+    )
+    def test_paper_ncf_values(self, scenario, alpha, expected):
+        assert gating_ncf(scenario, alpha) == pytest.approx(expected, abs=0.005)
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.2, 0.5, 0.8, 0.9])
+    def test_strongly_sustainable(self, alpha):
+        assert classify_gating(alpha) is Sustainability.STRONG
+
+    def test_alpha_one_is_neutral(self):
+        """With only the embodied axis (alpha=1) and zero area cost the
+        comparison is exactly neutral on every axis."""
+        assert classify_gating(1.0) is Sustainability.NEUTRAL
+
+
+class TestCustomEffect:
+    def test_costly_gating_hardware_can_flip_verdict(self):
+        heavy = PipelineGatingEffect(
+            perf_factor=0.934, energy_factor=0.965, area_overhead=0.2
+        )
+        assert classify_gating(0.9, heavy) is Sustainability.LESS

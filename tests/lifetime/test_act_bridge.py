@@ -1,0 +1,48 @@
+"""Unit tests for the ACT -> lifetime bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.act.model import ActChipSpec, ActModel
+from repro.lifetime.act_bridge import device_from_act
+from repro.lifetime.replacement import indifference_point
+
+
+@pytest.fixture
+def spec() -> ActChipSpec:
+    return ActChipSpec(
+        "server", die_area_mm2=400.0, avg_power_w=150.0, lifetime_hours=3 * 365 * 24
+    )
+
+
+class TestBridge:
+    def test_embodied_matches_act(self, spec):
+        act = ActModel()
+        device = device_from_act(spec, act)
+        assert device.embodied == pytest.approx(act.embodied_kg(spec))
+
+    def test_rate_times_lifetime_recovers_operational(self, spec):
+        act = ActModel()
+        device = device_from_act(spec, act)
+        years = spec.lifetime_hours / (365 * 24)
+        assert device.operational_rate * years == pytest.approx(
+            act.operational_kg(spec)
+        )
+
+    def test_performance_passed_through(self, spec):
+        assert device_from_act(spec, performance=2.5).performance == 2.5
+
+    def test_upgrade_analysis_end_to_end(self):
+        """Old 28nm hog vs new 7nm chip: the indifference point must be
+        positive and shorter than the old chip's remaining life for a
+        sensible upgrade story."""
+        old = device_from_act(
+            ActChipSpec("old", die_area_mm2=400.0, avg_power_w=250.0, node="28nm")
+        )
+        new = device_from_act(
+            ActChipSpec("new", die_area_mm2=300.0, avg_power_w=120.0, node="7nm")
+        )
+        t_star = indifference_point(old, new)
+        assert t_star is not None
+        assert 0.0 < t_star < 3.0  # pays back within a server lifetime

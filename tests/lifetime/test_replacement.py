@@ -1,0 +1,110 @@
+"""Unit tests for lifetime/replacement analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.lifetime.replacement import (
+    DeviceFootprint,
+    breakeven_lifetime_extension,
+    footprint_per_work,
+    indifference_point,
+)
+
+
+@pytest.fixture
+def old_server() -> DeviceFootprint:
+    return DeviceFootprint("old server", embodied=300.0, operational_rate=200.0)
+
+
+@pytest.fixture
+def new_server() -> DeviceFootprint:
+    return DeviceFootprint(
+        "new server", embodied=350.0, operational_rate=120.0, performance=1.5
+    )
+
+
+class TestDeviceFootprint:
+    def test_total_footprint_linear_in_time(self, old_server):
+        assert old_server.total_footprint(0.0) == 300.0
+        assert old_server.total_footprint(2.0) == pytest.approx(700.0)
+
+    def test_embodied_share_decreases_with_lifetime(self, old_server):
+        shares = [old_server.embodied_share(t) for t in (1.0, 3.0, 10.0)]
+        assert shares == sorted(shares, reverse=True)
+        assert all(0.0 < s < 1.0 for s in shares)
+
+    def test_zero_footprint_share(self):
+        ghost = DeviceFootprint("ghost", embodied=0.0, operational_rate=0.0)
+        assert ghost.embodied_share(5.0) == 0.0
+
+    def test_rejects_negative_embodied(self):
+        with pytest.raises(ValidationError):
+            DeviceFootprint("x", embodied=-1.0, operational_rate=1.0)
+
+    def test_rejects_negative_lifetime(self, old_server):
+        with pytest.raises(ValidationError):
+            old_server.total_footprint(-1.0)
+
+
+class TestIndifferencePoint:
+    def test_closed_form(self, old_server, new_server):
+        t_star = indifference_point(old_server, new_server)
+        assert t_star == pytest.approx(350.0 / 80.0)
+
+    def test_crossing_is_exact(self, old_server, new_server):
+        t_star = indifference_point(old_server, new_server)
+        keeping = old_server.operational_rate * t_star
+        replacing = new_server.total_footprint(t_star)
+        assert keeping == pytest.approx(replacing)
+
+    def test_no_operational_saving_never_pays(self, old_server):
+        sidegrade = DeviceFootprint("sidegrade", embodied=100.0, operational_rate=200.0)
+        assert indifference_point(old_server, sidegrade) is None
+
+    def test_worse_device_never_pays(self, old_server):
+        hog = DeviceFootprint("hog", embodied=50.0, operational_rate=300.0)
+        assert indifference_point(old_server, hog) is None
+
+    def test_cheaper_embodied_pays_sooner(self, old_server, new_server):
+        lean = DeviceFootprint("lean", embodied=100.0, operational_rate=120.0)
+        assert indifference_point(old_server, lean) < indifference_point(
+            old_server, new_server
+        )
+
+
+class TestFootprintPerWork:
+    def test_amortization_monotone(self, new_server):
+        """Junkyard computing: longer service, lower footprint/work."""
+        values = [footprint_per_work(new_server, t) for t in (1.0, 3.0, 10.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_asymptote_is_marginal_rate(self, new_server):
+        long_lived = footprint_per_work(new_server, 1e9)
+        assert long_lived == pytest.approx(
+            new_server.operational_rate / new_server.performance, rel=1e-6
+        )
+
+    def test_rejects_zero_lifetime(self, new_server):
+        with pytest.raises(ValidationError):
+            footprint_per_work(new_server, 0.0)
+
+
+class TestBreakevenExtension:
+    def test_efficient_old_device_worth_keeping(self, new_server):
+        frugal_old = DeviceFootprint("frugal", embodied=300.0, operational_rate=60.0)
+        assert breakeven_lifetime_extension(frugal_old, new_server, 3.0) == 0.0
+
+    def test_power_hog_not_worth_keeping(self, new_server):
+        hog = DeviceFootprint("hog", embodied=300.0, operational_rate=500.0)
+        assert breakeven_lifetime_extension(hog, new_server, 3.0) is None
+
+    def test_performance_matters(self):
+        """A new device with much higher throughput can beat even a
+        frugal old device per unit of work."""
+        old = DeviceFootprint("old", embodied=300.0, operational_rate=100.0)
+        new = DeviceFootprint(
+            "new", embodied=200.0, operational_rate=100.0, performance=10.0
+        )
+        assert breakeven_lifetime_extension(old, new, 3.0) is None

@@ -1,0 +1,52 @@
+"""Unit tests for the InO/FSC/OoO core design points (paper §5.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.microarch.cores import (
+    CORE_ROSTER,
+    FSC_CORE,
+    INO_CORE,
+    OOO_CORE,
+    core_by_name,
+)
+
+
+class TestPaperNumbers:
+    def test_ino_is_unit_baseline(self):
+        assert (INO_CORE.area, INO_CORE.perf, INO_CORE.power) == (1.0, 1.0, 1.0)
+
+    def test_fsc_quoted_numbers(self):
+        assert FSC_CORE.perf == pytest.approx(1.64)
+        assert FSC_CORE.area == pytest.approx(1.01)
+        assert FSC_CORE.power == pytest.approx(1.01)
+
+    def test_ooo_quoted_numbers(self):
+        assert OOO_CORE.perf == pytest.approx(1.75)
+        assert OOO_CORE.area == pytest.approx(1.39)
+        assert OOO_CORE.power == pytest.approx(2.32)
+
+    def test_fsc_energy_below_ino(self):
+        """FSC: +64 % perf for +1 % power -> much lower energy."""
+        assert FSC_CORE.energy == pytest.approx(1.01 / 1.64)
+        assert FSC_CORE.energy < INO_CORE.energy
+
+    def test_ooo_energy_above_ino(self):
+        assert OOO_CORE.energy == pytest.approx(2.32 / 1.75)
+        assert OOO_CORE.energy > INO_CORE.energy
+
+
+class TestRoster:
+    def test_order_and_membership(self):
+        assert CORE_ROSTER == (INO_CORE, FSC_CORE, OOO_CORE)
+
+    def test_lookup(self):
+        assert core_by_name("FSC") is FSC_CORE
+        assert core_by_name("InO") is INO_CORE
+        assert core_by_name("OoO") is OOO_CORE
+
+    def test_unknown_core(self):
+        with pytest.raises(ValidationError, match="FSC"):
+            core_by_name("VLIW")

@@ -1,0 +1,85 @@
+"""Unit tests for the core-microarchitecture study (Findings #9-#11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.scenario import UseScenario
+from repro.microarch.cores import FSC_CORE, INO_CORE, OOO_CORE
+from repro.microarch.study import compare_cores, core_chart
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestCoreChart:
+    def test_three_points_in_order(self):
+        chart = core_chart(FW, 0.8)
+        assert [p.name for p in chart] == ["InO", "FSC", "OoO"]
+
+    def test_ino_at_unity(self):
+        chart = core_chart(FT, 0.2)
+        ino = chart[0]
+        assert ino.perf == pytest.approx(1.0)
+        assert ino.ncf == pytest.approx(1.0)
+
+    def test_figure7a_values(self):
+        """Panel (a): embodied-dominated fixed-work chart values."""
+        chart = {p.name: p for p in core_chart(FW, 0.8)}
+        assert chart["FSC"].ncf == pytest.approx(0.8 * 1.01 + 0.2 * (1.01 / 1.64))
+        assert chart["OoO"].ncf == pytest.approx(0.8 * 1.39 + 0.2 * (2.32 / 1.75))
+
+    def test_fsc_bottom_right_of_ino_under_fixed_work(self):
+        """FSC improves both axes vs InO under fixed-work — it sits
+        bottom-right in panels (a) and (c)."""
+        for alpha in (0.2, 0.8):
+            chart = {p.name: p for p in core_chart(FW, alpha)}
+            assert chart["FSC"].perf > chart["InO"].perf
+            assert chart["FSC"].ncf < chart["InO"].ncf
+
+
+class TestFinding9:
+    @pytest.mark.parametrize("alpha", [0.2, 0.8])
+    def test_ooo_less_sustainable_than_ino(self, alpha):
+        comparison = compare_cores(OOO_CORE, INO_CORE, alpha)
+        assert comparison.category is Sustainability.LESS
+
+    def test_ooo_higher_performance(self):
+        assert compare_cores(OOO_CORE, INO_CORE, 0.5).perf_ratio == pytest.approx(1.75)
+
+
+class TestFinding10:
+    def test_fsc_fixed_work_footprint_below_ino(self):
+        for alpha in (0.2, 0.8):
+            comparison = compare_cores(FSC_CORE, INO_CORE, alpha)
+            assert comparison.footprint_ratio_fixed_work < 1.0
+
+    def test_fsc_fixed_time_barely_above_ino(self):
+        comparison = compare_cores(FSC_CORE, INO_CORE, 0.8)
+        assert 1.0 < comparison.footprint_ratio_fixed_time < 1.02
+
+    def test_fsc_weakly_sustainable_strict_reading(self):
+        """NCF_ft = 1.01 > 1 strictly, so strict classification is
+        weak; the paper calls it 'very close to strongly sustainable'."""
+        comparison = compare_cores(FSC_CORE, INO_CORE, 0.8)
+        assert comparison.category is Sustainability.WEAK
+
+
+class TestFinding11:
+    def test_footprint_reduction_range(self):
+        """32 % (embodied fixed-work) to 53 % (operational fixed-time)."""
+        emb = compare_cores(FSC_CORE, OOO_CORE, 0.8)
+        op = compare_cores(FSC_CORE, OOO_CORE, 0.2)
+        assert 1.0 - emb.footprint_ratio_fixed_work == pytest.approx(0.32, abs=0.01)
+        assert 1.0 - op.footprint_ratio_fixed_time == pytest.approx(0.53, abs=0.01)
+
+    def test_perf_degradation(self):
+        comparison = compare_cores(FSC_CORE, OOO_CORE, 0.5)
+        assert 1.0 - comparison.perf_ratio == pytest.approx(0.063, abs=0.001)
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.8])
+    def test_fsc_strongly_sustainable_vs_ooo(self, alpha):
+        assert compare_cores(FSC_CORE, OOO_CORE, alpha).category is (
+            Sustainability.STRONG
+        )

@@ -1,0 +1,109 @@
+"""Unit tests for chiplet partitioning and performance-per-wafer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.multichip.chiplets import (
+    ChipletPartition,
+    best_partition,
+    evaluate_partition,
+)
+from repro.wafer.embodied import EmbodiedFootprintModel
+from repro.wafer.yield_models import MurphyYield, PerfectYield
+
+
+class TestPartitionGeometry:
+    def test_monolithic_has_no_overheads(self):
+        part = ChipletPartition(chiplets=1, logic_area_mm2=600.0)
+        assert part.die_area_mm2 == 600.0
+        assert part.total_silicon_mm2 == 600.0
+        assert part.performance == 1.0
+
+    def test_split_adds_interface_area(self):
+        part = ChipletPartition(chiplets=4, logic_area_mm2=600.0)
+        assert part.die_area_mm2 == pytest.approx(150.0 * 1.1)
+        assert part.total_silicon_mm2 == pytest.approx(660.0)
+
+    def test_performance_penalty_compounds(self):
+        part = ChipletPartition(
+            chiplets=3, logic_area_mm2=600.0, perf_penalty_per_cut=0.05
+        )
+        assert part.performance == pytest.approx(0.95**2)
+
+    def test_rejects_zero_chiplets(self):
+        with pytest.raises(ValidationError):
+            ChipletPartition(chiplets=0, logic_area_mm2=600.0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ValidationError):
+            ChipletPartition(chiplets=2, logic_area_mm2=600.0, interface_overhead=-0.1)
+
+
+class TestEvaluation:
+    def test_smaller_dies_yield_better(self):
+        mono = evaluate_partition(ChipletPartition(1, 600.0))
+        quad = evaluate_partition(ChipletPartition(4, 600.0))
+        assert quad.die_yield > mono.die_yield
+
+    def test_systems_per_wafer_counts_full_sets(self):
+        outcome = evaluate_partition(ChipletPartition(4, 600.0))
+        assert outcome.systems_per_wafer == pytest.approx(
+            outcome.systems_per_wafer
+        )
+        # A system needs 4 good dies: systems < good dies.
+        model = EmbodiedFootprintModel(yield_model=MurphyYield())
+        good = model.good_chips_per_wafer(ChipletPartition(4, 600.0).die_area_mm2)
+        assert outcome.systems_per_wafer == pytest.approx(good / 4)
+
+    def test_perfect_yield_removes_chiplet_benefit(self):
+        """Under perfect yield splitting only adds overhead: monolithic
+        wins performance per wafer."""
+        model = EmbodiedFootprintModel(yield_model=PerfectYield())
+        mono = evaluate_partition(ChipletPartition(1, 600.0), model)
+        quad = evaluate_partition(ChipletPartition(4, 600.0), model)
+        assert mono.perf_per_wafer > quad.perf_per_wafer
+
+    def test_murphy_yield_rewards_big_die_splitting(self):
+        """For a reticle-scale die under Murphy yield, chiplets win."""
+        mono = evaluate_partition(ChipletPartition(1, 800.0))
+        quad = evaluate_partition(ChipletPartition(4, 800.0))
+        assert quad.perf_per_wafer > mono.perf_per_wafer
+        assert quad.embodied_per_system < mono.embodied_per_system
+
+    def test_design_point_bridge(self):
+        outcome = evaluate_partition(ChipletPartition(2, 400.0))
+        d = outcome.design_point("duo")
+        assert d.name == "duo"
+        assert d.area == pytest.approx(outcome.embodied_per_system)
+        assert d.perf == pytest.approx(outcome.performance)
+
+
+class TestBestPartition:
+    def test_big_die_prefers_multiple_chiplets(self):
+        best = best_partition(800.0, max_chiplets=8)
+        assert best.partition.chiplets > 1
+
+    def test_small_die_stays_monolithic(self):
+        best = best_partition(50.0, max_chiplets=8)
+        assert best.partition.chiplets == 1
+
+    def test_heavy_penalty_discourages_splitting(self):
+        best = best_partition(800.0, max_chiplets=8, perf_penalty_per_cut=0.5)
+        assert best.partition.chiplets == 1
+
+    def test_custom_model_respected(self):
+        model = EmbodiedFootprintModel(yield_model=PerfectYield())
+        best = best_partition(800.0, max_chiplets=8, model=model)
+        assert best.partition.chiplets == 1
+
+    def test_rejects_zero_max(self):
+        with pytest.raises(ValidationError):
+            best_partition(400.0, max_chiplets=0)
+
+    def test_oversized_monolithic_skipped_not_fatal(self):
+        """2000 mm^2 exceeds the de Vries validity for one die but is
+        fine split into four."""
+        best = best_partition(2000.0, max_chiplets=8)
+        assert best.partition.chiplets >= 2

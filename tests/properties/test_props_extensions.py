@@ -1,0 +1,144 @@
+"""Property-based tests for the extension modules (rebound, lifetime,
+chiplets, roadmap)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import DesignPoint
+from repro.core.ncf import ncf
+from repro.core.scenario import UseScenario
+from repro.lifetime.replacement import DeviceFootprint, footprint_per_work, indifference_point
+from repro.multichip.chiplets import ChipletPartition, evaluate_partition
+from repro.rebound.model import ReboundModel, rebound_ncf
+from repro.technode.roadmap import RoadmapPolicy, roadmap
+
+positive = st.floats(min_value=1e-2, max_value=1e2, allow_nan=False)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+elasticities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def designs(draw, name: str = "d") -> DesignPoint:
+    return DesignPoint(
+        name=name, area=draw(positive), perf=draw(positive), power=draw(positive)
+    )
+
+
+class TestReboundProperties:
+    @given(designs("x"), designs("y"), alphas, elasticities)
+    def test_bracketed_by_scenarios(self, x, y, alpha, r):
+        """For any elasticity, the rebound NCF lies between the
+        fixed-work and fixed-time values."""
+        value = rebound_ncf(x, y, alpha, ReboundModel(r))
+        fw = ncf(x, y, UseScenario.FIXED_WORK, alpha)
+        ft = ncf(x, y, UseScenario.FIXED_TIME, alpha)
+        lo, hi = sorted((fw, ft))
+        assert lo - 1e-9 <= value <= hi + 1e-9
+
+    @given(designs("x"), designs("y"), alphas)
+    def test_endpoints_exact(self, x, y, alpha):
+        assert rebound_ncf(x, y, alpha, ReboundModel(0.0)) == (
+            ncf(x, y, UseScenario.FIXED_WORK, alpha)
+        )
+        ft = ncf(x, y, UseScenario.FIXED_TIME, alpha)
+        assert abs(rebound_ncf(x, y, alpha, ReboundModel(1.0)) - ft) < 1e-9 * max(1, ft)
+
+    @given(designs("x"), designs("y"), alphas, elasticities)
+    def test_deployment_rebound_never_helps(self, x, y, alpha, r):
+        """Extra deployed devices can only add footprint."""
+        base = rebound_ncf(x, y, alpha, ReboundModel(r, 0.0))
+        stressed = rebound_ncf(x, y, alpha, ReboundModel(r, 1.0))
+        if x.perf >= y.perf:
+            assert stressed >= base - 1e-9
+        else:
+            # A *slower* design shrinks the fleet under this elasticity.
+            assert stressed <= base + 1e-9
+
+
+class TestLifetimeProperties:
+    rates = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+    embodieds = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+    @given(embodieds, rates, rates, embodieds)
+    def test_indifference_point_is_a_crossing(self, emb_new, rate_old, rate_new, sunk):
+        old = DeviceFootprint("old", embodied=sunk, operational_rate=rate_old)
+        new = DeviceFootprint("new", embodied=emb_new, operational_rate=rate_new)
+        t_star = indifference_point(old, new)
+        if t_star is None:
+            # Either no saving, or a saving so tiny the payback time
+            # overflows — both mean "never pays back".
+            assert rate_new >= rate_old or emb_new / (rate_old - rate_new) > 1e300
+        else:
+            keeping = rate_old * t_star
+            replacing = new.total_footprint(t_star)
+            assert abs(keeping - replacing) < 1e-6 * max(1.0, replacing)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e3),
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=60)
+    def test_amortization_monotone(self, embodied, rate, t1, t2):
+        device = DeviceFootprint("d", embodied=embodied, operational_rate=rate)
+        short, long_ = sorted((t1, t2))
+        assert footprint_per_work(device, long_) <= (
+            footprint_per_work(device, short) + 1e-9
+        )
+
+
+class TestChipletProperties:
+    ks = st.integers(min_value=1, max_value=8)
+    areas = st.floats(min_value=50.0, max_value=1200.0, allow_nan=False)
+
+    @given(ks, areas)
+    @settings(max_examples=60)
+    def test_yield_improves_with_splitting(self, k, area):
+        if k == 1:
+            return
+        mono = evaluate_partition(ChipletPartition(1, area))
+        split = evaluate_partition(ChipletPartition(k, area))
+        assert split.die_yield >= mono.die_yield - 1e-12
+
+    @given(ks, areas)
+    @settings(max_examples=60)
+    def test_performance_at_most_monolithic(self, k, area):
+        outcome = evaluate_partition(ChipletPartition(k, area))
+        assert outcome.performance <= 1.0 + 1e-12
+
+    @given(ks, areas)
+    @settings(max_examples=60)
+    def test_silicon_grows_with_interfaces(self, k, area):
+        part = ChipletPartition(k, area)
+        assert part.total_silicon_mm2 >= area - 1e-9
+
+
+class TestRoadmapProperties:
+    gens = st.integers(min_value=0, max_value=6)
+    fracs = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+
+    @given(gens, fracs)
+    @settings(max_examples=40)
+    def test_shrink_embodied_below_constant_area(self, g, f):
+        shrink = roadmap(RoadmapPolicy.SHRINK, g, parallel_fraction=f)
+        grow = roadmap(RoadmapPolicy.CONSTANT_AREA, g, parallel_fraction=f)
+        for s, c in zip(shrink, grow):
+            assert s.embodied <= c.embodied + 1e-12
+
+    @given(gens, fracs)
+    @settings(max_examples=40)
+    def test_constant_area_never_slower(self, g, f):
+        shrink = roadmap(RoadmapPolicy.SHRINK, g, parallel_fraction=f)
+        grow = roadmap(RoadmapPolicy.CONSTANT_AREA, g, parallel_fraction=f)
+        for s, c in zip(shrink, grow):
+            assert c.perf >= s.perf - 1e-9
+
+    @given(gens, fracs)
+    @settings(max_examples=40)
+    def test_energy_identity(self, g, f):
+        for policy in RoadmapPolicy:
+            for p in roadmap(policy, g, parallel_fraction=f):
+                assert abs(p.energy * p.perf - p.power) < 1e-9 * max(1.0, p.power)

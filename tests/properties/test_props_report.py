@@ -1,0 +1,94 @@
+"""Property-based tests for the reporting layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.report.export import figure_from_json, figure_to_csv, figure_to_json
+from repro.report.series import FigureResult, Panel, Point, Series
+from repro.report.table import format_table
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+labels = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=8
+)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def figures(draw) -> FigureResult:
+    def series() -> st.SearchStrategy[Series]:
+        return st.builds(
+            Series,
+            name=names,
+            points=st.lists(
+                st.builds(Point, x=finite, y=finite, label=labels),
+                min_size=1,
+                max_size=6,
+            ).map(tuple),
+        )
+
+    panels = draw(
+        st.lists(
+            st.builds(
+                Panel,
+                name=names,
+                x_label=names,
+                y_label=names,
+                series=st.lists(series(), min_size=1, max_size=3).map(tuple),
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return FigureResult(
+        figure_id=draw(names),
+        caption=draw(labels),
+        panels=tuple(panels),
+        notes=tuple(draw(st.lists(labels, max_size=2))),
+    )
+
+
+class TestFigureRoundTrip:
+    @given(figures())
+    @settings(max_examples=50)
+    def test_json_round_trip_identity(self, figure):
+        assert figure_from_json(figure_to_json(figure)) == figure
+
+    @given(figures())
+    @settings(max_examples=50)
+    def test_csv_row_count(self, figure):
+        csv_text = figure_to_csv(figure)
+        # Header plus one row per point; labels are CSV-escaped so rows
+        # with embedded newlines still count as one record.
+        import csv as csv_module
+        import io
+
+        rows = list(csv_module.reader(io.StringIO(csv_text)))
+        assert len(rows) == 1 + figure.total_points
+
+
+class TestTableProperties:
+    cells = st.one_of(finite, names, st.booleans())
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=50)
+    def test_all_lines_same_width(self, columns, rows, data):
+        headers = [f"col{i}" for i in range(columns)]
+        body = [
+            [data.draw(self.cells) for _ in range(columns)] for _ in range(rows)
+        ]
+        out = format_table(headers, body)
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1

@@ -1,0 +1,117 @@
+"""Property-based tests for the accelerator, cache, and DVFS substrates."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.accel.accelerator import AcceleratedSystem, Accelerator, breakeven_utilization
+from repro.cache.hierarchy import CachedProcessor, MemoryBoundWorkload
+from repro.core.design import DesignPoint
+from repro.core.scenario import UseScenario
+from repro.dvfs.operating_point import DVFSConfig, scale_design
+from repro.dvfs.power_cap import capped_frequency_multiplier
+
+utilizations = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+alphas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def accelerators(draw) -> Accelerator:
+    return Accelerator(
+        area_overhead=draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+        energy_advantage=draw(st.floats(min_value=1.0, max_value=1000.0)),
+        speedup=draw(st.floats(min_value=0.25, max_value=8.0)),
+    )
+
+
+class TestAcceleratorProperties:
+    @given(accelerators(), utilizations)
+    def test_energy_power_perf_identity(self, acc, t):
+        system = AcceleratedSystem(acc, t)
+        assert abs(system.energy * system.perf - system.power) < 1e-9 * max(
+            1.0, system.power
+        )
+
+    @given(accelerators(), utilizations, utilizations, alphas)
+    def test_ncf_antitone_in_utilization_for_advantaged_accel(self, acc, t1, t2, alpha):
+        """With energy_advantage >= 1 and speedup >= 1, more use never
+        hurts under fixed-work."""
+        if acc.speedup < 1.0:
+            return
+        low, high = sorted((t1, t2))
+        ncf_low = AcceleratedSystem(acc, low).ncf(alpha, UseScenario.FIXED_WORK)
+        ncf_high = AcceleratedSystem(acc, high).ncf(alpha, UseScenario.FIXED_WORK)
+        assert ncf_high <= ncf_low + 1e-9
+
+    @given(accelerators(), alphas)
+    def test_breakeven_is_boundary(self, acc, alpha):
+        t = breakeven_utilization(acc, alpha, UseScenario.FIXED_WORK)
+        if t is None:
+            assert AcceleratedSystem(acc, 1.0).ncf(alpha, UseScenario.FIXED_WORK) > 1.0
+        elif t == 0.0:
+            assert AcceleratedSystem(acc, 0.0).ncf(alpha, UseScenario.FIXED_WORK) <= 1.0
+        else:
+            value = AcceleratedSystem(acc, t).ncf(alpha, UseScenario.FIXED_WORK)
+            assert abs(value - 1.0) < 1e-6
+
+
+class TestCacheProperties:
+    sizes = st.floats(min_value=0.25, max_value=64.0, allow_nan=False)
+
+    @given(sizes)
+    def test_power_energy_time_identity(self, size):
+        proc = CachedProcessor(llc_size_mb=size)
+        assert abs(proc.power * proc.exec_time - proc.energy) < 1e-9
+
+    @given(sizes, sizes)
+    def test_perf_monotone_in_size(self, s1, s2):
+        small, large = sorted((s1, s2))
+        assert (
+            CachedProcessor(llc_size_mb=large).perf
+            >= CachedProcessor(llc_size_mb=small).perf - 1e-12
+        )
+
+    @given(
+        sizes,
+        st.floats(min_value=0.0, max_value=0.95, allow_nan=False),
+    )
+    def test_memory_share_shapes_gain(self, size, share):
+        """Perf gain over baseline is bounded by the memory share:
+        perf <= 1 / (1 - share)."""
+        workload = MemoryBoundWorkload(
+            memory_time_share=share, memory_energy_share=share, cache_energy_share=0.04
+        )
+        proc = CachedProcessor(llc_size_mb=max(size, 1.0), workload=workload)
+        assert proc.perf <= 1.0 / (1.0 - share) + 1e-9
+
+
+class TestDVFSProperties:
+    multipliers = st.floats(min_value=0.2, max_value=3.0, allow_nan=False)
+    leakage_fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+    @given(multipliers, leakage_fractions)
+    def test_power_between_linear_and_cubic(self, s, leak):
+        base = DesignPoint.baseline()
+        config = DVFSConfig(leakage_fraction=leak, regulator_area_overhead=0.0)
+        scaled = scale_design(base, s, config)
+        low, high = sorted((s, s**3))
+        assert low - 1e-9 <= scaled.power <= high + 1e-9
+
+    @given(multipliers)
+    def test_power_cap_round_trip(self, s):
+        """Solving for the multiplier that yields the power a multiplier
+        produces returns that multiplier."""
+        base_power = 2.0
+        produced = (s / 1.0) ** 3 * base_power
+        recovered = capped_frequency_multiplier(base_power, produced, 1.0)
+        assert abs(recovered - s) < 1e-9
+
+    @given(multipliers, leakage_fractions)
+    def test_downscaling_saves_energy(self, s, leak):
+        if s >= 1.0:
+            return
+        base = DesignPoint.baseline()
+        config = DVFSConfig(leakage_fraction=leak, regulator_area_overhead=0.0)
+        scaled = scale_design(base, s, config)
+        assert scaled.energy <= base.energy + 1e-9

@@ -1,0 +1,100 @@
+"""Property-based tests for wafer geometry and yield models."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wafer.binning import BinningModel
+from repro.wafer.embodied import EmbodiedFootprintModel
+from repro.wafer.geometry import Wafer
+from repro.wafer.yield_models import (
+    BoseEinsteinYield,
+    MurphyYield,
+    PoissonYield,
+    SeedsYield,
+)
+
+# Stay inside the de Vries validity region for a 300 mm wafer (~1670 mm^2).
+die_areas = st.floats(min_value=1.0, max_value=1200.0, allow_nan=False)
+densities = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+model_builders = st.sampled_from(
+    [PoissonYield, MurphyYield, SeedsYield, lambda d: BoseEinsteinYield(d, 8)]
+)
+
+
+class TestGeometryProperties:
+    @given(die_areas)
+    def test_cpw_positive_and_below_area_ratio(self, area):
+        wafer = Wafer(300.0)
+        cpw = wafer.gross_dies(area)
+        assert 0.0 < cpw < wafer.area_mm2 / area
+
+    @given(die_areas, die_areas)
+    def test_cpw_antitone(self, a1, a2):
+        wafer = Wafer(300.0)
+        small, large = sorted((a1, a2))
+        assert wafer.gross_dies(small) >= wafer.gross_dies(large) - 1e-9
+
+
+class TestYieldProperties:
+    @given(model_builders, densities, die_areas)
+    def test_yield_in_unit_interval(self, builder, density, area):
+        model = builder(density)
+        y = model.die_yield(area)
+        assert 0.0 < y <= 1.0
+
+    @given(model_builders, densities, die_areas, die_areas)
+    def test_yield_antitone_in_area(self, builder, density, a1, a2):
+        model = builder(density)
+        small, large = sorted((a1, a2))
+        assert model.die_yield(small) >= model.die_yield(large) - 1e-12
+
+    @given(densities, die_areas)
+    def test_model_ordering_poisson_murphy_seeds(self, density, area):
+        """For the same A*D: Poisson <= Murphy <= Seeds (decreasingly
+        pessimistic defect-clustering assumptions)."""
+        p = PoissonYield(density).die_yield(area)
+        m = MurphyYield(density).die_yield(area)
+        s = SeedsYield(density).die_yield(area)
+        assert p <= m + 1e-12
+        assert m <= s + 1e-12
+
+
+class TestEmbodiedProperties:
+    @given(die_areas, die_areas)
+    def test_normalized_footprint_monotone(self, a1, a2):
+        model = EmbodiedFootprintModel(yield_model=MurphyYield())
+        small, large = sorted((a1, a2))
+        assert model.normalized_footprint(
+            small
+        ) <= model.normalized_footprint(large) + 1e-9
+
+    @given(die_areas)
+    def test_normalization_consistency(self, area):
+        """normalized(a, ref) * normalized(ref, a) == 1."""
+        model = EmbodiedFootprintModel(yield_model=MurphyYield())
+        forward = model.normalized_footprint(area, 100.0)
+        backward = model.normalized_footprint(100.0, area)
+        assert abs(forward * backward - 1.0) < 1e-9
+
+
+class TestBinningProperties:
+    @given(
+        st.integers(min_value=1, max_value=32),
+        densities,
+        die_areas,
+    )
+    def test_tolerance_monotone(self, blocks, density, area):
+        fractions = [
+            BinningModel(blocks, k, density).sellable_fraction(area)
+            for k in range(blocks + 1)
+        ]
+        for lower, higher in zip(fractions, fractions[1:]):
+            assert higher >= lower - 1e-12
+        assert fractions[-1] <= 1.0 + 1e-12
+
+    @given(st.integers(min_value=1, max_value=32), densities, die_areas)
+    def test_full_tolerance_is_certain_sale(self, blocks, density, area):
+        model = BinningModel(blocks, blocks, density)
+        assert abs(model.sellable_fraction(area) - 1.0) < 1e-9

@@ -1,0 +1,118 @@
+"""Unit tests for explicit rebound-effect modeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.core.ncf import ncf
+from repro.core.scenario import UseScenario
+from repro.rebound.model import (
+    ReboundModel,
+    classify_with_rebound,
+    rebound_ncf,
+    usage_rebound_tipping_point,
+)
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+@pytest.fixture
+def fast_efficient(baseline) -> DesignPoint:
+    """Faster and more energy-efficient, slightly more power."""
+    return DesignPoint("fast", area=1.0, perf=1.5, power=1.2)
+
+
+class TestEndpoints:
+    def test_zero_elasticity_is_fixed_work(self, fast_efficient, baseline):
+        for alpha in (0.2, 0.5, 0.8):
+            assert rebound_ncf(
+                fast_efficient, baseline, alpha, ReboundModel(0.0)
+            ) == pytest.approx(ncf(fast_efficient, baseline, FW, alpha))
+
+    def test_unit_elasticity_is_fixed_time(self, fast_efficient, baseline):
+        for alpha in (0.2, 0.5, 0.8):
+            assert rebound_ncf(
+                fast_efficient, baseline, alpha, ReboundModel(1.0)
+            ) == pytest.approx(ncf(fast_efficient, baseline, FT, alpha))
+
+    def test_interpolation_monotone_for_faster_design(self, fast_efficient, baseline):
+        values = [
+            rebound_ncf(fast_efficient, baseline, 0.2, ReboundModel(r))
+            for r in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert values == sorted(values)
+
+    def test_no_rebound_effect_for_equal_perf(self, baseline):
+        same_speed = DesignPoint("same", area=0.9, perf=1.0, power=0.8)
+        for r in (0.0, 0.5, 1.0):
+            assert rebound_ncf(
+                same_speed, baseline, 0.5, ReboundModel(r)
+            ) == pytest.approx(ncf(same_speed, baseline, FW, 0.5))
+
+
+class TestDeploymentRebound:
+    def test_fleet_growth_scales_both_terms(self, fast_efficient, baseline):
+        no_deploy = rebound_ncf(fast_efficient, baseline, 0.5, ReboundModel(0.0, 0.0))
+        with_deploy = rebound_ncf(
+            fast_efficient, baseline, 0.5, ReboundModel(0.0, 1.0)
+        )
+        fleet = fast_efficient.perf  # gain**1
+        assert with_deploy == pytest.approx(no_deploy * fleet)
+
+    def test_jevons_paradox_reproduced(self, fast_efficient, baseline):
+        """An efficiency win flips into a net loss once deployment
+        rebound is strong enough — Jevons' paradox in one assert."""
+        assert rebound_ncf(fast_efficient, baseline, 0.5, ReboundModel(0.0, 0.0)) < 1.0
+        assert rebound_ncf(fast_efficient, baseline, 0.5, ReboundModel(1.0, 1.0)) > 1.0
+
+
+class TestClassification:
+    def test_matches_standard_classification_without_deployment(
+        self, fast_efficient, baseline
+    ):
+        from repro.core.classify import classify
+
+        for alpha in (0.2, 0.8):
+            assert classify_with_rebound(fast_efficient, baseline, alpha) is (
+                classify(fast_efficient, baseline, alpha).category
+            )
+
+    def test_deployment_rebound_degrades_category(self, fast_efficient, baseline):
+        relaxed = classify_with_rebound(fast_efficient, baseline, 0.2)
+        stressed = classify_with_rebound(
+            fast_efficient, baseline, 0.2, deployment_elasticity=2.0
+        )
+        assert relaxed is Sustainability.WEAK
+        assert stressed is Sustainability.LESS
+
+
+class TestTippingPoint:
+    def test_weakly_sustainable_design_has_interior_tipping_point(
+        self, fast_efficient, baseline
+    ):
+        r_star = usage_rebound_tipping_point(fast_efficient, baseline, 0.2)
+        assert r_star is not None and 0.0 < r_star < 1.0
+        at_boundary = rebound_ncf(
+            fast_efficient, baseline, 0.2, ReboundModel(r_star)
+        )
+        assert at_boundary == pytest.approx(1.0, abs=1e-6)
+
+    def test_strong_design_never_tips(self, better_design, baseline):
+        assert usage_rebound_tipping_point(better_design, baseline, 0.5) is None
+
+    def test_less_design_tips_immediately(self, worse_design, baseline):
+        assert usage_rebound_tipping_point(worse_design, baseline, 0.5) == 0.0
+
+
+class TestValidation:
+    def test_rejects_elasticity_above_one(self):
+        with pytest.raises(ValidationError):
+            ReboundModel(usage_elasticity=1.5)
+
+    def test_rejects_negative_deployment(self):
+        with pytest.raises(ValidationError):
+            ReboundModel(deployment_elasticity=-0.5)

@@ -1,0 +1,84 @@
+"""Unit tests for ASCII scatter plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.report.ascii_plot import PlotCanvas, render_panel, render_series
+from repro.report.series import Panel, Point, Series
+
+
+class TestCanvas:
+    def test_mark_lands_in_output(self):
+        canvas = PlotCanvas(x_min=0, x_max=10, y_min=0, y_max=10)
+        canvas.mark(5, 5, "X")
+        assert "X" in canvas.render()
+
+    def test_out_of_range_points_dropped(self):
+        canvas = PlotCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        canvas.mark(5, 5, "X")
+        assert "X" not in canvas.render()
+
+    def test_non_finite_points_dropped(self):
+        canvas = PlotCanvas(x_min=0, x_max=1, y_min=0, y_max=1)
+        canvas.mark(float("nan"), 0.5, "X")
+        assert "X" not in canvas.render()
+
+    def test_corners_map_to_extremes(self):
+        canvas = PlotCanvas(width=20, height=10, x_min=0, x_max=1, y_min=0, y_max=1)
+        canvas.mark(0, 1, "A")  # top-left
+        canvas.mark(1, 0, "B")  # bottom-right
+        lines = canvas.render().splitlines()
+        assert "A" in lines[0]
+        assert "B" in lines[9]
+
+    def test_hline_drawn_under_data(self):
+        canvas = PlotCanvas(x_min=0, x_max=1, y_min=0, y_max=2)
+        canvas.mark(0.5, 1.0, "X")
+        canvas.hline(1.0)
+        row = next(line for line in canvas.render().splitlines() if "X" in line)
+        assert "-" in row  # guide fills around the marker
+
+    def test_axis_labels_in_render(self):
+        canvas = PlotCanvas(x_min=0, x_max=8, y_min=1, y_max=9)
+        out = canvas.render()
+        assert "9" in out and "1" in out and "8" in out
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValidationError):
+            PlotCanvas(width=5, height=2)
+
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValidationError):
+            PlotCanvas(x_min=1, x_max=1)
+
+
+def sample_panel() -> Panel:
+    up = Series("up", tuple(Point(x, x) for x in (0.0, 0.5, 1.0)))
+    down = Series("down", tuple(Point(x, 1 - x) for x in (0.0, 0.5, 1.0)))
+    return Panel(name="demo", x_label="perf", y_label="ncf", series=(up, down))
+
+
+class TestRenderPanel:
+    def test_header_and_legend(self):
+        out = render_panel(sample_panel())
+        assert "demo" in out
+        assert "perf" in out and "ncf" in out
+        assert "o up" in out
+        assert "x down" in out
+
+    def test_distinct_markers(self):
+        out = render_panel(sample_panel())
+        body = out.split("legend:")[0]
+        assert "o" in body and "x" in body
+
+    def test_reference_line_optional(self):
+        with_ref = render_panel(sample_panel(), reference_y=0.5)
+        without = render_panel(sample_panel(), reference_y=None)
+        assert with_ref.count("-") > without.count("-")
+
+    def test_render_series_wrapper(self):
+        s = Series("lone", (Point(0, 0), Point(1, 1)))
+        out = render_series(s)
+        assert "lone" in out

@@ -1,0 +1,146 @@
+"""Unit tests for figure exporters."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.report.export import (
+    figure_to_csv,
+    figure_to_json,
+    figure_to_markdown,
+    write_figure,
+)
+from repro.report.series import FigureResult, Panel, Point, Series
+
+
+@pytest.fixture
+def figure() -> FigureResult:
+    series = Series("curve", (Point(1.0, 2.0, "p1"), Point(3.0, 4.0, "p2")))
+    panel = Panel(name="panel-a", x_label="perf", y_label="ncf", series=(series,))
+    return FigureResult(
+        figure_id="figX", caption="test figure", panels=(panel,), notes=("a note",)
+    )
+
+
+class TestCSV:
+    def test_header_and_rows(self, figure):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert rows[0] == ["figure", "panel", "series", "label", "x", "y"]
+        assert rows[1] == ["figX", "panel-a", "curve", "p1", "1.0", "2.0"]
+        assert len(rows) == 3
+
+    def test_round_trip_values(self, figure):
+        rows = list(csv.DictReader(io.StringIO(figure_to_csv(figure))))
+        assert float(rows[1]["y"]) == 4.0
+
+
+class TestJSON:
+    def test_valid_json_structure(self, figure):
+        payload = json.loads(figure_to_json(figure))
+        assert payload["figure_id"] == "figX"
+        assert payload["notes"] == ["a note"]
+        assert payload["panels"][0]["series"][0]["points"][0] == {
+            "x": 1.0,
+            "y": 2.0,
+            "label": "p1",
+        }
+
+
+class TestMarkdown:
+    def test_contains_caption_notes_table(self, figure):
+        md = figure_to_markdown(figure)
+        assert "## figX" in md
+        assert "test figure" in md
+        assert "> a note" in md
+        assert "| curve | p1 | 1.000 | 2.000 |" in md
+
+    def test_precision_option(self, figure):
+        md = figure_to_markdown(figure, precision=1)
+        assert "| 1.0 | 2.0 |" in md
+
+
+class TestJSONRoundTrip:
+    def test_round_trip_equality(self, figure):
+        from repro.report.export import figure_from_json
+
+        rebuilt = figure_from_json(figure_to_json(figure))
+        assert rebuilt == figure
+
+    def test_missing_label_defaults_empty(self):
+        from repro.report.export import figure_from_json
+
+        payload = {
+            "figure_id": "f",
+            "caption": "c",
+            "panels": [
+                {
+                    "name": "p",
+                    "x_label": "x",
+                    "y_label": "y",
+                    "series": [{"name": "s", "points": [{"x": 1.0, "y": 2.0}]}],
+                }
+            ],
+        }
+        rebuilt = figure_from_json(json.dumps(payload))
+        assert rebuilt.panels[0].series[0].points[0].label == ""
+
+    def test_malformed_json_raises(self):
+        from repro.report.export import figure_from_json
+
+        with pytest.raises(ValidationError, match="malformed"):
+            figure_from_json("not json at all")
+
+    def test_missing_key_raises(self):
+        from repro.report.export import figure_from_json
+
+        with pytest.raises(ValidationError):
+            figure_from_json(json.dumps({"figure_id": "f"}))
+
+    def test_empty_panels_rejected_by_model(self):
+        from repro.report.export import figure_from_json
+
+        with pytest.raises(ValidationError):
+            figure_from_json(
+                json.dumps({"figure_id": "f", "caption": "c", "panels": []})
+            )
+
+    def test_read_figure_file(self, figure, tmp_path):
+        from repro.report.export import read_figure
+
+        path = write_figure(figure, tmp_path / "fig.json")
+        assert read_figure(path) == figure
+
+    def test_read_figure_rejects_non_json(self, tmp_path):
+        from repro.report.export import read_figure
+
+        with pytest.raises(ValidationError, match=".json"):
+            read_figure(tmp_path / "fig.csv")
+
+    def test_every_registered_figure_round_trips(self):
+        from repro.report.export import figure_from_json
+        from repro.studies.registry import run_study, study_names
+
+        for name in study_names():
+            original = run_study(name)
+            assert figure_from_json(figure_to_json(original)) == original
+
+
+class TestWriteFigure:
+    @pytest.mark.parametrize("suffix", ["csv", "json", "md"])
+    def test_writes_by_suffix(self, figure, tmp_path, suffix):
+        path = write_figure(figure, tmp_path / f"out.{suffix}")
+        assert path.exists()
+        assert path.read_text()
+
+    def test_unknown_suffix_rejected(self, figure, tmp_path):
+        with pytest.raises(ValidationError, match="suffix"):
+            write_figure(figure, tmp_path / "out.xlsx")
+
+    def test_written_json_parses(self, figure, tmp_path):
+        path = write_figure(figure, tmp_path / "fig.json")
+        assert json.loads(path.read_text())["figure_id"] == "figX"

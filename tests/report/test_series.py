@@ -1,0 +1,90 @@
+"""Unit tests for chart data types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.report.series import FigureResult, Panel, Point, Series
+
+
+def make_series(name: str = "s") -> Series:
+    return Series.from_xy(name, [1.0, 2.0], [3.0, 4.0], labels=["a", "b"])
+
+
+def make_panel(name: str = "p") -> Panel:
+    return Panel(name=name, x_label="x", y_label="y", series=(make_series(),))
+
+
+class TestSeries:
+    def test_from_xy(self):
+        s = make_series()
+        assert s.xs == (1.0, 2.0)
+        assert s.ys == (3.0, 4.0)
+        assert s.points[0].label == "a"
+
+    def test_from_xy_without_labels(self):
+        s = Series.from_xy("s", [1], [2])
+        assert s.points[0].label == ""
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="x-values"):
+            Series.from_xy("s", [1, 2], [3])
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="label"):
+            Series.from_xy("s", [1], [2], labels=["a", "b"])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            Series(name="s", points=())
+
+    def test_unnamed_series_rejected(self):
+        with pytest.raises(ValidationError):
+            Series(name="", points=(Point(1, 2),))
+
+    def test_iteration_and_len(self):
+        s = make_series()
+        assert len(s) == 2
+        assert [p.x for p in s] == [1.0, 2.0]
+
+
+class TestPanel:
+    def test_series_by_name(self):
+        panel = Panel(
+            name="p", x_label="x", y_label="y",
+            series=(make_series("one"), make_series("two")),
+        )
+        assert panel.series_by_name("two").name == "two"
+
+    def test_series_by_name_missing(self):
+        panel = Panel(name="p", x_label="x", y_label="y", series=(make_series("one"),))
+        with pytest.raises(ValidationError, match="one"):
+            panel.series_by_name("missing")
+
+    def test_requires_series(self):
+        with pytest.raises(ValidationError):
+            Panel(name="p", x_label="x", y_label="y", series=())
+
+
+class TestFigureResult:
+    def test_panel_lookup(self):
+        fig = FigureResult(
+            figure_id="f", caption="c", panels=(make_panel("a"), make_panel("b"))
+        )
+        assert fig.panel("b").name == "b"
+
+    def test_panel_lookup_missing(self):
+        fig = FigureResult(figure_id="f", caption="c", panels=(make_panel("a"),))
+        with pytest.raises(ValidationError, match="have: a"):
+            fig.panel("z")
+
+    def test_requires_panels(self):
+        with pytest.raises(ValidationError):
+            FigureResult(figure_id="f", caption="c", panels=())
+
+    def test_total_points(self):
+        fig = FigureResult(
+            figure_id="f", caption="c", panels=(make_panel("a"), make_panel("b"))
+        )
+        assert fig.total_points == 4

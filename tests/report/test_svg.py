@@ -1,0 +1,136 @@
+"""Unit tests for SVG/HTML figure rendering."""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.report.series import FigureResult, Panel, Point, Series
+from repro.report.svg import PALETTE, figure_to_html, render_panel_svg
+
+
+def make_panel(series_count: int = 2, points: int = 4) -> Panel:
+    all_series = tuple(
+        Series(
+            name=f"s{i}",
+            points=tuple(
+                Point(x=float(j), y=float(i + j * 0.5), label=f"p{j}")
+                for j in range(points)
+            ),
+        )
+        for i in range(series_count)
+    )
+    return Panel(name="demo", x_label="perf", y_label="ncf", series=all_series)
+
+
+def svg_root(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestRenderPanelSVG:
+    def test_valid_xml(self):
+        svg_root(render_panel_svg(make_panel()))
+
+    def test_one_polyline_per_multi_point_series(self):
+        root = svg_root(render_panel_svg(make_panel(series_count=3)))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 3
+
+    def test_one_circle_per_point(self):
+        root = svg_root(render_panel_svg(make_panel(series_count=2, points=5)))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 10
+
+    def test_single_point_series_has_no_polyline(self):
+        panel = Panel(
+            name="p",
+            x_label="x",
+            y_label="y",
+            series=(Series("dot", (Point(1.0, 2.0),)),),
+        )
+        root = svg_root(render_panel_svg(panel))
+        assert not root.findall(f".//{SVG_NS}polyline")
+        assert len(root.findall(f".//{SVG_NS}circle")) == 1
+
+    def test_distinct_series_colors(self):
+        root = svg_root(render_panel_svg(make_panel(series_count=3)))
+        colors = {p.get("stroke") for p in root.findall(f".//{SVG_NS}polyline")}
+        assert len(colors) == 3
+        assert colors <= set(PALETTE)
+
+    def test_axis_labels_present(self):
+        svg = render_panel_svg(make_panel())
+        assert "perf" in svg and "ncf" in svg
+
+    def test_reference_line_drawn_when_in_range(self):
+        svg = render_panel_svg(make_panel(), reference_y=1.0)
+        assert "stroke-dasharray" in svg
+
+    def test_reference_line_skipped_out_of_range(self):
+        svg = render_panel_svg(make_panel(), reference_y=1e9)
+        assert "stroke-dasharray" not in svg
+
+    def test_names_are_escaped(self):
+        panel = Panel(
+            name="a < b & c",
+            x_label="x",
+            y_label="y",
+            series=(Series("s<1>", (Point(0, 0), Point(1, 1))),),
+        )
+        svg = render_panel_svg(panel)
+        svg_root(svg)  # escaping must keep it parseable
+        assert "a &lt; b &amp; c" in svg
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValidationError):
+            render_panel_svg(make_panel(), width=50, height=50)
+
+    def test_non_finite_points_skipped(self):
+        panel = Panel(
+            name="p",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series("s", (Point(0, 0), Point(float("nan"), 1), Point(1, 1))),
+            ),
+        )
+        root = svg_root(render_panel_svg(panel))
+        assert len(root.findall(f".//{SVG_NS}circle")) == 2
+
+
+class TestFigureToHTML:
+    @pytest.fixture
+    def figure(self) -> FigureResult:
+        return FigureResult(
+            figure_id="figX",
+            caption="a & b",
+            panels=(make_panel(), make_panel()),
+            notes=("note <1>",),
+        )
+
+    def test_standalone_document(self, figure):
+        html = figure_to_html(figure)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<svg") == 2
+        assert "a &amp; b" in html
+        assert "note &lt;1&gt;" in html
+
+    def test_every_registered_figure_renders(self):
+        from repro.studies.registry import run_study, study_names
+
+        for name in study_names():
+            html = figure_to_html(run_study(name))
+            for svg in re.findall(r"<svg.*?</svg>", html, re.S):
+                ET.fromstring(svg)
+
+    def test_write_figure_html_suffix(self, figure, tmp_path):
+        from repro.report.export import write_figure
+
+        path = write_figure(figure, tmp_path / "fig.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,70 @@
+"""Unit tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.report.table import format_mapping_rows, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1.23456], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1].strip()) <= {"-", " "}
+
+    def test_float_precision(self):
+        out = format_table(["v"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_title_prepended(self):
+        out = format_table(["a"], [["x"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_requires_headers(self):
+        with pytest.raises(ValidationError):
+            format_table([], [["x"]])
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValidationError, match="row 0"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatMappingRows:
+    def test_column_order_from_first_row(self):
+        rows = [{"z": 1, "a": 2}, {"z": 3, "a": 4}]
+        out = format_mapping_rows(rows)
+        header = out.splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_mapping_rows(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_mapping_rows(rows, columns=["a", "b"])
+        assert out  # no KeyError
+
+    def test_requires_rows(self):
+        with pytest.raises(ValidationError):
+            format_mapping_rows([])

@@ -1,0 +1,102 @@
+"""Unit tests for the branch-prediction model (Figure 8, Finding #12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+from repro.speculation.branch_prediction import (
+    PARIKH_HYBRID,
+    BranchPredictorEffect,
+    max_sustainable_area,
+    ncf_vs_area,
+    predictor_design,
+)
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestParikhNumbers:
+    def test_quoted_effect(self):
+        assert PARIKH_HYBRID.perf_factor == pytest.approx(1.14)
+        assert PARIKH_HYBRID.energy_factor == pytest.approx(0.93)
+
+    def test_power_rises_about_six_percent(self):
+        """The paper quotes +6.6 % power from -7 % energy and +14 %
+        perf; the exact product 0.93 x 1.14 is +6.02 % (the paper
+        presumably rounds from less-rounded inputs). We keep the exact
+        derivation — see EXPERIMENTS.md."""
+        assert PARIKH_HYBRID.power_factor == pytest.approx(1.0602, abs=0.001)
+        assert PARIKH_HYBRID.power_factor == pytest.approx(1.066, abs=0.01)
+
+
+class TestPredictorDesign:
+    def test_area_share_applied(self):
+        d = predictor_design(0.044)
+        assert d.area == pytest.approx(1.044)
+        assert d.perf == pytest.approx(1.14)
+        assert d.power == pytest.approx(1.0602)
+
+    def test_zero_area(self):
+        assert predictor_design(0.0).area == 1.0
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ValidationError):
+            predictor_design(-0.01)
+
+
+class TestNCFCurves:
+    def test_fixed_work_affine_in_area(self):
+        """NCF(x) = alpha(1+x) + (1-alpha)*0.93: check two points."""
+        assert ncf_vs_area(0.0, FW, 0.8) == pytest.approx(0.8 + 0.2 * 0.93)
+        assert ncf_vs_area(0.08, FW, 0.8) == pytest.approx(0.8 * 1.08 + 0.2 * 0.93)
+
+    def test_fixed_time_always_above_one(self):
+        for share in (0.0, 0.02, 0.08):
+            for alpha in (0.2, 0.8):
+                assert ncf_vs_area(share, FT, alpha) > 1.0
+
+    def test_fixed_work_operational_dominated_below_one_through_8pct(self):
+        for share in (0.0, 0.04, 0.08):
+            assert ncf_vs_area(share, FW, 0.2) < 1.0
+
+    def test_ncf_increases_with_area(self):
+        values = [ncf_vs_area(x, FW, 0.8) for x in (0.0, 0.02, 0.05, 0.08)]
+        assert values == sorted(values)
+
+
+class TestFinding12Breakevens:
+    def test_embodied_fixed_work_boundary_near_2pct(self):
+        boundary = max_sustainable_area(FW, 0.8)
+        assert boundary == pytest.approx(0.0175, abs=0.0005)
+
+    def test_boundary_is_exact_ncf_one(self):
+        boundary = max_sustainable_area(FW, 0.8)
+        assert ncf_vs_area(boundary, FW, 0.8) == pytest.approx(1.0)
+
+    def test_operational_fixed_work_boundary_is_generous(self):
+        boundary = max_sustainable_area(FW, 0.2)
+        assert boundary == pytest.approx(0.07 * 0.8 / 0.2)
+
+    def test_fixed_time_never_sustainable(self):
+        assert max_sustainable_area(FT, 0.8) is None
+        assert max_sustainable_area(FT, 0.2) is None
+
+    def test_alpha_zero_with_energy_win_is_unbounded(self):
+        assert max_sustainable_area(FW, 0.0) == float("inf")
+
+    def test_alpha_zero_with_power_loss_is_none(self):
+        assert max_sustainable_area(FT, 0.0) is None
+
+
+class TestCustomEffect:
+    def test_energy_neutral_predictor(self):
+        """A predictor with no energy effect is never area-sustainable."""
+        neutral = BranchPredictorEffect(perf_factor=1.1, energy_factor=1.0)
+        assert max_sustainable_area(FW, 0.5, neutral) == pytest.approx(0.0)
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ValidationError):
+            BranchPredictorEffect(perf_factor=0.0, energy_factor=1.0)

@@ -1,0 +1,66 @@
+"""Unit tests for the runahead-execution model (Finding #13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+from repro.speculation.runahead import (
+    PRE,
+    RunaheadEffect,
+    classify_runahead,
+    runahead_design,
+    runahead_ncf,
+)
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestPRENumbers:
+    def test_quoted_effect(self):
+        assert PRE.perf_factor == pytest.approx(1.382)
+        assert PRE.energy_factor == pytest.approx(0.932)
+        assert PRE.area_overhead == pytest.approx(0.005)
+
+    def test_power_factor_derivation(self):
+        """0.932 x 1.382 = 1.288 (the paper rounds to +29.8 %)."""
+        assert PRE.power_factor == pytest.approx(1.288, abs=0.001)
+
+
+class TestDesign:
+    def test_design_fields(self):
+        d = runahead_design()
+        assert d.area == pytest.approx(1.005)
+        assert d.perf == pytest.approx(1.382)
+        assert d.energy == pytest.approx(0.932)
+
+
+class TestFinding13NCFs:
+    @pytest.mark.parametrize(
+        "scenario,alpha,expected",
+        [
+            (FW, 0.2, 0.95),
+            (FT, 0.2, 1.23),
+            (FW, 0.8, 0.99),
+            (FT, 0.8, 1.06),
+        ],
+    )
+    def test_paper_ncf_values(self, scenario, alpha, expected):
+        assert runahead_ncf(scenario, alpha) == pytest.approx(expected, abs=0.005)
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_weakly_sustainable(self, alpha):
+        assert classify_runahead(alpha) is Sustainability.WEAK
+
+
+class TestCustomEffect:
+    def test_energy_and_power_win_is_strong(self):
+        gentle = RunaheadEffect(perf_factor=1.02, energy_factor=0.9, area_overhead=0.0)
+        assert classify_runahead(0.5, gentle) is Sustainability.STRONG
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ValidationError):
+            RunaheadEffect(perf_factor=1.1, energy_factor=0.9, area_overhead=-0.1)

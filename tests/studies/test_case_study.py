@@ -1,0 +1,114 @@
+"""Reproduction tests for the §7 case study / Figure 9."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.scenario import UseScenario
+from repro.studies.case_study import CaseStudyConfig, case_study, figure9
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+@pytest.fixture(scope="module")
+def points():
+    return {p.cores: p for p in case_study()}
+
+
+class TestFrequencies:
+    def test_paper_quoted_multipliers(self, points):
+        assert points[4].frequency_multiplier == pytest.approx(1.414, abs=0.001)
+        assert points[8].frequency_multiplier == pytest.approx(1.237, abs=0.001)
+
+    def test_monotone_decreasing(self, points):
+        phis = [points[n].frequency_multiplier for n in (4, 5, 6, 7, 8)]
+        assert phis == sorted(phis, reverse=True)
+
+
+class TestPerformance:
+    def test_paper_perf_range_for_sober_options(self, points):
+        """4-6 cores deliver 1.41x-1.52x (the paper's quoted range)."""
+        assert points[4].perf == pytest.approx(1.414, abs=0.005)
+        assert points[6].perf == pytest.approx(1.52, abs=0.005)
+
+    def test_perf_increases_with_cores(self, points):
+        perfs = [points[n].perf for n in (4, 5, 6, 7, 8)]
+        assert perfs == sorted(perfs)
+
+    def test_x_axis_range(self, points):
+        """All options land in the 1.4-1.6 Figure 9 x-range."""
+        for p in points.values():
+            assert 1.4 <= p.perf <= 1.6
+
+
+class TestEmbodied:
+    def test_paper_endpoints(self, points):
+        assert points[4].embodied == pytest.approx(0.626, abs=0.002)
+        assert points[8].embodied == pytest.approx(1.252, abs=0.002)
+
+    def test_linear_in_cores(self, points):
+        assert points[6].embodied == pytest.approx(1.5 * points[4].embodied)
+
+
+class TestOperational:
+    def test_iso_power_by_construction(self, points):
+        for p in points.values():
+            assert p.power == 1.0
+
+    def test_fixed_work_energy_improves_with_perf(self, points):
+        for p in points.values():
+            assert p.energy == pytest.approx(1.0 / p.perf)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("cores", [4, 5, 6])
+    @pytest.mark.parametrize("alpha", [0.2, 0.8])
+    def test_sober_options_strong(self, points, cores, alpha):
+        assert points[cores].category(alpha) is Sustainability.STRONG
+
+    def test_seven_eight_not_sustainable_embodied(self, points):
+        assert points[7].category(0.8) is Sustainability.LESS
+        assert points[8].category(0.8) is Sustainability.LESS
+
+    def test_seven_eight_weak_operational(self, points):
+        assert points[7].category(0.2) is Sustainability.WEAK
+        assert points[8].category(0.2) is Sustainability.WEAK
+
+
+class TestFigure9:
+    def test_structure(self):
+        fig = figure9()
+        assert len(fig.panels) == 2
+        for panel in fig.panels:
+            assert {s.name for s in panel.series} == {"fixed-work", "fixed-time"}
+            for series in panel.series:
+                assert [p.label for p in series.points] == [
+                    f"{n} cores" for n in (4, 5, 6, 7, 8)
+                ]
+
+    def test_operational_fixed_time_values(self):
+        """Panel (b) fixed-time: NCF = 0.2*emb + 0.8 exactly."""
+        fig = figure9()
+        series = fig.panel("(b) operational dominated").series_by_name("fixed-time")
+        first, last = series.points[0], series.points[-1]
+        assert first.y == pytest.approx(0.2 * 0.626 + 0.8, abs=0.001)
+        assert last.y == pytest.approx(0.2 * 1.252 + 0.8, abs=0.001)
+
+
+class TestCustomConfig:
+    def test_highly_parallel_workload_favors_more_cores(self):
+        """With f = 0.95 the 8-core option gains more performance."""
+        modest = {p.cores: p for p in case_study()}
+        parallel = {
+            p.cores: p
+            for p in case_study(CaseStudyConfig(parallel_fraction=0.95))
+        }
+        assert parallel[8].perf > modest[8].perf
+
+    def test_old_cores_baseline(self):
+        config = CaseStudyConfig(old_cores=2, core_options=(2, 4))
+        points = {p.cores: p for p in case_study(config)}
+        assert points[2].embodied == pytest.approx(0.626, abs=0.002)
+        assert points[2].frequency_multiplier == pytest.approx(1.414, abs=0.001)

@@ -1,0 +1,47 @@
+"""Tests for the shared panel scaffolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED, UseScenario
+from repro.studies.common import FOUR_PANELS, TWO_WEIGHT_PANELS
+
+
+class TestFourPanels:
+    def test_layout_matches_paper(self):
+        """(a) emb/fw, (b) emb/ft, (c) op/fw, (d) op/ft."""
+        assert [p.key for p in FOUR_PANELS] == ["a", "b", "c", "d"]
+        assert FOUR_PANELS[0].scenario is UseScenario.FIXED_WORK
+        assert FOUR_PANELS[1].scenario is UseScenario.FIXED_TIME
+        assert FOUR_PANELS[0].weight is EMBODIED_DOMINATED
+        assert FOUR_PANELS[2].weight is OPERATIONAL_DOMINATED
+
+    def test_alphas(self):
+        assert [p.alpha for p in FOUR_PANELS] == [0.8, 0.8, 0.2, 0.2]
+
+    def test_titles_name_regime_and_scenario(self):
+        for panel in FOUR_PANELS:
+            assert panel.scenario.value in panel.title
+            regime = "embodied" if panel.weight is EMBODIED_DOMINATED else "operational"
+            assert regime in panel.title
+
+
+class TestTwoWeightPanels:
+    def test_two_regimes(self):
+        keys = [key for key, _, _ in TWO_WEIGHT_PANELS]
+        weights = [weight for _, _, weight in TWO_WEIGHT_PANELS]
+        assert keys == ["a", "b"]
+        assert weights == [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+
+
+class TestCLIFormatMatrix:
+    """Every figure must render in every CLI format without error."""
+
+    @pytest.mark.parametrize("fmt", ["ascii", "csv", "json", "md", "html"])
+    @pytest.mark.parametrize("name", ["figure1", "figure2", "figure5", "figure9"])
+    def test_figure_renders(self, capsys, fmt, name):
+        from repro.cli import main
+
+        assert main(["figure", name, "--format", fmt]) == 0
+        assert capsys.readouterr().out

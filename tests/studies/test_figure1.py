@@ -1,0 +1,97 @@
+"""Reproduction tests for Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure1 import PAPER_DIE_SIZES_MM2, figure1
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure1()
+
+
+class TestStructure:
+    def test_single_panel_two_series(self, fig):
+        assert fig.figure_id == "figure1"
+        assert len(fig.panels) == 1
+        names = [s.name for s in fig.panels[0].series]
+        assert names == ["perfect yield", "Murphy model"]
+
+    def test_x_axis_range(self, fig):
+        xs = fig.panels[0].series[0].xs
+        assert xs[0] == 100.0
+        assert xs[-1] == 800.0
+
+    def test_default_sweep_matches_constant(self, fig):
+        assert fig.panels[0].series[0].xs == PAPER_DIE_SIZES_MM2
+
+
+class TestShape:
+    def test_both_curves_start_at_one(self, fig):
+        for series in fig.panels[0].series:
+            assert series.points[0].y == pytest.approx(1.0)
+
+    def test_both_curves_monotone_increasing(self, fig):
+        for series in fig.panels[0].series:
+            ys = list(series.ys)
+            assert ys == sorted(ys)
+
+    def test_murphy_above_perfect_everywhere_past_base(self, fig):
+        perfect = fig.panels[0].series_by_name("perfect yield")
+        murphy = fig.panels[0].series_by_name("Murphy model")
+        for p_pt, m_pt in list(zip(perfect.points, murphy.points))[1:]:
+            assert m_pt.y > p_pt.y
+
+    def test_paper_y_axis_scale(self, fig):
+        """The paper's y-axis tops out around 20 at 800 mm^2."""
+        murphy = fig.panels[0].series_by_name("Murphy model")
+        assert 10.0 < murphy.points[-1].y < 22.0
+
+    def test_murphy_superlinearity(self, fig):
+        """Perfect ~ linear, Murphy ~ quadratic: check curvature by
+        comparing growth of the two halves of the sweep."""
+        murphy = fig.panels[0].series_by_name("Murphy model")
+        ys = murphy.ys
+        first_half_growth = ys[len(ys) // 2] - ys[0]
+        second_half_growth = ys[-1] - ys[len(ys) // 2]
+        assert second_half_growth > 1.3 * first_half_growth
+
+
+class TestTrendlines:
+    """The caption claims the two curves are well approximated by a
+    linear and a second-degree-polynomial trendline, respectively —
+    verify with least-squares fits."""
+
+    @staticmethod
+    def r_squared(xs, ys, degree):
+        import numpy as np
+
+        coeffs = np.polyfit(xs, ys, degree)
+        predicted = np.polyval(coeffs, xs)
+        residual = np.sum((np.asarray(ys) - predicted) ** 2)
+        total = np.sum((np.asarray(ys) - np.mean(ys)) ** 2)
+        return 1.0 - residual / total
+
+    def test_perfect_yield_is_nearly_linear(self, fig):
+        series = fig.panels[0].series_by_name("perfect yield")
+        # R^2 = 0.9990: near-linear, the small residual being the de
+        # Vries edge-loss term.
+        assert self.r_squared(series.xs, series.ys, 1) > 0.998
+
+    def test_murphy_needs_the_quadratic_term(self, fig):
+        series = fig.panels[0].series_by_name("Murphy model")
+        linear = self.r_squared(series.xs, series.ys, 1)
+        quadratic = self.r_squared(series.xs, series.ys, 2)
+        assert quadratic > 0.999
+        assert quadratic > linear  # the second-degree term earns its keep
+
+
+class TestCustomization:
+    def test_lower_defect_density_flattens_murphy(self):
+        strict = figure1(defect_density_per_cm2=0.09)
+        relaxed = figure1(defect_density_per_cm2=0.01)
+        strict_end = strict.panels[0].series_by_name("Murphy model").points[-1].y
+        relaxed_end = relaxed.panels[0].series_by_name("Murphy model").points[-1].y
+        assert relaxed_end < strict_end

@@ -1,0 +1,82 @@
+"""Reproduction tests for Figure 2 (scenario illustration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.studies.figure2 import DEFAULT_X, DEFAULT_Y, figure2, profile_energy
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure2()
+
+
+class TestStructure:
+    def test_two_panels(self, fig):
+        assert [p.name for p in fig.panels] == ["(a) fixed-work", "(b) fixed-time"]
+
+    def test_step_profiles_have_paired_points(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert len(series.points) % 2 == 0
+
+    def test_profiles_start_at_zero_time(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert series.points[0].x == 0.0
+
+    def test_window_is_slow_design_runtime(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert series.points[-1].x == pytest.approx(1.0)
+
+
+class TestFixedWorkPanel:
+    def test_energy_is_the_proxy(self, fig):
+        """Panel (a)'s areas equal the designs' energy per unit work
+        (plus the idle tail for the fast design)."""
+        panel = fig.panel("(a) fixed-work")
+        x_area = profile_energy(panel.series_by_name(DEFAULT_X.name))
+        assert x_area == pytest.approx(DEFAULT_X.energy)
+        y_area = profile_energy(panel.series_by_name(DEFAULT_Y.name))
+        idle_tail = (1.0 - 1.0 / DEFAULT_Y.perf) * 0.1
+        assert y_area == pytest.approx(DEFAULT_Y.energy + idle_tail)
+
+    def test_fast_design_idles(self, fig):
+        panel = fig.panel("(a) fixed-work")
+        y_series = panel.series_by_name(DEFAULT_Y.name)
+        assert y_series.points[-1].y == pytest.approx(0.1)  # idle power
+
+
+class TestFixedTimePanel:
+    def test_power_is_the_proxy(self, fig):
+        """Panel (b)'s areas over the unit window equal the powers."""
+        panel = fig.panel("(b) fixed-time")
+        assert profile_energy(panel.series_by_name(DEFAULT_X.name)) == (
+            pytest.approx(DEFAULT_X.power)
+        )
+        extra = panel.series_by_name(f"{DEFAULT_Y.name} (+extra work)")
+        assert profile_energy(extra) == pytest.approx(DEFAULT_Y.power)
+
+    def test_no_idle_under_fixed_time(self, fig):
+        panel = fig.panel("(b) fixed-time")
+        for series in panel.series:
+            assert all(p.y > 0.5 for p in series.points)  # never at idle power
+
+
+class TestCustomDesigns:
+    def test_equal_speeds_no_idle_segment(self):
+        x = DesignPoint("X", area=1.0, perf=1.0, power=1.0)
+        y = DesignPoint("Y", area=1.0, perf=1.0, power=2.0)
+        fig = figure2(x, y)
+        panel = fig.panel("(a) fixed-work")
+        for series in panel.series:
+            assert len(series.points) == 2  # one segment each
+
+    def test_zero_idle_power(self):
+        fig = figure2(idle_power=0.0)
+        panel = fig.panel("(a) fixed-work")
+        y_area = profile_energy(panel.series_by_name(DEFAULT_Y.name))
+        assert y_area == pytest.approx(DEFAULT_Y.energy)

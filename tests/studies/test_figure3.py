@@ -1,0 +1,105 @@
+"""Reproduction tests for Figure 3 (symmetric multicore)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure3 import PAPER_BCE_LADDER, PAPER_PARALLEL_FRACTIONS, figure3
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure3()
+
+
+class TestStructure:
+    def test_four_panels(self, fig):
+        assert len(fig.panels) == 4
+        titles = [p.name for p in fig.panels]
+        assert any("(a)" in t for t in titles)
+        assert any("(d)" in t for t in titles)
+
+    def test_series_per_panel(self, fig):
+        """One single-core curve plus one curve per f."""
+        for panel in fig.panels:
+            assert len(panel.series) == 1 + len(PAPER_PARALLEL_FRACTIONS)
+            assert panel.series[0].name == "single-core"
+
+    def test_points_per_series(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert len(series) == len(PAPER_BCE_LADDER)
+
+    def test_all_series_start_at_unit_point(self, fig):
+        """Every curve includes the 1-BCE point at (1, 1)."""
+        for panel in fig.panels:
+            for series in panel.series:
+                first = series.points[0]
+                assert first.x == pytest.approx(1.0)
+                assert first.y == pytest.approx(1.0)
+
+
+class TestPanelValues:
+    def test_panel_b_32bce_f095(self, fig):
+        """Hand-computed: NCF_ft,0.8 of the 32-BCE f=0.95 multicore vs
+        the 1-BCE single core = 0.8*32 + 0.2*16.439 = 28.89."""
+        panel = fig.panel("(b) embodied dominated, fixed-time")
+        point = panel.series_by_name("f=0.95").points[-1]
+        assert point.label == "32 BCEs"
+        assert point.y == pytest.approx(0.8 * 32 + 0.2 * 16.439, abs=0.01)
+
+    def test_panel_c_energy_proxy(self, fig):
+        """NCF_fw,0.2 of 32-BCE f=0.5: 0.2*32 + 0.8*4.1 = 9.68."""
+        panel = fig.panel("(c) operational dominated, fixed-work")
+        point = panel.series_by_name("f=0.5").points[-1]
+        assert point.y == pytest.approx(9.68, abs=0.01)
+
+    def test_single_core_curve_pollack(self, fig):
+        """Single-core at 32 BCEs: perf sqrt(32) = 5.66."""
+        panel = fig.panel("(d) operational dominated, fixed-time")
+        point = panel.series_by_name("single-core").points[-1]
+        assert point.x == pytest.approx(32**0.5)
+        assert point.y == pytest.approx(0.2 * 32 + 0.8 * 32, abs=0.01)
+
+
+class TestPaperShape:
+    def test_finding1_multicore_below_single_core_at_same_area(self, fig):
+        """In every panel the f=0.95 multicore at 32 BCEs sits below
+        the 32-BCE single-core point (Finding #1)."""
+        for panel in fig.panels:
+            mc = panel.series_by_name("f=0.95").points[-1]
+            sc = panel.series_by_name("single-core").points[-1]
+            assert mc.y < sc.y
+            assert mc.x > sc.x  # and it is faster
+
+    def test_finding2_parallelism_reduces_fixed_work_footprint(self, fig):
+        """At fixed N = 32, higher f gives lower NCF under fixed-work."""
+        panel = fig.panel("(c) operational dominated, fixed-work")
+        last_points = [
+            panel.series_by_name(f"f={f:g}").points[-1].y
+            for f in PAPER_PARALLEL_FRACTIONS
+        ]
+        assert last_points == sorted(last_points, reverse=True)
+
+    def test_finding2_parallelism_raises_fixed_time_footprint(self, fig):
+        panel = fig.panel("(d) operational dominated, fixed-time")
+        last_points = [
+            panel.series_by_name(f"f={f:g}").points[-1].y
+            for f in PAPER_PARALLEL_FRACTIONS
+        ]
+        assert last_points == sorted(last_points)
+
+    def test_y_axis_scale_matches_paper(self, fig):
+        """Panels (a)/(b)/(d) top out ~30-35, panel (c) ~14."""
+        max_c = max(
+            p.y
+            for s in fig.panel("(c) operational dominated, fixed-work").series
+            for p in s.points
+        )
+        max_a = max(
+            p.y
+            for s in fig.panel("(a) embodied dominated, fixed-work").series
+            for p in s.points
+        )
+        assert max_c < 14.0
+        assert 25.0 < max_a < 35.0

@@ -1,0 +1,96 @@
+"""Reproduction tests for Figure 4 (asymmetric multicore)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure4 import (
+    PAPER_ASYM_BCES,
+    PAPER_ASYM_FRACTIONS,
+    figure4,
+)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure4()
+
+
+class TestStructure:
+    def test_four_panels(self, fig):
+        assert len(fig.panels) == 4
+
+    def test_series_names(self, fig):
+        names = {s.name for s in fig.panels[0].series}
+        expected = {
+            f"{kind} {f:g}" for kind in ("sym", "asym") for f in PAPER_ASYM_FRACTIONS
+        }
+        assert names == expected
+
+    def test_points_per_series(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert len(series) == len(PAPER_ASYM_BCES)
+                assert [p.label for p in series.points] == [
+                    "8 BCEs",
+                    "16 BCEs",
+                    "32 BCEs",
+                ]
+
+
+class TestValues:
+    def test_asym_speedup_at_16bce_f08(self, fig):
+        """Hand-checked S = 6.0 for the 16-BCE asymmetric at f=0.8."""
+        panel = fig.panels[0]
+        point = panel.series_by_name("asym 0.8").points[1]
+        assert point.x == pytest.approx(6.0)
+
+    def test_panel_d_asym_32_f08(self, fig):
+        """NCF_ft,0.2 = 0.2*32 + 0.8*13.866 = 17.49 (hand-checked)."""
+        panel = fig.panel("(d) operational dominated, fixed-time")
+        point = panel.series_by_name("asym 0.8").points[-1]
+        assert point.y == pytest.approx(17.49, abs=0.02)
+
+    def test_panel_c_sym_equals_figure3(self, fig):
+        """The sym series here must match Figure 3's model exactly."""
+        from repro.amdahl.symmetric import SymmetricMulticore
+
+        panel = fig.panel("(c) operational dominated, fixed-work")
+        point = panel.series_by_name("sym 0.95").points[-1]
+        mc = SymmetricMulticore(32, 0.95)
+        assert point.x == pytest.approx(mc.speedup)
+        assert point.y == pytest.approx(0.2 * 32 + 0.8 * mc.energy)
+
+
+class TestPaperShape:
+    def test_finding4_asym_wins_fixed_work_loses_fixed_time(self, fig):
+        """At equal N=32, f=0.8: asym below sym under fixed-work
+        (operational-dominated), above under fixed-time."""
+        fw = fig.panel("(c) operational dominated, fixed-work")
+        ft = fig.panel("(d) operational dominated, fixed-time")
+        assert (
+            fw.series_by_name("asym 0.8").points[-1].y
+            < fw.series_by_name("sym 0.8").points[-1].y
+        )
+        assert (
+            ft.series_by_name("asym 0.8").points[-1].y
+            > ft.series_by_name("sym 0.8").points[-1].y
+        )
+
+    def test_finding5_asym_faster_at_modest_parallelism(self, fig):
+        """asym 16 BCEs f=0.8 outperforms sym 32 BCEs f=0.8 by ~35 %."""
+        panel = fig.panels[0]
+        asym16 = panel.series_by_name("asym 0.8").points[1]
+        sym32 = panel.series_by_name("sym 0.8").points[-1]
+        assert asym16.x / sym32.x == pytest.approx(1.35, abs=0.01)
+
+    def test_finding5_asym_slower_at_high_parallelism(self, fig):
+        panel = fig.panels[0]
+        asym16 = panel.series_by_name("asym 0.95").points[1]
+        sym32 = panel.series_by_name("sym 0.95").points[-1]
+        assert 1 - asym16.x / sym32.x == pytest.approx(0.235, abs=0.005)
+
+    def test_x_axis_reaches_paper_range(self, fig):
+        """Figure 4's x-axis extends to ~20 (asym 32 at f=0.95)."""
+        max_x = max(p.x for s in fig.panels[0].series for p in s.points)
+        assert 15.0 < max_x < 20.0

@@ -1,0 +1,89 @@
+"""Reproduction tests for Figure 5 (acceleration and dark silicon)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure5 import figure5
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure5()
+
+
+class TestStructure:
+    def test_two_panels(self, fig):
+        names = [p.name for p in fig.panels]
+        assert names == ["(a) 6.5% extra chip area", "(b) 200% extra chip area"]
+
+    def test_two_series_per_panel(self, fig):
+        for panel in fig.panels:
+            assert {s.name for s in panel.series} == {
+                "embodied-dominated",
+                "operational-dominated",
+            }
+
+    def test_x_spans_unit_interval(self, fig):
+        xs = fig.panels[0].series[0].xs
+        assert xs[0] == 0.0
+        assert xs[-1] == 1.0
+
+
+class TestPanelA:
+    def test_start_values(self, fig):
+        """At t=0 the accelerator only costs area: NCF = alpha*1.065 +
+        (1-alpha)."""
+        panel = fig.panel("(a) 6.5% extra chip area")
+        emb = panel.series_by_name("embodied-dominated").points[0].y
+        op = panel.series_by_name("operational-dominated").points[0].y
+        assert emb == pytest.approx(0.8 * 1.065 + 0.2)
+        assert op == pytest.approx(0.2 * 1.065 + 0.8)
+
+    def test_curves_decrease(self, fig):
+        for series in fig.panel("(a) 6.5% extra chip area").series:
+            ys = list(series.ys)
+            assert ys == sorted(ys, reverse=True)
+
+    def test_finding6_embodied_crossover_before_one_third(self, fig):
+        """The embodied curve crosses 1 between t=0.25 and t=0.30."""
+        series = fig.panel("(a) 6.5% extra chip area").series_by_name(
+            "embodied-dominated"
+        )
+        by_t = {p.x: p.y for p in series.points}
+        assert by_t[0.25] > 1.0
+        assert by_t[0.3] < 1.0
+
+    def test_finding6_operational_t05_value(self, fig):
+        series = fig.panel("(a) 6.5% extra chip area").series_by_name(
+            "operational-dominated"
+        )
+        at_half = {p.x: p.y for p in series.points}[0.5]
+        assert at_half == pytest.approx(0.614, abs=0.002)
+
+
+class TestPanelB:
+    def test_finding7_embodied_start_near_2_6(self, fig):
+        series = fig.panel("(b) 200% extra chip area").series_by_name(
+            "embodied-dominated"
+        )
+        assert series.points[0].y == pytest.approx(2.6)
+
+    def test_finding7_embodied_never_below_one(self, fig):
+        series = fig.panel("(b) 200% extra chip area").series_by_name(
+            "embodied-dominated"
+        )
+        assert min(series.ys) > 1.0
+
+    def test_finding7_operational_crossover_at_half(self, fig):
+        series = fig.panel("(b) 200% extra chip area").series_by_name(
+            "operational-dominated"
+        )
+        by_t = {p.x: p.y for p in series.points}
+        assert by_t[0.5] > 1.0  # exact boundary is 0.501
+        assert by_t[0.55] < 1.0
+
+    def test_paper_y_axis_scale(self, fig):
+        """Panel (b) y-axis tops out at ~3 (the paper shows 0-3)."""
+        max_y = max(p.y for s in fig.panel("(b) 200% extra chip area").series for p in s.points)
+        assert 2.5 < max_y < 3.0

@@ -1,0 +1,68 @@
+"""Reproduction tests for Figure 6 (LLC study)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure6 import figure6
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure6()
+
+
+class TestStructure:
+    def test_two_panels_two_series(self, fig):
+        assert [p.name for p in fig.panels] == [
+            "(a) embodied dominated",
+            "(b) operational dominated",
+        ]
+        for panel in fig.panels:
+            assert {s.name for s in panel.series} == {"fixed-work", "fixed-time"}
+
+    def test_size_labels(self, fig):
+        labels = [p.label for p in fig.panels[0].series[0].points]
+        assert labels == ["1MB", "2MB", "4MB", "8MB", "16MB"]
+
+    def test_performance_axis_matches_paper(self, fig):
+        """Perf runs from 1 to 2.5 (the paper's x-axis)."""
+        xs = fig.panels[0].series[0].xs
+        assert xs[0] == pytest.approx(1.0)
+        assert xs[-1] == pytest.approx(2.5)
+
+
+class TestShape:
+    def test_baseline_point_at_unity(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                assert series.points[0].y == pytest.approx(1.0)
+
+    def test_ncf_increases_with_size_embodied(self, fig):
+        for series in fig.panel("(a) embodied dominated").series:
+            ys = list(series.ys)
+            assert ys == sorted(ys)
+
+    def test_embodied_16mb_scale(self, fig):
+        """Figure 6(a) tops out around 4-6 at 16 MB."""
+        for series in fig.panel("(a) embodied dominated").series:
+            assert 3.5 < series.points[-1].y < 6.0
+
+    def test_operational_fixed_work_dips_below_one_at_2mb(self, fig):
+        """Finding #8: marginal weak sustainability for small caches."""
+        series = fig.panel("(b) operational dominated").series_by_name("fixed-work")
+        two_mb = series.points[1]
+        assert two_mb.y < 1.0
+
+    def test_operational_fixed_time_never_below_one(self, fig):
+        series = fig.panel("(b) operational dominated").series_by_name("fixed-time")
+        assert all(p.y >= 1.0 - 1e-9 for p in series.points)
+
+    def test_fixed_time_above_fixed_work(self, fig):
+        """Larger caches improve perf, so power falls less than energy:
+        the fixed-time curve sits above fixed-work everywhere."""
+        for panel in fig.panels:
+            fw = panel.series_by_name("fixed-work")
+            ft = panel.series_by_name("fixed-time")
+            for fw_pt, ft_pt in zip(fw.points[1:], ft.points[1:]):
+                assert ft_pt.y > fw_pt.y

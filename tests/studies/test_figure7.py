@@ -1,0 +1,73 @@
+"""Reproduction tests for Figure 7 (core microarchitectures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure7 import figure7
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure7()
+
+
+def chart(fig, panel_key: str) -> dict[str, tuple[float, float]]:
+    panel = next(p for p in fig.panels if panel_key in p.name)
+    return {pt.label: (pt.x, pt.y) for pt in panel.series[0].points}
+
+
+class TestStructure:
+    def test_four_panels_three_cores(self, fig):
+        assert len(fig.panels) == 4
+        for panel in fig.panels:
+            labels = [p.label for p in panel.series[0].points]
+            assert labels == ["InO", "FSC", "OoO"]
+
+    def test_ino_anchor(self, fig):
+        for key in ("(a)", "(b)", "(c)", "(d)"):
+            x, y = chart(fig, key)["InO"]
+            assert x == pytest.approx(1.0)
+            assert y == pytest.approx(1.0)
+
+
+class TestPanelValues:
+    def test_panel_a(self, fig):
+        values = chart(fig, "(a)")
+        assert values["FSC"][1] == pytest.approx(0.9312, abs=0.001)
+        assert values["OoO"][1] == pytest.approx(1.3771, abs=0.001)
+
+    def test_panel_d(self, fig):
+        values = chart(fig, "(d)")
+        assert values["FSC"][1] == pytest.approx(1.01, abs=0.001)
+        assert values["OoO"][1] == pytest.approx(2.134, abs=0.001)
+
+    def test_x_positions(self, fig):
+        values = chart(fig, "(b)")
+        assert values["FSC"][0] == pytest.approx(1.64)
+        assert values["OoO"][0] == pytest.approx(1.75)
+
+
+class TestPaperShape:
+    def test_finding9_ooo_above_one_everywhere(self, fig):
+        for key in ("(a)", "(b)", "(c)", "(d)"):
+            assert chart(fig, key)["OoO"][1] > 1.0
+
+    def test_finding10_fsc_below_one_fixed_work(self, fig):
+        for key in ("(a)", "(c)"):
+            assert chart(fig, key)["FSC"][1] < 1.0
+
+    def test_finding10_fsc_barely_above_one_fixed_time(self, fig):
+        for key in ("(b)", "(d)"):
+            value = chart(fig, key)["FSC"][1]
+            assert 1.0 < value < 1.02
+
+    def test_finding11_fsc_below_ooo_everywhere(self, fig):
+        for key in ("(a)", "(b)", "(c)", "(d)"):
+            values = chart(fig, key)
+            assert values["FSC"][1] < values["OoO"][1]
+
+    def test_paper_y_range(self, fig):
+        """Fixed-time panels reach ~2.1-2.4 (OoO); fixed-work ~1.4-1.6."""
+        assert 2.0 < chart(fig, "(d)")["OoO"][1] < 2.4
+        assert 1.3 < chart(fig, "(a)")["OoO"][1] < 1.6

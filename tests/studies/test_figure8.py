@@ -1,0 +1,65 @@
+"""Reproduction tests for Figure 8 (branch prediction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.figure8 import figure8
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return figure8()
+
+
+class TestStructure:
+    def test_two_panels(self, fig):
+        assert [p.name for p in fig.panels] == [
+            "(a) embodied dominated",
+            "(b) operational dominated",
+        ]
+
+    def test_series_and_sweep(self, fig):
+        for panel in fig.panels:
+            assert {s.name for s in panel.series} == {"fixed-work", "fixed-time"}
+            xs = panel.series[0].xs
+            assert xs[0] == 0.0
+            assert xs[-1] == pytest.approx(0.08)
+
+
+class TestValues:
+    def test_zero_area_values(self, fig):
+        """At 0 % area: NCF_fw = alpha + (1-alpha)*0.93."""
+        panel = fig.panel("(a) embodied dominated")
+        fw0 = panel.series_by_name("fixed-work").points[0].y
+        assert fw0 == pytest.approx(0.8 + 0.2 * 0.93)
+
+    def test_y_range_matches_paper(self, fig):
+        """Figure 8's y-axis spans 0.90-1.10; all values fit."""
+        for panel in fig.panels:
+            for series in panel.series:
+                for point in series.points:
+                    assert 0.90 <= point.y <= 1.10
+
+
+class TestFinding12:
+    def test_embodied_fixed_work_crosses_near_2pct(self, fig):
+        series = fig.panel("(a) embodied dominated").series_by_name("fixed-work")
+        by_x = {round(p.x, 4): p.y for p in series.points}
+        assert by_x[0.015] < 1.0
+        assert by_x[0.02] > 1.0
+
+    def test_operational_fixed_work_sustainable_throughout(self, fig):
+        series = fig.panel("(b) operational dominated").series_by_name("fixed-work")
+        assert all(p.y < 1.0 for p in series.points)
+
+    def test_fixed_time_unsustainable_throughout(self, fig):
+        for panel in fig.panels:
+            series = panel.series_by_name("fixed-time")
+            assert all(p.y > 1.0 for p in series.points)
+
+    def test_curves_increase_with_area(self, fig):
+        for panel in fig.panels:
+            for series in panel.series:
+                ys = list(series.ys)
+                assert ys == sorted(ys)

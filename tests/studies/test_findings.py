@@ -1,0 +1,68 @@
+"""The headline reproduction test: every Finding check must pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.studies.findings import FindingCheck, all_findings, failed_findings
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return all_findings()
+
+
+class TestCoverage:
+    def test_substantial_check_count(self, checks):
+        assert len(checks) >= 55
+
+    def test_every_finding_represented(self, checks):
+        ids = {c.finding for c in checks}
+        expected = {f"F{i}" for i in range(1, 18)} | {"CS"}
+        assert ids == expected
+
+    def test_paper_order(self, checks):
+        """Checks come back grouped by finding, F1 first, CS last."""
+        ids = [c.finding for c in checks]
+        assert ids[0] == "F1"
+        assert ids[-1] == "CS"
+
+
+def _check_id(check: FindingCheck) -> str:
+    return f"{check.finding}: {check.claim[:60]}"
+
+
+@pytest.mark.parametrize("check", all_findings(), ids=_check_id)
+def test_finding_reproduces(check: FindingCheck):
+    assert check.passed, (
+        f"{check.finding} failed: {check.claim}\n"
+        f"  paper:    {check.paper_value}\n"
+        f"  computed: {check.computed}\n"
+        f"  tol:      {check.tolerance}\n"
+        f"  note:     {check.note or '-'}"
+    )
+
+
+class TestAggregate:
+    def test_no_failures(self):
+        assert failed_findings() == []
+
+
+class TestCheckMechanics:
+    def test_relative_tolerance(self):
+        check = FindingCheck("T", "c", 1.0, 1.015, tolerance=0.02)
+        assert check.passed
+        assert not FindingCheck("T", "c", 1.0, 1.03, tolerance=0.02).passed
+
+    def test_string_comparison_exact(self):
+        assert FindingCheck("T", "c", "strong", "strong").passed
+        assert not FindingCheck("T", "c", "strong", "weak").passed
+
+    def test_zero_paper_value_uses_absolute(self):
+        assert FindingCheck("T", "c", 0.0, 0.01, tolerance=0.02).passed
+        assert not FindingCheck("T", "c", 0.0, 0.03, tolerance=0.02).passed
+
+    def test_as_dict_round_trip(self):
+        payload = FindingCheck("T", "c", 1.0, 1.0).as_dict()
+        assert payload["passed"] is True
+        assert payload["finding"] == "T"

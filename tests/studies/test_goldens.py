@@ -1,0 +1,78 @@
+"""Golden-file regression tests for every figure.
+
+The goldens under ``tests/studies/goldens/`` pin the exact series each
+figure driver produced when the reproduction was verified against the
+paper. Any model change that silently moves a figure fails here with a
+pointer to the first diverging point.
+
+To regenerate after an *intentional* model change::
+
+    python - <<'PY'
+    from pathlib import Path
+    from repro.report.export import figure_to_json
+    from repro.studies.registry import run_study, study_names
+    out = Path("tests/studies/goldens")
+    for name in study_names():
+        (out / f"{name}.json").write_text(figure_to_json(run_study(name)))
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.report.export import figure_to_json
+from repro.studies.registry import run_study, study_names
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Floats must match the golden to this relative tolerance.
+REL_TOL = 1e-9
+
+
+def _point_sets(payload: dict) -> list[tuple[str, str, list[dict]]]:
+    return [
+        (panel["name"], series["name"], series["points"])
+        for panel in payload["panels"]
+        for series in panel["series"]
+    ]
+
+
+@pytest.mark.parametrize("name", study_names())
+def test_figure_matches_golden(name: str):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), f"missing golden for {name}; see module docstring"
+    golden = json.loads(golden_path.read_text())
+    current = json.loads(figure_to_json(run_study(name)))
+
+    golden_sets = _point_sets(golden)
+    current_sets = _point_sets(current)
+    assert [(p, s) for p, s, _ in current_sets] == [
+        (p, s) for p, s, _ in golden_sets
+    ], f"{name}: panel/series structure changed"
+
+    for (panel, series, golden_points), (_, _, current_points) in zip(
+        golden_sets, current_sets
+    ):
+        assert len(golden_points) == len(current_points), (
+            f"{name}/{panel}/{series}: point count changed"
+        )
+        for index, (g, c) in enumerate(zip(golden_points, current_points)):
+            for axis in ("x", "y"):
+                assert math.isclose(g[axis], c[axis], rel_tol=REL_TOL), (
+                    f"{name}/{panel}/{series}[{index}].{axis}: "
+                    f"golden {g[axis]!r} != current {c[axis]!r}"
+                )
+            assert g["label"] == c["label"], (
+                f"{name}/{panel}/{series}[{index}]: label changed"
+            )
+
+
+def test_no_stale_goldens():
+    """Every golden corresponds to a registered study."""
+    on_disk = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(study_names())

@@ -1,0 +1,71 @@
+"""Tests for the mechanism categorization table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
+from repro.studies.mechanisms import (
+    PAPER_CATEGORIES,
+    MechanismEntry,
+    mechanism_catalogue,
+)
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return mechanism_catalogue()
+
+
+class TestStructure:
+    def test_every_mechanism_twice(self, catalogue):
+        assert len(catalogue) == 2 * len(PAPER_CATEGORIES)
+        mechanisms = {entry.mechanism for entry in catalogue}
+        assert mechanisms == set(PAPER_CATEGORIES)
+
+    def test_both_regimes_present(self, catalogue):
+        regimes = {entry.regime for entry in catalogue}
+        assert regimes == {EMBODIED_DOMINATED.name, OPERATIONAL_DOMINATED.name}
+
+    def test_sections_cover_the_paper(self, catalogue):
+        sections = {entry.section for entry in catalogue}
+        assert {"5.1", "5.2", "5.3", "5.4", "5.5", "5.6", "5.7", "5.8", "5.9", "6"} == (
+            sections
+        )
+
+
+@pytest.mark.parametrize(
+    "entry",
+    mechanism_catalogue(),
+    ids=lambda e: f"{e.mechanism} [{e.regime}]",
+)
+def test_category_matches_paper(entry: MechanismEntry):
+    assert entry.matches_paper, (
+        f"{entry.mechanism} under {entry.regime}: computed "
+        f"{entry.verdict.category.value}, paper says {entry.paper_category.value} "
+        f"(NCF fw={entry.verdict.ncf_fixed_work:.3f}, "
+        f"ft={entry.verdict.ncf_fixed_time:.3f})"
+    )
+
+
+class TestRegimeDependence:
+    def test_branch_prediction_flips_with_regime(self, catalogue):
+        """The only catalogue mechanism whose *category* changes with
+        the alpha regime at its representative configuration."""
+        bp = [e for e in catalogue if e.mechanism.startswith("branch prediction")]
+        categories = {e.regime: e.verdict.category for e in bp}
+        assert categories[EMBODIED_DOMINATED.name] is Sustainability.LESS
+        assert categories[OPERATIONAL_DOMINATED.name] is Sustainability.WEAK
+
+    def test_strong_mechanisms_strong_in_both_regimes(self, catalogue):
+        for name in ("multicore", "pipeline gating", "die shrink", "DVFS down-scaling"):
+            entries = [e for e in catalogue if e.mechanism == name]
+            assert all(
+                e.verdict.category is Sustainability.STRONG for e in entries
+            ), name
+
+    def test_as_dict_round_trip(self, catalogue):
+        payload = catalogue[0].as_dict()
+        assert payload["match"] is True
+        assert payload["mechanism"] == catalogue[0].mechanism

@@ -1,0 +1,36 @@
+"""Unit tests for the study registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnknownStudyError
+from repro.report.series import FigureResult
+from repro.studies.registry import STUDIES, run_study, study_names
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert study_names() == [f"figure{i}" for i in range(1, 10)]
+
+    def test_figure2_is_the_conceptual_illustration(self):
+        """Figure 2 carries no evaluation data in the paper; our driver
+        reproduces it as exact step profiles."""
+        result = STUDIES["figure2"]()
+        assert "step profiles" in " ".join(result.notes)
+
+    def test_run_study_returns_figure_result(self):
+        result = run_study("figure1")
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == "figure1"
+
+    def test_unknown_study_raises_with_suggestions(self):
+        with pytest.raises(UnknownStudyError, match="figure3"):
+            run_study("figure99")
+
+    @pytest.mark.parametrize("name", study_names())
+    def test_every_study_runs_and_ids_match(self, name):
+        result = run_study(name)
+        assert result.figure_id == name
+        assert result.total_points > 0
+        assert result.caption

@@ -1,0 +1,87 @@
+"""Unit tests for the die-shrink analysis (paper §6, Finding #17)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+from repro.technode.dieshrink import (
+    classify_die_shrink,
+    die_shrink,
+    shrunk_design,
+)
+from repro.technode.scaling import CLASSICAL_SCALING, POST_DENNARD_SCALING
+
+
+class TestDieShrinkOutcome:
+    def test_paper_embodied_multiplier(self):
+        """0.5 area x 1.252 wafer footprint = 0.626 ~ paper's 0.625."""
+        outcome = die_shrink(POST_DENNARD_SCALING, 1)
+        assert outcome.embodied == pytest.approx(0.626, rel=0.01)
+
+    def test_post_dennard_power_unchanged(self):
+        assert die_shrink(POST_DENNARD_SCALING, 1).power == 1.0
+
+    def test_classical_power_halves(self):
+        assert die_shrink(CLASSICAL_SCALING, 1).power == 0.5
+
+    def test_energy_consistency(self):
+        outcome = die_shrink(CLASSICAL_SCALING, 1)
+        assert outcome.energy == pytest.approx(outcome.power / outcome.performance)
+
+    def test_zero_transitions_is_identity(self):
+        outcome = die_shrink(POST_DENNARD_SCALING, 0)
+        assert outcome.embodied == 1.0
+        assert outcome.performance == 1.0
+
+    def test_negative_transitions_rejected(self):
+        with pytest.raises(ValidationError):
+            die_shrink(POST_DENNARD_SCALING, -1)
+
+    def test_embodied_keeps_shrinking_across_transitions(self):
+        values = [die_shrink(POST_DENNARD_SCALING, t).embodied for t in range(4)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestNCF:
+    def test_post_dennard_fixed_time_operational_neutral(self):
+        outcome = die_shrink(POST_DENNARD_SCALING, 1)
+        # alpha = 0: pure operational; power ratio is exactly 1.
+        assert outcome.ncf(UseScenario.FIXED_TIME, 0.0) == pytest.approx(1.0)
+
+    def test_fixed_work_always_below_one(self):
+        for regime in (POST_DENNARD_SCALING, CLASSICAL_SCALING):
+            outcome = die_shrink(regime, 1)
+            for alpha in (0.1, 0.5, 0.9):
+                assert outcome.ncf(UseScenario.FIXED_WORK, alpha) < 1.0
+
+
+class TestClassification:
+    @pytest.mark.parametrize("regime", [POST_DENNARD_SCALING, CLASSICAL_SCALING])
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_finding_17_strongly_sustainable(self, regime, alpha):
+        assert classify_die_shrink(regime, alpha) is Sustainability.STRONG
+
+
+class TestShrunkDesign:
+    def test_design_point_fields(self):
+        base = DesignPoint("chip", area=2.0, perf=3.0, power=4.0)
+        shrunk = shrunk_design(base, POST_DENNARD_SCALING, 1)
+        outcome = die_shrink(POST_DENNARD_SCALING, 1)
+        assert shrunk.area == pytest.approx(2.0 * outcome.embodied)
+        assert shrunk.perf == pytest.approx(3.0 * outcome.performance)
+        assert shrunk.power == pytest.approx(4.0 * outcome.power)
+        assert "shrink" in shrunk.name
+
+    def test_shrunk_design_vs_original_ncf_matches_outcome(self):
+        base = DesignPoint.baseline("chip")
+        shrunk = shrunk_design(base, CLASSICAL_SCALING, 1)
+        outcome = die_shrink(CLASSICAL_SCALING, 1)
+        from repro.core.ncf import ncf
+
+        assert ncf(shrunk, base, UseScenario.FIXED_WORK, 0.5) == pytest.approx(
+            outcome.ncf(UseScenario.FIXED_WORK, 0.5)
+        )

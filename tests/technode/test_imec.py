@@ -1,0 +1,87 @@
+"""Unit tests for the Imec manufacturing-footprint growth data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.technode.imec import (
+    IMEC_IEDM2020,
+    SCOPE1_ANNUAL_GROWTH,
+    SCOPE1_PER_NODE_GROWTH,
+    SCOPE2_ANNUAL_GROWTH,
+    SCOPE2_PER_NODE_GROWTH,
+    ImecGrowthRates,
+    annual_to_per_node,
+    wafer_footprint_multiplier,
+)
+
+
+class TestPaperConstants:
+    def test_scope2_annual_to_per_node(self):
+        """1.119^2 ~= 1.252: the paper's two quoted numbers agree."""
+        assert annual_to_per_node(SCOPE2_ANNUAL_GROWTH) == pytest.approx(
+            SCOPE2_PER_NODE_GROWTH, rel=0.01
+        )
+
+    def test_scope1_annual_to_per_node(self):
+        """1.093^2 ~= 1.195."""
+        assert annual_to_per_node(SCOPE1_ANNUAL_GROWTH) == pytest.approx(
+            SCOPE1_PER_NODE_GROWTH, rel=0.01
+        )
+
+    def test_default_blend_is_scope2(self):
+        assert IMEC_IEDM2020.blended_per_node == SCOPE2_PER_NODE_GROWTH
+
+
+class TestWaferFootprintMultiplier:
+    def test_single_transition(self):
+        assert IMEC_IEDM2020.wafer_footprint_multiplier(1) == pytest.approx(1.252)
+
+    def test_zero_transitions_identity(self):
+        assert IMEC_IEDM2020.wafer_footprint_multiplier(0) == 1.0
+
+    def test_compounds(self):
+        assert IMEC_IEDM2020.wafer_footprint_multiplier(3) == pytest.approx(1.252**3)
+
+    def test_negative_transitions_rejected(self):
+        with pytest.raises(ValidationError):
+            IMEC_IEDM2020.wafer_footprint_multiplier(-1)
+
+    def test_module_level_wrapper(self):
+        assert wafer_footprint_multiplier(2) == pytest.approx(1.252**2)
+
+
+class TestBlending:
+    def test_scope1_only(self):
+        rates = ImecGrowthRates(scope2_share=0.0)
+        assert rates.blended_per_node == pytest.approx(SCOPE1_PER_NODE_GROWTH)
+
+    def test_even_blend_between_rates(self):
+        rates = ImecGrowthRates(scope2_share=0.5)
+        assert rates.blended_per_node == pytest.approx(
+            0.5 * (SCOPE1_PER_NODE_GROWTH + SCOPE2_PER_NODE_GROWTH)
+        )
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValidationError):
+            ImecGrowthRates(scope2_share=1.5)
+
+    def test_rejects_negative_growth(self):
+        with pytest.raises(ValidationError):
+            ImecGrowthRates(scope2_per_node=-0.1)
+
+
+class TestAnnualConversion:
+    def test_custom_cadence(self):
+        """A 3-year cadence compounds three annual steps."""
+        assert annual_to_per_node(0.1, years_per_node=3.0) == pytest.approx(
+            1.1**3 - 1.0
+        )
+
+    def test_zero_growth(self):
+        assert annual_to_per_node(0.0) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValidationError):
+            annual_to_per_node(-0.05)

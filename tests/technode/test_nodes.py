@@ -1,0 +1,67 @@
+"""Unit tests for the technology-node roster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.technode.nodes import (
+    NODE_ROSTER,
+    TechNode,
+    node_by_name,
+    transitions_between,
+)
+
+
+class TestRoster:
+    def test_covers_imec_range(self):
+        labels = [node.label for node in NODE_ROSTER]
+        assert labels[0] == "28nm"
+        assert labels[-1] == "3nm"
+        assert len(labels) == 7
+
+    def test_indices_sequential(self):
+        assert [n.index for n in NODE_ROSTER] == list(range(7))
+
+    def test_feature_sizes_decrease(self):
+        features = [n.feature_nm for n in NODE_ROSTER]
+        assert features == sorted(features, reverse=True)
+
+
+class TestTechNode:
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValidationError):
+            TechNode("", 7.0, 0)
+
+    def test_rejects_negative_feature(self):
+        with pytest.raises(ValidationError):
+            TechNode("x", -1.0, 0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValidationError):
+            TechNode("x", 7.0, -1)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert node_by_name("7nm").feature_nm == 7.0
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValidationError, match="28nm"):
+            node_by_name("6nm")
+
+
+class TestTransitions:
+    def test_adjacent(self):
+        assert transitions_between(node_by_name("7nm"), node_by_name("5nm")) == 1
+
+    def test_full_span(self):
+        assert transitions_between(node_by_name("28nm"), node_by_name("3nm")) == 6
+
+    def test_same_node_zero(self):
+        node = node_by_name("5nm")
+        assert transitions_between(node, node) == 0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValidationError, match="older"):
+            transitions_between(node_by_name("5nm"), node_by_name("7nm"))

@@ -1,0 +1,104 @@
+"""Unit tests for the multi-generation Moore's-Law roadmap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.scenario import UseScenario
+from repro.technode.roadmap import GenerationPoint, RoadmapPolicy, roadmap
+from repro.technode.scaling import CLASSICAL_SCALING
+
+FW = UseScenario.FIXED_WORK
+FT = UseScenario.FIXED_TIME
+
+
+class TestStructure:
+    def test_generation_zero_is_identity(self):
+        for policy in RoadmapPolicy:
+            start = roadmap(policy, 3)[0]
+            assert (start.embodied, start.perf, start.power) == (1.0, 1.0, 1.0)
+
+    def test_length(self):
+        assert len(roadmap(RoadmapPolicy.SHRINK, 6)) == 7
+
+    def test_zero_generations(self):
+        assert len(roadmap(RoadmapPolicy.SHRINK, 0)) == 1
+
+    def test_rejects_negative_generations(self):
+        with pytest.raises(ValidationError):
+            roadmap(RoadmapPolicy.SHRINK, -1)
+
+
+class TestShrinkPolicy:
+    def test_cores_constant(self):
+        assert all(p.cores == 4 for p in roadmap(RoadmapPolicy.SHRINK, 6))
+
+    def test_first_generation_matches_die_shrink(self):
+        """Generation 1 must equal the §6 single-shrink numbers."""
+        point = roadmap(RoadmapPolicy.SHRINK, 1)[1]
+        assert point.embodied == pytest.approx(0.626, abs=0.001)
+        assert point.perf == pytest.approx(2**0.5, abs=0.001)
+        assert point.power == 1.0  # post-Dennard default
+
+    def test_embodied_keeps_falling(self):
+        values = [p.embodied for p in roadmap(RoadmapPolicy.SHRINK, 6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_ncf_improves_every_generation(self):
+        points = roadmap(RoadmapPolicy.SHRINK, 6)
+        for scenario in (FW, FT):
+            values = [p.ncf(scenario, 0.5) for p in points]
+            assert values == sorted(values, reverse=True)
+            assert values[-1] < 1.0
+
+    def test_classical_scaling_power_halves(self):
+        point = roadmap(RoadmapPolicy.SHRINK, 1, regime=CLASSICAL_SCALING)[1]
+        assert point.power == pytest.approx(0.5)
+
+
+class TestConstantAreaPolicy:
+    def test_cores_double(self):
+        cores = [p.cores for p in roadmap(RoadmapPolicy.CONSTANT_AREA, 3)]
+        assert cores == [4, 8, 16, 32]
+
+    def test_embodied_grows_with_wafer_footprint(self):
+        points = roadmap(RoadmapPolicy.CONSTANT_AREA, 3)
+        assert points[1].embodied == pytest.approx(1.252)
+        assert points[3].embodied == pytest.approx(1.252**3)
+
+    def test_jevons_paradox_quantified(self):
+        """The §6 discussion: spending the shrink on functionality makes
+        every generation less sustainable, under both scenarios."""
+        points = roadmap(RoadmapPolicy.CONSTANT_AREA, 6)
+        for scenario in (FW, FT):
+            assert points[-1].ncf(scenario, 0.5) > 1.0
+
+    def test_constant_area_buys_more_performance(self):
+        """The flip side: the unsustainable policy IS faster."""
+        shrink = roadmap(RoadmapPolicy.SHRINK, 6)[-1]
+        grow = roadmap(RoadmapPolicy.CONSTANT_AREA, 6)[-1]
+        assert grow.perf > shrink.perf
+
+    def test_fully_serial_software_wastes_the_cores(self):
+        """With f = 0, the extra cores add leakage but no speedup: the
+        constant-area policy loses on both axes."""
+        points = roadmap(RoadmapPolicy.CONSTANT_AREA, 3, parallel_fraction=0.0)
+        shrink = roadmap(RoadmapPolicy.SHRINK, 3, parallel_fraction=0.0)
+        assert points[-1].perf < shrink[-1].perf * 1.0001
+        assert points[-1].power > shrink[-1].power
+
+
+class TestGenerationPoint:
+    def test_energy_identity(self):
+        point = GenerationPoint(
+            generation=1, cores=8, area=1.0, embodied=1.25, perf=2.0, power=1.5
+        )
+        assert point.energy == pytest.approx(0.75)
+
+    def test_ncf_uses_right_proxy(self):
+        point = GenerationPoint(
+            generation=1, cores=8, area=1.0, embodied=1.0, perf=2.0, power=1.0
+        )
+        assert point.ncf(FW, 0.0) == pytest.approx(0.5)  # energy
+        assert point.ncf(FT, 0.0) == pytest.approx(1.0)  # power

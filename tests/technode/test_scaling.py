@@ -1,0 +1,77 @@
+"""Unit tests for classical vs post-Dennard scaling regimes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.technode.scaling import (
+    CLASSICAL_SCALING,
+    POST_DENNARD_SCALING,
+    ScalingRegime,
+)
+
+
+class TestClassicalScaling:
+    def test_paper_multipliers(self):
+        assert CLASSICAL_SCALING.area_factor == 0.5
+        assert CLASSICAL_SCALING.power_factor == 0.5
+        assert CLASSICAL_SCALING.frequency_factor == pytest.approx(math.sqrt(2))
+
+    def test_energy_drops_2_82x(self):
+        """Paper §6: classical scaling cuts energy by 2.82x."""
+        assert 1.0 / CLASSICAL_SCALING.energy_factor == pytest.approx(2.82, rel=0.01)
+
+
+class TestPostDennardScaling:
+    def test_paper_multipliers(self):
+        assert POST_DENNARD_SCALING.area_factor == 0.5
+        assert POST_DENNARD_SCALING.power_factor == 1.0
+        assert POST_DENNARD_SCALING.frequency_factor == pytest.approx(math.sqrt(2))
+
+    def test_energy_drops_1_41x(self):
+        """Paper §6: post-Dennard cuts energy by 1.41x."""
+        assert 1.0 / POST_DENNARD_SCALING.energy_factor == pytest.approx(1.41, rel=0.01)
+
+    def test_performance_tracks_frequency(self):
+        assert POST_DENNARD_SCALING.performance_factor == (
+            POST_DENNARD_SCALING.frequency_factor
+        )
+
+
+class TestCompounding:
+    def test_two_transitions_quarter_area(self):
+        scaled = POST_DENNARD_SCALING.after(2)
+        assert scaled.area_factor == pytest.approx(0.25)
+        assert scaled.frequency_factor == pytest.approx(2.0)
+
+    def test_zero_transitions_identity(self):
+        scaled = CLASSICAL_SCALING.after(0)
+        assert scaled.area_factor == 1.0
+        assert scaled.power_factor == 1.0
+        assert scaled.frequency_factor == 1.0
+
+    def test_negative_transitions_rejected(self):
+        with pytest.raises(ValidationError):
+            CLASSICAL_SCALING.after(-1)
+
+    def test_energy_factor_compounds_consistently(self):
+        scaled = CLASSICAL_SCALING.after(3)
+        assert scaled.energy_factor == pytest.approx(
+            CLASSICAL_SCALING.energy_factor**3
+        )
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            ScalingRegime("", 1.0, 1.0, 1.0)
+
+    @pytest.mark.parametrize("field", ["area_factor", "power_factor", "frequency_factor"])
+    def test_rejects_non_positive_factor(self, field):
+        kwargs = {"area_factor": 1.0, "power_factor": 1.0, "frequency_factor": 1.0}
+        kwargs[field] = 0.0
+        with pytest.raises(ValidationError):
+            ScalingRegime("x", **kwargs)

@@ -1,0 +1,155 @@
+"""Tests for the ``focal`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.studies.registry import study_names
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+
+class TestList:
+    def test_lists_all_studies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == study_names()
+
+
+class TestFigure:
+    def test_ascii_output(self, capsys):
+        assert main(["figure", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out
+        assert "legend:" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["figure", "figure1", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("figure,panel,series,label,x,y")
+
+    def test_json_output(self, capsys):
+        assert main(["figure", "figure8", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure_id"] == "figure8"
+
+    def test_md_output(self, capsys):
+        assert main(["figure", "figure9", "--format", "md"]) == 0
+        assert "## figure9" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "fig.csv"
+        assert main(["figure", "figure1", "--out", str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_figure_raises(self):
+        from repro.core.errors import UnknownStudyError
+
+        with pytest.raises(UnknownStudyError):
+            main(["figure", "figure42"])
+
+
+class TestCompare:
+    def test_fsc_vs_ooo(self, capsys):
+        code = main(
+            ["compare", "--x", "1.01", "1.64", "1.01", "--y", "1.39", "1.75", "2.32"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strongly sustainable" in out
+        assert "embodied-dominated" in out
+        assert "operational-dominated" in out
+
+    def test_single_alpha(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--x", "1.0", "1.0", "2.0",
+                "--y", "1.0", "1.0", "1.0",
+                "--alpha", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "less sustainable" in out
+        assert out.count("sustainable") == 1  # only one regime row
+
+    def test_requires_both_designs(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--x", "1", "1", "1"])
+
+
+class TestRoadmap:
+    def test_both_policies_printed(self, capsys):
+        assert main(["roadmap", "--generations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shrink" in out
+        assert "constant-area" in out
+
+    def test_custom_parameters(self, capsys):
+        assert (
+            main(
+                [
+                    "roadmap",
+                    "--generations", "1",
+                    "--cores", "2",
+                    "--parallel-fraction", "0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert " 4 " in out  # constant-area doubles 2 -> 4
+
+
+class TestAdvise:
+    def test_known_workload(self, capsys):
+        assert main(["advise", "mobile"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline gating" in out
+        assert "strongly sustainable" in out
+
+    def test_regime_flag(self, capsys):
+        assert main(["advise", "datacenter", "--regime", "operational"]) == 0
+        assert "operational-dominated" in capsys.readouterr().out
+
+    def test_unknown_workload(self):
+        from repro.core.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["advise", "gaming"])
+
+
+class TestMechanisms:
+    def test_all_match_exit_zero(self, capsys):
+        assert main(["mechanisms"]) == 0
+        out = capsys.readouterr().out
+        assert "26/26" in out
+        assert "die shrink" in out
+
+
+class TestFindings:
+    def test_all_pass_exit_zero(self, capsys):
+        assert main(["findings"]) == 0
+        out = capsys.readouterr().out
+        assert "checks pass" in out
+        assert "F13" in out
+
+    def test_failed_only_prints_summary_only(self, capsys):
+        assert main(["findings", "--failed-only"]) == 0
+        out = capsys.readouterr().out
+        # No failing checks -> no table rows, just the tally.
+        assert "F13" not in out
+        assert "checks pass" in out

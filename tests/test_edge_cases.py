@@ -1,0 +1,137 @@
+"""Cross-cutting edge-case tests.
+
+Small negative-path and boundary checks that don't belong to a single
+module's main suite but would each catch a real regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+
+
+class TestCLIErrorPaths:
+    def test_out_with_unknown_suffix(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(ValidationError, match="suffix"):
+            main(["figure", "figure1", "--out", str(tmp_path / "fig.xlsx")])
+
+    def test_out_html(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig.html"
+        assert main(["figure", "figure7", "--out", str(target)]) == 0
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+    def test_compare_rejects_invalid_design(self):
+        from repro.cli import main
+
+        with pytest.raises(ValidationError):
+            main(["compare", "--x", "0", "1", "1", "--y", "1", "1", "1"])
+
+
+class TestAsciiPlotEdges:
+    def test_marker_cycling_beyond_palette(self):
+        from repro.report.ascii_plot import render_panel
+        from repro.report.series import Panel, Point, Series
+
+        many = tuple(
+            Series(f"s{i}", (Point(float(i), float(i)),)) for i in range(15)
+        )
+        panel = Panel(name="crowd", x_label="x", y_label="y", series=many)
+        out = render_panel(panel)
+        assert out.count("\n") > 10  # renders without error
+        assert "s14" in out  # legend lists every series
+
+    def test_all_identical_points(self):
+        from repro.report.ascii_plot import render_panel
+        from repro.report.series import Panel, Point, Series
+
+        panel = Panel(
+            name="flat",
+            x_label="x",
+            y_label="y",
+            series=(Series("s", (Point(1.0, 1.0), Point(1.0, 1.0))),),
+        )
+        assert "flat" in render_panel(panel)  # degenerate extent padded
+
+
+class TestGridEdges:
+    def test_three_axis_iteration_order(self):
+        from repro.dse.grid import ParameterGrid
+
+        grid = ParameterGrid({"a": [1, 2], "b": [10], "c": ["x", "y"]})
+        combos = list(grid)
+        assert combos[0] == {"a": 1, "b": 10, "c": "x"}
+        assert combos[1] == {"a": 1, "b": 10, "c": "y"}
+        assert combos[2] == {"a": 2, "b": 10, "c": "x"}
+        assert len(combos) == 4
+
+    def test_single_value_axes(self):
+        from repro.dse.grid import ParameterGrid
+
+        grid = ParameterGrid({"a": [1]})
+        assert list(grid) == [{"a": 1}]
+
+
+class TestActEdges:
+    def test_focal_design_from_zero_power_spec(self):
+        """A powered-off chip must still produce a valid DesignPoint
+        (power clamped to epsilon, not zero)."""
+        from repro.act.compare import focal_design_from_spec
+        from repro.act.model import ActChipSpec
+
+        spec = ActChipSpec("off", die_area_mm2=100.0, avg_power_w=0.0)
+        design = focal_design_from_spec(spec)
+        assert design.power > 0.0
+
+    def test_compare_with_zero_power_baseline(self):
+        """ACT comparison degrades gracefully when the baseline draws
+        no power (power ratio falls back to 1)."""
+        from repro.act.compare import compare_focal_vs_act
+        from repro.act.model import ActChipSpec
+
+        report = compare_focal_vs_act(
+            ActChipSpec("x", die_area_mm2=100.0, avg_power_w=10.0),
+            ActChipSpec("y", die_area_mm2=100.0, avg_power_w=0.0),
+        )
+        assert report.focal_ncf > 0.0
+
+
+class TestAdvisorDeterminism:
+    def test_stable_order_across_calls(self):
+        from repro.core.scenario import EMBODIED_DOMINATED
+        from repro.workloads import advise, workload_by_name
+
+        first = [r.mechanism for r in advise(workload_by_name("desktop"), EMBODIED_DOMINATED)]
+        second = [r.mechanism for r in advise(workload_by_name("desktop"), EMBODIED_DOMINATED)]
+        assert first == second
+
+
+class TestDesignPointEdges:
+    def test_extreme_but_finite_values(self):
+        d = DesignPoint("extreme", area=1e-9, perf=1e9, power=1e-9)
+        assert d.energy == pytest.approx(1e-18)
+
+    def test_equality_by_value(self):
+        a = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        b = DesignPoint("x", area=1.0, perf=2.0, power=3.0)
+        assert a == b
+        assert a != b.renamed("y")
+
+
+class TestFindingCheckEdges:
+    def test_mixed_str_float_comparison_fails_closed(self):
+        from repro.studies.findings import FindingCheck
+
+        check = FindingCheck("T", "c", paper_value="strong", computed=1.0)
+        assert not check.passed
+
+    def test_negative_values_relative_tolerance(self):
+        from repro.studies.findings import FindingCheck
+
+        assert FindingCheck("T", "c", -1.0, -1.01, tolerance=0.02).passed
+        assert not FindingCheck("T", "c", -1.0, -1.05, tolerance=0.02).passed

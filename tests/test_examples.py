@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples are part of the public contract (README links them); a
+refactor that breaks one must fail the suite, not a user.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(script: Path, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script: Path, tmp_path: Path):
+    # reproduce_paper writes files; point it at a temp dir.
+    args = (str(tmp_path / "out"),) if script.stem == "reproduce_paper" else ()
+    proc = _run(script, *args)
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_reproduce_paper_writes_all_formats(tmp_path: Path):
+    out = tmp_path / "out"
+    proc = _run(EXAMPLES_DIR / "reproduce_paper.py", str(out))
+    assert proc.returncode == 0
+    for suffix in ("csv", "md", "html"):
+        files = list(out.glob(f"figure*.{suffix}"))
+        assert len(files) == 9, f"expected 9 .{suffix} figures, got {len(files)}"
+    assert (out / "findings.txt").exists()

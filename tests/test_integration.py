@@ -1,0 +1,209 @@
+"""Cross-module integration tests.
+
+These tests wire several subsystems together the way a downstream user
+would: build designs from the substrate models, run them through the
+core NCF machinery, explore, classify robustly, and export.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.accel.accelerator import HAMEED_H264, AcceleratedSystem
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.classify import Sustainability
+from repro.core.design import DesignPoint
+from repro.core.ncf import ncf
+from repro.core.scenario import (
+    EMBODIED_DOMINATED,
+    OPERATIONAL_DOMINATED,
+    UseScenario,
+)
+from repro.core.uncertainty import robust_classification
+from repro.dse.explorer import Explorer
+from repro.dse.grid import ParameterGrid, geometric_range
+from repro.microarch.cores import FSC_CORE, INO_CORE, OOO_CORE
+from repro.report.export import figure_to_json
+from repro.studies.registry import run_study
+from repro.technode.dieshrink import shrunk_design
+from repro.technode.scaling import POST_DENNARD_SCALING
+
+
+class TestPublicAPI:
+    def test_top_level_exports_work_together(self):
+        """The README quick-start snippet, verbatim."""
+        fsc = repro.DesignPoint("FSC", area=1.01, perf=1.64, power=1.01)
+        ino = repro.DesignPoint.baseline("InO")
+        value = repro.ncf(fsc, ino, repro.UseScenario.FIXED_WORK, alpha=0.8)
+        assert value < 1.0
+        verdict = repro.classify(fsc, ino, alpha=0.8)
+        assert verdict.category is repro.Sustainability.WEAK
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestEndToEndMulticoreStudy:
+    """Rebuild the essence of Figure 3 through the DSE engine and check
+    it against the direct study driver."""
+
+    def test_explorer_matches_figure3_series(self):
+        baseline = DesignPoint.baseline("1-BCE single-core")
+        explorer = Explorer(
+            factory=lambda p: SymmetricMulticore(
+                cores=int(p["cores"]), parallel_fraction=0.95
+            ).design_point(),
+            baseline=baseline,
+            weight=OPERATIONAL_DOMINATED,
+        )
+        grid = ParameterGrid({"cores": geometric_range(1, 32)})
+        results = {r.params["cores"]: r for r in explorer.explore(grid)}
+
+        fig = run_study("figure3")
+        panel = fig.panel("(c) operational dominated, fixed-work")
+        series = panel.series_by_name("f=0.95")
+        for point, cores in zip(series.points, geometric_range(1, 32)):
+            assert point.y == pytest.approx(results[cores].ncf_fixed_work)
+            assert point.x == pytest.approx(results[cores].perf)
+
+
+class TestTechnodePlusAmdahl:
+    def test_shrunk_multicore_strongly_sustainable(self):
+        """Shrink a full multicore chip: the combination of the Woo-Lee
+        model and the die-shrink multipliers stays strongly sustainable
+        (Finding #17 applied to a real design)."""
+        chip = SymmetricMulticore(8, 0.9).design_point("octa")
+        shrunk = shrunk_design(chip, POST_DENNARD_SCALING, 1)
+        conclusion = robust_classification(
+            shrunk, chip, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+        )
+        assert conclusion.unanimous
+        assert conclusion.consensus is Sustainability.STRONG
+
+
+class TestAccelPlusCore:
+    def test_accelerated_core_vs_fsc_tradeoff(self):
+        """Cross-substrate comparison: an OoO core with the H.264
+        accelerator (50 % use) against FSC, normalized to InO — both
+        reachable through the same DesignPoint algebra."""
+        accelerated = AcceleratedSystem(HAMEED_H264, 0.5).design_point("OoO+acc")
+        # Express the accelerated system in InO-normalized units: the
+        # host core is OoO, which is 1.39x InO area etc.
+        combined = DesignPoint(
+            name="OoO+acc (InO units)",
+            area=accelerated.area * OOO_CORE.area,
+            perf=accelerated.perf * OOO_CORE.perf,
+            power=accelerated.power * OOO_CORE.power,
+        )
+        for scenario in UseScenario:
+            value_combined = ncf(combined, INO_CORE, scenario, 0.2)
+            value_fsc = ncf(FSC_CORE, INO_CORE, scenario, 0.2)
+            # The accelerator halves OoO's operational cost but FSC is
+            # still the lower-footprint design at this utilization.
+            assert value_fsc < value_combined
+
+
+class TestHeterogeneityRobustness:
+    def test_finding4_verdict_depends_on_scenario_not_alpha(self):
+        """Heterogeneity is weakly sustainable in *both* alpha regimes:
+        the disagreement is across scenarios, not weights — exactly why
+        the paper calls it weak rather than inconclusive."""
+        asym = AsymmetricMulticore(32, 4, 0.8).design_point()
+        sym = SymmetricMulticore(32, 0.8).design_point()
+        conclusion = robust_classification(
+            asym, sym, [EMBODIED_DOMINATED, OPERATIONAL_DOMINATED]
+        )
+        assert conclusion.unanimous
+        assert conclusion.consensus is Sustainability.WEAK
+
+
+class TestExtensionInterplay:
+    def test_advisor_consistent_with_mechanism_catalogue(self):
+        """The advisor and the catalogue must agree on the workload-
+        independent mechanisms (gating, DVFS, turbo, PRE)."""
+        from repro.core.scenario import EMBODIED_DOMINATED
+        from repro.studies.mechanisms import mechanism_catalogue
+        from repro.workloads import advise, workload_by_name
+
+        catalogue = {
+            e.mechanism: e.verdict.category
+            for e in mechanism_catalogue()
+            if e.regime == EMBODIED_DOMINATED.name
+        }
+        advisor = {
+            r.mechanism: r.category
+            for r in advise(workload_by_name("desktop"), EMBODIED_DOMINATED)
+        }
+        assert advisor["pipeline gating"] is catalogue["pipeline gating"]
+        assert advisor["turbo boost"] is catalogue["turbo boost"]
+        assert advisor["runahead execution (PRE)"] is (
+            catalogue["runahead execution (PRE)"]
+        )
+        assert advisor["DVFS down-scaling"] is catalogue["DVFS down-scaling"]
+
+    def test_rebound_interpolates_case_study(self):
+        """Rebound elasticity sweeps the §7 case-study NCF between its
+        fixed-work and fixed-time values."""
+        from repro.rebound import ReboundModel, rebound_ncf
+        from repro.studies.case_study import case_study
+
+        point = next(p for p in case_study() if p.cores == 8)
+        design = DesignPoint("new8", area=point.embodied, perf=point.perf, power=point.power)
+        old = DesignPoint.baseline("old4")
+        fw = point.ncf(UseScenario.FIXED_WORK, 0.2)
+        ft = point.ncf(UseScenario.FIXED_TIME, 0.2)
+        mid = rebound_ncf(design, old, 0.2, ReboundModel(0.5))
+        assert min(fw, ft) <= mid <= max(fw, ft)
+
+    def test_optimizer_reproduces_case_study_recommendation(self):
+        """max-perf-subject-to-NCF<=1 over the §7 options picks 6 cores
+        (the example's recommendation) when both scenarios must hold."""
+        from repro.core.scenario import EMBODIED_DOMINATED
+        from repro.dse.explorer import Explorer
+        from repro.dse.grid import ParameterGrid
+        from repro.dse.optimizer import max_perf_subject_to_ncf
+        from repro.studies.case_study import case_study
+
+        points = {p.cores: p for p in case_study()}
+
+        def factory(params):
+            p = points[params["cores"]]
+            return DesignPoint(
+                f"{p.cores}c", area=p.embodied, perf=p.perf, power=p.power
+            )
+
+        explorer = Explorer(
+            factory=factory,
+            baseline=DesignPoint.baseline("old quad-core"),
+            weight=EMBODIED_DOMINATED,
+        )
+        results = explorer.explore(ParameterGrid({"cores": [4, 5, 6, 7, 8]}))
+        best = max_perf_subject_to_ncf(results, 1.0, require_both_scenarios=True)
+        assert best.params["cores"] == 6
+
+    def test_chiplet_outcome_flows_into_ncf(self):
+        """Chiplet outcomes are plain design points: compare a split
+        design against monolithic with the core NCF machinery."""
+        from repro.core.ncf import ncf
+        from repro.multichip import ChipletPartition, evaluate_partition
+
+        mono = evaluate_partition(ChipletPartition(1, 800.0)).design_point("mono")
+        quad = evaluate_partition(ChipletPartition(4, 800.0)).design_point("quad")
+        value = ncf(quad, mono, UseScenario.FIXED_WORK, alpha=0.8)
+        assert value < 1.0  # yield win dominates at reticle scale
+
+
+class TestStudiesExport:
+    @pytest.mark.parametrize("name", ["figure1", "figure5", "figure9"])
+    def test_every_figure_exports_valid_json(self, name):
+        payload = json.loads(figure_to_json(run_study(name)))
+        assert payload["figure_id"] == name
+        assert payload["panels"]

@@ -1,0 +1,85 @@
+"""Unit tests for the LCA validation-limits module (§3.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.validation.lca import SystemLCA, chip_attribution_error, validation_gap
+
+
+class TestSystemLCA:
+    def test_total_aggregates_everything(self):
+        lca = SystemLCA("laptop", chip=30.0)
+        assert lca.total == pytest.approx(30.0 + lca.rest_of_system)
+
+    def test_chip_share(self):
+        lca = SystemLCA("x", chip=50.0, other_components={"rest": 50.0})
+        assert lca.chip_share == pytest.approx(0.5)
+
+    def test_custom_components(self):
+        lca = SystemLCA("x", chip=10.0, other_components={"psu": 5.0})
+        assert lca.rest_of_system == 5.0
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ValidationError):
+            SystemLCA("x", chip=10.0, other_components={"psu": -1.0})
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            SystemLCA("", chip=1.0)
+
+
+class TestAttributionError:
+    def test_identical_devices_no_error(self):
+        a = SystemLCA("a", chip=30.0)
+        assert chip_attribution_error(a, a) == pytest.approx(1.0)
+
+    def test_rest_of_system_swamps_chip_difference(self):
+        """The §3.6 point: a 3x chip difference shows up as a much
+        smaller total difference, so the chip ratio inferred from the
+        totals is badly wrong."""
+        small_chip = SystemLCA("small", chip=10.0)
+        big_chip = SystemLCA("big", chip=30.0)
+        error = chip_attribution_error(big_chip, small_chip)
+        assert error > 2.0  # chip ratio 3x, total ratio ~1.14x
+
+    def test_chip_dominated_device_attributes_well(self):
+        a = SystemLCA("a", chip=1000.0, other_components={"rest": 1.0})
+        b = SystemLCA("b", chip=2000.0, other_components={"rest": 1.0})
+        assert chip_attribution_error(b, a) == pytest.approx(1.0, abs=1e-3)
+
+    def test_zero_baseline_rejected(self):
+        a = SystemLCA("a", chip=0.0, other_components={})
+        b = SystemLCA("b", chip=10.0)
+        with pytest.raises(ValidationError):
+            chip_attribution_error(b, a)
+
+
+class TestValidationGap:
+    def test_no_gap_when_chip_is_everything(self):
+        assert validation_gap(2.0, 1.0) == pytest.approx(0.0)
+
+    def test_no_gap_when_prediction_is_one(self):
+        assert validation_gap(1.0, 0.3) == pytest.approx(0.0)
+
+    def test_gap_grows_as_chip_share_shrinks(self):
+        gaps = [validation_gap(0.5, share) for share in (0.8, 0.4, 0.1)]
+        assert gaps == sorted(gaps)
+
+    def test_closed_form(self):
+        # ratio 0.5, share 0.2: total = 0.1 + 0.8 = 0.9 -> gap 0.4/0.9.
+        assert validation_gap(0.5, 0.2) == pytest.approx(0.4 / 0.9)
+
+    def test_act_scale_gap_is_plausible(self):
+        """A 30 % chip improvement validated against a device whose
+        chip is ~25 % of total shows a 'non-negligible' double-digit
+        gap — the paper's reading of ACT's validation."""
+        gap = validation_gap(0.7, 0.25)
+        assert 0.05 < gap < 0.25
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            validation_gap(0.0, 0.5)
+        with pytest.raises(ValidationError):
+            validation_gap(1.0, 0.0)

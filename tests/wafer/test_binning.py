@@ -1,0 +1,82 @@
+"""Unit tests for product binning (effective-yield) models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.wafer.binning import BinnedYield, BinningModel
+from repro.wafer.embodied import EmbodiedFootprintModel
+from repro.wafer.yield_models import PoissonYield
+
+
+class TestConstruction:
+    def test_rejects_more_defective_than_blocks(self):
+        with pytest.raises(ValidationError):
+            BinningModel(blocks=4, max_defective_blocks=5, defect_density_per_cm2=0.09)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValidationError):
+            BinningModel(blocks=0, max_defective_blocks=0, defect_density_per_cm2=0.09)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValidationError):
+            BinningModel(blocks=4, max_defective_blocks=0, defect_density_per_cm2=-1.0)
+
+
+class TestSellableFraction:
+    def test_no_binning_matches_poisson(self):
+        """With zero tolerated defects and one block the model is the
+        plain Poisson yield."""
+        model = BinningModel(blocks=1, max_defective_blocks=0, defect_density_per_cm2=0.09)
+        poisson = PoissonYield(0.09)
+        for area in (100.0, 400.0, 800.0):
+            assert model.sellable_fraction(area) == pytest.approx(
+                poisson.die_yield(area)
+            )
+
+    def test_full_tolerance_sells_everything(self):
+        model = BinningModel(blocks=8, max_defective_blocks=8, defect_density_per_cm2=0.09)
+        assert model.sellable_fraction(800.0) == pytest.approx(1.0)
+
+    def test_more_tolerance_more_sellable(self):
+        area = 600.0
+        fractions = [
+            BinningModel(
+                blocks=8, max_defective_blocks=k, defect_density_per_cm2=0.09
+            ).sellable_fraction(area)
+            for k in range(9)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_sellable_fraction_bounded(self):
+        model = BinningModel(blocks=8, max_defective_blocks=2, defect_density_per_cm2=0.5)
+        assert 0.0 < model.sellable_fraction(800.0) <= 1.0
+
+    def test_expected_good_blocks(self):
+        model = BinningModel(blocks=8, max_defective_blocks=2, defect_density_per_cm2=0.0)
+        assert model.expected_good_blocks(400.0) == pytest.approx(8.0)
+
+
+class TestBinnedYieldAdapter:
+    def test_plugs_into_embodied_model(self):
+        """The paper's §3.1 argument: binning pushes the embodied curve
+        toward perfect yield. One tolerated block out of eight must cut
+        the 800 mm^2 per-chip footprint vs the unbinned model."""
+        density = 0.09
+        unbinned = EmbodiedFootprintModel(
+            yield_model=BinnedYield(
+                BinningModel(blocks=8, max_defective_blocks=0, defect_density_per_cm2=density)
+            )
+        )
+        binned = EmbodiedFootprintModel(
+            yield_model=BinnedYield(
+                BinningModel(blocks=8, max_defective_blocks=1, defect_density_per_cm2=density)
+            )
+        )
+        assert binned.footprint_per_chip(800.0) < unbinned.footprint_per_chip(800.0)
+
+    def test_die_yield_matches_sellable_fraction(self):
+        binning = BinningModel(blocks=4, max_defective_blocks=1, defect_density_per_cm2=0.09)
+        adapter = BinnedYield(binning)
+        assert adapter.die_yield(300.0) == binning.sellable_fraction(300.0)

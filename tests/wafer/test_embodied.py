@@ -1,0 +1,95 @@
+"""Unit tests for the per-chip embodied-footprint model (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.wafer.embodied import FIGURE1_REFERENCE_AREA_MM2, EmbodiedFootprintModel
+from repro.wafer.geometry import WAFER_300MM
+from repro.wafer.yield_models import MurphyYield, PerfectYield
+
+
+@pytest.fixture
+def perfect_model() -> EmbodiedFootprintModel:
+    return EmbodiedFootprintModel(yield_model=PerfectYield())
+
+
+@pytest.fixture
+def murphy_model() -> EmbodiedFootprintModel:
+    return EmbodiedFootprintModel(yield_model=MurphyYield())
+
+
+class TestGoodChips:
+    def test_perfect_yield_equals_gross(self, perfect_model):
+        assert perfect_model.good_chips_per_wafer(100.0) == pytest.approx(
+            WAFER_300MM.gross_dies(100.0)
+        )
+
+    def test_murphy_fewer_good_chips(self, perfect_model, murphy_model):
+        assert murphy_model.good_chips_per_wafer(400.0) < (
+            perfect_model.good_chips_per_wafer(400.0)
+        )
+
+
+class TestFootprintPerChip:
+    def test_inverse_of_good_chips(self, perfect_model):
+        area = 250.0
+        assert perfect_model.footprint_per_chip(area) == pytest.approx(
+            1.0 / perfect_model.good_chips_per_wafer(area)
+        )
+
+    def test_scales_with_wafer_footprint(self):
+        small = EmbodiedFootprintModel(footprint_per_wafer=1.0)
+        big = EmbodiedFootprintModel(footprint_per_wafer=3.0)
+        assert big.footprint_per_chip(200.0) == pytest.approx(
+            3.0 * small.footprint_per_chip(200.0)
+        )
+
+    def test_rejects_non_positive_wafer_footprint(self):
+        with pytest.raises(ValidationError):
+            EmbodiedFootprintModel(footprint_per_wafer=0.0)
+
+
+class TestNormalizedFootprint:
+    def test_reference_is_one(self, perfect_model, murphy_model):
+        for model in (perfect_model, murphy_model):
+            assert model.normalized_footprint(
+                FIGURE1_REFERENCE_AREA_MM2
+            ) == pytest.approx(1.0)
+
+    def test_monotone_increasing_with_die_size(self, murphy_model):
+        areas = [100, 200, 400, 800]
+        values = [murphy_model.normalized_footprint(a) for a in areas]
+        assert values == sorted(values)
+
+    def test_figure1_perfect_yield_roughly_linear(self, perfect_model):
+        """Perfect-yield curve at 800 mm^2 is ~8-10x the 100 mm^2 value
+        (slightly super-linear from edge losses)."""
+        value = perfect_model.normalized_footprint(800.0)
+        assert 8.0 <= value <= 11.0
+
+    def test_figure1_murphy_superlinear(self, perfect_model, murphy_model):
+        """Murphy at 800 mm^2 sits well above perfect yield (paper's
+        Figure 1 shows ~2x, second-degree-polynomial shape)."""
+        murphy = murphy_model.normalized_footprint(800.0)
+        perfect = perfect_model.normalized_footprint(800.0)
+        assert murphy > 1.5 * perfect
+        assert murphy < 25.0  # the paper's y-axis tops out at 20
+
+    def test_custom_reference(self, perfect_model):
+        assert perfect_model.normalized_footprint(400.0, 400.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_reference(self, perfect_model):
+        with pytest.raises(ValidationError):
+            perfect_model.normalized_footprint(100.0, reference_area_mm2=0.0)
+
+
+class TestSweep:
+    def test_sweep_shape_and_content(self, murphy_model):
+        areas = [100.0, 200.0, 400.0]
+        sweep = murphy_model.sweep(areas)
+        assert [a for a, _ in sweep] == areas
+        assert sweep[0][1] == pytest.approx(1.0)
+        for area, value in sweep:
+            assert value == pytest.approx(murphy_model.normalized_footprint(area))

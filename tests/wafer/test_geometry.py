@@ -1,0 +1,81 @@
+"""Unit tests for the de Vries chips-per-wafer formula."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import DomainError, ValidationError
+from repro.wafer.geometry import (
+    WAFER_200MM,
+    WAFER_300MM,
+    WAFER_450MM,
+    Wafer,
+    chips_per_wafer,
+)
+
+
+class TestWafer:
+    def test_area(self):
+        assert WAFER_300MM.area_mm2 == pytest.approx(math.pi * 150**2)
+
+    def test_rejects_non_positive_diameter(self):
+        with pytest.raises(ValidationError):
+            Wafer(diameter_mm=0.0)
+
+    def test_roster_diameters(self):
+        assert WAFER_200MM.diameter_mm == 200
+        assert WAFER_300MM.diameter_mm == 300
+        assert WAFER_450MM.diameter_mm == 450
+
+
+class TestGrossDies:
+    def test_de_vries_formula_exact(self):
+        """100 mm^2 die on 300 mm wafer: pi*300^2/400 - 0.58*pi*300/10."""
+        expected = math.pi * 300**2 / (4 * 100) - 0.58 * math.pi * 300 / math.sqrt(100)
+        assert WAFER_300MM.gross_dies(100.0) == pytest.approx(expected)
+
+    def test_known_magnitude(self):
+        """~650 gross dies for a 100 mm^2 die on a 300 mm wafer."""
+        cpw = WAFER_300MM.gross_dies(100.0)
+        assert 600 < cpw < 680
+
+    def test_monotone_decreasing_in_area(self):
+        areas = [50, 100, 200, 400, 800]
+        counts = [WAFER_300MM.gross_dies(a) for a in areas]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_edge_loss_reduces_count_below_area_ratio(self):
+        """The edge-loss term makes CPW strictly below wafer/die area."""
+        area = 400.0
+        assert WAFER_300MM.gross_dies(area) < WAFER_300MM.area_mm2 / area
+
+    def test_bigger_wafer_more_chips(self):
+        assert WAFER_450MM.gross_dies(100) > WAFER_300MM.gross_dies(100)
+
+    def test_rejects_non_positive_area(self):
+        with pytest.raises(ValidationError):
+            WAFER_300MM.gross_dies(0.0)
+
+    def test_raises_beyond_validity(self):
+        limit = WAFER_300MM.max_practical_die_area_mm2()
+        with pytest.raises(DomainError):
+            WAFER_300MM.gross_dies(limit * 1.01)
+
+    def test_max_practical_area_is_the_zero(self):
+        limit = WAFER_300MM.max_practical_die_area_mm2()
+        # Just below the limit the count is tiny but positive.
+        assert WAFER_300MM.gross_dies(limit * 0.999) > 0.0
+
+    def test_reticle_scale_dies_still_valid(self):
+        """800 mm^2 (the paper's x-axis maximum) is inside validity."""
+        assert WAFER_300MM.gross_dies(800.0) > 50
+
+
+class TestConvenienceWrapper:
+    def test_default_wafer_is_300mm(self):
+        assert chips_per_wafer(123.0) == WAFER_300MM.gross_dies(123.0)
+
+    def test_explicit_wafer(self):
+        assert chips_per_wafer(123.0, WAFER_200MM) == WAFER_200MM.gross_dies(123.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the die-yield models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.wafer.yield_models import (
+    TSMC_VOLUME_DEFECT_DENSITY,
+    BoseEinsteinYield,
+    MurphyYield,
+    PerfectYield,
+    PoissonYield,
+    SeedsYield,
+    YieldModel,
+)
+
+ALL_MODELS = [
+    PerfectYield(),
+    PoissonYield(),
+    MurphyYield(),
+    SeedsYield(),
+    BoseEinsteinYield(),
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_satisfies_yield_model_protocol(self, model):
+        assert isinstance(model, YieldModel)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_yield_in_unit_interval(self, model):
+        for area in (1.0, 100.0, 800.0):
+            y = model.die_yield(area)
+            assert 0.0 < y <= 1.0
+
+    @pytest.mark.parametrize(
+        "model", [m for m in ALL_MODELS if m.name != "perfect"], ids=lambda m: m.name
+    )
+    def test_yield_decreases_with_area(self, model):
+        areas = [10, 50, 100, 400, 800]
+        yields = [model.die_yield(a) for a in areas]
+        assert yields == sorted(yields, reverse=True)
+
+
+class TestPerfectYield:
+    def test_always_one(self):
+        assert PerfectYield().die_yield(800.0) == 1.0
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ValidationError):
+            PerfectYield().die_yield(-1.0)
+
+
+class TestPoissonYield:
+    def test_closed_form(self):
+        # 100 mm^2 = 1 cm^2 at D0 = 0.09 -> exp(-0.09).
+        assert PoissonYield(0.09).die_yield(100.0) == pytest.approx(math.exp(-0.09))
+
+    def test_zero_defect_density_is_perfect(self):
+        assert PoissonYield(0.0).die_yield(500.0) == 1.0
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValidationError):
+            PoissonYield(-0.1)
+
+
+class TestMurphyYield:
+    def test_closed_form(self):
+        ad = 8.0 * 0.09  # 800 mm^2 at TSMC density
+        expected = ((1 - math.exp(-ad)) / ad) ** 2
+        assert MurphyYield().die_yield(800.0) == pytest.approx(expected)
+
+    def test_small_area_limit_is_one(self):
+        assert MurphyYield().die_yield(1e-9) == pytest.approx(1.0)
+
+    def test_default_density_matches_paper(self):
+        assert MurphyYield().defect_density_per_cm2 == TSMC_VOLUME_DEFECT_DENSITY
+
+    def test_murphy_above_poisson_below_seeds_interior(self):
+        """Classical ordering for the same A*D: Poisson < Murphy < Seeds."""
+        area = 400.0
+        poisson = PoissonYield().die_yield(area)
+        murphy = MurphyYield().die_yield(area)
+        seeds = SeedsYield().die_yield(area)
+        assert poisson < murphy < seeds
+
+    def test_paper_figure1_magnitude(self):
+        """At 800 mm^2 the Murphy yield is ~0.52: makes the Figure 1
+        Murphy curve reach roughly 2x the perfect-yield curve."""
+        y = MurphyYield().die_yield(800.0)
+        assert 0.45 < y < 0.60
+
+
+class TestSeedsYield:
+    def test_closed_form(self):
+        assert SeedsYield(0.09).die_yield(100.0) == pytest.approx(1 / 1.09)
+
+
+class TestBoseEinstein:
+    def test_reduces_to_seeds_for_one_layer(self):
+        area = 250.0
+        be = BoseEinsteinYield(critical_layers=1)
+        seeds = SeedsYield()
+        assert be.die_yield(area) == pytest.approx(seeds.die_yield(area))
+
+    def test_many_layers_approach_poisson(self):
+        """(1 + x/n)^-n -> exp(-x) as n grows."""
+        area = 400.0
+        be = BoseEinsteinYield(critical_layers=1000)
+        poisson = PoissonYield()
+        assert be.die_yield(area) == pytest.approx(poisson.die_yield(area), rel=1e-2)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValidationError):
+            BoseEinsteinYield(critical_layers=0)
+
+    def test_rejects_absurd_layers(self):
+        with pytest.raises(ValidationError):
+            BoseEinsteinYield(critical_layers=10_000)

@@ -1,0 +1,97 @@
+"""Unit tests for the mechanism advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classify import Sustainability
+from repro.core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
+from repro.workloads.advisor import advise
+from repro.workloads.profiles import WorkloadProfile, workload_by_name
+
+
+def by_mechanism(recommendations):
+    return {rec.mechanism: rec for rec in recommendations}
+
+
+class TestStructure:
+    def test_nine_mechanisms_always(self):
+        recs = advise(workload_by_name("desktop"), EMBODIED_DOMINATED)
+        assert len(recs) == 9
+        assert len({r.mechanism for r in recs}) == 9
+
+    def test_sorted_most_sustainable_first(self):
+        recs = advise(workload_by_name("mobile"), EMBODIED_DOMINATED)
+        keys = [rec.sort_key() for rec in recs]
+        assert keys == sorted(keys)
+
+    def test_rationales_present(self):
+        for rec in advise(workload_by_name("datacenter"), OPERATIONAL_DOMINATED):
+            assert rec.rationale
+
+
+class TestPaperAlignedVerdicts:
+    def test_gating_always_strong(self):
+        for workload in ("desktop", "mobile", "hpc-strong-scaling"):
+            for regime in (EMBODIED_DOMINATED, OPERATIONAL_DOMINATED):
+                recs = by_mechanism(advise(workload_by_name(workload), regime))
+                assert recs["pipeline gating"].category is Sustainability.STRONG
+
+    def test_turbo_always_less(self):
+        for regime in (EMBODIED_DOMINATED, OPERATIONAL_DOMINATED):
+            recs = by_mechanism(advise(workload_by_name("desktop"), regime))
+            assert recs["turbo boost"].category is Sustainability.LESS
+
+    def test_runahead_always_weak(self):
+        recs = by_mechanism(advise(workload_by_name("desktop"), EMBODIED_DOMINATED))
+        assert recs["runahead execution (PRE)"].category is Sustainability.WEAK
+
+    def test_multicore_strong_on_all_roster_workloads(self):
+        """Finding #1 at the advisor's 16-BCE budget."""
+        for workload in ("desktop", "mobile", "datacenter", "hpc-strong-scaling"):
+            recs = by_mechanism(advise(workload_by_name(workload), OPERATIONAL_DOMINATED))
+            assert recs["multicore (vs equal-area big core)"].category is (
+                Sustainability.STRONG
+            )
+
+
+class TestWorkloadDependence:
+    def test_finding5_heterogeneity_flips_with_parallelism(self):
+        """Weakly sustainable on modestly parallel software, not on
+        highly parallel software."""
+        mobile = by_mechanism(advise(workload_by_name("mobile"), EMBODIED_DOMINATED))
+        hpc = by_mechanism(
+            advise(workload_by_name("hpc-strong-scaling"), EMBODIED_DOMINATED)
+        )
+        het = "heterogeneity (vs symmetric multicore)"
+        assert mobile[het].category is Sustainability.WEAK
+        assert hpc[het].category is Sustainability.LESS
+        # And the performance story flips with it (Finding #5).
+        assert mobile[het].perf_ratio > 1.0
+        assert hpc[het].perf_ratio < 1.2
+
+    def test_finding6_accelerator_needs_utilization(self):
+        """Well-used on mobile (30 %), dead weight on HPC (0 %)."""
+        mobile = by_mechanism(advise(workload_by_name("mobile"), EMBODIED_DOMINATED))
+        hpc = by_mechanism(
+            advise(workload_by_name("hpc-strong-scaling"), EMBODIED_DOMINATED)
+        )
+        acc = "fixed-function accelerator"
+        assert mobile[acc].category is Sustainability.STRONG
+        assert hpc[acc].category is Sustainability.LESS
+
+    def test_memory_intensity_shapes_llc_verdict(self):
+        """Doubling the LLC on a memory-starved workload under the
+        operational regime is weakly sustainable; on a compute-bound
+        one it is not sustainable at all."""
+        starved = by_mechanism(
+            advise(workload_by_name("memory-intensive"), OPERATIONAL_DOMINATED)
+        )
+        compute = by_mechanism(
+            advise(
+                WorkloadProfile("compute", parallel_fraction=0.5, memory_time_share=0.1),
+                OPERATIONAL_DOMINATED,
+            )
+        )
+        assert starved["double the LLC"].category is Sustainability.WEAK
+        assert compute["double the LLC"].category is Sustainability.LESS

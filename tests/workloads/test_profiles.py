@@ -1,0 +1,52 @@
+"""Unit tests for workload profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.workloads.profiles import (
+    WORKLOAD_ROSTER,
+    WorkloadProfile,
+    workload_by_name,
+)
+
+
+class TestRoster:
+    def test_expected_classes(self):
+        names = {w.name for w in WORKLOAD_ROSTER}
+        assert {"desktop", "mobile", "hpc-strong-scaling", "datacenter"} <= names
+
+    def test_lookup(self):
+        assert workload_by_name("mobile").accelerator_utilization == 0.3
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(ValidationError, match="mobile"):
+            workload_by_name("gaming")
+
+    def test_memory_intensive_matches_cache_study(self):
+        w = workload_by_name("memory-intensive")
+        assert w.memory_time_share == 0.8
+        assert w.parallel_fraction == 0.75
+
+    def test_descriptions_present(self):
+        assert all(w.description for w in WORKLOAD_ROSTER)
+
+
+class TestProfile:
+    def test_high_parallelism_threshold(self):
+        assert WorkloadProfile("p", parallel_fraction=0.9).is_highly_parallel
+        assert not WorkloadProfile("p", parallel_fraction=0.8).is_highly_parallel
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            WorkloadProfile("p", parallel_fraction=1.2)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            WorkloadProfile("", parallel_fraction=0.5)
+
+    def test_defaults(self):
+        w = WorkloadProfile("p", parallel_fraction=0.5)
+        assert w.accelerator_utilization == 0.0
+        assert w.memory_time_share == 0.3

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate the figure goldens under tests/studies/goldens/.
+
+Run after an *intentional* model change, review the diff, and commit
+the regenerated files together with an EXPERIMENTS.md note explaining
+why the paper-vs-computed relationship moved.
+
+Usage:  python tools/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.report.export import figure_to_json
+from repro.studies.registry import run_study, study_names
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "studies" / "goldens"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in study_names():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(figure_to_json(run_study(name)))
+        print(f"regenerated {path}")
+    stale = {p.stem for p in GOLDEN_DIR.glob("*.json")} - set(study_names())
+    for name in stale:
+        print(f"WARNING: stale golden {name}.json (no matching study)")
+
+
+if __name__ == "__main__":
+    main()
