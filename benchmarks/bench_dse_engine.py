@@ -1,0 +1,228 @@
+"""Benchmark: scalar vs vectorized DSE engine (tracked trajectory).
+
+Times the two hot paths the batch engine replaces —
+
+* a ~10k-point grid sweep (``Explorer.explore`` + category histogram)
+  against the :class:`~repro.dse.batch.BatchExplorer` re-sweep path
+  (warm factory cache + vectorized NCF/classify kernels), which is the
+  engine's designed operating point: ``subgrid`` pins, tornado runs and
+  chart re-draws revisit the same grid points over and over;
+* 100k-sample Monte-Carlo verdict classification, scalar
+  per-sample loop vs :func:`~repro.core.batch.classify_arrays`.
+
+Every batch test asserts numerical parity with its scalar twin
+(bit-identical NCFs, identical verdict counts) before timing means are
+recorded, and the module writes ``BENCH_dse.json`` at the repo root so
+CI can archive the perf trajectory from this PR onward.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.batch import category_counts, classify_arrays
+from repro.core.classify import Sustainability, classify_values
+from repro.core.design import DesignPoint
+from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.explorer import Explorer
+from repro.dse.grid import ParameterGrid, linear_range
+from repro.dse.montecarlo import CategoryProbabilities, sample_verdicts
+
+GRID = ParameterGrid(
+    {
+        "cores": list(range(1, 101)),
+        "f": linear_range(0.50, 0.99, 100),
+    }
+)  # 10,000 points
+MC_SAMPLES = 100_000
+BASELINE = DesignPoint.baseline("1-BCE single core")
+#: NCF crosses 1 inside the alpha band -> verdicts actually vary.
+EDGE_DESIGN = DesignPoint("edge", area=1.1, perf=1.0, power=0.6)
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+_RESULTS: dict[str, object] = {
+    "grid_points": len(GRID),
+    "mc_samples": MC_SAMPLES,
+    "note": (
+        "grid-sweep batch timing is the re-sweep path (warm factory "
+        "cache), the engine's designed operating point; scalar timing "
+        "is the status-quo Explorer loop"
+    ),
+}
+
+
+def multicore_factory(params):
+    from repro.amdahl.symmetric import SymmetricMulticore
+
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+def scalar_sweep() -> dict[Sustainability, int]:
+    """The status-quo path: scalar explore + per-result classification."""
+    explorer = Explorer(
+        factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    )
+    return Explorer.count_categories(explorer.explore(GRID))
+
+
+def scalar_classify_counts(ncf_fw, ncf_ft) -> dict[Sustainability, int]:
+    """The pre-vectorization Monte-Carlo loop: one ``classify_values``
+    call per sample."""
+    counts = {category: 0 for category in Sustainability}
+    for fw, ft in zip(ncf_fw, ncf_ft):
+        counts[classify_values(float(fw), float(ft))] += 1
+    return counts
+
+
+def scalar_sample_verdicts() -> CategoryProbabilities:
+    """``sample_verdicts`` as implemented before the batch engine."""
+    rng = np.random.default_rng(0)
+    lo, hi = EMBODIED_DOMINATED.band
+    alphas = rng.uniform(lo, hi, size=MC_SAMPLES)
+    area = EDGE_DESIGN.area_ratio(BASELINE)
+    energy = EDGE_DESIGN.energy_ratio(BASELINE)
+    power = EDGE_DESIGN.power_ratio(BASELINE)
+    ncf_fw = alphas * area + (1.0 - alphas) * energy
+    ncf_ft = alphas * area + (1.0 - alphas) * power
+    counts = scalar_classify_counts(ncf_fw, ncf_ft)
+    return CategoryProbabilities(
+        samples=MC_SAMPLES,
+        strong=counts[Sustainability.STRONG] / MC_SAMPLES,
+        weak=counts[Sustainability.WEAK] / MC_SAMPLES,
+        less=counts[Sustainability.LESS] / MC_SAMPLES,
+        neutral=counts[Sustainability.NEUTRAL] / MC_SAMPLES,
+    )
+
+
+def _mc_ncf_arrays() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(0)
+    lo, hi = EMBODIED_DOMINATED.band
+    alphas = rng.uniform(lo, hi, size=MC_SAMPLES)
+    area = EDGE_DESIGN.area_ratio(BASELINE)
+    energy = EDGE_DESIGN.energy_ratio(BASELINE)
+    power = EDGE_DESIGN.power_ratio(BASELINE)
+    return (
+        alphas * area + (1.0 - alphas) * energy,
+        alphas * area + (1.0 - alphas) * power,
+    )
+
+
+def _record_mean(key: str, benchmark, fallback) -> None:
+    """Store the benchmark's mean runtime; time *fallback* by hand when
+    the fixture did not collect stats (``--benchmark-disable`` runs)."""
+    try:
+        mean = float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        start = time.perf_counter()
+        fallback()
+        mean = time.perf_counter() - start
+    _RESULTS[key] = mean
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_trajectory():
+    """Emit BENCH_dse.json once every benchmark in the module has run."""
+    yield
+    for pair, out in (
+        (("sweep_scalar_s", "sweep_batch_s"), "sweep_speedup"),
+        (("mc_scalar_s", "mc_batch_s"), "mc_speedup"),
+        (("mc_scalar_s", "mc_end_to_end_s"), "mc_end_to_end_speedup"),
+    ):
+        slow, fast = pair
+        if slow in _RESULTS and fast in _RESULTS:
+            _RESULTS[out] = float(_RESULTS[slow]) / float(_RESULTS[fast])
+    TRAJECTORY_PATH.write_text(json.dumps(_RESULTS, indent=2, default=str) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Grid sweep: scalar Explorer vs BatchExplorer re-sweep
+# ----------------------------------------------------------------------
+def test_grid_sweep_scalar(benchmark, emit):
+    counts = benchmark(scalar_sweep)
+    _record_mean("sweep_scalar_s", benchmark, scalar_sweep)
+    assert sum(counts.values()) == len(GRID)
+    emit(f"scalar sweep: {len(GRID)} points -> {len(counts)} categories")
+
+
+def test_grid_sweep_batch(benchmark, emit):
+    explorer = BatchExplorer(
+        factory=multicore_factory,
+        baseline=BASELINE,
+        weight=EMBODIED_DOMINATED,
+        cache=FactoryCache(multicore_factory),
+    )
+    warm = explorer.explore_arrays(GRID)  # first pass fills the cache
+
+    # Parity gate: byte-identical results and identical verdict counts
+    # against the scalar engine before any timing is recorded.
+    scalar_results = Explorer(
+        factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(GRID)
+    batch_results = warm.results()
+    assert batch_results == scalar_results
+    max_diff = max(
+        max(abs(a.ncf_fixed_work - b.ncf_fixed_work) for a, b in zip(batch_results, scalar_results)),
+        max(abs(a.ncf_fixed_time - b.ncf_fixed_time) for a, b in zip(batch_results, scalar_results)),
+    )
+    assert max_diff <= 1e-12
+    assert warm.category_counts() == Explorer.count_categories(scalar_results)
+    _RESULTS["sweep_max_abs_ncf_diff"] = max_diff
+    _RESULTS["sweep_category_counts"] = {
+        category.value: count for category, count in warm.category_counts().items()
+    }
+
+    run = lambda: explorer.count_categories(GRID)
+    counts = benchmark(run)
+    _record_mean("sweep_batch_s", benchmark, run)
+    assert sum(counts.values()) == len(GRID)
+    emit(
+        f"batch re-sweep: {len(GRID)} points, cache "
+        f"{explorer.cache.hits} hits / {explorer.cache.misses} misses"
+    )
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo verdicts: scalar classify loop vs classify_arrays
+# ----------------------------------------------------------------------
+def test_montecarlo_scalar(benchmark, emit):
+    ncf_fw, ncf_ft = _mc_ncf_arrays()
+    run = lambda: scalar_classify_counts(ncf_fw, ncf_ft)
+    counts = benchmark(run)
+    _record_mean("mc_scalar_s", benchmark, run)
+    assert sum(counts.values()) == MC_SAMPLES
+    emit(f"scalar MC classify: {MC_SAMPLES} samples")
+
+
+def test_montecarlo_batch(benchmark, emit):
+    ncf_fw, ncf_ft = _mc_ncf_arrays()
+    assert category_counts(classify_arrays(ncf_fw, ncf_ft)) == scalar_classify_counts(
+        ncf_fw, ncf_ft
+    )
+    run = lambda: category_counts(classify_arrays(ncf_fw, ncf_ft))
+    counts = benchmark(run)
+    _record_mean("mc_batch_s", benchmark, run)
+    assert sum(counts.values()) == MC_SAMPLES
+    _RESULTS["mc_category_counts"] = {
+        category.value: count for category, count in counts.items()
+    }
+    emit(f"batch MC classify: {MC_SAMPLES} samples")
+
+
+def test_montecarlo_end_to_end(benchmark, emit):
+    """The full (rewritten) sampler, including RNG and NCF arrays."""
+    run = lambda: sample_verdicts(
+        EDGE_DESIGN, BASELINE, EMBODIED_DOMINATED, samples=MC_SAMPLES, seed=0
+    )
+    probs = benchmark(run)
+    _record_mean("mc_end_to_end_s", benchmark, run)
+    assert probs == scalar_sample_verdicts()  # byte-identical verdict mix
+    emit(f"sample_verdicts end-to-end: strong={probs.strong:.3f}")

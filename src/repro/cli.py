@@ -84,6 +84,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="the paper's strong/weak/less categorization table (§5-§6)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="batch-sweep the symmetric-multicore design space "
+        "(vectorized engine; Figure 3's axes at any resolution)",
+    )
+    sweep.add_argument(
+        "--max-cores", type=int, default=64, help="top of the BCE ladder (default 64)"
+    )
+    sweep.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.9, 0.95, 0.99],
+        help="parallel fractions to sweep",
+    )
+    sweep.add_argument(
+        "--regime",
+        choices=("embodied", "operational", "balanced"),
+        default="embodied",
+        help="embodied-to-operational weight regime (default: embodied)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for factory evaluation (0 = in-process)",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        help="grid points evaluated per streamed chunk",
+    )
+    sweep.add_argument(
+        "--pareto", action="store_true", help="also print the Pareto frontier"
+    )
+
     advise = sub.add_parser(
         "advise", help="rank the paper's mechanisms for a workload class"
     )
@@ -231,6 +268,83 @@ def _cmd_mechanisms() -> int:
     return 1 if mismatches else 0
 
 
+def _sweep_factory(params):
+    """Module-level symmetric-multicore factory (picklable, so the
+    ``--workers`` process pool can ship it to workers)."""
+    from .amdahl.symmetric import SymmetricMulticore
+
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+def _cmd_sweep(
+    max_cores: int,
+    fractions: list[float],
+    regime: str,
+    workers: int,
+    chunk_size: int,
+    pareto: bool,
+) -> int:
+    from .core.design import DesignPoint
+    from .core.scenario import BALANCED, EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
+    from .dse.batch import BatchExplorer
+    from .dse.grid import ParameterGrid, geometric_range
+
+    weight = {
+        "embodied": EMBODIED_DOMINATED,
+        "operational": OPERATIONAL_DOMINATED,
+        "balanced": BALANCED,
+    }[regime]
+    grid = ParameterGrid(
+        {"cores": geometric_range(1, max_cores), "f": list(fractions)}
+    )
+    explorer = BatchExplorer(
+        factory=_sweep_factory,
+        baseline=DesignPoint.baseline("1-BCE single core"),
+        weight=weight,
+        chunk_size=chunk_size,
+        workers=workers,
+    )
+    sweep = explorer.explore_arrays(grid)
+    rows = [
+        {"category": category.value, "points": count}
+        for category, count in sweep.category_counts().items()
+    ]
+    print(
+        format_mapping_rows(
+            rows,
+            title=(
+                f"{len(sweep)} designs (cores <= {max_cores}, "
+                f"f in {{{', '.join(f'{f:g}' for f in fractions)}}}) "
+                f"vs 1-BCE single core under {weight.name}"
+            ),
+        )
+    )
+    if pareto:
+        from .core.pareto import ParetoPoint, pareto_frontier
+
+        frontier = pareto_frontier(
+            [
+                ParetoPoint(name=design.name, perf=float(perf), footprint=float(fw))
+                for design, perf, fw in zip(
+                    sweep.designs, sweep.perf, sweep.ncf_fixed_work
+                )
+            ]
+        )
+        print()
+        print(
+            format_mapping_rows(
+                [
+                    {"design": p.name, "perf": p.perf, "NCF_fw": p.footprint}
+                    for p in frontier
+                ],
+                title="Pareto frontier (max perf, min fixed-work NCF)",
+            )
+        )
+    return 0
+
+
 def _cmd_advise(workload_name: str, regime: str) -> int:
     from .core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
     from .workloads.advisor import advise
@@ -275,6 +389,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args.x, args.y, args.alpha)
     if args.command == "roadmap":
         return _cmd_roadmap(args.generations, args.cores, args.parallel_fraction)
+    if args.command == "sweep":
+        return _cmd_sweep(
+            args.max_cores,
+            args.fractions,
+            args.regime,
+            args.workers,
+            args.chunk_size,
+            args.pareto,
+        )
     if args.command == "advise":
         return _cmd_advise(args.workload, args.regime)
     if args.command == "mechanisms":

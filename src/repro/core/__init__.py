@@ -1,7 +1,16 @@
 """FOCAL's core: design points, scenarios, the NCF metric, and the
 strong/weak/less sustainability classification (paper §3–§4)."""
 
+from .batch import (
+    CATEGORIES,
+    categories_from_codes,
+    category_counts,
+    classify_arrays,
+    ncf_values,
+)
 from .classify import (
+    NEUTRAL_ABS_TOL,
+    NEUTRAL_REL_TOL,
     Sustainability,
     Verdict,
     classify,
@@ -71,6 +80,14 @@ __all__ = [
     "classify_values",
     "classify_assessment",
     "classify_pair",
+    "NEUTRAL_REL_TOL",
+    "NEUTRAL_ABS_TOL",
+    # vectorized batch kernels
+    "CATEGORIES",
+    "ncf_values",
+    "classify_arrays",
+    "category_counts",
+    "categories_from_codes",
     # uncertainty
     "Interval",
     "RobustConclusion",

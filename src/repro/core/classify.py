@@ -27,16 +27,27 @@ from typing import Mapping
 
 from .design import DesignPoint
 from .ncf import NCFAssessment, assess, ncf
-from .quantities import close
+from .quantities import ABS_TOL, REL_TOL, close
 from .scenario import E2OWeight, UseScenario
 
 __all__ = [
     "Sustainability",
     "Verdict",
+    "NEUTRAL_REL_TOL",
+    "NEUTRAL_ABS_TOL",
     "classify_values",
     "classify",
     "classify_assessment",
 ]
+
+#: Relative tolerance for the NCF = 1 neutral boundary. The scalar
+#: (:func:`classify_values`) and vectorized
+#: (:func:`repro.core.batch.classify_arrays`) paths both use these
+#: constants, so verdicts stay identical across the two engines.
+NEUTRAL_REL_TOL = REL_TOL
+
+#: Absolute tolerance for the NCF = 1 neutral boundary.
+NEUTRAL_ABS_TOL = ABS_TOL
 
 
 class Sustainability(enum.Enum):
@@ -56,7 +67,7 @@ def classify_values(
     ncf_fixed_work: float,
     ncf_fixed_time: float,
     *,
-    rel_tol: float = 1e-9,
+    rel_tol: float = NEUTRAL_REL_TOL,
 ) -> Sustainability:
     """Classify from the two NCF values directly.
 
@@ -64,7 +75,7 @@ def classify_values(
     """
 
     def sign(value: float) -> int:
-        if close(value, 1.0, rel_tol=rel_tol):
+        if close(value, 1.0, rel_tol=rel_tol, abs_tol=NEUTRAL_ABS_TOL):
             return 0
         return -1 if value < 1.0 else 1
 
@@ -124,7 +135,7 @@ def classify(
     baseline: DesignPoint,
     alpha: float,
     *,
-    rel_tol: float = 1e-9,
+    rel_tol: float = NEUTRAL_REL_TOL,
 ) -> Verdict:
     """Classify *design* against *baseline* at a single alpha."""
     fw = ncf(design, baseline, UseScenario.FIXED_WORK, alpha)
@@ -139,7 +150,7 @@ def classify(
     )
 
 
-def classify_assessment(assessment: NCFAssessment, *, rel_tol: float = 1e-9) -> Sustainability:
+def classify_assessment(assessment: NCFAssessment, *, rel_tol: float = NEUTRAL_REL_TOL) -> Sustainability:
     """Classify from a pre-computed :class:`~repro.core.ncf.NCFAssessment`."""
     return classify_values(
         assessment.fixed_work.nominal,
@@ -153,7 +164,7 @@ def classify_pair(
     baseline: DesignPoint,
     weight: E2OWeight,
     *,
-    rel_tol: float = 1e-9,
+    rel_tol: float = NEUTRAL_REL_TOL,
 ) -> tuple[Verdict, NCFAssessment]:
     """Classification plus the full banded assessment in one call."""
     assessment = assess(design, baseline, weight)

@@ -33,6 +33,11 @@ __all__ = [
 #: comparisons never need more than ~9 significant digits.
 REL_TOL = 1e-9
 
+#: Default absolute tolerance for :func:`close`, guarding comparisons
+#: against zero. Shared by the scalar and vectorized classification
+#: boundaries (:mod:`repro.core.classify`, :mod:`repro.core.batch`).
+ABS_TOL = 1e-12
+
 
 def ensure_finite(value: float, name: str) -> float:
     """Return *value* if it is a finite real number; raise otherwise."""
@@ -127,6 +132,6 @@ def ensure_monotone_increasing(values: Iterable[float], name: str) -> list[float
     return out
 
 
-def close(a: float, b: float, rel_tol: float = REL_TOL, abs_tol: float = 1e-12) -> bool:
+def close(a: float, b: float, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
     """Tolerant float comparison used by classification boundaries."""
     return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

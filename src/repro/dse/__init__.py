@@ -1,6 +1,13 @@
 """Design-space exploration: grids, sweeps, Pareto frontiers,
-break-even solving, sensitivity and Monte-Carlo robustness."""
+break-even solving, sensitivity and Monte-Carlo robustness.
 
+Two sweep engines share one semantics: :class:`Explorer` is the scalar
+reference path, :class:`BatchExplorer` the vectorized production path
+(chunked streaming, optional process-pool factory evaluation, memoized
+factories, array-at-once NCF/classification kernels).
+"""
+
+from .batch import BatchExplorer, BatchSweepResult, FactoryCache, params_key
 from .breakeven import bisect_crossing, crossing_or_none
 from .explorer import ExplorationResult, Explorer
 from .grid import ParameterGrid, geometric_range, linear_range
@@ -10,7 +17,7 @@ from .montecarlo import (
     sample_verdicts,
 )
 from .optimizer import max_perf_subject_to_ncf, min_ncf_subject_to_perf
-from .sensitivity import SensitivityEntry, tornado
+from .sensitivity import SensitivityEntry, cached_metric, tornado
 
 __all__ = [
     "ParameterGrid",
@@ -18,10 +25,15 @@ __all__ = [
     "linear_range",
     "Explorer",
     "ExplorationResult",
+    "BatchExplorer",
+    "BatchSweepResult",
+    "FactoryCache",
+    "params_key",
     "bisect_crossing",
     "crossing_or_none",
     "SensitivityEntry",
     "tornado",
+    "cached_metric",
     "CategoryProbabilities",
     "sample_verdicts",
     "sample_measurement_noise",

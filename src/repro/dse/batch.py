@@ -1,0 +1,386 @@
+"""The vectorized batch-evaluation engine for design-space sweeps.
+
+:class:`~repro.dse.explorer.Explorer` evaluates one grid point at a
+time; every NCF and every verdict is a scalar Python call. This module
+provides the production path for large sweeps:
+
+* :class:`BatchExplorer` streams grid points in chunks, evaluates the
+  design factory (serially or over a ``ProcessPoolExecutor``), collects
+  the area/energy/power ratios into arrays, and computes all NCFs,
+  classifications and category histograms in single vectorized passes
+  over :mod:`repro.core.batch` kernels;
+* :class:`FactoryCache` memoizes factory evaluations on parameter
+  tuples, so ``subgrid`` and tornado re-sweeps never re-evaluate a
+  design (invalid corners — ``DomainError`` — are memoized too);
+* :class:`BatchSweepResult` holds the sweep as arrays and converts back
+  to the scalar :class:`~repro.dse.explorer.ExplorationResult` objects
+  on demand.
+
+``BatchExplorer.explore`` is byte-identical to ``Explorer.explore``:
+same point ordering, same skip semantics for invalid corners, and
+bit-exact NCF values (the kernels perform the same IEEE-754 operations
+as the scalar path).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.batch import (
+    CATEGORIES,
+    categories_from_codes,
+    category_counts,
+    classify_arrays,
+    ncf_values,
+)
+from ..core.classify import Sustainability
+from ..core.design import DesignPoint
+from ..core.errors import ConfigurationError, DomainError, ValidationError
+from ..core.scenario import E2OWeight
+from .explorer import DesignFactory, ExplorationResult
+from .grid import ParameterGrid
+
+__all__ = ["params_key", "FactoryCache", "BatchSweepResult", "BatchExplorer"]
+
+
+def params_key(params: Mapping[str, object]) -> tuple:
+    """Hashable cache key for one grid point: sorted ``(name, value)``
+    pairs, so dict insertion order never splits the cache. Plain tuple
+    sort is safe — axis names are unique, so values never compare."""
+    return tuple(sorted(params.items()))
+
+
+class FactoryCache:
+    """Memoizes a design factory on parameter tuples.
+
+    A sweep engine re-visits grid points constantly — ``subgrid`` pins,
+    tornado re-sweeps, chart re-draws — and factories are pure functions
+    of their parameters, so each distinct point needs evaluating exactly
+    once. ``DomainError`` outcomes (invalid corners the explorer skips)
+    are memoized as well.
+
+    The cache is shareable: hand the same instance to several
+    :class:`BatchExplorer` objects sweeping the same factory.
+    """
+
+    def __init__(self, factory: DesignFactory) -> None:
+        self.factory = factory
+        self._entries: dict[tuple, DesignPoint | DomainError] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all memoized evaluations (keeps hit/miss counters)."""
+        self._entries.clear()
+
+    def lookup(self, key: tuple) -> DesignPoint | DomainError | None:
+        """The memoized outcome for *key*, or ``None`` when unseen."""
+        return self._entries.get(key)
+
+    def store(self, key: tuple, outcome: DesignPoint | DomainError) -> None:
+        """Memoize a factory *outcome* (a design or a ``DomainError``)."""
+        self._entries[key] = outcome
+
+    def evaluate(self, params: Mapping[str, object]) -> DesignPoint | DomainError:
+        """Evaluate (or recall) one point; returns rather than raises
+        the ``DomainError`` so batch paths can branch without except."""
+        key = params_key(params)
+        outcome = self._entries.get(key)
+        if outcome is not None:
+            self.hits += 1
+            return outcome
+        self.misses += 1
+        try:
+            outcome = self.factory(params)
+        except DomainError as exc:
+            outcome = exc
+        self._entries[key] = outcome
+        return outcome
+
+    def __call__(self, params: Mapping[str, object]) -> DesignPoint:
+        """Drop-in memoized factory: raises the memoized ``DomainError``
+        for invalid corners, exactly like the wrapped factory."""
+        outcome = self.evaluate(params)
+        if isinstance(outcome, DomainError):
+            raise outcome
+        return outcome
+
+
+def _pool_evaluate(job: tuple[DesignFactory, Mapping[str, object]]):
+    """Worker-side factory call; ``DomainError`` travels back as a value."""
+    factory, params = job
+    try:
+        return factory(params)
+    except DomainError as exc:
+        return exc
+
+
+def _chunked(
+    points: Iterable[Mapping[str, object]], size: int
+) -> Iterator[list[Mapping[str, object]]]:
+    chunk: list[Mapping[str, object]] = []
+    for point in points:
+        chunk.append(point)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+@dataclass(frozen=True)
+class BatchSweepResult:
+    """A whole sweep held as arrays (valid points only, grid order)."""
+
+    params: tuple[Mapping[str, object], ...]
+    designs: tuple[DesignPoint, ...]
+    perf: np.ndarray
+    ncf_fixed_work: np.ndarray
+    ncf_fixed_time: np.ndarray
+    codes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    @property
+    def categories(self) -> list[Sustainability]:
+        """Per-point sustainability categories, grid order."""
+        return categories_from_codes(self.codes)
+
+    def category_counts(self, *, include_empty: bool = False) -> dict[Sustainability, int]:
+        """Category histogram (``np.bincount`` over the codes).
+
+        With the default ``include_empty=False`` only observed
+        categories appear — the same mapping
+        :meth:`Explorer.count_categories` builds.
+        """
+        counts = category_counts(self.codes)
+        if include_empty:
+            return counts
+        return {category: n for category, n in counts.items() if n}
+
+    def results(self) -> list[ExplorationResult]:
+        """The sweep as scalar :class:`ExplorationResult` objects,
+        byte-identical to what ``Explorer.explore`` returns."""
+        return [
+            ExplorationResult(
+                params=params,
+                design=design,
+                perf=float(perf),
+                ncf_fixed_work=float(fw),
+                ncf_fixed_time=float(ft),
+            )
+            for params, design, perf, fw, ft in zip(
+                self.params, self.designs, self.perf,
+                self.ncf_fixed_work, self.ncf_fixed_time,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class BatchExplorer:
+    """Sweep a design factory over a grid with vectorized evaluation.
+
+    Parameters
+    ----------
+    factory, baseline, weight:
+        As in :class:`~repro.dse.explorer.Explorer`.
+    chunk_size:
+        Grid points are streamed in chunks of this size, bounding
+        memory on huge grids.
+    workers:
+        When > 0, factory evaluation of uncached points fans out over a
+        ``ProcessPoolExecutor`` with this many workers. Factories must
+        then be picklable (module-level functions); the pool only pays
+        off when a single factory call is expensive relative to ~1 ms
+        of IPC per chunk.
+    cache:
+        A :class:`FactoryCache` to (re)use; by default a private one is
+        created, so repeated sweeps — ``subgrid`` pins, tornado runs —
+        never re-evaluate a design.
+    """
+
+    factory: DesignFactory
+    baseline: DesignPoint
+    weight: E2OWeight
+    chunk_size: int = 1024
+    workers: int = 0
+    cache: FactoryCache = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {self.workers}")
+        if self.cache is None:
+            object.__setattr__(self, "cache", FactoryCache(self.factory))
+
+    # ------------------------------------------------------------------
+    # Factory evaluation (cached, optionally parallel)
+    # ------------------------------------------------------------------
+    def _evaluate_chunk(
+        self,
+        chunk: Sequence[Mapping[str, object]],
+        pool: ProcessPoolExecutor | None,
+    ) -> list[DesignPoint | DomainError]:
+        cache = self.cache
+        if pool is None:
+            # Hot loop: grid points share one axis set, so the sorted
+            # key order is computed once per chunk and the per-point
+            # work is a tuple build plus one dict probe.
+            names = sorted(chunk[0])
+            entries = cache._entries
+            factory = self.factory
+            outcomes: list[DesignPoint | DomainError] = []
+            hits = 0
+            for params in chunk:
+                key = tuple([(name, params[name]) for name in names])
+                outcome = entries.get(key)
+                if outcome is None:
+                    cache.misses += 1
+                    try:
+                        outcome = factory(params)
+                    except DomainError as exc:
+                        outcome = exc
+                    entries[key] = outcome
+                else:
+                    hits += 1
+                outcomes.append(outcome)
+            cache.hits += hits
+            return outcomes
+        keys = [params_key(params) for params in chunk]
+        outcomes: list[DesignPoint | DomainError | None] = []
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            outcome = self.cache.lookup(key)
+            if outcome is None:
+                pending.append(index)
+            else:
+                self.cache.hits += 1
+            outcomes.append(outcome)
+        if pending:
+            self.cache.misses += len(pending)
+            jobs = [(self.factory, chunk[index]) for index in pending]
+            for index, outcome in zip(pending, pool.map(_pool_evaluate, jobs)):
+                self.cache.store(keys[index], outcome)
+                outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def explore_arrays(self, grid: ParameterGrid) -> BatchSweepResult:
+        """Sweep *grid* and return the results as arrays.
+
+        Invalid corners (factories raising ``DomainError``) are dropped,
+        exactly like ``Explorer.explore``; an all-invalid sweep raises
+        :class:`~repro.core.errors.ConfigurationError`.
+        """
+        params_list: list[Mapping[str, object]] = []
+        designs: list[DesignPoint] = []
+        pool: ProcessPoolExecutor | None = None
+        try:
+            if self.workers:
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+            for chunk in _chunked(iter(grid), self.chunk_size):
+                for params, outcome in zip(chunk, self._evaluate_chunk(chunk, pool)):
+                    if isinstance(outcome, DomainError):
+                        continue
+                    params_list.append(params)
+                    designs.append(outcome)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        if not designs:
+            raise ConfigurationError("exploration produced no valid design points")
+        perf, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+        return BatchSweepResult(
+            params=tuple(params_list),
+            designs=tuple(designs),
+            perf=perf,
+            ncf_fixed_work=ncf_fw,
+            ncf_fixed_time=ncf_ft,
+            codes=classify_arrays(ncf_fw, ncf_ft),
+        )
+
+    def _ncf_arrays(
+        self, designs: Sequence[DesignPoint]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Perf ratios and both NCF arrays for *designs* vs the baseline.
+
+        Same IEEE-754 operations, in the same order, as the scalar
+        ratio properties on DesignPoint — the values are bit-exact.
+        """
+        area = np.array([design.area for design in designs], dtype=np.float64)
+        perf = np.array([design.perf for design in designs], dtype=np.float64)
+        power = np.array([design.power for design in designs], dtype=np.float64)
+        base = self.baseline
+        area_ratio = area / base.area
+        energy_ratio = (power / perf) / base.energy
+        power_ratio = power / base.power
+        alpha = self.weight.alpha
+        return (
+            perf / base.perf,
+            ncf_values(area_ratio, energy_ratio, alpha),
+            ncf_values(area_ratio, power_ratio, alpha),
+        )
+
+    def explore(self, grid: ParameterGrid) -> list[ExplorationResult]:
+        """Drop-in replacement for ``Explorer.explore`` (same ordering,
+        same skips, bit-exact values) on the vectorized engine."""
+        return self.explore_arrays(grid).results()
+
+    def count_categories(self, grid: ParameterGrid) -> dict[Sustainability, int]:
+        """Sweep *grid* and histogram the verdicts in one lean pass.
+
+        The aggregate-only fast path: identical counts to
+        ``Explorer.count_categories(Explorer.explore(grid))``, but
+        per-point params/result objects are never materialized — cache
+        keys are built straight from the cartesian product, so a warm
+        re-sweep is a dict probe and a few vector ops per chunk.
+        """
+        if self.workers:
+            return self.explore_arrays(grid).category_counts()
+        designs = self._designs_only(grid)
+        if not designs:
+            raise ConfigurationError("exploration produced no valid design points")
+        _, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+        counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+        return {category: n for category, n in counts.items() if n}
+
+    def _designs_only(self, grid: ParameterGrid) -> list[DesignPoint]:
+        """Evaluate every grid point, skipping params materialization
+        for cached points (the dominant cost of a warm re-sweep)."""
+        cache = self.cache
+        entries = cache._entries
+        factory = self.factory
+        names = list(grid.axes)
+        slots = sorted(range(len(names)), key=names.__getitem__)
+        designs: list[DesignPoint] = []
+        hits = 0
+        for combo in product(*(grid.axes[name] for name in names)):
+            key = tuple([(names[i], combo[i]) for i in slots])
+            outcome = entries.get(key)
+            if outcome is None:
+                cache.misses += 1
+                try:
+                    outcome = factory(dict(zip(names, combo)))
+                except DomainError as exc:
+                    outcome = exc
+                entries[key] = outcome
+            else:
+                hits += 1
+            if not isinstance(outcome, DomainError):
+                designs.append(outcome)
+        cache.hits += hits
+        return designs

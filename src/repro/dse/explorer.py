@@ -9,6 +9,7 @@ results ready for Pareto filtering, classification counting, or export.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Mapping, Sequence
 
 from ..core.classify import Sustainability, classify_values
@@ -34,8 +35,10 @@ class ExplorationResult:
     ncf_fixed_work: float
     ncf_fixed_time: float
 
-    @property
+    @cached_property
     def category(self) -> Sustainability:
+        """Sustainability verdict; classified once, then memoized
+        (``count_categories`` and ``as_dict`` both re-read it)."""
         return classify_values(self.ncf_fixed_work, self.ncf_fixed_time)
 
     def as_dict(self) -> dict[str, object]:

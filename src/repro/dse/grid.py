@@ -28,11 +28,19 @@ def geometric_range(start: float, stop: float, factor: float = 2.0) -> list[floa
         )
     if factor <= 1.0:
         raise ConfigurationError(f"factor must exceed 1, got {factor}")
-    values = []
-    value = float(start)
-    while value <= stop * (1.0 + 1e-12):
+    # Each rung is start * factor**i rather than a running product:
+    # repeated `value *= factor` accumulates one rounding error per
+    # rung, which on long ladders drifts rungs off-grid and makes the
+    # stop-inclusion tolerance flaky.
+    limit = stop * (1.0 + 1e-12)
+    values: list[float] = []
+    rung = 0
+    while True:
+        value = float(start) * factor**rung
+        if value > limit:
+            break
         values.append(value)
-        value *= factor
+        rung += 1
     return values
 
 

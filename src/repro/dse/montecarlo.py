@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.classify import Sustainability, classify_values
+from ..core.batch import category_counts, classify_arrays
+from ..core.classify import Sustainability
 from ..core.design import DesignPoint
 from ..core.errors import ValidationError
 from ..core.scenario import E2OWeight
@@ -44,6 +45,26 @@ class CategoryProbabilities:
         return best[1]
 
 
+def _classified_probabilities(
+    ncf_fw: np.ndarray, ncf_ft: np.ndarray, samples: int
+) -> CategoryProbabilities:
+    """Classify whole sample arrays at once and normalize the histogram.
+
+    One vectorized pass (:func:`~repro.core.batch.classify_arrays` +
+    ``np.bincount``) replaces the former per-sample Python loop; the
+    verdicts are identical because the kernel shares the scalar path's
+    boundary-tolerance arithmetic.
+    """
+    counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+    return CategoryProbabilities(
+        samples=samples,
+        strong=counts[Sustainability.STRONG] / samples,
+        weak=counts[Sustainability.WEAK] / samples,
+        less=counts[Sustainability.LESS] / samples,
+        neutral=counts[Sustainability.NEUTRAL] / samples,
+    )
+
+
 def sample_verdicts(
     design: DesignPoint,
     baseline: DesignPoint,
@@ -69,17 +90,7 @@ def sample_verdicts(
     power = design.power_ratio(baseline)
     ncf_fw = alphas * area + (1.0 - alphas) * energy
     ncf_ft = alphas * area + (1.0 - alphas) * power
-
-    counts = {cat: 0 for cat in Sustainability}
-    for fw, ft in zip(ncf_fw, ncf_ft):
-        counts[classify_values(float(fw), float(ft))] += 1
-    return CategoryProbabilities(
-        samples=samples,
-        strong=counts[Sustainability.STRONG] / samples,
-        weak=counts[Sustainability.WEAK] / samples,
-        less=counts[Sustainability.LESS] / samples,
-        neutral=counts[Sustainability.NEUTRAL] / samples,
-    )
+    return _classified_probabilities(ncf_fw, ncf_ft, samples)
 
 
 def sample_measurement_noise(
@@ -115,14 +126,4 @@ def sample_measurement_noise(
     power = design.power_ratio(baseline) * noise[:, 2]
     ncf_fw = alpha * area + (1.0 - alpha) * energy
     ncf_ft = alpha * area + (1.0 - alpha) * power
-
-    counts = {cat: 0 for cat in Sustainability}
-    for fw, ft in zip(ncf_fw, ncf_ft):
-        counts[classify_values(float(fw), float(ft))] += 1
-    return CategoryProbabilities(
-        samples=samples,
-        strong=counts[Sustainability.STRONG] / samples,
-        weak=counts[Sustainability.WEAK] / samples,
-        less=counts[Sustainability.LESS] / samples,
-        neutral=counts[Sustainability.NEUTRAL] / samples,
-    )
+    return _classified_probabilities(ncf_fw, ncf_ft, samples)

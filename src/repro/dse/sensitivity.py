@@ -9,13 +9,38 @@ Finding #8 is to the unquantified core/cache energy split).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, MutableMapping
 
 from ..core.errors import ConfigurationError
+from .batch import params_key
 
-__all__ = ["SensitivityEntry", "tornado"]
+__all__ = ["SensitivityEntry", "tornado", "cached_metric"]
 
 Metric = Callable[[Mapping[str, float]], float]
+
+
+def cached_metric(
+    metric: Metric,
+    cache: MutableMapping[tuple, float] | None = None,
+) -> Metric:
+    """Memoize *metric* on its parameter mapping.
+
+    Uses the same parameter-tuple key scheme as
+    :class:`~repro.dse.batch.FactoryCache`, so repeated tornado runs
+    (e.g. re-ranking after narrowing one range) never re-evaluate a
+    design. Pass an explicit *cache* mapping to share it across calls.
+    """
+    store: MutableMapping[tuple, float] = {} if cache is None else cache
+
+    def evaluate(params: Mapping[str, float]) -> float:
+        key = params_key(params)
+        try:
+            return store[key]
+        except KeyError:
+            store[key] = value = metric(params)
+            return value
+
+    return evaluate
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,18 +73,26 @@ def tornado(
     metric: Metric,
     nominal: Mapping[str, float],
     ranges: Mapping[str, tuple[float, float]],
+    *,
+    cache: MutableMapping[tuple, float] | None = None,
 ) -> list[SensitivityEntry]:
     """One-at-a-time sensitivity of *metric* around *nominal*.
 
     For each parameter in *ranges*, the metric is evaluated with that
     parameter at its low and high end while all others stay nominal.
     Entries come back sorted by decreasing swing — the tornado order.
+
+    Pass a *cache* mapping (see :func:`cached_metric`) to share metric
+    evaluations across repeated tornado runs; a re-sweep over
+    already-seen parameter points then costs no metric calls at all.
     """
     if not ranges:
         raise ConfigurationError("tornado requires at least one parameter range")
     unknown = set(ranges) - set(nominal)
     if unknown:
         raise ConfigurationError(f"ranges name unknown parameters: {sorted(unknown)}")
+    if cache is not None:
+        metric = cached_metric(metric, cache)
     baseline_metric = metric(nominal)
     entries: list[SensitivityEntry] = []
     for name, (low, high) in ranges.items():

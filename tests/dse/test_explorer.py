@@ -78,6 +78,26 @@ class TestExplore:
         row = explorer.explore(grid)[0].as_dict()
         assert "cores" in row and "ncf_fw" in row and "category" in row
 
+    def test_category_classified_once_per_result(self, explorer, grid, monkeypatch):
+        """``category`` is a cached property: repeated reads (histogram,
+        ``as_dict``, Pareto labels) must not re-run the classifier."""
+        import repro.dse.explorer as explorer_module
+
+        calls = 0
+        real = explorer_module.classify_values
+
+        def counting(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(explorer_module, "classify_values", counting)
+        result = explorer.explore(grid)[0]
+        first = result.category
+        assert result.category is first
+        result.as_dict()
+        assert calls == 1
+
 
 class TestParetoAndCounts:
     def test_pareto_subset(self, explorer, grid):

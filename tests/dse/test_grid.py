@@ -26,6 +26,20 @@ class TestGeometricRange:
         with pytest.raises(ConfigurationError):
             geometric_range(1, 8, factor=1.0)
 
+    def test_no_float_drift_on_long_ladders(self):
+        """Rungs are ``start * factor**i``, not a running product, so a
+        100-rung ladder lands exactly on every power of the factor."""
+        rungs = geometric_range(1.0, 1.1**100, factor=1.1)
+        assert len(rungs) == 101
+        assert rungs == [1.1**i for i in range(101)]
+
+    def test_stop_rung_included_despite_rounding(self):
+        # 0.1 * 1.2**20 is inexact in binary; the top rung must not be
+        # dropped by a strict ``value > stop`` comparison.
+        rungs = geometric_range(0.1, 0.1 * 1.2**20, factor=1.2)
+        assert len(rungs) == 21
+        assert rungs[-1] == 0.1 * 1.2**20
+
 
 class TestLinearRange:
     def test_inclusive_endpoints(self):

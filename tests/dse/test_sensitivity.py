@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.dse.sensitivity import tornado
+from repro.dse.sensitivity import cached_metric, tornado
 
 
 def ncf_metric(params):
@@ -64,3 +64,48 @@ class TestTornado:
     def test_unknown_parameter_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown"):
             tornado(ncf_metric, NOMINAL, {"volume": (0, 1)})
+
+
+class TestCachedMetric:
+    def counting_metric(self):
+        calls = []
+
+        def metric(params):
+            calls.append(dict(params))
+            return ncf_metric(params)
+
+        return metric, calls
+
+    def test_repeat_lookups_hit_cache(self):
+        metric, calls = self.counting_metric()
+        memo = cached_metric(metric)
+        assert memo(NOMINAL) == memo(NOMINAL) == ncf_metric(NOMINAL)
+        assert len(calls) == 1
+
+    def test_key_ignores_param_order(self):
+        metric, calls = self.counting_metric()
+        memo = cached_metric(metric)
+        memo({"alpha": 0.5, "area": 1.2, "energy": 0.8})
+        memo({"energy": 0.8, "area": 1.2, "alpha": 0.5})
+        assert len(calls) == 1
+
+    def test_tornado_resweep_with_shared_cache(self):
+        """A second tornado over the same ranges re-evaluates nothing
+        when the caller threads one cache dict through both runs."""
+        metric, calls = self.counting_metric()
+        shared: dict = {}
+        ranges = {"area": (1.0, 1.4), "energy": (0.75, 0.85)}
+        first = tornado(metric, NOMINAL, ranges, cache=shared)
+        evaluations = len(calls)
+        second = tornado(metric, NOMINAL, ranges, cache=shared)
+        assert len(calls) == evaluations  # zero new metric calls
+        assert first == second
+
+    def test_narrowed_range_only_evaluates_new_corners(self):
+        metric, calls = self.counting_metric()
+        shared: dict = {}
+        tornado(metric, NOMINAL, {"area": (1.0, 1.4)}, cache=shared)
+        evaluations = len(calls)
+        tornado(metric, NOMINAL, {"area": (1.0, 1.3)}, cache=shared)
+        # Baseline and the low corner are cached; only area=1.3 is new.
+        assert len(calls) == evaluations + 1

@@ -153,3 +153,29 @@ class TestFindings:
         # No failing checks -> no table rows, just the tally.
         assert "F13" not in out
         assert "checks pass" in out
+
+
+class TestSweep:
+    def test_prints_category_histogram(self, capsys):
+        assert main(["sweep", "--max-cores", "16", "--fractions", "0.5", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "10 designs" in out  # 5 core rungs x 2 fractions
+        assert "category" in out and "points" in out
+        assert "embodied-dominated" in out
+
+    def test_regime_flag(self, capsys):
+        assert main(["sweep", "--max-cores", "4", "--regime", "operational"]) == 0
+        assert "operational-dominated" in capsys.readouterr().out
+
+    def test_workers_flag_matches_serial(self, capsys):
+        args = ["sweep", "--max-cores", "8", "--fractions", "0.9"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2", "--chunk-size", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_pareto_flag_prints_frontier(self, capsys):
+        assert main(["sweep", "--max-cores", "8", "--pareto"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "NCF_fw" in out
