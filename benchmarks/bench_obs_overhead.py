@@ -1,0 +1,213 @@
+"""Benchmark gate: observability must be free when switched off.
+
+Times the PR 1 10k-point warm re-sweep (the batch engine's designed
+operating point) three ways —
+
+* **uninstrumented**: a faithful copy of the pre-observability
+  ``BatchExplorer.count_categories`` path, reproduced here exactly as
+  ``bench_dse_engine`` reproduces the scalar engine;
+* **disabled**: the shipped instrumented path with tracing and metrics
+  off (the default everyone runs);
+* **enabled**: the same path with tracing + metrics recording.
+
+Before any timing, numerical parity is asserted: instrumented results
+(traced or not) are bit-identical to the uninstrumented engine. The
+module writes ``BENCH_obs.json`` at the repo root and **gates** the
+disabled-instrumentation overhead at < 5% (on min-of-rounds timings,
+the noise-robust estimator).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from itertools import product
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.batch import category_counts, classify_arrays
+from repro.core.design import DesignPoint
+from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.grid import ParameterGrid, linear_range
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+GRID = ParameterGrid(
+    {
+        "cores": list(range(1, 101)),
+        "f": linear_range(0.50, 0.99, 100),
+    }
+)  # 10,000 points — the PR 1 sweep
+BASELINE = DesignPoint.baseline("1-BCE single core")
+OVERHEAD_GATE = 0.05  # disabled instrumentation must cost < 5%
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+_RESULTS: dict[str, object] = {
+    "grid_points": len(GRID),
+    "overhead_gate": OVERHEAD_GATE,
+    "note": (
+        "warm 10k-point re-sweep; 'uninstrumented' replicates the "
+        "pre-observability count_categories path on the same cache, "
+        "'disabled' is the shipped path with obs off, 'enabled' with "
+        "tracing + metrics on; gate applies to min-of-rounds timings"
+    ),
+}
+
+
+def factory(params):
+    from repro.amdahl.symmetric import SymmetricMulticore
+
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+def uninstrumented_count_categories(explorer: BatchExplorer, grid: ParameterGrid):
+    """``BatchExplorer.count_categories`` exactly as shipped in PR 1,
+    before the observability hooks existed (same cache, same kernels)."""
+    from repro.core.errors import DomainError
+
+    cache = explorer.cache
+    entries = cache._entries
+    names = list(grid.axes)
+    slots = sorted(range(len(names)), key=names.__getitem__)
+    designs = []
+    hits = 0
+    misses = 0
+    for combo in product(*(grid.axes[name] for name in names)):
+        key = tuple([(names[i], combo[i]) for i in slots])
+        outcome = entries.get(key)
+        if outcome is None:
+            misses += 1
+            try:
+                outcome = explorer.factory(dict(zip(names, combo)))
+            except DomainError as exc:
+                outcome = exc
+            entries[key] = outcome
+        else:
+            hits += 1
+        if not isinstance(outcome, DomainError):
+            designs.append(outcome)
+    cache.record(hits=hits, misses=misses)
+    _, ncf_fw, ncf_ft = explorer._ncf_arrays(designs)
+    counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+    return {category: n for category, n in counts.items() if n}
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    """One explorer with a fully warm cache, shared by every timing."""
+    obs_trace.reset()
+    obs_metrics.reset()
+    exp = BatchExplorer(
+        factory=factory,
+        baseline=BASELINE,
+        weight=EMBODIED_DOMINATED,
+        cache=FactoryCache(factory),
+    )
+    exp.explore_arrays(GRID)  # fill the cache once
+    yield exp
+    obs_trace.reset()
+    obs_metrics.reset()
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(key: str, benchmark, fallback) -> None:
+    """Store mean + min runtimes; time by hand on --benchmark-disable."""
+    try:
+        _RESULTS[f"{key}_mean_s"] = float(benchmark.stats.stats.mean)
+        _RESULTS[f"{key}_min_s"] = float(benchmark.stats.stats.min)
+    except (AttributeError, TypeError):
+        best = _best_of(fallback)
+        _RESULTS[f"{key}_mean_s"] = best
+        _RESULTS[f"{key}_min_s"] = best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_trajectory():
+    """Emit BENCH_obs.json and enforce the overhead gate at the end."""
+    yield
+    for key, slow, fast in (
+        ("overhead_disabled", "disabled_min_s", "uninstrumented_min_s"),
+        ("overhead_enabled", "enabled_min_s", "uninstrumented_min_s"),
+    ):
+        if slow in _RESULTS and fast in _RESULTS:
+            _RESULTS[key] = float(_RESULTS[slow]) / float(_RESULTS[fast]) - 1.0
+    TRAJECTORY_PATH.write_text(json.dumps(_RESULTS, indent=2, default=str) + "\n")
+    overhead = _RESULTS.get("overhead_disabled")
+    if overhead is not None:
+        assert overhead < OVERHEAD_GATE, (
+            f"disabled-instrumentation overhead {overhead:.2%} exceeds "
+            f"the {OVERHEAD_GATE:.0%} gate (see {TRAJECTORY_PATH.name})"
+        )
+
+
+def test_parity_instrumented_vs_uninstrumented(explorer, emit):
+    """Numerical parity gate: tracing on or off never changes results."""
+    expected = uninstrumented_count_categories(explorer, GRID)
+    assert explorer.count_categories(GRID) == expected
+
+    plain = explorer.explore_arrays(GRID)
+    obs_trace.enable()
+    obs_metrics.enable()
+    try:
+        traced = explorer.explore_arrays(GRID)
+        assert explorer.count_categories(GRID) == expected
+    finally:
+        obs_trace.reset()
+        obs_metrics.reset()
+    assert traced.params == plain.params
+    assert np.array_equal(traced.ncf_fixed_work, plain.ncf_fixed_work)
+    assert np.array_equal(traced.ncf_fixed_time, plain.ncf_fixed_time)
+    assert np.array_equal(traced.codes, plain.codes)
+    _RESULTS["parity"] = "bit-exact (traced == untraced == uninstrumented)"
+    emit(f"parity: {len(GRID)} points, verdicts {_counts_str(expected)}")
+
+
+def _counts_str(counts) -> str:
+    return ", ".join(f"{cat.value}={n}" for cat, n in counts.items())
+
+
+def test_resweep_uninstrumented(benchmark, explorer, emit):
+    run = lambda: uninstrumented_count_categories(explorer, GRID)
+    counts = benchmark(run)
+    _record("uninstrumented", benchmark, run)
+    assert sum(counts.values()) == len(GRID)
+    emit(f"uninstrumented warm re-sweep: {_RESULTS['uninstrumented_min_s'] * 1e3:.2f} ms (min)")
+
+
+def test_resweep_instrumentation_disabled(benchmark, explorer, emit):
+    assert not obs_trace.is_enabled()
+    assert not obs_metrics.get_registry().enabled
+    run = lambda: explorer.count_categories(GRID)
+    counts = benchmark(run)
+    _record("disabled", benchmark, run)
+    assert sum(counts.values()) == len(GRID)
+    emit(f"instrumented (disabled) re-sweep: {_RESULTS['disabled_min_s'] * 1e3:.2f} ms (min)")
+
+
+def test_resweep_instrumentation_enabled(benchmark, explorer, emit):
+    obs_trace.enable()
+    obs_metrics.enable()
+    tracer = obs_trace.get_tracer()
+    try:
+        run = lambda: (tracer.clear(), explorer.count_categories(GRID))[1]
+        counts = benchmark(run)
+        _record("enabled", benchmark, run)
+    finally:
+        obs_trace.reset()
+        obs_metrics.reset()
+    assert sum(counts.values()) == len(GRID)
+    emit(f"instrumented (enabled) re-sweep: {_RESULTS['enabled_min_s'] * 1e3:.2f} ms (min)")

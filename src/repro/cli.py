@@ -11,14 +11,29 @@ Examples
     focal figure figure9 --out fig9.json
     focal findings                        # the Findings #1-#17 table
     focal findings --failed-only
+    focal sweep --max-cores 256 --trace trace.json --metrics run.prom
+    focal trace show trace.json           # replay a traced run
+    focal --log-level debug figure figure3
+
+Every subcommand accepts the observability flags: ``--trace FILE``
+records a run manifest + span tree, ``--metrics FILE`` exports the
+metrics registry (``.prom``/``.txt`` → Prometheus text, otherwise
+JSON-lines), and ``-v``/``--log-level`` raises the structured stderr
+logging level. The flags are accepted both before and after the
+subcommand name.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
+from .obs import log as obs_log
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
+from .obs.log import get_logger, kv
 from .report.ascii_plot import render_panel
 from .report.export import figure_to_csv, figure_to_json, figure_to_markdown, write_figure
 from .report.table import format_mapping_rows
@@ -28,15 +43,64 @@ from .studies.registry import run_study, study_names
 __all__ = ["main", "build_parser"]
 
 
+def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
+    """The observability options every subcommand accepts.
+
+    Added twice — on the root parser with real defaults and on each
+    subparser with ``SUPPRESS`` defaults — so ``focal -v sweep`` and
+    ``focal sweep -v`` both work: the subparser only overrides the
+    root's value when the flag actually appears after the subcommand.
+    """
+    d = argparse.SUPPRESS if suppress else None
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=argparse.SUPPRESS if suppress else 0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=obs_log.LEVELS,
+        default=d,
+        help="structured stderr log level (overrides -v)",
+    )
+    group.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="FILE",
+        default=d,
+        help="record a run manifest + span trace to FILE (JSON)",
+    )
+    group.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        metavar="FILE",
+        default=d,
+        help="export metrics to FILE (.prom/.txt Prometheus, else JSON-lines)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="focal",
         description="FOCAL (ASPLOS'24) reproduction: figures and findings.",
     )
+    _add_global_options(parser, suppress=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list reproducible figures")
+
+    sub.add_parser("version", help="print package and toolchain versions")
+
+    trace_cmd = sub.add_parser("trace", help="inspect recorded trace files")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    show = trace_sub.add_parser(
+        "show", help="pretty-print a trace report written by --trace"
+    )
+    show.add_argument("file", help="trace report JSON file")
 
     fig = sub.add_parser("figure", help="regenerate one figure")
     fig.add_argument("name", help=f"one of: {', '.join(study_names())}")
@@ -135,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="embodied",
         help="which footprint dominates the device (default: embodied)",
     )
+
+    # Observability flags ride on every subcommand (SUPPRESS defaults,
+    # so they only override the root's values when actually given).
+    for command_parser in sub.choices.values():
+        _add_global_options(command_parser, suppress=True)
+    _add_global_options(show, suppress=True)
     return parser
 
 
@@ -142,6 +212,31 @@ def _cmd_list() -> int:
     for name in study_names():
         print(name)
     return 0
+
+
+def _cmd_version() -> int:
+    import platform
+
+    import numpy
+
+    from . import __version__
+
+    print(
+        f"focal {__version__} "
+        f"(python {platform.python_version()}, numpy {numpy.__version__})"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "show":
+        from .obs.show import render_report_file
+
+        print(render_report_file(args.file))
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_figure(name: str, fmt: str, out: str | None) -> int:
@@ -321,6 +416,11 @@ def _cmd_sweep(
             ),
         )
     )
+    stats = explorer.cache.stats()
+    print(
+        f"\ncache: {stats.size} entries, {stats.hits} hits / "
+        f"{stats.misses} misses (hit ratio {stats.hit_ratio:.1%})"
+    )
     if pareto:
         from .core.pareto import ParetoPoint, pareto_frontier
 
@@ -376,11 +476,13 @@ def _cmd_advise(workload_name: str, regime: str) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
+    if args.command == "version":
+        return _cmd_version()
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figure":
         return _cmd_figure(args.name, args.format, args.out)
     if args.command == "findings":
@@ -403,6 +505,83 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "mechanisms":
         return _cmd_mechanisms()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _resolve_log_level(args: argparse.Namespace) -> str:
+    explicit = getattr(args, "log_level", None)
+    if explicit:
+        return explicit
+    verbose = getattr(args, "verbose", 0) or 0
+    if verbose >= 2:
+        return "debug"
+    if verbose == 1:
+        return "info"
+    return "warning"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    When ``--trace``/``--metrics`` are given, the whole command runs
+    under a ``cli:<command>`` root span with the global tracer and
+    metrics registry enabled; on the way out (success or failure) the
+    run manifest + trace report and/or the metrics export are written
+    and the global observability state is reset, so in-process callers
+    (tests, notebooks) never leak spans between runs.
+    """
+    args = build_parser().parse_args(argv)
+    obs_log.configure(_resolve_log_level(args))
+    log = get_logger()
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    observing = bool(trace_out or metrics_out)
+    if observing:
+        obs_trace.reset()
+        obs_metrics.reset()
+        if trace_out:
+            obs_trace.enable()
+        obs_metrics.enable()
+    tracer = obs_trace.get_tracer()
+    log.debug(kv("cli.start", command=args.command))
+    start_s = time.perf_counter()
+    try:
+        with tracer.span(f"cli:{args.command}", command=args.command):
+            code = _dispatch(args)
+    finally:
+        if observing:
+            duration_s = time.perf_counter() - start_s
+            _write_observability(args, argv, tracer, trace_out, metrics_out, duration_s)
+            obs_trace.reset()
+            obs_metrics.reset()
+    log.debug(kv("cli.done", command=args.command, exit_code=code))
+    return code
+
+
+def _write_observability(
+    args: argparse.Namespace,
+    argv: Sequence[str] | None,
+    tracer: obs_trace.Tracer,
+    trace_out: str | None,
+    metrics_out: str | None,
+    duration_s: float,
+) -> None:
+    from .obs.manifest import build_manifest
+    from .report.export import write_metrics, write_trace
+
+    registry = obs_metrics.get_registry()
+    if trace_out:
+        manifest = build_manifest(
+            list(argv) if argv is not None else sys.argv[1:],
+            command=args.command,
+            seed=getattr(args, "seed", None),
+            tracer=tracer,
+            duration_s=duration_s,
+        )
+        path = write_trace(trace_out, manifest=manifest, tracer=tracer, registry=registry)
+        print(f"wrote trace {path}", file=sys.stderr)
+    if metrics_out:
+        path = write_metrics(registry, metrics_out)
+        print(f"wrote metrics {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ as the scalar path).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
@@ -42,10 +43,18 @@ from ..core.classify import Sustainability
 from ..core.design import DesignPoint
 from ..core.errors import ConfigurationError, DomainError, ValidationError
 from ..core.scenario import E2OWeight
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .explorer import DesignFactory, ExplorationResult
 from .grid import ParameterGrid
 
-__all__ = ["params_key", "FactoryCache", "BatchSweepResult", "BatchExplorer"]
+__all__ = [
+    "params_key",
+    "CacheStats",
+    "FactoryCache",
+    "BatchSweepResult",
+    "BatchExplorer",
+]
 
 
 def params_key(params: Mapping[str, object]) -> tuple:
@@ -53,6 +62,33 @@ def params_key(params: Mapping[str, object]) -> tuple:
     pairs, so dict insertion order never splits the cache. Plain tuple
     sort is safe — axis names are unique, so values never compare."""
     return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One consistent snapshot of a :class:`FactoryCache`'s counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups; 0.0 before any lookup happened."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "size": self.size,
+        }
 
 
 class FactoryCache:
@@ -66,16 +102,44 @@ class FactoryCache:
 
     The cache is shareable: hand the same instance to several
     :class:`BatchExplorer` objects sweeping the same factory.
+    Effectiveness is reported through :meth:`stats` (hits, misses, hit
+    ratio, size); every path that bumps the counters goes through the
+    single :meth:`record` choke point.
     """
 
     def __init__(self, factory: DesignFactory) -> None:
         self.factory = factory
         self._entries: dict[tuple, DesignPoint | DomainError] = {}
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from memo (read-only; see :meth:`record`)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that ran the factory (read-only)."""
+        return self._misses
+
+    def record(self, *, hits: int = 0, misses: int = 0) -> None:
+        """Bump the counters — the one place they change, so batched
+        hot loops and single-point lookups can't drift apart."""
+        self._hits += hits
+        self._misses += misses
+
+    def stats(self) -> CacheStats:
+        """Snapshot of hits, misses, hit ratio and entry count."""
+        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._entries))
+
+    def reset(self) -> None:
+        """Zero the hit/miss counters (keeps memoized entries)."""
+        self._hits = 0
+        self._misses = 0
 
     def clear(self) -> None:
         """Drop all memoized evaluations (keeps hit/miss counters)."""
@@ -95,9 +159,9 @@ class FactoryCache:
         key = params_key(params)
         outcome = self._entries.get(key)
         if outcome is not None:
-            self.hits += 1
+            self.record(hits=1)
             return outcome
-        self.misses += 1
+        self.record(misses=1)
         try:
             outcome = self.factory(params)
         except DomainError as exc:
@@ -237,17 +301,19 @@ class BatchExplorer:
         if pool is None:
             # Hot loop: grid points share one axis set, so the sorted
             # key order is computed once per chunk and the per-point
-            # work is a tuple build plus one dict probe.
+            # work is a tuple build plus one dict probe. Counters are
+            # accumulated locally and flushed once through record().
             names = sorted(chunk[0])
             entries = cache._entries
             factory = self.factory
             outcomes: list[DesignPoint | DomainError] = []
             hits = 0
+            misses = 0
             for params in chunk:
                 key = tuple([(name, params[name]) for name in names])
                 outcome = entries.get(key)
                 if outcome is None:
-                    cache.misses += 1
+                    misses += 1
                     try:
                         outcome = factory(params)
                     except DomainError as exc:
@@ -256,23 +322,21 @@ class BatchExplorer:
                 else:
                     hits += 1
                 outcomes.append(outcome)
-            cache.hits += hits
+            cache.record(hits=hits, misses=misses)
             return outcomes
         keys = [params_key(params) for params in chunk]
         outcomes: list[DesignPoint | DomainError | None] = []
         pending: list[int] = []
         for index, key in enumerate(keys):
-            outcome = self.cache.lookup(key)
+            outcome = cache.lookup(key)
             if outcome is None:
                 pending.append(index)
-            else:
-                self.cache.hits += 1
             outcomes.append(outcome)
+        cache.record(hits=len(chunk) - len(pending), misses=len(pending))
         if pending:
-            self.cache.misses += len(pending)
             jobs = [(self.factory, chunk[index]) for index in pending]
             for index, outcome in zip(pending, pool.map(_pool_evaluate, jobs)):
-                self.cache.store(keys[index], outcome)
+                cache.store(keys[index], outcome)
                 outcomes[index] = outcome
         return outcomes  # type: ignore[return-value]
 
@@ -286,32 +350,139 @@ class BatchExplorer:
         exactly like ``Explorer.explore``; an all-invalid sweep raises
         :class:`~repro.core.errors.ConfigurationError`.
         """
+        tracer = _trace.get_tracer()
+        registry = _metrics.get_registry()
+        observing = tracer.enabled or registry.enabled
         params_list: list[Mapping[str, object]] = []
         designs: list[DesignPoint] = []
         pool: ProcessPoolExecutor | None = None
-        try:
-            if self.workers:
-                pool = ProcessPoolExecutor(max_workers=self.workers)
-            for chunk in _chunked(iter(grid), self.chunk_size):
-                for params, outcome in zip(chunk, self._evaluate_chunk(chunk, pool)):
-                    if isinstance(outcome, DomainError):
-                        continue
-                    params_list.append(params)
-                    designs.append(outcome)
-        finally:
-            if pool is not None:
-                pool.shutdown()
-        if not designs:
-            raise ConfigurationError("exploration produced no valid design points")
-        perf, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+        with tracer.span(
+            "sweep",
+            grid_points=len(grid),
+            chunk_size=self.chunk_size,
+            workers=self.workers,
+        ) as sweep_span:
+            start_s = time.perf_counter() if observing else 0.0
+            try:
+                if self.workers:
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                for index, chunk in enumerate(_chunked(iter(grid), self.chunk_size)):
+                    with tracer.span("chunk", index=index) as chunk_span:
+                        if observing:
+                            chunk_start = time.perf_counter()
+                            before = self.cache.stats()
+                        outcomes = self._evaluate_chunk(chunk, pool)
+                        valid = 0
+                        for params, outcome in zip(chunk, outcomes):
+                            if isinstance(outcome, DomainError):
+                                continue
+                            params_list.append(params)
+                            designs.append(outcome)
+                            valid += 1
+                        if observing:
+                            self._observe_chunk(
+                                registry,
+                                chunk_span,
+                                points=len(chunk),
+                                valid=valid,
+                                seconds=time.perf_counter() - chunk_start,
+                                before=before,
+                            )
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+            if not designs:
+                raise ConfigurationError(
+                    "exploration produced no valid design points"
+                )
+            with tracer.span("classify", points=len(designs)):
+                perf, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+                codes = classify_arrays(ncf_fw, ncf_ft)
+            if observing:
+                self._observe_sweep(
+                    registry,
+                    sweep_span,
+                    points=len(params_list),
+                    seconds=time.perf_counter() - start_s,
+                )
         return BatchSweepResult(
             params=tuple(params_list),
             designs=tuple(designs),
             perf=perf,
             ncf_fixed_work=ncf_fw,
             ncf_fixed_time=ncf_ft,
-            codes=classify_arrays(ncf_fw, ncf_ft),
+            codes=codes,
         )
+
+    def _observe_chunk(
+        self,
+        registry: _metrics.MetricsRegistry,
+        chunk_span,
+        *,
+        points: int,
+        valid: int,
+        seconds: float,
+        before: CacheStats,
+    ) -> None:
+        """Per-chunk telemetry (only called while observing): timing,
+        throughput, cache effectiveness and worker fan-out."""
+        after = self.cache.stats()
+        evaluated = after.misses - before.misses
+        cached = after.hits - before.hits
+        if chunk_span is not _trace.NULL_SPAN:
+            chunk_span.set(
+                points=points,
+                valid=valid,
+                invalid=points - valid,
+                evaluated=evaluated,
+                cached=cached,
+                evals_per_s=points / seconds if seconds > 0 else float("inf"),
+            )
+            if self.workers:
+                # Fan-out share: the fraction of this chunk that went
+                # to the worker pool rather than the memo.
+                chunk_span.set(
+                    pool_points=evaluated,
+                    worker_utilization=evaluated / points if points else 0.0,
+                )
+        if registry.enabled:
+            registry.counter(
+                "focal_evaluations_total", "factory evaluations (cache misses)"
+            ).inc(evaluated)
+            registry.counter(
+                "focal_cache_hits_total", "factory cache hits"
+            ).inc(cached)
+            registry.histogram(
+                "focal_chunk_seconds", "wall time per evaluated chunk"
+            ).observe(seconds)
+
+    def _observe_sweep(
+        self,
+        registry: _metrics.MetricsRegistry,
+        sweep_span,
+        *,
+        points: int,
+        seconds: float,
+    ) -> None:
+        """Sweep-level telemetry: cache hit ratio and throughput."""
+        stats = self.cache.stats()
+        if sweep_span is not _trace.NULL_SPAN:
+            sweep_span.set(
+                valid_points=points,
+                seconds=seconds,
+                evals_per_s=points / seconds if seconds > 0 else float("inf"),
+                cache_hits=stats.hits,
+                cache_misses=stats.misses,
+                cache_hit_ratio=stats.hit_ratio,
+                cache_size=stats.size,
+            )
+        if registry.enabled:
+            registry.gauge(
+                "focal_cache_hit_ratio", "factory cache hits / lookups"
+            ).set(stats.hit_ratio)
+            registry.gauge(
+                "focal_sweep_evals_per_s", "valid grid points per second, last sweep"
+            ).set(points / seconds if seconds > 0 else 0.0)
 
     def _ncf_arrays(
         self, designs: Sequence[DesignPoint]
@@ -351,16 +522,35 @@ class BatchExplorer:
         """
         if self.workers:
             return self.explore_arrays(grid).category_counts()
-        designs = self._designs_only(grid)
-        if not designs:
-            raise ConfigurationError("exploration produced no valid design points")
-        _, ncf_fw, ncf_ft = self._ncf_arrays(designs)
-        counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+        tracer = _trace.get_tracer()
+        registry = _metrics.get_registry()
+        observing = tracer.enabled or registry.enabled
+        with tracer.span("sweep.count", grid_points=len(grid)) as sweep_span:
+            start_s = time.perf_counter() if observing else 0.0
+            designs = self._designs_only(grid)
+            if not designs:
+                raise ConfigurationError(
+                    "exploration produced no valid design points"
+                )
+            _, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+            counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+            if observing:
+                self._observe_sweep(
+                    registry,
+                    sweep_span,
+                    points=len(designs),
+                    seconds=time.perf_counter() - start_s,
+                )
         return {category: n for category, n in counts.items() if n}
 
     def _designs_only(self, grid: ParameterGrid) -> list[DesignPoint]:
         """Evaluate every grid point, skipping params materialization
-        for cached points (the dominant cost of a warm re-sweep)."""
+        for cached points (the dominant cost of a warm re-sweep).
+
+        Deliberately uninstrumented inside the loop — the caller
+        observes at sweep granularity, so a disabled-observability run
+        pays nothing per point.
+        """
         cache = self.cache
         entries = cache._entries
         factory = self.factory
@@ -368,11 +558,12 @@ class BatchExplorer:
         slots = sorted(range(len(names)), key=names.__getitem__)
         designs: list[DesignPoint] = []
         hits = 0
+        misses = 0
         for combo in product(*(grid.axes[name] for name in names)):
             key = tuple([(names[i], combo[i]) for i in slots])
             outcome = entries.get(key)
             if outcome is None:
-                cache.misses += 1
+                misses += 1
                 try:
                     outcome = factory(dict(zip(names, combo)))
                 except DomainError as exc:
@@ -382,5 +573,5 @@ class BatchExplorer:
                 hits += 1
             if not isinstance(outcome, DomainError):
                 designs.append(outcome)
-        cache.hits += hits
+        cache.record(hits=hits, misses=misses)
         return designs

@@ -65,6 +65,15 @@ class Explorer:
         """Evaluate every grid point; factories may raise
         :class:`~repro.core.errors.DomainError` to skip invalid corners
         (e.g. a big core consuming the whole chip), which are dropped."""
+        from ..obs.trace import NULL_SPAN, span
+
+        with span("explore.scalar", grid_points=len(grid)) as sp:
+            results = self._explore(grid)
+            if sp is not NULL_SPAN:
+                sp.set(valid_points=len(results))
+        return results
+
+    def _explore(self, grid: ParameterGrid) -> list[ExplorationResult]:
         from ..core.errors import DomainError
 
         results: list[ExplorationResult] = []

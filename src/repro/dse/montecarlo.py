@@ -8,6 +8,7 @@ interval analysis in :mod:`repro.core.uncertainty`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,8 +18,19 @@ from ..core.classify import Sustainability
 from ..core.design import DesignPoint
 from ..core.errors import ValidationError
 from ..core.scenario import E2OWeight
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
-__all__ = ["CategoryProbabilities", "sample_verdicts", "sample_measurement_noise"]
+__all__ = [
+    "CategoryProbabilities",
+    "sample_verdicts",
+    "sample_measurement_noise",
+    "CONVERGENCE_CHECKPOINTS",
+]
+
+#: How many running-mix checkpoints a traced sampler records (the
+#: sample range is split into this many equal prefixes).
+CONVERGENCE_CHECKPOINTS = 10
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +67,13 @@ def _classified_probabilities(
     verdicts are identical because the kernel shares the scalar path's
     boundary-tolerance arithmetic.
     """
-    counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+    return _probabilities_from_codes(classify_arrays(ncf_fw, ncf_ft), samples)
+
+
+def _probabilities_from_codes(
+    codes: np.ndarray, samples: int
+) -> CategoryProbabilities:
+    counts = category_counts(codes)
     return CategoryProbabilities(
         samples=samples,
         strong=counts[Sustainability.STRONG] / samples,
@@ -63,6 +81,65 @@ def _classified_probabilities(
         less=counts[Sustainability.LESS] / samples,
         neutral=counts[Sustainability.NEUTRAL] / samples,
     )
+
+
+def _running_mix(
+    codes: np.ndarray, checkpoints: int = CONVERGENCE_CHECKPOINTS
+) -> list[dict[str, object]]:
+    """The running category mix at evenly spaced sample prefixes.
+
+    Convergence telemetry for traced runs: each row holds the empirical
+    category probabilities over the first *k* samples, so a trace shows
+    whether 100k samples were 10x too many or not nearly enough. Pure
+    observation — the final verdict probabilities are untouched.
+    """
+    samples = int(codes.size)
+    checkpoints = max(1, min(checkpoints, samples))
+    marks = sorted({round(samples * (i + 1) / checkpoints) for i in range(checkpoints)})
+    rows: list[dict[str, object]] = []
+    for k in marks:
+        prefix = _probabilities_from_codes(codes[:k], k)
+        rows.append(
+            {
+                "samples": k,
+                "strong": prefix.strong,
+                "weak": prefix.weak,
+                "less": prefix.less,
+                "neutral": prefix.neutral,
+            }
+        )
+    return rows
+
+
+def _observed_classify(
+    ncf_fw: np.ndarray,
+    ncf_ft: np.ndarray,
+    samples: int,
+    sampler: str,
+    start_s: float,
+    span_,
+    registry: _metrics.MetricsRegistry,
+) -> CategoryProbabilities:
+    """Classify and, when observing, record throughput + convergence."""
+    codes = classify_arrays(ncf_fw, ncf_ft)
+    result = _probabilities_from_codes(codes, samples)
+    seconds = time.perf_counter() - start_s
+    if span_ is not _trace.NULL_SPAN:
+        span_.set(
+            seconds=seconds,
+            samples_per_s=samples / seconds if seconds > 0 else float("inf"),
+            most_likely=result.most_likely.value,
+            convergence=_running_mix(codes),
+        )
+    if registry.enabled:
+        labels = {"sampler": sampler}
+        registry.counter(
+            "focal_mc_samples_total", "Monte-Carlo samples classified", labels
+        ).inc(samples)
+        registry.gauge(
+            "focal_mc_samples_per_s", "samples per second, last sampler call", labels
+        ).set(samples / seconds if seconds > 0 else 0.0)
+    return result
 
 
 def sample_verdicts(
@@ -81,16 +158,28 @@ def sample_verdicts(
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
-    rng = np.random.default_rng(seed)
-    lo, hi = weight.band
-    alphas = rng.uniform(lo, hi, size=samples) if hi > lo else np.full(samples, lo)
+    registry = _metrics.get_registry()
+    with _trace.span(
+        "mc.sample_verdicts",
+        samples=samples,
+        seed=seed,
+        design=design.name,
+        baseline=baseline.name,
+        weight=weight.name,
+    ) as sp:
+        start_s = time.perf_counter()
+        rng = np.random.default_rng(seed)
+        lo, hi = weight.band
+        alphas = rng.uniform(lo, hi, size=samples) if hi > lo else np.full(samples, lo)
 
-    area = design.area_ratio(baseline)
-    energy = design.energy_ratio(baseline)
-    power = design.power_ratio(baseline)
-    ncf_fw = alphas * area + (1.0 - alphas) * energy
-    ncf_ft = alphas * area + (1.0 - alphas) * power
-    return _classified_probabilities(ncf_fw, ncf_ft, samples)
+        area = design.area_ratio(baseline)
+        energy = design.energy_ratio(baseline)
+        power = design.power_ratio(baseline)
+        ncf_fw = alphas * area + (1.0 - alphas) * energy
+        ncf_ft = alphas * area + (1.0 - alphas) * power
+        return _observed_classify(
+            ncf_fw, ncf_ft, samples, "sample_verdicts", start_s, sp, registry
+        )
 
 
 def sample_measurement_noise(
@@ -115,15 +204,28 @@ def sample_measurement_noise(
         raise ValidationError(f"samples must be >= 1, got {samples}")
     if relative_sigma < 0.0:
         raise ValidationError(f"relative_sigma must be >= 0, got {relative_sigma}")
-    rng = np.random.default_rng(seed)
-    # Lognormal with median 1: exp(N(0, sigma_log)). For small sigma the
-    # log-sigma approximates the relative sigma.
-    sigma_log = np.log1p(relative_sigma)
-    noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(samples, 3))
+    registry = _metrics.get_registry()
+    with _trace.span(
+        "mc.sample_measurement_noise",
+        samples=samples,
+        seed=seed,
+        design=design.name,
+        baseline=baseline.name,
+        alpha=alpha,
+        relative_sigma=relative_sigma,
+    ) as sp:
+        start_s = time.perf_counter()
+        rng = np.random.default_rng(seed)
+        # Lognormal with median 1: exp(N(0, sigma_log)). For small sigma the
+        # log-sigma approximates the relative sigma.
+        sigma_log = np.log1p(relative_sigma)
+        noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(samples, 3))
 
-    area = design.area_ratio(baseline) * noise[:, 0]
-    energy = design.energy_ratio(baseline) * noise[:, 1]
-    power = design.power_ratio(baseline) * noise[:, 2]
-    ncf_fw = alpha * area + (1.0 - alpha) * energy
-    ncf_ft = alpha * area + (1.0 - alpha) * power
-    return _classified_probabilities(ncf_fw, ncf_ft, samples)
+        area = design.area_ratio(baseline) * noise[:, 0]
+        energy = design.energy_ratio(baseline) * noise[:, 1]
+        power = design.power_ratio(baseline) * noise[:, 2]
+        ncf_fw = alpha * area + (1.0 - alpha) * energy
+        ncf_ft = alpha * area + (1.0 - alpha) * power
+        return _observed_classify(
+            ncf_fw, ncf_ft, samples, "sample_measurement_noise", start_s, sp, registry
+        )

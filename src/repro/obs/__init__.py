@@ -1,0 +1,92 @@
+"""Observability for the FOCAL engine: tracing, metrics, logging,
+and run provenance.
+
+Four small, dependency-free pieces:
+
+* :mod:`repro.obs.trace` — nestable spans with wall-time, counters and
+  attributes; **off by default** with near-zero disabled overhead;
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry with
+  JSON-lines and Prometheus text exporters
+  (:mod:`repro.obs.exporters`, re-exported by
+  :mod:`repro.report.export`);
+* :mod:`repro.obs.log` — the single structured ``"repro"`` stderr
+  logger every module shares;
+* :mod:`repro.obs.manifest` — run manifests (argv, seed, version,
+  node roster, per-phase timing) bundled with the span tree and a
+  metrics snapshot into a replayable JSON report, pretty-printed by
+  ``focal trace show`` (:mod:`repro.obs.show`).
+
+The hot paths (:class:`~repro.dse.batch.BatchExplorer`, the
+Monte-Carlo samplers, :func:`~repro.studies.registry.run_study`) are
+pre-instrumented; flip everything on with :func:`enable` or the CLI's
+``--trace``/``--metrics`` flags::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run a sweep
+    print(obs.exporters.metrics_to_prometheus(obs.get_registry()))
+"""
+
+from __future__ import annotations
+
+from . import exporters, log, manifest, metrics, trace
+from .log import configure as configure_logging
+from .log import get_logger, kv
+from .manifest import RunManifest, build_manifest, build_report
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .trace import NULL_SPAN, Span, Tracer, get_tracer, span
+
+__all__ = [
+    "trace",
+    "metrics",
+    "log",
+    "manifest",
+    "exporters",
+    "span",
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "get_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "get_logger",
+    "configure_logging",
+    "kv",
+    "RunManifest",
+    "build_manifest",
+    "build_report",
+    "enable",
+    "disable",
+    "reset",
+    "is_active",
+]
+
+
+def enable(*, tracing: bool = True, metrics_: bool = True) -> None:
+    """Enable tracing and/or metrics on the global instances."""
+    if tracing:
+        trace.enable()
+    if metrics_:
+        metrics.enable()
+
+
+def disable() -> None:
+    """Disable both tracing and metrics (collected data is kept)."""
+    trace.disable()
+    metrics.disable()
+
+
+def reset() -> None:
+    """Disable and clear tracer and registry (test/CLI isolation)."""
+    trace.reset()
+    metrics.reset()
+
+
+def is_active() -> bool:
+    """True when either tracing or metrics collection is on — the
+    single check hot paths use to skip instrumentation entirely."""
+    return trace.is_enabled() or metrics.get_registry().enabled

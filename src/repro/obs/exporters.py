@@ -1,0 +1,131 @@
+"""Exporters for traces and metrics: JSON-lines and Prometheus text.
+
+Everything returns plain strings (the :mod:`repro.report.export`
+convention — callers decide where bytes land); the file-writing
+wrappers ``write_metrics``/``write_trace`` live in
+:mod:`repro.report.export`, which re-exports these formatters.
+
+Prometheus output follows the text exposition format 0.0.4: one
+``# HELP``/``# TYPE`` pair per metric family, label values escaped
+(backslash, double-quote, newline), help strings escaped (backslash,
+newline), histograms expanded to cumulative ``_bucket{le=...}`` series
+plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "metrics_to_prometheus",
+    "metrics_to_jsonl",
+    "trace_to_jsonl",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_name(name: str) -> str:
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        (_LABEL_OK.sub("_", key), _escape_label_value(str(value)))
+        for key, value in labels.items()
+    ]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{key}="{value}"' for key, value in pairs) + "}"
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for metric in registry:
+        name = _sanitize_name(metric.name)
+        if name not in seen_families:
+            seen_families.add(name)
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{name}{_labels_text(metric.labels)} {_format_number(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            for bound, count in zip(metric.buckets, metric.bucket_counts):
+                le = (("le", _format_number(bound)),)
+                lines.append(f"{name}_bucket{_labels_text(metric.labels, le)} {count}")
+            inf = (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_labels_text(metric.labels, inf)} {metric.count}")
+            lines.append(
+                f"{name}_sum{_labels_text(metric.labels)} {_format_number(metric.sum)}"
+            )
+            lines.append(f"{name}_count{_labels_text(metric.labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument, one per line (creation order);
+    the empty registry exports the empty string."""
+    rows = registry.snapshot()
+    if not rows:
+        return ""
+    return "\n".join(json.dumps(row, default=str) for row in rows) + "\n"
+
+
+def trace_to_jsonl(tracer: Tracer) -> str:
+    """The span forest flattened depth-first, one JSON object per line.
+
+    Each line carries ``depth`` and the ``/``-joined ``path`` so nested
+    structure survives the flattening; an empty trace exports the empty
+    string.
+    """
+    lines: list[str] = []
+    origin = tracer.origin_s
+    for depth, path, span_ in tracer.walk():
+        row: dict[str, object] = {
+            "path": path,
+            "depth": depth,
+            "name": span_.name,
+            "start_s": None if span_.start_s is None else span_.start_s - origin,
+            "duration_s": span_.duration_s,
+        }
+        if span_.attributes:
+            row["attributes"] = dict(span_.attributes)
+        if span_.counters:
+            row["counters"] = dict(span_.counters)
+        lines.append(json.dumps(row, default=str))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,93 @@
+"""The single structured logger for the whole package.
+
+Every module logs through the one ``"repro"`` logger this module owns
+— there is no per-module logger forest to configure. Messages are
+``event key=value`` structured lines on **stderr** (stdout stays clean
+for tables, CSV and JSON), formatted as::
+
+    2026-08-05T12:00:00 DEBUG repro: study.run study=figure3
+
+Nothing is emitted until :func:`configure` attaches the stderr handler
+— the CLI does that from ``--log-level``/``-v``; library users call it
+directly. Before configuration the logger carries a
+``logging.NullHandler``, so importing the package never prints.
+
+Usage::
+
+    from repro.obs.log import get_logger, kv
+
+    log = get_logger()
+    log.debug(kv("study.run", study=name))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["LOGGER_NAME", "LEVELS", "get_logger", "configure", "kv"]
+
+#: The one logger name the package emits on.
+LOGGER_NAME = "repro"
+
+#: Accepted ``--log-level`` spellings, least to most verbose.
+LEVELS = ("critical", "error", "warning", "info", "debug")
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_DATE_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+#: Marker attribute identifying the handler :func:`configure` installs,
+#: so re-configuration replaces rather than stacks handlers.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_logger = logging.getLogger(LOGGER_NAME)
+_logger.addHandler(logging.NullHandler())
+
+
+def get_logger() -> logging.Logger:
+    """The shared ``"repro"`` logger."""
+    return _logger
+
+
+def _format_value(value: object) -> str:
+    text = str(value)
+    if " " in text or "=" in text or not text:
+        return repr(text)
+    return text
+
+
+def kv(event: str, **fields: object) -> str:
+    """Format *event* plus key/value *fields* as one structured line
+    (values with spaces are quoted): ``kv("chunk.done", points=1024)``
+    → ``"chunk.done points=1024"``."""
+    parts = [event]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+def configure(level: str | int = "warning", stream: TextIO | None = None) -> logging.Logger:
+    """Attach (or replace) the structured stderr handler at *level*.
+
+    *level* is a :data:`LEVELS` name or a ``logging`` integer;
+    *stream* defaults to ``sys.stderr``. Idempotent: calling again
+    swaps the previous handler instead of stacking a duplicate.
+    """
+    if isinstance(level, str):
+        name = level.lower()
+        if name not in LEVELS:
+            from ..core.errors import ValidationError
+
+            raise ValidationError(
+                f"unknown log level {level!r}; use one of {', '.join(LEVELS)}"
+            )
+        level = getattr(logging, name.upper())
+    for handler in list(_logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            _logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    setattr(handler, _HANDLER_MARK, True)
+    _logger.addHandler(handler)
+    _logger.setLevel(level)
+    return _logger

@@ -1,0 +1,150 @@
+"""Pretty-printer for trace reports: ``focal trace show FILE``.
+
+Renders the JSON document written by a traced run (see
+:mod:`repro.obs.manifest`) as monospace tables and an indented span
+tree, built on :mod:`repro.report.table` so trace output matches the
+rest of the CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..report.table import format_mapping_rows, format_table
+from .manifest import report_from_json
+
+__all__ = ["render_report", "load_report", "render_report_file"]
+
+#: Span attributes rendered inline after the timing columns.
+_MS = 1e3
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _attr_text(span_: dict) -> str:
+    parts = [
+        f"{key}={_format_value(value)}"
+        for key, value in span_.get("attributes", {}).items()
+    ]
+    parts.extend(
+        f"{key}={_format_value(value)}"
+        for key, value in span_.get("counters", {}).items()
+    )
+    return " ".join(parts)
+
+
+def _span_rows(span_: dict, depth: int, rows: list[list[object]]) -> None:
+    duration = span_.get("duration_s")
+    rows.append(
+        [
+            "  " * depth + span_["name"],
+            "-" if duration is None else f"{duration * _MS:.3f}",
+            _attr_text(span_),
+        ]
+    )
+    for child in span_.get("children", ()):
+        _span_rows(child, depth + 1, rows)
+
+
+def _manifest_section(manifest: dict) -> str:
+    node = manifest.get("node", {})
+    rows = [
+        ["command", manifest.get("command", "")],
+        ["argv", " ".join(manifest.get("argv", []))],
+        ["version", manifest.get("version", "")],
+        ["seed", manifest.get("seed")],
+        ["started", manifest.get("started_at_iso", manifest.get("started_at", ""))],
+        ["duration_s", manifest.get("duration_s")],
+    ]
+    rows.extend([f"node.{key}", value] for key, value in node.items())
+    rows = [[key, "-" if value is None else _format_value(value)] for key, value in rows]
+    return format_table(["field", "value"], rows, title="run manifest")
+
+
+def _phases_section(manifest: dict) -> str | None:
+    phases = manifest.get("phases", [])
+    if not phases:
+        return None
+    total = sum(p.get("seconds") or 0.0 for p in phases) or 1.0
+    rows = [
+        {
+            "phase": p.get("phase", ""),
+            "ms": (p.get("seconds") or 0.0) * _MS,
+            "share": f"{100.0 * (p.get('seconds') or 0.0) / total:.1f}%",
+            "spans": p.get("spans", ""),
+        }
+        for p in phases
+    ]
+    return format_mapping_rows(rows, title="phase breakdown")
+
+
+def _trace_section(trace: list[dict]) -> str | None:
+    # The span tree needs left-aligned columns (indentation carries the
+    # nesting), which format_table's right-alignment would garble — so
+    # this one section is rendered directly.
+    if not trace:
+        return None
+    rows: list[list[str]] = []
+    for root in trace:
+        _span_rows(root, 0, rows)
+    w_span = max(len("span"), *(len(r[0]) for r in rows))
+    w_ms = max(len("ms"), *(len(r[1]) for r in rows))
+    lines = [
+        "trace",
+        f"{'span':<{w_span}}  {'ms':>{w_ms}}  detail",
+        f"{'-' * w_span}  {'-' * w_ms}  {'-' * 6}",
+    ]
+    for name, ms, detail in rows:
+        lines.append(f"{name:<{w_span}}  {ms:>{w_ms}}  {detail}".rstrip())
+    return "\n".join(lines)
+
+
+def _metrics_section(metrics: list[dict]) -> str | None:
+    if not metrics:
+        return None
+    rows = []
+    for m in metrics:
+        value = m.get("value")
+        if m.get("kind") == "histogram":
+            count = m.get("count", 0)
+            mean = (m.get("sum", 0.0) / count) if count else 0.0
+            value = f"count={count} mean={mean:.4g}"
+        labels = m.get("labels") or {}
+        label_text = (
+            "{" + ", ".join(f"{k}={v}" for k, v in labels.items()) + "}"
+            if labels
+            else ""
+        )
+        rows.append(
+            {
+                "metric": m.get("name", "") + label_text,
+                "kind": m.get("kind", ""),
+                "value": _format_value(value) if not isinstance(value, str) else value,
+            }
+        )
+    return format_mapping_rows(rows, title="metrics")
+
+
+def render_report(payload: dict) -> str:
+    """Render a parsed trace report as the full multi-section page."""
+    sections = [
+        _manifest_section(payload.get("manifest", {})),
+        _phases_section(payload.get("manifest", {})),
+        _trace_section(payload.get("trace", [])),
+        _metrics_section(payload.get("metrics", [])),
+    ]
+    return "\n\n".join(s for s in sections if s)
+
+
+def load_report(path: str | Path) -> dict:
+    """Read and validate a trace-report file."""
+    return report_from_json(Path(path).read_text())
+
+
+def render_report_file(path: str | Path) -> str:
+    """Load *path* and render it (the ``focal trace show`` body)."""
+    return render_report(load_report(path))

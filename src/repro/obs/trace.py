@@ -1,0 +1,260 @@
+"""Zero-dependency structured tracing: nestable spans with wall-time,
+counters, and key/value attributes.
+
+Tracing is **off by default** and costs next to nothing while off:
+:func:`span` performs one attribute check and returns the shared
+:data:`NULL_SPAN` singleton, whose every method is a no-op. Hot loops
+that want to skip even attribute bookkeeping can check
+``get_tracer().enabled`` once and branch around the instrumented code
+entirely — that is the pattern :mod:`repro.dse.batch` uses, so a
+disabled-instrumentation sweep runs the same per-point loop as before.
+
+When enabled, spans nest through a context-manager stack::
+
+    from repro.obs import trace
+
+    trace.enable()
+    with trace.span("sweep", grid_points=10_000) as sweep:
+        for chunk in chunks:
+            with trace.span("chunk", points=len(chunk)) as sp:
+                ...
+                sp.count("evaluations", len(chunk))
+        sweep.set(cache_hit_ratio=0.93)
+
+The tracer is process-local and not thread-safe; ``ProcessPoolExecutor``
+workers never see the parent's tracer (instrumentation lives in the
+parent, which observes per-chunk fan-out instead).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+__all__ = [
+    "NullSpan",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+]
+
+
+class NullSpan:
+    """The do-nothing span returned while tracing is disabled.
+
+    A single shared instance (:data:`NULL_SPAN`) serves every call, so
+    disabled ``with span(...)`` blocks cost one method dispatch and no
+    allocation.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> "NullSpan":
+        return self
+
+    def count(self, name: str, amount: int = 1) -> "NullSpan":
+        return self
+
+
+#: Shared no-op span; identity-comparable (``sp is NULL_SPAN``) so
+#: instrumented code can skip attribute computation while disabled.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed, attributed section of work.
+
+    Entering the span starts its wall clock and pushes it onto the
+    tracer's stack (nesting it under the currently open span); exiting
+    records the duration. Attributes are free-form key/values set at
+    creation or via :meth:`set`; :meth:`count` accumulates named
+    integer counters. An exception propagating out of the ``with``
+    block is recorded in the ``error`` attribute and re-raised.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "counters",
+        "children",
+        "start_s",
+        "duration_s",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer", attributes: dict) -> None:
+        self.name = name
+        self.attributes: dict[str, object] = attributes
+        self.counters: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.start_s: float | None = None
+        self.duration_s: float | None = None
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - (self.start_s or 0.0)
+        if exc_type is not None:
+            self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._pop(self)
+        return False
+
+    def set(self, **attributes: object) -> "Span":
+        """Merge *attributes* into the span; returns ``self``."""
+        self.attributes.update(attributes)
+        return self
+
+    def count(self, name: str, amount: int = 1) -> "Span":
+        """Add *amount* to the span's named counter; returns ``self``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+        return self
+
+    def as_dict(self, *, origin_s: float = 0.0) -> dict[str, object]:
+        """The span subtree as JSON-ready nested dicts.
+
+        ``start_s`` is reported relative to *origin_s* (the tracer's
+        enable time), so traces are replayable without exposing raw
+        ``perf_counter`` values.
+        """
+        payload: dict[str, object] = {
+            "name": self.name,
+            "start_s": None if self.start_s is None else self.start_s - origin_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.children:
+            payload["children"] = [
+                child.as_dict(origin_s=origin_s) for child in self.children
+            ]
+        return payload
+
+
+class Tracer:
+    """Collects a forest of spans for one observed run.
+
+    ``enabled`` gates everything: while ``False`` (the default),
+    :meth:`span` hands back :data:`NULL_SPAN` and no state changes.
+    Finished top-level spans accumulate in :attr:`roots`.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        #: ``perf_counter`` reading at :meth:`enable`; span starts are
+        #: exported relative to it.
+        self.origin_s: float = 0.0
+        #: Wall-clock epoch seconds at :meth:`enable`.
+        self.started_at: float | None = None
+
+    def enable(self) -> None:
+        """Turn tracing on (idempotent); stamps the trace origin."""
+        if not self.enabled:
+            self.enabled = True
+            self.origin_s = time.perf_counter()
+            self.started_at = time.time()
+
+    def disable(self) -> None:
+        """Turn tracing off; already-collected spans are kept."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all collected spans and any open-span stack."""
+        self.roots.clear()
+        self._stack.clear()
+
+    def span(self, name: str, **attributes: object):
+        """A new span nested under the currently open one (or a new
+        root). Returns :data:`NULL_SPAN` while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, self, attributes)
+
+    def _push(self, span_: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span_)
+        else:
+            self.roots.append(span_)
+        self._stack.append(span_)
+
+    def _pop(self, span_: Span) -> None:
+        # Tolerate out-of-order exits instead of corrupting the stack.
+        if self._stack and self._stack[-1] is span_:
+            self._stack.pop()
+        elif span_ in self._stack:
+            self._stack.remove(span_)
+
+    def walk(self) -> Iterator[tuple[int, str, Span]]:
+        """Depth-first ``(depth, path, span)`` triples over all roots;
+        ``path`` joins span names with ``/``."""
+
+        def _walk(span_: Span, depth: int, prefix: str):
+            path = f"{prefix}/{span_.name}" if prefix else span_.name
+            yield depth, path, span_
+            for child in span_.children:
+                yield from _walk(child, depth + 1, path)
+
+        for root in self.roots:
+            yield from _walk(root, 0, "")
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """All root spans as nested dicts (see :meth:`Span.as_dict`)."""
+        return [root.as_dict(origin_s=self.origin_s) for root in self.roots]
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer used by all instrumentation."""
+    return _TRACER
+
+
+def span(name: str, **attributes: object):
+    """Open a span on the global tracer (or :data:`NULL_SPAN` when
+    tracing is off). The common instrumentation entry point."""
+    tracer = _TRACER
+    if not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def enable() -> None:
+    """Enable the global tracer."""
+    _TRACER.enable()
+
+
+def disable() -> None:
+    """Disable the global tracer (spans already collected are kept)."""
+    _TRACER.disable()
+
+
+def is_enabled() -> bool:
+    """Whether the global tracer is currently recording."""
+    return _TRACER.enabled
+
+
+def reset() -> None:
+    """Disable the global tracer and drop everything it collected
+    (used by the CLI between runs and by tests for isolation)."""
+    _TRACER.disable()
+    _TRACER.clear()

@@ -1,8 +1,12 @@
-"""Export figure results to CSV, JSON, and Markdown.
+"""Export figure results — and observability data — to text formats.
 
-Exports go through plain strings so callers decide where bytes land
-(stdout, files); :func:`write_figure` is the convenience file writer
-used by the CLI's ``--out`` option.
+Figures go to CSV, JSON, and Markdown; metrics registries go to
+JSON-lines or Prometheus text format and traces to JSON-lines or the
+full manifest report (the formatters themselves live in
+:mod:`repro.obs.exporters` and are re-exported here). Exports go
+through plain strings so callers decide where bytes land (stdout,
+files); :func:`write_figure`, :func:`write_metrics` and
+:func:`write_trace` are the convenience file writers used by the CLI.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import json
 from pathlib import Path
 
 from ..core.errors import ValidationError
+from ..obs.exporters import metrics_to_jsonl, metrics_to_prometheus, trace_to_jsonl
 from .series import FigureResult
 
 __all__ = [
@@ -22,6 +27,11 @@ __all__ = [
     "figure_from_json",
     "write_figure",
     "read_figure",
+    "metrics_to_jsonl",
+    "metrics_to_prometheus",
+    "trace_to_jsonl",
+    "write_metrics",
+    "write_trace",
 ]
 
 
@@ -164,4 +174,36 @@ def write_figure(figure: FigureResult, path: str | Path) -> Path:
             f"{sorted('.' + s for s in _FORMATS)}"
         )
     path.write_text(_FORMATS[suffix](figure))
+    return path
+
+
+def write_metrics(registry, path: str | Path) -> Path:
+    """Write a metrics registry to *path*; the suffix picks the format
+    — ``.prom``/``.txt`` for Prometheus text exposition, ``.jsonl``
+    (or anything else) for JSON-lines."""
+    path = Path(path)
+    if path.suffix.lower() in (".prom", ".txt"):
+        path.write_text(metrics_to_prometheus(registry))
+    else:
+        path.write_text(metrics_to_jsonl(registry))
+    return path
+
+
+def write_trace(path: str | Path, *, manifest=None, tracer=None, registry=None) -> Path:
+    """Write trace output to *path*.
+
+    With a *manifest* the full replayable report (manifest + span tree
+    + metrics snapshot, the document ``focal trace show`` reads) is
+    written; without one, just the spans as JSON-lines.
+    """
+    from ..obs.manifest import build_report, report_to_json
+
+    path = Path(path)
+    if manifest is not None:
+        report = build_report(manifest, tracer=tracer, registry=registry)
+        path.write_text(report_to_json(report) + "\n")
+    elif tracer is not None:
+        path.write_text(trace_to_jsonl(tracer))
+    else:
+        raise ValidationError("write_trace needs a manifest or a tracer")
     return path

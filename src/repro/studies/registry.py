@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Callable
 
 from ..core.errors import UnknownStudyError
+from ..obs.log import get_logger, kv
+from ..obs.trace import NULL_SPAN, span
 from ..report.series import FigureResult
 from .case_study import figure9
 from .figure1 import figure1
@@ -46,11 +48,36 @@ def study_names() -> list[str]:
 
 
 def run_study(name: str) -> FigureResult:
-    """Regenerate one figure by name (e.g. ``"figure3"``)."""
+    """Regenerate one figure by name (e.g. ``"figure3"``).
+
+    Runs inside a ``study:<name>`` span when tracing is on, and logs
+    start/finish/failure through the shared :mod:`repro.obs.log`
+    logger — a driver blowing up is reported before the exception
+    propagates, never swallowed silently.
+    """
+    log = get_logger()
     try:
         driver = STUDIES[name]
     except KeyError:
+        log.error(kv("study.unknown", study=name))
         raise UnknownStudyError(
             f"unknown study {name!r}; available: {', '.join(study_names())}"
         ) from None
-    return driver()
+    log.debug(kv("study.run", study=name))
+    with span(f"study:{name}", study=name) as sp:
+        try:
+            figure = driver()
+        except Exception as exc:
+            log.error(kv("study.failed", study=name, error=repr(exc)))
+            raise
+        if sp is not NULL_SPAN:
+            sp.set(
+                panels=len(figure.panels),
+                points=sum(
+                    len(series.points)
+                    for panel in figure.panels
+                    for series in panel.series
+                ),
+            )
+    log.debug(kv("study.done", study=name))
+    return figure

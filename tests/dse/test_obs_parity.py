@@ -1,0 +1,181 @@
+"""Instrumentation must never change results: enabled or disabled,
+the engine's numbers stay byte-identical to the uninstrumented path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.explorer import Explorer
+from repro.dse.grid import ParameterGrid, linear_range
+from repro.dse.montecarlo import sample_measurement_noise, sample_verdicts
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.reset()
+    metrics.reset()
+
+
+def factory(params):
+    from repro.amdahl.symmetric import SymmetricMulticore
+
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+@pytest.fixture
+def baseline():
+    return DesignPoint.baseline("1-BCE single core")
+
+
+@pytest.fixture
+def grid():
+    return ParameterGrid({"cores": [1, 2, 4, 8], "f": linear_range(0.5, 0.99, 5)})
+
+
+def _explorer(baseline) -> BatchExplorer:
+    return BatchExplorer(
+        factory=factory, baseline=baseline, weight=EMBODIED_DOMINATED, chunk_size=7
+    )
+
+
+class TestBatchParity:
+    def test_traced_sweep_matches_untraced_bit_exact(self, baseline, grid):
+        plain = _explorer(baseline).explore_arrays(grid)
+        trace.enable()
+        metrics.enable()
+        traced = _explorer(baseline).explore_arrays(grid)
+        assert traced.params == plain.params
+        assert np.array_equal(traced.perf, plain.perf)
+        assert np.array_equal(traced.ncf_fixed_work, plain.ncf_fixed_work)
+        assert np.array_equal(traced.ncf_fixed_time, plain.ncf_fixed_time)
+        assert np.array_equal(traced.codes, plain.codes)
+
+    def test_traced_results_match_scalar_explorer(self, baseline, grid):
+        trace.enable()
+        scalar = Explorer(
+            factory=factory, baseline=baseline, weight=EMBODIED_DOMINATED
+        ).explore(grid)
+        batch = _explorer(baseline).explore(grid)
+        assert batch == scalar
+
+    def test_traced_count_categories_matches(self, baseline, grid):
+        plain = _explorer(baseline).count_categories(grid)
+        trace.enable()
+        metrics.enable()
+        assert _explorer(baseline).count_categories(grid) == plain
+
+    def test_disabled_records_nothing(self, baseline, grid):
+        _explorer(baseline).explore_arrays(grid)
+        assert trace.get_tracer().roots == []
+        assert len(metrics.get_registry()) == 0
+
+    def test_sweep_span_structure(self, baseline, grid):
+        trace.enable()
+        _explorer(baseline).explore_arrays(grid)
+        (root,) = trace.get_tracer().roots
+        assert root.name == "sweep"
+        chunk_spans = [c for c in root.children if c.name == "chunk"]
+        assert len(chunk_spans) == -(-len(grid) // 7)  # ceil(points / chunk_size)
+        for sp in chunk_spans:
+            assert sp.duration_s is not None
+            assert "evals_per_s" in sp.attributes
+            assert sp.attributes["points"] == sp.attributes["valid"] + sp.attributes["invalid"]
+        assert root.attributes["cache_hit_ratio"] == 0.0
+        assert root.attributes["valid_points"] == len(grid)
+        assert [c.name for c in root.children][-1] == "classify"
+
+    def test_metrics_recorded_when_enabled(self, baseline, grid):
+        metrics.enable()
+        explorer = _explorer(baseline)
+        explorer.explore_arrays(grid)
+        explorer.explore_arrays(grid)  # warm pass: all hits
+        reg = metrics.get_registry()
+        assert reg.counter("focal_evaluations_total").value == len(grid)
+        assert reg.counter("focal_cache_hits_total").value == len(grid)
+        assert reg.gauge("focal_cache_hit_ratio").value == 0.5
+
+
+class TestMonteCarloParity:
+    def test_sample_verdicts_identical_when_traced(self, baseline):
+        edge = DesignPoint("edge", area=1.1, perf=1.0, power=0.6)
+        plain = sample_verdicts(edge, baseline, EMBODIED_DOMINATED, samples=2000)
+        trace.enable()
+        metrics.enable()
+        traced = sample_verdicts(edge, baseline, EMBODIED_DOMINATED, samples=2000)
+        assert traced == plain
+
+    def test_measurement_noise_identical_when_traced(self, baseline):
+        edge = DesignPoint("edge", area=1.1, perf=1.0, power=0.6)
+        plain = sample_measurement_noise(edge, baseline, 0.8, samples=2000)
+        trace.enable()
+        traced = sample_measurement_noise(edge, baseline, 0.8, samples=2000)
+        assert traced == plain
+
+    def test_convergence_checkpoints_recorded(self, baseline):
+        edge = DesignPoint("edge", area=1.1, perf=1.0, power=0.6)
+        trace.enable()
+        result = sample_verdicts(edge, baseline, EMBODIED_DOMINATED, samples=1000)
+        (span_,) = trace.get_tracer().roots
+        rows = span_.attributes["convergence"]
+        assert [row["samples"] for row in rows] == [100 * i for i in range(1, 11)]
+        final = rows[-1]
+        assert final["strong"] == result.strong
+        assert final["weak"] == result.weak
+        assert final["less"] == result.less
+        assert final["neutral"] == result.neutral
+        # Each checkpoint is a proper probability mix.
+        for row in rows:
+            total = row["strong"] + row["weak"] + row["less"] + row["neutral"]
+            assert total == pytest.approx(1.0)
+
+
+class TestCacheStats:
+    def test_stats_snapshot(self, baseline, grid):
+        explorer = _explorer(baseline)
+        explorer.explore_arrays(grid)
+        stats = explorer.cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == len(grid)
+        assert stats.size == len(grid)
+        assert stats.hit_ratio == 0.0
+        explorer.explore_arrays(grid)
+        stats = explorer.cache.stats()
+        assert stats.hits == len(grid)
+        assert stats.hit_ratio == 0.5
+        assert stats.as_dict() == {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": 0.5,
+            "size": len(grid),
+        }
+
+    def test_empty_cache_ratio_is_zero(self):
+        assert FactoryCache(factory).stats().hit_ratio == 0.0
+
+    def test_reset_zeroes_counters_keeps_entries(self, baseline, grid):
+        explorer = _explorer(baseline)
+        explorer.explore_arrays(grid)
+        cache = explorer.cache
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert len(cache) == len(grid)
+        explorer.explore_arrays(grid)  # warm: all hits after reset
+        assert cache.stats().hit_ratio == 1.0
+
+    def test_record_is_the_single_choke_point(self):
+        cache = FactoryCache(factory)
+        cache.record(hits=3, misses=2)
+        assert (cache.hits, cache.misses) == (3, 2)
+        stats = cache.stats()
+        assert stats.lookups == 5
+        assert stats.hit_ratio == 0.6

@@ -1,0 +1,17 @@
+"""Observability tests share global tracer/registry state — isolate it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the global tracer and metrics registry around every test."""
+    trace.reset()
+    metrics.reset()
+    yield
+    trace.reset()
+    metrics.reset()

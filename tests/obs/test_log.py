@@ -1,0 +1,69 @@
+"""Tests for the shared structured logger."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.obs.log import LOGGER_NAME, configure, get_logger, kv
+
+
+@pytest.fixture(autouse=True)
+def restore_logger():
+    logger = logging.getLogger(LOGGER_NAME)
+    handlers = list(logger.handlers)
+    level = logger.level
+    yield
+    logger.handlers = handlers
+    logger.setLevel(level)
+
+
+class TestKv:
+    def test_plain_fields(self):
+        assert kv("chunk.done", points=1024, valid=1000) == (
+            "chunk.done points=1024 valid=1000"
+        )
+
+    def test_values_with_spaces_are_quoted(self):
+        assert kv("study.failed", error="boom went off") == (
+            "study.failed error='boom went off'"
+        )
+
+    def test_no_fields(self):
+        assert kv("tick") == "tick"
+
+
+class TestConfigure:
+    def test_single_shared_logger(self):
+        assert get_logger() is logging.getLogger(LOGGER_NAME)
+
+    def test_structured_line_on_stream(self):
+        stream = io.StringIO()
+        logger = configure("debug", stream=stream)
+        logger.debug(kv("study.run", study="figure3"))
+        line = stream.getvalue().strip()
+        assert line.endswith("DEBUG repro: study.run study=figure3")
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        logger = configure("warning", stream=stream)
+        logger.debug(kv("hidden"))
+        logger.warning(kv("shown"))
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure("info", stream=first)
+        logger = configure("info", stream=second)
+        logger.info(kv("once"))
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValidationError):
+            configure("chatty")

@@ -1,0 +1,110 @@
+"""Tests for run manifests and the trace-report round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.core.errors import ValidationError
+from repro.obs.manifest import (
+    SCHEMA,
+    RunManifest,
+    build_manifest,
+    build_report,
+    node_roster,
+    report_from_json,
+    report_to_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.show import render_report
+from repro.obs.trace import Tracer
+
+
+def _traced_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("cli:sweep", command="sweep"):
+        with tracer.span("sweep", grid_points=100):
+            with tracer.span("chunk", index=0):
+                pass
+    return tracer
+
+
+class TestNodeRoster:
+    def test_contains_identity_fields(self):
+        roster = node_roster()
+        for key in ("hostname", "platform", "python", "numpy", "cpu_count"):
+            assert key in roster
+
+
+class TestBuildManifest:
+    def test_records_argv_seed_version_and_phases(self):
+        tracer = _traced_tracer()
+        manifest = build_manifest(
+            ["sweep", "--max-cores", "16"], command="sweep", seed=7, tracer=tracer
+        )
+        assert manifest.argv == ("sweep", "--max-cores", "16")
+        assert manifest.seed == 7
+        assert manifest.version == __version__
+        # One root -> root plus its direct children as phases.
+        assert [p["phase"] for p in manifest.phases] == ["cli:sweep", "sweep"]
+        assert manifest.duration_s is not None
+
+    def test_manifest_dict_round_trip(self):
+        manifest = build_manifest(["findings"], command="findings")
+        clone = RunManifest.from_dict(manifest.as_dict())
+        assert clone.argv == manifest.argv
+        assert clone.command == manifest.command
+        assert clone.version == manifest.version
+        assert clone.node == manifest.node
+
+    def test_malformed_manifest_raises(self):
+        with pytest.raises(ValidationError):
+            RunManifest.from_dict({"argv": ["x"]})
+
+
+class TestReportRoundTrip:
+    def test_report_round_trips_through_json(self):
+        tracer = _traced_tracer()
+        registry = MetricsRegistry()
+        registry.counter("focal_evaluations_total").inc(100)
+        manifest = build_manifest(["sweep"], command="sweep", tracer=tracer)
+        report = build_report(manifest, tracer=tracer, registry=registry)
+        parsed = report_from_json(report_to_json(report))
+        assert parsed["schema"] == SCHEMA
+        assert parsed["manifest"]["command"] == "sweep"
+        assert parsed["trace"][0]["name"] == "cli:sweep"
+        assert parsed["metrics"][0]["value"] == 100
+        # Serialization is loss-free for the span tree.
+        assert parsed["trace"] == json.loads(json.dumps(report["trace"], default=str))
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValidationError):
+            report_from_json(json.dumps({"schema": "other/9", "manifest": {}}))
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ValidationError):
+            report_from_json("{not json")
+
+
+class TestRender:
+    def test_render_report_sections(self):
+        tracer = _traced_tracer()
+        registry = MetricsRegistry()
+        registry.gauge("focal_cache_hit_ratio").set(0.5)
+        manifest = build_manifest(["sweep"], command="sweep", tracer=tracer)
+        report = build_report(manifest, tracer=tracer, registry=registry)
+        text = render_report(report_from_json(report_to_json(report)))
+        assert "run manifest" in text
+        assert "phase breakdown" in text
+        assert "trace" in text
+        assert "chunk" in text
+        assert "focal_cache_hit_ratio" in text
+
+    def test_render_empty_trace_still_has_manifest(self):
+        manifest = build_manifest(["version"], command="version")
+        text = render_report(build_report(manifest))
+        assert "run manifest" in text
+        assert "phase breakdown" not in text

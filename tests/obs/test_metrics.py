@@ -1,0 +1,161 @@
+"""Tests for the metrics registry and its exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.obs.exporters import (
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    trace_to_jsonl,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(2.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 3.0
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram("h", "", {}, buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 2, 3]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(110.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", "", {}, buckets=(5.0, 1.0))
+
+    def test_same_name_same_labels_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", labels={"a": "1"}) is reg.counter("c", labels={"a": "1"})
+        assert reg.counter("c", labels={"a": "2"}) is not reg.counter("c", labels={"a": "1"})
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValidationError):
+            reg.gauge("m")
+        with pytest.raises(ValidationError):
+            reg.gauge("m", labels={"x": "y"})  # same family, different labels
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("focal_evals_total", "total evaluations").inc(42)
+        reg.gauge("focal_ratio").set(0.5)
+        text = metrics_to_prometheus(reg)
+        assert "# HELP focal_evals_total total evaluations" in text
+        assert "# TYPE focal_evals_total counter" in text
+        assert "focal_evals_total 42" in text
+        assert "# TYPE focal_ratio gauge" in text
+        assert "focal_ratio 0.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_expansion(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", "latency", buckets=(0.1, 1.0)).observe(0.05)
+        text = metrics_to_prometheus(reg)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 0.05" in text
+        assert "lat_count 1" in text
+
+    def test_help_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "line one\nline two \\ backslash").inc()
+        text = metrics_to_prometheus(reg)
+        assert "# HELP c line one\\nline two \\\\ backslash" in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"path": 'a"b\\c\nd'}).inc()
+        text = metrics_to_prometheus(reg)
+        assert 'c{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_metric_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with spaces").inc()
+        text = metrics_to_prometheus(reg)
+        assert "weird_name_with_spaces 1" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonlExport:
+    def test_one_line_per_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a", "help a").inc(2)
+        reg.gauge("b", labels={"k": "v"}).set(1.5)
+        lines = metrics_to_jsonl(reg).splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first == {"name": "a", "kind": "counter", "help": "help a", "labels": {}, "value": 2.0}
+        assert second["labels"] == {"k": "v"} and second["value"] == 1.5
+
+    def test_empty_registry(self):
+        assert metrics_to_jsonl(MetricsRegistry()) == ""
+
+
+class TestTraceJsonl:
+    def test_empty_trace_exports_empty(self):
+        assert trace_to_jsonl(Tracer()) == ""
+
+    def test_nested_spans_flattened_with_paths(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("sweep", grid_points=8) as sp:
+            sp.count("evals", 8)
+            with tracer.span("chunk"):
+                pass
+        rows = [json.loads(line) for line in trace_to_jsonl(tracer).splitlines()]
+        assert [(r["depth"], r["path"]) for r in rows] == [(0, "sweep"), (1, "sweep/chunk")]
+        assert rows[0]["attributes"] == {"grid_points": 8}
+        assert rows[0]["counters"] == {"evals": 8}
+        assert rows[0]["duration_s"] >= 0.0
+        assert rows[0]["start_s"] >= 0.0
+
+
+class TestRegistryState:
+    def test_disabled_by_default_and_enable(self):
+        reg = MetricsRegistry()
+        assert not reg.enabled
+        reg.enable()
+        assert reg.enabled
+
+    def test_snapshot_order_is_creation_order(self):
+        reg = MetricsRegistry()
+        reg.gauge("z")
+        reg.counter("a")
+        assert [m["name"] for m in reg.snapshot()] == ["z", "a"]
+
+    def test_clear_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.clear()
+        assert len(reg) == 0

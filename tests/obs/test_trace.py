@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.obs.trace`."""
+
+from __future__ import annotations
+
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not trace.is_enabled()
+
+    def test_span_returns_null_singleton(self):
+        assert trace.span("anything", key="value") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with trace.span("x") as sp:
+            sp.set(a=1).count("n", 5)
+        assert sp is NULL_SPAN
+        assert trace.get_tracer().roots == []
+
+    def test_disable_keeps_collected_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        assert [s.name for s in tracer.roots] == ["kept"]
+
+
+class TestNesting:
+    def test_children_nest_under_open_span(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_walk_paths_and_depths(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        walked = [(depth, path) for depth, path, _ in tracer.walk()]
+        assert walked == [(0, "a"), (1, "a/b")]
+
+
+class TestSpanData:
+    def test_duration_recorded(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("timed") as sp:
+            pass
+        assert sp.duration_s is not None and sp.duration_s >= 0.0
+
+    def test_attributes_and_counters(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", phase="test") as sp:
+            sp.set(points=10)
+            sp.count("evals", 3)
+            sp.count("evals", 7)
+        assert sp.attributes == {"phase": "test", "points": 10}
+        assert sp.counters == {"evals": 10}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("boom") as sp:
+                raise ValueError("bad")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
+        assert sp.attributes["error"] == "ValueError: bad"
+        assert sp.duration_s is not None
+        assert tracer._stack == []  # stack unwound despite the raise
+
+    def test_as_dict_relative_start_and_children(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", k="v") as sp:
+            sp.count("n", 2)
+            with tracer.span("inner"):
+                pass
+        payload = sp.as_dict(origin_s=tracer.origin_s)
+        assert payload["name"] == "outer"
+        assert payload["start_s"] >= 0.0
+        assert payload["attributes"] == {"k": "v"}
+        assert payload["counters"] == {"n": 2}
+        assert [c["name"] for c in payload["children"]] == ["inner"]
+
+
+class TestGlobalState:
+    def test_enable_disable_reset(self):
+        trace.enable()
+        assert trace.is_enabled()
+        with trace.span("recorded"):
+            pass
+        trace.reset()
+        assert not trace.is_enabled()
+        assert trace.get_tracer().roots == []

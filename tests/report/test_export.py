@@ -144,3 +144,70 @@ class TestWriteFigure:
     def test_written_json_parses(self, figure, tmp_path):
         path = write_figure(figure, tmp_path / "fig.json")
         assert json.loads(path.read_text())["figure_id"] == "figX"
+
+
+class TestObservabilityWriters:
+    """The metrics/trace file writers re-exported via repro.report.export."""
+
+    def _registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("focal_evaluations_total", "evals").inc(7)
+        return reg
+
+    def test_write_metrics_prometheus_by_suffix(self, tmp_path):
+        from repro.report.export import write_metrics
+
+        for suffix in (".prom", ".txt"):
+            path = write_metrics(self._registry(), tmp_path / f"m{suffix}")
+            assert "# TYPE focal_evaluations_total counter" in path.read_text()
+
+    def test_write_metrics_jsonl_default(self, tmp_path):
+        from repro.report.export import write_metrics
+
+        path = write_metrics(self._registry(), tmp_path / "m.jsonl")
+        row = json.loads(path.read_text().splitlines()[0])
+        assert row["name"] == "focal_evaluations_total"
+        assert row["value"] == 7.0
+
+    def test_write_trace_jsonl_without_manifest(self, tmp_path):
+        from repro.obs.trace import Tracer
+        from repro.report.export import write_trace
+
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        path = write_trace(tmp_path / "t.jsonl", tracer=tracer)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["path"] for r in rows] == ["root", "root/leaf"]
+
+    def test_write_trace_empty_tracer_writes_empty_file(self, tmp_path):
+        from repro.obs.trace import Tracer
+        from repro.report.export import write_trace
+
+        path = write_trace(tmp_path / "t.jsonl", tracer=Tracer())
+        assert path.read_text() == ""
+
+    def test_write_trace_with_manifest_is_showable(self, tmp_path):
+        from repro.obs.manifest import build_manifest
+        from repro.obs.show import render_report_file
+        from repro.obs.trace import Tracer
+        from repro.report.export import write_trace
+
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("cli:sweep"):
+            pass
+        manifest = build_manifest(["sweep"], command="sweep", tracer=tracer)
+        path = write_trace(tmp_path / "trace.json", manifest=manifest, tracer=tracer)
+        text = render_report_file(path)
+        assert "run manifest" in text and "cli:sweep" in text
+
+    def test_write_trace_requires_source(self, tmp_path):
+        from repro.report.export import write_trace
+
+        with pytest.raises(ValidationError):
+            write_trace(tmp_path / "t.json")

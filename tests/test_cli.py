@@ -163,6 +163,12 @@ class TestSweep:
         assert "category" in out and "points" in out
         assert "embodied-dominated" in out
 
+    def test_prints_cache_stats_summary(self, capsys):
+        assert main(["sweep", "--max-cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 12 entries" in out  # 3 core rungs x 4 default fractions
+        assert "hit ratio" in out
+
     def test_regime_flag(self, capsys):
         assert main(["sweep", "--max-cores", "4", "--regime", "operational"]) == 0
         assert "operational-dominated" in capsys.readouterr().out
@@ -179,3 +185,101 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "Pareto frontier" in out
         assert "NCF_fw" in out
+
+
+class TestVersion:
+    def test_prints_version(self, capsys):
+        import repro
+
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert f"focal {repro.__version__}" in out
+        assert "python" in out and "numpy" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_replayable_report(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["sweep", "--max-cores", "8", "--trace", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert f"wrote trace {target}" in captured.err
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "focal-trace/1"
+        assert payload["manifest"]["command"] == "sweep"
+        assert payload["manifest"]["argv"][0] == "sweep"
+        assert payload["manifest"]["node"]["python"]
+        root = payload["trace"][0]
+        assert root["name"] == "cli:sweep"
+        sweep = root["children"][0]
+        assert sweep["attributes"]["cache_hit_ratio"] == 0.0
+        assert any(c["name"] == "chunk" for c in sweep["children"])
+        names = [m["name"] for m in payload["metrics"]]
+        assert "focal_evaluations_total" in names
+
+    def test_trace_flag_position_before_subcommand(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["--trace", str(target), "sweep", "--max-cores", "4"]) == 0
+        capsys.readouterr()
+        assert target.exists()
+
+    def test_metrics_flag_prometheus(self, tmp_path, capsys):
+        target = tmp_path / "run.prom"
+        assert main(["sweep", "--max-cores", "8", "--metrics", str(target)]) == 0
+        capsys.readouterr()
+        text = target.read_text()
+        assert "# TYPE focal_evaluations_total counter" in text
+        assert "focal_chunk_seconds_bucket" in text
+
+    def test_metrics_flag_jsonl(self, tmp_path, capsys):
+        target = tmp_path / "run.jsonl"
+        assert main(["sweep", "--max-cores", "8", "--metrics", str(target)]) == 0
+        capsys.readouterr()
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert any(r["name"] == "focal_evaluations_total" for r in rows)
+
+    def test_observability_state_reset_after_run(self, tmp_path, capsys):
+        from repro.obs import metrics, trace
+
+        target = tmp_path / "trace.json"
+        assert main(["sweep", "--max-cores", "4", "--trace", str(target)]) == 0
+        capsys.readouterr()
+        assert not trace.is_enabled()
+        assert not metrics.get_registry().enabled
+        assert trace.get_tracer().roots == []
+
+    def test_log_level_debug_emits_structured_stderr(self, capsys):
+        assert main(["--log-level", "debug", "list"]) == 0
+        captured = capsys.readouterr()
+        assert "cli.start command=list" in captured.err
+        assert "DEBUG repro:" in captured.err
+
+    def test_default_level_is_quiet(self, capsys):
+        assert main(["list"]) == 0
+        assert "cli.start" not in capsys.readouterr().err
+
+
+class TestTraceShow:
+    def test_round_trip_written_trace(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["sweep", "--max-cores", "16", "--trace", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "show", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "phase breakdown" in out
+        assert "cli:sweep" in out
+        assert "chunk" in out
+        assert "evals_per_s" in out
+        assert "cache_hit_ratio" in out
+
+    def test_show_rejects_non_trace_json(self, tmp_path):
+        from repro.core.errors import ValidationError
+
+        bogus = tmp_path / "not-a-trace.json"
+        bogus.write_text("{}")
+        with pytest.raises(ValidationError):
+            main(["trace", "show", str(bogus)])
+
+    def test_show_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
