@@ -1,12 +1,17 @@
 """Benchmark: scalar vs vectorized DSE engine (tracked trajectory).
 
-Times the two hot paths the batch engine replaces —
+Times the paths the batch engine replaces —
 
 * a ~10k-point grid sweep (``Explorer.explore`` + category histogram)
   against the :class:`~repro.dse.batch.BatchExplorer` re-sweep path
-  (warm factory cache + vectorized NCF/classify kernels), which is the
-  engine's designed operating point: ``subgrid`` pins, tornado runs and
-  chart re-draws revisit the same grid points over and over;
+  (warm factory cache + vectorized NCF/classify kernels): ``subgrid``
+  pins, tornado runs and chart re-draws revisit the same grid points
+  over and over;
+* the same sweep cold (empty cache) through a
+  :class:`~repro.dse.factories.SymmetricMulticoreFactory`, the
+  columnar path that never constructs per-point Python objects (the
+  substrate-kernel benchmark, ``bench_substrate.py``, gates this one
+  at >= 5x);
 * 100k-sample Monte-Carlo verdict classification, scalar
   per-sample loop vs :func:`~repro.core.batch.classify_arrays`.
 
@@ -50,11 +55,6 @@ TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
 _RESULTS: dict[str, object] = {
     "grid_points": len(GRID),
     "mc_samples": MC_SAMPLES,
-    "note": (
-        "grid-sweep batch timing is the re-sweep path (warm factory "
-        "cache), the engine's designed operating point; scalar timing "
-        "is the status-quo Explorer loop"
-    ),
 }
 
 
@@ -134,6 +134,7 @@ def write_trajectory():
     yield
     for pair, out in (
         (("sweep_scalar_s", "sweep_batch_s"), "sweep_speedup"),
+        (("sweep_scalar_s", "sweep_cold_batch_s"), "sweep_cold_speedup"),
         (("mc_scalar_s", "mc_batch_s"), "mc_speedup"),
         (("mc_scalar_s", "mc_end_to_end_s"), "mc_end_to_end_speedup"),
     ):
@@ -188,6 +189,27 @@ def test_grid_sweep_batch(benchmark, emit):
         f"batch re-sweep: {len(GRID)} points, cache "
         f"{explorer.cache.hits} hits / {explorer.cache.misses} misses"
     )
+
+
+def test_grid_sweep_cold_batch(benchmark, emit):
+    """The cold path: empty cache, vector factory, no per-point objects."""
+    from repro.dse.factories import SymmetricMulticoreFactory
+
+    factory = SymmetricMulticoreFactory()
+
+    def run():
+        explorer = BatchExplorer(
+            factory=factory,
+            baseline=BASELINE,
+            weight=EMBODIED_DOMINATED,
+            cache=FactoryCache(factory),
+        )
+        return explorer.count_categories(GRID)
+
+    counts = benchmark(run)
+    _record_mean("sweep_cold_batch_s", benchmark, run)
+    assert counts == scalar_sweep()  # identical verdict histogram
+    emit(f"cold batch sweep: {len(GRID)} points, empty cache, columnar factory")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,353 @@
+"""Benchmark: columnar substrate kernels vs their scalar twins.
+
+This is the cold-sweep story the vector factories unlock: a fresh
+10k-point grid evaluated end to end without constructing a single
+per-point Python object. Three groups of measurements:
+
+* substrate kernels (``repro.wafer.batch``, ``repro.amdahl.batch``,
+  ``repro.dvfs.batch``) against per-point scalar loops, with a
+  bit-exactness gate (``max abs diff == 0.0``) that runs before any
+  timing is recorded, including the awkward corners — the 300 mm
+  wafer's maximum practical die area, Seeds at pathological defect
+  densities, and the asymmetric ``M >= N`` corners whose columnar
+  mask must match the scalar ``DomainError`` skips row for row;
+* the cold sweep itself: scalar ``Explorer.explore`` + histogram vs
+  ``BatchExplorer.count_categories`` with a
+  :class:`~repro.dse.factories.SymmetricMulticoreFactory`, gated at
+  >= 5x;
+* a byte-identical ``BatchExplorer.explore`` check with and without
+  the vector factory (ordering, skips, values, cache contents).
+
+Writes ``BENCH_substrate.json`` at the repo root so CI can gate the
+parity invariants and archive the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.batch import (
+    asymmetric_power,
+    asymmetric_speedup,
+    asymmetric_valid_mask,
+    symmetric_energy,
+    symmetric_power,
+    symmetric_speedup,
+)
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.design import DesignPoint
+from repro.core.errors import DomainError
+from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.explorer import Explorer
+from repro.dse.factories import (
+    AsymmetricMulticoreFactory,
+    DVFSOperatingPointFactory,
+    SymmetricMulticoreFactory,
+)
+from repro.dse.grid import ParameterGrid, linear_range
+from repro.dvfs.batch import scale_design_arrays
+from repro.dvfs.operating_point import scale_design
+from repro.wafer.batch import normalized_footprint_array
+from repro.wafer.embodied import EmbodiedFootprintModel
+from repro.wafer.geometry import WAFER_300MM
+from repro.wafer.yield_models import MurphyYield, PoissonYield, SeedsYield
+
+GRID = ParameterGrid(
+    {
+        "cores": list(range(1, 101)),
+        "f": linear_range(0.50, 0.99, 100),
+    }
+)  # 10,000 points
+BASELINE = DesignPoint.baseline("1-BCE single core")
+MIN_COLD_SPEEDUP = 5.0
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
+
+_RESULTS: dict[str, object] = {
+    "grid_points": len(GRID),
+    "min_cold_speedup_gate": MIN_COLD_SPEEDUP,
+}
+
+
+def multicore_factory(params):
+    return SymmetricMulticore(
+        cores=params["cores"], parallel_fraction=params["f"]
+    ).design_point()
+
+
+def _max_abs_diff(batch: np.ndarray, scalar) -> float:
+    return float(np.max(np.abs(np.asarray(batch) - np.asarray(scalar, dtype=np.float64))))
+
+
+def _record_mean(key: str, benchmark, fallback) -> None:
+    """Store the benchmark's mean runtime; time *fallback* by hand when
+    the fixture did not collect stats (``--benchmark-disable`` runs)."""
+    try:
+        mean = float(benchmark.stats.stats.mean)
+    except (AttributeError, TypeError):
+        start = time.perf_counter()
+        fallback()
+        mean = time.perf_counter() - start
+    _RESULTS[key] = mean
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_trajectory():
+    """Emit BENCH_substrate.json once every benchmark has run, and gate
+    the headline cold-sweep speedup at >= 5x."""
+    yield
+    if "sweep_cold_scalar_s" in _RESULTS and "sweep_cold_vector_s" in _RESULTS:
+        speedup = float(_RESULTS["sweep_cold_scalar_s"]) / float(
+            _RESULTS["sweep_cold_vector_s"]
+        )
+        _RESULTS["sweep_cold_speedup"] = speedup
+    TRAJECTORY_PATH.write_text(json.dumps(_RESULTS, indent=2, default=str) + "\n")
+    if "sweep_cold_speedup" in _RESULTS:
+        assert _RESULTS["sweep_cold_speedup"] >= MIN_COLD_SPEEDUP, (
+            f"cold vector sweep is only "
+            f"{_RESULTS['sweep_cold_speedup']:.1f}x faster than scalar "
+            f"(gate: {MIN_COLD_SPEEDUP}x)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Wafer kernels: batch vs per-point scalar, including the edge corners
+# ----------------------------------------------------------------------
+def test_wafer_kernels(benchmark, emit):
+    # 100 mm^2 up to just inside the wafer's maximum practical die area
+    # (at the root itself the de Vries CPW is exactly 0 and both the
+    # scalar and the batch path raise DomainError).
+    max_area = WAFER_300MM.max_practical_die_area_mm2() * (1.0 - 1e-9)
+    areas = np.linspace(100.0, max_area, 2_000)
+    models = [
+        EmbodiedFootprintModel(yield_model=PoissonYield(defect_density_per_cm2=0.09)),
+        EmbodiedFootprintModel(yield_model=MurphyYield(defect_density_per_cm2=0.09)),
+        # Seeds at a pathologically high defect density: yields collapse
+        # toward zero, stressing the 1/(1 + AD) tail.
+        EmbodiedFootprintModel(yield_model=SeedsYield(defect_density_per_cm2=5.0)),
+    ]
+    worst = 0.0
+    for model in models:
+        batch = normalized_footprint_array(model, areas, 100.0)
+        scalar = [model.normalized_footprint(float(a), 100.0) for a in areas]
+        worst = max(worst, _max_abs_diff(batch, scalar))
+    assert worst == 0.0, f"wafer kernels drifted from scalar by {worst}"
+    _RESULTS["wafer_max_abs_diff"] = worst
+
+    model = models[1]
+    run = lambda: normalized_footprint_array(model, areas, 100.0)
+    benchmark(run)
+    _record_mean("wafer_batch_s", benchmark, run)
+    start = time.perf_counter()
+    for a in areas:
+        model.normalized_footprint(float(a), 100.0)
+    _RESULTS["wafer_scalar_s"] = time.perf_counter() - start
+    emit(
+        f"wafer: {len(areas)} areas up to {max_area:.0f} mm2, "
+        f"3 yield models, max abs diff {worst}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Amdahl kernels: batch vs scalar constructors, incl. invalid corners
+# ----------------------------------------------------------------------
+def test_amdahl_kernels(benchmark, emit):
+    cores = np.arange(1, 257, dtype=np.float64)
+    f = 0.95
+    fractions = np.full_like(cores, f)
+    speedups = symmetric_speedup(cores, fractions)
+    powers = symmetric_power(cores, fractions, 0.3)
+    energies = symmetric_energy(cores, fractions, 0.3)
+    worst = 0.0
+    for i, n in enumerate(cores):
+        model = SymmetricMulticore(cores=int(n), parallel_fraction=f, leakage=0.3)
+        worst = max(
+            worst,
+            abs(speedups[i] - model.speedup),
+            abs(powers[i] - model.power),
+            abs(energies[i] - model.energy),
+        )
+    # Asymmetric: the columnar mask vs the scalar DomainError corners.
+    total = np.repeat(np.arange(2.0, 34.0), 33)
+    big = np.tile(np.arange(1.0, 34.0), 32)
+    mask = asymmetric_valid_mask(total, big)
+    afrac = np.full_like(total, f)
+    perf = asymmetric_speedup(total[mask], big[mask], afrac[mask])
+    power = asymmetric_power(total[mask], big[mask], afrac[mask], 0.3)
+    row = 0
+    for i in range(len(total)):
+        try:
+            point = AsymmetricMulticore(
+                total_bces=int(total[i]),
+                big_core_bces=int(big[i]),
+                parallel_fraction=f,
+                leakage=0.3,
+            ).design_point()
+        except DomainError:
+            assert not mask[i], "mask kept a corner the scalar model rejects"
+            continue
+        assert mask[i], "mask dropped a corner the scalar model accepts"
+        worst = max(worst, abs(perf[row] - point.perf), abs(power[row] - point.power))
+        row += 1
+    assert worst == 0.0, f"amdahl kernels drifted from scalar by {worst}"
+    _RESULTS["amdahl_max_abs_diff"] = worst
+
+    run = lambda: symmetric_power(cores, fractions, 0.3)
+    benchmark(run)
+    _record_mean("amdahl_batch_s", benchmark, run)
+    emit(f"amdahl: {len(cores)} sym + {int(mask.sum())} asym points, max abs diff {worst}")
+
+
+# ----------------------------------------------------------------------
+# DVFS kernels: batch vs scale_design
+# ----------------------------------------------------------------------
+def test_dvfs_kernels(benchmark, emit):
+    design = DesignPoint("chip", area=20.0, perf=2.0, power=3.0)
+    multipliers = np.asarray(linear_range(0.25, 2.0, 1_000))
+    areas, perfs, powers = scale_design_arrays(design, multipliers)
+    worst = 0.0
+    for i, s in enumerate(multipliers):
+        point = scale_design(design, float(s))
+        worst = max(
+            worst,
+            abs(areas[i] - point.area),
+            abs(perfs[i] - point.perf),
+            abs(powers[i] - point.power),
+        )
+    assert worst == 0.0, f"dvfs kernels drifted from scalar by {worst}"
+    _RESULTS["dvfs_max_abs_diff"] = worst
+
+    run = lambda: scale_design_arrays(design, multipliers)
+    benchmark(run)
+    _record_mean("dvfs_batch_s", benchmark, run)
+    emit(f"dvfs: {len(multipliers)} operating points, max abs diff {worst}")
+
+
+# ----------------------------------------------------------------------
+# The headline: cold 10k-point sweep, scalar vs columnar
+# ----------------------------------------------------------------------
+def test_cold_sweep_scalar(benchmark, emit):
+    def run():
+        explorer = Explorer(
+            factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+        )
+        return Explorer.count_categories(explorer.explore(GRID))
+
+    counts = benchmark(run)
+    _record_mean("sweep_cold_scalar_s", benchmark, run)
+    assert sum(counts.values()) == len(GRID)
+    emit(f"cold scalar sweep: {len(GRID)} points")
+
+
+def test_cold_sweep_vector(benchmark, emit):
+    factory = SymmetricMulticoreFactory()
+
+    # Parity gate before timing: byte-identical NCFs and verdicts
+    # against the scalar Explorer.
+    scalar_results = Explorer(
+        factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(GRID)
+    vector_results = BatchExplorer(
+        factory=factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(GRID)
+    assert list(vector_results) == list(scalar_results)
+    max_diff = max(
+        max(
+            abs(a.ncf_fixed_work - b.ncf_fixed_work)
+            for a, b in zip(vector_results, scalar_results)
+        ),
+        max(
+            abs(a.ncf_fixed_time - b.ncf_fixed_time)
+            for a, b in zip(vector_results, scalar_results)
+        ),
+    )
+    assert max_diff == 0.0
+    _RESULTS["sweep_max_abs_ncf_diff"] = max_diff
+
+    def run():
+        # A fresh explorer each iteration keeps the cache empty: this
+        # times the true cold path, not the re-sweep path.
+        explorer = BatchExplorer(
+            factory=factory,
+            baseline=BASELINE,
+            weight=EMBODIED_DOMINATED,
+            cache=FactoryCache(factory),
+        )
+        return explorer.count_categories(GRID)
+
+    counts = benchmark(run)
+    _record_mean("sweep_cold_vector_s", benchmark, run)
+    assert sum(counts.values()) == len(GRID)
+    scalar_counts = Explorer.count_categories(scalar_results)
+    assert counts == scalar_counts
+    _RESULTS["sweep_category_counts"] = {
+        category.value: count for category, count in counts.items()
+    }
+    emit(f"cold vector sweep: {len(GRID)} points, max abs NCF diff {max_diff}")
+
+
+# ----------------------------------------------------------------------
+# Byte-identical explore with and without the vector factory
+# ----------------------------------------------------------------------
+def test_explore_byte_identical(emit):
+    vector = BatchExplorer(
+        factory=SymmetricMulticoreFactory(),
+        baseline=BASELINE,
+        weight=EMBODIED_DOMINATED,
+    )
+    plain = BatchExplorer(
+        factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    )
+    assert list(vector.explore(GRID)) == list(plain.explore(GRID))
+    assert vector.last_sweep is not None and vector.last_sweep.mode == "vector"
+    assert plain.last_sweep is not None and plain.last_sweep.mode == "scalar"
+    assert vector.cache.stats() == plain.cache.stats()
+    _RESULTS["explore_byte_identical"] = True
+
+    # The asymmetric space exercises skips: masked corners on the vector
+    # path, DomainError on the scalar path, identical output either way.
+    agrid = ParameterGrid({"n": [2, 3, 4, 6, 8, 16], "m": [1, 4, 8]})
+    avf = AsymmetricMulticoreFactory(parallel_fraction=0.9)
+
+    def plain_asym(params):
+        return AsymmetricMulticore(
+            total_bces=params["n"],
+            big_core_bces=params["m"],
+            parallel_fraction=0.9,
+        ).design_point()
+
+    a_vec = BatchExplorer(
+        factory=avf, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(agrid)
+    a_plain = BatchExplorer(
+        factory=plain_asym, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(agrid)
+    assert list(a_vec) == list(a_plain)
+    assert len(a_vec) < len(agrid)  # some corners really were skipped
+    _RESULTS["explore_skip_parity"] = True
+    emit(
+        f"explore byte-identical with/without VectorFactory "
+        f"({len(a_vec)}/{len(agrid)} asym points kept)"
+    )
+
+
+def test_dvfs_factory_parity(emit):
+    design = DesignPoint("chip", area=20.0, perf=2.0, power=3.0)
+    factory = DVFSOperatingPointFactory(design=design)
+    sgrid = ParameterGrid({"s": linear_range(0.5, 1.5, 101)})
+    vec = BatchExplorer(
+        factory=factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(sgrid)
+    scalar = Explorer(
+        factory=factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
+    ).explore(sgrid)
+    assert list(vec) == list(scalar)
+    _RESULTS["dvfs_factory_byte_identical"] = True
+    emit(f"DVFS factory: {len(vec)} operating points byte-identical")

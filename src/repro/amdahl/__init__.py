@@ -2,6 +2,18 @@
 the Woo–Lee energy extensions (paper §5.1–§5.2)."""
 
 from .asymmetric import AsymmetricMulticore
+from .batch import (
+    asymmetric_energy,
+    asymmetric_power,
+    asymmetric_speedup,
+    asymmetric_valid_mask,
+    dynamic_energy,
+    dynamic_power,
+    dynamic_speedup,
+    symmetric_energy,
+    symmetric_power,
+    symmetric_speedup,
+)
 from .dynamic import DynamicMulticore
 from .pollack import (
     big_core_design,
@@ -20,4 +32,14 @@ __all__ = [
     "pollack_power",
     "pollack_energy",
     "big_core_design",
+    "symmetric_speedup",
+    "symmetric_energy",
+    "symmetric_power",
+    "asymmetric_valid_mask",
+    "asymmetric_speedup",
+    "asymmetric_energy",
+    "asymmetric_power",
+    "dynamic_speedup",
+    "dynamic_energy",
+    "dynamic_power",
 ]

@@ -1,0 +1,193 @@
+"""Columnar multicore kernels: array-in/array-out versions of the
+Amdahl/Hill–Marty/Pollack laws (paper §5.1–§5.2).
+
+Each function is the NumPy twin of a property on
+:class:`~repro.amdahl.symmetric.SymmetricMulticore`,
+:class:`~repro.amdahl.asymmetric.AsymmetricMulticore`,
+:class:`~repro.amdahl.dynamic.DynamicMulticore` or a function in
+:mod:`repro.amdahl.pollack`, with the same IEEE-754 operation order —
+these laws use only ``+ - * / sqrt``, all correctly rounded and
+identical between NumPy and libm, so the kernels are bit-exact with
+the scalar substrate and fully SIMD-vectorized.
+
+All arguments broadcast: sweep cores against a scalar ``f``, or a grid
+of both, in one call. Validation mirrors the scalar constructors
+(:func:`~repro.core.batch.ensure_int_at_least_array`,
+:func:`~repro.core.batch.ensure_fraction_array`), so a bad corner is
+rejected with the flat index of the first offender.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.batch import (
+    ensure_fraction_array,
+    ensure_int_at_least_array,
+    ensure_positive_array,
+)
+from .symmetric import DEFAULT_LEAKAGE
+
+__all__ = [
+    "symmetric_speedup",
+    "symmetric_energy",
+    "symmetric_power",
+    "asymmetric_valid_mask",
+    "asymmetric_speedup",
+    "asymmetric_energy",
+    "asymmetric_power",
+    "dynamic_speedup",
+    "dynamic_energy",
+    "dynamic_power",
+    "pollack_performance_array",
+    "pollack_power_array",
+    "pollack_energy_array",
+]
+
+
+# ----------------------------------------------------------------------
+# Symmetric multicore (Hill–Marty Eq. 1, Woo–Lee Eqs. 2–3)
+# ----------------------------------------------------------------------
+def symmetric_speedup(cores: object, parallel_fraction: object) -> np.ndarray:
+    """Array twin of :attr:`SymmetricMulticore.speedup`."""
+    n = ensure_int_at_least_array(cores, 1, "cores")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    return 1.0 / ((1.0 - f) + f / n)
+
+
+def symmetric_energy(
+    cores: object,
+    parallel_fraction: object,
+    leakage: object = DEFAULT_LEAKAGE,
+) -> np.ndarray:
+    """Array twin of :attr:`SymmetricMulticore.energy`."""
+    n = ensure_int_at_least_array(cores, 1, "cores")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    g = ensure_fraction_array(leakage, "leakage")
+    return 1.0 + (1.0 - f) * (n - 1.0) * g
+
+
+def symmetric_power(
+    cores: object,
+    parallel_fraction: object,
+    leakage: object = DEFAULT_LEAKAGE,
+) -> np.ndarray:
+    """Array twin of :attr:`SymmetricMulticore.power` (energy x speedup)."""
+    return symmetric_energy(cores, parallel_fraction, leakage) * symmetric_speedup(
+        cores, parallel_fraction
+    )
+
+
+# ----------------------------------------------------------------------
+# Asymmetric multicore (paper Eqs. 4–6)
+# ----------------------------------------------------------------------
+def asymmetric_valid_mask(total_bces: object, big_core_bces: object) -> np.ndarray:
+    """Boolean mask of (N, M) pairs a scalar constructor would accept.
+
+    ``True`` exactly where ``AsymmetricMulticore(N, M, ...)`` succeeds;
+    ``False`` where it raises ``DomainError`` because the big core
+    leaves no small core (``M >= N``). The masking primitive that
+    preserves scalar skip semantics in vector sweeps.
+    """
+    n = ensure_int_at_least_array(total_bces, 2, "total_bces")
+    m = ensure_int_at_least_array(big_core_bces, 1, "big_core_bces")
+    n, m = np.broadcast_arrays(n, m)
+    return m < n
+
+
+def _asymmetric_times(
+    n: np.ndarray, m: np.ndarray, f: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    serial = (1.0 - f) / np.sqrt(m)
+    parallel = f / (n - m)
+    return serial, parallel
+
+
+def asymmetric_speedup(
+    total_bces: object, big_core_bces: object, parallel_fraction: object
+) -> np.ndarray:
+    """Array twin of :attr:`AsymmetricMulticore.speedup` (paper Eq. 4).
+
+    Callers must mask invalid (N, M) corners first (see
+    :func:`asymmetric_valid_mask`); this kernel assumes ``M < N``.
+    """
+    n = ensure_int_at_least_array(total_bces, 2, "total_bces")
+    m = ensure_int_at_least_array(big_core_bces, 1, "big_core_bces")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    serial, parallel = _asymmetric_times(n, m, f)
+    return 1.0 / (serial + parallel)
+
+
+def asymmetric_energy(
+    total_bces: object,
+    big_core_bces: object,
+    parallel_fraction: object,
+    leakage: object = DEFAULT_LEAKAGE,
+) -> np.ndarray:
+    """Array twin of :attr:`AsymmetricMulticore.energy` (paper Eq. 6)."""
+    n = ensure_int_at_least_array(total_bces, 2, "total_bces")
+    m = ensure_int_at_least_array(big_core_bces, 1, "big_core_bces")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    g = ensure_fraction_array(leakage, "leakage")
+    serial, parallel = _asymmetric_times(n, m, f)
+    small = n - m
+    serial_power = m + small * g
+    parallel_power = m * g + small
+    return serial * serial_power + parallel * parallel_power
+
+
+def asymmetric_power(
+    total_bces: object,
+    big_core_bces: object,
+    parallel_fraction: object,
+    leakage: object = DEFAULT_LEAKAGE,
+) -> np.ndarray:
+    """Array twin of :attr:`AsymmetricMulticore.power` (paper Eq. 5)."""
+    return asymmetric_energy(
+        total_bces, big_core_bces, parallel_fraction, leakage
+    ) * asymmetric_speedup(total_bces, big_core_bces, parallel_fraction)
+
+
+# ----------------------------------------------------------------------
+# Dynamic multicore (Hill–Marty's third organization)
+# ----------------------------------------------------------------------
+def dynamic_speedup(bces: object, parallel_fraction: object) -> np.ndarray:
+    """Array twin of :attr:`DynamicMulticore.speedup`."""
+    n = ensure_int_at_least_array(bces, 1, "bces")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    serial = (1.0 - f) / np.sqrt(n)
+    parallel = f / n
+    return 1.0 / (serial + parallel)
+
+
+def dynamic_power(bces: object, parallel_fraction: object) -> np.ndarray:
+    """Array twin of :attr:`DynamicMulticore.power`: all BCEs busy, P = N."""
+    n = ensure_int_at_least_array(bces, 1, "bces")
+    f = ensure_fraction_array(parallel_fraction, "parallel_fraction")
+    n, _ = np.broadcast_arrays(n, f)
+    return n.astype(np.float64).copy()
+
+
+def dynamic_energy(bces: object, parallel_fraction: object) -> np.ndarray:
+    """Array twin of :attr:`DynamicMulticore.energy`: ``N / S``."""
+    return dynamic_power(bces, parallel_fraction) / dynamic_speedup(
+        bces, parallel_fraction
+    )
+
+
+# ----------------------------------------------------------------------
+# Pollack's rule
+# ----------------------------------------------------------------------
+def pollack_performance_array(bces: object) -> np.ndarray:
+    """Array twin of :func:`~repro.amdahl.pollack.pollack_performance`."""
+    return np.sqrt(ensure_positive_array(bces, "bces"))
+
+
+def pollack_power_array(bces: object) -> np.ndarray:
+    """Array twin of :func:`~repro.amdahl.pollack.pollack_power`."""
+    return ensure_positive_array(bces, "bces").copy()
+
+
+def pollack_energy_array(bces: object) -> np.ndarray:
+    """Array twin of :func:`~repro.amdahl.pollack.pollack_energy`."""
+    return pollack_power_array(bces) / pollack_performance_array(bces)

@@ -363,16 +363,6 @@ def _cmd_mechanisms() -> int:
     return 1 if mismatches else 0
 
 
-def _sweep_factory(params):
-    """Module-level symmetric-multicore factory (picklable, so the
-    ``--workers`` process pool can ship it to workers)."""
-    from .amdahl.symmetric import SymmetricMulticore
-
-    return SymmetricMulticore(
-        cores=params["cores"], parallel_fraction=params["f"]
-    ).design_point()
-
-
 def _cmd_sweep(
     max_cores: int,
     fractions: list[float],
@@ -384,6 +374,7 @@ def _cmd_sweep(
     from .core.design import DesignPoint
     from .core.scenario import BALANCED, EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
     from .dse.batch import BatchExplorer
+    from .dse.factories import SymmetricMulticoreFactory
     from .dse.grid import ParameterGrid, geometric_range
 
     weight = {
@@ -394,8 +385,10 @@ def _cmd_sweep(
     grid = ParameterGrid(
         {"cores": geometric_range(1, max_cores), "f": list(fractions)}
     )
+    # A vector factory (frozen dataclass, picklable for --workers):
+    # cold sweeps run columnar, warm re-sweeps hit the cache.
     explorer = BatchExplorer(
-        factory=_sweep_factory,
+        factory=SymmetricMulticoreFactory(),
         baseline=DesignPoint.baseline("1-BCE single core"),
         weight=weight,
         chunk_size=chunk_size,
@@ -421,6 +414,8 @@ def _cmd_sweep(
         f"\ncache: {stats.size} entries, {stats.hits} hits / "
         f"{stats.misses} misses (hit ratio {stats.hit_ratio:.1%})"
     )
+    if explorer.last_sweep is not None:
+        print(explorer.last_sweep.summary())
     if pareto:
         from .core.pareto import ParetoPoint, pareto_frontier
 

@@ -21,6 +21,7 @@ identical verdicts to the scalar loop it replaces.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -34,6 +35,13 @@ __all__ = [
     "classify_arrays",
     "category_counts",
     "categories_from_codes",
+    "ensure_positive_array",
+    "ensure_non_negative_array",
+    "ensure_fraction_array",
+    "ensure_int_at_least_array",
+    "exact_exp",
+    "exact_expm1",
+    "exact_pow",
 ]
 
 #: Category for each code returned by :func:`classify_arrays`. The order
@@ -158,3 +166,134 @@ def category_counts(codes: object) -> dict[Sustainability, int]:
 def categories_from_codes(codes: object) -> list[Sustainability]:
     """Decode :func:`classify_arrays` codes back to categories."""
     return [CATEGORIES[int(code)] for code in np.asarray(codes).ravel()]
+
+
+# ----------------------------------------------------------------------
+# Array-wise quantity validation
+#
+# The columnar substrate kernels (repro.wafer.batch, repro.amdahl.batch,
+# repro.dvfs.batch) enforce the same rules as the scalar helpers in
+# repro.core.quantities, but over whole arrays with one vectorized
+# check. Error messages name the parameter and the flat index of the
+# first offending element, so a bad sweep corner is as diagnosable as a
+# bad scalar call.
+# ----------------------------------------------------------------------
+def _as_float64(values: object, name: str) -> np.ndarray:
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"{name} must be an array of real numbers, got {values!r}"
+        ) from exc
+    return arr
+
+
+def _first_bad(arr: np.ndarray, bad: np.ndarray) -> tuple[int, float]:
+    index = int(np.argmax(bad.ravel()))
+    return index, arr.ravel()[index]
+
+
+def ensure_positive_array(values: object, name: str) -> np.ndarray:
+    """Array-wise :func:`~repro.core.quantities.ensure_positive`."""
+    arr = _as_float64(values, name)
+    bad = ~(np.isfinite(arr) & (arr > 0.0))
+    if bad.any():
+        index, value = _first_bad(arr, bad)
+        raise ValidationError(
+            f"{name} must be > 0 and finite, got {value!r} (flat index {index})"
+        )
+    return arr
+
+
+def ensure_non_negative_array(values: object, name: str) -> np.ndarray:
+    """Array-wise :func:`~repro.core.quantities.ensure_non_negative`."""
+    arr = _as_float64(values, name)
+    bad = ~(np.isfinite(arr) & (arr >= 0.0))
+    if bad.any():
+        index, value = _first_bad(arr, bad)
+        raise ValidationError(
+            f"{name} must be >= 0 and finite, got {value!r} (flat index {index})"
+        )
+    return arr
+
+
+def ensure_fraction_array(values: object, name: str) -> np.ndarray:
+    """Array-wise :func:`~repro.core.quantities.ensure_fraction`."""
+    arr = _as_float64(values, name)
+    bad = ~(np.isfinite(arr) & (arr >= 0.0) & (arr <= 1.0))
+    if bad.any():
+        index, value = _first_bad(arr, bad)
+        raise ValidationError(
+            f"{name} must lie in [0, 1], got {value!r} (flat index {index})"
+        )
+    return arr
+
+
+def ensure_int_at_least_array(values: object, low: int, name: str) -> np.ndarray:
+    """Array-wise :func:`~repro.core.quantities.ensure_int_at_least`.
+
+    Returns the values as ``float64`` (every element exactly integral),
+    which is what the downstream arithmetic kernels consume.
+    """
+    raw = np.asarray(values)
+    if raw.dtype == np.bool_:
+        raise ValidationError(f"{name} must be integers, got booleans")
+    arr = _as_float64(raw, name)
+    bad = ~(np.isfinite(arr) & (arr == np.floor(arr)) & (arr >= low))
+    if bad.any():
+        index, value = _first_bad(arr, bad)
+        raise ValidationError(
+            f"{name} must be an integer >= {low}, got {value!r} "
+            f"(flat index {index})"
+        )
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Exact elementwise transcendentals
+#
+# NumPy's SIMD exp/expm1 (and its array power loops for exponents other
+# than 1 and 2) are faithfully rounded but not bit-identical to the
+# libm calls the scalar substrate makes — they drift by an ulp on a few
+# percent of inputs. The columnar kernels promise *bit-exact* agreement
+# with their scalar counterparts, so the handful of transcendental
+# sites route through these helpers, which apply the exact same
+# ``math``/``float.__pow__`` operation per element. Everything around
+# them (+, -, *, /, sqrt, **2 — all correctly rounded and identical in
+# NumPy and libm) stays fully vectorized.
+# ----------------------------------------------------------------------
+def exact_exp(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.exp``, bit-exact with the scalar substrate."""
+    arr = np.asarray(values, dtype=np.float64)
+    flat = arr.ravel()
+    out = np.fromiter((math.exp(v) for v in flat), np.float64, count=flat.size)
+    return out.reshape(arr.shape)
+
+
+def exact_expm1(values: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.expm1``, bit-exact with the scalar substrate."""
+    arr = np.asarray(values, dtype=np.float64)
+    flat = arr.ravel()
+    out = np.fromiter((math.expm1(v) for v in flat), np.float64, count=flat.size)
+    return out.reshape(arr.shape)
+
+
+def exact_pow(values: np.ndarray, exponent: int) -> np.ndarray:
+    """Elementwise ``value ** exponent``, bit-exact with scalar Python.
+
+    Exponents 0 and 1 are exact by the IEEE-754 pow special cases; any
+    other integer exponent goes through ``float.__pow__`` per element,
+    the operation the scalar substrate performs. (Even ``** 2`` must:
+    libm's ``pow(x, 2)`` is not bit-identical to ``x * x`` for every
+    ``x``, and NumPy's array power loop differs from both.)
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if exponent == 0:
+        return np.ones_like(arr)
+    if exponent == 1:
+        return arr.copy()
+    flat = arr.ravel()
+    out = np.fromiter(
+        (float(v) ** exponent for v in flat), np.float64, count=flat.size
+    )
+    return out.reshape(arr.shape)

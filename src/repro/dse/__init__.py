@@ -7,9 +7,23 @@ reference path, :class:`BatchExplorer` the vectorized production path
 factories, array-at-once NCF/classification kernels).
 """
 
-from .batch import BatchExplorer, BatchSweepResult, FactoryCache, params_key
+from .batch import (
+    BatchExplorer,
+    BatchSweepResult,
+    DesignArrays,
+    FactoryCache,
+    SweepEngineStats,
+    VectorFactory,
+    is_vector_factory,
+    params_key,
+)
 from .breakeven import bisect_crossing, crossing_or_none
 from .explorer import ExplorationResult, Explorer
+from .factories import (
+    AsymmetricMulticoreFactory,
+    DVFSOperatingPointFactory,
+    SymmetricMulticoreFactory,
+)
 from .grid import ParameterGrid, geometric_range, linear_range
 from .montecarlo import (
     CategoryProbabilities,
@@ -29,6 +43,13 @@ __all__ = [
     "BatchSweepResult",
     "FactoryCache",
     "params_key",
+    "DesignArrays",
+    "VectorFactory",
+    "is_vector_factory",
+    "SweepEngineStats",
+    "SymmetricMulticoreFactory",
+    "AsymmetricMulticoreFactory",
+    "DVFSOperatingPointFactory",
     "bisect_crossing",
     "crossing_or_none",
     "SensitivityEntry",

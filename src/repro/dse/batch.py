@@ -12,6 +12,13 @@ provides the production path for large sweeps:
 * :class:`FactoryCache` memoizes factory evaluations on parameter
   tuples, so ``subgrid`` and tornado re-sweeps never re-evaluate a
   design (invalid corners — ``DomainError`` — are memoized too);
+* :class:`VectorFactory` is the columnar protocol for the *cold* path:
+  a factory that additionally maps a whole grid chunk (one NumPy
+  column per axis) to :class:`DesignArrays` in a few vectorized
+  passes. A cold sweep of such a factory never evaluates the scalar
+  substrate point-by-point (see :mod:`repro.dse.factories` for the
+  stock implementations); warm sweeps and process-pool sweeps keep the
+  scalar + cache path, which is already a dict probe per point;
 * :class:`BatchSweepResult` holds the sweep as arrays and converts back
   to the scalar :class:`~repro.dse.explorer.ExplorationResult` objects
   on demand.
@@ -28,7 +35,15 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -52,6 +67,10 @@ __all__ = [
     "params_key",
     "CacheStats",
     "FactoryCache",
+    "DesignArrays",
+    "VectorFactory",
+    "is_vector_factory",
+    "SweepEngineStats",
     "BatchSweepResult",
     "BatchExplorer",
 ]
@@ -201,6 +220,124 @@ def _chunked(
 
 
 @dataclass(frozen=True)
+class DesignArrays:
+    """One grid chunk evaluated as columns instead of objects.
+
+    ``area``/``perf``/``power`` hold the would-be
+    :class:`~repro.core.design.DesignPoint` fields for each row of the
+    chunk; ``valid`` marks rows the scalar factory would return for
+    (``False`` rows are the corners it would reject with
+    :class:`~repro.core.errors.DomainError`, and their area/perf/power
+    values are placeholders that must never be read).
+    """
+
+    area: np.ndarray
+    perf: np.ndarray
+    power: np.ndarray
+    valid: np.ndarray
+
+    def __post_init__(self) -> None:
+        area = np.asarray(self.area, dtype=np.float64)
+        perf = np.asarray(self.perf, dtype=np.float64)
+        power = np.asarray(self.power, dtype=np.float64)
+        valid = np.asarray(self.valid, dtype=bool)
+        if area.ndim != 1 or {perf.shape, power.shape, valid.shape} != {area.shape}:
+            raise ValidationError(
+                "DesignArrays columns must be 1-D arrays of one common "
+                f"length, got shapes area={area.shape}, perf={perf.shape}, "
+                f"power={power.shape}, valid={valid.shape}"
+            )
+        object.__setattr__(self, "area", area)
+        object.__setattr__(self, "perf", perf)
+        object.__setattr__(self, "power", power)
+        object.__setattr__(self, "valid", valid)
+
+    def __len__(self) -> int:
+        return int(self.area.shape[0])
+
+
+@runtime_checkable
+class VectorFactory(Protocol):
+    """A design factory that can also evaluate whole chunks columnar.
+
+    A vector factory is first of all an ordinary
+    :data:`~repro.dse.explorer.DesignFactory` — ``factory(params)``
+    returns one :class:`~repro.core.design.DesignPoint` or raises
+    :class:`~repro.core.errors.DomainError`. On top of that it maps a
+    whole parameter-grid chunk, presented as one NumPy column per axis,
+    to :class:`DesignArrays` in a handful of vectorized passes.
+
+    The contract that makes the fast path safe to take silently:
+
+    * ``batch_arrays`` must be **bit-exact** with the scalar call — for
+      every valid row, the columns equal the scalar design's
+      area/perf/power fields to the last bit (build on the
+      ``repro.*.batch`` kernels, which guarantee this);
+    * ``valid`` must be ``True`` exactly where the scalar call returns
+      instead of raising ``DomainError`` (skip semantics);
+    * optionally, a ``design_points(chunk, arrays)`` method may
+      materialize the named :class:`DesignPoint` objects for a chunk
+      (``None`` for invalid rows); without it the engine falls back to
+      the scalar call per point when point objects are required.
+    """
+
+    def __call__(self, params: Mapping[str, object]) -> DesignPoint: ...
+
+    def batch_arrays(self, columns: Mapping[str, np.ndarray]) -> DesignArrays: ...
+
+
+def is_vector_factory(factory: object) -> bool:
+    """Whether *factory* implements the :class:`VectorFactory` protocol."""
+    return isinstance(factory, VectorFactory)
+
+
+@dataclass(frozen=True)
+class SweepEngineStats:
+    """How the engine executed the last sweep (one immutable snapshot).
+
+    ``mode`` is ``"vector"`` when the columnar cold-sweep path ran and
+    ``"scalar"`` otherwise. ``fallback_points`` counts grid points that
+    were evaluated through the scalar factory *although* the factory is
+    vector-capable (warm cache, process-pool workers, or rows needing
+    point materialization) — the ``focal_vector_fallback_total`` metric
+    mirrors it.
+    """
+
+    mode: str
+    grid_points: int
+    valid_points: int
+    vector_points: int
+    fallback_points: int
+    seconds: float
+
+    @property
+    def evals_per_s(self) -> float:
+        """Grid points evaluated per second (0.0 for an untimed sweep)."""
+        return self.grid_points / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        """One human line for CLI output."""
+        line = (
+            f"engine: {self.mode} path, {self.grid_points} pts in "
+            f"{self.seconds:.3f} s ({self.evals_per_s:,.0f} evals/s)"
+        )
+        if self.fallback_points:
+            line += f", {self.fallback_points} scalar-fallback pts"
+        return line
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "grid_points": self.grid_points,
+            "valid_points": self.valid_points,
+            "vector_points": self.vector_points,
+            "fallback_points": self.fallback_points,
+            "seconds": self.seconds,
+            "evals_per_s": self.evals_per_s,
+        }
+
+
+@dataclass(frozen=True)
 class BatchSweepResult:
     """A whole sweep held as arrays (valid points only, grid order)."""
 
@@ -278,6 +415,11 @@ class BatchExplorer:
     chunk_size: int = 1024
     workers: int = 0
     cache: FactoryCache = field(default=None)  # type: ignore[assignment]
+    #: Engine execution snapshot of the most recent sweep (set by
+    #: explore_arrays/count_categories; None before the first sweep).
+    last_sweep: SweepEngineStats | None = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -341,6 +483,73 @@ class BatchExplorer:
         return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Columnar (VectorFactory) evaluation
+    # ------------------------------------------------------------------
+    def _vector_cold(self) -> bool:
+        """Whether this sweep may take the columnar cold path.
+
+        The vector path engages only on a genuinely cold sweep: a
+        vector-capable factory, no process pool (workers evaluate the
+        scalar factory), and an empty cache (a warm cache means the
+        memoized scalar path is already a dict probe per point, which
+        the columnar path cannot beat). Decided once at sweep start.
+        """
+        return (
+            self.workers == 0
+            and len(self.cache) == 0
+            and is_vector_factory(self.factory)
+        )
+
+    @staticmethod
+    def _chunk_columns(
+        chunk: Sequence[Mapping[str, object]],
+    ) -> dict[str, np.ndarray]:
+        """One NumPy column per axis for a chunk of grid-point dicts."""
+        return {
+            name: np.asarray([params[name] for params in chunk])
+            for name in chunk[0]
+        }
+
+    def _vector_chunk(
+        self, chunk: Sequence[Mapping[str, object]]
+    ) -> list[DesignPoint | DomainError]:
+        """Evaluate a cold chunk through the factory's columnar path.
+
+        ``batch_arrays`` computes every row's area/perf/power in a few
+        vectorized passes; ``design_points`` (when the factory provides
+        it) materializes the named DesignPoints from those columns.
+        Rows it leaves unmaterialized — and every invalid row — fall
+        back to one scalar call, which for invalid corners captures the
+        genuine ``DomainError``. Outcomes are memoized exactly like the
+        scalar path, so a subsequent warm sweep is byte-identical
+        either way.
+        """
+        factory = self.factory
+        arrays = factory.batch_arrays(self._chunk_columns(chunk))
+        if len(arrays) != len(chunk):
+            raise ConfigurationError(
+                f"batch_arrays returned {len(arrays)} rows for a "
+                f"{len(chunk)}-point chunk"
+            )
+        builder = getattr(factory, "design_points", None)
+        points = list(builder(chunk, arrays)) if builder is not None else None
+        names = sorted(chunk[0])
+        entries = self.cache._entries
+        valid = arrays.valid
+        outcomes: list[DesignPoint | DomainError] = []
+        for row, params in enumerate(chunk):
+            outcome = points[row] if points is not None and valid[row] else None
+            if outcome is None:
+                try:
+                    outcome = factory(params)
+                except DomainError as exc:
+                    outcome = exc
+            entries[tuple([(name, params[name]) for name in names])] = outcome
+            outcomes.append(outcome)
+        self.cache.record(misses=len(chunk))
+        return outcomes
+
+    # ------------------------------------------------------------------
     # Sweeps
     # ------------------------------------------------------------------
     def explore_arrays(self, grid: ParameterGrid) -> BatchSweepResult:
@@ -349,10 +558,17 @@ class BatchExplorer:
         Invalid corners (factories raising ``DomainError``) are dropped,
         exactly like ``Explorer.explore``; an all-invalid sweep raises
         :class:`~repro.core.errors.ConfigurationError`.
+
+        A cold sweep of a :class:`VectorFactory` runs columnar: each
+        chunk's area/perf/power come from ``batch_arrays`` instead of
+        per-point factory calls. Output (ordering, skips, values, cache
+        contents) is byte-identical either way.
         """
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
+        use_vector = self._vector_cold()
+        mode = "vector" if use_vector else "scalar"
         params_list: list[Mapping[str, object]] = []
         designs: list[DesignPoint] = []
         pool: ProcessPoolExecutor | None = None
@@ -361,17 +577,21 @@ class BatchExplorer:
             grid_points=len(grid),
             chunk_size=self.chunk_size,
             workers=self.workers,
+            mode=mode,
         ) as sweep_span:
-            start_s = time.perf_counter() if observing else 0.0
+            start_s = time.perf_counter()
             try:
                 if self.workers:
                     pool = ProcessPoolExecutor(max_workers=self.workers)
                 for index, chunk in enumerate(_chunked(iter(grid), self.chunk_size)):
-                    with tracer.span("chunk", index=index) as chunk_span:
+                    with tracer.span("chunk", index=index, mode=mode) as chunk_span:
                         if observing:
                             chunk_start = time.perf_counter()
                             before = self.cache.stats()
-                        outcomes = self._evaluate_chunk(chunk, pool)
+                        if use_vector:
+                            outcomes = self._vector_chunk(chunk)
+                        else:
+                            outcomes = self._evaluate_chunk(chunk, pool)
                         valid = 0
                         for params, outcome in zip(chunk, outcomes):
                             if isinstance(outcome, DomainError):
@@ -398,13 +618,14 @@ class BatchExplorer:
             with tracer.span("classify", points=len(designs)):
                 perf, ncf_fw, ncf_ft = self._ncf_arrays(designs)
                 codes = classify_arrays(ncf_fw, ncf_ft)
+            stats = self._engine_stats(
+                mode=mode,
+                grid_points=len(grid),
+                valid_points=len(params_list),
+                seconds=time.perf_counter() - start_s,
+            )
             if observing:
-                self._observe_sweep(
-                    registry,
-                    sweep_span,
-                    points=len(params_list),
-                    seconds=time.perf_counter() - start_s,
-                )
+                self._observe_sweep(registry, sweep_span, stats)
         return BatchSweepResult(
             params=tuple(params_list),
             designs=tuple(designs),
@@ -456,15 +677,42 @@ class BatchExplorer:
                 "focal_chunk_seconds", "wall time per evaluated chunk"
             ).observe(seconds)
 
+    def _engine_stats(
+        self,
+        *,
+        mode: str,
+        grid_points: int,
+        valid_points: int,
+        seconds: float,
+    ) -> SweepEngineStats:
+        """Snapshot how the sweep executed and publish it as
+        :attr:`last_sweep` (recorded unconditionally — the CLI summary
+        line must not require observability to be enabled)."""
+        vector = mode == "vector"
+        fallback = (
+            grid_points if not vector and is_vector_factory(self.factory) else 0
+        )
+        stats = SweepEngineStats(
+            mode=mode,
+            grid_points=grid_points,
+            valid_points=valid_points,
+            vector_points=grid_points if vector else 0,
+            fallback_points=fallback,
+            seconds=seconds,
+        )
+        object.__setattr__(self, "last_sweep", stats)
+        return stats
+
     def _observe_sweep(
         self,
         registry: _metrics.MetricsRegistry,
         sweep_span,
-        *,
-        points: int,
-        seconds: float,
+        engine: SweepEngineStats,
     ) -> None:
-        """Sweep-level telemetry: cache hit ratio and throughput."""
+        """Sweep-level telemetry: cache effectiveness, throughput and
+        the vector/scalar execution split."""
+        points = engine.valid_points
+        seconds = engine.seconds
         stats = self.cache.stats()
         if sweep_span is not _trace.NULL_SPAN:
             sweep_span.set(
@@ -476,6 +724,8 @@ class BatchExplorer:
                 cache_hit_ratio=stats.hit_ratio,
                 cache_size=stats.size,
             )
+            if engine.mode == "vector":
+                sweep_span.set(vector_evals_per_s=engine.evals_per_s)
         if registry.enabled:
             registry.gauge(
                 "focal_cache_hit_ratio", "factory cache hits / lookups"
@@ -483,6 +733,21 @@ class BatchExplorer:
             registry.gauge(
                 "focal_sweep_evals_per_s", "valid grid points per second, last sweep"
             ).set(points / seconds if seconds > 0 else 0.0)
+            if engine.vector_points:
+                registry.counter(
+                    "focal_vector_evaluations_total",
+                    "grid points evaluated through the columnar path",
+                ).inc(engine.vector_points)
+                registry.gauge(
+                    "focal_vector_evals_per_s",
+                    "columnar grid points per second, last vector sweep",
+                ).set(engine.evals_per_s)
+            if engine.fallback_points:
+                registry.counter(
+                    "focal_vector_fallback_total",
+                    "points a vector-capable factory evaluated scalar "
+                    "(warm cache or process-pool workers)",
+                ).inc(engine.fallback_points)
 
     def _ncf_arrays(
         self, designs: Sequence[DesignPoint]
@@ -495,6 +760,13 @@ class BatchExplorer:
         area = np.array([design.area for design in designs], dtype=np.float64)
         perf = np.array([design.perf for design in designs], dtype=np.float64)
         power = np.array([design.power for design in designs], dtype=np.float64)
+        return self._ncf_from_columns(area, perf, power)
+
+    def _ncf_from_columns(
+        self, area: np.ndarray, perf: np.ndarray, power: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ratio/NCF arithmetic shared by the object and columnar
+        paths — one definition, so they cannot drift apart."""
         base = self.baseline
         area_ratio = area / base.area
         energy_ratio = (power / perf) / base.energy
@@ -519,29 +791,104 @@ class BatchExplorer:
         per-point params/result objects are never materialized — cache
         keys are built straight from the cartesian product, so a warm
         re-sweep is a dict probe and a few vector ops per chunk.
+
+        On a cold sweep of a :class:`VectorFactory` this goes fully
+        columnar: axis columns are built from the grid's cartesian
+        structure by stride arithmetic, chunks flow through
+        ``batch_arrays``, and verdicts accumulate via ``np.bincount`` —
+        no per-point dicts, DesignPoints or cache writes at all (the
+        cache stays cold; use :meth:`explore_arrays` to warm it).
         """
         if self.workers:
             return self.explore_arrays(grid).category_counts()
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
-        with tracer.span("sweep.count", grid_points=len(grid)) as sweep_span:
-            start_s = time.perf_counter() if observing else 0.0
-            designs = self._designs_only(grid)
-            if not designs:
+        use_vector = self._vector_cold()
+        mode = "vector" if use_vector else "scalar"
+        with tracer.span(
+            "sweep.count", grid_points=len(grid), mode=mode
+        ) as sweep_span:
+            start_s = time.perf_counter()
+            if use_vector:
+                codes_hist, valid = self._count_columnar(grid, tracer)
+            else:
+                designs = self._designs_only(grid)
+                valid = len(designs)
+                codes_hist = np.zeros(len(CATEGORIES), dtype=np.int64)
+                if designs:
+                    _, ncf_fw, ncf_ft = self._ncf_arrays(designs)
+                    codes_hist = np.bincount(
+                        classify_arrays(ncf_fw, ncf_ft), minlength=len(CATEGORIES)
+                    )
+            if not valid:
                 raise ConfigurationError(
                     "exploration produced no valid design points"
                 )
-            _, ncf_fw, ncf_ft = self._ncf_arrays(designs)
-            counts = category_counts(classify_arrays(ncf_fw, ncf_ft))
+            counts = {
+                category: int(codes_hist[code])
+                for code, category in enumerate(CATEGORIES)
+            }
+            stats = self._engine_stats(
+                mode=mode,
+                grid_points=len(grid),
+                valid_points=valid,
+                seconds=time.perf_counter() - start_s,
+            )
             if observing:
-                self._observe_sweep(
-                    registry,
-                    sweep_span,
-                    points=len(designs),
-                    seconds=time.perf_counter() - start_s,
-                )
+                self._observe_sweep(registry, sweep_span, stats)
         return {category: n for category, n in counts.items() if n}
+
+    def _count_columnar(
+        self, grid: ParameterGrid, tracer: _trace.Tracer
+    ) -> tuple[np.ndarray, int]:
+        """The pure columnar cold count: per-category histogram and
+        valid-point total, with no per-point Python objects.
+
+        Axis columns for each chunk are computed straight from the
+        cartesian structure: grid iteration is row-major, so point
+        ``i`` takes value ``axis[(i // stride) % len(axis)]`` where an
+        axis's stride is the product of the later axes' sizes.
+        """
+        factory = self.factory
+        names = list(grid.axes)
+        values = [np.asarray(grid.axes[name]) for name in names]
+        sizes = [v.shape[0] for v in values]
+        strides = [1] * len(names)
+        for axis in range(len(names) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * sizes[axis + 1]
+        total = len(grid)
+        histogram = np.zeros(len(CATEGORIES), dtype=np.int64)
+        valid_total = 0
+        for index, start in enumerate(range(0, total, self.chunk_size)):
+            with tracer.span("chunk", index=index, mode="vector") as chunk_span:
+                rows = np.arange(start, min(start + self.chunk_size, total))
+                columns = {
+                    name: axis_values[(rows // stride) % size]
+                    for name, axis_values, stride, size in zip(
+                        names, values, strides, sizes
+                    )
+                }
+                arrays = factory.batch_arrays(columns)
+                if len(arrays) != rows.shape[0]:
+                    raise ConfigurationError(
+                        f"batch_arrays returned {len(arrays)} rows for a "
+                        f"{rows.shape[0]}-point chunk"
+                    )
+                mask = arrays.valid
+                area, perf, power = arrays.area, arrays.perf, arrays.power
+                if not mask.all():
+                    area, perf, power = area[mask], perf[mask], power[mask]
+                if chunk_span is not _trace.NULL_SPAN:
+                    chunk_span.set(points=rows.shape[0], valid=int(area.shape[0]))
+                if not area.shape[0]:
+                    continue
+                _, ncf_fw, ncf_ft = self._ncf_from_columns(area, perf, power)
+                histogram += np.bincount(
+                    classify_arrays(ncf_fw, ncf_ft), minlength=len(CATEGORIES)
+                )
+                valid_total += int(area.shape[0])
+        return histogram, valid_total
 
     def _designs_only(self, grid: ParameterGrid) -> list[DesignPoint]:
         """Evaluate every grid point, skipping params materialization

@@ -1,6 +1,13 @@
 """Voltage/frequency scaling: DVFS, turbo boost, and iso-power solving
 (paper §5.8, §7)."""
 
+from .batch import (
+    dynamic_energy_factors,
+    dynamic_power_factors,
+    leakage_power_factors,
+    performance_factors,
+    scale_design_arrays,
+)
 from .governor import (
     EnergyModel,
     RaceVsPace,
@@ -35,4 +42,9 @@ __all__ = [
     "optimal_multiplier",
     "race_vs_pace",
     "RaceVsPace",
+    "dynamic_power_factors",
+    "dynamic_energy_factors",
+    "leakage_power_factors",
+    "performance_factors",
+    "scale_design_arrays",
 ]

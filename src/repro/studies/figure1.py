@@ -32,13 +32,13 @@ def figure1(
     )
 
     def series_for(model: EmbodiedFootprintModel, name: str) -> Series:
+        # model.sweep runs columnar (repro.wafer.batch), bit-exact with
+        # per-point normalized_footprint calls.
         points = [
-            Point(
-                x=area,
-                y=model.normalized_footprint(area, FIGURE1_REFERENCE_AREA_MM2),
-                label=f"{area:g}mm2",
+            Point(x=area, y=value, label=f"{area:g}mm2")
+            for area, value in model.sweep(
+                die_sizes_mm2, FIGURE1_REFERENCE_AREA_MM2
             )
-            for area in die_sizes_mm2
         ]
         return Series(name=name, points=tuple(points))
 

@@ -1,6 +1,13 @@
 """Wafer geometry, die yield, and the per-chip embodied-footprint proxy
 (paper §3.1, Figure 1)."""
 
+from .batch import (
+    chips_per_wafer_array,
+    de_vries_valid_mask,
+    die_yield_array,
+    footprint_per_chip_array,
+    normalized_footprint_array,
+)
 from .binning import BinnedYield, BinningModel
 from .embodied import FIGURE1_REFERENCE_AREA_MM2, EmbodiedFootprintModel
 from .geometry import WAFER_200MM, WAFER_300MM, WAFER_450MM, Wafer, chips_per_wafer
@@ -31,4 +38,9 @@ __all__ = [
     "FIGURE1_REFERENCE_AREA_MM2",
     "BinningModel",
     "BinnedYield",
+    "chips_per_wafer_array",
+    "de_vries_valid_mask",
+    "die_yield_array",
+    "footprint_per_chip_array",
+    "normalized_footprint_array",
 ]

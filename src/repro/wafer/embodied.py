@@ -81,8 +81,12 @@ class EmbodiedFootprintModel:
         die_areas_mm2: Sequence[float],
         reference_area_mm2: float = FIGURE1_REFERENCE_AREA_MM2,
     ) -> list[tuple[float, float]]:
-        """(die area, normalized footprint) pairs for a range of sizes."""
-        return [
-            (area, self.normalized_footprint(area, reference_area_mm2))
-            for area in die_areas_mm2
-        ]
+        """(die area, normalized footprint) pairs for a range of sizes.
+
+        Runs columnar through :func:`repro.wafer.batch.footprint_sweep`
+        (bit-exact with the per-point scalar loop it replaced), so the
+        figure studies sweep die sizes at array speed.
+        """
+        from .batch import footprint_sweep
+
+        return footprint_sweep(self, die_areas_mm2, reference_area_mm2)

@@ -1,0 +1,129 @@
+"""Columnar Amdahl/Pollack kernels must be bit-exact with the scalar
+multicore models, and the asymmetric validity mask must mirror the
+scalar ``DomainError`` corners exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.batch import (
+    asymmetric_energy,
+    asymmetric_power,
+    asymmetric_speedup,
+    asymmetric_valid_mask,
+    dynamic_energy,
+    dynamic_power,
+    dynamic_speedup,
+    pollack_energy_array,
+    pollack_performance_array,
+    pollack_power_array,
+    symmetric_energy,
+    symmetric_power,
+    symmetric_speedup,
+)
+from repro.amdahl.dynamic import DynamicMulticore
+from repro.amdahl.pollack import pollack_energy, pollack_performance, pollack_power
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.errors import DomainError, ValidationError
+
+CORES = np.asarray([1, 2, 3, 8, 64, 256])
+FRACTIONS = np.asarray([0.0, 0.5, 0.9, 0.99, 1.0])
+
+
+class TestSymmetricKernels:
+    def test_bit_exact_across_grid(self):
+        for f in FRACTIONS:
+            fs = np.full(CORES.shape, f)
+            speedup = symmetric_speedup(CORES, fs)
+            energy = symmetric_energy(CORES, fs, 0.3)
+            power = symmetric_power(CORES, fs, 0.3)
+            for i, n in enumerate(CORES):
+                model = SymmetricMulticore(
+                    cores=int(n), parallel_fraction=float(f), leakage=0.3
+                )
+                assert speedup[i] == model.speedup
+                assert energy[i] == model.energy
+                assert power[i] == model.power
+
+    def test_broadcasting(self):
+        speedup = symmetric_speedup(CORES[:, None], FRACTIONS[None, :])
+        assert speedup.shape == (len(CORES), len(FRACTIONS))
+
+    def test_rejects_fractional_core_counts(self):
+        with pytest.raises(ValidationError):
+            symmetric_speedup([1.5], [0.5])
+
+    def test_rejects_out_of_range_fractions(self):
+        with pytest.raises(ValidationError):
+            symmetric_speedup([2], [1.5])
+
+
+class TestAsymmetricKernels:
+    def test_valid_mask_mirrors_scalar_domain_errors(self):
+        total = np.repeat(np.arange(2, 18), 17)
+        big = np.tile(np.arange(1, 18), 16)
+        mask = asymmetric_valid_mask(total, big)
+        for n, m, ok in zip(total, big, mask):
+            if ok:
+                AsymmetricMulticore(
+                    total_bces=int(n), big_core_bces=int(m), parallel_fraction=0.5
+                )
+            else:
+                with pytest.raises(DomainError):
+                    AsymmetricMulticore(
+                        total_bces=int(n),
+                        big_core_bces=int(m),
+                        parallel_fraction=0.5,
+                    )
+
+    def test_bit_exact_on_valid_corners(self):
+        total = np.repeat(np.arange(2, 34), 33)
+        big = np.tile(np.arange(1, 34), 32)
+        mask = asymmetric_valid_mask(total, big)
+        n, m = total[mask], big[mask]
+        f = np.full(n.shape, 0.9)
+        speedup = asymmetric_speedup(n, m, f)
+        energy = asymmetric_energy(n, m, f, 0.3)
+        power = asymmetric_power(n, m, f, 0.3)
+        for i in range(len(n)):
+            model = AsymmetricMulticore(
+                total_bces=int(n[i]),
+                big_core_bces=int(m[i]),
+                parallel_fraction=0.9,
+                leakage=0.3,
+            )
+            assert speedup[i] == model.speedup
+            assert energy[i] == model.energy
+            assert power[i] == model.power
+
+
+class TestDynamicKernels:
+    def test_bit_exact_across_grid(self):
+        for f in FRACTIONS:
+            fs = np.full(CORES.shape, f)
+            speedup = dynamic_speedup(CORES, fs)
+            power = dynamic_power(CORES, fs)
+            energy = dynamic_energy(CORES, fs)
+            for i, n in enumerate(CORES):
+                model = DynamicMulticore(bces=int(n), parallel_fraction=float(f))
+                assert speedup[i] == model.speedup
+                assert power[i] == model.power
+                assert energy[i] == model.energy
+
+
+class TestPollackKernels:
+    def test_bit_exact(self):
+        bces = np.asarray([1.0, 2.0, 4.0, 7.0, 64.0])
+        perf = pollack_performance_array(bces)
+        power = pollack_power_array(bces)
+        energy = pollack_energy_array(bces)
+        for i, b in enumerate(bces):
+            assert perf[i] == pollack_performance(float(b))
+            assert power[i] == pollack_power(float(b))
+            assert energy[i] == pollack_energy(float(b))
+
+    def test_rejects_non_positive_bces(self):
+        with pytest.raises(ValidationError):
+            pollack_performance_array([1.0, 0.0])

@@ -1,0 +1,73 @@
+"""Columnar DVFS kernels must be bit-exact with the scalar scaling
+laws and ``scale_design``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.errors import ValidationError
+from repro.dvfs.batch import (
+    dynamic_energy_factors,
+    dynamic_power_factors,
+    leakage_power_factors,
+    performance_factors,
+    scale_design_arrays,
+)
+from repro.dvfs.laws import (
+    dynamic_energy_factor,
+    dynamic_power_factor,
+    leakage_power_factor,
+    performance_factor,
+)
+from repro.dvfs.operating_point import DVFSConfig, scale_design
+
+MULTIPLIERS = np.asarray([0.25, 0.5, 0.8, 1.0, 1.3, 2.0])
+
+
+class TestScalingLawKernels:
+    def test_factors_bit_exact(self):
+        cubed = dynamic_power_factors(MULTIPLIERS)
+        squared = dynamic_energy_factors(MULTIPLIERS)
+        linear_p = leakage_power_factors(MULTIPLIERS)
+        linear_s = performance_factors(MULTIPLIERS)
+        for i, s in enumerate(MULTIPLIERS):
+            assert cubed[i] == dynamic_power_factor(float(s))
+            assert squared[i] == dynamic_energy_factor(float(s))
+            assert linear_p[i] == leakage_power_factor(float(s))
+            assert linear_s[i] == performance_factor(float(s))
+
+    def test_rejects_non_positive_multipliers(self):
+        with pytest.raises(ValidationError):
+            dynamic_power_factors([1.0, 0.0])
+
+
+class TestScaleDesignArrays:
+    @pytest.fixture
+    def design(self):
+        return DesignPoint("chip", area=20.0, perf=2.0, power=3.0)
+
+    @pytest.mark.parametrize(
+        "config",
+        [DVFSConfig(), DVFSConfig(leakage_fraction=0.0), DVFSConfig(leakage_fraction=0.4)],
+        ids=["default", "fully-dynamic", "leaky"],
+    )
+    @pytest.mark.parametrize("regulator", [True, False], ids=["reg", "no-reg"])
+    def test_bit_exact_with_scale_design(self, design, config, regulator):
+        areas, perfs, powers = scale_design_arrays(
+            design, MULTIPLIERS, config, include_regulator_area=regulator
+        )
+        for i, s in enumerate(MULTIPLIERS):
+            point = scale_design(
+                design, float(s), config, include_regulator_area=regulator
+            )
+            assert areas[i] == point.area
+            assert perfs[i] == point.perf
+            assert powers[i] == point.power
+
+    def test_returns_float64_copies(self, design):
+        areas, perfs, powers = scale_design_arrays(design, MULTIPLIERS)
+        for arr in (areas, perfs, powers):
+            assert arr.dtype == np.float64
+            assert arr.shape == MULTIPLIERS.shape

@@ -1,0 +1,154 @@
+"""Property-based parity: every columnar substrate kernel is bit-exact
+with its scalar twin on arbitrary (valid) inputs — equality is ``==``,
+never ``approx``."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amdahl.asymmetric import AsymmetricMulticore
+from repro.amdahl.batch import (
+    asymmetric_power,
+    asymmetric_speedup,
+    asymmetric_valid_mask,
+    symmetric_energy,
+    symmetric_power,
+    symmetric_speedup,
+)
+from repro.amdahl.symmetric import SymmetricMulticore
+from repro.core.design import DesignPoint
+from repro.dvfs.batch import scale_design_arrays
+from repro.dvfs.operating_point import DVFSConfig, scale_design
+from repro.wafer.batch import (
+    bose_einstein_yield_array,
+    murphy_yield_array,
+    normalized_footprint_array,
+    poisson_yield_array,
+    seeds_yield_array,
+)
+from repro.wafer.embodied import EmbodiedFootprintModel
+from repro.wafer.yield_models import (
+    BoseEinsteinYield,
+    MurphyYield,
+    PoissonYield,
+    SeedsYield,
+)
+
+# Inside the de Vries validity region for a 300 mm wafer.
+die_areas = st.lists(
+    st.floats(min_value=1.0, max_value=1200.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+#: Includes pathologically high densities — the Seeds/Murphy tails.
+densities = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+fractions = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+core_counts = st.lists(st.integers(min_value=1, max_value=1024), min_size=1, max_size=20)
+multipliers = st.lists(
+    st.floats(min_value=0.01, max_value=4.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestWaferKernelProperties:
+    @given(die_areas, densities)
+    def test_yield_models_bit_exact(self, areas, density):
+        for batch_fn, model in (
+            (poisson_yield_array, PoissonYield(defect_density_per_cm2=density)),
+            (murphy_yield_array, MurphyYield(defect_density_per_cm2=density)),
+            (seeds_yield_array, SeedsYield(defect_density_per_cm2=density)),
+        ):
+            batch = batch_fn(areas, density)
+            assert batch.tolist() == [model.die_yield(a) for a in areas]
+
+    @given(die_areas, densities, st.integers(min_value=1, max_value=12))
+    def test_bose_einstein_bit_exact(self, areas, density, layers):
+        model = BoseEinsteinYield(
+            defect_density_per_cm2=density, critical_layers=layers
+        )
+        batch = bose_einstein_yield_array(areas, density, layers)
+        assert batch.tolist() == [model.die_yield(a) for a in areas]
+
+    @given(die_areas, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=25)
+    def test_normalized_footprint_bit_exact(self, areas, density):
+        model = EmbodiedFootprintModel(
+            yield_model=MurphyYield(defect_density_per_cm2=density)
+        )
+        batch = normalized_footprint_array(model, areas, 100.0)
+        assert batch.tolist() == [
+            model.normalized_footprint(a, 100.0) for a in areas
+        ]
+
+
+class TestAmdahlKernelProperties:
+    @given(core_counts, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_symmetric_bit_exact(self, cores, f):
+        fs = np.full(len(cores), f)
+        speedup = symmetric_speedup(cores, fs)
+        energy = symmetric_energy(cores, fs)
+        power = symmetric_power(cores, fs)
+        for i, n in enumerate(cores):
+            model = SymmetricMulticore(cores=n, parallel_fraction=f)
+            assert speedup[i] == model.speedup
+            assert energy[i] == model.energy
+            assert power[i] == model.power
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=2, max_value=256),
+                st.integers(min_value=1, max_value=256),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_asymmetric_mask_and_values_bit_exact(self, pairs, f):
+        total = np.asarray([n for n, _ in pairs])
+        big = np.asarray([m for _, m in pairs])
+        mask = asymmetric_valid_mask(total, big)
+        n, m = total[mask], big[mask]
+        if len(n):
+            fs = np.full(len(n), f)
+            speedup = asymmetric_speedup(n, m, fs)
+            power = asymmetric_power(n, m, fs)
+            for i in range(len(n)):
+                model = AsymmetricMulticore(
+                    total_bces=int(n[i]),
+                    big_core_bces=int(m[i]),
+                    parallel_fraction=f,
+                )
+                assert speedup[i] == model.speedup
+                assert power[i] == model.power
+        # Mask is True exactly where the scalar constructor succeeds.
+        assert mask.tolist() == [m_ < n_ for n_, m_ in pairs]
+
+
+class TestDVFSKernelProperties:
+    @given(
+        multipliers,
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.booleans(),
+    )
+    def test_scale_design_bit_exact(self, ss, leakage_fraction, regulator):
+        design = DesignPoint("chip", area=20.0, perf=2.0, power=3.0)
+        config = DVFSConfig(leakage_fraction=leakage_fraction)
+        areas, perfs, powers = scale_design_arrays(
+            design, ss, config, include_regulator_area=regulator
+        )
+        for i, s in enumerate(ss):
+            point = scale_design(
+                design, s, config, include_regulator_area=regulator
+            )
+            assert areas[i] == point.area
+            assert perfs[i] == point.perf
+            assert powers[i] == point.power

@@ -174,11 +174,22 @@ class TestSweep:
         assert "operational-dominated" in capsys.readouterr().out
 
     def test_workers_flag_matches_serial(self, capsys):
+        def split_engine_line(text):
+            lines = text.splitlines()
+            engine = [line for line in lines if line.startswith("engine:")]
+            rest = [line for line in lines if not line.startswith("engine:")]
+            return engine, rest
+
         args = ["sweep", "--max-cores", "8", "--fractions", "0.9"]
         assert main(args) == 0
-        serial = capsys.readouterr().out
+        serial_engine, serial = split_engine_line(capsys.readouterr().out)
         assert main(args + ["--workers", "2", "--chunk-size", "2"]) == 0
-        assert capsys.readouterr().out == serial
+        pool_engine, pool = split_engine_line(capsys.readouterr().out)
+        # Results are identical; only the engine diagnostics (mode and
+        # wall-clock rate) differ between the two paths.
+        assert pool == serial
+        assert any("vector path" in line for line in serial_engine)
+        assert any("scalar path" in line for line in pool_engine)
 
     def test_pareto_flag_prints_frontier(self, capsys):
         assert main(["sweep", "--max-cores", "8", "--pareto"]) == 0
