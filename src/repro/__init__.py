@@ -40,6 +40,7 @@ from .core import (
     EMBODIED_DOMINATED,
     OPERATIONAL_DOMINATED,
     STANDARD_WEIGHTS,
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     DesignPoint,
@@ -50,12 +51,14 @@ from .core import (
     NCFBand,
     ParetoPoint,
     ReproError,
+    ResilienceError,
     RobustConclusion,
     Sustainability,
     UnknownStudyError,
     UseScenario,
     ValidationError,
     Verdict,
+    WorkerPoolError,
     assess,
     classify,
     classify_pair,
@@ -107,6 +110,9 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "UnknownStudyError",
+    "ResilienceError",
+    "CheckpointError",
+    "WorkerPoolError",
     # studies
     "run_study",
     "study_names",

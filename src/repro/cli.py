@@ -184,6 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--pareto", action="store_true", help="also print the Pareto frontier"
     )
+    sweep.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="persist completed chunks to this file (atomic, checksummed) "
+        "so a killed sweep can be resumed",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint: completed chunks are replayed "
+        "without re-evaluation; results are bit-identical to an "
+        "uninterrupted run",
+    )
 
     advise = sub.add_parser(
         "advise", help="rank the paper's mechanisms for a workload class"
@@ -370,12 +384,15 @@ def _cmd_sweep(
     workers: int,
     chunk_size: int,
     pareto: bool,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> int:
     from .core.design import DesignPoint
     from .core.scenario import BALANCED, EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
     from .dse.batch import BatchExplorer
     from .dse.factories import SymmetricMulticoreFactory
     from .dse.grid import ParameterGrid, geometric_range
+    from .resilience import DEFAULT_POLICY
 
     weight = {
         "embodied": EMBODIED_DOMINATED,
@@ -387,14 +404,18 @@ def _cmd_sweep(
     )
     # A vector factory (frozen dataclass, picklable for --workers):
     # cold sweeps run columnar, warm re-sweeps hit the cache.
+    # Worker runs are supervised: crashed or hung workers are retried,
+    # the pool is respawned, and as a last resort evaluation degrades
+    # in-process — the sweep finishes either way.
     explorer = BatchExplorer(
         factory=SymmetricMulticoreFactory(),
         baseline=DesignPoint.baseline("1-BCE single core"),
         weight=weight,
         chunk_size=chunk_size,
         workers=workers,
+        resilience=DEFAULT_POLICY if workers else None,
     )
-    sweep = explorer.explore_arrays(grid)
+    sweep = explorer.explore_arrays(grid, checkpoint=checkpoint, resume=resume)
     rows = [
         {"category": category.value, "points": count}
         for category, count in sweep.category_counts().items()
@@ -416,6 +437,8 @@ def _cmd_sweep(
     )
     if explorer.last_sweep is not None:
         print(explorer.last_sweep.summary())
+    if explorer.last_supervision is not None and explorer.last_supervision.faults:
+        print(explorer.last_supervision.summary())
     if pareto:
         from .core.pareto import ParetoPoint, pareto_frontier
 
@@ -494,6 +517,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.workers,
             args.chunk_size,
             args.pareto,
+            args.checkpoint,
+            args.resume,
         )
     if args.command == "advise":
         return _cmd_advise(args.workload, args.regime)
@@ -523,9 +548,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     run manifest + trace report and/or the metrics export are written
     and the global observability state is reset, so in-process callers
     (tests, notebooks) never leak spans between runs.
+
+    Model/configuration failures (any :class:`~repro.core.errors.
+    ReproError`) exit with code 2 and a one-line ``error: ...`` on
+    stderr — the full traceback only appears at ``--log-level debug``.
+    ``Ctrl-C`` exits 130, the shell convention for SIGINT.
     """
+    from .core.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    obs_log.configure(_resolve_log_level(args))
+    level = _resolve_log_level(args)
+    obs_log.configure(level)
     log = get_logger()
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
@@ -542,6 +575,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         with tracer.span(f"cli:{args.command}", command=args.command):
             code = _dispatch(args)
+    except ReproError as exc:
+        if level == "debug":
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        log.debug(kv("cli.error", command=args.command, error=str(exc)))
+        code = 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        code = 130
     finally:
         if observing:
             duration_s = time.perf_counter() - start_s

@@ -20,12 +20,15 @@ from .classify import (
 )
 from .design import DesignPoint
 from .errors import (
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     DomainError,
     ReproError,
+    ResilienceError,
     UnknownStudyError,
     ValidationError,
+    WorkerPoolError,
 )
 from .metrics import (
     ClassicMetric,
@@ -111,4 +114,7 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "UnknownStudyError",
+    "ResilienceError",
+    "CheckpointError",
+    "WorkerPoolError",
 ]

@@ -135,6 +135,14 @@ def classify_arrays(
         np.asarray(ncf_fw, dtype=np.float64),
         np.asarray(ncf_ft, dtype=np.float64),
     )
+    for name, arr in (("ncf_fw", fw_arr), ("ncf_ft", ft_arr)):
+        bad = ~np.isfinite(arr)
+        if bad.any():
+            index, value = _first_bad(arr, bad)
+            raise ValidationError(
+                f"{name} values must be finite, got {value!r} (flat index "
+                f"{index}); NaN/Inf NCFs cannot be classified"
+            )
     fw = _boundary_signs(fw_arr, rel_tol, abs_tol)
     ft = _boundary_signs(ft_arr, rel_tol, abs_tol)
     return np.select(

@@ -22,10 +22,12 @@ is called *close to* strongly sustainable.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Mapping
 
 from .design import DesignPoint
+from .errors import ValidationError
 from .ncf import NCFAssessment, assess, ncf
 from .quantities import ABS_TOL, REL_TOL, close
 from .scenario import E2OWeight, UseScenario
@@ -72,7 +74,19 @@ def classify_values(
     """Classify from the two NCF values directly.
 
     Values within *rel_tol* of 1 are treated as neutral on that axis.
+    Non-finite values are rejected: a NaN or infinite NCF has no
+    position relative to the boundary, so classifying it silently
+    would fabricate a verdict.
     """
+    for name, value in (
+        ("ncf_fixed_work", ncf_fixed_work),
+        ("ncf_fixed_time", ncf_fixed_time),
+    ):
+        if not math.isfinite(value):
+            raise ValidationError(
+                f"{name} must be finite, got {value!r}; NaN/Inf NCFs "
+                "cannot be classified"
+            )
 
     def sign(value: float) -> int:
         if close(value, 1.0, rel_tol=rel_tol, abs_tol=NEUTRAL_ABS_TOL):

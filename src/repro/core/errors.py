@@ -15,6 +15,9 @@ __all__ = [
     "ConvergenceError",
     "ConfigurationError",
     "UnknownStudyError",
+    "ResilienceError",
+    "CheckpointError",
+    "WorkerPoolError",
 ]
 
 
@@ -51,3 +54,31 @@ class ConfigurationError(ReproError, ValueError):
 
 class UnknownStudyError(ReproError, KeyError):
     """A study name was not found in the study registry."""
+
+
+class ResilienceError(ReproError, RuntimeError):
+    """The resilient execution layer could not complete an operation.
+
+    Base class for failures of the supervision/checkpoint machinery
+    itself (as opposed to model errors); see
+    :mod:`repro.resilience`.
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unusable for the requested resume.
+
+    Raised when a checkpoint's fingerprint does not match the run being
+    resumed (different grid, chunk size, baseline, sampler, ...) or when
+    strict loading encounters a missing/corrupt file. A *corrupt* file
+    under non-strict loading is not an error: the run restarts cold.
+    """
+
+
+class WorkerPoolError(ResilienceError):
+    """The supervised worker pool exhausted every recovery path.
+
+    Only raised when retries are exhausted *and* in-process degradation
+    is disabled by policy; with the default policy the pool degrades
+    instead of raising.
+    """

@@ -27,10 +27,22 @@ provides the production path for large sweeps:
 same point ordering, same skip semantics for invalid corners, and
 bit-exact NCF values (the kernels perform the same IEEE-754 operations
 as the scalar path).
+
+Resilience (:mod:`repro.resilience`) is layered on without touching the
+numbers: handing the explorer a
+:class:`~repro.resilience.policy.RetryPolicy` routes worker dispatch
+through a :class:`~repro.resilience.supervisor.SupervisedPool` (crash
+recovery, chunk timeouts, bounded retry, in-process degradation), and
+``explore_arrays(..., checkpoint=..., resume=True)`` persists
+chunk-granular progress through an atomic, checksummed
+:class:`~repro.resilience.checkpoint.CheckpointStore` so a killed sweep
+resumes bit-exactly — same result arrays, same cache contents — from
+the last completed chunk.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -56,10 +68,23 @@ from ..core.batch import (
 )
 from ..core.classify import Sustainability
 from ..core.design import DesignPoint
-from ..core.errors import ConfigurationError, DomainError, ValidationError
+from ..core.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DomainError,
+    ValidationError,
+)
 from ..core.scenario import E2OWeight
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    decode_outcomes,
+    encode_outcomes,
+    sweep_fingerprint,
+)
+from ..resilience.policy import RetryPolicy, SupervisionStats
+from ..resilience.supervisor import SupervisedPool
 from .explorer import DesignFactory, ExplorationResult
 from .grid import ParameterGrid
 
@@ -407,6 +432,13 @@ class BatchExplorer:
         A :class:`FactoryCache` to (re)use; by default a private one is
         created, so repeated sweeps — ``subgrid`` pins, tornado runs —
         never re-evaluate a design.
+    resilience:
+        A :class:`~repro.resilience.policy.RetryPolicy` to supervise
+        worker dispatch with (crash recovery, per-chunk timeouts,
+        bounded retry with backoff, in-process degradation). ``None``
+        (the default) keeps the bare ``ProcessPoolExecutor`` path.
+        Supervision never changes results — it only re-executes pure
+        factory calls that failed to come back.
     """
 
     factory: DesignFactory
@@ -415,9 +447,15 @@ class BatchExplorer:
     chunk_size: int = 1024
     workers: int = 0
     cache: FactoryCache = field(default=None)  # type: ignore[assignment]
+    resilience: RetryPolicy | None = None
     #: Engine execution snapshot of the most recent sweep (set by
     #: explore_arrays/count_categories; None before the first sweep).
     last_sweep: SweepEngineStats | None = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    #: Supervision counters of the most recent supervised sweep (None
+    #: before the first sweep or when resilience is disabled).
+    last_supervision: SupervisionStats | None = field(
         default=None, init=False, compare=False, repr=False
     )
 
@@ -437,7 +475,7 @@ class BatchExplorer:
     def _evaluate_chunk(
         self,
         chunk: Sequence[Mapping[str, object]],
-        pool: ProcessPoolExecutor | None,
+        pool: ProcessPoolExecutor | SupervisedPool | None,
     ) -> list[DesignPoint | DomainError]:
         cache = self.cache
         if pool is None:
@@ -477,7 +515,11 @@ class BatchExplorer:
         cache.record(hits=len(chunk) - len(pending), misses=len(pending))
         if pending:
             jobs = [(self.factory, chunk[index]) for index in pending]
-            for index, outcome in zip(pending, pool.map(_pool_evaluate, jobs)):
+            if isinstance(pool, SupervisedPool):
+                evaluated: Iterable = pool.run(_pool_evaluate, jobs)
+            else:
+                evaluated = pool.map(_pool_evaluate, jobs)
+            for index, outcome in zip(pending, evaluated):
                 cache.store(keys[index], outcome)
                 outcomes[index] = outcome
         return outcomes  # type: ignore[return-value]
@@ -552,7 +594,13 @@ class BatchExplorer:
     # ------------------------------------------------------------------
     # Sweeps
     # ------------------------------------------------------------------
-    def explore_arrays(self, grid: ParameterGrid) -> BatchSweepResult:
+    def explore_arrays(
+        self,
+        grid: ParameterGrid,
+        *,
+        checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+        resume: bool = False,
+    ) -> BatchSweepResult:
         """Sweep *grid* and return the results as arrays.
 
         Invalid corners (factories raising ``DomainError``) are dropped,
@@ -563,15 +611,47 @@ class BatchExplorer:
         chunk's area/perf/power come from ``batch_arrays`` instead of
         per-point factory calls. Output (ordering, skips, values, cache
         contents) is byte-identical either way.
+
+        With *checkpoint* set, every completed chunk is atomically
+        persisted to that path; with *resume*, completed chunks found
+        there are replayed into the cache without re-evaluating the
+        factory, and the sweep continues from the first unfinished
+        chunk. Resume is bit-exact: result arrays and cache entries
+        match an uninterrupted run. A checkpoint written by a different
+        run configuration raises
+        :class:`~repro.core.errors.CheckpointError`; a corrupt or
+        truncated file is discarded and the sweep restarts cold.
         """
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
         use_vector = self._vector_cold()
         mode = "vector" if use_vector else "scalar"
+        store = CheckpointStore.coerce(checkpoint)
+        if resume and store is None:
+            raise ConfigurationError(
+                "resume=True requires a checkpoint path to resume from"
+            )
+        fingerprint: dict | None = None
+        restored_chunks: list = []
+        if store is not None:
+            fingerprint = sweep_fingerprint(
+                axes=grid.axes,
+                chunk_size=self.chunk_size,
+                baseline=self.baseline,
+                alpha=self.weight.alpha,
+                factory=self.factory,
+            )
+            if resume:
+                state = store.load_or_restart(
+                    kind="sweep", fingerprint=fingerprint
+                )
+                if state is not None:
+                    restored_chunks = list(state.get("chunks", []))
+        saved_chunks: list[list] = []
         params_list: list[Mapping[str, object]] = []
         designs: list[DesignPoint] = []
-        pool: ProcessPoolExecutor | None = None
+        pool: ProcessPoolExecutor | SupervisedPool | None = None
         with tracer.span(
             "sweep",
             grid_points=len(grid),
@@ -582,13 +662,24 @@ class BatchExplorer:
             start_s = time.perf_counter()
             try:
                 if self.workers:
-                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    if self.resilience is not None:
+                        pool = SupervisedPool(self.workers, self.resilience)
+                    else:
+                        pool = ProcessPoolExecutor(max_workers=self.workers)
                 for index, chunk in enumerate(_chunked(iter(grid), self.chunk_size)):
-                    with tracer.span("chunk", index=index, mode=mode) as chunk_span:
+                    restored = index < len(restored_chunks)
+                    with tracer.span(
+                        "chunk", index=index, mode=mode, restored=restored
+                    ) as chunk_span:
                         if observing:
                             chunk_start = time.perf_counter()
                             before = self.cache.stats()
-                        if use_vector:
+                        if restored:
+                            outcomes = self._restore_chunk(
+                                chunk, restored_chunks[index], store
+                            )
+                            saved_chunks.append(restored_chunks[index])
+                        elif use_vector:
                             outcomes = self._vector_chunk(chunk)
                         else:
                             outcomes = self._evaluate_chunk(chunk, pool)
@@ -599,6 +690,13 @@ class BatchExplorer:
                             params_list.append(params)
                             designs.append(outcome)
                             valid += 1
+                        if store is not None and not restored:
+                            saved_chunks.append(encode_outcomes(outcomes))
+                            store.save(
+                                kind="sweep",
+                                fingerprint=fingerprint,
+                                state={"chunks": saved_chunks},
+                            )
                         if observing:
                             self._observe_chunk(
                                 registry,
@@ -610,7 +708,8 @@ class BatchExplorer:
                             )
             finally:
                 if pool is not None:
-                    pool.shutdown()
+                    pool.shutdown(cancel_futures=True)
+            self._record_supervision(pool, sweep_span)
             if not designs:
                 raise ConfigurationError(
                     "exploration produced no valid design points"
@@ -634,6 +733,54 @@ class BatchExplorer:
             ncf_fixed_time=ncf_ft,
             codes=codes,
         )
+
+    def _restore_chunk(
+        self,
+        chunk: Sequence[Mapping[str, object]],
+        rows: Sequence[Sequence],
+        store: CheckpointStore,
+    ) -> list[DesignPoint | DomainError]:
+        """Replay one checkpointed chunk without touching the factory.
+
+        Decoded outcomes are written into the cache under the same keys
+        an evaluated chunk would use, so later duplicate points (and the
+        post-sweep cache contents) match an uninterrupted run bit for
+        bit. Counters are not bumped — restored points were neither
+        hits nor fresh evaluations of *this* run.
+        """
+        if len(rows) != len(chunk):
+            raise CheckpointError(
+                f"checkpoint {store.path} records {len(rows)} outcomes "
+                f"for a {len(chunk)}-point chunk; the file does not "
+                "match this grid"
+            )
+        outcomes = decode_outcomes(rows)
+        names = sorted(chunk[0])
+        entries = self.cache._entries
+        for params, outcome in zip(chunk, outcomes):
+            entries[tuple([(name, params[name]) for name in names])] = outcome
+        return outcomes
+
+    def _record_supervision(
+        self, pool: "ProcessPoolExecutor | SupervisedPool | None", sweep_span
+    ) -> None:
+        """Publish the sweep's supervision counters (supervised runs
+        only): :attr:`last_supervision` always, span attributes when a
+        recovery action actually happened."""
+        if not isinstance(pool, SupervisedPool):
+            return
+        stats = pool.stats
+        object.__setattr__(self, "last_supervision", stats)
+        if sweep_span is not _trace.NULL_SPAN and stats.faults:
+            sweep_span.set(
+                retries=stats.retries,
+                worker_crashes=stats.crashes,
+                chunk_timeouts=stats.timeouts,
+                transient_errors=stats.transient_errors,
+                pool_respawns=stats.respawns,
+                degraded_batches=stats.degraded_batches,
+                pool_degraded=stats.pool_degraded,
+            )
 
     def _observe_chunk(
         self,
@@ -778,10 +925,19 @@ class BatchExplorer:
             ncf_values(area_ratio, power_ratio, alpha),
         )
 
-    def explore(self, grid: ParameterGrid) -> list[ExplorationResult]:
+    def explore(
+        self,
+        grid: ParameterGrid,
+        *,
+        checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+        resume: bool = False,
+    ) -> list[ExplorationResult]:
         """Drop-in replacement for ``Explorer.explore`` (same ordering,
-        same skips, bit-exact values) on the vectorized engine."""
-        return self.explore_arrays(grid).results()
+        same skips, bit-exact values) on the vectorized engine.
+        ``checkpoint``/``resume`` behave as in :meth:`explore_arrays`."""
+        return self.explore_arrays(
+            grid, checkpoint=checkpoint, resume=resume
+        ).results()
 
     def count_categories(self, grid: ParameterGrid) -> dict[Sustainability, int]:
         """Sweep *grid* and histogram the verdicts in one lean pass.

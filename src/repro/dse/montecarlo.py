@@ -4,22 +4,34 @@ Samples the embodied-to-operational weight (and optionally any other
 uncertain ratio) from simple distributions and reports the probability
 of each sustainability category — a stochastic complement to the exact
 interval analysis in :mod:`repro.core.uncertainty`.
+
+Both samplers accept ``checkpoint``/``resume``: samples are then drawn
+in chunks of ``checkpoint_every``, each completed chunk persisting the
+classified codes plus the RNG state to an atomic
+:class:`~repro.resilience.checkpoint.CheckpointStore` file. Resume
+restores the codes and the generator state and continues drawing —
+NumPy ``Generator`` streams are split-invariant, so the chunked,
+killed-and-resumed run produces byte-identical probabilities to an
+uninterrupted one.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from ..core.batch import category_counts, classify_arrays
 from ..core.classify import Sustainability
 from ..core.design import DesignPoint
-from ..core.errors import ValidationError
+from ..core.errors import CheckpointError, ConfigurationError, ValidationError
 from ..core.scenario import E2OWeight
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..resilience.checkpoint import CheckpointStore
 
 __all__ = [
     "CategoryProbabilities",
@@ -121,7 +133,20 @@ def _observed_classify(
     registry: _metrics.MetricsRegistry,
 ) -> CategoryProbabilities:
     """Classify and, when observing, record throughput + convergence."""
-    codes = classify_arrays(ncf_fw, ncf_ft)
+    return _observed_from_codes(
+        classify_arrays(ncf_fw, ncf_ft), samples, sampler, start_s, span_, registry
+    )
+
+
+def _observed_from_codes(
+    codes: np.ndarray,
+    samples: int,
+    sampler: str,
+    start_s: float,
+    span_,
+    registry: _metrics.MetricsRegistry,
+) -> CategoryProbabilities:
+    """Histogram pre-classified codes; record throughput + convergence."""
     result = _probabilities_from_codes(codes, samples)
     seconds = time.perf_counter() - start_s
     if span_ is not _trace.NULL_SPAN:
@@ -142,6 +167,80 @@ def _observed_classify(
     return result
 
 
+def _point_fields(point: DesignPoint) -> dict:
+    """A design point as bit-exact JSON-able fields (for fingerprints)."""
+    return {
+        "name": point.name,
+        "area": point.area.hex(),
+        "perf": point.perf.hex(),
+        "power": point.power.hex(),
+    }
+
+
+def _checkpointed_codes(
+    draw: Callable[[np.random.Generator, int], np.ndarray],
+    *,
+    samples: int,
+    seed: int,
+    checkpoint: "CheckpointStore | str | os.PathLike | None",
+    resume: bool,
+    checkpoint_every: int,
+    fingerprint: dict,
+) -> np.ndarray:
+    """Draw+classify *samples* codes, chunk-checkpointing the stream.
+
+    ``draw(rng, n)`` consumes exactly the generator variates an
+    uninterrupted run would for its next *n* samples and returns their
+    classification codes. Without a checkpoint the whole range is one
+    draw; with one, the stream advances ``checkpoint_every`` samples at
+    a time, persisting codes + RNG state after each chunk. Either way
+    the concatenated codes are identical — NumPy ``Generator`` streams
+    do not depend on how the draw is split.
+    """
+    if checkpoint_every < 1:
+        raise ValidationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    store = CheckpointStore.coerce(checkpoint)
+    if resume and store is None:
+        raise ConfigurationError(
+            "resume=True requires a checkpoint path to resume from"
+        )
+    rng = np.random.default_rng(seed)
+    done: list[np.ndarray] = []
+    drawn = 0
+    if store is not None and resume:
+        state = store.load_or_restart(kind="montecarlo", fingerprint=fingerprint)
+        if state is not None:
+            codes = state.get("codes")
+            rng_state = state.get("rng_state")
+            if not isinstance(codes, list) or len(codes) > samples:
+                raise CheckpointError(
+                    f"checkpoint {store.path} records "
+                    f"{len(codes) if isinstance(codes, list) else '?'} codes "
+                    f"for a {samples}-sample run"
+                )
+            if codes:
+                done.append(np.asarray(codes, dtype=np.int8))
+                drawn = len(codes)
+                rng.bit_generator.state = rng_state
+    step = samples if store is None else checkpoint_every
+    while drawn < samples:
+        count = min(step, samples - drawn)
+        done.append(draw(rng, count))
+        drawn += count
+        if store is not None:
+            store.save(
+                kind="montecarlo",
+                fingerprint=fingerprint,
+                state={
+                    "codes": np.concatenate(done).tolist(),
+                    "rng_state": rng.bit_generator.state,
+                },
+            )
+    return done[0] if len(done) == 1 else np.concatenate(done)
+
+
 def sample_verdicts(
     design: DesignPoint,
     baseline: DesignPoint,
@@ -149,12 +248,19 @@ def sample_verdicts(
     *,
     samples: int = 10_000,
     seed: int = 0,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    resume: bool = False,
+    checkpoint_every: int = 4096,
 ) -> CategoryProbabilities:
     """Sample alpha uniformly over the weight band and classify.
 
     For a fixed design pair the verdict only depends on alpha through
     the two NCF values, so this directly measures how often the
     conclusion would flip within the uncertainty band.
+
+    ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
+    chunked sampling (see the module docs); results are bit-identical
+    with or without them.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -168,17 +274,39 @@ def sample_verdicts(
         weight=weight.name,
     ) as sp:
         start_s = time.perf_counter()
-        rng = np.random.default_rng(seed)
         lo, hi = weight.band
-        alphas = rng.uniform(lo, hi, size=samples) if hi > lo else np.full(samples, lo)
-
         area = design.area_ratio(baseline)
         energy = design.energy_ratio(baseline)
         power = design.power_ratio(baseline)
-        ncf_fw = alphas * area + (1.0 - alphas) * energy
-        ncf_ft = alphas * area + (1.0 - alphas) * power
-        return _observed_classify(
-            ncf_fw, ncf_ft, samples, "sample_verdicts", start_s, sp, registry
+
+        def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+            alphas = (
+                rng.uniform(lo, hi, size=count)
+                if hi > lo
+                else np.full(count, lo)
+            )
+            ncf_fw = alphas * area + (1.0 - alphas) * energy
+            ncf_ft = alphas * area + (1.0 - alphas) * power
+            return classify_arrays(ncf_fw, ncf_ft)
+
+        codes = _checkpointed_codes(
+            draw,
+            samples=samples,
+            seed=seed,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            fingerprint={
+                "sampler": "sample_verdicts",
+                "design": _point_fields(design),
+                "baseline": _point_fields(baseline),
+                "band": [float(lo).hex(), float(hi).hex()],
+                "samples": samples,
+                "seed": seed,
+            },
+        )
+        return _observed_from_codes(
+            codes, samples, "sample_verdicts", start_s, sp, registry
         )
 
 
@@ -190,6 +318,9 @@ def sample_measurement_noise(
     relative_sigma: float = 0.1,
     samples: int = 10_000,
     seed: int = 0,
+    checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
+    resume: bool = False,
+    checkpoint_every: int = 4096,
 ) -> CategoryProbabilities:
     """Verdict robustness to *measurement* uncertainty (paper §2).
 
@@ -199,6 +330,10 @@ def sample_measurement_noise(
     the given relative sigma on each of the design's three ratios
     (independently) at a fixed alpha, and reports how often the
     sustainability verdict survives.
+
+    ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
+    chunked sampling (see the module docs); results are bit-identical
+    with or without them.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -215,17 +350,39 @@ def sample_measurement_noise(
         relative_sigma=relative_sigma,
     ) as sp:
         start_s = time.perf_counter()
-        rng = np.random.default_rng(seed)
         # Lognormal with median 1: exp(N(0, sigma_log)). For small sigma the
         # log-sigma approximates the relative sigma.
         sigma_log = np.log1p(relative_sigma)
-        noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(samples, 3))
+        area_ratio = design.area_ratio(baseline)
+        energy_ratio = design.energy_ratio(baseline)
+        power_ratio = design.power_ratio(baseline)
 
-        area = design.area_ratio(baseline) * noise[:, 0]
-        energy = design.energy_ratio(baseline) * noise[:, 1]
-        power = design.power_ratio(baseline) * noise[:, 2]
-        ncf_fw = alpha * area + (1.0 - alpha) * energy
-        ncf_ft = alpha * area + (1.0 - alpha) * power
-        return _observed_classify(
-            ncf_fw, ncf_ft, samples, "sample_measurement_noise", start_s, sp, registry
+        def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+            noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(count, 3))
+            area = area_ratio * noise[:, 0]
+            energy = energy_ratio * noise[:, 1]
+            power = power_ratio * noise[:, 2]
+            ncf_fw = alpha * area + (1.0 - alpha) * energy
+            ncf_ft = alpha * area + (1.0 - alpha) * power
+            return classify_arrays(ncf_fw, ncf_ft)
+
+        codes = _checkpointed_codes(
+            draw,
+            samples=samples,
+            seed=seed,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_every=checkpoint_every,
+            fingerprint={
+                "sampler": "sample_measurement_noise",
+                "design": _point_fields(design),
+                "baseline": _point_fields(baseline),
+                "alpha": float(alpha).hex(),
+                "relative_sigma": float(relative_sigma).hex(),
+                "samples": samples,
+                "seed": seed,
+            },
+        )
+        return _observed_from_codes(
+            codes, samples, "sample_measurement_noise", start_s, sp, registry
         )

@@ -1,0 +1,64 @@
+"""The resilient execution layer: supervision, checkpointing, chaos.
+
+Production-scale DSE sweeps and Monte-Carlo studies run for hours over
+process pools; this package keeps them alive and honest:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (timeouts,
+  bounded retry with exponential backoff, respawn budget, degradation)
+  and :class:`SupervisionStats`;
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedPool`, the
+  crash-tolerant ``ProcessPoolExecutor`` wrapper
+  :class:`~repro.dse.batch.BatchExplorer` dispatches through;
+* :mod:`repro.resilience.checkpoint` — atomic, checksummed
+  :class:`CheckpointStore` files enabling bit-exact ``--resume`` of
+  killed sweeps and samplers;
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  harness (:class:`FaultPlan`) behind the chaos test suite.
+
+Everything here is byte-transparent: supervision, checkpointing and
+resume never change a sweep's results, cache contents or ordering —
+the chaos suite and ``benchmarks/bench_resilience.py`` gate exactly
+that.
+
+See ``docs/ROBUSTNESS.md`` for the operational guide.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    decode_outcomes,
+    describe_factory,
+    encode_outcomes,
+    sweep_fingerprint,
+)
+from .faults import (
+    FaultInjectingFactory,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_checkpoint,
+    truncate_checkpoint,
+)
+from .policy import DEFAULT_POLICY, RetryPolicy, SupervisionStats
+from .supervisor import SupervisedPool
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "SupervisionStats",
+    "SupervisedPool",
+    "CheckpointStore",
+    "CHECKPOINT_FORMAT",
+    "sweep_fingerprint",
+    "encode_outcomes",
+    "decode_outcomes",
+    "describe_factory",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjectingFactory",
+    "InjectedFault",
+    "truncate_checkpoint",
+    "corrupt_checkpoint",
+]

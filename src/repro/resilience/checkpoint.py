@@ -1,0 +1,324 @@
+"""Crash-safe checkpoint files: atomic, checksummed, resumable.
+
+A checkpoint is one JSON document holding three things:
+
+* a **kind** (``"sweep"``, ``"montecarlo"``) naming the producer;
+* a **fingerprint** — everything the run's identity depends on (grid
+  axes, chunk size, baseline, weight, factory, sampler arguments).
+  Resume refuses a checkpoint whose fingerprint does not match the run
+  being resumed, so a stale file can never silently contaminate results;
+* the **state** — chunk-granular progress (encoded outcomes, RNG
+  states) that lets the producer continue bit-exactly from the last
+  completed chunk.
+
+Durability contract: every save rewrites the file via
+write-temp → ``fsync`` → atomic ``os.replace``, with a SHA-256 content
+checksum over the canonical payload serialization. A reader therefore
+sees either the previous complete checkpoint or the new one — never a
+torn write — and detects any truncation or corruption by checksum.
+Corrupt files are *not* fatal on resume: :meth:`CheckpointStore.
+load_or_restart` logs, counts ``focal_checkpoint_corrupt_total``, and
+restarts cold, which keeps the final output byte-identical to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..core.design import DesignPoint
+from ..core.errors import CheckpointError, DomainError
+from ..obs import metrics as _metrics
+from ..obs.log import get_logger, kv
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "sweep_fingerprint",
+    "encode_outcomes",
+    "decode_outcomes",
+    "describe_factory",
+]
+
+#: Format tag written into (and required from) every checkpoint file.
+CHECKPOINT_FORMAT = "focal-checkpoint/1"
+
+
+class _CorruptCheckpoint(CheckpointError):
+    """Internal marker: the file is damaged (vs. merely mismatched).
+
+    ``load_or_restart`` recovers from damage by restarting cold; a
+    fingerprint/kind mismatch is a configuration error and always
+    propagates as a plain :class:`CheckpointError`.
+    """
+
+
+def _canonical(payload: object) -> str:
+    """The canonical serialization the checksum is computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CheckpointStore:
+    """One checkpoint file with atomic saves and checksum-verified loads."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def coerce(
+        cls, value: "CheckpointStore | str | os.PathLike | None"
+    ) -> "CheckpointStore | None":
+        """``None`` passes through; paths become stores."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(value)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def remove(self) -> None:
+        """Delete the checkpoint file if present."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save(self, *, kind: str, fingerprint: Mapping, state: Mapping) -> None:
+        """Atomically replace the file with a checksummed checkpoint."""
+        payload = {"kind": kind, "fingerprint": fingerprint, "state": state}
+        body = _canonical(payload)
+        document = json.dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "sha256": _sha256(body),
+                "payload": payload,
+            },
+            default=str,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Durability of the rename itself (best-effort; not all
+        filesystems allow opening a directory)."""
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, *, kind: str, fingerprint: Mapping) -> dict:
+        """The verified state, or :class:`CheckpointError` on any problem
+        (missing file, corruption, wrong kind, fingerprint mismatch)."""
+        payload = self._read_payload()
+        if payload.get("kind") != kind:
+            raise CheckpointError(
+                f"checkpoint {self.path} holds a {payload.get('kind')!r} "
+                f"run, expected {kind!r}"
+            )
+        recorded = _canonical(payload.get("fingerprint"))
+        expected = _canonical(fingerprint)
+        if recorded != expected:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written by a different run "
+                "configuration (grid/chunk-size/baseline/weight/factory "
+                "fingerprint mismatch); delete it or point --checkpoint "
+                "at a fresh path"
+            )
+        state = payload.get("state")
+        if not isinstance(state, dict):
+            raise _CorruptCheckpoint(
+                f"checkpoint {self.path} has no usable state"
+            )
+        return state
+
+    def load_or_restart(self, *, kind: str, fingerprint: Mapping) -> dict | None:
+        """Resume-friendly load: ``None`` means "start cold".
+
+        A missing file and a corrupt/truncated file both return ``None``
+        (the latter with a warning log and a bump of
+        ``focal_checkpoint_corrupt_total``) — recovery from a damaged
+        checkpoint is a cold start, which reproduces the fault-free
+        output exactly. A *fingerprint mismatch* still raises: that is a
+        configuration error the user must resolve, not damage.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            return self.load(kind=kind, fingerprint=fingerprint)
+        except _CorruptCheckpoint as exc:
+            self._note_corrupt(str(exc))
+            return None
+
+    def _note_corrupt(self, reason: str) -> None:
+        get_logger().warning(
+            kv("checkpoint.corrupt", path=str(self.path), reason=reason)
+        )
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "focal_checkpoint_corrupt_total",
+                "corrupt/truncated checkpoint files discarded on resume",
+            ).inc()
+
+    def _read_payload(self) -> dict:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise CheckpointError(f"checkpoint {self.path} does not exist")
+        except OSError as exc:
+            raise CheckpointError(f"checkpoint {self.path} unreadable: {exc}")
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise _CorruptCheckpoint(
+                f"checkpoint {self.path} is not valid JSON "
+                f"(truncated write?): {exc}"
+            )
+        if not isinstance(document, dict):
+            raise _CorruptCheckpoint(f"checkpoint {self.path} is not an object")
+        if document.get("format") != CHECKPOINT_FORMAT:
+            raise _CorruptCheckpoint(
+                f"checkpoint {self.path} has format "
+                f"{document.get('format')!r}, expected {CHECKPOINT_FORMAT!r}"
+            )
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            raise _CorruptCheckpoint(f"checkpoint {self.path} has no payload")
+        if _sha256(_canonical(payload)) != document.get("sha256"):
+            raise _CorruptCheckpoint(
+                f"checkpoint {self.path} failed its content checksum "
+                "(corrupted on disk)"
+            )
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Sweep-specific encoding
+#
+# Design points are serialized with float hex so a resumed sweep rebuilds
+# arrays and cache entries bit-for-bit; DomainError outcomes keep their
+# message (the one observable the engine relies on).
+# ----------------------------------------------------------------------
+def describe_factory(factory: object) -> str:
+    """A run-stable identity string for a design factory.
+
+    Functions are named by module + qualname (their ``repr`` embeds a
+    memory address, which would make every fingerprint unique); class
+    instances use ``repr``, which for the stock frozen-dataclass
+    factories encodes their configuration values.
+    """
+    qualname = getattr(factory, "__qualname__", None)
+    if qualname is not None:
+        return f"{getattr(factory, '__module__', '?')}.{qualname}"
+    return repr(factory)
+
+
+def _jsonable_axis(values: Sequence[object]) -> list:
+    out = []
+    for value in values:
+        if isinstance(value, (bool, int, str)) or value is None:
+            out.append(value)
+        else:
+            # numpy scalars and plain floats: shortest-repr JSON floats
+            # roundtrip bit-exactly, so float() is identity-preserving.
+            out.append(float(value))
+    return out
+
+
+def sweep_fingerprint(
+    *,
+    axes: Mapping[str, Sequence[object]],
+    chunk_size: int,
+    baseline: DesignPoint,
+    alpha: float,
+    factory: object,
+) -> dict:
+    """Everything a sweep's results depend on, as a JSON-able mapping."""
+    return {
+        "axes": {name: _jsonable_axis(values) for name, values in axes.items()},
+        "chunk_size": chunk_size,
+        "baseline": {
+            "name": baseline.name,
+            "area": baseline.area.hex(),
+            "perf": baseline.perf.hex(),
+            "power": baseline.power.hex(),
+        },
+        "alpha": float(alpha).hex(),
+        "factory": describe_factory(factory),
+    }
+
+
+def encode_outcomes(
+    outcomes: Sequence[DesignPoint | DomainError],
+) -> list[list]:
+    """One JSON row per outcome: designs as float hex, errors by message."""
+    rows: list[list] = []
+    for outcome in outcomes:
+        if isinstance(outcome, DomainError):
+            rows.append(["e", str(outcome)])
+        else:
+            rows.append(
+                [
+                    "d",
+                    outcome.name,
+                    outcome.area.hex(),
+                    outcome.perf.hex(),
+                    outcome.power.hex(),
+                ]
+            )
+    return rows
+
+
+def decode_outcomes(rows: Sequence[Sequence]) -> list[DesignPoint | DomainError]:
+    """Invert :func:`encode_outcomes` (bit-exact design fields)."""
+    outcomes: list[DesignPoint | DomainError] = []
+    for row in rows:
+        try:
+            tag = row[0]
+            if tag == "d":
+                _, name, area, perf, power = row
+                outcomes.append(
+                    DesignPoint(
+                        name=name,
+                        area=float.fromhex(area),
+                        perf=float.fromhex(perf),
+                        power=float.fromhex(power),
+                    )
+                )
+            elif tag == "e":
+                outcomes.append(DomainError(row[1]))
+            else:
+                raise ValueError(f"unknown outcome tag {tag!r}")
+        except (ValueError, TypeError, IndexError) as exc:
+            raise CheckpointError(
+                f"checkpoint outcome row {row!r} is undecodable: {exc}"
+            ) from exc
+    return outcomes

@@ -1,0 +1,240 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+The chaos suite (``tests/resilience``) and the recovery-parity
+benchmark (``benchmarks/bench_resilience.py``) must *prove* that every
+recovery path yields output byte-identical to a fault-free run. That
+requires faults which are
+
+* **real** — a "worker crash" is an actual ``os._exit`` inside a pool
+  worker (producing a genuine ``BrokenProcessPool``), a "chunk timeout"
+  is an actual oversleeping worker, a "transient factory exception" is
+  an actual exception raised mid-chunk;
+* **deterministic** — a seeded :class:`FaultPlan` chooses the injection
+  points from the grid, so a failing chaos run reproduces exactly;
+* **single-fire** — each fault triggers once and never again, even
+  across the process boundary of a respawned worker pool. Single-fire
+  state lives in marker files under the plan's ``state_dir`` (worker
+  processes share no memory with the supervisor, so the filesystem is
+  the only honest place for it).
+
+:class:`FaultInjectingFactory` wraps any picklable design factory and
+is itself picklable, so it drops into ``BatchExplorer(workers=N)``
+unchanged. Checkpoint damage (truncation, byte corruption) is injected
+by :func:`truncate_checkpoint` / :func:`corrupt_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.design import DesignPoint
+from ..core.errors import ValidationError
+from ..dse.grid import ParameterGrid
+
+__all__ = [
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjectingFactory",
+    "truncate_checkpoint",
+    "corrupt_checkpoint",
+]
+
+#: Fault kinds a :class:`FaultSpec` may carry.
+KINDS = ("crash", "hang", "error")
+
+#: Exit status an injected worker crash dies with (visible in logs).
+CRASH_EXIT_CODE = 73
+
+
+class InjectedFault(RuntimeError):
+    """The transient exception an ``"error"`` fault raises.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`:
+    the execution layer must treat it like any foreign exception
+    (retry, then surface), not like model data.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *kind* fires when *key* is evaluated.
+
+    ``key`` is the sorted ``(name, value)`` tuple of the target grid
+    point — the same shape as :func:`repro.dse.batch.params_key` — and
+    ``arg`` parameterizes the fault (sleep seconds for ``"hang"``).
+    """
+
+    kind: str
+    key: tuple
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValidationError(
+                f"fault kind must be one of {KINDS}, got {self.kind!r}"
+            )
+
+    def marker_name(self) -> str:
+        """Filesystem-safe single-fire marker name for this fault."""
+        import hashlib
+
+        digest = hashlib.sha256(
+            repr((self.kind, self.key, self.arg)).encode("utf-8")
+        ).hexdigest()[:24]
+        return f"fault-{self.kind}-{digest}"
+
+
+@dataclass(frozen=True)
+class FaultInjectingFactory:
+    """A picklable factory wrapper that fires planned faults.
+
+    Scalar calls behave exactly like the wrapped factory except at
+    planned grid points, where (once, ever) the fault fires *before*
+    evaluation: ``crash`` hard-kills the process, ``hang`` oversleeps,
+    ``error`` raises :class:`InjectedFault`. After its single fire the
+    point evaluates normally, so retried/re-dispatched work converges
+    to the fault-free answer.
+
+    The wrapper intentionally does **not** forward ``batch_arrays``:
+    chaos runs must exercise the scalar/worker paths the faults target,
+    not the columnar fast path.
+    """
+
+    factory: object  # the wrapped (picklable) DesignFactory
+    specs: tuple[FaultSpec, ...]
+    state_dir: str
+
+    def __call__(self, params: Mapping[str, object]) -> DesignPoint:
+        key = tuple(sorted(params.items()))
+        for spec in self.specs:
+            if spec.key == key and self._claim(spec):
+                self._fire(spec)
+        return self.factory(params)  # type: ignore[operator]
+
+    def _claim(self, spec: FaultSpec) -> bool:
+        """Atomically claim the single fire (exclusive marker create)."""
+        try:
+            fd = os.open(
+                os.path.join(self.state_dir, spec.marker_name()),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _fire(self, spec: FaultSpec) -> None:
+        if spec.kind == "crash":
+            # A real worker death: no exception, no cleanup, just like
+            # the OOM killer. The parent sees BrokenProcessPool.
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(spec.arg)
+            return
+        raise InjectedFault(
+            f"injected transient fault at {dict(spec.key)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, reproducible set of faults over a parameter grid."""
+
+    seed: int
+    state_dir: str
+    specs: tuple[FaultSpec, ...]
+
+    @classmethod
+    def plan(
+        cls,
+        grid: ParameterGrid,
+        *,
+        seed: int,
+        state_dir: str | os.PathLike,
+        crashes: int = 0,
+        hangs: int = 0,
+        errors: int = 0,
+        hang_s: float = 30.0,
+    ) -> "FaultPlan":
+        """Choose distinct injection points deterministically from *seed*.
+
+        Points are drawn without replacement from the grid's cartesian
+        order by a :func:`numpy.random.default_rng` stream, then
+        assigned kinds in crash/hang/error order — the whole plan is a
+        pure function of ``(grid, seed, counts)``.
+        """
+        total = crashes + hangs + errors
+        points = list(grid)
+        if total > len(points):
+            raise ValidationError(
+                f"cannot inject {total} faults into a {len(points)}-point grid"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(points), size=total, replace=False)
+        kinds = ["crash"] * crashes + ["hang"] * hangs + ["error"] * errors
+        specs = tuple(
+            FaultSpec(
+                kind=kind,
+                key=tuple(sorted(points[int(index)].items())),
+                arg=hang_s if kind == "hang" else 0.0,
+            )
+            for kind, index in zip(kinds, chosen)
+        )
+        return cls(seed=seed, state_dir=str(state_dir), specs=specs)
+
+    def wrap(self, factory: object) -> FaultInjectingFactory:
+        """The fault-injecting twin of *factory* (state dir is created)."""
+        Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+        return FaultInjectingFactory(
+            factory=factory, specs=self.specs, state_dir=self.state_dir
+        )
+
+    def reset(self) -> None:
+        """Forget all fired faults (markers removed; plan can re-run)."""
+        for spec in self.specs:
+            try:
+                os.unlink(os.path.join(self.state_dir, spec.marker_name()))
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Checkpoint damage
+# ----------------------------------------------------------------------
+def truncate_checkpoint(path: str | os.PathLike, keep_fraction: float = 0.5) -> None:
+    """Truncate a checkpoint file, simulating a torn write.
+
+    (The real writer cannot produce this state — saves go through
+    write-temp/fsync/rename — so this simulates external damage:
+    a filesystem crash mid-replace, a partial copy, a bad download.)
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValidationError(
+            f"keep_fraction must lie in [0, 1), got {keep_fraction}"
+        )
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+
+def corrupt_checkpoint(path: str | os.PathLike, *, seed: int = 0) -> None:
+    """Flip one byte of the checkpoint body, deterministically by seed.
+
+    The flip lands in the payload region (past the header), so the
+    document stays parseable-looking but fails its content checksum.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValidationError(f"checkpoint {path} is empty, nothing to corrupt")
+    rng = np.random.default_rng(seed)
+    offset = int(rng.integers(len(data) // 2, len(data)))
+    data[offset] ^= 0x01
+    path.write_bytes(bytes(data))

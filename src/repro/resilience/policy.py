@@ -1,0 +1,149 @@
+"""Supervision policy: how hard the execution layer fights failures.
+
+A :class:`RetryPolicy` is the single knob bundle for the resilient
+execution layer (:mod:`repro.resilience.supervisor`): how long a
+dispatched chunk may run, how many times a failed chunk is re-dispatched,
+how the backoff between attempts grows, and when the worker pool is
+declared irrecoverable and the sweep degrades to in-process evaluation.
+
+The policy is a frozen dataclass so a :class:`~repro.dse.batch.
+BatchExplorer` carrying one stays hashable and comparable; the ``sleep``
+hook exists so tests and the deterministic chaos suite can run backoff
+schedules without real wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.errors import ValidationError
+
+__all__ = ["RetryPolicy", "SupervisionStats", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a :class:`~repro.resilience.supervisor.SupervisedPool` reacts
+    to worker crashes, chunk timeouts and transient factory exceptions.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-dispatch attempts per chunk after the first failure. When
+        exhausted, the failing work runs in-process (graceful
+        degradation) — a genuine, repeatable factory bug therefore still
+        surfaces as its original exception.
+    backoff_base_s, backoff_factor:
+        Exponential backoff between attempts: attempt ``k`` (0-based)
+        sleeps ``backoff_base_s * backoff_factor**k`` seconds.
+    chunk_timeout_s:
+        Wall-clock budget for one dispatched chunk; ``None`` disables
+        timeouts. A timed-out pool is respawned (the hung worker cannot
+        be cancelled, only replaced).
+    max_respawns:
+        Pool respawns (after ``BrokenProcessPool`` or a timeout) before
+        the pool is declared irrecoverable and every remaining chunk
+        runs in-process.
+    degrade_in_process:
+        When ``False``, exhausting retries raises
+        :class:`~repro.core.errors.WorkerPoolError` instead of degrading
+        (for callers that must not silently lose parallelism).
+    sleep:
+        Backoff sleeper (monkeypoint for tests; defaults to
+        :func:`time.sleep`).
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    chunk_timeout_s: float | None = None
+    max_respawns: int = 2
+    degrade_in_process: bool = True
+    sleep: Callable[[float], None] = field(
+        default=time.sleep, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0.0:
+            raise ValidationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0.0:
+            raise ValidationError(
+                f"chunk_timeout_s must be > 0 or None, got {self.chunk_timeout_s}"
+            )
+        if self.max_respawns < 0:
+            raise ValidationError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before re-dispatch *attempt* (0-based)."""
+        return self.backoff_base_s * self.backoff_factor**attempt
+
+
+#: The stock policy ``focal sweep`` runs under: a couple of retries with
+#: a short exponential backoff, no chunk timeout (sweep chunks are
+#: CPU-bound and self-limiting), degradation enabled.
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass
+class SupervisionStats:
+    """Counters describing what the supervisor had to do (one pool).
+
+    Mirrored into the ``focal_retry_*`` / ``focal_degraded_*`` metrics
+    and per-chunk span attributes; exposed directly for CLI summaries
+    and tests.
+    """
+
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    transient_errors: int = 0
+    respawns: int = 0
+    degraded_batches: int = 0
+    pool_degraded: bool = False
+
+    @property
+    def faults(self) -> int:
+        """Total faults observed (crashes + timeouts + transient)."""
+        return self.crashes + self.timeouts + self.transient_errors
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "transient_errors": self.transient_errors,
+            "respawns": self.respawns,
+            "degraded_batches": self.degraded_batches,
+            "pool_degraded": self.pool_degraded,
+        }
+
+    def summary(self) -> str:
+        """One human line for CLI output (empty when nothing happened)."""
+        if not self.faults and not self.pool_degraded:
+            return ""
+        parts = [
+            f"supervisor: {self.faults} faults "
+            f"({self.crashes} crashes, {self.timeouts} timeouts, "
+            f"{self.transient_errors} transient errors)",
+            f"{self.retries} retries",
+            f"{self.respawns} pool respawns",
+        ]
+        if self.degraded_batches:
+            parts.append(f"{self.degraded_batches} batches ran in-process")
+        if self.pool_degraded:
+            parts.append("pool degraded")
+        return ", ".join(parts)

@@ -1,0 +1,280 @@
+"""A supervised worker pool: ``ProcessPoolExecutor`` that survives its
+workers.
+
+A plain ``ProcessPoolExecutor`` turns one OOM-killed or segfaulted
+worker into a ``BrokenProcessPool`` that aborts the entire sweep, and a
+hung worker into an unbounded stall. :class:`SupervisedPool` wraps the
+executor with the recovery ladder long design-space sweeps need:
+
+1. **bounded retry with exponential backoff** — a chunk whose dispatch
+   fails (worker crash, transient factory exception, timeout) is
+   re-dispatched up to :attr:`~repro.resilience.policy.RetryPolicy.
+   max_retries` times;
+2. **pool respawn** — a ``BrokenProcessPool`` or a chunk timeout kills
+   and recreates the executor (terminating any hung worker processes),
+   re-dispatching only the failed work, never the chunks that already
+   completed;
+3. **graceful degradation** — when the pool is irrecoverable (respawn
+   budget exhausted, or the OS refuses new processes), remaining work
+   runs in-process, so the sweep finishes correctly, just slower. A
+   genuine, repeatable factory bug is *not* retried away: the final
+   in-process attempt re-raises it.
+
+Every recovery action is counted in :class:`~repro.resilience.policy.
+SupervisionStats` and surfaced through the ``focal_retry_*`` /
+``focal_degraded_*`` metrics when :mod:`repro.obs.metrics` is enabled.
+
+Results are returned in job order and are byte-identical to an
+unsupervised run: supervision only re-executes pure factory calls, it
+never reorders or drops them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
+
+from ..core.errors import ValidationError, WorkerPoolError
+from ..obs import metrics as _metrics
+from .policy import DEFAULT_POLICY, RetryPolicy, SupervisionStats
+
+__all__ = ["SupervisedPool"]
+
+
+def _run_batch(fn: Callable, jobs: Sequence) -> list:
+    """Worker-side batch evaluation (module-level, hence picklable)."""
+    return [fn(job) for job in jobs]
+
+
+class SupervisedPool:
+    """A crash-tolerant, timeout-bounded worker pool (see module docs).
+
+    Parameters
+    ----------
+    workers:
+        Maximum worker processes (>= 1).
+    policy:
+        The :class:`~repro.resilience.policy.RetryPolicy` governing
+        timeouts, retries, respawns and degradation.
+    executor_factory:
+        The executor constructor, ``ProcessPoolExecutor`` by default.
+        Tests inject thread pools or deliberately failing factories
+        here; anything with the ``Executor`` interface works.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        policy: RetryPolicy = DEFAULT_POLICY,
+        executor_factory: Callable[..., Executor] = ProcessPoolExecutor,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.policy = policy
+        self.stats = SupervisionStats()
+        self._executor_factory = executor_factory
+        self._executor: Executor | None = None
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool is irrecoverable (all work runs in-process)."""
+        return self._degraded
+
+    def run(self, fn: Callable, jobs: Sequence) -> list:
+        """Evaluate ``fn`` over *jobs* on the pool, in job order.
+
+        The jobs of one call are split into up to ``workers`` contiguous
+        batches dispatched concurrently; a failed batch walks the
+        recovery ladder described in the module docs. Exceptions that
+        survive every recovery path propagate unchanged.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        batches = self._split(jobs)
+        results: list[list | None] = [None] * len(batches)
+        pending = list(range(len(batches)))
+        attempt = 0
+        while pending:
+            if self._degraded or self._ensure_executor() is None:
+                self._run_in_process(fn, batches, results, pending)
+                break
+            futures = {
+                index: self._executor.submit(_run_batch, fn, batches[index])
+                for index in pending
+            }
+            _, not_done = wait(
+                futures.values(), timeout=self.policy.chunk_timeout_s
+            )
+            failed: list[int] = []
+            pool_hurt = False
+            for index, future in futures.items():
+                if future in not_done:
+                    failed.append(index)
+                    self.stats.timeouts += 1
+                    self._count_fault("timeout")
+                    pool_hurt = True
+                    continue
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    failed.append(index)
+                    self.stats.crashes += 1
+                    self._count_fault("crash")
+                    pool_hurt = True
+                except Exception:
+                    failed.append(index)
+                    self.stats.transient_errors += 1
+                    self._count_fault("error")
+            if not failed:
+                break
+            if pool_hurt:
+                # The executor (or a worker in it) is gone or hung —
+                # replace it before re-dispatching anything.
+                self._respawn()
+            if attempt >= self.policy.max_retries:
+                self._run_in_process(fn, batches, results, failed)
+                break
+            self.stats.retries += len(failed)
+            self._inc("focal_retry_total", "re-dispatched work batches", len(failed))
+            self.policy.sleep(self.policy.backoff_s(attempt))
+            attempt += 1
+            pending = failed
+        return [item for batch in results for item in batch]  # type: ignore[union-attr]
+
+    def shutdown(self, *, cancel_futures: bool = True) -> None:
+        """Tear the pool down, reaping every worker process.
+
+        Queued work is cancelled (``cancel_futures``) and worker
+        processes are terminated and joined, so an aborted sweep —
+        ``KeyboardInterrupt`` included — leaves no orphans behind.
+        """
+        self._kill_executor(cancel_futures=cancel_futures)
+
+    # Context-manager sugar so call sites mirror ProcessPoolExecutor.
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------
+    # Recovery ladder internals
+    # ------------------------------------------------------------------
+    def _split(self, jobs: list) -> list[list]:
+        """Up to ``workers`` contiguous, nearly equal batches."""
+        count = min(self.workers, len(jobs))
+        size, extra = divmod(len(jobs), count)
+        batches: list[list] = []
+        start = 0
+        for index in range(count):
+            stop = start + size + (1 if index < extra else 0)
+            batches.append(jobs[start:stop])
+            start = stop
+        return batches
+
+    def _ensure_executor(self) -> Executor | None:
+        """The live executor, spawning lazily; ``None`` degrades."""
+        if self._executor is None:
+            try:
+                self._executor = self._executor_factory(max_workers=self.workers)
+            except Exception:
+                self._declare_degraded()
+        return self._executor
+
+    def _respawn(self) -> None:
+        """Replace a broken/hung executor, within the respawn budget."""
+        self._kill_executor(cancel_futures=True)
+        self.stats.respawns += 1
+        self._inc("focal_pool_respawn_total", "worker pool respawns")
+        if self.stats.respawns > self.policy.max_respawns:
+            self._declare_degraded()
+
+    def _declare_degraded(self) -> None:
+        self._degraded = True
+        self.stats.pool_degraded = True
+        self._kill_executor(cancel_futures=True)
+        self._inc(
+            "focal_degraded_pool_total", "worker pools declared irrecoverable"
+        )
+
+    def _run_in_process(
+        self,
+        fn: Callable,
+        batches: list[list],
+        results: list[list | None],
+        indices: Sequence[int],
+    ) -> None:
+        """The last rung: evaluate *indices* in this process."""
+        if not self.policy.degrade_in_process:
+            raise WorkerPoolError(
+                f"worker pool failed {len(indices)} batch(es) after "
+                f"{self.policy.max_retries} retries and in-process "
+                "degradation is disabled by policy"
+            )
+        for index in indices:
+            results[index] = [fn(job) for job in batches[index]]
+            self.stats.degraded_batches += 1
+            self._inc(
+                "focal_degraded_batches_total",
+                "work batches evaluated in-process after pool failure",
+            )
+
+    def _kill_executor(self, *, cancel_futures: bool) -> None:
+        """Shut the executor down without waiting on hung workers.
+
+        ``shutdown(wait=True)`` would block forever behind a hung
+        worker, so the order is: non-blocking shutdown, terminate the
+        worker processes, then a bounded join to reap them.
+        """
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        # Snapshot the worker processes FIRST: shutdown(wait=False)
+        # empties the executor's _processes dict, so a later snapshot
+        # would silently skip the terminate loop and orphan hung workers.
+        registry = getattr(executor, "_processes", None)
+        processes = list(registry.values()) if registry else []
+        try:
+            executor.shutdown(wait=False, cancel_futures=cancel_futures)
+        except Exception:  # pragma: no cover - shutdown is best-effort
+            pass
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+            except Exception:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _count_fault(self, reason: str) -> None:
+        self._inc(
+            "focal_retry_faults_total",
+            "dispatch faults seen by the supervisor",
+            labels={"reason": reason},
+        )
+
+    def _inc(
+        self,
+        name: str,
+        help: str,
+        amount: int = 1,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            registry.counter(name, help, labels or {}).inc(amount)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the resilient-execution-layer suite.
+
+The grids here are deliberately small (tens of points) so the chaos
+tests — which spin up and kill real worker pools — stay fast; the
+recovery guarantees they prove are size-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design import DesignPoint
+from repro.core.scenario import BALANCED
+from repro.dse.batch import BatchExplorer
+from repro.dse.factories import SymmetricMulticoreFactory
+from repro.dse.grid import ParameterGrid
+from repro.resilience import RetryPolicy
+
+
+@pytest.fixture
+def factory() -> SymmetricMulticoreFactory:
+    return SymmetricMulticoreFactory()
+
+
+@pytest.fixture
+def sweep_baseline() -> DesignPoint:
+    return DesignPoint.baseline("1-BCE single core")
+
+
+@pytest.fixture
+def grid() -> ParameterGrid:
+    """64 points / 4 chunks at the default chunk size below."""
+    return ParameterGrid({"cores": list(range(1, 33)), "f": [0.5, 0.9]})
+
+
+@pytest.fixture
+def make_explorer(factory, sweep_baseline):
+    """BatchExplorer builder with the suite's defaults pre-applied."""
+
+    def make(**overrides) -> BatchExplorer:
+        overrides.setdefault("factory", factory)
+        overrides.setdefault("chunk_size", 16)
+        return BatchExplorer(
+            baseline=sweep_baseline, weight=BALANCED, **overrides
+        )
+
+    return make
+
+
+@pytest.fixture
+def fast_policy() -> RetryPolicy:
+    """A retry policy with near-zero backoff for fast tests."""
+    return RetryPolicy(
+        max_retries=2, backoff_base_s=0.001, chunk_timeout_s=15.0
+    )

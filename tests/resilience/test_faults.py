@@ -1,0 +1,97 @@
+"""The deterministic fault-injection harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.dse.grid import ParameterGrid
+from repro.resilience import FaultPlan, FaultSpec, InjectedFault
+
+
+@pytest.fixture
+def grid() -> ParameterGrid:
+    return ParameterGrid({"cores": [1, 2, 4, 8], "f": [0.5, 0.9]})
+
+
+class Identity:
+    def __call__(self, params):
+        return dict(params)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError, match="fault kind"):
+            FaultSpec(kind="meteor", key=(("cores", 1),))
+
+    def test_marker_names_are_distinct_and_safe(self):
+        a = FaultSpec("error", (("cores", 1),)).marker_name()
+        b = FaultSpec("error", (("cores", 2),)).marker_name()
+        c = FaultSpec("crash", (("cores", 1),)).marker_name()
+        assert len({a, b, c}) == 3
+        assert all("/" not in name for name in (a, b, c))
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self, grid, tmp_path):
+        one = FaultPlan.plan(grid, seed=5, state_dir=tmp_path, errors=3)
+        two = FaultPlan.plan(grid, seed=5, state_dir=tmp_path, errors=3)
+        assert one.specs == two.specs
+
+    def test_different_seed_different_plan(self, grid, tmp_path):
+        one = FaultPlan.plan(grid, seed=5, state_dir=tmp_path, errors=3)
+        two = FaultPlan.plan(grid, seed=6, state_dir=tmp_path, errors=3)
+        assert one.specs != two.specs
+
+    def test_targets_are_distinct_grid_points(self, grid, tmp_path):
+        plan = FaultPlan.plan(grid, seed=0, state_dir=tmp_path, errors=4)
+        keys = [spec.key for spec in plan.specs]
+        assert len(set(keys)) == 4
+        grid_keys = {tuple(sorted(point.items())) for point in grid}
+        assert set(keys) <= grid_keys
+
+    def test_rejects_more_faults_than_points(self, grid, tmp_path):
+        with pytest.raises(ValidationError, match="cannot inject"):
+            FaultPlan.plan(grid, seed=0, state_dir=tmp_path, errors=99)
+
+    def test_kind_mix_respected(self, grid, tmp_path):
+        plan = FaultPlan.plan(
+            grid, seed=1, state_dir=tmp_path, crashes=1, hangs=2, errors=3
+        )
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds.count("crash") == 1
+        assert kinds.count("hang") == 2
+        assert kinds.count("error") == 3
+
+
+class TestSingleFire:
+    def test_error_fires_once_then_point_evaluates(self, grid, tmp_path):
+        plan = FaultPlan.plan(grid, seed=2, state_dir=tmp_path, errors=1)
+        wrapped = plan.wrap(Identity())
+        target = dict(plan.specs[0].key)
+        with pytest.raises(InjectedFault):
+            wrapped(target)
+        assert wrapped(target) == target  # second call: normal evaluation
+
+    def test_untargeted_points_never_fault(self, grid, tmp_path):
+        plan = FaultPlan.plan(grid, seed=2, state_dir=tmp_path, errors=1)
+        wrapped = plan.wrap(Identity())
+        target = plan.specs[0].key
+        for point in grid:
+            if tuple(sorted(point.items())) != target:
+                assert wrapped(point) == point
+
+    def test_reset_rearms_the_plan(self, grid, tmp_path):
+        plan = FaultPlan.plan(grid, seed=2, state_dir=tmp_path, errors=1)
+        wrapped = plan.wrap(Identity())
+        target = dict(plan.specs[0].key)
+        with pytest.raises(InjectedFault):
+            wrapped(target)
+        plan.reset()
+        with pytest.raises(InjectedFault):
+            wrapped(target)
+
+    def test_wrapper_hides_vector_path(self, grid, tmp_path):
+        """Chaos runs must exercise the scalar path the faults target."""
+        plan = FaultPlan.plan(grid, seed=2, state_dir=tmp_path, errors=1)
+        assert not hasattr(plan.wrap(Identity()), "batch_arrays")

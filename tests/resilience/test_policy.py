@@ -1,0 +1,65 @@
+"""RetryPolicy and SupervisionStats behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.resilience import DEFAULT_POLICY, RetryPolicy, SupervisionStats
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_POLICY.max_retries == 2
+        assert DEFAULT_POLICY.chunk_timeout_s is None
+        assert DEFAULT_POLICY.degrade_in_process is True
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=3.0)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+        assert policy.backoff_s(1) == pytest.approx(0.3)
+        assert policy.backoff_s(2) == pytest.approx(0.9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base_s": -0.5},
+            {"backoff_factor": 0.5},
+            {"chunk_timeout_s": 0.0},
+            {"chunk_timeout_s": -1.0},
+            {"max_respawns": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_equality_ignores_sleep_hook(self):
+        assert RetryPolicy(sleep=lambda s: None) == RetryPolicy()
+
+
+class TestSupervisionStats:
+    def test_faults_totals_the_three_kinds(self):
+        stats = SupervisionStats(crashes=1, timeouts=2, transient_errors=3)
+        assert stats.faults == 6
+
+    def test_summary_empty_when_quiet(self):
+        assert SupervisionStats().summary() == ""
+
+    def test_summary_mentions_recovery_actions(self):
+        stats = SupervisionStats(
+            retries=4, crashes=1, respawns=2, degraded_batches=3,
+            pool_degraded=True,
+        )
+        line = stats.summary()
+        assert "1 crashes" in line
+        assert "4 retries" in line
+        assert "2 pool respawns" in line
+        assert "3 batches ran in-process" in line
+        assert "pool degraded" in line
+
+    def test_as_dict_roundtrips_fields(self):
+        stats = SupervisionStats(retries=1, timeouts=2)
+        assert stats.as_dict()["retries"] == 1
+        assert stats.as_dict()["timeouts"] == 2

@@ -1,0 +1,166 @@
+"""SupervisedPool recovery ladder, tested rung by rung.
+
+These tests drive the supervisor through injected executors (threads,
+deliberately failing constructors) so every branch runs fast and
+deterministically; the chaos suite (``test_chaos.py``) exercises the
+same ladder against real crashed/hung worker processes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core.errors import ValidationError, WorkerPoolError
+from repro.resilience import RetryPolicy, SupervisedPool
+
+NO_SLEEP = dict(backoff_base_s=0.0, sleep=lambda s: None)
+
+
+def double(job):
+    return job * 2
+
+
+class Flaky:
+    """Raises *failures* times for marked jobs, then succeeds."""
+
+    def __init__(self, failures: int, exception=RuntimeError):
+        self.failures = failures
+        self.exception = exception
+        self.calls = 0
+
+    def __call__(self, job):
+        if job == "bad" and self.calls < self.failures:
+            self.calls += 1
+            raise self.exception("flaky")
+        return job
+
+
+class TestHappyPath:
+    def test_results_in_job_order(self):
+        with SupervisedPool(2, RetryPolicy(**NO_SLEEP), ThreadPoolExecutor) as pool:
+            assert pool.run(double, list(range(10))) == [
+                2 * n for n in range(10)
+            ]
+
+    def test_empty_jobs(self):
+        with SupervisedPool(2, RetryPolicy(**NO_SLEEP), ThreadPoolExecutor) as pool:
+            assert pool.run(double, []) == []
+
+    def test_more_workers_than_jobs(self):
+        with SupervisedPool(8, RetryPolicy(**NO_SLEEP), ThreadPoolExecutor) as pool:
+            assert pool.run(double, [1]) == [2]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValidationError):
+            SupervisedPool(0)
+
+
+class TestRetryLadder:
+    def test_transient_error_retried_to_success(self):
+        # Thread pools share memory, so the Flaky counter is visible to
+        # the "workers" and the second dispatch succeeds.
+        flaky = Flaky(failures=1)
+        with SupervisedPool(2, RetryPolicy(max_retries=2, **NO_SLEEP), ThreadPoolExecutor) as pool:
+            assert pool.run(flaky, ["ok", "bad"]) == ["ok", "bad"]
+            assert pool.stats.transient_errors == 1
+            assert pool.stats.retries == 1
+            assert pool.stats.degraded_batches == 0
+
+    def test_backoff_schedule_followed(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(
+            max_retries=3,
+            backoff_base_s=0.1,
+            backoff_factor=2.0,
+            sleep=sleeps.append,
+        )
+        flaky = Flaky(failures=2)
+        with SupervisedPool(1, policy, ThreadPoolExecutor) as pool:
+            pool.run(flaky, ["bad"])
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_persistent_bug_reraises_after_degradation(self):
+        """A genuine factory bug is not retried away: the in-process
+        rung re-raises it unchanged."""
+        policy = RetryPolicy(max_retries=1, **NO_SLEEP)
+        with SupervisedPool(1, policy, ThreadPoolExecutor) as pool:
+            with pytest.raises(RuntimeError, match="flaky"):
+                pool.run(Flaky(failures=99), ["bad"])
+
+    def test_degradation_disabled_raises_worker_pool_error(self):
+        policy = RetryPolicy(
+            max_retries=0, degrade_in_process=False, **NO_SLEEP
+        )
+        with SupervisedPool(1, policy, ThreadPoolExecutor) as pool:
+            with pytest.raises(WorkerPoolError, match="degradation is disabled"):
+                pool.run(Flaky(failures=99), ["bad"])
+
+    def test_broken_pool_counts_as_crash_and_respawns(self):
+        flaky = Flaky(failures=1, exception=BrokenProcessPool)
+        policy = RetryPolicy(max_retries=2, **NO_SLEEP)
+        with SupervisedPool(2, policy, ThreadPoolExecutor) as pool:
+            assert pool.run(flaky, ["ok", "bad"]) == ["ok", "bad"]
+            assert pool.stats.crashes == 1
+            assert pool.stats.respawns == 1
+
+    def test_only_failed_batches_redispatch(self):
+        calls: list[object] = []
+
+        class Recorder:
+            def __call__(self, job):
+                calls.append(job)
+                if job == "bad" and calls.count("bad") == 1:
+                    raise RuntimeError("flaky")
+                return job
+
+        with SupervisedPool(2, RetryPolicy(max_retries=2, **NO_SLEEP), ThreadPoolExecutor) as pool:
+            # Two workers, two batches: ["ok0"], ["bad"]. Only the
+            # failing batch may be dispatched twice.
+            assert pool.run(Recorder(), ["ok0", "bad"]) == ["ok0", "bad"]
+        assert calls.count("ok0") == 1
+        assert calls.count("bad") == 2
+
+
+class TestDegradedPool:
+    def test_unspawnable_executor_degrades_to_in_process(self):
+        def refuse(max_workers):
+            raise OSError("no more processes")
+
+        with SupervisedPool(2, RetryPolicy(**NO_SLEEP), refuse) as pool:
+            assert pool.run(double, [1, 2, 3]) == [2, 4, 6]
+            assert pool.degraded
+            assert pool.stats.pool_degraded
+            assert pool.stats.degraded_batches == 2  # split over 2 batches
+
+    def test_respawn_budget_exhaustion_degrades(self):
+        policy = RetryPolicy(max_retries=10, max_respawns=1, **NO_SLEEP)
+        flaky = Flaky(failures=2, exception=BrokenProcessPool)
+        with SupervisedPool(1, policy, ThreadPoolExecutor) as pool:
+            assert pool.run(flaky, ["bad"]) == ["bad"]
+            assert pool.degraded
+            assert pool.stats.respawns == 2  # budget 1, second trips it
+
+    def test_degraded_pool_stays_degraded(self):
+        def refuse(max_workers):
+            raise OSError("no")
+
+        with SupervisedPool(2, RetryPolicy(**NO_SLEEP), refuse) as pool:
+            pool.run(double, [1])
+            before = pool.stats.pool_degraded
+            assert pool.run(double, [2]) == [4]
+            assert before and pool.degraded
+
+
+class TestShutdown:
+    def test_shutdown_without_use_is_safe(self):
+        pool = SupervisedPool(2, RetryPolicy(**NO_SLEEP), ThreadPoolExecutor)
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+
+    def test_context_manager_shuts_down(self):
+        with SupervisedPool(2, RetryPolicy(**NO_SLEEP), ThreadPoolExecutor) as pool:
+            pool.run(double, [1])
+        assert pool._executor is None

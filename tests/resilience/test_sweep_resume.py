@@ -1,0 +1,124 @@
+"""Checkpointed sweeps: kill, resume, byte-identical results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CheckpointError, ConfigurationError
+from repro.resilience import (
+    CheckpointStore,
+    corrupt_checkpoint,
+    sweep_fingerprint,
+    truncate_checkpoint,
+)
+
+
+def assert_sweeps_identical(result, reference):
+    assert result.params == reference.params
+    assert tuple(result.designs) == tuple(reference.designs)
+    assert np.array_equal(result.perf, reference.perf)
+    assert np.array_equal(result.ncf_fixed_work, reference.ncf_fixed_work)
+    assert np.array_equal(result.ncf_fixed_time, reference.ncf_fixed_time)
+    assert np.array_equal(result.codes, reference.codes)
+
+
+@pytest.fixture
+def reference(make_explorer, grid):
+    return make_explorer().explore_arrays(grid)
+
+
+@pytest.fixture
+def ckpt(tmp_path):
+    return tmp_path / "sweep.ckpt"
+
+
+class TestCheckpointedSweep:
+    def test_checkpointing_changes_nothing(self, make_explorer, grid, ckpt, reference):
+        result = make_explorer().explore_arrays(grid, checkpoint=ckpt)
+        assert_sweeps_identical(result, reference)
+        assert ckpt.exists()
+
+    def test_resume_from_complete_checkpoint(self, make_explorer, grid, ckpt, reference):
+        plain = make_explorer()
+        plain.explore_arrays(grid, checkpoint=ckpt)
+        resumed = make_explorer()
+        result = resumed.explore_arrays(grid, checkpoint=ckpt, resume=True)
+        assert_sweeps_identical(result, reference)
+        # Bit-exact resume includes the memo: same entries, same outcomes.
+        assert resumed.cache._entries == plain.cache._entries
+
+    def test_resume_from_partial_checkpoint(
+        self, make_explorer, grid, ckpt, reference, factory, sweep_baseline
+    ):
+        plain = make_explorer()
+        plain.explore_arrays(grid, checkpoint=ckpt)
+        # Simulate a run killed after two chunks: rewrite the file with
+        # only the first two completed chunks.
+        store = CheckpointStore(ckpt)
+        fingerprint = sweep_fingerprint(
+            axes=grid.axes,
+            chunk_size=16,
+            baseline=sweep_baseline,
+            alpha=0.5,
+            factory=factory,
+        )
+        full = store.load(kind="sweep", fingerprint=fingerprint)
+        store.save(
+            kind="sweep",
+            fingerprint=fingerprint,
+            state={"chunks": full["chunks"][:2]},
+        )
+        resumed = make_explorer()
+        result = resumed.explore_arrays(grid, checkpoint=ckpt, resume=True)
+        assert_sweeps_identical(result, reference)
+        assert resumed.cache._entries == plain.cache._entries
+        # The resumed run completed the checkpoint back to full length.
+        assert (
+            store.load(kind="sweep", fingerprint=fingerprint)["chunks"]
+            == full["chunks"]
+        )
+
+    def test_resume_skips_restored_evaluations(self, make_explorer, grid, ckpt):
+        make_explorer().explore_arrays(grid, checkpoint=ckpt)
+        resumed = make_explorer()
+        resumed.explore_arrays(grid, checkpoint=ckpt, resume=True)
+        # Everything was replayed from the file: zero factory calls.
+        assert resumed.cache.stats().misses == 0
+
+    def test_resume_requires_checkpoint_path(self, make_explorer, grid):
+        with pytest.raises(ConfigurationError, match="requires a checkpoint"):
+            make_explorer().explore_arrays(grid, resume=True)
+
+    def test_explore_passthrough(self, make_explorer, grid, ckpt):
+        scalar = make_explorer().explore(grid, checkpoint=ckpt)
+        resumed = make_explorer().explore(grid, checkpoint=ckpt, resume=True)
+        assert scalar == resumed
+
+
+class TestResumeSafety:
+    def test_mismatched_configuration_refused(self, make_explorer, grid, ckpt):
+        make_explorer().explore_arrays(grid, checkpoint=ckpt)
+        other = make_explorer(chunk_size=8)
+        with pytest.raises(CheckpointError, match="fingerprint mismatch"):
+            other.explore_arrays(grid, checkpoint=ckpt, resume=True)
+
+    def test_truncated_checkpoint_restarts_cold(
+        self, make_explorer, grid, ckpt, reference
+    ):
+        make_explorer().explore_arrays(grid, checkpoint=ckpt)
+        truncate_checkpoint(ckpt)
+        result = make_explorer().explore_arrays(grid, checkpoint=ckpt, resume=True)
+        assert_sweeps_identical(result, reference)
+
+    def test_corrupted_checkpoint_restarts_cold(
+        self, make_explorer, grid, ckpt, reference
+    ):
+        make_explorer().explore_arrays(grid, checkpoint=ckpt)
+        corrupt_checkpoint(ckpt)
+        result = make_explorer().explore_arrays(grid, checkpoint=ckpt, resume=True)
+        assert_sweeps_identical(result, reference)
+
+    def test_missing_checkpoint_is_cold_start(self, make_explorer, grid, ckpt, reference):
+        result = make_explorer().explore_arrays(grid, checkpoint=ckpt, resume=True)
+        assert_sweeps_identical(result, reference)

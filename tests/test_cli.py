@@ -54,11 +54,11 @@ class TestFigure:
         assert target.exists()
         assert "wrote" in capsys.readouterr().out
 
-    def test_unknown_figure_raises(self):
-        from repro.core.errors import UnknownStudyError
-
-        with pytest.raises(UnknownStudyError):
-            main(["figure", "figure42"])
+    def test_unknown_figure_exits_2(self, capsys):
+        assert main(["figure", "figure42"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown study" in err
 
 
 class TestCompare:
@@ -125,11 +125,9 @@ class TestAdvise:
         assert main(["advise", "datacenter", "--regime", "operational"]) == 0
         assert "operational-dominated" in capsys.readouterr().out
 
-    def test_unknown_workload(self):
-        from repro.core.errors import ValidationError
-
-        with pytest.raises(ValidationError):
-            main(["advise", "gaming"])
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["advise", "gaming"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMechanisms:
@@ -283,13 +281,11 @@ class TestTraceShow:
         assert "evals_per_s" in out
         assert "cache_hit_ratio" in out
 
-    def test_show_rejects_non_trace_json(self, tmp_path):
-        from repro.core.errors import ValidationError
-
+    def test_show_rejects_non_trace_json(self, tmp_path, capsys):
         bogus = tmp_path / "not-a-trace.json"
         bogus.write_text("{}")
-        with pytest.raises(ValidationError):
-            main(["trace", "show", str(bogus)])
+        assert main(["trace", "show", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_show_requires_action(self):
         with pytest.raises(SystemExit):

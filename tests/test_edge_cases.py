@@ -13,11 +13,11 @@ from repro.core.errors import ValidationError
 
 
 class TestCLIErrorPaths:
-    def test_out_with_unknown_suffix(self, tmp_path):
+    def test_out_with_unknown_suffix(self, tmp_path, capsys):
         from repro.cli import main
 
-        with pytest.raises(ValidationError, match="suffix"):
-            main(["figure", "figure1", "--out", str(tmp_path / "fig.xlsx")])
+        assert main(["figure", "figure1", "--out", str(tmp_path / "fig.xlsx")]) == 2
+        assert "suffix" in capsys.readouterr().err
 
     def test_out_html(self, tmp_path, capsys):
         from repro.cli import main
@@ -26,11 +26,11 @@ class TestCLIErrorPaths:
         assert main(["figure", "figure7", "--out", str(target)]) == 0
         assert target.read_text().startswith("<!DOCTYPE html>")
 
-    def test_compare_rejects_invalid_design(self):
+    def test_compare_rejects_invalid_design(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(ValidationError):
-            main(["compare", "--x", "0", "1", "1", "--y", "1", "1", "1"])
+        assert main(["compare", "--x", "0", "1", "1", "--y", "1", "1", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestAsciiPlotEdges:
