@@ -13,7 +13,13 @@ Times the paths the batch engine replaces —
   substrate-kernel benchmark, ``bench_substrate.py``, gates this one
   at >= 5x);
 * 100k-sample Monte-Carlo verdict classification, scalar
-  per-sample loop vs :func:`~repro.core.batch.classify_arrays`.
+  per-sample loop vs :func:`~repro.core.batch.classify_arrays`;
+* the parallel-columnar engine (``workers=4``) against the
+  single-process columnar path on a 100k-point grid through a
+  deliberately compute-heavy iterative fixed-point factory, with an
+  exact-parity gate (``max_abs_ncf_diff == 0.0``, identical category
+  counts and cache contents) and a >= 2x speedup gate that CI enforces
+  on hosts with at least 4 CPUs.
 
 Every batch test asserts numerical parity with its scalar twin
 (bit-identical NCFs, identical verdict counts) before timing means are
@@ -24,8 +30,11 @@ CI can archive the perf trajectory from this PR onward.
 from __future__ import annotations
 
 import json
+import os
 import time
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping, Sequence
 
 import numpy as np
 import pytest
@@ -34,7 +43,7 @@ from repro.core.batch import category_counts, classify_arrays
 from repro.core.classify import Sustainability, classify_values
 from repro.core.design import DesignPoint
 from repro.core.scenario import EMBODIED_DOMINATED
-from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.batch import BatchExplorer, DesignArrays, FactoryCache
 from repro.dse.explorer import Explorer
 from repro.dse.grid import ParameterGrid, linear_range
 from repro.dse.montecarlo import CategoryProbabilities, sample_verdicts
@@ -49,6 +58,17 @@ MC_SAMPLES = 100_000
 BASELINE = DesignPoint.baseline("1-BCE single core")
 #: NCF crosses 1 inside the alpha band -> verdicts actually vary.
 EDGE_DESIGN = DesignPoint("edge", area=1.1, perf=1.0, power=0.6)
+
+#: 100,000 points for the parallel-columnar operating point.
+PARALLEL_GRID = ParameterGrid(
+    {
+        "cores": list(range(1, 401)),
+        "f": linear_range(0.50, 0.99, 250),
+    }
+)
+PARALLEL_WORKERS = 4
+PARALLEL_SPEEDUP_GATE = 2.0
+FIXED_POINT_ITERS = 2500
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
 
@@ -248,3 +268,139 @@ def test_montecarlo_end_to_end(benchmark, emit):
     _record_mean("mc_end_to_end_s", benchmark, run)
     assert probs == scalar_sample_verdicts()  # byte-identical verdict mix
     emit(f"sample_verdicts end-to-end: strong={probs.strong:.3f}")
+
+
+# ----------------------------------------------------------------------
+# Parallel-columnar engine: workers=4 vs single-process columnar
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IterativeFixedPointFactory:
+    """A vector factory whose kernel is expensive on purpose.
+
+    The stock factories finish a 100k-point grid in milliseconds, so
+    timing them under a worker pool only measures dispatch overhead.
+    This one runs a damped fixed-point iteration per point (an
+    Amdahl-flavoured relaxation that converges to the usual speedup
+    and power surfaces), making the kernel phase dominate the sweep —
+    the regime the parallel-columnar mode exists for.  All arithmetic
+    is elementwise float64, so results are bit-identical no matter how
+    the grid is sharded across workers.
+    """
+
+    iters: int = FIXED_POINT_ITERS
+    damping: float = 0.5
+
+    def __call__(self, params: Mapping[str, object]) -> DesignPoint:
+        arrays = self.batch_arrays(
+            {key: np.asarray([value]) for key, value in params.items()}
+        )
+        return self.design_points([params], arrays)[0]
+
+    def batch_arrays(self, columns: Mapping[str, np.ndarray]) -> DesignArrays:
+        cores = np.asarray(columns["cores"], dtype=np.float64)
+        fractions = np.asarray(columns["f"], dtype=np.float64)
+        cores, fractions = np.broadcast_arrays(cores, fractions)
+        amdahl = 1.0 / ((1.0 - fractions) + fractions / cores)
+        perf = np.ones_like(amdahl)
+        power = np.full_like(amdahl, 0.3)
+        for _ in range(self.iters):
+            perf = perf + self.damping * (np.sqrt(amdahl * perf) - perf)
+            power = power + self.damping * (
+                (0.3 + 0.7 * fractions * power / amdahl) - power
+            )
+        return DesignArrays(
+            area=cores,
+            perf=perf,
+            power=power,
+            valid=np.ones(cores.shape, dtype=bool),
+        )
+
+    def design_points(
+        self, chunk: Sequence[Mapping[str, object]], arrays: DesignArrays
+    ) -> list[DesignPoint | None]:
+        return [
+            DesignPoint(
+                name=f"fxp {int(params['cores'])}c f={float(params['f']):g}",  # type: ignore[call-overload, arg-type]
+                area=float(area),
+                perf=float(perf),
+                power=float(power),
+            )
+            for params, area, perf, power in zip(
+                chunk, arrays.area, arrays.perf, arrays.power
+            )
+        ]
+
+
+def _timed_parallel_sweep(workers: int):
+    factory = IterativeFixedPointFactory()
+    explorer = BatchExplorer(
+        factory=factory,
+        baseline=BASELINE,
+        weight=EMBODIED_DOMINATED,
+        cache=FactoryCache(factory),
+        chunk_size=4096,
+        workers=workers,
+    )
+    start = time.perf_counter()
+    sweep = explorer.explore_arrays(PARALLEL_GRID)
+    return sweep, explorer, time.perf_counter() - start
+
+
+def test_parallel_columnar_sweep(benchmark, emit):
+    """Time the pool against the single process and gate exact parity.
+
+    The speedup gate only *fails* on hosts with >= 4 CPUs (CI runners);
+    the parity gates — bit-identical NCFs, identical category counts
+    and cache contents — are enforced everywhere, always.  Both sweeps
+    are timed with the same wall-clock probe; ``benchmark.pedantic``
+    (one round — a sweep takes seconds) keeps the test selected under
+    ``--benchmark-only``.
+    """
+    serial_sweep, serial_explorer, serial_s = _timed_parallel_sweep(0)
+    assert serial_explorer.last_sweep.mode == "columnar"
+    par_sweep, par_explorer, parallel_s = benchmark.pedantic(
+        lambda: _timed_parallel_sweep(PARALLEL_WORKERS), rounds=1, iterations=1
+    )
+    assert par_explorer.last_sweep.mode == "parallel-columnar"
+
+    max_diff = max(
+        float(np.max(np.abs(par_sweep.ncf_fixed_work - serial_sweep.ncf_fixed_work))),
+        float(np.max(np.abs(par_sweep.ncf_fixed_time - serial_sweep.ncf_fixed_time))),
+    )
+    counts_equal = (
+        par_sweep.category_counts() == serial_sweep.category_counts()
+    )
+    cache_equal = dict(par_explorer.cache._entries) == dict(
+        serial_explorer.cache._entries
+    )
+    speedup = serial_s / parallel_s
+    gate_enforced = (os.cpu_count() or 1) >= PARALLEL_WORKERS
+    _RESULTS.update(
+        {
+            "parallel_grid_points": len(PARALLEL_GRID),
+            "parallel_workers": PARALLEL_WORKERS,
+            "parallel_kernel_iters": FIXED_POINT_ITERS,
+            "sweep_columnar_s": serial_s,
+            "sweep_parallel_columnar_s": parallel_s,
+            "parallel_speedup": speedup,
+            "parallel_speedup_gate": PARALLEL_SPEEDUP_GATE,
+            "parallel_gate_enforced": gate_enforced,
+            "parallel_max_abs_ncf_diff": max_diff,
+            "parallel_category_counts_equal": counts_equal,
+            "parallel_cache_entries_equal": cache_equal,
+            "parallel_worker_utilization": par_explorer.last_sweep.worker_utilization,
+            "parallel_shm_bytes": par_explorer.last_sweep.shm_bytes,
+        }
+    )
+    assert max_diff == 0.0
+    assert counts_equal
+    assert cache_equal
+    if gate_enforced:
+        assert speedup >= PARALLEL_SPEEDUP_GATE
+    gate_note = (
+        "gated" if gate_enforced else f"recorded only, {os.cpu_count()} CPU host"
+    )
+    emit(
+        f"parallel-columnar: {len(PARALLEL_GRID)} points, "
+        f"{PARALLEL_WORKERS} workers, {speedup:.2f}x vs columnar ({gate_note})"
+    )

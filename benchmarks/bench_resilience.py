@@ -82,8 +82,8 @@ def unguarded_explore_arrays(
     resilience layer existed: same chunk stream, same evaluation and
     classification kernels, no checkpoint plumbing, no supervision."""
     tracer = obs_trace.get_tracer()
-    use_vector = explorer._vector_cold()
-    mode = "vector" if use_vector else "scalar"
+    mode = explorer._resolve_mode()
+    use_vector = mode == "columnar"
     params_list = []
     designs = []
     with tracer.span(

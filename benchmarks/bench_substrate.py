@@ -306,7 +306,7 @@ def test_explore_byte_identical(emit):
         factory=multicore_factory, baseline=BASELINE, weight=EMBODIED_DOMINATED
     )
     assert list(vector.explore(GRID)) == list(plain.explore(GRID))
-    assert vector.last_sweep is not None and vector.last_sweep.mode == "vector"
+    assert vector.last_sweep is not None and vector.last_sweep.mode == "columnar"
     assert plain.last_sweep is not None and plain.last_sweep.mode == "scalar"
     assert vector.cache.stats() == plain.cache.stats()
     _RESULTS["explore_byte_identical"] = True

@@ -173,7 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="process-pool workers for factory evaluation (0 = in-process)",
+        help=(
+            "process-pool workers (0 = in-process); a cold sweep of a "
+            "vector factory runs parallel-columnar: chunk-aligned grid "
+            "shards ship to workers as columns and results return via "
+            "shared memory"
+        ),
     )
     sweep.add_argument(
         "--chunk-size",
@@ -403,7 +408,8 @@ def _cmd_sweep(
         {"cores": geometric_range(1, max_cores), "f": list(fractions)}
     )
     # A vector factory (frozen dataclass, picklable for --workers):
-    # cold sweeps run columnar, warm re-sweeps hit the cache.
+    # cold sweeps run columnar (parallel-columnar with --workers, grid
+    # shards dispatched as columns), warm re-sweeps hit the cache.
     # Worker runs are supervised: crashed or hung workers are retried,
     # the pool is respawned, and as a last resort evaluation degrades
     # in-process — the sweep finishes either way.

@@ -17,8 +17,19 @@ provides the production path for large sweeps:
   column per axis) to :class:`DesignArrays` in a few vectorized
   passes. A cold sweep of such a factory never evaluates the scalar
   substrate point-by-point (see :mod:`repro.dse.factories` for the
-  stock implementations); warm sweeps and process-pool sweeps keep the
-  scalar + cache path, which is already a dict probe per point;
+  stock implementations); warm sweeps keep the scalar + cache path,
+  which is already a dict probe per point;
+* with ``workers > 0`` a cold vector-factory sweep runs
+  **parallel-columnar**: the grid is sharded into contiguous,
+  chunk-aligned spans, each span ships to a worker as axis *columns*
+  (one job per span, never per point), workers run ``batch_arrays``
+  over their shard and write the result columns into one
+  ``multiprocessing.shared_memory`` block (compact pickled arrays when
+  shared memory is unavailable — see :mod:`repro.dse.parallel`). The
+  factory ships once per pool via an initializer; no DesignPoint ever
+  crosses the process boundary. The parent then materializes points,
+  re-evaluates invalid rows scalar to capture genuine ``DomainError``
+  objects, and fills the cache — byte-identical to ``workers=0``;
 * :class:`BatchSweepResult` holds the sweep as arrays and converts back
   to the scalar :class:`~repro.dse.explorer.ExplorationResult` objects
   on demand.
@@ -85,11 +96,13 @@ from ..resilience.checkpoint import (
 )
 from ..resilience.policy import RetryPolicy, SupervisionStats
 from ..resilience.supervisor import SupervisedPool
+from . import parallel as _parallel
 from .explorer import DesignFactory, ExplorationResult
 from .grid import ParameterGrid
 
 __all__ = [
     "params_key",
+    "params_keys",
     "CacheStats",
     "FactoryCache",
     "DesignArrays",
@@ -106,6 +119,21 @@ def params_key(params: Mapping[str, object]) -> tuple:
     pairs, so dict insertion order never splits the cache. Plain tuple
     sort is safe — axis names are unique, so values never compare."""
     return tuple(sorted(params.items()))
+
+
+def params_keys(chunk: Sequence[Mapping[str, object]]) -> list[tuple]:
+    """:func:`params_key` for every point of one grid chunk.
+
+    Chunks of one grid share a single axis set, so the sorted name
+    order is computed once for the whole chunk — the only difference
+    from mapping :func:`params_key` over the points, and one the
+    test suite pins down: the keys are identical, so the scalar,
+    columnar and restore paths can never drift apart on key shape.
+    """
+    names = sorted(chunk[0])
+    return [
+        tuple([(name, params[name]) for name in names]) for params in chunk
+    ]
 
 
 @dataclass(frozen=True)
@@ -197,6 +225,31 @@ class FactoryCache:
         """Memoize a factory *outcome* (a design or a ``DomainError``)."""
         self._entries[key] = outcome
 
+    def store_many(
+        self,
+        keys: Sequence[tuple],
+        outcomes: Sequence[DesignPoint | DomainError],
+        *,
+        hits: int = 0,
+        misses: int = 0,
+    ) -> None:
+        """Bulk-memoize a chunk's outcomes under its :func:`params_key`
+        keys, bumping the counters once.
+
+        The public API the batched paths (columnar, parallel-columnar,
+        checkpoint restore) store through, so they share key
+        construction with the scalar path instead of poking
+        ``_entries`` with hand-rolled tuples.
+        """
+        if len(keys) != len(outcomes):
+            raise ValidationError(
+                f"store_many got {len(keys)} keys for {len(outcomes)} outcomes"
+            )
+        entries = self._entries
+        for key, outcome in zip(keys, outcomes):
+            entries[key] = outcome
+        self.record(hits=hits, misses=misses)
+
     def evaluate(self, params: Mapping[str, object]) -> DesignPoint | DomainError:
         """Evaluate (or recall) one point; returns rather than raises
         the ``DomainError`` so batch paths can branch without except."""
@@ -222,15 +275,6 @@ class FactoryCache:
         return outcome
 
 
-def _pool_evaluate(job: tuple[DesignFactory, Mapping[str, object]]):
-    """Worker-side factory call; ``DomainError`` travels back as a value."""
-    factory, params = job
-    try:
-        return factory(params)
-    except DomainError as exc:
-        return exc
-
-
 def _chunked(
     points: Iterable[Mapping[str, object]], size: int
 ) -> Iterator[list[Mapping[str, object]]]:
@@ -242,6 +286,58 @@ def _chunked(
             chunk = []
     if chunk:
         yield chunk
+
+
+class _ParallelPlan:
+    """Execution state of one parallel-columnar sweep.
+
+    Holds the collected grid chunks, the shared result block, the
+    worker pool and the chunk-aligned shard spans still to evaluate
+    (chunks restored from a checkpoint are excluded — their rows of the
+    block are never written or read). The kernel-phase timing fields
+    feed the ``focal_parallel_*`` gauges.
+    """
+
+    def __init__(
+        self,
+        chunks: list[Sequence[Mapping[str, object]]],
+        chunk_size: int,
+        block: "_parallel.ColumnarBlock",
+        pool,
+        spans: list[tuple[int, int]],
+    ) -> None:
+        self.chunks = chunks
+        self.chunk_size = chunk_size
+        self.block = block
+        self.pool = pool
+        self.spans = spans
+        #: Captured at setup — the block is released before stats are cut.
+        self.shm_bytes = block.nbytes
+        self.kernel_wall = 0.0
+        self.busy = 0.0
+
+    @property
+    def shard_points(self) -> int:
+        """The largest dispatched span, in grid points."""
+        return max((hi - lo for lo, hi in self.spans), default=0)
+
+    def points(self, lo: int, hi: int) -> list[Mapping[str, object]]:
+        """The grid-point dicts of span ``[lo, hi)`` (chunk-aligned)."""
+        first = lo // self.chunk_size
+        last = -(-hi // self.chunk_size)
+        return [
+            params for chunk in self.chunks[first:last] for params in chunk
+        ]
+
+    def chunk_arrays(self, index: int) -> DesignArrays:
+        """Chunk *index*'s kernel columns, copied out of the block (so
+        the shared segment can be unlinked before results are dropped)."""
+        lo = index * self.chunk_size
+        hi = lo + len(self.chunks[index])
+        return DesignArrays(*self.block.rows(lo, hi))
+
+    def release(self) -> None:
+        self.block.release()
 
 
 @dataclass(frozen=True)
@@ -316,16 +412,25 @@ def is_vector_factory(factory: object) -> bool:
     return isinstance(factory, VectorFactory)
 
 
+#: The two engine modes that run the columnar kernels.
+COLUMNAR_MODES = ("columnar", "parallel-columnar")
+
+
 @dataclass(frozen=True)
 class SweepEngineStats:
     """How the engine executed the last sweep (one immutable snapshot).
 
-    ``mode`` is ``"vector"`` when the columnar cold-sweep path ran and
-    ``"scalar"`` otherwise. ``fallback_points`` counts grid points that
-    were evaluated through the scalar factory *although* the factory is
-    vector-capable (warm cache, process-pool workers, or rows needing
-    point materialization) — the ``focal_vector_fallback_total`` metric
-    mirrors it.
+    ``mode`` names the execution path the engine resolved to:
+    ``"parallel-columnar"`` (cold vector factory, worker pool, shard
+    dispatch), ``"columnar"`` (cold vector factory, single process),
+    ``"scalar-pool"`` (per-point factory calls over a worker pool) or
+    ``"scalar"`` (per-point calls in-process). ``fallback_points``
+    counts grid points that were evaluated through the scalar factory
+    *although* the factory is vector-capable (warm cache, or rows
+    needing point materialization) — the ``focal_vector_fallback_total``
+    metric mirrors it. The ``shards``/``shard_points``/``shm_bytes``/
+    ``worker_utilization`` fields are populated by parallel-columnar
+    sweeps only and feed the ``focal_parallel_*`` gauges.
     """
 
     mode: str
@@ -334,6 +439,11 @@ class SweepEngineStats:
     vector_points: int
     fallback_points: int
     seconds: float
+    workers: int = 0
+    shards: int = 0
+    shard_points: int = 0
+    shm_bytes: int = 0
+    worker_utilization: float = 0.0
 
     @property
     def evals_per_s(self) -> float:
@@ -346,12 +456,18 @@ class SweepEngineStats:
             f"engine: {self.mode} path, {self.grid_points} pts in "
             f"{self.seconds:.3f} s ({self.evals_per_s:,.0f} evals/s)"
         )
+        if self.shards:
+            line += (
+                f", {self.shards} shards (<= {self.shard_points} pts) x "
+                f"{self.workers} workers, "
+                f"{self.worker_utilization:.0%} kernel utilization"
+            )
         if self.fallback_points:
             line += f", {self.fallback_points} scalar-fallback pts"
         return line
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        payload: dict[str, object] = {
             "mode": self.mode,
             "grid_points": self.grid_points,
             "valid_points": self.valid_points,
@@ -360,6 +476,15 @@ class SweepEngineStats:
             "seconds": self.seconds,
             "evals_per_s": self.evals_per_s,
         }
+        if self.shards:
+            payload.update(
+                workers=self.workers,
+                shards=self.shards,
+                shard_points=self.shard_points,
+                shm_bytes=self.shm_bytes,
+                worker_utilization=self.worker_utilization,
+            )
+        return payload
 
 
 @dataclass(frozen=True)
@@ -479,18 +604,16 @@ class BatchExplorer:
     ) -> list[DesignPoint | DomainError]:
         cache = self.cache
         if pool is None:
-            # Hot loop: grid points share one axis set, so the sorted
-            # key order is computed once per chunk and the per-point
-            # work is a tuple build plus one dict probe. Counters are
-            # accumulated locally and flushed once through record().
-            names = sorted(chunk[0])
+            # Hot loop: keys come pre-built by params_keys (one name
+            # sort per chunk) and the per-point work is one dict probe.
+            # Counters are accumulated locally and flushed once through
+            # record().
             entries = cache._entries
             factory = self.factory
             outcomes: list[DesignPoint | DomainError] = []
             hits = 0
             misses = 0
-            for params in chunk:
-                key = tuple([(name, params[name]) for name in names])
+            for key, params in zip(params_keys(chunk), chunk):
                 outcome = entries.get(key)
                 if outcome is None:
                     misses += 1
@@ -504,7 +627,7 @@ class BatchExplorer:
                 outcomes.append(outcome)
             cache.record(hits=hits, misses=misses)
             return outcomes
-        keys = [params_key(params) for params in chunk]
+        keys = params_keys(chunk)
         outcomes: list[DesignPoint | DomainError | None] = []
         pending: list[int] = []
         for index, key in enumerate(keys):
@@ -514,11 +637,13 @@ class BatchExplorer:
             outcomes.append(outcome)
         cache.record(hits=len(chunk) - len(pending), misses=len(pending))
         if pending:
-            jobs = [(self.factory, chunk[index]) for index in pending]
+            # The factory itself shipped once, at pool creation, via the
+            # worker initializer — each job carries only its param dict.
+            jobs = [chunk[index] for index in pending]
             if isinstance(pool, SupervisedPool):
-                evaluated: Iterable = pool.run(_pool_evaluate, jobs)
+                evaluated: Iterable = pool.run(_parallel.pool_evaluate, jobs)
             else:
-                evaluated = pool.map(_pool_evaluate, jobs)
+                evaluated = pool.map(_parallel.pool_evaluate, jobs)
             for index, outcome in zip(pending, evaluated):
                 cache.store(keys[index], outcome)
                 outcomes[index] = outcome
@@ -527,20 +652,21 @@ class BatchExplorer:
     # ------------------------------------------------------------------
     # Columnar (VectorFactory) evaluation
     # ------------------------------------------------------------------
-    def _vector_cold(self) -> bool:
-        """Whether this sweep may take the columnar cold path.
+    def _resolve_mode(self) -> str:
+        """The execution mode this sweep will run under.
 
-        The vector path engages only on a genuinely cold sweep: a
-        vector-capable factory, no process pool (workers evaluate the
-        scalar factory), and an empty cache (a warm cache means the
-        memoized scalar path is already a dict probe per point, which
-        the columnar path cannot beat). Decided once at sweep start.
+        The columnar kernels engage only on a genuinely cold sweep: a
+        vector-capable factory and an empty cache (a warm cache means
+        the memoized scalar path is already a dict probe per point,
+        which the columnar path cannot beat). With workers the cold
+        columnar sweep runs *parallel*-columnar — grid shards dispatch
+        to the pool as columns (:mod:`repro.dse.parallel`) — and the
+        non-columnar pool path is ``scalar-pool``. Decided once at
+        sweep start.
         """
-        return (
-            self.workers == 0
-            and len(self.cache) == 0
-            and is_vector_factory(self.factory)
-        )
+        if len(self.cache) == 0 and is_vector_factory(self.factory):
+            return "parallel-columnar" if self.workers else "columnar"
+        return "scalar-pool" if self.workers else "scalar"
 
     @staticmethod
     def _chunk_columns(
@@ -558,25 +684,32 @@ class BatchExplorer:
         """Evaluate a cold chunk through the factory's columnar path.
 
         ``batch_arrays`` computes every row's area/perf/power in a few
-        vectorized passes; ``design_points`` (when the factory provides
-        it) materializes the named DesignPoints from those columns.
-        Rows it leaves unmaterialized — and every invalid row — fall
-        back to one scalar call, which for invalid corners captures the
-        genuine ``DomainError``. Outcomes are memoized exactly like the
-        scalar path, so a subsequent warm sweep is byte-identical
-        either way.
+        vectorized passes; materialization and memoization are shared
+        with the parallel path (:meth:`_outcomes_from_arrays`).
         """
-        factory = self.factory
-        arrays = factory.batch_arrays(self._chunk_columns(chunk))
+        arrays = self.factory.batch_arrays(self._chunk_columns(chunk))
         if len(arrays) != len(chunk):
             raise ConfigurationError(
                 f"batch_arrays returned {len(arrays)} rows for a "
                 f"{len(chunk)}-point chunk"
             )
+        return self._outcomes_from_arrays(chunk, arrays)
+
+    def _outcomes_from_arrays(
+        self, chunk: Sequence[Mapping[str, object]], arrays: DesignArrays
+    ) -> list[DesignPoint | DomainError]:
+        """Materialize one chunk's outcomes from its kernel columns.
+
+        ``design_points`` (when the factory provides it) builds the
+        named DesignPoints from the columns. Rows it leaves
+        unmaterialized — and every invalid row — fall back to one
+        scalar call, which for invalid corners captures the genuine
+        ``DomainError``. Outcomes are memoized exactly like the scalar
+        path, so a subsequent warm sweep is byte-identical either way.
+        """
+        factory = self.factory
         builder = getattr(factory, "design_points", None)
         points = list(builder(chunk, arrays)) if builder is not None else None
-        names = sorted(chunk[0])
-        entries = self.cache._entries
         valid = arrays.valid
         outcomes: list[DesignPoint | DomainError] = []
         for row, params in enumerate(chunk):
@@ -586,10 +719,104 @@ class BatchExplorer:
                     outcome = factory(params)
                 except DomainError as exc:
                     outcome = exc
-            entries[tuple([(name, params[name]) for name in names])] = outcome
             outcomes.append(outcome)
-        self.cache.record(misses=len(chunk))
+        self.cache.store_many(params_keys(chunk), outcomes, misses=len(chunk))
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Parallel-columnar dispatch
+    # ------------------------------------------------------------------
+    def _make_pool(
+        self,
+        initializer: Callable,
+        initargs: tuple,
+        parent_block: "_parallel.ColumnarBlock | None" = None,
+    ) -> "ProcessPoolExecutor | SupervisedPool":
+        """A worker pool whose *initializer* ships per-pool state once.
+
+        The parent mirrors the worker state first (its own factory and
+        its own block object, never a second shm attachment), so
+        SupervisedPool in-process degradation — and thread-pool
+        executors injected by tests — evaluate exactly what the worker
+        processes would.
+        """
+        _parallel.set_worker_state(self.factory, parent_block)
+        if self.resilience is not None:
+            return SupervisedPool(
+                self.workers,
+                self.resilience,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def _parallel_setup(
+        self,
+        chunks: list[Sequence[Mapping[str, object]]],
+        restored: int,
+    ) -> _ParallelPlan:
+        """Allocate the sweep's shared block, plan the shard spans over
+        the non-restored suffix of the grid, and spawn the pool.
+
+        The first *restored* chunks came from a checkpoint — their rows
+        are never dispatched (and never read), which keeps resume
+        bit-exact and free of redundant kernel work. A sweep whose
+        every chunk is restored gets no pool at all.
+        """
+        total = sum(len(chunk) for chunk in chunks)
+        skip = sum(len(chunk) for chunk in chunks[:restored])
+        block = _parallel.ColumnarBlock.allocate(total)
+        spans = _parallel.plan_shards(
+            total, skip, self.chunk_size, self.workers
+        )
+        pool = None
+        if spans:
+            pool = self._make_pool(
+                _parallel.init_columnar_worker,
+                (self.factory, block.name, total),
+                parent_block=block,
+            )
+        return _ParallelPlan(chunks, self.chunk_size, block, pool, spans)
+
+    def _parallel_kernels(
+        self, plan: _ParallelPlan, tracer: _trace.Tracer
+    ) -> None:
+        """The kernel phase: run ``batch_arrays`` over every pending
+        shard span on the pool and land the result columns in the block.
+
+        One job per span — ``(start, stop, axis columns)`` out, compact
+        numeric arrays (or an already-written shm acknowledgement) back.
+        Shard writes are idempotent, so supervised retry/respawn/
+        degradation re-runs are safe. Busy seconds accumulate for the
+        worker-utilization gauge.
+        """
+        if not plan.spans:
+            return
+        jobs = [
+            (lo, hi, self._chunk_columns(plan.points(lo, hi)))
+            for lo, hi in plan.spans
+        ]
+        with tracer.span(
+            "kernels",
+            shards=len(jobs),
+            shard_points=plan.shard_points,
+            workers=self.workers,
+            shm_bytes=plan.shm_bytes,
+        ):
+            begin = time.perf_counter()
+            if isinstance(plan.pool, SupervisedPool):
+                replies: Iterable = plan.pool.run(_parallel.eval_shard, jobs)
+            else:
+                replies = plan.pool.map(_parallel.eval_shard, jobs)
+            for lo, hi, busy, arrays in replies:
+                plan.busy += busy
+                if arrays is not None:
+                    plan.block.write(lo, hi, *arrays)
+            plan.kernel_wall = time.perf_counter() - begin
 
     # ------------------------------------------------------------------
     # Sweeps
@@ -625,8 +852,7 @@ class BatchExplorer:
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
-        use_vector = self._vector_cold()
-        mode = "vector" if use_vector else "scalar"
+        mode = self._resolve_mode()
         store = CheckpointStore.coerce(checkpoint)
         if resume and store is None:
             raise ConfigurationError(
@@ -652,6 +878,7 @@ class BatchExplorer:
         params_list: list[Mapping[str, object]] = []
         designs: list[DesignPoint] = []
         pool: ProcessPoolExecutor | SupervisedPool | None = None
+        plan: "_ParallelPlan | None" = None
         with tracer.span(
             "sweep",
             grid_points=len(grid),
@@ -661,12 +888,23 @@ class BatchExplorer:
         ) as sweep_span:
             start_s = time.perf_counter()
             try:
-                if self.workers:
-                    if self.resilience is not None:
-                        pool = SupervisedPool(self.workers, self.resilience)
-                    else:
-                        pool = ProcessPoolExecutor(max_workers=self.workers)
-                for index, chunk in enumerate(_chunked(iter(grid), self.chunk_size)):
+                if mode == "parallel-columnar":
+                    plan = self._parallel_setup(
+                        list(_chunked(iter(grid), self.chunk_size)),
+                        len(restored_chunks),
+                    )
+                    pool = plan.pool
+                    self._parallel_kernels(plan, tracer)
+                    chunk_stream: Iterable = enumerate(plan.chunks)
+                else:
+                    if self.workers:
+                        pool = self._make_pool(
+                            _parallel.init_factory_worker, (self.factory,)
+                        )
+                    chunk_stream = enumerate(
+                        _chunked(iter(grid), self.chunk_size)
+                    )
+                for index, chunk in chunk_stream:
                     restored = index < len(restored_chunks)
                     with tracer.span(
                         "chunk", index=index, mode=mode, restored=restored
@@ -679,7 +917,11 @@ class BatchExplorer:
                                 chunk, restored_chunks[index], store
                             )
                             saved_chunks.append(restored_chunks[index])
-                        elif use_vector:
+                        elif plan is not None:
+                            outcomes = self._outcomes_from_arrays(
+                                chunk, plan.chunk_arrays(index)
+                            )
+                        elif mode == "columnar":
                             outcomes = self._vector_chunk(chunk)
                         else:
                             outcomes = self._evaluate_chunk(chunk, pool)
@@ -709,6 +951,10 @@ class BatchExplorer:
             finally:
                 if pool is not None:
                     pool.shutdown(cancel_futures=True)
+                if plan is not None:
+                    plan.release()
+                if self.workers:
+                    _parallel.clear_worker_state()
             self._record_supervision(pool, sweep_span)
             if not designs:
                 raise ConfigurationError(
@@ -722,6 +968,7 @@ class BatchExplorer:
                 grid_points=len(grid),
                 valid_points=len(params_list),
                 seconds=time.perf_counter() - start_s,
+                plan=plan,
             )
             if observing:
                 self._observe_sweep(registry, sweep_span, stats)
@@ -755,10 +1002,7 @@ class BatchExplorer:
                 "match this grid"
             )
         outcomes = decode_outcomes(rows)
-        names = sorted(chunk[0])
-        entries = self.cache._entries
-        for params, outcome in zip(chunk, outcomes):
-            entries[tuple([(name, params[name]) for name in names])] = outcome
+        self.cache.store_many(params_keys(chunk), outcomes)
         return outcomes
 
     def _record_supervision(
@@ -831,14 +1075,27 @@ class BatchExplorer:
         grid_points: int,
         valid_points: int,
         seconds: float,
+        plan: "_ParallelPlan | None" = None,
     ) -> SweepEngineStats:
         """Snapshot how the sweep executed and publish it as
         :attr:`last_sweep` (recorded unconditionally — the CLI summary
         line must not require observability to be enabled)."""
-        vector = mode == "vector"
+        vector = mode in COLUMNAR_MODES
         fallback = (
             grid_points if not vector and is_vector_factory(self.factory) else 0
         )
+        extras: dict[str, object] = {}
+        if plan is not None and plan.spans:
+            wall = plan.kernel_wall * self.workers
+            extras = {
+                "workers": self.workers,
+                "shards": len(plan.spans),
+                "shard_points": plan.shard_points,
+                "shm_bytes": plan.shm_bytes,
+                "worker_utilization": (
+                    min(1.0, plan.busy / wall) if wall > 0 else 0.0
+                ),
+            }
         stats = SweepEngineStats(
             mode=mode,
             grid_points=grid_points,
@@ -846,6 +1103,7 @@ class BatchExplorer:
             vector_points=grid_points if vector else 0,
             fallback_points=fallback,
             seconds=seconds,
+            **extras,  # type: ignore[arg-type]
         )
         object.__setattr__(self, "last_sweep", stats)
         return stats
@@ -871,7 +1129,7 @@ class BatchExplorer:
                 cache_hit_ratio=stats.hit_ratio,
                 cache_size=stats.size,
             )
-            if engine.mode == "vector":
+            if engine.mode in COLUMNAR_MODES:
                 sweep_span.set(vector_evals_per_s=engine.evals_per_s)
         if registry.enabled:
             registry.gauge(
@@ -893,8 +1151,28 @@ class BatchExplorer:
                 registry.counter(
                     "focal_vector_fallback_total",
                     "points a vector-capable factory evaluated scalar "
-                    "(warm cache or process-pool workers)",
+                    "(warm cache)",
                 ).inc(engine.fallback_points)
+            if engine.shards:
+                registry.counter(
+                    "focal_parallel_shards_total",
+                    "column shards dispatched to worker pools",
+                ).inc(engine.shards)
+                registry.gauge(
+                    "focal_parallel_shard_points",
+                    "largest shard of the last parallel-columnar sweep, "
+                    "in grid points",
+                ).set(engine.shard_points)
+                registry.gauge(
+                    "focal_parallel_shm_bytes",
+                    "shared-memory bytes backing the last parallel-columnar "
+                    "sweep (0 = pickle-array fallback)",
+                ).set(engine.shm_bytes)
+                registry.gauge(
+                    "focal_parallel_worker_utilization",
+                    "worker busy seconds / (kernel wall x workers), "
+                    "last parallel-columnar sweep",
+                ).set(engine.worker_utilization)
 
     def _ncf_arrays(
         self, designs: Sequence[DesignPoint]
@@ -960,8 +1238,8 @@ class BatchExplorer:
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
-        use_vector = self._vector_cold()
-        mode = "vector" if use_vector else "scalar"
+        mode = self._resolve_mode()
+        use_vector = mode == "columnar"
         with tracer.span(
             "sweep.count", grid_points=len(grid), mode=mode
         ) as sweep_span:
@@ -1017,7 +1295,7 @@ class BatchExplorer:
         histogram = np.zeros(len(CATEGORIES), dtype=np.int64)
         valid_total = 0
         for index, start in enumerate(range(0, total, self.chunk_size)):
-            with tracer.span("chunk", index=index, mode="vector") as chunk_span:
+            with tracer.span("chunk", index=index, mode="columnar") as chunk_span:
                 rows = np.arange(start, min(start + self.chunk_size, total))
                 columns = {
                     name: axis_values[(rows // stride) % size]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -177,8 +178,63 @@ def _point_fields(point: DesignPoint) -> dict:
     }
 
 
+def _mc_spans(count: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans splitting *count* samples across a
+    pool — a few shards per worker, so stragglers rebalance."""
+    shards = max(1, min(workers * 4, count))
+    size, extra = divmod(count, shards)
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + size + (1 if index < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def _verdict_shard(job: tuple) -> np.ndarray:
+    """Worker-side draw+classify for one ``sample_verdicts`` shard.
+
+    The shard's generator is positioned on the run's single logical
+    stream with ``bit_generator.advance`` — each uniform double
+    consumes exactly one PCG64 state step, so a shard starting at
+    sample *start* advances by *start* and then draws its own span.
+    The concatenated shard codes are byte-identical to one sequential
+    draw. (A degenerate band, ``hi == lo``, consumes no states at all.)
+    """
+    seed, start, count, lo, hi, area, energy, power = job
+    if hi > lo:
+        rng = np.random.default_rng(seed)
+        rng.bit_generator.advance(start)
+        alphas = rng.uniform(lo, hi, size=count)
+    else:
+        alphas = np.full(count, lo)
+    ncf_fw = alphas * area + (1.0 - alphas) * energy
+    ncf_ft = alphas * area + (1.0 - alphas) * power
+    return classify_arrays(ncf_fw, ncf_ft)
+
+
+def _noise_shard(job: tuple) -> np.ndarray:
+    """Worker-side classify for one ``sample_measurement_noise`` shard.
+
+    Lognormal draws go through the ziggurat algorithm, whose state
+    consumption is data-dependent — ``advance`` cannot position a
+    shard on the stream. The parent therefore draws the noise
+    sequentially (bit-identical to the serial path by construction)
+    and ships each shard's noise columns here for the NCF + classify
+    arithmetic.
+    """
+    noise, alpha, area_ratio, energy_ratio, power_ratio = job
+    area = area_ratio * noise[:, 0]
+    energy = energy_ratio * noise[:, 1]
+    power = power_ratio * noise[:, 2]
+    ncf_fw = alpha * area + (1.0 - alpha) * energy
+    ncf_ft = alpha * area + (1.0 - alpha) * power
+    return classify_arrays(ncf_fw, ncf_ft)
+
+
 def _checkpointed_codes(
-    draw: Callable[[np.random.Generator, int], np.ndarray],
+    draw: Callable[[np.random.Generator, int, int], np.ndarray],
     *,
     samples: int,
     seed: int,
@@ -189,13 +245,15 @@ def _checkpointed_codes(
 ) -> np.ndarray:
     """Draw+classify *samples* codes, chunk-checkpointing the stream.
 
-    ``draw(rng, n)`` consumes exactly the generator variates an
-    uninterrupted run would for its next *n* samples and returns their
-    classification codes. Without a checkpoint the whole range is one
-    draw; with one, the stream advances ``checkpoint_every`` samples at
-    a time, persisting codes + RNG state after each chunk. Either way
-    the concatenated codes are identical — NumPy ``Generator`` streams
-    do not depend on how the draw is split.
+    ``draw(rng, start, n)`` consumes exactly the generator variates an
+    uninterrupted run would for samples ``[start, start + n)`` and
+    returns their classification codes (*start* lets parallel draws
+    position independent generators on the stream). Without a
+    checkpoint the whole range is one draw; with one, the stream
+    advances ``checkpoint_every`` samples at a time, persisting codes +
+    RNG state after each chunk. Either way the concatenated codes are
+    identical — NumPy ``Generator`` streams do not depend on how the
+    draw is split.
     """
     if checkpoint_every < 1:
         raise ValidationError(
@@ -227,7 +285,7 @@ def _checkpointed_codes(
     step = samples if store is None else checkpoint_every
     while drawn < samples:
         count = min(step, samples - drawn)
-        done.append(draw(rng, count))
+        done.append(draw(rng, drawn, count))
         drawn += count
         if store is not None:
             store.save(
@@ -248,6 +306,7 @@ def sample_verdicts(
     *,
     samples: int = 10_000,
     seed: int = 0,
+    workers: int = 0,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     checkpoint_every: int = 4096,
@@ -258,17 +317,29 @@ def sample_verdicts(
     the two NCF values, so this directly measures how often the
     conclusion would flip within the uncertainty band.
 
+    With ``workers > 0`` the draw fans out over a process pool in
+    contiguous sample spans: each shard positions an independent
+    generator on the run's single logical stream via
+    ``bit_generator.advance`` (uniform doubles consume one PCG64 state
+    each), so the concatenated codes — and hence the probabilities —
+    are byte-identical to the serial run. ``workers`` is deliberately
+    absent from the checkpoint fingerprint: a checkpoint written at any
+    worker count resumes at any other.
+
     ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
     chunked sampling (see the module docs); results are bit-identical
     with or without them.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
+    if workers < 0:
+        raise ValidationError(f"workers must be >= 0, got {workers}")
     registry = _metrics.get_registry()
     with _trace.span(
         "mc.sample_verdicts",
         samples=samples,
         seed=seed,
+        workers=workers,
         design=design.name,
         baseline=baseline.name,
         weight=weight.name,
@@ -278,8 +349,21 @@ def sample_verdicts(
         area = design.area_ratio(baseline)
         energy = design.energy_ratio(baseline)
         power = design.power_ratio(baseline)
+        pool = ProcessPoolExecutor(max_workers=workers) if workers else None
 
-        def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
+            if pool is not None and count > 1:
+                jobs = [
+                    (seed, start + span_lo, span_hi - span_lo,
+                     lo, hi, area, energy, power)
+                    for span_lo, span_hi in _mc_spans(count, workers)
+                ]
+                parts = list(pool.map(_verdict_shard, jobs))
+                # Keep the parent's generator exactly where a serial
+                # draw would have left it (checkpoint states match).
+                if hi > lo:
+                    rng.bit_generator.advance(count)
+                return np.concatenate(parts)
             alphas = (
                 rng.uniform(lo, hi, size=count)
                 if hi > lo
@@ -289,22 +373,26 @@ def sample_verdicts(
             ncf_ft = alphas * area + (1.0 - alphas) * power
             return classify_arrays(ncf_fw, ncf_ft)
 
-        codes = _checkpointed_codes(
-            draw,
-            samples=samples,
-            seed=seed,
-            checkpoint=checkpoint,
-            resume=resume,
-            checkpoint_every=checkpoint_every,
-            fingerprint={
-                "sampler": "sample_verdicts",
-                "design": _point_fields(design),
-                "baseline": _point_fields(baseline),
-                "band": [float(lo).hex(), float(hi).hex()],
-                "samples": samples,
-                "seed": seed,
-            },
-        )
+        try:
+            codes = _checkpointed_codes(
+                draw,
+                samples=samples,
+                seed=seed,
+                checkpoint=checkpoint,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+                fingerprint={
+                    "sampler": "sample_verdicts",
+                    "design": _point_fields(design),
+                    "baseline": _point_fields(baseline),
+                    "band": [float(lo).hex(), float(hi).hex()],
+                    "samples": samples,
+                    "seed": seed,
+                },
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown(cancel_futures=True)
         return _observed_from_codes(
             codes, samples, "sample_verdicts", start_s, sp, registry
         )
@@ -318,6 +406,7 @@ def sample_measurement_noise(
     relative_sigma: float = 0.1,
     samples: int = 10_000,
     seed: int = 0,
+    workers: int = 0,
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     checkpoint_every: int = 4096,
@@ -331,6 +420,15 @@ def sample_measurement_noise(
     (independently) at a fixed alpha, and reports how often the
     sustainability verdict survives.
 
+    With ``workers > 0`` the NCF + classification arithmetic fans out
+    over a process pool in contiguous sample spans. The lognormal draw
+    itself stays sequential in the parent — ziggurat sampling consumes
+    a data-dependent number of generator states, so shards cannot be
+    positioned on the stream with ``advance`` the way
+    :func:`sample_verdicts` shards are. Results and checkpoint states
+    are byte-identical at any worker count, and ``workers`` is absent
+    from the checkpoint fingerprint.
+
     ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
     chunked sampling (see the module docs); results are bit-identical
     with or without them.
@@ -339,11 +437,14 @@ def sample_measurement_noise(
         raise ValidationError(f"samples must be >= 1, got {samples}")
     if relative_sigma < 0.0:
         raise ValidationError(f"relative_sigma must be >= 0, got {relative_sigma}")
+    if workers < 0:
+        raise ValidationError(f"workers must be >= 0, got {workers}")
     registry = _metrics.get_registry()
     with _trace.span(
         "mc.sample_measurement_noise",
         samples=samples,
         seed=seed,
+        workers=workers,
         design=design.name,
         baseline=baseline.name,
         alpha=alpha,
@@ -356,9 +457,17 @@ def sample_measurement_noise(
         area_ratio = design.area_ratio(baseline)
         energy_ratio = design.energy_ratio(baseline)
         power_ratio = design.power_ratio(baseline)
+        pool = ProcessPoolExecutor(max_workers=workers) if workers else None
 
-        def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
             noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(count, 3))
+            if pool is not None and count > 1:
+                jobs = [
+                    (noise[span_lo:span_hi], alpha,
+                     area_ratio, energy_ratio, power_ratio)
+                    for span_lo, span_hi in _mc_spans(count, workers)
+                ]
+                return np.concatenate(list(pool.map(_noise_shard, jobs)))
             area = area_ratio * noise[:, 0]
             energy = energy_ratio * noise[:, 1]
             power = power_ratio * noise[:, 2]
@@ -366,23 +475,27 @@ def sample_measurement_noise(
             ncf_ft = alpha * area + (1.0 - alpha) * power
             return classify_arrays(ncf_fw, ncf_ft)
 
-        codes = _checkpointed_codes(
-            draw,
-            samples=samples,
-            seed=seed,
-            checkpoint=checkpoint,
-            resume=resume,
-            checkpoint_every=checkpoint_every,
-            fingerprint={
-                "sampler": "sample_measurement_noise",
-                "design": _point_fields(design),
-                "baseline": _point_fields(baseline),
-                "alpha": float(alpha).hex(),
-                "relative_sigma": float(relative_sigma).hex(),
-                "samples": samples,
-                "seed": seed,
-            },
-        )
+        try:
+            codes = _checkpointed_codes(
+                draw,
+                samples=samples,
+                seed=seed,
+                checkpoint=checkpoint,
+                resume=resume,
+                checkpoint_every=checkpoint_every,
+                fingerprint={
+                    "sampler": "sample_measurement_noise",
+                    "design": _point_fields(design),
+                    "baseline": _point_fields(baseline),
+                    "alpha": float(alpha).hex(),
+                    "relative_sigma": float(relative_sigma).hex(),
+                    "samples": samples,
+                    "seed": seed,
+                },
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown(cancel_futures=True)
         return _observed_from_codes(
             codes, samples, "sample_measurement_noise", start_s, sp, registry
         )

@@ -1,0 +1,291 @@
+"""Shared-memory shard dispatch for the parallel columnar sweep path.
+
+The two fast paths of :class:`~repro.dse.batch.BatchExplorer` used to
+cancel each other out: the columnar kernels engaged only with
+``workers == 0``, while the pool path shipped per-point pickled
+``(factory, params)`` jobs and pickled whole DesignPoint objects back.
+This module provides the plumbing that composes them:
+
+* :class:`ColumnarBlock` — one flat buffer holding the sweep's
+  area/perf/power/valid columns for *every* grid point, backed by a
+  ``multiprocessing.shared_memory`` segment when the platform provides
+  one and by private process memory otherwise (the pickle-array
+  fallback);
+* :func:`plan_shards` — contiguous, chunk-aligned ``[lo, hi)`` spans of
+  the grid, a few per worker so stragglers rebalance;
+* worker-side state and entry points — the factory (and the shared
+  block) ship **once per pool** through :func:`init_factory_worker` /
+  :func:`init_columnar_worker`; per-job payloads are only parameter
+  dicts (scalar pool path) or axis columns (columnar path), and results
+  come back as writes into the shared block (or compact numeric arrays
+  when shared memory is unavailable). No ``DesignPoint`` ever crosses
+  the process boundary.
+
+Everything here is byte-neutral: the kernels run unchanged, the parent
+re-reads the same float64/bool columns the single-process path would
+have produced, and invalid rows are still re-evaluated scalar in the
+parent to capture genuine ``DomainError`` objects.
+
+The parent process mirrors the worker initialization via
+:func:`set_worker_state` so :class:`~repro.resilience.supervisor.
+SupervisedPool` degradation (jobs re-run in-process) evaluates the same
+module-level functions the workers do.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.errors import ConfigurationError, DomainError
+
+__all__ = [
+    "ColumnarBlock",
+    "plan_shards",
+    "live_blocks",
+    "set_worker_state",
+    "clear_worker_state",
+    "init_factory_worker",
+    "init_columnar_worker",
+    "pool_evaluate",
+    "eval_shard",
+]
+
+#: Bytes per grid point in a :class:`ColumnarBlock`:
+#: three float64 result columns plus one bool validity flag.
+BYTES_PER_POINT = 3 * 8 + 1
+
+#: How many shards each worker is offered: a few per worker, so a slow
+#: shard (or a respawned worker) rebalances instead of stalling the pool.
+SHARDS_PER_WORKER = 4
+
+#: Names of shared-memory segments this process created and has not yet
+#: unlinked — the leak detector the interrupt-hygiene tests assert on.
+_LIVE_NAMES: set[str] = set()
+
+#: Per-process worker state, installed once per pool by the initializers
+#: (and mirrored in the parent for in-process degradation).
+_STATE: dict = {}
+
+
+def live_blocks() -> frozenset[str]:
+    """Shared-memory segment names created here and not yet unlinked."""
+    return frozenset(_LIVE_NAMES)
+
+
+class ColumnarBlock:
+    """The sweep's result columns over one flat buffer.
+
+    Layout over ``total`` points: ``area``/``perf``/``power`` as
+    consecutive float64 columns, then ``valid`` as a bool column. The
+    buffer is a shared-memory segment when available (workers write
+    their shard rows directly) and private memory otherwise (workers
+    return arrays by pickle and the parent writes them).
+    """
+
+    def __init__(self, total: int, shm, owner: bool) -> None:
+        self.total = total
+        self._shm = shm
+        self._owner = owner
+        if shm is not None:
+            buf = shm.buf
+        else:
+            self._local = bytearray(max(1, total * BYTES_PER_POINT))
+            buf = memoryview(self._local)
+        self.area = np.frombuffer(buf, dtype=np.float64, count=total, offset=0)
+        self.perf = np.frombuffer(
+            buf, dtype=np.float64, count=total, offset=8 * total
+        )
+        self.power = np.frombuffer(
+            buf, dtype=np.float64, count=total, offset=16 * total
+        )
+        self.valid = np.frombuffer(
+            buf, dtype=np.bool_, count=total, offset=24 * total
+        )
+
+    @classmethod
+    def allocate(cls, total: int) -> "ColumnarBlock":
+        """A new block, shared-memory backed when the platform allows.
+
+        Any failure to create the segment (no /dev/shm, size limits,
+        sandboxing) silently selects the private-memory fallback — the
+        sweep then pays pickling for result columns, nothing else
+        changes.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, total * BYTES_PER_POINT)
+            )
+        except Exception:
+            return cls(total, None, owner=True)
+        _LIVE_NAMES.add(shm.name)
+        return cls(total, shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, total: int) -> "ColumnarBlock":
+        """Attach to the parent's segment (worker-side).
+
+        On Python < 3.13 attachment re-registers the segment with the
+        ``resource_tracker`` (python/cpython#82300). Pool workers are
+        children of the sweep's parent and share its tracker process,
+        where registrations collapse into one set entry — so the
+        re-register is harmless, and explicitly unregistering here
+        would be wrong: it would strip the *parent's* registration and
+        make its ``unlink`` complain about an unknown name.
+        """
+        from multiprocessing import shared_memory
+
+        return cls(total, shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str | None:
+        """Segment name (``None`` for the private-memory fallback)."""
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory bytes backing the block (0 for the fallback)."""
+        return self._shm.size if self._shm is not None else 0
+
+    def write(
+        self,
+        start: int,
+        stop: int,
+        area: np.ndarray,
+        perf: np.ndarray,
+        power: np.ndarray,
+        valid: np.ndarray,
+    ) -> None:
+        """Fill rows ``[start, stop)`` — idempotent, so re-dispatched
+        shards (retry, respawn, degradation) may write twice."""
+        self.area[start:stop] = area
+        self.perf[start:stop] = perf
+        self.power[start:stop] = power
+        self.valid[start:stop] = valid
+
+    def rows(
+        self, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Copies of rows ``[start, stop)`` — copies, not views, so the
+        segment can be unlinked while results are still referenced."""
+        return (
+            np.array(self.area[start:stop]),
+            np.array(self.perf[start:stop]),
+            np.array(self.power[start:stop]),
+            np.array(self.valid[start:stop]),
+        )
+
+    def release(self) -> None:
+        """Drop the buffer views, close the mapping and (as the owner)
+        unlink the segment. Safe to call more than once."""
+        shm, self._shm = self._shm, None
+        self.area = self.perf = self.power = self.valid = None  # type: ignore[assignment]
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _LIVE_NAMES.discard(shm.name)
+
+
+def plan_shards(
+    total: int, start: int, chunk_size: int, workers: int
+) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans covering ``[start, total)``.
+
+    Spans are aligned to ``chunk_size`` boundaries (a checkpoint chunk
+    never straddles two shards) and sized to roughly
+    :data:`SHARDS_PER_WORKER` shards per worker, so one slow shard
+    rebalances across the pool instead of serializing it.
+    """
+    if start >= total:
+        return []
+    pending_chunks = -(-(total - start) // chunk_size)
+    per_shard = max(1, -(-pending_chunks // (max(1, workers) * SHARDS_PER_WORKER)))
+    span = per_shard * chunk_size
+    return [
+        (lo, min(lo + span, total)) for lo in range(start, total, span)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker-side state and entry points
+# ----------------------------------------------------------------------
+def set_worker_state(factory: Callable, block: ColumnarBlock | None) -> None:
+    """Install this process's sweep state (factory + optional block).
+
+    Called by the pool initializers in each worker and by the parent
+    before dispatch, so in-process degradation and thread-pool
+    executors evaluate exactly what worker processes would.
+    """
+    _STATE["factory"] = factory
+    _STATE["block"] = block
+
+
+def clear_worker_state() -> None:
+    """Drop the sweep state (parent-side, after the pool is gone)."""
+    _STATE.clear()
+
+
+def init_factory_worker(factory: Callable) -> None:
+    """Pool initializer for the scalar path: the factory ships once per
+    worker process, not once per job."""
+    set_worker_state(factory, None)
+
+
+def init_columnar_worker(factory: Callable, shm_name: str | None, total: int) -> None:
+    """Pool initializer for the columnar path: factory plus one
+    attachment to the parent's shared block (when it has one)."""
+    block = ColumnarBlock.attach(shm_name, total) if shm_name else None
+    set_worker_state(factory, block)
+
+
+def pool_evaluate(params: Mapping[str, object]):
+    """Worker-side scalar factory call on the pool-shipped factory;
+    ``DomainError`` travels back as a value, like the cache stores it."""
+    try:
+        return _STATE["factory"](params)
+    except DomainError as exc:
+        return exc
+
+
+def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
+    """Run the vector kernel over one shard's columns.
+
+    ``job`` is ``(start, stop, columns)``. The factory's
+    ``batch_arrays`` output lands in the shared block's rows
+    ``[start, stop)`` when a block is attached; otherwise the columns
+    are returned by value. Either way the reply is
+    ``(start, stop, busy_seconds, arrays-or-None)`` — compact numbers,
+    never DesignPoint objects.
+    """
+    start, stop, columns = job
+    factory = _STATE["factory"]
+    begin = time.perf_counter()
+    arrays = factory.batch_arrays(columns)
+    busy = time.perf_counter() - begin
+    if len(arrays) != stop - start:
+        raise ConfigurationError(
+            f"batch_arrays returned {len(arrays)} rows for a "
+            f"{stop - start}-point shard"
+        )
+    block = _STATE.get("block")
+    if block is None:
+        return (
+            start,
+            stop,
+            busy,
+            (arrays.area, arrays.perf, arrays.power, arrays.valid),
+        )
+    block.write(start, stop, arrays.area, arrays.perf, arrays.power, arrays.valid)
+    return (start, stop, busy, None)

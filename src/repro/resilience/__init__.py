@@ -38,6 +38,7 @@ from .faults import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    VectorFaultInjectingFactory,
     corrupt_checkpoint,
     truncate_checkpoint,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "FaultSpec",
     "FaultInjectingFactory",
     "InjectedFault",
+    "VectorFaultInjectingFactory",
     "truncate_checkpoint",
     "corrupt_checkpoint",
 ]

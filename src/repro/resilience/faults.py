@@ -42,6 +42,7 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjectingFactory",
+    "VectorFaultInjectingFactory",
     "truncate_checkpoint",
     "corrupt_checkpoint",
 ]
@@ -144,6 +145,45 @@ class FaultInjectingFactory:
 
 
 @dataclass(frozen=True)
+class VectorFaultInjectingFactory(FaultInjectingFactory):
+    """Fault injection for the parallel-columnar engine path.
+
+    Unlike the scalar wrapper, this one *does* forward ``batch_arrays``
+    to the wrapped vector factory: a planned fault fires (once, ever)
+    inside the kernel call of whichever shard contains its target grid
+    point, so chaos runs exercise the shard retry / pool respawn /
+    in-process degradation machinery of the parallel-columnar engine.
+    Kernel values and validity are untouched — after the single fire
+    the re-dispatched shard evaluates clean, so recovery converges to
+    the fault-free, byte-identical answer.
+    """
+
+    def batch_arrays(self, columns: Mapping[str, np.ndarray]):
+        for spec in self.specs:
+            if self._covers(columns, spec) and self._claim(spec):
+                self._fire(spec)
+        return self.factory.batch_arrays(columns)  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _covers(columns: Mapping[str, np.ndarray], spec: FaultSpec) -> bool:
+        """Whether any row of *columns* is the spec's target point."""
+        mask: np.ndarray | None = None
+        for name, value in spec.key:
+            if name not in columns:
+                return False
+            hit = np.asarray(columns[name]) == value
+            mask = hit if mask is None else mask & hit
+        return mask is not None and bool(np.any(mask))
+
+    @property
+    def design_points(self):
+        # Forward the wrapped factory's materializer when it has one; a
+        # raised AttributeError makes getattr(..., None) in the engine
+        # treat this wrapper as materializer-free, like the original.
+        return self.factory.design_points  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded, reproducible set of faults over a parameter grid."""
 
@@ -190,9 +230,23 @@ class FaultPlan:
         return cls(seed=seed, state_dir=str(state_dir), specs=specs)
 
     def wrap(self, factory: object) -> FaultInjectingFactory:
-        """The fault-injecting twin of *factory* (state dir is created)."""
+        """The fault-injecting twin of *factory* (state dir is created).
+
+        The wrapper hides ``batch_arrays``, forcing the scalar/worker
+        paths; use :meth:`wrap_vector` to chaos-test the
+        parallel-columnar kernels instead.
+        """
         Path(self.state_dir).mkdir(parents=True, exist_ok=True)
         return FaultInjectingFactory(
+            factory=factory, specs=self.specs, state_dir=self.state_dir
+        )
+
+    def wrap_vector(self, factory: object) -> VectorFaultInjectingFactory:
+        """Like :meth:`wrap`, but keeps the factory vector-capable:
+        faults fire inside ``batch_arrays`` on the shard containing the
+        target point (the parallel-columnar chaos entry point)."""
+        Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+        return VectorFaultInjectingFactory(
             factory=factory, specs=self.specs, state_dir=self.state_dir
         )
 

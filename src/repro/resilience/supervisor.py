@@ -61,6 +61,13 @@ class SupervisedPool:
         The executor constructor, ``ProcessPoolExecutor`` by default.
         Tests inject thread pools or deliberately failing factories
         here; anything with the ``Executor`` interface works.
+    initializer, initargs:
+        Ran once in every worker the executor spawns (and re-ran in the
+        replacement workers after a pool respawn) — how per-pool state
+        such as a design factory or a shared-memory attachment ships
+        once per pool instead of once per job. The caller is
+        responsible for mirroring the state in its own process when
+        jobs must also run in-process (degradation).
     """
 
     def __init__(
@@ -68,6 +75,8 @@ class SupervisedPool:
         workers: int,
         policy: RetryPolicy = DEFAULT_POLICY,
         executor_factory: Callable[..., Executor] = ProcessPoolExecutor,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -75,6 +84,8 @@ class SupervisedPool:
         self.policy = policy
         self.stats = SupervisionStats()
         self._executor_factory = executor_factory
+        self._initializer = initializer
+        self._initargs = initargs
         self._executor: Executor | None = None
         self._degraded = False
 
@@ -183,8 +194,15 @@ class SupervisedPool:
     def _ensure_executor(self) -> Executor | None:
         """The live executor, spawning lazily; ``None`` degrades."""
         if self._executor is None:
+            # initializer/initargs are forwarded only when set, so
+            # test-injected executor factories with a bare
+            # ``max_workers`` signature keep working.
+            kwargs: dict = {"max_workers": self.workers}
+            if self._initializer is not None:
+                kwargs["initializer"] = self._initializer
+                kwargs["initargs"] = self._initargs
             try:
-                self._executor = self._executor_factory(max_workers=self.workers)
+                self._executor = self._executor_factory(**kwargs)
             except Exception:
                 self._declare_degraded()
         return self._executor

@@ -67,3 +67,26 @@ class TestMeasurementNoise:
             sample_measurement_noise(
                 better_design, baseline, 0.5, relative_sigma=-0.1
             )
+        with pytest.raises(ValidationError):
+            sample_measurement_noise(
+                better_design, baseline, 0.5, samples=10, workers=-1
+            )
+
+    def test_workers_match_serial(self, baseline):
+        # Marginal design: any classification drift between the serial
+        # and sharded paths would shift the probabilities.
+        d = DesignPoint("marginal", area=1.02, perf=1.0, power=0.99)
+        serial = sample_measurement_noise(d, baseline, 0.5, samples=2001, seed=4)
+        parallel = sample_measurement_noise(
+            d, baseline, 0.5, samples=2001, seed=4, workers=2
+        )
+        assert parallel == serial
+
+    def test_single_sample_with_workers(self, better_design, baseline):
+        serial = sample_measurement_noise(
+            better_design, baseline, 0.5, samples=1, seed=6
+        )
+        parallel = sample_measurement_noise(
+            better_design, baseline, 0.5, samples=1, seed=6, workers=2
+        )
+        assert parallel == serial

@@ -1,0 +1,227 @@
+"""The parallel-columnar engine must be invisible in the results:
+byte-identical sweep output, identical cache contents and identical
+category counts versus both the single-process columnar path and the
+scalar path — at every grid/chunk geometry, with and without shared
+memory, and with nothing (workers, shm segments, module state) left
+behind afterwards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse import parallel
+from repro.dse.batch import (
+    BatchExplorer,
+    FactoryCache,
+    params_key,
+    params_keys,
+)
+from repro.dse.factories import (
+    AsymmetricMulticoreFactory,
+    SymmetricMulticoreFactory,
+)
+from repro.dse.grid import ParameterGrid, linear_range
+
+GRID = ParameterGrid({"cores": [1, 2, 4, 8, 16], "f": linear_range(0.5, 0.99, 7)})
+#: n <= m corners raise DomainError scalar-side, are masked vector-side.
+ASYM_GRID = ParameterGrid({"n": [2, 3, 4, 8, 16], "m": [1, 4, 8]})
+
+
+def _explorer(factory, baseline, **kwargs) -> BatchExplorer:
+    return BatchExplorer(
+        factory=factory, baseline=baseline, weight=EMBODIED_DOMINATED, **kwargs
+    )
+
+
+def assert_same_entries(cache, reference_cache) -> None:
+    """Cache equality that copes with DomainError's identity compare."""
+    entries = dict(cache._entries)
+    reference = dict(reference_cache._entries)
+    assert entries.keys() == reference.keys()
+    for key, outcome in entries.items():
+        expected = reference[key]
+        if isinstance(expected, Exception):
+            assert type(outcome) is type(expected)
+            assert str(outcome) == str(expected)
+        else:
+            assert outcome == expected
+
+
+def assert_same_sweep(result, reference) -> None:
+    assert result.params == reference.params
+    assert tuple(result.designs) == tuple(reference.designs)
+    assert np.array_equal(result.ncf_fixed_work, reference.ncf_fixed_work)
+    assert np.array_equal(result.ncf_fixed_time, reference.ncf_fixed_time)
+    assert np.array_equal(result.codes, reference.codes)
+
+
+class TestKeyUnification:
+    def test_params_keys_match_params_key(self):
+        chunk = list(GRID)[:7]
+        assert params_keys(chunk) == [params_key(params) for params in chunk]
+
+    def test_store_many_routes_through_shared_keys(self, baseline):
+        factory = SymmetricMulticoreFactory()
+        cache = FactoryCache(factory)
+        chunk = list(GRID)[:5]
+        outcomes = [factory(params) for params in chunk]
+        cache.store_many(params_keys(chunk), outcomes, misses=len(chunk))
+        assert len(cache) == len(chunk)
+        assert cache.misses == len(chunk)
+        for params, outcome in zip(chunk, outcomes):
+            assert cache.lookup(params_key(params)) is outcome
+
+    def test_store_many_length_mismatch_raises(self):
+        from repro.core.errors import ValidationError
+
+        cache = FactoryCache(SymmetricMulticoreFactory())
+        with pytest.raises(ValidationError):
+            cache.store_many([("a", 1)], [])
+
+
+class TestParity:
+    def test_matches_columnar_and_scalar(self, baseline):
+        columnar = _explorer(SymmetricMulticoreFactory(), baseline)
+        reference = columnar.explore_arrays(GRID)
+        par = _explorer(SymmetricMulticoreFactory(), baseline, workers=2)
+        result = par.explore_arrays(GRID)
+        assert par.last_sweep.mode == "parallel-columnar"
+        assert_same_sweep(result, reference)
+        assert dict(par.cache._entries) == dict(columnar.cache._entries)
+        assert par.cache.stats() == columnar.cache.stats()
+
+    def test_invalid_corners_capture_domain_errors(self, baseline):
+        columnar = _explorer(
+            AsymmetricMulticoreFactory(parallel_fraction=0.9), baseline
+        )
+        reference = columnar.explore_arrays(ASYM_GRID)
+        par = _explorer(
+            AsymmetricMulticoreFactory(parallel_fraction=0.9),
+            baseline,
+            workers=2,
+            chunk_size=4,
+        )
+        result = par.explore_arrays(ASYM_GRID)
+        assert_same_sweep(result, reference)
+        # Skips really happened, and the invalid corners were memoized
+        # as genuine DomainError objects, like the scalar path stores.
+        assert 0 < len(result.params) < len(ASYM_GRID)
+        assert_same_entries(par.cache, columnar.cache)
+
+    def test_category_counts_identical(self, baseline):
+        serial = _explorer(SymmetricMulticoreFactory(), baseline)
+        par = _explorer(SymmetricMulticoreFactory(), baseline, workers=2)
+        assert (
+            par.explore_arrays(GRID).category_counts()
+            == serial.explore_arrays(GRID).category_counts()
+        )
+
+
+class TestEdgeGeometry:
+    """Shard planning must cover every degenerate chunk/grid shape."""
+
+    @pytest.mark.parametrize(
+        "chunk_size,axes",
+        [
+            (1, {"cores": [1, 2, 4], "f": [0.3, 0.9]}),  # chunk_size=1
+            (64, {"cores": [1, 2, 4], "f": [0.3, 0.9]}),  # grid < one chunk
+            (4, {"cores": [2], "f": [0.5]}),  # single-point grid
+            (3, {"cores": [1, 2, 4, 8, 16], "f": [0.25, 0.75]}),  # ragged tail
+        ],
+        ids=["chunk1", "chunk-bigger-than-grid", "single-point", "partial-tail"],
+    )
+    def test_bit_exact_vs_scalar(self, baseline, chunk_size, axes):
+        grid = ParameterGrid(axes)
+        reference = _explorer(
+            SymmetricMulticoreFactory(), baseline, chunk_size=chunk_size
+        ).explore_arrays(grid)
+        result = _explorer(
+            SymmetricMulticoreFactory(),
+            baseline,
+            chunk_size=chunk_size,
+            workers=2,
+        ).explore_arrays(grid)
+        assert_same_sweep(result, reference)
+
+    def test_final_partial_chunk_entirely_invalid(self, baseline):
+        # 4 points at chunk_size=2: the last chunk is [m=8]x{n=4 is
+        # valid? no:] — axes chosen so the trailing partial chunk holds
+        # only n <= m corners, which the kernel masks invalid and the
+        # parent re-evaluates to genuine DomainErrors.
+        grid = ParameterGrid({"n": [4], "m": [1, 2, 8, 16]})
+        factory = AsymmetricMulticoreFactory(parallel_fraction=0.9)
+        reference = _explorer(
+            factory, baseline, chunk_size=2
+        ).explore_arrays(grid)
+        par = _explorer(
+            AsymmetricMulticoreFactory(parallel_fraction=0.9),
+            baseline,
+            chunk_size=2,
+            workers=2,
+        )
+        result = par.explore_arrays(grid)
+        assert_same_sweep(result, reference)
+        assert len(result.params) == 2  # m=1, m=2 survive; m=8, m=16 do not
+
+
+class TestSharedMemoryFallback:
+    def test_pickle_fallback_is_bit_exact(self, baseline, monkeypatch):
+        # Force the private-memory fallback: allocation "fails" and the
+        # engine must ship result columns back by pickle instead.
+        real_allocate = parallel.ColumnarBlock.allocate.__func__
+
+        def no_shm(cls, total):
+            block = real_allocate(cls, total)
+            if block._shm is not None:
+                block.release()
+            return cls(total, None, owner=True)
+
+        monkeypatch.setattr(
+            parallel.ColumnarBlock, "allocate", classmethod(no_shm)
+        )
+        reference = _explorer(
+            SymmetricMulticoreFactory(), baseline
+        ).explore_arrays(GRID)
+        par = _explorer(SymmetricMulticoreFactory(), baseline, workers=2)
+        result = par.explore_arrays(GRID)
+        assert_same_sweep(result, reference)
+        assert par.last_sweep.mode == "parallel-columnar"
+        assert par.last_sweep.shm_bytes == 0  # fallback reported honestly
+
+    def test_shm_bytes_reported_when_backed(self, baseline):
+        par = _explorer(SymmetricMulticoreFactory(), baseline, workers=2)
+        par.explore_arrays(GRID)
+        assert par.last_sweep.shm_bytes >= len(GRID) * parallel.BYTES_PER_POINT
+
+
+class TestHygiene:
+    def test_no_leaked_segments_or_state_after_sweep(self, baseline):
+        par = _explorer(SymmetricMulticoreFactory(), baseline, workers=2)
+        par.explore_arrays(GRID)
+        assert parallel.live_blocks() == frozenset()
+        assert parallel._STATE == {}
+
+    def test_block_release_is_idempotent(self):
+        block = parallel.ColumnarBlock.allocate(8)
+        name = block.name
+        block.release()
+        block.release()
+        assert parallel.live_blocks() == frozenset()
+        if name is not None:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_plan_shards_chunk_aligned(self):
+        spans = parallel.plan_shards(100, 0, 16, workers=3)
+        assert spans[0][0] == 0 and spans[-1][1] == 100
+        for (lo, hi), (nlo, _) in zip(spans, spans[1:]):
+            assert hi == nlo
+            assert lo % 16 == 0
+        # Restored prefixes are excluded and alignment is preserved.
+        resumed = parallel.plan_shards(100, 32, 16, workers=3)
+        assert resumed[0][0] == 32 and resumed[-1][1] == 100
+        assert parallel.plan_shards(100, 100, 16, workers=3) == []

@@ -162,7 +162,7 @@ class TestCountCategories:
     def test_warm_cache_count_falls_back_to_scalar(self, baseline):
         vector = _explorer(SymmetricMulticoreFactory(), baseline)
         vector.explore(GRID)  # warms the cache
-        assert vector.last_sweep.mode == "vector"
+        assert vector.last_sweep.mode == "columnar"
         counts = vector.count_categories(GRID)
         assert vector.last_sweep.mode == "scalar"
         assert counts == _explorer(multicore_factory, baseline).count_categories(GRID)
@@ -174,12 +174,12 @@ class TestSweepEngineStats:
         assert vector.last_sweep is None
         vector.explore(GRID)
         stats = vector.last_sweep
-        assert stats.mode == "vector"
+        assert stats.mode == "columnar"
         assert stats.grid_points == len(GRID)
         assert stats.vector_points == len(GRID)
         assert stats.fallback_points == 0
         assert stats.evals_per_s > 0
-        assert "vector path" in stats.summary()
+        assert "columnar path" in stats.summary()
         assert f"{len(GRID)} pts" in stats.summary()
 
     def test_fallback_accounting_on_warm_cache(self, baseline):
@@ -197,12 +197,33 @@ class TestSweepEngineStats:
         assert plain.last_sweep.mode == "scalar"
         assert plain.last_sweep.fallback_points == 0
 
-    def test_workers_force_scalar_path(self, baseline):
+    def test_workers_run_parallel_columnar(self, baseline):
         vector = _explorer(
             SymmetricMulticoreFactory(), baseline, workers=2, chunk_size=9
         )
         results = vector.explore(GRID)
-        assert vector.last_sweep.mode == "scalar"
+        stats = vector.last_sweep
+        assert stats.mode == "parallel-columnar"
+        assert stats.workers == 2
+        assert stats.shards > 0
+        assert stats.shard_points > 0 and stats.shard_points % 9 == 0
+        assert "parallel-columnar path" in stats.summary()
+        assert "workers" in stats.summary()
+        payload = stats.as_dict()
+        assert payload["shards"] == stats.shards
+        assert payload["shm_bytes"] == stats.shm_bytes
+        assert list(results) == list(
+            _explorer(SymmetricMulticoreFactory(), baseline).explore(GRID)
+        )
+
+    def test_warm_cache_pool_sweep_is_scalar_pool(self, baseline):
+        warm = _explorer(SymmetricMulticoreFactory(), baseline)
+        warm.explore(GRID)
+        pooled = _explorer(
+            SymmetricMulticoreFactory(), baseline, workers=2, cache=warm.cache
+        )
+        results = pooled.explore(GRID)
+        assert pooled.last_sweep.mode == "scalar-pool"
         assert list(results) == list(
             _explorer(SymmetricMulticoreFactory(), baseline).explore(GRID)
         )
@@ -211,7 +232,7 @@ class TestSweepEngineStats:
         vector = _explorer(SymmetricMulticoreFactory(), baseline)
         vector.explore(GRID)
         payload = vector.last_sweep.as_dict()
-        assert payload["mode"] == "vector"
+        assert payload["mode"] == "columnar"
         assert payload["grid_points"] == len(GRID)
         assert isinstance(payload["evals_per_s"], float)
 

@@ -186,8 +186,8 @@ class TestSweep:
         # Results are identical; only the engine diagnostics (mode and
         # wall-clock rate) differ between the two paths.
         assert pool == serial
-        assert any("vector path" in line for line in serial_engine)
-        assert any("scalar path" in line for line in pool_engine)
+        assert any("columnar path" in line for line in serial_engine)
+        assert any("parallel-columnar path" in line for line in pool_engine)
 
     def test_pareto_flag_prints_frontier(self, capsys):
         assert main(["sweep", "--max-cores", "8", "--pareto"]) == 0
