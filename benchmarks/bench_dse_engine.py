@@ -32,9 +32,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Sequence
 
 import numpy as np
 import pytest
@@ -43,8 +41,9 @@ from repro.core.batch import category_counts, classify_arrays
 from repro.core.classify import Sustainability, classify_values
 from repro.core.design import DesignPoint
 from repro.core.scenario import EMBODIED_DOMINATED
-from repro.dse.batch import BatchExplorer, DesignArrays, FactoryCache
+from repro.dse.batch import BatchExplorer, FactoryCache
 from repro.dse.explorer import Explorer
+from repro.dse.factories import IterativeFixedPointFactory
 from repro.dse.grid import ParameterGrid, linear_range
 from repro.dse.montecarlo import CategoryProbabilities, sample_verdicts
 
@@ -273,66 +272,8 @@ def test_montecarlo_end_to_end(benchmark, emit):
 # ----------------------------------------------------------------------
 # Parallel-columnar engine: workers=4 vs single-process columnar
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class IterativeFixedPointFactory:
-    """A vector factory whose kernel is expensive on purpose.
-
-    The stock factories finish a 100k-point grid in milliseconds, so
-    timing them under a worker pool only measures dispatch overhead.
-    This one runs a damped fixed-point iteration per point (an
-    Amdahl-flavoured relaxation that converges to the usual speedup
-    and power surfaces), making the kernel phase dominate the sweep —
-    the regime the parallel-columnar mode exists for.  All arithmetic
-    is elementwise float64, so results are bit-identical no matter how
-    the grid is sharded across workers.
-    """
-
-    iters: int = FIXED_POINT_ITERS
-    damping: float = 0.5
-
-    def __call__(self, params: Mapping[str, object]) -> DesignPoint:
-        arrays = self.batch_arrays(
-            {key: np.asarray([value]) for key, value in params.items()}
-        )
-        return self.design_points([params], arrays)[0]
-
-    def batch_arrays(self, columns: Mapping[str, np.ndarray]) -> DesignArrays:
-        cores = np.asarray(columns["cores"], dtype=np.float64)
-        fractions = np.asarray(columns["f"], dtype=np.float64)
-        cores, fractions = np.broadcast_arrays(cores, fractions)
-        amdahl = 1.0 / ((1.0 - fractions) + fractions / cores)
-        perf = np.ones_like(amdahl)
-        power = np.full_like(amdahl, 0.3)
-        for _ in range(self.iters):
-            perf = perf + self.damping * (np.sqrt(amdahl * perf) - perf)
-            power = power + self.damping * (
-                (0.3 + 0.7 * fractions * power / amdahl) - power
-            )
-        return DesignArrays(
-            area=cores,
-            perf=perf,
-            power=power,
-            valid=np.ones(cores.shape, dtype=bool),
-        )
-
-    def design_points(
-        self, chunk: Sequence[Mapping[str, object]], arrays: DesignArrays
-    ) -> list[DesignPoint | None]:
-        return [
-            DesignPoint(
-                name=f"fxp {int(params['cores'])}c f={float(params['f']):g}",  # type: ignore[call-overload, arg-type]
-                area=float(area),
-                perf=float(perf),
-                power=float(power),
-            )
-            for params, area, perf, power in zip(
-                chunk, arrays.area, arrays.perf, arrays.power
-            )
-        ]
-
-
 def _timed_parallel_sweep(workers: int):
-    factory = IterativeFixedPointFactory()
+    factory = IterativeFixedPointFactory(iters=FIXED_POINT_ITERS)
     explorer = BatchExplorer(
         factory=factory,
         baseline=BASELINE,

@@ -10,17 +10,23 @@ operating point) three ways —
   off (the default everyone runs);
 * **enabled**: the same path with tracing + metrics recording.
 
-Before any timing, numerical parity is asserted: instrumented results
-(traced or not) are bit-identical to the uninstrumented engine. The
-module writes ``BENCH_obs.json`` at the repo root and **gates** the
-disabled-instrumentation overhead at < 5% (on min-of-rounds timings,
-the noise-robust estimator).
+A second operating point covers the parallel-columnar engine: the
+shipped ``eval_shard`` (which carries the worker-event capture hooks)
+is timed against a verbatim copy of its pre-telemetry form on the same
+worker pool and shared block, with event capture disabled and enabled.
+Numerical parity is asserted at both operating points — instrumented
+results (traced or not, and under injected worker faults) are
+bit-identical to the uninstrumented engine. The module writes
+``BENCH_obs.json`` at the repo root and **gates** the
+disabled-instrumentation overhead at < 5% for both operating points
+(on min-of-rounds timings, the noise-robust estimator).
 """
 
 from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor
 from itertools import product
 from pathlib import Path
 
@@ -29,9 +35,13 @@ import pytest
 
 from repro.core.batch import category_counts, classify_arrays
 from repro.core.design import DesignPoint
+from repro.core.errors import ConfigurationError
 from repro.core.scenario import EMBODIED_DOMINATED
+from repro.dse import parallel
 from repro.dse.batch import BatchExplorer, FactoryCache
+from repro.dse.factories import IterativeFixedPointFactory
 from repro.dse.grid import ParameterGrid, linear_range
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
@@ -44,16 +54,36 @@ GRID = ParameterGrid(
 BASELINE = DesignPoint.baseline("1-BCE single core")
 OVERHEAD_GATE = 0.05  # disabled instrumentation must cost < 5%
 
+#: The parallel-columnar operating point: the PR 5 shard kernel on a
+#: live pool, small enough to round-trip in seconds on a busy CI box
+#: but heavy enough (fixed-point iterations) that shard compute — not
+#: pool startup — dominates each timed pass.
+PARALLEL_GRID = ParameterGrid(
+    {
+        "cores": [float(c) for c in range(1, 101)],
+        "f": linear_range(0.50, 0.99, 100),
+    }
+)  # 10,000 points
+PARALLEL_WORKERS = 2
+PARALLEL_CHUNK = 512
+PARALLEL_ITERS = 500
+PARALLEL_ROUNDS = 7
+
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 _RESULTS: dict[str, object] = {
     "grid_points": len(GRID),
     "overhead_gate": OVERHEAD_GATE,
+    "parallel_grid_points": len(PARALLEL_GRID),
+    "parallel_workers": PARALLEL_WORKERS,
+    "parallel_iters": PARALLEL_ITERS,
     "note": (
         "warm 10k-point re-sweep; 'uninstrumented' replicates the "
         "pre-observability count_categories path on the same cache, "
         "'disabled' is the shipped path with obs off, 'enabled' with "
-        "tracing + metrics on; gate applies to min-of-rounds timings"
+        "tracing + metrics on; 'parallel_*' keys time the shipped "
+        "eval_shard against its pre-telemetry form on one shared pool; "
+        "gate applies to min-of-rounds timings"
     ),
 }
 
@@ -137,21 +167,35 @@ def _record(key: str, benchmark, fallback) -> None:
 
 @pytest.fixture(scope="module", autouse=True)
 def write_trajectory():
-    """Emit BENCH_obs.json and enforce the overhead gate at the end."""
+    """Emit BENCH_obs.json and enforce the overhead gates at the end."""
     yield
     for key, slow, fast in (
         ("overhead_disabled", "disabled_min_s", "uninstrumented_min_s"),
         ("overhead_enabled", "enabled_min_s", "uninstrumented_min_s"),
+        (
+            "overhead_parallel_disabled",
+            "parallel_disabled_min_s",
+            "parallel_uninstrumented_min_s",
+        ),
+        (
+            "overhead_parallel_enabled",
+            "parallel_enabled_min_s",
+            "parallel_uninstrumented_min_s",
+        ),
     ):
         if slow in _RESULTS and fast in _RESULTS:
             _RESULTS[key] = float(_RESULTS[slow]) / float(_RESULTS[fast]) - 1.0
     TRAJECTORY_PATH.write_text(json.dumps(_RESULTS, indent=2, default=str) + "\n")
-    overhead = _RESULTS.get("overhead_disabled")
-    if overhead is not None:
-        assert overhead < OVERHEAD_GATE, (
-            f"disabled-instrumentation overhead {overhead:.2%} exceeds "
-            f"the {OVERHEAD_GATE:.0%} gate (see {TRAJECTORY_PATH.name})"
-        )
+    for gate_key, label in (
+        ("overhead_disabled", "disabled-instrumentation"),
+        ("overhead_parallel_disabled", "parallel disabled-instrumentation"),
+    ):
+        overhead = _RESULTS.get(gate_key)
+        if overhead is not None:
+            assert overhead < OVERHEAD_GATE, (
+                f"{label} overhead {overhead:.2%} exceeds "
+                f"the {OVERHEAD_GATE:.0%} gate (see {TRAJECTORY_PATH.name})"
+            )
 
 
 def test_parity_instrumented_vs_uninstrumented(explorer, emit):
@@ -211,3 +255,187 @@ def test_resweep_instrumentation_enabled(benchmark, explorer, emit):
         obs_metrics.reset()
     assert sum(counts.values()) == len(GRID)
     emit(f"instrumented (enabled) re-sweep: {_RESULTS['enabled_min_s'] * 1e3:.2f} ms (min)")
+
+
+# ----------------------------------------------------------------------
+# Parallel-columnar operating point: the PR 5 shard kernel
+# ----------------------------------------------------------------------
+def uninstrumented_eval_shard(job):
+    """PR 5's ``eval_shard`` exactly as shipped before worker-event
+    telemetry existed — the baseline the shipped kernel is gated
+    against. Runs on the same pool/worker state the shipped kernel
+    uses, so the only delta between the two timings is the telemetry
+    hook itself."""
+    start, stop, columns = job
+    factory = parallel._STATE["factory"]
+    begin = time.perf_counter()
+    arrays = factory.batch_arrays(columns)
+    busy = time.perf_counter() - begin
+    if len(arrays) != stop - start:
+        raise ConfigurationError(
+            f"batch_arrays returned {len(arrays)} rows for a "
+            f"{stop - start}-point shard"
+        )
+    block = parallel._STATE.get("block")
+    if block is None:
+        return (
+            start,
+            stop,
+            busy,
+            (arrays.area, arrays.perf, arrays.power, arrays.valid),
+        )
+    block.write(start, stop, arrays.area, arrays.perf, arrays.power, arrays.valid)
+    return (start, stop, busy, None)
+
+
+def _shard_jobs(grid, chunk_size, workers):
+    """The ``(lo, hi, columns)`` jobs a parallel-columnar sweep of
+    *grid* would dispatch (same planner, same column layout)."""
+    points = list(grid)
+    names = list(grid.axes)
+    return [
+        (
+            lo,
+            hi,
+            {
+                name: np.asarray([points[i][name] for i in range(lo, hi)])
+                for name in names
+            },
+        )
+        for lo, hi in parallel.plan_shards(len(points), 0, chunk_size, workers)
+    ]
+
+
+def _columnar_pool(factory, total, capture):
+    """A live worker pool attached to a fresh shared block."""
+    block = parallel.ColumnarBlock.allocate(total)
+    pool = ProcessPoolExecutor(
+        max_workers=PARALLEL_WORKERS,
+        initializer=parallel.init_columnar_worker,
+        initargs=(factory, block.name, total, capture, None),
+    )
+    return pool, block
+
+
+@pytest.fixture(scope="module")
+def parallel_rig():
+    """One capture-disabled pool + jobs, shared by the paired timing."""
+    factory = IterativeFixedPointFactory(iters=PARALLEL_ITERS)
+    jobs = _shard_jobs(PARALLEL_GRID, PARALLEL_CHUNK, PARALLEL_WORKERS)
+    pool, block = _columnar_pool(factory, len(PARALLEL_GRID), capture=False)
+    yield pool, jobs
+    pool.shutdown()
+    block.release()
+
+
+def _drain(pool, fn, jobs) -> list:
+    return list(pool.map(fn, jobs))
+
+
+def test_parallel_shard_overhead_disabled(parallel_rig, emit):
+    """Gate: with capture off, the shipped eval_shard must match its
+    pre-telemetry form. Rounds interleave the two kernels on the same
+    pool so scheduler drift hits both timings equally."""
+    pool, jobs = parallel_rig
+    _drain(pool, parallel.eval_shard, jobs)  # warm the pool
+    best_plain = best_shipped = float("inf")
+    for _ in range(PARALLEL_ROUNDS):
+        begin = time.perf_counter()
+        _drain(pool, uninstrumented_eval_shard, jobs)
+        best_plain = min(best_plain, time.perf_counter() - begin)
+        begin = time.perf_counter()
+        replies = _drain(pool, parallel.eval_shard, jobs)
+        best_shipped = min(best_shipped, time.perf_counter() - begin)
+    assert all(events is None for *_, events in replies)  # capture is off
+    _RESULTS["parallel_uninstrumented_min_s"] = best_plain
+    _RESULTS["parallel_disabled_min_s"] = best_shipped
+    emit(
+        f"parallel shards ({len(jobs)} shards x {len(PARALLEL_GRID)} pts): "
+        f"pre-telemetry {best_plain * 1e3:.2f} ms, "
+        f"shipped (capture off) {best_shipped * 1e3:.2f} ms (min of "
+        f"{PARALLEL_ROUNDS})"
+    )
+
+
+def test_parallel_shard_capture_enabled(emit):
+    """The same shard pass with worker-event capture armed — recorded
+    in the trajectory (no gate: capture is opt-in, priced here)."""
+    factory = IterativeFixedPointFactory(iters=PARALLEL_ITERS)
+    jobs = _shard_jobs(PARALLEL_GRID, PARALLEL_CHUNK, PARALLEL_WORKERS)
+    pool, block = _columnar_pool(factory, len(PARALLEL_GRID), capture=True)
+    try:
+        _drain(pool, parallel.eval_shard, jobs)  # warm the pool
+        best = float("inf")
+        for _ in range(PARALLEL_ROUNDS):
+            begin = time.perf_counter()
+            replies = _drain(pool, parallel.eval_shard, jobs)
+            best = min(best, time.perf_counter() - begin)
+    finally:
+        pool.shutdown()
+        block.release()
+    assert all(events for *_, events in replies)  # every shard reported
+    _RESULTS["parallel_enabled_min_s"] = best
+    emit(
+        f"parallel shards (capture on): {best * 1e3:.2f} ms (min of "
+        f"{PARALLEL_ROUNDS})"
+    )
+
+
+@pytest.mark.chaos
+def test_parallel_parity_telemetry_and_faults(tmp_path, emit):
+    """Telemetry never changes parallel results: explore_arrays output
+    is byte-identical with capture off, capture on, and capture on
+    while injected worker faults force retries and a pool respawn."""
+    from repro.resilience import FaultPlan, RetryPolicy
+
+    grid = ParameterGrid(
+        {
+            "cores": [float(c) for c in range(1, 25)],
+            "f": linear_range(0.50, 0.99, 10),
+        }
+    )
+    factory = IterativeFixedPointFactory(iters=150)
+    policy = RetryPolicy(max_retries=3, backoff_base_s=0.001)
+
+    def sweep(factory, resilience=None):
+        return BatchExplorer(
+            factory=factory,
+            baseline=BASELINE,
+            weight=EMBODIED_DOMINATED,
+            chunk_size=32,
+            workers=PARALLEL_WORKERS,
+            resilience=resilience,
+        ).explore_arrays(grid)
+
+    obs_trace.reset()
+    obs_metrics.reset()
+    obs_events.reset()
+    reference = sweep(factory)
+    obs_trace.enable()
+    obs_metrics.enable()
+    obs_events.enable()
+    try:
+        with obs_trace.get_tracer().span("parity"):
+            captured = sweep(factory)
+            plan = FaultPlan.plan(
+                grid, seed=11, state_dir=tmp_path, crashes=1, errors=1
+            )
+            faulted = sweep(plan.wrap_vector(factory), resilience=policy)
+        observed = len(obs_events.get_log())
+    finally:
+        obs_trace.reset()
+        obs_metrics.reset()
+        obs_events.reset()
+    for result in (captured, faulted):
+        assert result.params == reference.params
+        assert np.array_equal(result.ncf_fixed_work, reference.ncf_fixed_work)
+        assert np.array_equal(result.ncf_fixed_time, reference.ncf_fixed_time)
+        assert np.array_equal(result.codes, reference.codes)
+    assert observed > 0  # the captured sweeps really produced events
+    _RESULTS["parallel_parity"] = (
+        "bit-exact (capture off == capture on == capture on + faults)"
+    )
+    emit(
+        f"parallel parity: {len(grid)} pts bit-exact across capture "
+        f"off/on/faulted ({observed} events captured)"
+    )

@@ -13,6 +13,9 @@ Examples
     focal findings --failed-only
     focal sweep --max-cores 256 --trace trace.json --metrics run.prom
     focal trace show trace.json           # replay a traced run
+    focal trace export trace.json --format chrome --out timeline.json
+    focal profile trace.json              # bottleneck attribution
+    focal profile --bench --workers 4     # trace + profile one sweep
     focal --log-level debug figure figure3
 
 Every subcommand accepts the observability flags: ``--trace FILE``
@@ -30,6 +33,7 @@ import sys
 import time
 from typing import Sequence
 
+from .obs import events as obs_events
 from .obs import log as obs_log
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
@@ -101,6 +105,61 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="pretty-print a trace report written by --trace"
     )
     show.add_argument("file", help="trace report JSON file")
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a trace report into a timeline viewers can open "
+        "(chrome://tracing, https://ui.perfetto.dev)",
+    )
+    export.add_argument("file", help="trace report JSON file")
+    export.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="timeline format (chrome = Chrome Trace Event JSON)",
+    )
+    export.add_argument(
+        "--out",
+        help="output file (default: FILE with a .chrome.json suffix)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="attribute a parallel sweep's wall-clock to compute / shm / "
+        "dispatch / stragglers / parent-serial time",
+    )
+    profile.add_argument(
+        "file",
+        nargs="?",
+        help="trace report JSON from a traced parallel sweep "
+        "(omit with --bench)",
+    )
+    profile.add_argument(
+        "--bench",
+        action="store_true",
+        help="trace and profile one parallel-columnar benchmark sweep "
+        "(the engine benchmark's fixed-point workload) in-process",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=4, help="pool size for --bench"
+    )
+    profile.add_argument(
+        "--iters",
+        type=int,
+        default=2500,
+        help="fixed-point iterations per chunk for --bench",
+    )
+    profile.add_argument(
+        "--cores", type=int, default=400, help="core-count axis top for --bench"
+    )
+    profile.add_argument(
+        "--fractions",
+        type=int,
+        default=250,
+        help="parallel-fraction axis resolution for --bench",
+    )
+    profile.add_argument(
+        "--chunk-size", type=int, default=4096, help="chunk size for --bench"
+    )
 
     fig = sub.add_parser("figure", help="regenerate one figure")
     fig.add_argument("name", help=f"one of: {', '.join(study_names())}")
@@ -224,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     for command_parser in sub.choices.values():
         _add_global_options(command_parser, suppress=True)
     _add_global_options(show, suppress=True)
+    _add_global_options(export, suppress=True)
     return parser
 
 
@@ -234,6 +294,7 @@ def _cmd_list() -> int:
 
 
 def _cmd_version() -> int:
+    import os
     import platform
 
     import numpy
@@ -244,6 +305,10 @@ def _cmd_version() -> int:
         f"focal {__version__} "
         f"(python {platform.python_version()}, numpy {numpy.__version__})"
     )
+    print(
+        f"platform: {platform.platform()} "
+        f"[{platform.machine() or 'unknown'}, {os.cpu_count() or 1} cpus]"
+    )
     return 0
 
 
@@ -253,9 +318,113 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
         print(render_report_file(args.file))
         return 0
+    if args.trace_command == "export":
+        from pathlib import Path
+
+        from .obs.chrome import report_to_chrome
+        from .obs.show import load_report
+
+        report = load_report(args.file)
+        source = Path(args.file)
+        out = Path(args.out) if args.out else source.with_suffix(".chrome.json")
+        out.write_text(report_to_chrome(report) + "\n")
+        print(f"wrote {out}")
+        return 0
     raise AssertionError(
         f"unhandled trace command {args.trace_command!r}"
     )  # pragma: no cover
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core.errors import ConfigurationError
+    from .obs.profile import profile_report, render_profile
+
+    if args.bench:
+        report = _profile_bench_report(args)
+    elif args.file:
+        from .obs.show import load_report
+
+        report = load_report(args.file)
+    else:
+        raise ConfigurationError(
+            "focal profile needs a trace report FILE (from a run with "
+            "--trace and --workers N) or --bench to record one now"
+        )
+    print(render_profile(profile_report(report)))
+    return 0
+
+
+def _profile_bench_report(args: argparse.Namespace) -> dict:
+    """Run one traced parallel-columnar sweep and return its report.
+
+    The workload is the engine benchmark's iterative fixed-point
+    factory at the benchmark's default operating point (overridable via
+    ``--cores/--fractions/--iters/--workers/--chunk-size``), so
+    ``focal profile --bench`` explains the same run the recorded
+    ``BENCH_dse.json`` speedups come from.
+
+    When the command already runs under ``--trace``, the sweep lands in
+    that session (and in its report file); otherwise a private
+    observability session is armed for the sweep and reset afterwards.
+    """
+    from .core.design import DesignPoint
+    from .core.scenario import EMBODIED_DOMINATED
+    from .dse.batch import BatchExplorer
+    from .dse.factories import IterativeFixedPointFactory
+    from .dse.grid import ParameterGrid, linear_range
+    from .obs.manifest import build_manifest, build_report
+    from .resilience import DEFAULT_POLICY
+
+    tracer = obs_trace.get_tracer()
+    private_session = not tracer.enabled
+    if private_session:
+        obs_trace.reset()
+        obs_metrics.reset()
+        obs_events.reset()
+        obs_trace.enable()
+        obs_metrics.enable()
+        obs_events.enable()
+        tracer = obs_trace.get_tracer()
+    try:
+        grid = ParameterGrid(
+            {
+                "cores": [float(c) for c in range(1, args.cores + 1)],
+                "f": linear_range(0.50, 0.99, args.fractions),
+            }
+        )
+        explorer = BatchExplorer(
+            factory=IterativeFixedPointFactory(iters=args.iters),
+            baseline=DesignPoint.baseline("1-BCE single core"),
+            weight=EMBODIED_DOMINATED,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            resilience=DEFAULT_POLICY if args.workers else None,
+        )
+        start_s = time.perf_counter()
+        sweep = explorer.explore_arrays(grid)
+        duration_s = time.perf_counter() - start_s
+        print(
+            f"benchmark sweep: {len(sweep)} designs in {duration_s:.3f} s "
+            f"({args.workers} workers, chunk {args.chunk_size})\n",
+            file=sys.stderr,
+        )
+        manifest = build_manifest(
+            ["profile", "--bench"],
+            command="profile",
+            tracer=tracer,
+            duration_s=duration_s,
+        )
+        return build_report(
+            manifest,
+            tracer=tracer,
+            registry=obs_metrics.get_registry(),
+            events=obs_events.get_log(),
+        )
+    finally:
+        if private_session:
+            obs_trace.reset()
+            obs_metrics.reset()
+            obs_events.reset()
 
 
 def _cmd_figure(name: str, fmt: str, out: str | None) -> int:
@@ -507,6 +676,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_version()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "figure":
         return _cmd_figure(args.name, args.format, args.out)
     if args.command == "findings":
@@ -572,8 +743,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if observing:
         obs_trace.reset()
         obs_metrics.reset()
+        obs_events.reset()
         if trace_out:
             obs_trace.enable()
+            obs_events.enable()
         obs_metrics.enable()
     tracer = obs_trace.get_tracer()
     log.debug(kv("cli.start", command=args.command))
@@ -598,6 +771,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             _write_observability(args, argv, tracer, trace_out, metrics_out, duration_s)
             obs_trace.reset()
             obs_metrics.reset()
+            obs_events.reset()
     log.debug(kv("cli.done", command=args.command, exit_code=code))
     return code
 
@@ -622,7 +796,13 @@ def _write_observability(
             tracer=tracer,
             duration_s=duration_s,
         )
-        path = write_trace(trace_out, manifest=manifest, tracer=tracer, registry=registry)
+        path = write_trace(
+            trace_out,
+            manifest=manifest,
+            tracer=tracer,
+            registry=registry,
+            events=obs_events.get_log(),
+        )
         print(f"wrote trace {path}", file=sys.stderr)
     if metrics_out:
         path = write_metrics(registry, metrics_out)

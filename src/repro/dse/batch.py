@@ -86,6 +86,7 @@ from ..core.errors import (
     ValidationError,
 )
 from ..core.scenario import E2OWeight
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..resilience.checkpoint import (
@@ -305,12 +306,16 @@ class _ParallelPlan:
         block: "_parallel.ColumnarBlock",
         pool,
         spans: list[tuple[int, int]],
+        spill_dir: str | None = None,
     ) -> None:
         self.chunks = chunks
         self.chunk_size = chunk_size
         self.block = block
         self.pool = pool
         self.spans = spans
+        #: Crash-spill directory for worker events (None when telemetry
+        #: is off) — collected and removed when the sweep winds down.
+        self.spill_dir = spill_dir
         #: Captured at setup — the block is released before stats are cut.
         self.shm_bytes = block.nbytes
         self.kernel_wall = 0.0
@@ -731,6 +736,7 @@ class BatchExplorer:
         initializer: Callable,
         initargs: tuple,
         parent_block: "_parallel.ColumnarBlock | None" = None,
+        capture: bool = False,
     ) -> "ProcessPoolExecutor | SupervisedPool":
         """A worker pool whose *initializer* ships per-pool state once.
 
@@ -738,9 +744,13 @@ class BatchExplorer:
         its own block object, never a second shm attachment), so
         SupervisedPool in-process degradation — and thread-pool
         executors injected by tests — evaluate exactly what the worker
-        processes would.
+        processes would. With *capture* the parent's own event buffer
+        is armed too (no spill — the parent cannot crash out from under
+        itself), so degraded in-process shards leave the same timeline
+        events a worker would.
         """
         _parallel.set_worker_state(self.factory, parent_block)
+        _events.init_worker(capture, None)
         if self.resilience is not None:
             return SupervisedPool(
                 self.workers,
@@ -774,13 +784,18 @@ class BatchExplorer:
             total, skip, self.chunk_size, self.workers
         )
         pool = None
+        capture = _events.get_log().enabled
+        spill = _events.make_spill_dir() if capture and spans else None
         if spans:
             pool = self._make_pool(
                 _parallel.init_columnar_worker,
-                (self.factory, block.name, total),
+                (self.factory, block.name, total, capture, spill),
                 parent_block=block,
+                capture=capture,
             )
-        return _ParallelPlan(chunks, self.chunk_size, block, pool, spans)
+        return _ParallelPlan(
+            chunks, self.chunk_size, block, pool, spans, spill_dir=spill
+        )
 
     def _parallel_kernels(
         self, plan: _ParallelPlan, tracer: _trace.Tracer
@@ -792,10 +807,14 @@ class BatchExplorer:
         numeric arrays (or an already-written shm acknowledgement) back.
         Shard writes are idempotent, so supervised retry/respawn/
         degradation re-runs are safe. Busy seconds accumulate for the
-        worker-utilization gauge.
+        worker-utilization gauge and, per worker, into the
+        ``focal_worker_busy_seconds`` histogram; worker events riding
+        the replies merge into the global event log.
         """
         if not plan.spans:
             return
+        registry = _metrics.get_registry()
+        log = _events.get_log()
         jobs = [
             (lo, hi, self._chunk_columns(plan.points(lo, hi)))
             for lo, hi in plan.spans
@@ -812,10 +831,18 @@ class BatchExplorer:
                 replies: Iterable = plan.pool.run(_parallel.eval_shard, jobs)
             else:
                 replies = plan.pool.map(_parallel.eval_shard, jobs)
-            for lo, hi, busy, arrays in replies:
+            for lo, hi, busy, pid, arrays, events in replies:
                 plan.busy += busy
                 if arrays is not None:
                     plan.block.write(lo, hi, *arrays)
+                if events:
+                    log.extend(events)
+                if registry.enabled:
+                    registry.histogram(
+                        "focal_worker_busy_seconds",
+                        "kernel busy seconds per shard, by worker process",
+                        labels={"worker": str(pid)},
+                    ).observe(busy)
             plan.kernel_wall = time.perf_counter() - begin
 
     # ------------------------------------------------------------------
@@ -953,6 +980,11 @@ class BatchExplorer:
                     pool.shutdown(cancel_futures=True)
                 if plan is not None:
                     plan.release()
+                    if plan.spill_dir is not None:
+                        # The crash transport: anything a dead worker
+                        # flushed but never got to reply with.
+                        _events.get_log().collect_spill(plan.spill_dir)
+                        _events.cleanup_spill_dir(plan.spill_dir)
                 if self.workers:
                     _parallel.clear_worker_state()
             self._record_supervision(pool, sweep_span)

@@ -38,6 +38,7 @@ __all__ = [
     "SymmetricMulticoreFactory",
     "AsymmetricMulticoreFactory",
     "DVFSOperatingPointFactory",
+    "IterativeFixedPointFactory",
 ]
 
 
@@ -229,6 +230,71 @@ class DVFSOperatingPointFactory:
         return [
             DesignPoint(
                 name=f"{base_name} @ {float(params[self.multiplier_param]):g}x",  # type: ignore[arg-type]
+                area=float(area),
+                perf=float(perf),
+                power=float(power),
+            )
+            for params, area, perf, power in zip(
+                chunk, arrays.area, arrays.perf, arrays.power
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class IterativeFixedPointFactory:
+    """A vector factory whose kernel is expensive on purpose.
+
+    The stock factories finish a 100k-point grid in milliseconds, so
+    timing them under a worker pool only measures dispatch overhead.
+    This one runs a damped fixed-point iteration per point (an
+    Amdahl-flavoured relaxation that converges to the usual speedup
+    and power surfaces), making the kernel phase dominate the sweep —
+    the regime the parallel-columnar mode exists for. All arithmetic
+    is elementwise float64, so results are bit-identical no matter how
+    the grid is sharded across workers.
+
+    The engine benchmark (``benchmarks/bench_dse_engine.py``) and the
+    ``focal profile --bench`` bottleneck profiler both sweep this
+    factory, so the profiler's attribution is measured on exactly the
+    operating point the benchmark gates.
+
+    Grid axes: ``cores`` and ``f``. Every point is valid.
+    """
+
+    iters: int = 2500
+    damping: float = 0.5
+
+    def __call__(self, params: Mapping[str, object]) -> DesignPoint:
+        arrays = self.batch_arrays(
+            {key: np.asarray([value]) for key, value in params.items()}
+        )
+        return self.design_points([params], arrays)[0]
+
+    def batch_arrays(self, columns: Mapping[str, np.ndarray]) -> DesignArrays:
+        cores = np.asarray(columns["cores"], dtype=np.float64)
+        fractions = np.asarray(columns["f"], dtype=np.float64)
+        cores, fractions = np.broadcast_arrays(cores, fractions)
+        amdahl = 1.0 / ((1.0 - fractions) + fractions / cores)
+        perf = np.ones_like(amdahl)
+        power = np.full_like(amdahl, 0.3)
+        for _ in range(self.iters):
+            perf = perf + self.damping * (np.sqrt(amdahl * perf) - perf)
+            power = power + self.damping * (
+                (0.3 + 0.7 * fractions * power / amdahl) - power
+            )
+        return DesignArrays(
+            area=cores,
+            perf=perf,
+            power=power,
+            valid=np.ones(cores.shape, dtype=bool),
+        )
+
+    def design_points(
+        self, chunk: Sequence[Mapping[str, object]], arrays: DesignArrays
+    ) -> list[DesignPoint | None]:
+        return [
+            DesignPoint(
+                name=f"fxp {int(params['cores'])}c f={float(params['f']):g}",  # type: ignore[call-overload, arg-type]
                 area=float(area),
                 perf=float(perf),
                 power=float(power),

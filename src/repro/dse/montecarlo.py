@@ -30,6 +30,7 @@ from ..core.classify import Sustainability
 from ..core.design import DesignPoint
 from ..core.errors import CheckpointError, ConfigurationError, ValidationError
 from ..core.scenario import E2OWeight
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..resilience.checkpoint import CheckpointStore
@@ -203,6 +204,8 @@ def _verdict_shard(job: tuple) -> np.ndarray:
     draw. (A degenerate band, ``hi == lo``, consumes no states at all.)
     """
     seed, start, count, lo, hi, area, energy, power = job
+    buf = _events.get_buffer()
+    t0 = buf.now() if buf.enabled else 0.0
     if hi > lo:
         rng = np.random.default_rng(seed)
         rng.bit_generator.advance(start)
@@ -211,7 +214,19 @@ def _verdict_shard(job: tuple) -> np.ndarray:
         alphas = np.full(count, lo)
     ncf_fw = alphas * area + (1.0 - alphas) * energy
     ncf_ft = alphas * area + (1.0 - alphas) * power
-    return classify_arrays(ncf_fw, ncf_ft)
+    codes = classify_arrays(ncf_fw, ncf_ft)
+    if buf.enabled:
+        # Spill-only transport: the reply stays a bare codes array so
+        # checkpointed streams remain bit-exact at any worker count.
+        buf.add(
+            "mc.shard",
+            start=t0,
+            dur_s=buf.now() - t0,
+            sampler="sample_verdicts",
+            samples=count,
+        )
+        buf.drain()
+    return codes
 
 
 def _noise_shard(job: tuple) -> np.ndarray:
@@ -225,12 +240,54 @@ def _noise_shard(job: tuple) -> np.ndarray:
     arithmetic.
     """
     noise, alpha, area_ratio, energy_ratio, power_ratio = job
+    buf = _events.get_buffer()
+    t0 = buf.now() if buf.enabled else 0.0
     area = area_ratio * noise[:, 0]
     energy = energy_ratio * noise[:, 1]
     power = power_ratio * noise[:, 2]
     ncf_fw = alpha * area + (1.0 - alpha) * energy
     ncf_ft = alpha * area + (1.0 - alpha) * power
-    return classify_arrays(ncf_fw, ncf_ft)
+    codes = classify_arrays(ncf_fw, ncf_ft)
+    if buf.enabled:
+        buf.add(
+            "mc.shard",
+            start=t0,
+            dur_s=buf.now() - t0,
+            sampler="sample_measurement_noise",
+            samples=int(noise.shape[0]),
+        )
+        buf.drain()
+    return codes
+
+
+def _mc_pool(workers: int) -> tuple[ProcessPoolExecutor | None, str | None]:
+    """A sampler worker pool plus its event spill directory.
+
+    ``(None, None)`` for serial runs. When the global event log is
+    collecting, workers are armed through the pool initializer and
+    their ``mc.shard`` events travel exclusively via the spill files —
+    the reply arrays are untouched, keeping checkpoint streams
+    bit-exact at any worker count.
+    """
+    if not workers:
+        return None, None
+    capture = _events.get_log().enabled
+    spill = _events.make_spill_dir() if capture else None
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_events.init_worker,
+        initargs=(capture, spill),
+    )
+    return pool, spill
+
+
+def _mc_wind_down(pool: ProcessPoolExecutor | None, spill: str | None) -> None:
+    """Reap the sampler pool, then harvest and remove its spill files."""
+    if pool is not None:
+        pool.shutdown(cancel_futures=True)
+    if spill is not None:
+        _events.get_log().collect_spill(spill)
+        _events.cleanup_spill_dir(spill)
 
 
 def _checkpointed_codes(
@@ -349,7 +406,7 @@ def sample_verdicts(
         area = design.area_ratio(baseline)
         energy = design.energy_ratio(baseline)
         power = design.power_ratio(baseline)
-        pool = ProcessPoolExecutor(max_workers=workers) if workers else None
+        pool, spill = _mc_pool(workers)
 
         def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
             if pool is not None and count > 1:
@@ -391,8 +448,7 @@ def sample_verdicts(
                 },
             )
         finally:
-            if pool is not None:
-                pool.shutdown(cancel_futures=True)
+            _mc_wind_down(pool, spill)
         return _observed_from_codes(
             codes, samples, "sample_verdicts", start_s, sp, registry
         )
@@ -457,7 +513,7 @@ def sample_measurement_noise(
         area_ratio = design.area_ratio(baseline)
         energy_ratio = design.energy_ratio(baseline)
         power_ratio = design.power_ratio(baseline)
-        pool = ProcessPoolExecutor(max_workers=workers) if workers else None
+        pool, spill = _mc_pool(workers)
 
         def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
             noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(count, 3))
@@ -494,8 +550,7 @@ def sample_measurement_noise(
                 },
             )
         finally:
-            if pool is not None:
-                pool.shutdown(cancel_futures=True)
+            _mc_wind_down(pool, spill)
         return _observed_from_codes(
             codes, samples, "sample_measurement_noise", start_s, sp, registry
         )

@@ -34,12 +34,14 @@ module-level functions the workers do.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Mapping
 
 import numpy as np
 
 from ..core.errors import ConfigurationError, DomainError
+from ..obs import events as _events
 
 __all__ = [
     "ColumnarBlock",
@@ -235,18 +237,42 @@ def set_worker_state(factory: Callable, block: ColumnarBlock | None) -> None:
 def clear_worker_state() -> None:
     """Drop the sweep state (parent-side, after the pool is gone)."""
     _STATE.clear()
+    _events.get_buffer().disable()
 
 
-def init_factory_worker(factory: Callable) -> None:
+def init_factory_worker(
+    factory: Callable, capture: bool = False, spill_dir: str | None = None
+) -> None:
     """Pool initializer for the scalar path: the factory ships once per
     worker process, not once per job."""
+    _events.init_worker(capture, spill_dir)
     set_worker_state(factory, None)
 
 
-def init_columnar_worker(factory: Callable, shm_name: str | None, total: int) -> None:
+def init_columnar_worker(
+    factory: Callable,
+    shm_name: str | None,
+    total: int,
+    capture: bool = False,
+    spill_dir: str | None = None,
+) -> None:
     """Pool initializer for the columnar path: factory plus one
-    attachment to the parent's shared block (when it has one)."""
+    attachment to the parent's shared block (when it has one).
+
+    With *capture* the worker's event buffer is armed first, so the
+    shared-memory attach itself lands on the timeline (``worker.init``).
+    """
+    _events.init_worker(capture, spill_dir)
+    buf = _events.get_buffer()
+    t0 = buf.now()
     block = ColumnarBlock.attach(shm_name, total) if shm_name else None
+    buf.add(
+        "worker.init",
+        start=t0,
+        dur_s=buf.now() - t0,
+        attach_s=buf.now() - t0,
+        shm=bool(shm_name),
+    )
     set_worker_state(factory, block)
 
 
@@ -266,11 +292,21 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
     ``batch_arrays`` output lands in the shared block's rows
     ``[start, stop)`` when a block is attached; otherwise the columns
     are returned by value. Either way the reply is
-    ``(start, stop, busy_seconds, arrays-or-None)`` — compact numbers,
-    never DesignPoint objects.
+    ``(start, stop, busy_seconds, worker_pid, arrays-or-None,
+    events-or-None)`` — compact numbers, never DesignPoint objects.
+
+    When this worker's event buffer is armed (pool initializer with
+    ``capture=True``) the shard leaves a ``heartbeat`` instant plus
+    ``shard``/``factory.compute``/``shm.write`` duration events, drained
+    into the reply so the parent can merge them without extra IPC.
     """
     start, stop, columns = job
     factory = _STATE["factory"]
+    buf = _events.get_buffer()
+    capture = buf.enabled
+    if capture:
+        t0 = buf.now()
+        buf.add("heartbeat", start=t0, lo=start, hi=stop)
     begin = time.perf_counter()
     arrays = factory.batch_arrays(columns)
     busy = time.perf_counter() - begin
@@ -281,11 +317,42 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
         )
     block = _STATE.get("block")
     if block is None:
+        if capture:
+            end = buf.now()
+            buf.add("factory.compute", start=end - busy, dur_s=busy)
+            buf.add(
+                "shard",
+                start=t0,
+                dur_s=end - t0,
+                lo=start,
+                hi=stop,
+                points=stop - start,
+                compute_s=busy,
+                shm_s=0.0,
+            )
         return (
             start,
             stop,
             busy,
+            os.getpid(),
             (arrays.area, arrays.perf, arrays.power, arrays.valid),
+            buf.drain() if capture else None,
         )
+    shm_begin = time.perf_counter()
     block.write(start, stop, arrays.area, arrays.perf, arrays.power, arrays.valid)
-    return (start, stop, busy, None)
+    shm_s = time.perf_counter() - shm_begin
+    if capture:
+        end = buf.now()
+        buf.add("factory.compute", start=end - shm_s - busy, dur_s=busy)
+        buf.add("shm.write", start=end - shm_s, dur_s=shm_s)
+        buf.add(
+            "shard",
+            start=t0,
+            dur_s=end - t0,
+            lo=start,
+            hi=stop,
+            points=stop - start,
+            compute_s=busy,
+            shm_s=shm_s,
+        )
+    return (start, stop, busy, os.getpid(), None, buf.drain() if capture else None)

@@ -9,6 +9,11 @@ Four small, dependency-free pieces:
   JSON-lines and Prometheus text exporters
   (:mod:`repro.obs.exporters`, re-exported by
   :mod:`repro.report.export`);
+* :mod:`repro.obs.events` — cross-process worker events (shard/compute/
+  shm timings, supervisor actions) merged with the span tree into one
+  sweep timeline, exported to Chrome Trace / Perfetto JSON by
+  :mod:`repro.obs.chrome` and decomposed into a bottleneck-attribution
+  report by :mod:`repro.obs.profile`;
 * :mod:`repro.obs.log` — the single structured ``"repro"`` stderr
   logger every module shares;
 * :mod:`repro.obs.manifest` — run manifests (argv, seed, version,
@@ -30,7 +35,7 @@ pre-instrumented; flip everything on with :func:`enable` or the CLI's
 
 from __future__ import annotations
 
-from . import exporters, log, manifest, metrics, trace
+from . import events, exporters, log, manifest, metrics, trace
 from .log import configure as configure_logging
 from .log import get_logger, kv
 from .manifest import RunManifest, build_manifest, build_report
@@ -40,6 +45,7 @@ from .trace import NULL_SPAN, Span, Tracer, get_tracer, span
 __all__ = [
     "trace",
     "metrics",
+    "events",
     "log",
     "manifest",
     "exporters",
@@ -66,27 +72,39 @@ __all__ = [
 ]
 
 
-def enable(*, tracing: bool = True, metrics_: bool = True) -> None:
-    """Enable tracing and/or metrics on the global instances."""
+def enable(
+    *, tracing: bool = True, metrics_: bool = True, events_: bool = True
+) -> None:
+    """Enable tracing, metrics and/or worker-event capture on the
+    global instances."""
     if tracing:
         trace.enable()
     if metrics_:
         metrics.enable()
+    if events_:
+        events.enable()
 
 
 def disable() -> None:
-    """Disable both tracing and metrics (collected data is kept)."""
+    """Disable tracing, metrics and events (collected data is kept)."""
     trace.disable()
     metrics.disable()
+    events.disable()
 
 
 def reset() -> None:
-    """Disable and clear tracer and registry (test/CLI isolation)."""
+    """Disable and clear tracer, registry and event log (test/CLI
+    isolation)."""
     trace.reset()
     metrics.reset()
+    events.reset()
 
 
 def is_active() -> bool:
-    """True when either tracing or metrics collection is on — the
-    single check hot paths use to skip instrumentation entirely."""
-    return trace.is_enabled() or metrics.get_registry().enabled
+    """True when any of tracing, metrics or event collection is on —
+    the single check hot paths use to skip instrumentation entirely."""
+    return (
+        trace.is_enabled()
+        or metrics.get_registry().enabled
+        or events.is_enabled()
+    )

@@ -1,0 +1,165 @@
+"""Chrome Trace Event / Perfetto export: ``focal trace export``.
+
+Converts a trace report (the JSON document written by a traced run —
+see :func:`repro.obs.manifest.build_report`) into the Chrome Trace
+Event format, loadable in ``chrome://tracing`` and
+https://ui.perfetto.dev. The mapping:
+
+* the **parent process** is pid 1. Its span tree renders on tid 0
+  (``main``); ``chunk`` spans additionally render on tid 1
+  (``chunks``) so chunk cadence reads as its own track; parent-origin
+  events tagged ``track="supervisor"`` (pool retry/respawn/degraded)
+  render as instants on tid 2 (``supervisor``);
+* each **worker process** is pid 2 with its own tid (the worker's OS
+  pid), one track per worker — shard/compute/shm-write duration
+  events nest visually, heartbeats are instants.
+
+Timestamps: parent spans carry ``start_s`` relative to the tracer
+origin; worker events carry ``t_rel`` on the same axis (stamped by
+:func:`~repro.obs.manifest.build_report`). Chrome wants microseconds,
+so everything is ``round(t * 1e6)``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.errors import ValidationError
+
+__all__ = ["report_to_chrome", "chrome_trace_events"]
+
+#: pid assignments in the exported trace.
+PARENT_PID = 1
+WORKER_PID = 2
+
+#: Parent-process tids.
+MAIN_TID = 0
+CHUNK_TID = 1
+SUPERVISOR_TID = 2
+
+_US = 1e6
+
+
+def _metadata(pid: int, tid: int | None, name: str) -> dict:
+    event: dict = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _complete(
+    name: str, pid: int, tid: int, start_s: float, dur_s: float, args: dict
+) -> dict:
+    return {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(start_s * _US),
+        "dur": max(0, round(dur_s * _US)),
+        "args": args,
+    }
+
+
+def _instant(name: str, pid: int, tid: int, t_s: float, args: dict) -> dict:
+    return {
+        "name": name,
+        "ph": "i",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(t_s * _US),
+        "s": "t",
+        "args": args,
+    }
+
+
+def _span_events(span: dict, tid: int, out: list[dict]) -> None:
+    start = span.get("start_s")
+    dur = span.get("duration_s")
+    if start is not None:
+        args = dict(span.get("attributes", {}))
+        args.update(span.get("counters", {}))
+        # Perfetto rejects non-primitive args; convergence tables etc.
+        # collapse to their repr.
+        args = {
+            k: (v if isinstance(v, (int, float, str, bool)) else repr(v))
+            for k, v in args.items()
+        }
+        if dur is None:
+            out.append(_instant(span["name"], PARENT_PID, tid, start, args))
+        else:
+            out.append(
+                _complete(span["name"], PARENT_PID, tid, start, dur, args)
+            )
+            if span["name"] == "chunk" and tid == MAIN_TID:
+                out.append(
+                    _complete(span["name"], PARENT_PID, CHUNK_TID, start, dur, args)
+                )
+    for child in span.get("children", ()):
+        _span_events(child, tid, out)
+
+
+def _event_events(rows: list[dict], out: list[dict], workers: list[int]) -> None:
+    for row in rows:
+        t_rel = row.get("t_rel")
+        if not isinstance(t_rel, (int, float)):
+            continue  # no clock alignment for this row — skip, don't lie
+        name = row.get("name", "event")
+        args = dict(row.get("attrs", {}))
+        args["worker"] = row.get("worker")
+        dur = row.get("dur_s")
+        if row.get("track") == "supervisor":
+            out.append(_instant(name, PARENT_PID, SUPERVISOR_TID, t_rel, args))
+            continue
+        worker = row.get("worker")
+        if worker not in workers:
+            workers.append(worker)
+        tid = worker if isinstance(worker, int) else 0
+        if dur is None:
+            out.append(_instant(name, WORKER_PID, tid, t_rel, args))
+        else:
+            # t_wall/t_rel stamp the event's *start*; dur_s extends it.
+            out.append(_complete(name, WORKER_PID, tid, t_rel, float(dur), args))
+
+
+def chrome_trace_events(report: dict) -> list[dict]:
+    """The report's spans + worker events as Chrome trace events."""
+    if not isinstance(report, dict) or "trace" not in report:
+        raise ValidationError(
+            "not a trace report: expected a dict with a 'trace' key "
+            "(write one with focal --trace)"
+        )
+    command = report.get("manifest", {}).get("command", "focal")
+    out: list[dict] = [
+        _metadata(PARENT_PID, None, f"focal parent ({command})"),
+        _metadata(PARENT_PID, MAIN_TID, "main"),
+        _metadata(PARENT_PID, CHUNK_TID, "chunks"),
+        _metadata(PARENT_PID, SUPERVISOR_TID, "supervisor"),
+        _metadata(WORKER_PID, None, "focal workers"),
+    ]
+    for root in report.get("trace", []):
+        _span_events(root, MAIN_TID, out)
+    workers: list[int] = []
+    _event_events(report.get("events", []) or [], out, workers)
+    for worker in workers:
+        tid = worker if isinstance(worker, int) else 0
+        out.append(_metadata(WORKER_PID, tid, f"worker {worker}"))
+    return out
+
+
+def report_to_chrome(report: dict, *, indent: int | None = None) -> str:
+    """Serialize *report* as a Chrome Trace Event JSON document
+    (``{"traceEvents": [...]}`` with microsecond timestamps)."""
+    return json.dumps(
+        {
+            "traceEvents": chrome_trace_events(report),
+            "displayTimeUnit": "ms",
+        },
+        indent=indent,
+        default=str,
+    )

@@ -68,30 +68,41 @@ def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()
 
 
 def metrics_to_prometheus(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus text exposition format (0.0.4)."""
-    lines: list[str] = []
-    seen_families: set[str] = set()
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    The 0.0.4 spec requires every sample of one metric family to form a
+    single group under that family's ``# HELP``/``# TYPE`` header.
+    Instruments are created lazily, so label-set variants of one family
+    can be interleaved with other families in creation order — samples
+    are therefore grouped by family first (families keep first-creation
+    order, samples keep creation order within their family).
+    """
+    families: dict[str, list[Counter | Gauge | Histogram]] = {}
     for metric in registry:
-        name = _sanitize_name(metric.name)
-        if name not in seen_families:
-            seen_families.add(name)
-            if metric.help:
-                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
-            lines.append(f"# TYPE {name} {metric.kind}")
-        if isinstance(metric, (Counter, Gauge)):
-            lines.append(
-                f"{name}{_labels_text(metric.labels)} {_format_number(metric.value)}"
-            )
-        elif isinstance(metric, Histogram):
-            for bound, count in zip(metric.buckets, metric.bucket_counts):
-                le = (("le", _format_number(bound)),)
-                lines.append(f"{name}_bucket{_labels_text(metric.labels, le)} {count}")
-            inf = (("le", "+Inf"),)
-            lines.append(f"{name}_bucket{_labels_text(metric.labels, inf)} {metric.count}")
-            lines.append(
-                f"{name}_sum{_labels_text(metric.labels)} {_format_number(metric.sum)}"
-            )
-            lines.append(f"{name}_count{_labels_text(metric.labels)} {metric.count}")
+        families.setdefault(_sanitize_name(metric.name), []).append(metric)
+    lines: list[str] = []
+    for name, metrics in families.items():
+        # HELP comes from the first instrument that provided one (label
+        # variants are usually created with identical help text).
+        help_text = next((m.help for m in metrics if m.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {metrics[0].kind}")
+        for metric in metrics:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_labels_text(metric.labels)} {_format_number(metric.value)}"
+                )
+            elif isinstance(metric, Histogram):
+                for bound, count in zip(metric.buckets, metric.bucket_counts):
+                    le = (("le", _format_number(bound)),)
+                    lines.append(f"{name}_bucket{_labels_text(metric.labels, le)} {count}")
+                inf = (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_labels_text(metric.labels, inf)} {metric.count}")
+                lines.append(
+                    f"{name}_sum{_labels_text(metric.labels)} {_format_number(metric.sum)}"
+                )
+                lines.append(f"{name}_count{_labels_text(metric.labels)} {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..core.errors import ValidationError
+from .events import EventLog
 from .metrics import MetricsRegistry
 from .trace import Tracer
 
@@ -155,13 +156,28 @@ def build_report(
     manifest: RunManifest,
     tracer: Tracer | None = None,
     registry: MetricsRegistry | None = None,
+    events: "EventLog | None" = None,
 ) -> dict[str, object]:
-    """The replayable JSON document: manifest + span tree + metrics."""
+    """The replayable JSON document: manifest + span tree + metrics +
+    worker events.
+
+    Event rows carry ``t_rel`` (seconds since trace start, the same
+    origin span ``start_s`` values use) when the tracer's wall-clock
+    anchor is known, so spans and events merge into one timeline
+    without clock arithmetic. Reports written before the events layer
+    existed simply lack the key — consumers treat a missing ``events``
+    as an empty list.
+    """
+    rows: list[dict[str, object]] = []
+    if events is not None and len(events):
+        started_at = tracer.started_at if tracer is not None else None
+        rows = events.as_dicts(started_at=started_at)
     return {
         "schema": SCHEMA,
         "manifest": manifest.as_dict(),
         "trace": tracer.as_dicts() if tracer is not None else [],
         "metrics": registry.snapshot() if registry is not None else [],
+        "events": rows,
     }
 
 

@@ -103,6 +103,40 @@ def _trace_section(trace: list[dict]) -> str | None:
     return "\n".join(lines)
 
 
+def _events_section(events: list[dict]) -> str | None:
+    """Per-worker summary of the captured sweep timeline events.
+
+    The full event stream belongs in ``focal trace export`` (Perfetto)
+    and ``focal profile``; the pretty-printer shows one row per worker
+    so a glance answers "did every worker report, and how busy was it".
+    """
+    if not events:
+        return None
+    by_worker: dict[object, dict[str, float]] = {}
+    for event in events:
+        stats = by_worker.setdefault(
+            event.get("worker", "?"),
+            {"events": 0, "shards": 0, "compute_s": 0.0, "shm_s": 0.0},
+        )
+        stats["events"] += 1
+        if event.get("name") == "shard":
+            attrs = event.get("attrs", {})
+            stats["shards"] += 1
+            stats["compute_s"] += float(attrs.get("compute_s", 0.0))
+            stats["shm_s"] += float(attrs.get("shm_s", 0.0))
+    rows = [
+        {
+            "worker": worker,
+            "events": int(stats["events"]),
+            "shards": int(stats["shards"]),
+            "compute_ms": stats["compute_s"] * _MS,
+            "shm_ms": stats["shm_s"] * _MS,
+        }
+        for worker, stats in sorted(by_worker.items(), key=lambda kv: str(kv[0]))
+    ]
+    return format_mapping_rows(rows, title="worker events")
+
+
 def _metrics_section(metrics: list[dict]) -> str | None:
     if not metrics:
         return None
@@ -135,6 +169,7 @@ def render_report(payload: dict) -> str:
         _manifest_section(payload.get("manifest", {})),
         _phases_section(payload.get("manifest", {})),
         _trace_section(payload.get("trace", [])),
+        _events_section(payload.get("events", []) or []),
         _metrics_section(payload.get("metrics", [])),
     ]
     return "\n\n".join(s for s in sections if s)

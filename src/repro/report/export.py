@@ -189,18 +189,23 @@ def write_metrics(registry, path: str | Path) -> Path:
     return path
 
 
-def write_trace(path: str | Path, *, manifest=None, tracer=None, registry=None) -> Path:
+def write_trace(
+    path: str | Path, *, manifest=None, tracer=None, registry=None, events=None
+) -> Path:
     """Write trace output to *path*.
 
     With a *manifest* the full replayable report (manifest + span tree
-    + metrics snapshot, the document ``focal trace show`` reads) is
+    + metrics snapshot + worker events, the document ``focal trace
+    show`` / ``focal trace export`` / ``focal profile`` read) is
     written; without one, just the spans as JSON-lines.
     """
     from ..obs.manifest import build_report, report_to_json
 
     path = Path(path)
     if manifest is not None:
-        report = build_report(manifest, tracer=tracer, registry=registry)
+        report = build_report(
+            manifest, tracer=tracer, registry=registry, events=events
+        )
         path.write_text(report_to_json(report) + "\n")
     elif tracer is not None:
         path.write_text(trace_to_jsonl(tracer))

@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from ..core.errors import ValidationError, WorkerPoolError
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from .policy import DEFAULT_POLICY, RetryPolicy, SupervisionStats
 
@@ -153,6 +154,7 @@ class SupervisedPool:
                 self._run_in_process(fn, batches, results, failed)
                 break
             self.stats.retries += len(failed)
+            self._event("pool.retry", batches=len(failed), attempt=attempt)
             self._inc("focal_retry_total", "re-dispatched work batches", len(failed))
             self.policy.sleep(self.policy.backoff_s(attempt))
             attempt += 1
@@ -211,6 +213,7 @@ class SupervisedPool:
         """Replace a broken/hung executor, within the respawn budget."""
         self._kill_executor(cancel_futures=True)
         self.stats.respawns += 1
+        self._event("pool.respawn", respawns=self.stats.respawns)
         self._inc("focal_pool_respawn_total", "worker pool respawns")
         if self.stats.respawns > self.policy.max_respawns:
             self._declare_degraded()
@@ -219,6 +222,7 @@ class SupervisedPool:
         self._degraded = True
         self.stats.pool_degraded = True
         self._kill_executor(cancel_futures=True)
+        self._event("pool.degraded")
         self._inc(
             "focal_degraded_pool_total", "worker pools declared irrecoverable"
         )
@@ -280,11 +284,17 @@ class SupervisedPool:
     # Telemetry
     # ------------------------------------------------------------------
     def _count_fault(self, reason: str) -> None:
+        self._event("pool.fault", reason=reason)
         self._inc(
             "focal_retry_faults_total",
             "dispatch faults seen by the supervisor",
             labels={"reason": reason},
         )
+
+    @staticmethod
+    def _event(name: str, **attrs: object) -> None:
+        """A recovery action on the sweep timeline's supervisor track."""
+        _events.record(name, track="supervisor", **attrs)
 
     def _inc(
         self,

@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
 
 
 @pytest.fixture(autouse=True)
 def clean_obs():
-    """Reset the global tracer and metrics registry around every test."""
+    """Reset the global tracer, metrics registry and event log around
+    every test."""
     trace.reset()
     metrics.reset()
+    events.reset()
     yield
     trace.reset()
     metrics.reset()
+    events.reset()

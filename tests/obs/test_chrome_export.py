@@ -1,0 +1,168 @@
+"""Chrome Trace Event export of trace reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.obs.chrome import (
+    CHUNK_TID,
+    MAIN_TID,
+    PARENT_PID,
+    SUPERVISOR_TID,
+    WORKER_PID,
+    chrome_trace_events,
+    report_to_chrome,
+)
+
+
+def _report() -> dict:
+    """A hand-built two-worker parallel sweep report."""
+    return {
+        "schema": "focal-trace/1",
+        "manifest": {"command": "sweep"},
+        "trace": [
+            {
+                "name": "cli:sweep",
+                "start_s": 0.0,
+                "duration_s": 1.0,
+                "children": [
+                    {
+                        "name": "sweep",
+                        "start_s": 0.1,
+                        "duration_s": 0.8,
+                        "attributes": {"workers": 2},
+                        "children": [
+                            {
+                                "name": "kernels",
+                                "start_s": 0.2,
+                                "duration_s": 0.5,
+                                "children": [],
+                            },
+                            {
+                                "name": "chunk",
+                                "start_s": 0.7,
+                                "duration_s": 0.1,
+                                "counters": {"points": 64},
+                                "children": [],
+                            },
+                        ],
+                    }
+                ],
+            }
+        ],
+        "metrics": [],
+        "events": [
+            {
+                "name": "shard",
+                "worker": 101,
+                "seq": 0,
+                "t_rel": 0.25,
+                "dur_s": 0.2,
+                "attrs": {"lo": 0, "hi": 32},
+            },
+            {
+                "name": "heartbeat",
+                "worker": 102,
+                "seq": 0,
+                "t_rel": 0.3,
+                "dur_s": None,
+            },
+            {
+                "name": "pool.retry",
+                "worker": 999,
+                "seq": "parent-0",
+                "track": "supervisor",
+                "t_rel": 0.4,
+                "dur_s": None,
+            },
+            {"name": "unaligned", "worker": 101, "seq": 9, "dur_s": None},
+        ],
+    }
+
+
+class TestChromeTraceEvents:
+    def test_rejects_non_reports(self):
+        with pytest.raises(ValidationError):
+            chrome_trace_events({"nope": 1})
+
+    def test_span_tree_lands_on_parent_main_track(self):
+        events = chrome_trace_events(_report())
+        sweep = next(e for e in events if e["name"] == "sweep")
+        assert (sweep["pid"], sweep["tid"], sweep["ph"]) == (
+            PARENT_PID,
+            MAIN_TID,
+            "X",
+        )
+        assert sweep["ts"] == 100_000  # 0.1 s in microseconds
+        assert sweep["dur"] == 800_000
+
+    def test_chunk_spans_duplicate_onto_chunk_track(self):
+        events = chrome_trace_events(_report())
+        chunk_tids = {e["tid"] for e in events if e["name"] == "chunk"}
+        assert chunk_tids == {MAIN_TID, CHUNK_TID}
+
+    def test_one_track_per_worker_with_thread_names(self):
+        events = chrome_trace_events(_report())
+        worker_tids = {
+            e["tid"]
+            for e in events
+            if e["pid"] == WORKER_PID and e["ph"] != "M"
+        }
+        assert worker_tids == {101, 102}
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M"
+            and e["pid"] == WORKER_PID
+            and e["name"] == "thread_name"
+        }
+        assert names == {"worker 101", "worker 102"}
+
+    def test_worker_duration_event_stamps_start(self):
+        events = chrome_trace_events(_report())
+        shard = next(e for e in events if e["name"] == "shard")
+        assert shard["ts"] == 250_000  # t_rel is the shard's start
+        assert shard["dur"] == 200_000
+        assert shard["args"]["worker"] == 101
+
+    def test_supervisor_events_are_parent_instants(self):
+        events = chrome_trace_events(_report())
+        retry = next(e for e in events if e["name"] == "pool.retry")
+        assert (retry["pid"], retry["tid"], retry["ph"]) == (
+            PARENT_PID,
+            SUPERVISOR_TID,
+            "i",
+        )
+
+    def test_unaligned_events_are_skipped(self):
+        events = chrome_trace_events(_report())
+        assert not any(e["name"] == "unaligned" for e in events)
+
+    def test_heartbeats_are_worker_instants(self):
+        events = chrome_trace_events(_report())
+        beat = next(e for e in events if e["name"] == "heartbeat")
+        assert (beat["pid"], beat["ph"]) == (WORKER_PID, "i")
+
+
+class TestReportToChrome:
+    def test_valid_chrome_trace_document(self):
+        doc = json.loads(report_to_chrome(_report()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "pid"} <= set(event)
+            if event["ph"] in ("X", "i"):
+                assert isinstance(event["ts"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_empty_report_still_has_process_metadata(self):
+        doc = json.loads(
+            report_to_chrome({"trace": [], "manifest": {}, "events": []})
+        )
+        names = {e["args"]["name"] for e in doc["traceEvents"]}
+        assert "focal workers" in names
+        assert any("focal parent" in n for n in names)

@@ -107,6 +107,116 @@ class TestPrometheusExport:
         assert metrics_to_prometheus(MetricsRegistry()) == ""
 
 
+def _parse_prometheus(text: str):
+    """A minimal 0.0.4 reader: family blocks with their samples.
+
+    Returns ``{family: {"type": str, "help": str | None,
+    "samples": [(name, labels_text, value)]}}`` in document order and
+    asserts the structural rules the exposition format demands.
+    """
+    families: dict[str, dict] = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            assert name not in families, f"family {name} re-opened by HELP"
+            families[name] = {"help": help_text, "type": None, "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            if name not in families:
+                families[name] = {"help": None, "type": kind, "samples": []}
+            else:
+                assert families[name]["type"] is None, f"duplicate TYPE {name}"
+                families[name]["type"] = kind
+            current = name
+        else:
+            sample_name = line.split("{")[0].split(" ")[0]
+            base = sample_name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix) and base.removesuffix(suffix) in families:
+                    base = base.removesuffix(suffix)
+            assert base == current, (
+                f"sample {sample_name} outside its family block "
+                f"(current family: {current})"
+            )
+            labels = line[len(sample_name):].rsplit(" ", 1)[0]
+            value = float(line.rsplit(" ", 1)[1])
+            families[base]["samples"].append((sample_name, labels, value))
+    return families
+
+
+class TestPrometheusConformance:
+    """Text exposition format 0.0.4: all samples of one metric family
+    must form a single block under one # HELP/# TYPE header."""
+
+    def test_label_variants_group_under_one_header(self):
+        reg = MetricsRegistry()
+        # Interleave two families' label variants in creation order —
+        # exactly what the sweep engine does when it creates per-worker
+        # histograms while other counters tick.
+        reg.counter("evals_total", "evaluations", labels={"mode": "a"}).inc(1)
+        reg.gauge("ratio").set(0.5)
+        reg.counter("evals_total", labels={"mode": "b"}).inc(2)
+        reg.counter("evals_total", labels={"mode": "c"}).inc(3)
+        text = metrics_to_prometheus(reg)
+        assert text.count("# TYPE evals_total") == 1
+        assert text.count("# HELP evals_total") == 1
+        families = _parse_prometheus(text)  # asserts block contiguity
+        assert [v for _, _, v in families["evals_total"]["samples"]] == [1, 2, 3]
+        assert families["evals_total"]["help"] == "evaluations"
+
+    def test_worker_histogram_variants_stay_contiguous(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "busy_seconds", "busy", labels={"worker": "1"}, buckets=(1.0,)
+        ).observe(0.5)
+        reg.counter("shards_total").inc()
+        reg.histogram(
+            "busy_seconds", labels={"worker": "2"}, buckets=(1.0,)
+        ).observe(2.0)
+        families = _parse_prometheus(metrics_to_prometheus(reg))
+        names = [s[0] for s in families["busy_seconds"]["samples"]]
+        # worker 1's bucket/sum/count then worker 2's, uninterrupted
+        assert names == [
+            "busy_seconds_bucket",
+            "busy_seconds_bucket",
+            "busy_seconds_sum",
+            "busy_seconds_count",
+            "busy_seconds_bucket",
+            "busy_seconds_bucket",
+            "busy_seconds_sum",
+            "busy_seconds_count",
+        ]
+        assert families["busy_seconds"]["type"] == "histogram"
+
+    def test_round_trip_values_match_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("total", "t", labels={"k": "a"}).inc(5)
+        reg.counter("total", labels={"k": "b"}).inc(7)
+        reg.gauge("level").set(-2.5)
+        hist = reg.histogram("lat", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        families = _parse_prometheus(metrics_to_prometheus(reg))
+        totals = {
+            labels: value
+            for _, labels, value in families["total"]["samples"]
+        }
+        assert totals == {'{k="a"}': 5.0, '{k="b"}': 7.0}
+        assert families["level"]["samples"][0][2] == -2.5
+        lat = {
+            (name, labels): value
+            for name, labels, value in families["lat"]["samples"]
+        }
+        assert lat[("lat_bucket", '{le="0.1"}')] == 1  # cumulative
+        assert lat[("lat_bucket", '{le="1"}')] == 2
+        assert lat[("lat_bucket", '{le="+Inf"}')] == 3
+        assert lat[("lat_count", "")] == 3
+        assert lat[("lat_sum", "")] == pytest.approx(5.55)
+
+
 class TestJsonlExport:
     def test_one_line_per_instrument(self):
         reg = MetricsRegistry()

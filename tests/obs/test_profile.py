@@ -1,0 +1,137 @@
+"""Bottleneck attribution over trace reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.obs.profile import CATEGORIES, profile_report, render_profile
+
+
+def _shard(worker, start, dur, compute, shm=0.0):
+    return {
+        "name": "shard",
+        "worker": worker,
+        "seq": start,
+        "t_rel": start,
+        "dur_s": dur,
+        "attrs": {"compute_s": compute, "shm_s": shm},
+    }
+
+
+def _report(events, *, wall=1.0, k_start=0.2, k_dur=0.6, workers=2) -> dict:
+    return {
+        "schema": "focal-trace/1",
+        "manifest": {"command": "sweep"},
+        "trace": [
+            {
+                "name": "sweep",
+                "start_s": 0.0,
+                "duration_s": wall,
+                "attributes": {"workers": workers},
+                "children": [
+                    {
+                        "name": "kernels",
+                        "start_s": k_start,
+                        "duration_s": k_dur,
+                        "children": [],
+                    }
+                ],
+            }
+        ],
+        "metrics": [],
+        "events": events,
+    }
+
+
+class TestProfileReport:
+    def test_categories_tile_the_wall_clock(self):
+        # Two workers busy [0.2, 0.8): worker 1 computes 0.5 of its 0.6
+        # window, worker 2 computes 0.3 and writes shm for 0.1.
+        report = _report(
+            [
+                _shard(1, 0.2, 0.6, compute=0.5),
+                _shard(2, 0.2, 0.6, compute=0.3, shm=0.1),
+            ]
+        )
+        profile = profile_report(report)
+        assert set(profile.seconds) == set(CATEGORIES)
+        total = sum(profile.seconds.values())
+        assert total == pytest.approx(profile.wall_s, rel=1e-9)
+        assert sum(profile.shares.values()) == pytest.approx(1.0)
+        assert profile.seconds["serial"] == pytest.approx(0.4)
+        assert profile.seconds["compute"] == pytest.approx(0.8 / 2)
+
+    def test_straggler_covers_missing_and_idle_workers(self):
+        # Planned 4 workers; only one reports, busy half the kernel.
+        report = _report([_shard(1, 0.2, 0.3, compute=0.3)], workers=4)
+        profile = profile_report(report)
+        assert profile.observed_workers == 1
+        assert profile.workers == 4
+        # 3 silent workers x 0.6 plus the reporter's idle 0.3, over 4.
+        assert profile.seconds["straggler"] == pytest.approx(
+            (3 * 0.6 + 0.3) / 4
+        )
+        assert sum(profile.seconds.values()) == pytest.approx(profile.wall_s)
+
+    def test_clock_skew_cannot_produce_negative_categories(self):
+        # A shard claiming to start before the kernel phase and run past
+        # its end — the clamps absorb it, the identity still holds.
+        report = _report([_shard(1, 0.0, 2.0, compute=5.0)])
+        profile = profile_report(report)
+        assert all(v >= 0.0 for v in profile.seconds.values())
+        assert sum(profile.seconds.values()) == pytest.approx(profile.wall_s)
+
+    def test_amdahl_bound_and_top_cost(self):
+        report = _report(
+            [
+                _shard(1, 0.2, 0.6, compute=0.6),
+                _shard(2, 0.2, 0.6, compute=0.6),
+            ]
+        )
+        profile = profile_report(report)
+        # t1 = serial + compute = 0.4 + 1.2; ideal = 0.4 + 1.2/2
+        assert profile.amdahl_attainable == pytest.approx(1.6 / 1.0)
+        assert profile.achieved_speedup_estimate == pytest.approx(1.6 / 1.0)
+        assert profile.top_cost in CATEGORIES
+
+    def test_requires_a_trace_report(self):
+        with pytest.raises(ValidationError):
+            profile_report({"metrics": []})
+
+    def test_requires_a_completed_sweep_span(self):
+        report = _report([_shard(1, 0.2, 0.3, compute=0.2)])
+        report["trace"][0]["duration_s"] = None
+        with pytest.raises(ValidationError, match="sweep"):
+            profile_report(report)
+
+    def test_requires_a_parallel_kernel_phase(self):
+        report = _report([_shard(1, 0.2, 0.3, compute=0.2)], workers=0)
+        with pytest.raises(ValidationError, match="parallel"):
+            profile_report(report)
+
+    def test_requires_worker_events(self):
+        with pytest.raises(ValidationError, match="events"):
+            profile_report(_report([]))
+
+
+class TestRenderProfile:
+    def test_page_has_attribution_workers_and_verdict(self):
+        report = _report(
+            [
+                _shard(1, 0.2, 0.6, compute=0.5),
+                _shard(2, 0.2, 0.6, compute=0.3, shm=0.1),
+            ]
+        )
+        page = render_profile(profile_report(report))
+        assert "wall-clock attribution" in page
+        for category in CATEGORIES:
+            assert category in page
+        assert "per-worker kernel phase" in page
+        assert "top cost center" in page
+        assert "attainable" in page
+
+    def test_missing_workers_noted(self):
+        report = _report([_shard(1, 0.2, 0.3, compute=0.3)], workers=4)
+        page = render_profile(profile_report(report))
+        assert "only 1 of 4 planned workers" in page

@@ -1,0 +1,112 @@
+"""The trace-report pretty-printer on tricky span shapes and events."""
+
+from __future__ import annotations
+
+from repro.obs import trace
+from repro.obs.manifest import build_manifest, build_report
+from repro.obs.show import render_report
+
+
+def _report_from_tracer(events=None) -> dict:
+    manifest = build_manifest(["test"], command="test", tracer=trace.get_tracer())
+    return build_report(
+        manifest, tracer=trace.get_tracer(), registry=None, events=events
+    )
+
+
+class TestTraceSection:
+    def test_multi_root_trees_all_render(self):
+        trace.enable()
+        for name in ("sweep:first", "sweep:second", "sweep:third"):
+            with trace.span(name):
+                with trace.span("chunk"):
+                    pass
+        text = render_report(_report_from_tracer())
+        for name in ("sweep:first", "sweep:second", "sweep:third"):
+            assert name in text
+        # three roots mean three chunk rows, one per tree
+        assert text.count("chunk") == 3
+
+    def test_deeply_nested_tree_indents_every_level(self):
+        trace.enable()
+        depth = 12
+        tracer = trace.get_tracer()
+        spans = [tracer.span(f"level{d}") for d in range(depth)]
+        for span in spans:
+            span.__enter__()
+        for span in reversed(spans):
+            span.__exit__(None, None, None)
+        text = render_report(_report_from_tracer())
+        lines = {
+            line.lstrip().split()[0]: len(line) - len(line.lstrip())
+            for line in text.splitlines()
+            if line.lstrip().startswith("level")
+        }
+        assert len(lines) == depth
+        # indentation grows strictly with depth
+        indents = [lines[f"level{d}"] for d in range(depth)]
+        assert indents == sorted(indents)
+        assert indents[0] < indents[-1]
+
+    def test_open_span_renders_dash_duration(self):
+        trace.enable()
+        tracer = trace.get_tracer()
+        open_span = tracer.span("still-open")
+        open_span.__enter__()
+        text = render_report(_report_from_tracer())
+        open_span.__exit__(None, None, None)
+        rows = [line for line in text.splitlines() if "still-open" in line]
+        # the span-tree row shows "-" where a duration would be
+        assert any(line.rstrip().endswith("-") for line in rows)
+
+
+class TestEventsSection:
+    def test_events_summarized_per_worker(self):
+        trace.enable()
+        with trace.span("sweep"):
+            pass
+        events = [
+            {
+                "name": "shard",
+                "worker": 11,
+                "seq": 0,
+                "t_wall": 1.0,
+                "dur_s": 0.5,
+                "attrs": {"compute_s": 0.4, "shm_s": 0.05},
+            },
+            {
+                "name": "heartbeat",
+                "worker": 11,
+                "seq": 1,
+                "t_wall": 1.1,
+                "dur_s": None,
+            },
+            {
+                "name": "shard",
+                "worker": 22,
+                "seq": 0,
+                "t_wall": 1.2,
+                "dur_s": 0.25,
+                "attrs": {"compute_s": 0.2, "shm_s": 0.0},
+            },
+        ]
+
+        class _Log:
+            def __len__(self):
+                return len(events)
+
+            def as_dicts(self, *, started_at=None):
+                return events
+
+        text = render_report(_report_from_tracer(events=_Log()))
+        assert "worker events" in text
+        assert "11" in text and "22" in text
+        # compute milliseconds aggregate per worker
+        assert "400" in text  # 0.4 s -> 400 ms for worker 11
+
+    def test_report_without_events_has_no_worker_section(self):
+        trace.enable()
+        with trace.span("sweep"):
+            pass
+        text = render_report(_report_from_tracer())
+        assert "worker events" not in text

@@ -118,3 +118,64 @@ class TestGlobalState:
         trace.reset()
         assert not trace.is_enabled()
         assert trace.get_tracer().roots == []
+
+
+class TestTracerReuse:
+    """One tracer observing several consecutive sweeps — the notebook
+    workflow, where nobody resets global state between runs."""
+
+    def _sweep(self, explorer, grid):
+        return explorer.explore_arrays(grid)
+
+    def test_consecutive_sweeps_become_sequential_roots(self):
+        from repro.core.design import DesignPoint
+        from repro.core.scenario import EMBODIED_DOMINATED
+        from repro.dse.batch import BatchExplorer
+        from repro.dse.factories import SymmetricMulticoreFactory
+        from repro.dse.grid import ParameterGrid
+
+        trace.enable()
+        grid = ParameterGrid({"cores": [1, 2, 4], "f": [0.5, 0.9]})
+        explorer = BatchExplorer(
+            factory=SymmetricMulticoreFactory(),
+            baseline=DesignPoint.baseline("base"),
+            weight=EMBODIED_DOMINATED,
+        )
+        first = self._sweep(explorer, grid)
+        second = self._sweep(explorer, grid)  # warm re-sweep, same tracer
+        tracer = trace.get_tracer()
+        sweep_roots = [s for s in tracer.roots if s.name == "sweep"]
+        assert len(sweep_roots) == 2
+        for root in sweep_roots:
+            assert root.duration_s is not None
+        assert first.params == second.params
+        # the second sweep starts after the first on the shared origin
+        starts = [s.start_s for s in sweep_roots]
+        assert starts[0] < starts[1]
+
+    def test_reused_tracer_reports_render_every_sweep(self):
+        from repro.obs.manifest import build_manifest, build_report
+        from repro.obs.show import render_report
+
+        trace.enable()
+        for index in range(3):
+            with trace.span("sweep", index=index):
+                pass
+        manifest = build_manifest(
+            ["x"], command="x", tracer=trace.get_tracer()
+        )
+        text = render_report(
+            build_report(manifest, tracer=trace.get_tracer())
+        )
+        assert text.count("sweep") >= 3
+
+    def test_clear_between_sweeps_keeps_tracer_armed(self):
+        trace.enable()
+        tracer = trace.get_tracer()
+        with tracer.span("first"):
+            pass
+        tracer.clear()
+        assert tracer.enabled
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["second"]

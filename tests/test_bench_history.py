@@ -1,0 +1,178 @@
+"""The benchmark-history ledger and its regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_history",
+    Path(__file__).resolve().parent.parent / "tools" / "bench_history.py",
+)
+bench_history = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_history)
+
+
+def _node(**overrides) -> dict:
+    node = {
+        "platform": "Linux-test",
+        "machine": "x86_64",
+        "python": "3.12.0",
+        "numpy": "2.0.0",
+        "cpu_count": 4,
+    }
+    node.update(overrides)
+    return node
+
+
+def _record(bench="dse_engine", node=None, **results) -> dict:
+    return {"bench": bench, "node": node or _node(), "results": results}
+
+
+class TestHelpers:
+    def test_signature_uses_all_platform_keys(self):
+        base = bench_history.node_signature(_node())
+        assert len(base) == len(bench_history.SIGNATURE_KEYS)
+        assert bench_history.node_signature(_node(python="3.13.0")) != base
+        assert bench_history.node_signature(_node(cpu_count=64)) != base
+        assert bench_history.node_signature(_node()) == base
+
+    def test_speedup_keys_filters_numerics(self):
+        keys = bench_history.speedup_keys(
+            {
+                "warm_speedup": 3.0,
+                "parallel_speedup": 1.24,
+                "warm_speedup_note": "text",
+                "rounds": 5,
+                "broken_speedup": "n/a",
+            }
+        )
+        assert keys == {"warm_speedup": 3.0, "parallel_speedup": 1.24}
+
+    def test_load_history_skips_torn_trailing_line(self, tmp_path):
+        ledger = tmp_path / "history.jsonl"
+        ledger.write_text(
+            json.dumps(_record(warm_speedup=2.0))
+            + "\n"
+            + '{"bench": "dse_engine", "trunc'
+        )
+        records = bench_history.load_history(ledger)
+        assert len(records) == 1
+        assert records[0]["results"]["warm_speedup"] == 2.0
+
+    def test_load_history_missing_file_is_empty(self, tmp_path):
+        assert bench_history.load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestFindRegressions:
+    def test_drop_beyond_threshold_is_flagged(self):
+        history = [_record(warm_speedup=10.0)]
+        runs = [_record(warm_speedup=7.0)]
+        lines = bench_history.find_regressions(runs, history, 0.20)
+        assert len(lines) == 1
+        assert "warm_speedup" in lines[0]
+        assert "10.000x" in lines[0]
+
+    def test_drop_within_threshold_passes(self):
+        history = [_record(warm_speedup=10.0)]
+        runs = [_record(warm_speedup=8.5)]
+        assert bench_history.find_regressions(runs, history, 0.20) == []
+
+    def test_best_recorded_value_is_the_reference(self):
+        history = [
+            _record(warm_speedup=2.0),
+            _record(warm_speedup=10.0),
+            _record(warm_speedup=4.0),
+        ]
+        runs = [_record(warm_speedup=7.0)]
+        assert bench_history.find_regressions(runs, history, 0.20)
+
+    def test_other_platforms_never_gate(self):
+        history = [_record(node=_node(cpu_count=128), warm_speedup=50.0)]
+        runs = [_record(warm_speedup=1.1)]
+        assert bench_history.find_regressions(runs, history, 0.20) == []
+
+    def test_other_benchmarks_never_gate(self):
+        history = [_record(bench="obs_overhead", warm_speedup=50.0)]
+        runs = [_record(bench="dse_engine", warm_speedup=1.1)]
+        assert bench_history.find_regressions(runs, history, 0.20) == []
+
+    def test_fresh_platform_only_seeds(self):
+        assert (
+            bench_history.find_regressions(
+                [_record(warm_speedup=1.0)], [], 0.20
+            )
+            == []
+        )
+
+
+class TestMain:
+    def _write_bench(self, root: Path, **results):
+        (root / "BENCH_dse_engine.json").write_text(json.dumps(results))
+
+    def test_first_run_seeds_history_and_passes(self, tmp_path, capsys):
+        self._write_bench(tmp_path, warm_speedup=3.0)
+        ledger = tmp_path / "out" / "history.jsonl"
+        code = bench_history.main(
+            ["--root", str(tmp_path), "--history", str(ledger)]
+        )
+        assert code == 0
+        assert "appended 1 runs" in capsys.readouterr().out
+        (record,) = bench_history.load_history(ledger)
+        assert record["bench"] == "dse_engine"
+        assert record["results"] == {"warm_speedup": 3.0}
+        # provenance rides along so other machines never gate this line
+        for key in bench_history.SIGNATURE_KEYS:
+            assert key in record["node"]
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        ledger = tmp_path / "history.jsonl"
+        from repro.obs.manifest import node_roster
+
+        ledger.write_text(
+            json.dumps(
+                {
+                    "bench": "dse_engine",
+                    "node": node_roster(),
+                    "results": {"warm_speedup": 100.0},
+                }
+            )
+            + "\n"
+        )
+        self._write_bench(tmp_path, warm_speedup=1.0)
+        code = bench_history.main(
+            ["--root", str(tmp_path), "--history", str(ledger)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_only_does_not_append(self, tmp_path, capsys):
+        self._write_bench(tmp_path, warm_speedup=3.0)
+        ledger = tmp_path / "history.jsonl"
+        code = bench_history.main(
+            ["--root", str(tmp_path), "--history", str(ledger), "--check-only"]
+        )
+        assert code == 0
+        assert not ledger.exists()
+        capsys.readouterr()
+
+    def test_no_bench_files_is_a_noop(self, tmp_path, capsys):
+        code = bench_history.main(
+            ["--root", str(tmp_path), "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert code == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_malformed_bench_file_skipped(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        self._write_bench(tmp_path, warm_speedup=2.0)
+        ledger = tmp_path / "h.jsonl"
+        code = bench_history.main(
+            ["--root", str(tmp_path), "--history", str(ledger)]
+        )
+        assert code == 0
+        assert "skipping malformed" in capsys.readouterr().out
+        assert len(bench_history.load_history(ledger)) == 1

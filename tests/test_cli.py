@@ -205,6 +205,15 @@ class TestVersion:
         assert f"focal {repro.__version__}" in out
         assert "python" in out and "numpy" in out
 
+    def test_prints_platform_provenance(self, capsys):
+        import platform
+
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert "platform:" in out
+        assert (platform.machine() or "unknown") in out
+        assert "cpus]" in out
+
 
 class TestObservabilityFlags:
     def test_trace_flag_writes_replayable_report(self, tmp_path, capsys):
@@ -290,3 +299,119 @@ class TestTraceShow:
     def test_show_requires_action(self):
         with pytest.raises(SystemExit):
             main(["trace"])
+
+
+class TestParallelTelemetry:
+    """End-to-end: traced 4-worker sweep -> events -> chrome -> profile."""
+
+    @pytest.fixture(scope="class")
+    def traced_report(self, tmp_path_factory):
+        target = tmp_path_factory.mktemp("telemetry") / "trace.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--max-cores",
+                    "16",
+                    "--workers",
+                    "4",
+                    "--chunk-size",
+                    "16",
+                    "--trace",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        return target
+
+    def test_report_carries_aligned_worker_events(self, traced_report):
+        payload = json.loads(traced_report.read_text())
+        events = payload["events"]
+        assert events, "parallel traced sweep recorded no worker events"
+        workers = {e["worker"] for e in events if e.get("track") != "supervisor"}
+        assert len(workers) == 4  # every planned worker reported in
+        names = {e["name"] for e in events}
+        assert "worker.init" in names
+        assert "shard" in names
+        # every worker event is clock-aligned onto the span axis
+        assert all("t_rel" in e for e in events)
+        shard = next(e for e in events if e["name"] == "shard")
+        assert shard["attrs"]["compute_s"] >= 0.0
+        assert shard["dur_s"] > 0.0
+
+    def test_chrome_export_one_track_per_worker(
+        self, traced_report, tmp_path, capsys
+    ):
+        out = tmp_path / "timeline.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "export",
+                    str(traced_report),
+                    "--format",
+                    "chrome",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert f"wrote {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        from repro.obs.chrome import WORKER_PID
+
+        worker_tids = {
+            e["tid"]
+            for e in doc["traceEvents"]
+            if e["pid"] == WORKER_PID and e["ph"] != "M"
+        }
+        assert len(worker_tids) == 4
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X"} <= phases
+
+    def test_export_default_output_path(self, traced_report, capsys):
+        assert main(["trace", "export", str(traced_report)]) == 0
+        capsys.readouterr()
+        sibling = traced_report.with_suffix(".chrome.json")
+        assert sibling.exists()
+        assert json.loads(sibling.read_text())["traceEvents"]
+
+    def test_profile_attribution_sums_to_wall_clock(
+        self, traced_report, capsys
+    ):
+        assert main(["profile", str(traced_report)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        start = next(
+            i for i, l in enumerate(lines) if "wall-clock attribution" in l
+        )
+        end = next(i for i, l in enumerate(lines) if "per-worker" in l)
+        shares = []
+        for line in lines[start:end]:
+            token = line.rstrip().rsplit(None, 1)[-1] if line.strip() else ""
+            if token.endswith("%"):
+                shares.append(float(token[:-1]))
+        assert len(shares) == 5  # serial/dispatch/compute/shm/straggler
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+        assert "top cost center" in out
+        assert "attainable" in out and "achieved" in out
+
+    def test_export_rejects_non_trace_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["trace", "export", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_requires_file_or_bench(self, capsys):
+        assert main(["profile"]) == 2
+        assert "profile" in capsys.readouterr().err
+
+    def test_profile_rejects_serial_trace(self, tmp_path, capsys):
+        target = tmp_path / "serial.json"
+        assert main(["sweep", "--max-cores", "8", "--trace", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(target)]) == 2
+        assert "error:" in capsys.readouterr().err

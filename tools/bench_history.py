@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Append benchmark runs to a history ledger and gate regressions.
+
+Each ``BENCH_*.json`` trajectory file at the repo root (written by the
+``benchmarks/`` suites) is appended to ``out/bench_history.jsonl`` as
+one line carrying the results plus the recording host's platform
+provenance (the same ``node_roster()`` identity run manifests embed),
+so histories from different machines never gate each other.
+
+After recording, every ``*_speedup`` figure of merit in the new runs
+is compared against the best value previously recorded for the same
+benchmark on the same platform signature: a drop of more than
+``--threshold`` (default 20%) fails the process with exit code 1 and a
+one-line explanation per regression. First runs on a fresh platform
+only seed the history.
+
+Usage:  python tools/bench_history.py [--history PATH] [--threshold F]
+        [--check-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = REPO_ROOT / "out" / "bench_history.jsonl"
+DEFAULT_THRESHOLD = 0.20
+
+#: node_roster keys that make timings comparable between two runs.
+SIGNATURE_KEYS = ("platform", "machine", "python", "numpy", "cpu_count")
+
+
+def node_signature(node: dict) -> tuple:
+    """The hashable platform identity timings are comparable within."""
+    return tuple(str(node.get(key)) for key in SIGNATURE_KEYS)
+
+
+def speedup_keys(results: dict) -> dict[str, float]:
+    """The figures of merit gated by the history: every numeric
+    ``*_speedup`` entry (higher is better)."""
+    return {
+        key: float(value)
+        for key, value in results.items()
+        if key.endswith("_speedup") and isinstance(value, (int, float))
+    }
+
+
+def load_history(path: Path) -> list[dict]:
+    """Previously recorded runs; torn trailing lines are skipped (the
+    appender can die mid-write, the ledger must still load)."""
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def collect_runs(root: Path) -> list[dict]:
+    """One history record per BENCH_*.json at *root*."""
+    from repro.obs.manifest import node_roster
+
+    node = node_roster()
+    runs = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            results = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"bench-history: skipping malformed {path.name}: {exc}")
+            continue
+        if not isinstance(results, dict):
+            continue
+        runs.append(
+            {
+                "bench": path.stem.removeprefix("BENCH_"),
+                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "node": node,
+                "results": results,
+            }
+        )
+    return runs
+
+
+def find_regressions(
+    runs: list[dict], history: list[dict], threshold: float
+) -> list[str]:
+    """Human-readable regression lines for every speedup that fell more
+    than *threshold* below the best same-platform recorded value."""
+    best: dict[tuple, float] = {}
+    for record in history:
+        signature = node_signature(record.get("node", {}))
+        for key, value in speedup_keys(record.get("results", {})).items():
+            slot = (record.get("bench"), signature, key)
+            best[slot] = max(best.get(slot, value), value)
+    regressions = []
+    for run in runs:
+        signature = node_signature(run["node"])
+        for key, value in speedup_keys(run["results"]).items():
+            reference = best.get((run["bench"], signature, key))
+            if reference is None or reference <= 0:
+                continue
+            if value < (1.0 - threshold) * reference:
+                regressions.append(
+                    f"{run['bench']}: {key} {value:.3f}x is "
+                    f"{1.0 - value / reference:.1%} below the best recorded "
+                    f"{reference:.3f}x on this platform "
+                    f"(threshold {threshold:.0%})"
+                )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help=f"history ledger path (default {DEFAULT_HISTORY})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the BENCH_*.json trajectory files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression that fails the gate (default 0.20)",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="compare without appending to the ledger",
+    )
+    args = parser.parse_args(argv)
+
+    runs = collect_runs(args.root)
+    if not runs:
+        print(f"bench-history: no BENCH_*.json under {args.root}, nothing to do")
+        return 0
+    history = load_history(args.history)
+    regressions = find_regressions(runs, history, args.threshold)
+    if not args.check_only:
+        args.history.parent.mkdir(parents=True, exist_ok=True)
+        with args.history.open("a") as handle:
+            for run in runs:
+                handle.write(json.dumps(run, default=str) + "\n")
+        print(
+            f"bench-history: appended {len(runs)} runs to {args.history} "
+            f"({len(history)} already recorded)"
+        )
+    for line in regressions:
+        print(f"bench-history: REGRESSION {line}")
+    if regressions:
+        return 1
+    gated = sum(len(speedup_keys(run["results"])) for run in runs)
+    print(f"bench-history: {gated} speedup figures within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
