@@ -19,7 +19,13 @@ Times the paths the batch engine replaces —
   deliberately compute-heavy iterative fixed-point factory, with an
   exact-parity gate (``max_abs_ncf_diff == 0.0``, identical category
   counts and cache contents) and a >= 2x speedup gate that CI enforces
-  on hosts with at least 4 CPUs.
+  on hosts with at least 4 CPUs;
+* the persistent result store (``repro.dse.store``): a warm re-sweep
+  of a 20k-point compute-heavy grid served entirely from disk against
+  the cold columnar run that populated it (>= 10x gate, enforced on
+  every host — disk reads beat a compute-bound kernel everywhere),
+  plus a delta sweep over a 50%-overlapping grid that must evaluate
+  exactly the new points and match a full cold sweep bit-for-bit.
 
 Every batch test asserts numerical parity with its scalar twin
 (bit-identical NCFs, identical verdict counts) before timing means are
@@ -68,6 +74,20 @@ PARALLEL_GRID = ParameterGrid(
 PARALLEL_WORKERS = 4
 PARALLEL_SPEEDUP_GATE = 2.0
 FIXED_POINT_ITERS = 2500
+
+#: Store operating point: 20,000 points through a kernel heavy enough
+#: (~60k fixed-point iterations per chunk) that the warm path's
+#: irreducible costs — object decode + DesignPoint materialization —
+#: stay far below a tenth of the cold compute.
+STORE_CORES = list(range(1, 201))
+STORE_FRACTIONS = linear_range(0.50, 0.99, 100)
+STORE_GRID = ParameterGrid({"cores": STORE_CORES, "f": STORE_FRACTIONS})
+#: 50 overlapping fractions from the base grid + 50 new ones: the
+#: delta-sweep grid shares exactly half its points with STORE_GRID.
+DELTA_FRACTIONS = STORE_FRACTIONS[50:] + linear_range(0.25, 0.49, 50)
+DELTA_GRID = ParameterGrid({"cores": STORE_CORES, "f": DELTA_FRACTIONS})
+STORE_ITERS = 60_000
+STORE_WARM_SPEEDUP_GATE = 10.0
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
 
@@ -344,4 +364,172 @@ def test_parallel_columnar_sweep(benchmark, emit):
     emit(
         f"parallel-columnar: {len(PARALLEL_GRID)} points, "
         f"{PARALLEL_WORKERS} workers, {speedup:.2f}x vs columnar ({gate_note})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent result store: warm re-sweep and delta sweep vs cold
+# ----------------------------------------------------------------------
+def _store_explorer():
+    factory = IterativeFixedPointFactory(iters=STORE_ITERS)
+    return BatchExplorer(
+        factory=factory,
+        baseline=BASELINE,
+        weight=EMBODIED_DOMINATED,
+        cache=FactoryCache(factory),
+        chunk_size=4096,
+    )
+
+
+@pytest.fixture(scope="module")
+def populated_store(tmp_path_factory):
+    """One timed cold sweep of STORE_GRID into a fresh store; the warm
+    and delta benchmarks both read from it."""
+    from repro.dse.store import ResultStore
+
+    root = tmp_path_factory.mktemp("result-store")
+    store_dir = root / "store"
+    cold_ck = root / "cold.ckpt"
+    explorer = _store_explorer()
+    start = time.perf_counter()
+    cold = explorer.explore_arrays(
+        STORE_GRID, checkpoint=cold_ck, store=ResultStore(store_dir)
+    )
+    cold_s = time.perf_counter() - start
+    assert explorer.last_sweep.mode == "columnar"
+    assert explorer.last_sweep.fresh_points == len(STORE_GRID)
+    _RESULTS.update(
+        {
+            "store_grid_points": len(STORE_GRID),
+            "store_kernel_iters": STORE_ITERS,
+            "store_cold_s": cold_s,
+        }
+    )
+    return {
+        "dir": store_dir,
+        "root": root,
+        "cold_sweep": cold,
+        "cold_s": cold_s,
+        "cold_ck": cold_ck,
+    }
+
+
+def test_store_warm_resweep(benchmark, emit, populated_store):
+    """A warm re-sweep must be served entirely from the store — zero
+    fresh evaluations, byte-identical outputs, byte-identical
+    checkpoint — at >= 10x over the cold columnar run. Unlike the pool
+    gate this one is enforced on every host: reading a few MB of JSON
+    beats a compute-bound kernel regardless of CPU count."""
+    from repro.dse.store import ResultStore
+
+    cold = populated_store["cold_sweep"]
+    warm_ck = populated_store["root"] / "warm.ckpt"
+
+    def warm_run():
+        explorer = _store_explorer()  # fresh cache: nothing memoized
+        start = time.perf_counter()
+        sweep = explorer.explore_arrays(
+            STORE_GRID,
+            checkpoint=warm_ck,
+            store=ResultStore(populated_store["dir"]),
+        )
+        return sweep, explorer, time.perf_counter() - start
+
+    warm_sweep, warm_explorer, warm_s = benchmark.pedantic(
+        warm_run, rounds=1, iterations=1
+    )
+    engine = warm_explorer.last_sweep
+    speedup = populated_store["cold_s"] / warm_s
+    max_diff = max(
+        float(np.max(np.abs(warm_sweep.ncf_fixed_work - cold.ncf_fixed_work))),
+        float(np.max(np.abs(warm_sweep.ncf_fixed_time - cold.ncf_fixed_time))),
+    )
+    bytes_identical = (
+        warm_sweep.ncf_fixed_work.tobytes() == cold.ncf_fixed_work.tobytes()
+        and warm_sweep.ncf_fixed_time.tobytes() == cold.ncf_fixed_time.tobytes()
+        and warm_sweep.perf.tobytes() == cold.perf.tobytes()
+    )
+    counts_equal = warm_sweep.category_counts() == cold.category_counts()
+    checkpoint_equal = (
+        populated_store["cold_ck"].read_bytes() == warm_ck.read_bytes()
+    )
+    _RESULTS.update(
+        {
+            "store_warm_s": warm_s,
+            "store_warm_speedup": speedup,
+            "store_warm_speedup_gate": STORE_WARM_SPEEDUP_GATE,
+            "store_warm_gate_enforced": True,
+            "store_warm_fresh_points": engine.fresh_points,
+            "store_warm_reuse_ratio": engine.store_reuse_ratio,
+            "store_max_abs_ncf_diff": max_diff,
+            "store_bytes_identical": bytes_identical,
+            "store_category_counts_equal": counts_equal,
+            "store_checkpoint_bytes_equal": checkpoint_equal,
+        }
+    )
+    assert engine.store_used
+    assert engine.fresh_points == 0
+    assert engine.store_points == len(STORE_GRID)
+    assert warm_sweep.designs == cold.designs
+    assert max_diff == 0.0
+    assert bytes_identical
+    assert counts_equal
+    assert checkpoint_equal
+    assert speedup >= STORE_WARM_SPEEDUP_GATE
+    emit(
+        f"store warm re-sweep: {len(STORE_GRID)} points, {speedup:.1f}x vs "
+        f"cold columnar ({engine.store_disk_points} pts from disk, "
+        f"{engine.store_memory_points} from memory, gated >= "
+        f"{STORE_WARM_SPEEDUP_GATE:g}x)"
+    )
+
+
+def test_store_delta_sweep(emit, populated_store):
+    """A 50%-overlapping grid must evaluate exactly the new points —
+    counted by the factory-cache miss delta, which store adoptions
+    never touch — and match a full cold sweep of the same grid
+    bit-for-bit."""
+    from repro.dse.store import ResultStore
+
+    expected_fresh = len(STORE_CORES) * (len(DELTA_FRACTIONS) - 50)
+    delta_explorer = _store_explorer()
+    start = time.perf_counter()
+    delta = delta_explorer.explore_arrays(
+        DELTA_GRID, store=ResultStore(populated_store["dir"])
+    )
+    delta_s = time.perf_counter() - start
+    engine = delta_explorer.last_sweep
+
+    cold_explorer = _store_explorer()
+    cold = cold_explorer.explore_arrays(DELTA_GRID)
+
+    bytes_identical = (
+        delta.ncf_fixed_work.tobytes() == cold.ncf_fixed_work.tobytes()
+        and delta.ncf_fixed_time.tobytes() == cold.ncf_fixed_time.tobytes()
+        and delta.perf.tobytes() == cold.perf.tobytes()
+    )
+    _RESULTS.update(
+        {
+            "store_delta_grid_points": len(DELTA_GRID),
+            "store_delta_s": delta_s,
+            "store_delta_fresh_points": engine.fresh_points,
+            "store_delta_expected_fresh": expected_fresh,
+            "store_delta_chunks": engine.delta_chunks,
+            "store_delta_bytes_identical": bytes_identical,
+            "store_delta_category_counts_equal": (
+                delta.category_counts() == cold.category_counts()
+            ),
+        }
+    )
+    assert engine.store_used
+    assert engine.fresh_points == expected_fresh
+    assert engine.store_points == len(DELTA_GRID) - expected_fresh
+    assert delta.designs == cold.designs
+    assert bytes_identical
+    assert delta.category_counts() == cold.category_counts()
+    emit(
+        f"store delta sweep: {len(DELTA_GRID)} points, "
+        f"{engine.fresh_points} evaluated fresh (expected {expected_fresh}), "
+        f"{engine.store_points} adopted, {engine.delta_chunks} stitched "
+        "delta chunks"
     )

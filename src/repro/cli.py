@@ -12,6 +12,9 @@ Examples
     focal findings                        # the Findings #1-#17 table
     focal findings --failed-only
     focal sweep --max-cores 256 --trace trace.json --metrics run.prom
+    focal sweep --max-cores 256 --store runs/store   # persistent reuse
+    focal store ls runs/store             # stored fingerprints
+    focal store gc runs/store --max-bytes 10000000
     focal trace show trace.json           # replay a traced run
     focal trace export trace.json --format chrome --out timeline.json
     focal profile trace.json              # bottleneck attribution
@@ -262,6 +265,40 @@ def build_parser() -> argparse.ArgumentParser:
         "without re-evaluation; results are bit-identical to an "
         "uninterrupted run",
     )
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent result store: chunks whose fingerprint matches "
+        "a previous run load from DIR instead of re-evaluating "
+        "(bit-identical); new chunks are written back for next time",
+    )
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect and maintain a persistent result store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser(
+        "ls", help="one row per stored fingerprint, oldest first"
+    )
+    store_stat = store_sub.add_parser(
+        "stat", help="aggregate store totals (fingerprints, files, bytes)"
+    )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="collect garbage: temp litter, orphaned objects, corrupt "
+        "entries; with --max-bytes also evict oldest fingerprints",
+    )
+    for store_parser in (store_ls, store_stat, store_gc):
+        store_parser.add_argument("dir", help="store directory")
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict whole fingerprints oldest-first until the store "
+        "fits N bytes",
+    )
 
     advise = sub.add_parser(
         "advise", help="rank the paper's mechanisms for a workload class"
@@ -284,6 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
         _add_global_options(command_parser, suppress=True)
     _add_global_options(show, suppress=True)
     _add_global_options(export, suppress=True)
+    for store_parser in (store_ls, store_stat, store_gc):
+        _add_global_options(store_parser, suppress=True)
     return parser
 
 
@@ -560,12 +599,14 @@ def _cmd_sweep(
     pareto: bool,
     checkpoint: str | None = None,
     resume: bool = False,
+    store: str | None = None,
 ) -> int:
     from .core.design import DesignPoint
     from .core.scenario import BALANCED, EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
     from .dse.batch import BatchExplorer
     from .dse.factories import SymmetricMulticoreFactory
     from .dse.grid import ParameterGrid, geometric_range
+    from .dse.store import ResultStore
     from .resilience import DEFAULT_POLICY
 
     weight = {
@@ -590,7 +631,10 @@ def _cmd_sweep(
         workers=workers,
         resilience=DEFAULT_POLICY if workers else None,
     )
-    sweep = explorer.explore_arrays(grid, checkpoint=checkpoint, resume=resume)
+    result_store = ResultStore(store) if store else None
+    sweep = explorer.explore_arrays(
+        grid, checkpoint=checkpoint, resume=resume, store=result_store
+    )
     rows = [
         {"category": category.value, "points": count}
         for category, count in sweep.category_counts().items()
@@ -612,6 +656,13 @@ def _cmd_sweep(
     )
     if explorer.last_sweep is not None:
         print(explorer.last_sweep.summary())
+    if result_store is not None:
+        s = result_store.stats()
+        print(
+            f"store: {s.memory_hits} memory hits / {s.disk_hits} disk hits "
+            f"/ {s.misses} misses, {s.objects_written} objects written "
+            f"({s.bytes_written} bytes) in {store}"
+        )
     if explorer.last_supervision is not None and explorer.last_supervision.faults:
         print(explorer.last_supervision.summary())
     if pareto:
@@ -636,6 +687,69 @@ def _cmd_sweep(
             )
         )
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import datetime
+
+    from .dse.store import ResultStore
+
+    store = ResultStore(args.dir)
+    if args.store_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"empty store: {args.dir}")
+            return 0
+        print(
+            format_mapping_rows(
+                [
+                    {
+                        "kind": row["kind"],
+                        "fingerprint": row["fingerprint"],
+                        "what": row["what"],
+                        "entries": row["entries"],
+                        "files": row["files"],
+                        "bytes": row["bytes"],
+                        "last_used": datetime.datetime.fromtimestamp(
+                            row["last_used"]
+                        ).strftime("%Y-%m-%d %H:%M:%S"),
+                    }
+                    for row in rows
+                ],
+                title=f"result store {args.dir} (oldest first)",
+            )
+        )
+        return 0
+    if args.store_command == "stat":
+        info = store.stat()
+        for key in (
+            "root",
+            "fingerprints",
+            "sweep_fingerprints",
+            "mc_fingerprints",
+            "entries",
+            "files",
+            "bytes",
+        ):
+            print(f"{key}: {info[key]}")
+        return 0
+    if args.store_command == "gc":
+        report = store.gc(max_bytes=args.max_bytes)
+        print(
+            f"gc {args.dir}: removed {report['removed_tmp']} temp files, "
+            f"{report['removed_orphans']} orphaned objects, "
+            f"{report['removed_corrupt']} corrupt entries"
+        )
+        if report["evicted_fingerprints"]:
+            print(
+                "evicted (oldest first): "
+                + ", ".join(report["evicted_fingerprints"])
+            )
+        print(f"freed {report['freed_bytes']} bytes, {report['bytes']} remain")
+        return 0
+    raise AssertionError(
+        f"unhandled store command {args.store_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_advise(workload_name: str, regime: str) -> int:
@@ -696,7 +810,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.pareto,
             args.checkpoint,
             args.resume,
+            args.store,
         )
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "advise":
         return _cmd_advise(args.workload, args.regime)
     if args.command == "mechanisms":

@@ -32,6 +32,7 @@ from .montecarlo import (
 )
 from .optimizer import max_perf_subject_to_ncf, min_ncf_subject_to_perf
 from .sensitivity import SensitivityEntry, cached_metric, tornado
+from .store import ResultStore, StoreStats
 
 __all__ = [
     "ParameterGrid",
@@ -60,4 +61,6 @@ __all__ = [
     "sample_measurement_noise",
     "max_perf_subject_to_ncf",
     "min_ncf_subject_to_perf",
+    "ResultStore",
+    "StoreStats",
 ]

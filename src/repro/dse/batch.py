@@ -100,6 +100,7 @@ from ..resilience.supervisor import SupervisedPool
 from . import parallel as _parallel
 from .explorer import DesignFactory, ExplorationResult
 from .grid import ParameterGrid
+from .store import ChunkProbe, ResultStore, SweepStoreSession
 
 __all__ = [
     "params_key",
@@ -289,14 +290,30 @@ def _chunked(
         yield chunk
 
 
+@dataclass
+class _StoreUse:
+    """Per-sweep tally of what the persistent store contributed.
+
+    ``memo_points``/``fresh_points`` are *not* here — those fall out of
+    the cache-counter deltas (store- and checkpoint-served points bump
+    neither counter, exactly like checkpoint restore always worked).
+    """
+
+    full_chunks: int = 0
+    delta_chunks: int = 0
+    memory_points: int = 0
+    disk_points: int = 0
+
+
 class _ParallelPlan:
     """Execution state of one parallel-columnar sweep.
 
     Holds the collected grid chunks, the shared result block, the
     worker pool and the chunk-aligned shard spans still to evaluate
-    (chunks restored from a checkpoint are excluded — their rows of the
-    block are never written or read). The kernel-phase timing fields
-    feed the ``focal_parallel_*`` gauges.
+    (chunks restored from a checkpoint — and chunks the persistent
+    store holds any rows of — are excluded: their rows of the block
+    are never written or read). The kernel-phase timing fields feed
+    the ``focal_parallel_*`` gauges.
     """
 
     def __init__(
@@ -307,12 +324,16 @@ class _ParallelPlan:
         pool,
         spans: list[tuple[int, int]],
         spill_dir: str | None = None,
+        planned: set[int] | None = None,
     ) -> None:
         self.chunks = chunks
         self.chunk_size = chunk_size
         self.block = block
         self.pool = pool
         self.spans = spans
+        #: Chunk indices whose block rows the kernel phase fills —
+        #: only these may be read back via :meth:`chunk_arrays`.
+        self.planned = planned if planned is not None else set(range(len(chunks)))
         #: Crash-spill directory for worker events (None when telemetry
         #: is off) — collected and removed when the sweep winds down.
         self.spill_dir = spill_dir
@@ -449,11 +470,32 @@ class SweepEngineStats:
     shard_points: int = 0
     shm_bytes: int = 0
     worker_utilization: float = 0.0
+    #: Point provenance: memo_points came from the FactoryCache,
+    #: fresh_points actually ran the factory/kernels this sweep, and
+    #: the store_* fields (persistent-store sweeps only; store_used
+    #: marks them meaningful) split the rest by store tier.
+    memo_points: int = 0
+    fresh_points: int = 0
+    store_used: bool = False
+    store_chunks: int = 0
+    delta_chunks: int = 0
+    store_memory_points: int = 0
+    store_disk_points: int = 0
 
     @property
     def evals_per_s(self) -> float:
         """Grid points evaluated per second (0.0 for an untimed sweep)."""
         return self.grid_points / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def store_points(self) -> int:
+        """Points adopted from the persistent store (either tier)."""
+        return self.store_memory_points + self.store_disk_points
+
+    @property
+    def store_reuse_ratio(self) -> float:
+        """Store-served points over grid points (0.0 without a store)."""
+        return self.store_points / self.grid_points if self.grid_points else 0.0
 
     def summary(self) -> str:
         """One human line for CLI output."""
@@ -469,6 +511,15 @@ class SweepEngineStats:
             )
         if self.fallback_points:
             line += f", {self.fallback_points} scalar-fallback pts"
+        if self.store_used:
+            line += (
+                f", store reuse: {self.store_reuse_ratio * 100:.1f}% "
+                f"({self.store_memory_points} pts memory / "
+                f"{self.store_disk_points} pts disk / "
+                f"{self.fresh_points} fresh)"
+            )
+            if self.delta_chunks:
+                line += f", {self.delta_chunks} stitched delta chunks"
         return line
 
     def as_dict(self) -> dict[str, object]:
@@ -480,6 +531,8 @@ class SweepEngineStats:
             "fallback_points": self.fallback_points,
             "seconds": self.seconds,
             "evals_per_s": self.evals_per_s,
+            "memo_points": self.memo_points,
+            "fresh_points": self.fresh_points,
         }
         if self.shards:
             payload.update(
@@ -488,6 +541,15 @@ class SweepEngineStats:
                 shard_points=self.shard_points,
                 shm_bytes=self.shm_bytes,
                 worker_utilization=self.worker_utilization,
+            )
+        if self.store_used:
+            payload.update(
+                store_chunks=self.store_chunks,
+                delta_chunks=self.delta_chunks,
+                store_points=self.store_points,
+                store_memory_points=self.store_memory_points,
+                store_disk_points=self.store_disk_points,
+                store_reuse_ratio=self.store_reuse_ratio,
             )
         return payload
 
@@ -768,21 +830,34 @@ class BatchExplorer:
         self,
         chunks: list[Sequence[Mapping[str, object]]],
         restored: int,
+        probes: "dict[int, ChunkProbe] | None" = None,
     ) -> _ParallelPlan:
         """Allocate the sweep's shared block, plan the shard spans over
-        the non-restored suffix of the grid, and spawn the pool.
+        the still-pending chunks, and spawn the pool.
 
-        The first *restored* chunks came from a checkpoint — their rows
-        are never dispatched (and never read), which keeps resume
-        bit-exact and free of redundant kernel work. A sweep whose
-        every chunk is restored gets no pool at all.
+        The first *restored* chunks came from a checkpoint, and chunks
+        whose *probe* found any stored rows are resolved in the parent
+        (adopted whole or stitched) — neither is dispatched, and their
+        block rows are never written or read. That keeps resume and
+        store reuse bit-exact and free of redundant kernel work. A
+        sweep with no pending chunk gets no pool at all.
         """
         total = sum(len(chunk) for chunk in chunks)
-        skip = sum(len(chunk) for chunk in chunks[:restored])
         block = _parallel.ColumnarBlock.allocate(total)
-        spans = _parallel.plan_shards(
-            total, skip, self.chunk_size, self.workers
-        )
+        pending: set[int] = set()
+        for index in range(restored, len(chunks)):
+            probe = probes.get(index) if probes else None
+            if probe is None or not probe.hit_points:
+                pending.add(index)
+        runs: list[tuple[int, int]] = []
+        for index in sorted(pending):
+            lo = index * self.chunk_size
+            hi = lo + len(chunks[index])
+            if runs and runs[-1][1] == lo:
+                runs[-1] = (runs[-1][0], hi)
+            else:
+                runs.append((lo, hi))
+        spans = _parallel.plan_shard_runs(runs, self.chunk_size, self.workers)
         pool = None
         capture = _events.get_log().enabled
         spill = _events.make_spill_dir() if capture and spans else None
@@ -794,7 +869,13 @@ class BatchExplorer:
                 capture=capture,
             )
         return _ParallelPlan(
-            chunks, self.chunk_size, block, pool, spans, spill_dir=spill
+            chunks,
+            self.chunk_size,
+            block,
+            pool,
+            spans,
+            spill_dir=spill,
+            planned=pending,
         )
 
     def _parallel_kernels(
@@ -854,6 +935,7 @@ class BatchExplorer:
         *,
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
+        store: "ResultStore | str | os.PathLike | None" = None,
     ) -> BatchSweepResult:
         """Sweep *grid* and return the results as arrays.
 
@@ -875,19 +957,38 @@ class BatchExplorer:
         run configuration raises
         :class:`~repro.core.errors.CheckpointError`; a corrupt or
         truncated file is discarded and the sweep restarts cold.
+
+        With *store* set (a :class:`~repro.dse.store.ResultStore` or a
+        directory path), every evaluated chunk is persisted to the
+        fingerprint-keyed result store and every chunk is first probed
+        against it: fully stored chunks are adopted byte-identically
+        without touching the factory, partially stored chunks evaluate
+        only their missing rows and stitch (a **delta sweep** — only
+        points no earlier sweep of this factory computed run fresh).
+        The store composes with checkpoint/resume, workers and
+        resilience; store-served chunks are excluded from parallel
+        shard planning exactly like restored checkpoint chunks, and a
+        corrupt store file only means recomputation, never a wrong
+        answer.
         """
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
         mode = self._resolve_mode()
-        store = CheckpointStore.coerce(checkpoint)
-        if resume and store is None:
+        ckpt = CheckpointStore.coerce(checkpoint)
+        if resume and ckpt is None:
             raise ConfigurationError(
                 "resume=True requires a checkpoint path to resume from"
             )
+        result_store = ResultStore.coerce(store)
+        session: SweepStoreSession | None = None
+        use: _StoreUse | None = None
+        if result_store is not None:
+            session = result_store.sweep_session(self.factory)
+            use = _StoreUse()
         fingerprint: dict | None = None
         restored_chunks: list = []
-        if store is not None:
+        if ckpt is not None:
             fingerprint = sweep_fingerprint(
                 axes=grid.axes,
                 chunk_size=self.chunk_size,
@@ -896,7 +997,7 @@ class BatchExplorer:
                 factory=self.factory,
             )
             if resume:
-                state = store.load_or_restart(
+                state = ckpt.load_or_restart(
                     kind="sweep", fingerprint=fingerprint
                 )
                 if state is not None:
@@ -906,6 +1007,7 @@ class BatchExplorer:
         designs: list[DesignPoint] = []
         pool: ProcessPoolExecutor | SupervisedPool | None = None
         plan: "_ParallelPlan | None" = None
+        probes: dict[int, ChunkProbe] = {}
         with tracer.span(
             "sweep",
             grid_points=len(grid),
@@ -914,11 +1016,17 @@ class BatchExplorer:
             mode=mode,
         ) as sweep_span:
             start_s = time.perf_counter()
+            cache_before = self.cache.stats()
             try:
                 if mode == "parallel-columnar":
+                    chunks = list(_chunked(iter(grid), self.chunk_size))
+                    if session is not None:
+                        # Probe up front: chunks the store can serve (in
+                        # full or in part) must never reach the pool.
+                        for index in range(len(restored_chunks), len(chunks)):
+                            probes[index] = session.probe(chunks[index])
                     plan = self._parallel_setup(
-                        list(_chunked(iter(grid), self.chunk_size)),
-                        len(restored_chunks),
+                        chunks, len(restored_chunks), probes
                     )
                     pool = plan.pool
                     self._parallel_kernels(plan, tracer)
@@ -941,17 +1049,21 @@ class BatchExplorer:
                             before = self.cache.stats()
                         if restored:
                             outcomes = self._restore_chunk(
-                                chunk, restored_chunks[index], store
+                                chunk, restored_chunks[index], ckpt
                             )
                             saved_chunks.append(restored_chunks[index])
-                        elif plan is not None:
-                            outcomes = self._outcomes_from_arrays(
-                                chunk, plan.chunk_arrays(index)
-                            )
-                        elif mode == "columnar":
-                            outcomes = self._vector_chunk(chunk)
+                            if session is not None:
+                                # Resumed work is stored too: the next
+                                # process should not recompute it.
+                                session.put(chunk, outcomes)
                         else:
-                            outcomes = self._evaluate_chunk(chunk, pool)
+                            probe = probes.pop(index, None)
+                            if probe is None and session is not None:
+                                probe = session.probe(chunk)
+                            outcomes = self._resolve_chunk(
+                                chunk, index, probe, plan, pool, mode,
+                                session, use,
+                            )
                         valid = 0
                         for params, outcome in zip(chunk, outcomes):
                             if isinstance(outcome, DomainError):
@@ -959,9 +1071,9 @@ class BatchExplorer:
                             params_list.append(params)
                             designs.append(outcome)
                             valid += 1
-                        if store is not None and not restored:
+                        if ckpt is not None and not restored:
                             saved_chunks.append(encode_outcomes(outcomes))
-                            store.save(
+                            ckpt.save(
                                 kind="sweep",
                                 fingerprint=fingerprint,
                                 state={"chunks": saved_chunks},
@@ -976,6 +1088,8 @@ class BatchExplorer:
                                 before=before,
                             )
             finally:
+                if session is not None:
+                    session.flush()
                 if pool is not None:
                     pool.shutdown(cancel_futures=True)
                 if plan is not None:
@@ -995,12 +1109,16 @@ class BatchExplorer:
             with tracer.span("classify", points=len(designs)):
                 perf, ncf_fw, ncf_ft = self._ncf_arrays(designs)
                 codes = classify_arrays(ncf_fw, ncf_ft)
+            cache_after = self.cache.stats()
             stats = self._engine_stats(
                 mode=mode,
                 grid_points=len(grid),
                 valid_points=len(params_list),
                 seconds=time.perf_counter() - start_s,
                 plan=plan,
+                use=use,
+                memo_points=cache_after.hits - cache_before.hits,
+                fresh_points=cache_after.misses - cache_before.misses,
             )
             if observing:
                 self._observe_sweep(registry, sweep_span, stats)
@@ -1035,6 +1153,69 @@ class BatchExplorer:
             )
         outcomes = decode_outcomes(rows)
         self.cache.store_many(params_keys(chunk), outcomes)
+        return outcomes
+
+    def _resolve_chunk(
+        self,
+        chunk: Sequence[Mapping[str, object]],
+        index: int,
+        probe: "ChunkProbe | None",
+        plan: "_ParallelPlan | None",
+        pool,
+        mode: str,
+        session: "SweepStoreSession | None",
+        use: "_StoreUse | None",
+    ) -> list[DesignPoint | DomainError]:
+        """Evaluate one non-restored chunk, adopting stored rows.
+
+        A complete store hit replays the decoded outcomes into the
+        cache without bumping its counters — exactly like checkpoint
+        restore, so "fresh evaluations" stays measurable as the cache
+        miss delta. A partial hit evaluates only the missing rows
+        through the mode-appropriate path and stitches. A full miss
+        takes the unmodified fast paths. Every chunk that ran any
+        evaluation is written back to the store.
+        """
+        if probe is not None and probe.complete:
+            outcomes = probe.outcomes
+            self.cache.store_many(params_keys(chunk), outcomes)
+            use.full_chunks += 1
+            use.memory_points += probe.memory_points
+            use.disk_points += probe.disk_points
+            return outcomes
+        if probe is None or not probe.hit_points:
+            if plan is not None and index in plan.planned:
+                outcomes = self._outcomes_from_arrays(
+                    chunk, plan.chunk_arrays(index)
+                )
+            elif mode in COLUMNAR_MODES:
+                outcomes = self._vector_chunk(chunk)
+            else:
+                outcomes = self._evaluate_chunk(chunk, pool)
+            if session is not None:
+                session.put(chunk, outcomes, probe)
+            return outcomes
+        # Delta stitch: only the rows no earlier sweep stored run fresh.
+        # The columnar kernels are elementwise, so evaluating the
+        # missing subset as its own (smaller) chunk is bit-exact.
+        sub = [chunk[row] for row in probe.missing]
+        if mode in COLUMNAR_MODES:
+            sub_outcomes = self._vector_chunk(sub)
+        else:
+            sub_outcomes = self._evaluate_chunk(sub, pool)
+        outcomes = probe.outcomes
+        for row, outcome in zip(probe.missing, sub_outcomes):
+            outcomes[row] = outcome
+        keys = params_keys(chunk)
+        missing = set(probe.missing)
+        self.cache.store_many(
+            [key for row, key in enumerate(keys) if row not in missing],
+            [out for row, out in enumerate(outcomes) if row not in missing],
+        )
+        use.delta_chunks += 1
+        use.memory_points += probe.memory_points
+        use.disk_points += probe.disk_points
+        session.put(chunk, outcomes, probe)
         return outcomes
 
     def _record_supervision(
@@ -1108,6 +1289,9 @@ class BatchExplorer:
         valid_points: int,
         seconds: float,
         plan: "_ParallelPlan | None" = None,
+        use: "_StoreUse | None" = None,
+        memo_points: int = 0,
+        fresh_points: int = 0,
     ) -> SweepEngineStats:
         """Snapshot how the sweep executed and publish it as
         :attr:`last_sweep` (recorded unconditionally — the CLI summary
@@ -1128,6 +1312,14 @@ class BatchExplorer:
                     min(1.0, plan.busy / wall) if wall > 0 else 0.0
                 ),
             }
+        if use is not None:
+            extras.update(
+                store_used=True,
+                store_chunks=use.full_chunks,
+                delta_chunks=use.delta_chunks,
+                store_memory_points=use.memory_points,
+                store_disk_points=use.disk_points,
+            )
         stats = SweepEngineStats(
             mode=mode,
             grid_points=grid_points,
@@ -1135,6 +1327,8 @@ class BatchExplorer:
             vector_points=grid_points if vector else 0,
             fallback_points=fallback,
             seconds=seconds,
+            memo_points=memo_points,
+            fresh_points=fresh_points,
             **extras,  # type: ignore[arg-type]
         )
         object.__setattr__(self, "last_sweep", stats)
@@ -1163,6 +1357,17 @@ class BatchExplorer:
             )
             if engine.mode in COLUMNAR_MODES:
                 sweep_span.set(vector_evals_per_s=engine.evals_per_s)
+            if engine.store_used:
+                sweep_span.set(
+                    store_chunks=engine.store_chunks,
+                    delta_chunks=engine.delta_chunks,
+                    store_points=engine.store_points,
+                    store_memory_points=engine.store_memory_points,
+                    store_disk_points=engine.store_disk_points,
+                    store_reuse_ratio=engine.store_reuse_ratio,
+                    memo_points=engine.memo_points,
+                    fresh_points=engine.fresh_points,
+                )
         if registry.enabled:
             registry.gauge(
                 "focal_cache_hit_ratio", "factory cache hits / lookups"
@@ -1205,6 +1410,21 @@ class BatchExplorer:
                     "worker busy seconds / (kernel wall x workers), "
                     "last parallel-columnar sweep",
                 ).set(engine.worker_utilization)
+            if engine.store_used:
+                registry.counter(
+                    "focal_store_sweep_points_total",
+                    "grid points adopted from the persistent result store",
+                ).inc(engine.store_points)
+                if engine.delta_chunks:
+                    registry.counter(
+                        "focal_store_delta_chunks_total",
+                        "partially stored chunks stitched by delta sweeps",
+                    ).inc(engine.delta_chunks)
+                registry.gauge(
+                    "focal_store_reuse_ratio",
+                    "store-served points / grid points, last store-backed "
+                    "sweep",
+                ).set(engine.store_reuse_ratio)
 
     def _ncf_arrays(
         self, designs: Sequence[DesignPoint]
@@ -1241,12 +1461,14 @@ class BatchExplorer:
         *,
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
+        store: "ResultStore | str | os.PathLike | None" = None,
     ) -> list[ExplorationResult]:
         """Drop-in replacement for ``Explorer.explore`` (same ordering,
         same skips, bit-exact values) on the vectorized engine.
-        ``checkpoint``/``resume`` behave as in :meth:`explore_arrays`."""
+        ``checkpoint``/``resume``/``store`` behave as in
+        :meth:`explore_arrays`."""
         return self.explore_arrays(
-            grid, checkpoint=checkpoint, resume=resume
+            grid, checkpoint=checkpoint, resume=resume, store=store
         ).results()
 
     def count_categories(self, grid: ParameterGrid) -> dict[Sustainability, int]:
@@ -1276,6 +1498,7 @@ class BatchExplorer:
             "sweep.count", grid_points=len(grid), mode=mode
         ) as sweep_span:
             start_s = time.perf_counter()
+            cache_before = self.cache.stats()
             if use_vector:
                 codes_hist, valid = self._count_columnar(grid, tracer)
             else:
@@ -1295,11 +1518,14 @@ class BatchExplorer:
                 category: int(codes_hist[code])
                 for code, category in enumerate(CATEGORIES)
             }
+            cache_after = self.cache.stats()
             stats = self._engine_stats(
                 mode=mode,
                 grid_points=len(grid),
                 valid_points=valid,
                 seconds=time.perf_counter() - start_s,
+                memo_points=cache_after.hits - cache_before.hits,
+                fresh_points=cache_after.misses - cache_before.misses,
             )
             if observing:
                 self._observe_sweep(registry, sweep_span, stats)

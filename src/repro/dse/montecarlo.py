@@ -13,6 +13,18 @@ restores the codes and the generator state and continues drawing —
 NumPy ``Generator`` streams are split-invariant, so the chunked,
 killed-and-resumed run produces byte-identical probabilities to an
 uninterrupted one.
+
+Both samplers also accept ``store``: a persistent
+:class:`~repro.dse.store.ResultStore` that keeps classified rng-stream
+*segments* keyed by the sampler fingerprint (minus the sample total)
+plus the segment's ``(start, count)`` position. A re-run of the same
+configuration — even asking for *more* samples — replays the stored
+prefix byte-identically (each segment carries the post-segment
+generator state, which is the only way to continue a data-dependent
+draw like the lognormal ziggurat) and only draws what the store has
+never seen. Segments are cut at ``checkpoint_every`` boundaries, so a
+reader with a different ``checkpoint_every`` conservatively recomputes
+rather than risking a misaligned splice.
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..resilience.checkpoint import CheckpointStore
+from .store import ResultStore
 
 __all__ = [
     "CategoryProbabilities",
@@ -299,39 +312,58 @@ def _checkpointed_codes(
     resume: bool,
     checkpoint_every: int,
     fingerprint: dict,
-) -> np.ndarray:
+    store: "ResultStore | str | os.PathLike | None" = None,
+) -> tuple[np.ndarray, int]:
     """Draw+classify *samples* codes, chunk-checkpointing the stream.
 
     ``draw(rng, start, n)`` consumes exactly the generator variates an
     uninterrupted run would for samples ``[start, start + n)`` and
     returns their classification codes (*start* lets parallel draws
     position independent generators on the stream). Without a
-    checkpoint the whole range is one draw; with one, the stream
-    advances ``checkpoint_every`` samples at a time, persisting codes +
-    RNG state after each chunk. Either way the concatenated codes are
-    identical — NumPy ``Generator`` streams do not depend on how the
-    draw is split.
+    checkpoint or store the whole range is one draw; otherwise the
+    stream advances ``checkpoint_every`` samples at a time, persisting
+    codes + RNG state after each chunk. Either way the concatenated
+    codes are identical — NumPy ``Generator`` streams do not depend on
+    how the draw is split.
+
+    With a persistent *store*, each segment is first looked up by
+    ``(fingerprint minus samples, start, count)``: a hit adopts the
+    stored codes and jumps the generator to the stored post-segment
+    state instead of drawing; a miss draws and persists the segment.
+    Returns ``(codes, store_samples)`` — the second element counts
+    samples replayed from the store.
     """
     if checkpoint_every < 1:
         raise ValidationError(
             f"checkpoint_every must be >= 1, got {checkpoint_every}"
         )
-    store = CheckpointStore.coerce(checkpoint)
-    if resume and store is None:
+    ckpt = CheckpointStore.coerce(checkpoint)
+    if resume and ckpt is None:
         raise ConfigurationError(
             "resume=True requires a checkpoint path to resume from"
         )
+    result_store = ResultStore.coerce(store)
+    segment_fp: dict | None = None
+    if result_store is not None:
+        # The sample total is deliberately dropped: segments of a
+        # 10k-sample run are a bit-exact prefix of a 100k-sample run of
+        # the same configuration, so the longer run reuses them.
+        segment_fp = {
+            key: value for key, value in fingerprint.items() if key != "samples"
+        }
+        segment_fp["checkpoint_every"] = checkpoint_every
     rng = np.random.default_rng(seed)
     done: list[np.ndarray] = []
     drawn = 0
-    if store is not None and resume:
-        state = store.load_or_restart(kind="montecarlo", fingerprint=fingerprint)
+    reused = 0
+    if ckpt is not None and resume:
+        state = ckpt.load_or_restart(kind="montecarlo", fingerprint=fingerprint)
         if state is not None:
             codes = state.get("codes")
             rng_state = state.get("rng_state")
             if not isinstance(codes, list) or len(codes) > samples:
                 raise CheckpointError(
-                    f"checkpoint {store.path} records "
+                    f"checkpoint {ckpt.path} records "
                     f"{len(codes) if isinstance(codes, list) else '?'} codes "
                     f"for a {samples}-sample run"
                 )
@@ -339,13 +371,31 @@ def _checkpointed_codes(
                 done.append(np.asarray(codes, dtype=np.int8))
                 drawn = len(codes)
                 rng.bit_generator.state = rng_state
-    step = samples if store is None else checkpoint_every
+    step = (
+        samples if ckpt is None and result_store is None else checkpoint_every
+    )
     while drawn < samples:
         count = min(step, samples - drawn)
-        done.append(draw(rng, drawn, count))
+        segment = (
+            result_store.load_segment(segment_fp, drawn, count)
+            if result_store is not None
+            else None
+        )
+        if segment is not None:
+            codes_arr, rng_state = segment
+            rng.bit_generator.state = rng_state
+            reused += count
+        else:
+            codes_arr = draw(rng, drawn, count)
+            if result_store is not None:
+                result_store.save_segment(
+                    segment_fp, drawn, count, codes_arr,
+                    rng.bit_generator.state,
+                )
+        done.append(codes_arr)
         drawn += count
-        if store is not None:
-            store.save(
+        if ckpt is not None:
+            ckpt.save(
                 kind="montecarlo",
                 fingerprint=fingerprint,
                 state={
@@ -353,7 +403,7 @@ def _checkpointed_codes(
                     "rng_state": rng.bit_generator.state,
                 },
             )
-    return done[0] if len(done) == 1 else np.concatenate(done)
+    return (done[0] if len(done) == 1 else np.concatenate(done)), reused
 
 
 def sample_verdicts(
@@ -367,6 +417,7 @@ def sample_verdicts(
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     checkpoint_every: int = 4096,
+    store: "ResultStore | str | os.PathLike | None" = None,
 ) -> CategoryProbabilities:
     """Sample alpha uniformly over the weight band and classify.
 
@@ -384,8 +435,9 @@ def sample_verdicts(
     worker count resumes at any other.
 
     ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
-    chunked sampling (see the module docs); results are bit-identical
-    with or without them.
+    chunked sampling, and ``store`` persistent cross-run segment reuse
+    (see the module docs); results are bit-identical with or without
+    them.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -431,7 +483,7 @@ def sample_verdicts(
             return classify_arrays(ncf_fw, ncf_ft)
 
         try:
-            codes = _checkpointed_codes(
+            codes, store_samples = _checkpointed_codes(
                 draw,
                 samples=samples,
                 seed=seed,
@@ -446,9 +498,12 @@ def sample_verdicts(
                     "samples": samples,
                     "seed": seed,
                 },
+                store=store,
             )
         finally:
             _mc_wind_down(pool, spill)
+        if store is not None and sp is not _trace.NULL_SPAN:
+            sp.set(store_samples=store_samples)
         return _observed_from_codes(
             codes, samples, "sample_verdicts", start_s, sp, registry
         )
@@ -466,6 +521,7 @@ def sample_measurement_noise(
     checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
     resume: bool = False,
     checkpoint_every: int = 4096,
+    store: "ResultStore | str | os.PathLike | None" = None,
 ) -> CategoryProbabilities:
     """Verdict robustness to *measurement* uncertainty (paper §2).
 
@@ -486,8 +542,10 @@ def sample_measurement_noise(
     from the checkpoint fingerprint.
 
     ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
-    chunked sampling (see the module docs); results are bit-identical
-    with or without them.
+    chunked sampling, and ``store`` persistent cross-run segment reuse
+    (the stored post-segment generator state is what makes this work
+    for the ziggurat's data-dependent stream consumption — see the
+    module docs); results are bit-identical with or without them.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -532,7 +590,7 @@ def sample_measurement_noise(
             return classify_arrays(ncf_fw, ncf_ft)
 
         try:
-            codes = _checkpointed_codes(
+            codes, store_samples = _checkpointed_codes(
                 draw,
                 samples=samples,
                 seed=seed,
@@ -548,9 +606,12 @@ def sample_measurement_noise(
                     "samples": samples,
                     "seed": seed,
                 },
+                store=store,
             )
         finally:
             _mc_wind_down(pool, spill)
+        if store is not None and sp is not _trace.NULL_SPAN:
+            sp.set(store_samples=store_samples)
         return _observed_from_codes(
             codes, samples, "sample_measurement_noise", start_s, sp, registry
         )

@@ -46,6 +46,7 @@ from ..obs import events as _events
 __all__ = [
     "ColumnarBlock",
     "plan_shards",
+    "plan_shard_runs",
     "live_blocks",
     "set_worker_state",
     "clear_worker_state",
@@ -212,11 +213,36 @@ def plan_shards(
     """
     if start >= total:
         return []
-    pending_chunks = -(-(total - start) // chunk_size)
-    per_shard = max(1, -(-pending_chunks // (max(1, workers) * SHARDS_PER_WORKER)))
+    return plan_shard_runs([(start, total)], chunk_size, workers)
+
+
+def plan_shard_runs(
+    runs: list[tuple[int, int]], chunk_size: int, workers: int
+) -> list[tuple[int, int]]:
+    """Shard spans over arbitrary pending point *runs*, not just a
+    suffix of the grid.
+
+    Checkpoint resume skips a prefix, but a persistent result store can
+    satisfy *any* subset of chunks — what remains to evaluate is a list
+    of contiguous ``[lo, hi)`` point runs. Each run is split into
+    chunk-aligned spans exactly like :func:`plan_shards` would split
+    the whole grid, with the shard width budgeted over the total
+    pending work so the :data:`SHARDS_PER_WORKER` balance holds across
+    runs (a span never straddles two runs — the gap between them is
+    already-known work whose block rows must stay untouched).
+    """
+    pending_chunks = sum(-(-(hi - lo) // chunk_size) for lo, hi in runs if hi > lo)
+    if not pending_chunks:
+        return []
+    per_shard = max(
+        1, -(-pending_chunks // (max(1, workers) * SHARDS_PER_WORKER))
+    )
     span = per_shard * chunk_size
     return [
-        (lo, min(lo + span, total)) for lo in range(start, total, span)
+        (lo, min(lo + span, hi))
+        for run_lo, hi in runs
+        if hi > run_lo
+        for lo in range(run_lo, hi, span)
     ]
 
 

@@ -37,6 +37,12 @@ On top of the decomposition the report derives per-worker utilization
 speedup: with serial time ``s`` and total compute ``c``, a perfect
 ``N``-worker run takes ``s + c/N`` against a serial ``s + c`` — the
 ceiling the current pool should be measured against.
+
+Sweeps recorded with reuse telemetry (any store-backed run) also carry
+a point-provenance section: how many grid points came from the store's
+memory tier, its disk tier, the in-process factory memo, and fresh
+evaluation — so a "suspiciously fast" sweep is explained rather than
+mis-attributed to compute.
 """
 
 from __future__ import annotations
@@ -80,6 +86,10 @@ class ProfileReport:
     compute_total_s: float
     amdahl_attainable: float
     achieved_speedup_estimate: float
+    #: Point-provenance split when the sweep ran with reuse telemetry
+    #: (memo/store/fresh counts from the sweep span attributes); None
+    #: for traces recorded before the result store existed.
+    reuse: dict | None = None
     top_cost: str = field(init=False)
 
     def __post_init__(self) -> None:
@@ -115,13 +125,22 @@ def profile_report(report: dict) -> ProfileReport:
             "no completed 'sweep' span in this report — profile a run of "
             "focal sweep --workers N --trace FILE"
         )
+    attrs = sweep.get("attributes", {}) or {}
+    reuse = _reuse_split(attrs)
     kernels = _find_span(list(sweep.get("children", ())), "kernels")
-    workers = int(sweep.get("attributes", {}).get("workers", 0) or 0)
+    workers = int(attrs.get("workers", 0) or 0)
     if kernels is None or kernels.get("duration_s") is None or workers < 1:
-        raise ValidationError(
+        detail = (
             "this sweep has no kernel phase to attribute — the profiler "
             "needs a parallel-columnar run (workers > 0, cold cache)"
         )
+        if reuse is not None and not reuse["fresh"]:
+            detail += (
+                f"; this run was served entirely from reuse "
+                f"({reuse['store_memory'] + reuse['store_disk']} store pts, "
+                f"{reuse['memo']} memoized) — nothing was evaluated"
+            )
+        raise ValidationError(detail)
     shards = [
         row
         for row in report.get("events", []) or []
@@ -210,7 +229,27 @@ def profile_report(report: dict) -> ProfileReport:
         compute_total_s=sum_compute,
         amdahl_attainable=t1 / t_n_ideal if t_n_ideal > 0 else 0.0,
         achieved_speedup_estimate=t1 / wall if wall > 0 else 0.0,
+        reuse=reuse,
     )
+
+
+def _reuse_split(attrs: dict) -> dict | None:
+    """The sweep's point-provenance split, when its span recorded one.
+
+    ``store_points`` only lands on the span for store-backed sweeps, so
+    its presence is the signal that the reuse telemetry exists at all.
+    """
+    if "store_points" not in attrs:
+        return None
+    return {
+        "store_memory": int(attrs.get("store_memory_points", 0) or 0),
+        "store_disk": int(attrs.get("store_disk_points", 0) or 0),
+        "memo": int(attrs.get("memo_points", 0) or 0),
+        "fresh": int(attrs.get("fresh_points", 0) or 0),
+        "store_chunks": int(attrs.get("store_chunks", 0) or 0),
+        "delta_chunks": int(attrs.get("delta_chunks", 0) or 0),
+        "reuse_ratio": float(attrs.get("store_reuse_ratio", 0.0) or 0.0),
+    }
 
 
 def render_profile(profile: ProfileReport) -> str:
@@ -260,4 +299,35 @@ def render_profile(profile: ProfileReport) -> str:
             f"note: only {profile.observed_workers} of {profile.workers} "
             "planned workers reported shard events"
         )
-    return "\n\n".join([attribution, worker_rows, "\n".join(lines)])
+    sections = [attribution, worker_rows]
+    if profile.reuse is not None:
+        reuse = profile.reuse
+        total = (
+            reuse["store_memory"]
+            + reuse["store_disk"]
+            + reuse["memo"]
+            + reuse["fresh"]
+        ) or 1
+        reuse_rows = format_mapping_rows(
+            [
+                {
+                    "source": label,
+                    "points": reuse[key],
+                    "share": f"{100.0 * reuse[key] / total:.1f}%",
+                }
+                for label, key in (
+                    ("store (memory)", "store_memory"),
+                    ("store (disk)", "store_disk"),
+                    ("memoized", "memo"),
+                    ("fresh", "fresh"),
+                )
+            ],
+            title=(
+                f"point provenance ({reuse['store_chunks']} whole chunks "
+                f"from the store, {reuse['delta_chunks']} stitched delta "
+                "chunks)"
+            ),
+        )
+        sections.append(reuse_rows)
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)

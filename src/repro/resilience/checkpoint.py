@@ -42,6 +42,8 @@ __all__ = [
     "encode_outcomes",
     "decode_outcomes",
     "describe_factory",
+    "canonical_json",
+    "sha256_hex",
 ]
 
 #: Format tag written into (and required from) every checkpoint file.
@@ -57,15 +59,27 @@ class _CorruptCheckpoint(CheckpointError):
     """
 
 
-def _canonical(payload: object) -> str:
-    """The canonical serialization the checksum is computed over."""
+def canonical_json(payload: object) -> str:
+    """The canonical serialization checksums are computed over.
+
+    Shared with :mod:`repro.dse.store` so every durable FOCAL file —
+    checkpoints and persistent result-store documents alike — hashes
+    the same byte stream for the same payload.
+    """
     return json.dumps(
         payload, sort_keys=True, separators=(",", ":"), default=str
     )
 
 
-def _sha256(text: str) -> str:
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of *text* (the content-checksum primitive)."""
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# Historical private names; every internal call site predates the
+# public aliases.
+_canonical = canonical_json
+_sha256 = sha256_hex
 
 
 class CheckpointStore:

@@ -114,6 +114,47 @@ class TestProfileReport:
         with pytest.raises(ValidationError, match="events"):
             profile_report(_report([]))
 
+    def test_reuse_split_from_sweep_attributes(self):
+        report = _report([_shard(1, 0.2, 0.6, compute=0.5)])
+        report["trace"][0]["attributes"].update(
+            store_points=60,
+            store_memory_points=10,
+            store_disk_points=50,
+            memo_points=5,
+            fresh_points=35,
+            store_chunks=3,
+            delta_chunks=1,
+            store_reuse_ratio=0.6,
+        )
+        profile = profile_report(report)
+        assert profile.reuse == {
+            "store_memory": 10,
+            "store_disk": 50,
+            "memo": 5,
+            "fresh": 35,
+            "store_chunks": 3,
+            "delta_chunks": 1,
+            "reuse_ratio": 0.6,
+        }
+
+    def test_no_store_attributes_means_no_reuse_section(self):
+        profile = profile_report(_report([_shard(1, 0.2, 0.6, compute=0.5)]))
+        assert profile.reuse is None
+
+    def test_fully_reused_sweep_explained_in_kernel_error(self):
+        report = _report([], workers=0)
+        report["trace"][0]["children"] = []
+        report["trace"][0]["attributes"].update(
+            store_points=100,
+            store_memory_points=0,
+            store_disk_points=100,
+            memo_points=0,
+            fresh_points=0,
+            store_reuse_ratio=1.0,
+        )
+        with pytest.raises(ValidationError, match="served entirely from reuse"):
+            profile_report(report)
+
 
 class TestRenderProfile:
     def test_page_has_attribution_workers_and_verdict(self):
@@ -135,3 +176,28 @@ class TestRenderProfile:
         report = _report([_shard(1, 0.2, 0.3, compute=0.3)], workers=4)
         page = render_profile(profile_report(report))
         assert "only 1 of 4 planned workers" in page
+
+    def test_reuse_section_rendered_when_present(self):
+        report = _report([_shard(1, 0.2, 0.6, compute=0.5)])
+        report["trace"][0]["attributes"].update(
+            store_points=60,
+            store_memory_points=10,
+            store_disk_points=50,
+            memo_points=5,
+            fresh_points=35,
+            store_chunks=3,
+            delta_chunks=1,
+            store_reuse_ratio=0.6,
+        )
+        page = render_profile(profile_report(report))
+        assert "point provenance" in page
+        assert "store (memory)" in page
+        assert "store (disk)" in page
+        assert "memoized" in page
+        assert "1 stitched delta" in page
+
+    def test_no_reuse_section_without_store(self):
+        page = render_profile(
+            profile_report(_report([_shard(1, 0.2, 0.6, compute=0.5)]))
+        )
+        assert "point provenance" not in page

@@ -88,7 +88,10 @@ class TestClassificationProperties:
         antisymmetric in general."""
         forward = ncf(x, y, scenario, alpha)
         backward = ncf(y, x, scenario, alpha)
-        assert backward >= 1.0 / forward - 1e-9
+        # Relative slack: at alpha extremes NCF degenerates to a pure
+        # ratio, where backward == 1/forward only up to rounding — an
+        # absolute epsilon drowns when the ratio is ~1e7.
+        assert backward >= (1.0 / forward) * (1.0 - 1e-12)
 
     @given(designs("x"), designs("y"), alphas)
     def test_strong_forward_implies_less_backward(self, x, y, alpha):

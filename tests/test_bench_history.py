@@ -52,6 +52,18 @@ class TestHelpers:
         )
         assert keys == {"warm_speedup": 3.0, "parallel_speedup": 1.24}
 
+    def test_speedup_keys_excludes_unenforced_gates(self):
+        keys = bench_history.speedup_keys(
+            {
+                "parallel_speedup": 0.39,
+                "parallel_gate_enforced": False,
+                "store_warm_speedup": 24.0,
+                "store_warm_gate_enforced": True,
+                "warm_speedup": 3.0,
+            }
+        )
+        assert keys == {"store_warm_speedup": 24.0, "warm_speedup": 3.0}
+
     def test_load_history_skips_torn_trailing_line(self, tmp_path):
         ledger = tmp_path / "history.jsonl"
         ledger.write_text(
@@ -99,6 +111,25 @@ class TestFindRegressions:
         history = [_record(bench="obs_overhead", warm_speedup=50.0)]
         runs = [_record(bench="dse_engine", warm_speedup=1.1)]
         assert bench_history.find_regressions(runs, history, 0.20) == []
+
+    def test_advisory_points_neither_seed_nor_gate(self):
+        """A ``*_gate_enforced: false`` figure (e.g. the pool speedup on
+        a 1-CPU host) is measured-but-not-promised: it must not become
+        the baseline other runs regress against, and a later advisory
+        run must not be gated either."""
+        history = [_record(parallel_speedup=5.0, parallel_gate_enforced=False)]
+        advisory_run = [
+            _record(parallel_speedup=0.4, parallel_gate_enforced=False)
+        ]
+        assert (
+            bench_history.find_regressions(advisory_run, history, 0.20) == []
+        )
+        enforced_run = [
+            _record(parallel_speedup=0.4, parallel_gate_enforced=True)
+        ]
+        assert (
+            bench_history.find_regressions(enforced_run, history, 0.20) == []
+        )
 
     def test_fresh_platform_only_seeds(self):
         assert (

@@ -196,6 +196,88 @@ class TestSweep:
         assert "NCF_fw" in out
 
 
+class TestSweepStore:
+    def _sweep(self, store) -> list[str]:
+        return ["sweep", "--max-cores", "8", "--store", str(store)]
+
+    def test_cold_then_warm_reuse(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(self._sweep(store)) == 0
+        cold = capsys.readouterr().out
+        assert "store reuse: 0.0%" in cold
+        assert "objects written" in cold
+        assert main(self._sweep(store)) == 0
+        warm = capsys.readouterr().out
+        assert "store reuse: 100.0%" in warm
+        assert "0 misses" in warm
+        # identical tables: only the engine/cache/store diagnostics move
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith(("engine:", "cache:", "store:"))
+        ]
+        assert strip(warm) == strip(cold)
+
+    def test_warm_checkpoint_bytes_identical(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        cold_ck = tmp_path / "cold.ckpt"
+        warm_ck = tmp_path / "warm.ckpt"
+        assert main(self._sweep(store) + ["--checkpoint", str(cold_ck)]) == 0
+        assert main(self._sweep(store) + ["--checkpoint", str(warm_ck)]) == 0
+        capsys.readouterr()
+        assert cold_ck.read_bytes() == warm_ck.read_bytes()
+
+    def test_foreign_directory_exits_2(self, tmp_path, capsys):
+        (tmp_path / "keep.txt").write_text("not a store")
+        assert main(self._sweep(tmp_path)) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "--max-cores", "8", "--store", str(store)]) == 0
+        return store
+
+    def test_ls_lists_fingerprints(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "ls", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "SymmetricMulticoreFactory" in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["store", "ls", str(tmp_path / "absent")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_stat_totals(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stat", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints: 1" in out
+        assert "sweep_fingerprints: 1" in out
+        assert "bytes:" in out
+
+    def test_gc_reports_and_max_bytes_evicts(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "gc", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 temp files" in out
+        assert main(["store", "gc", str(store), "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted (oldest first): sweeps/" in out
+        assert main(["store", "ls", str(store)]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_gc_foreign_directory_exits_2(self, tmp_path, capsys):
+        (tmp_path / "keep.txt").write_text("not a store")
+        assert main(["store", "gc", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestVersion:
     def test_prints_version(self, capsys):
         import repro

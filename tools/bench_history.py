@@ -41,11 +41,21 @@ def node_signature(node: dict) -> tuple:
 
 def speedup_keys(results: dict) -> dict[str, float]:
     """The figures of merit gated by the history: every numeric
-    ``*_speedup`` entry (higher is better)."""
+    ``*_speedup`` entry (higher is better).
+
+    Advisory figures are excluded: when the run also recorded
+    ``<name>_gate_enforced: false`` the speedup was measured but not
+    promised (e.g. ``parallel_speedup`` on a 1-CPU host, where the pool
+    can only lose). Those points must neither seed a baseline other
+    runs are gated against nor be gated themselves.
+    """
     return {
         key: float(value)
         for key, value in results.items()
-        if key.endswith("_speedup") and isinstance(value, (int, float))
+        if key.endswith("_speedup")
+        and isinstance(value, (int, float))
+        and results.get(key.removesuffix("_speedup") + "_gate_enforced")
+        is not False
     }
 
 
