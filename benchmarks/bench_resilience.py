@@ -12,7 +12,10 @@ mirroring how ``bench_obs_overhead`` gates observability:
   killed via ``os._exit``, a worker oversleeping its chunk timeout, a
   mid-sweep crash followed by ``resume=True``) must each produce a
   sweep identical to the fault-free reference, down to the NCF bit
-  patterns.
+  patterns. The containment scenarios extend the same gate: poison
+  points are quarantined with every *survivor* byte-identical, a
+  wedged pool is watchdog-reaped well inside its hang, and a salvaged
+  partial run resumes to byte-identical completion.
 
 The module writes ``BENCH_resilience.json`` at the repo root and
 **gates** both properties at teardown: every chaos scenario that ran
@@ -37,7 +40,8 @@ from repro.dse.batch import BatchExplorer, BatchSweepResult, FactoryCache, _chun
 from repro.dse.factories import SymmetricMulticoreFactory
 from repro.dse.grid import ParameterGrid, linear_range
 from repro.obs import trace as obs_trace
-from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience import FaultPlan, QuarantineLedger, RetryPolicy
+from repro.resilience.containment import point_key
 
 FACTORY = SymmetricMulticoreFactory()
 BASELINE = DesignPoint.baseline("1-BCE single core")
@@ -50,7 +54,14 @@ GRID = ParameterGrid(
 CHAOS_GRID = ParameterGrid({"cores": list(range(1, 33)), "f": [0.5, 0.9]})
 CHAOS_CHUNK = 16  # 64 points / 4 chunks: small, the guarantees scale
 OVERHEAD_GATE = 0.05  # disabled resilience must cost < 5%
-PARITY_KEYS = ("crash_parity", "timeout_parity", "resume_parity")
+PARITY_KEYS = (
+    "crash_parity",
+    "timeout_parity",
+    "resume_parity",
+    "quarantine_parity",
+    "watchdog_parity",
+    "salvage_parity",
+)
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
 
@@ -130,6 +141,24 @@ def assert_identical(result: BatchSweepResult, reference: BatchSweepResult) -> N
     assert np.array_equal(result.ncf_fixed_work, reference.ncf_fixed_work)
     assert np.array_equal(result.ncf_fixed_time, reference.ncf_fixed_time)
     assert np.array_equal(result.codes, reference.codes)
+
+
+def assert_survivors_identical(
+    result: BatchSweepResult, reference: BatchSweepResult, quarantined
+) -> None:
+    """Every non-quarantined point is byte-identical to the reference."""
+    excluded = {point_key(params) for params in quarantined}
+    keep = [
+        index
+        for index, params in enumerate(reference.params)
+        if point_key(params) not in excluded
+    ]
+    assert len(keep) == len(reference.params) - len(excluded)
+    assert tuple(result.params) == tuple(reference.params[i] for i in keep)
+    assert tuple(result.designs) == tuple(reference.designs[i] for i in keep)
+    assert np.array_equal(result.ncf_fixed_work, reference.ncf_fixed_work[keep])
+    assert np.array_equal(result.ncf_fixed_time, reference.ncf_fixed_time[keep])
+    assert np.array_equal(result.codes, reference.codes[keep])
 
 
 def _best_of(fn, rounds: int = 5) -> float:
@@ -295,3 +324,109 @@ def test_chaos_kill_then_resume(tmp_path, reference, emit):
     assert_identical(result, reference)
     _RESULTS["resume_parity"] = "byte-identical"
     emit("chaos kill-then-resume: recovered byte-identical")
+
+
+# ----------------------------------------------------------------------
+# Containment parity: quarantine, watchdog, salvage-resume
+# ----------------------------------------------------------------------
+
+
+def test_chaos_poison_quarantine(tmp_path, fast_policy, reference, emit):
+    """Deterministic killers are bisected out; survivors stay bit-exact."""
+    plan = FaultPlan.plan(CHAOS_GRID, seed=23, state_dir=tmp_path, poisons=2)
+    policy = RetryPolicy(max_retries=1, backoff_base_s=0.001, chunk_timeout_s=15.0)
+    explorer = _cold_explorer(
+        factory=plan.wrap(FACTORY),
+        chunk_size=CHAOS_CHUNK,
+        workers=2,
+        resilience=policy,
+    )
+    result = explorer.explore_arrays(
+        CHAOS_GRID, quarantine=QuarantineLedger(tmp_path / "poison.json")
+    )
+    assert len(result.quarantined) == 2
+    assert {point_key(p) for p in result.quarantined} == {
+        point_key(p) for p in plan.poison_points
+    }
+    assert_survivors_identical(result, reference, result.quarantined)
+    stats = explorer.last_supervision
+    assert stats.quarantined == 2
+    _RESULTS["quarantine_parity"] = "byte-identical"
+    _RESULTS["quarantine_stats"] = stats.as_dict()
+    emit(f"chaos poison: 2 quarantined, survivors byte-identical ({stats.summary()})")
+
+
+def test_chaos_watchdog_reap(tmp_path, reference, emit):
+    """A wedged pool is reaped on stale heartbeats, far inside the hang."""
+    plan = FaultPlan.plan(
+        CHAOS_GRID, seed=37, state_dir=tmp_path, stales=1, stale_s=60.0
+    )
+    policy = RetryPolicy(
+        max_retries=2,
+        backoff_base_s=0.001,
+        chunk_timeout_s=None,
+        heartbeat_timeout_s=0.5,
+    )
+    explorer = _cold_explorer(
+        factory=plan.wrap(FACTORY),
+        chunk_size=CHAOS_CHUNK,
+        workers=2,
+        resilience=policy,
+    )
+    start = time.perf_counter()
+    result = explorer.explore_arrays(CHAOS_GRID)
+    wall = time.perf_counter() - start
+    assert_identical(result, reference)
+    stats = explorer.last_supervision
+    assert stats.watchdog_reaps >= 1
+    # The fault sleeps 60s; recovery well inside it proves the reap.
+    assert wall < 30.0
+    _RESULTS["watchdog_parity"] = "byte-identical"
+    _RESULTS["watchdog_wall_s"] = wall
+    _RESULTS["watchdog_stats"] = stats.as_dict()
+    emit(f"chaos watchdog: reaped in {wall:.2f}s against a 60s hang, byte-identical")
+
+
+def test_chaos_salvage_then_resume(tmp_path, fast_policy, reference, emit):
+    """An irrecoverable pool salvages its prefix; the checkpoint + a
+    quarantine ledger then finish the sweep byte-identically."""
+    ckpt = tmp_path / "salvage.ckpt"
+    plan = FaultPlan.plan(CHAOS_GRID, seed=31, state_dir=tmp_path, poisons=1)
+    salvage_policy = RetryPolicy(
+        max_retries=0,
+        backoff_base_s=0.001,
+        chunk_timeout_s=15.0,
+        max_respawns=0,
+        degrade_in_process=False,
+        salvage=True,
+    )
+    doomed = _cold_explorer(
+        factory=plan.wrap(FACTORY),
+        chunk_size=CHAOS_CHUNK,
+        workers=2,
+        resilience=salvage_policy,
+    )
+    partial = doomed.explore_arrays(CHAOS_GRID, checkpoint=ckpt)
+    assert not partial.complete and partial.failure is not None
+    assert partial.failure.checkpoint == str(ckpt)
+
+    resumed = _cold_explorer(
+        factory=plan.wrap(FACTORY),
+        chunk_size=CHAOS_CHUNK,
+        workers=2,
+        resilience=fast_policy,
+    )
+    result = resumed.explore_arrays(
+        CHAOS_GRID,
+        checkpoint=ckpt,
+        resume=True,
+        quarantine=QuarantineLedger(tmp_path / "poison.json"),
+    )
+    assert result.complete and len(result.quarantined) == 1
+    assert_survivors_identical(result, reference, result.quarantined)
+    _RESULTS["salvage_parity"] = "byte-identical"
+    _RESULTS["salvage_report"] = partial.failure.as_dict()
+    emit(
+        f"chaos salvage: kept {partial.failure.completed_chunks}/"
+        f"{partial.failure.total_chunks} chunks, resume byte-identical"
+    )

@@ -273,6 +273,22 @@ def build_parser() -> argparse.ArgumentParser:
         "a previous run load from DIR instead of re-evaluating "
         "(bit-identical); new chunks are written back for next time",
     )
+    sweep.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        default=None,
+        help="poison-point ledger: grid points that deterministically "
+        "crash workers are bisect-isolated, recorded here and skipped "
+        "(exit code 4 reports a completed sweep with quarantined "
+        "points); a later run consults the ledger and never re-crashes",
+    )
+    sweep.add_argument(
+        "--salvage",
+        action="store_true",
+        help="when the worker pool is irrecoverable, keep the completed "
+        "chunks and exit 3 with a failure report (and a resumable "
+        "--checkpoint when one is given) instead of failing the sweep",
+    )
 
     store_cmd = sub.add_parser(
         "store", help="inspect and maintain a persistent result store"
@@ -600,7 +616,11 @@ def _cmd_sweep(
     checkpoint: str | None = None,
     resume: bool = False,
     store: str | None = None,
+    quarantine: str | None = None,
+    salvage: bool = False,
 ) -> int:
+    import dataclasses
+
     from .core.design import DesignPoint
     from .core.scenario import BALANCED, EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
     from .dse.batch import BatchExplorer
@@ -623,17 +643,30 @@ def _cmd_sweep(
     # Worker runs are supervised: crashed or hung workers are retried,
     # the pool is respawned, and as a last resort evaluation degrades
     # in-process — the sweep finishes either way.
+    policy = None
+    if workers:
+        policy = DEFAULT_POLICY
+        if salvage:
+            # Salvage replaces degradation: an irrecoverable pool hands
+            # back the completed prefix instead of finishing in-process.
+            policy = dataclasses.replace(
+                DEFAULT_POLICY, salvage=True, degrade_in_process=False
+            )
     explorer = BatchExplorer(
         factory=SymmetricMulticoreFactory(),
         baseline=DesignPoint.baseline("1-BCE single core"),
         weight=weight,
         chunk_size=chunk_size,
         workers=workers,
-        resilience=DEFAULT_POLICY if workers else None,
+        resilience=policy,
     )
     result_store = ResultStore(store) if store else None
     sweep = explorer.explore_arrays(
-        grid, checkpoint=checkpoint, resume=resume, store=result_store
+        grid,
+        checkpoint=checkpoint,
+        resume=resume,
+        store=result_store,
+        quarantine=quarantine,
     )
     rows = [
         {"category": category.value, "points": count}
@@ -663,8 +696,17 @@ def _cmd_sweep(
             f"/ {s.misses} misses, {s.objects_written} objects written "
             f"({s.bytes_written} bytes) in {store}"
         )
-    if explorer.last_supervision is not None and explorer.last_supervision.faults:
-        print(explorer.last_supervision.summary())
+    supervision = explorer.last_supervision
+    if supervision is not None and supervision.summary():
+        print(supervision.summary())
+    if sweep.quarantined:
+        print(
+            f"quarantine: {len(sweep.quarantined)} poison point(s) "
+            f"excluded"
+            + (f", ledger at {quarantine}" if quarantine else "")
+        )
+    if sweep.failure is not None:
+        print(sweep.failure.summary())
     if pareto:
         from .core.pareto import ParetoPoint, pareto_frontier
 
@@ -686,6 +728,13 @@ def _cmd_sweep(
                 title="Pareto frontier (max perf, min fixed-work NCF)",
             )
         )
+    # Exit-code contract (see ``main``): a salvaged partial result
+    # outranks quarantined points — the caller must know the sweep is
+    # incomplete before caring which points were excluded.
+    if sweep.failure is not None:
+        return 3
+    if sweep.quarantined:
+        return 4
     return 0
 
 
@@ -811,6 +860,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.checkpoint,
             args.resume,
             args.store,
+            args.quarantine,
+            args.salvage,
         )
     if args.command == "store":
         return _cmd_store(args)
@@ -843,10 +894,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     and the global observability state is reset, so in-process callers
     (tests, notebooks) never leak spans between runs.
 
-    Model/configuration failures (any :class:`~repro.core.errors.
-    ReproError`) exit with code 2 and a one-line ``error: ...`` on
-    stderr — the full traceback only appears at ``--log-level debug``.
-    ``Ctrl-C`` exits 130, the shell convention for SIGINT.
+    Exit-code contract:
+
+    * ``0`` — the command completed cleanly.
+    * ``2`` — a model/configuration failure (any :class:`~repro.core.
+      errors.ReproError`): one-line ``error: ...`` on stderr, full
+      traceback only at ``--log-level debug``.
+    * ``3`` — ``focal sweep --salvage`` returned a *partial* result:
+      the completed chunks were kept and a failure report printed; a
+      ``--checkpoint`` written by such a run resumes bit-exactly.
+    * ``4`` — ``focal sweep`` completed, but the quarantine ledger
+      excluded poison points; all surviving results are byte-identical
+      to a clean run over the surviving grid.
+    * ``130`` — ``Ctrl-C``, the shell convention for SIGINT.
+
+    A salvaged run (3) outranks quarantined points (4): incompleteness
+    matters more than which points were excluded.
     """
     from .core.errors import ReproError
 

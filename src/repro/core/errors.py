@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "DomainError",
+    "QuarantinedPoint",
     "ConvergenceError",
     "ConfigurationError",
     "UnknownStudyError",
@@ -41,6 +42,19 @@ class DomainError(ReproError, ValueError):
     valid but the requested *operation* is not (e.g. asking for the
     speedup of an asymmetric multicore whose big core consumes the whole
     chip, leaving no small cores for the parallel phase).
+    """
+
+
+class QuarantinedPoint(DomainError):
+    """A design point isolated by failure containment, not evaluated.
+
+    Subclasses :class:`DomainError` so the sweep engine treats a
+    quarantined point exactly like an invalid corner of the design
+    space — it is excluded from the result arrays and memoized — while
+    remaining distinguishable for reporting (quarantined points are
+    surfaced in ``BatchSweepResult.quarantined``, ``SweepEngineStats``
+    and the quarantine ledger; see
+    :mod:`repro.resilience.containment`).
     """
 
 

@@ -83,17 +83,27 @@ from ..core.errors import (
     CheckpointError,
     ConfigurationError,
     DomainError,
+    QuarantinedPoint,
     ValidationError,
 )
 from ..core.scenario import E2OWeight
 from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.log import get_logger, kv
 from ..resilience.checkpoint import (
     CheckpointStore,
     decode_outcomes,
+    describe_factory,
     encode_outcomes,
     sweep_fingerprint,
+)
+from ..resilience.containment import (
+    INCOMPLETE,
+    BisectOutcome,
+    FailureReport,
+    QuarantineLedger,
+    QuarantineSession,
 )
 from ..resilience.policy import RetryPolicy, SupervisionStats
 from ..resilience.supervisor import SupervisedPool
@@ -277,6 +287,17 @@ class FactoryCache:
         return outcome
 
 
+class _SalvageAbort(Exception):
+    """Internal: the supervisor salvaged an irrecoverable pool — stop
+    the chunk loop, keep the completed prefix, report the failure."""
+
+
+def _scalar_job_params(job: Mapping[str, object]) -> Mapping[str, object]:
+    """Quarantine ``describe`` hook for the scalar pool path, where a
+    job *is* its grid-point parameter dict."""
+    return job
+
+
 def _chunked(
     points: Iterable[Mapping[str, object]], size: int
 ) -> Iterator[list[Mapping[str, object]]]:
@@ -334,6 +355,10 @@ class _ParallelPlan:
         #: Chunk indices whose block rows the kernel phase fills —
         #: only these may be read back via :meth:`chunk_arrays`.
         self.planned = planned if planned is not None else set(range(len(chunks)))
+        #: Chunk indices covered by shards the supervisor salvaged as
+        #: INCOMPLETE — their block rows were never written and the
+        #: chunk loop must stop (salvage) when it reaches them.
+        self.failed: set[int] = set()
         #: Crash-spill directory for worker events (None when telemetry
         #: is off) — collected and removed when the sweep winds down.
         self.spill_dir = spill_dir
@@ -481,6 +506,11 @@ class SweepEngineStats:
     delta_chunks: int = 0
     store_memory_points: int = 0
     store_disk_points: int = 0
+    #: Failure containment: grid points excluded by quarantine this
+    #: sweep (pre-filtered known poison plus freshly bisected), and
+    #: whether the sweep ended as a salvaged partial result.
+    quarantined_points: int = 0
+    salvaged: bool = False
 
     @property
     def evals_per_s(self) -> float:
@@ -520,6 +550,10 @@ class SweepEngineStats:
             )
             if self.delta_chunks:
                 line += f", {self.delta_chunks} stitched delta chunks"
+        if self.quarantined_points:
+            line += f", {self.quarantined_points} quarantined pts"
+        if self.salvaged:
+            line += ", salvaged partial result"
         return line
 
     def as_dict(self) -> dict[str, object]:
@@ -551,12 +585,22 @@ class SweepEngineStats:
                 store_disk_points=self.store_disk_points,
                 store_reuse_ratio=self.store_reuse_ratio,
             )
+        if self.quarantined_points:
+            payload["quarantined_points"] = self.quarantined_points
+        if self.salvaged:
+            payload["salvaged"] = True
         return payload
 
 
 @dataclass(frozen=True)
 class BatchSweepResult:
-    """A whole sweep held as arrays (valid points only, grid order)."""
+    """A whole sweep held as arrays (valid points only, grid order).
+
+    ``quarantined`` lists the grid points failure containment excluded
+    (always reported, never silent), and ``failure`` is the
+    :class:`~repro.resilience.containment.FailureReport` of a salvaged
+    partial run (``None`` for a run that completed).
+    """
 
     params: tuple[Mapping[str, object], ...]
     designs: tuple[DesignPoint, ...]
@@ -564,9 +608,16 @@ class BatchSweepResult:
     ncf_fixed_work: np.ndarray
     ncf_fixed_time: np.ndarray
     codes: np.ndarray
+    quarantined: tuple[Mapping[str, object], ...] = ()
+    failure: "FailureReport | None" = None
 
     def __len__(self) -> int:
         return len(self.params)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the sweep covered every non-quarantined point."""
+        return self.failure is None
 
     @property
     def categories(self) -> list[Sustainability]:
@@ -708,12 +759,25 @@ class BatchExplorer:
             # worker initializer — each job carries only its param dict.
             jobs = [chunk[index] for index in pending]
             if isinstance(pool, SupervisedPool):
-                evaluated: Iterable = pool.run(_parallel.pool_evaluate, jobs)
+                evaluated: Iterable = pool.run(
+                    _parallel.pool_evaluate, jobs, describe=_scalar_job_params
+                )
             else:
                 evaluated = pool.map(_parallel.pool_evaluate, jobs)
+            incomplete = 0
             for index, outcome in zip(pending, evaluated):
+                if outcome is INCOMPLETE:
+                    # Salvaged slot: never cache a sentinel; the chunk
+                    # as a whole is unfinished and aborts the sweep.
+                    incomplete += 1
+                    continue
                 cache.store(keys[index], outcome)
                 outcomes[index] = outcome
+            if incomplete:
+                raise _SalvageAbort(
+                    f"worker pool never completed {incomplete} point(s) "
+                    "of this chunk"
+                )
         return outcomes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -763,7 +827,10 @@ class BatchExplorer:
         return self._outcomes_from_arrays(chunk, arrays)
 
     def _outcomes_from_arrays(
-        self, chunk: Sequence[Mapping[str, object]], arrays: DesignArrays
+        self,
+        chunk: Sequence[Mapping[str, object]],
+        arrays: DesignArrays,
+        qsession: "QuarantineSession | None" = None,
     ) -> list[DesignPoint | DomainError]:
         """Materialize one chunk's outcomes from its kernel columns.
 
@@ -773,14 +840,42 @@ class BatchExplorer:
         scalar call, which for invalid corners captures the genuine
         ``DomainError``. Outcomes are memoized exactly like the scalar
         path, so a subsequent warm sweep is byte-identical either way.
+
+        Rows the quarantine session knows as poison (including rows the
+        supervisor just bisect-quarantined, whose block rows were never
+        written) get their :class:`QuarantinedPoint` marker instead of
+        the scalar fallback — re-running a poison point in the *parent*
+        process would crash the sweep itself.
         """
         factory = self.factory
         builder = getattr(factory, "design_points", None)
-        points = list(builder(chunk, arrays)) if builder is not None else None
         valid = arrays.valid
+        points: list | None = None
+        if builder is not None:
+            if valid.all():
+                points = list(builder(chunk, arrays))
+            else:
+                # Builders may assume every row holds a constructible
+                # design (an all-valid factory never sees holes), but
+                # quarantined/never-written block rows are zeros — build
+                # from the valid subset only and scatter back. The
+                # conversions stay elementwise, so this is bit-exact.
+                rows = np.flatnonzero(valid)
+                sub = DesignArrays(
+                    area=arrays.area[rows],
+                    perf=arrays.perf[rows],
+                    power=arrays.power[rows],
+                    valid=valid[rows],
+                )
+                built = list(builder([chunk[r] for r in rows], sub))
+                points = [None] * len(chunk)
+                for r, point in zip(rows, built):
+                    points[r] = point
         outcomes: list[DesignPoint | DomainError] = []
         for row, params in enumerate(chunk):
             outcome = points[row] if points is not None and valid[row] else None
+            if outcome is None and qsession is not None:
+                outcome = qsession.marker(params)
             if outcome is None:
                 try:
                     outcome = factory(params)
@@ -799,6 +894,7 @@ class BatchExplorer:
         initargs: tuple,
         parent_block: "_parallel.ColumnarBlock | None" = None,
         capture: bool = False,
+        quarantine: "QuarantineSession | None" = None,
     ) -> "ProcessPoolExecutor | SupervisedPool":
         """A worker pool whose *initializer* ships per-pool state once.
 
@@ -819,6 +915,7 @@ class BatchExplorer:
                 self.resilience,
                 initializer=initializer,
                 initargs=initargs,
+                quarantine=quarantine,
             )
         return ProcessPoolExecutor(
             max_workers=self.workers,
@@ -831,6 +928,8 @@ class BatchExplorer:
         chunks: list[Sequence[Mapping[str, object]]],
         restored: int,
         probes: "dict[int, ChunkProbe] | None" = None,
+        qsession: "QuarantineSession | None" = None,
+        blocked: "set[int] | None" = None,
     ) -> _ParallelPlan:
         """Allocate the sweep's shared block, plan the shard spans over
         the still-pending chunks, and spawn the pool.
@@ -838,14 +937,20 @@ class BatchExplorer:
         The first *restored* chunks came from a checkpoint, and chunks
         whose *probe* found any stored rows are resolved in the parent
         (adopted whole or stitched) — neither is dispatched, and their
-        block rows are never written or read. That keeps resume and
-        store reuse bit-exact and free of redundant kernel work. A
-        sweep with no pending chunk gets no pool at all.
+        block rows are never written or read. Chunks in *blocked*
+        contain points the quarantine ledger already knows as poison;
+        they are excluded too (dispatching one would deterministically
+        crash a worker) and evaluate in the parent with their poison
+        rows pre-filtered. That keeps resume and store reuse bit-exact
+        and free of redundant kernel work. A sweep with no pending
+        chunk gets no pool at all.
         """
         total = sum(len(chunk) for chunk in chunks)
         block = _parallel.ColumnarBlock.allocate(total)
         pending: set[int] = set()
         for index in range(restored, len(chunks)):
+            if blocked and index in blocked:
+                continue
             probe = probes.get(index) if probes else None
             if probe is None or not probe.hit_points:
                 pending.add(index)
@@ -867,6 +972,7 @@ class BatchExplorer:
                 (self.factory, block.name, total, capture, spill),
                 parent_block=block,
                 capture=capture,
+                quarantine=qsession,
             )
         return _ParallelPlan(
             chunks,
@@ -909,21 +1015,43 @@ class BatchExplorer:
         ):
             begin = time.perf_counter()
             if isinstance(plan.pool, SupervisedPool):
-                replies: Iterable = plan.pool.run(_parallel.eval_shard, jobs)
+                replies: Iterable = plan.pool.run(
+                    _parallel.eval_shard,
+                    jobs,
+                    splitter=_parallel.split_shard_job,
+                    describe=_parallel.shard_job_point,
+                )
             else:
                 replies = plan.pool.map(_parallel.eval_shard, jobs)
-            for lo, hi, busy, pid, arrays, events in replies:
-                plan.busy += busy
-                if arrays is not None:
-                    plan.block.write(lo, hi, *arrays)
-                if events:
-                    log.extend(events)
-                if registry.enabled:
-                    registry.histogram(
-                        "focal_worker_busy_seconds",
-                        "kernel busy seconds per shard, by worker process",
-                        labels={"worker": str(pid)},
-                    ).observe(busy)
+            for job, reply in zip(jobs, replies):
+                if reply is INCOMPLETE or reply is None:
+                    # Salvaged shard: its block rows were never written;
+                    # the chunk loop stops when it reaches them.
+                    first = job[0] // self.chunk_size
+                    last = -(-job[1] // self.chunk_size)
+                    plan.failed.update(range(first, last))
+                    continue
+                if isinstance(reply, QuarantinedPoint):
+                    # A single-row shard isolated as poison: its block
+                    # row stays unwritten (valid=False) and the marker
+                    # is re-derived from the quarantine session during
+                    # materialization.
+                    continue
+                subreplies = (
+                    reply.replies if isinstance(reply, BisectOutcome) else (reply,)
+                )
+                for lo, hi, busy, pid, arrays, events in subreplies:
+                    plan.busy += busy
+                    if arrays is not None:
+                        plan.block.write(lo, hi, *arrays)
+                    if events:
+                        log.extend(events)
+                    if registry.enabled:
+                        registry.histogram(
+                            "focal_worker_busy_seconds",
+                            "kernel busy seconds per shard, by worker process",
+                            labels={"worker": str(pid)},
+                        ).observe(busy)
             plan.kernel_wall = time.perf_counter() - begin
 
     # ------------------------------------------------------------------
@@ -936,6 +1064,7 @@ class BatchExplorer:
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
         store: "ResultStore | str | os.PathLike | None" = None,
+        quarantine: "QuarantineLedger | str | os.PathLike | None" = None,
     ) -> BatchSweepResult:
         """Sweep *grid* and return the results as arrays.
 
@@ -970,6 +1099,19 @@ class BatchExplorer:
         shard planning exactly like restored checkpoint chunks, and a
         corrupt store file only means recomputation, never a wrong
         answer.
+
+        With *quarantine* set (a :class:`~repro.resilience.containment.
+        QuarantineLedger` or a path), points the ledger already records
+        as poison are skipped up front — their chunks evaluate only the
+        healthy rows — and, under a supervised pool, a chunk that
+        exhausts its retry budget is bisected down to the minimal
+        crashing point set, which is recorded in the ledger and
+        excluded (reported in ``BatchSweepResult.quarantined``, never
+        silently dropped). Under ``RetryPolicy(salvage=True,
+        degrade_in_process=False)`` an irrecoverable pool ends the
+        sweep early with the completed prefix and a
+        :class:`~repro.resilience.containment.FailureReport` in
+        ``BatchSweepResult.failure`` instead of raising.
         """
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
@@ -986,6 +1128,10 @@ class BatchExplorer:
         if result_store is not None:
             session = result_store.sweep_session(self.factory)
             use = _StoreUse()
+        qledger = QuarantineLedger.coerce(quarantine)
+        qsession: QuarantineSession | None = None
+        if qledger is not None:
+            qsession = qledger.session(describe_factory(self.factory))
         fingerprint: dict | None = None
         restored_chunks: list = []
         if ckpt is not None:
@@ -1017,6 +1163,10 @@ class BatchExplorer:
         ) as sweep_span:
             start_s = time.perf_counter()
             cache_before = self.cache.stats()
+            failure: FailureReport | None = None
+            quarantined_params: list[Mapping[str, object]] = []
+            chunks_done = 0
+            points_done = 0
             try:
                 if mode == "parallel-columnar":
                     chunks = list(_chunked(iter(grid), self.chunk_size))
@@ -1025,8 +1175,21 @@ class BatchExplorer:
                         # full or in part) must never reach the pool.
                         for index in range(len(restored_chunks), len(chunks)):
                             probes[index] = session.probe(chunks[index])
+                    blocked: set[int] | None = None
+                    if qsession is not None and qsession.known_count:
+                        # Chunks holding known poison points must never
+                        # reach the pool either — dispatching one would
+                        # deterministically crash a worker again.
+                        blocked = {
+                            index
+                            for index, chunk in enumerate(chunks)
+                            if any(
+                                qsession.known(params) is not None
+                                for params in chunk
+                            )
+                        }
                     plan = self._parallel_setup(
-                        chunks, len(restored_chunks), probes
+                        chunks, len(restored_chunks), probes, qsession, blocked
                     )
                     pool = plan.pool
                     self._parallel_kernels(plan, tracer)
@@ -1034,13 +1197,20 @@ class BatchExplorer:
                 else:
                     if self.workers:
                         pool = self._make_pool(
-                            _parallel.init_factory_worker, (self.factory,)
+                            _parallel.init_factory_worker,
+                            (self.factory,),
+                            quarantine=qsession,
                         )
                     chunk_stream = enumerate(
                         _chunked(iter(grid), self.chunk_size)
                     )
                 for index, chunk in chunk_stream:
                     restored = index < len(restored_chunks)
+                    if plan is not None and index in plan.failed:
+                        raise _SalvageAbort(
+                            f"the shard covering chunk {index} was never "
+                            "completed by the worker pool"
+                        )
                     with tracer.span(
                         "chunk", index=index, mode=mode, restored=restored
                     ) as chunk_span:
@@ -1057,15 +1227,32 @@ class BatchExplorer:
                                 # process should not recompute it.
                                 session.put(chunk, outcomes)
                         else:
-                            probe = probes.pop(index, None)
-                            if probe is None and session is not None:
-                                probe = session.probe(chunk)
-                            outcomes = self._resolve_chunk(
-                                chunk, index, probe, plan, pool, mode,
-                                session, use,
-                            )
+                            outcomes = None
+                            if (
+                                qsession is not None
+                                and qsession.known_count
+                                and not (plan is not None and index in plan.planned)
+                                and any(
+                                    qsession.known(params) is not None
+                                    for params in chunk
+                                )
+                            ):
+                                outcomes = self._quarantined_chunk(
+                                    chunk, qsession, pool, mode
+                                )
+                            if outcomes is None:
+                                probe = probes.pop(index, None)
+                                if probe is None and session is not None:
+                                    probe = session.probe(chunk)
+                                outcomes = self._resolve_chunk(
+                                    chunk, index, probe, plan, pool, mode,
+                                    session, use, qsession,
+                                )
                         valid = 0
                         for params, outcome in zip(chunk, outcomes):
+                            if isinstance(outcome, QuarantinedPoint):
+                                quarantined_params.append(params)
+                                continue
                             if isinstance(outcome, DomainError):
                                 continue
                             params_list.append(params)
@@ -1073,11 +1260,25 @@ class BatchExplorer:
                             valid += 1
                         if ckpt is not None and not restored:
                             saved_chunks.append(encode_outcomes(outcomes))
-                            ckpt.save(
-                                kind="sweep",
-                                fingerprint=fingerprint,
-                                state={"chunks": saved_chunks},
-                            )
+                            try:
+                                ckpt.save(
+                                    kind="sweep",
+                                    fingerprint=fingerprint,
+                                    state={"chunks": saved_chunks},
+                                )
+                            except CheckpointError as exc:
+                                # A dead checkpoint must not kill a live
+                                # sweep: continue without checkpointing.
+                                get_logger().warning(
+                                    kv(
+                                        "checkpoint.disabled",
+                                        path=str(ckpt.path),
+                                        error=str(exc),
+                                    )
+                                )
+                                ckpt = None
+                        chunks_done += 1
+                        points_done += len(chunk)
                         if observing:
                             self._observe_chunk(
                                 registry,
@@ -1087,6 +1288,27 @@ class BatchExplorer:
                                 seconds=time.perf_counter() - chunk_start,
                                 before=before,
                             )
+            except _SalvageAbort as exc:
+                failure = FailureReport(
+                    reason=(
+                        "irrecoverable worker pool; completed prefix "
+                        "salvaged"
+                    ),
+                    error=str(exc),
+                    completed_chunks=chunks_done,
+                    total_chunks=-(-len(grid) // self.chunk_size),
+                    completed_points=points_done,
+                    pending_points=len(grid) - points_done,
+                    checkpoint=str(ckpt.path) if ckpt is not None else None,
+                )
+                _events.record("sweep.salvage", track="supervisor")
+                _metrics.get_registry().counter(
+                    "focal_salvage_runs_total",
+                    "sweeps salvaged as partial results",
+                ).inc()
+                get_logger().warning(
+                    kv("sweep.salvage", **failure.as_dict())
+                )
             finally:
                 if session is not None:
                     session.flush()
@@ -1102,7 +1324,7 @@ class BatchExplorer:
                 if self.workers:
                     _parallel.clear_worker_state()
             self._record_supervision(pool, sweep_span)
-            if not designs:
+            if not designs and failure is None:
                 raise ConfigurationError(
                     "exploration produced no valid design points"
                 )
@@ -1119,6 +1341,8 @@ class BatchExplorer:
                 use=use,
                 memo_points=cache_after.hits - cache_before.hits,
                 fresh_points=cache_after.misses - cache_before.misses,
+                quarantined_points=len(quarantined_params),
+                salvaged=failure is not None,
             )
             if observing:
                 self._observe_sweep(registry, sweep_span, stats)
@@ -1129,6 +1353,8 @@ class BatchExplorer:
             ncf_fixed_work=ncf_fw,
             ncf_fixed_time=ncf_ft,
             codes=codes,
+            quarantined=tuple(quarantined_params),
+            failure=failure,
         )
 
     def _restore_chunk(
@@ -1165,6 +1391,7 @@ class BatchExplorer:
         mode: str,
         session: "SweepStoreSession | None",
         use: "_StoreUse | None",
+        qsession: "QuarantineSession | None" = None,
     ) -> list[DesignPoint | DomainError]:
         """Evaluate one non-restored chunk, adopting stored rows.
 
@@ -1186,7 +1413,7 @@ class BatchExplorer:
         if probe is None or not probe.hit_points:
             if plan is not None and index in plan.planned:
                 outcomes = self._outcomes_from_arrays(
-                    chunk, plan.chunk_arrays(index)
+                    chunk, plan.chunk_arrays(index), qsession
                 )
             elif mode in COLUMNAR_MODES:
                 outcomes = self._vector_chunk(chunk)
@@ -1218,6 +1445,45 @@ class BatchExplorer:
         session.put(chunk, outcomes, probe)
         return outcomes
 
+    def _quarantined_chunk(
+        self,
+        chunk: Sequence[Mapping[str, object]],
+        qsession: QuarantineSession,
+        pool,
+        mode: str,
+    ) -> list[DesignPoint | DomainError]:
+        """Evaluate a chunk that contains ledger-known poison points.
+
+        Known-poison rows are replaced by their quarantine markers
+        without ever reaching a factory (re-dispatching one would crash
+        a worker deterministically); the clean remainder runs through
+        the mode-appropriate path as its own smaller chunk, which is
+        bit-exact because the columnar kernels are elementwise.
+        """
+        markers: dict[int, QuarantinedPoint] = {}
+        clean: list[Mapping[str, object]] = []
+        for row, params in enumerate(chunk):
+            marker = qsession.marker(params)
+            if marker is not None:
+                markers[row] = marker
+            else:
+                clean.append(params)
+        clean_outcomes: list = []
+        if clean:
+            if mode in COLUMNAR_MODES:
+                clean_outcomes = self._vector_chunk(clean)
+            else:
+                clean_outcomes = self._evaluate_chunk(clean, pool)
+        outcomes: list[DesignPoint | DomainError] = []
+        fresh = iter(clean_outcomes)
+        for row in range(len(chunk)):
+            outcomes.append(markers[row] if row in markers else next(fresh))
+        keys = params_keys(chunk)
+        self.cache.store_many(
+            [keys[row] for row in markers], list(markers.values())
+        )
+        return outcomes
+
     def _record_supervision(
         self, pool: "ProcessPoolExecutor | SupervisedPool | None", sweep_span
     ) -> None:
@@ -1228,7 +1494,13 @@ class BatchExplorer:
             return
         stats = pool.stats
         object.__setattr__(self, "last_supervision", stats)
-        if sweep_span is not _trace.NULL_SPAN and stats.faults:
+        acted = (
+            stats.faults
+            or stats.quarantined
+            or stats.watchdog_reaps
+            or stats.salvaged
+        )
+        if sweep_span is not _trace.NULL_SPAN and acted:
             sweep_span.set(
                 retries=stats.retries,
                 worker_crashes=stats.crashes,
@@ -1237,6 +1509,9 @@ class BatchExplorer:
                 pool_respawns=stats.respawns,
                 degraded_batches=stats.degraded_batches,
                 pool_degraded=stats.pool_degraded,
+                quarantined=stats.quarantined,
+                watchdog_reaps=stats.watchdog_reaps,
+                salvaged_batches=stats.salvaged,
             )
 
     def _observe_chunk(
@@ -1292,6 +1567,8 @@ class BatchExplorer:
         use: "_StoreUse | None" = None,
         memo_points: int = 0,
         fresh_points: int = 0,
+        quarantined_points: int = 0,
+        salvaged: bool = False,
     ) -> SweepEngineStats:
         """Snapshot how the sweep executed and publish it as
         :attr:`last_sweep` (recorded unconditionally — the CLI summary
@@ -1329,6 +1606,8 @@ class BatchExplorer:
             seconds=seconds,
             memo_points=memo_points,
             fresh_points=fresh_points,
+            quarantined_points=quarantined_points,
+            salvaged=salvaged,
             **extras,  # type: ignore[arg-type]
         )
         object.__setattr__(self, "last_sweep", stats)
@@ -1357,6 +1636,11 @@ class BatchExplorer:
             )
             if engine.mode in COLUMNAR_MODES:
                 sweep_span.set(vector_evals_per_s=engine.evals_per_s)
+            if engine.quarantined_points or engine.salvaged:
+                sweep_span.set(
+                    quarantined_points=engine.quarantined_points,
+                    salvaged=engine.salvaged,
+                )
             if engine.store_used:
                 sweep_span.set(
                     store_chunks=engine.store_chunks,
@@ -1462,13 +1746,18 @@ class BatchExplorer:
         checkpoint: "CheckpointStore | str | os.PathLike | None" = None,
         resume: bool = False,
         store: "ResultStore | str | os.PathLike | None" = None,
+        quarantine: "QuarantineLedger | str | os.PathLike | None" = None,
     ) -> list[ExplorationResult]:
         """Drop-in replacement for ``Explorer.explore`` (same ordering,
         same skips, bit-exact values) on the vectorized engine.
-        ``checkpoint``/``resume``/``store`` behave as in
+        ``checkpoint``/``resume``/``store``/``quarantine`` behave as in
         :meth:`explore_arrays`."""
         return self.explore_arrays(
-            grid, checkpoint=checkpoint, resume=resume, store=store
+            grid,
+            checkpoint=checkpoint,
+            resume=resume,
+            store=store,
+            quarantine=quarantine,
         ).results()
 
     def count_categories(self, grid: ParameterGrid) -> dict[Sustainability, int]:

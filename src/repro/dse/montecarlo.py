@@ -45,7 +45,10 @@ from ..core.scenario import E2OWeight
 from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs.log import get_logger, kv
 from ..resilience.checkpoint import CheckpointStore
+from ..resilience.policy import RetryPolicy
+from ..resilience.supervisor import SupervisedPool
 from .store import ResultStore
 
 __all__ = [
@@ -273,7 +276,9 @@ def _noise_shard(job: tuple) -> np.ndarray:
     return codes
 
 
-def _mc_pool(workers: int) -> tuple[ProcessPoolExecutor | None, str | None]:
+def _mc_pool(
+    workers: int, resilience: RetryPolicy | None = None
+) -> tuple["ProcessPoolExecutor | SupervisedPool | None", str | None]:
     """A sampler worker pool plus its event spill directory.
 
     ``(None, None)`` for serial runs. When the global event log is
@@ -281,11 +286,27 @@ def _mc_pool(workers: int) -> tuple[ProcessPoolExecutor | None, str | None]:
     their ``mc.shard`` events travel exclusively via the spill files —
     the reply arrays are untouched, keeping checkpoint streams
     bit-exact at any worker count.
+
+    With a *resilience* policy the pool is a
+    :class:`~repro.resilience.supervisor.SupervisedPool`: crashed or
+    hung shard draws walk the same retry/respawn/degrade ladder sweeps
+    use, and because shard jobs carry their own stream positions the
+    recovered codes are byte-identical to the unfaulted run.
     """
     if not workers:
         return None, None
     capture = _events.get_log().enabled
     spill = _events.make_spill_dir() if capture else None
+    if resilience is not None:
+        return (
+            SupervisedPool(
+                workers,
+                resilience,
+                initializer=_events.init_worker,
+                initargs=(capture, spill),
+            ),
+            spill,
+        )
     pool = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_events.init_worker,
@@ -294,7 +315,16 @@ def _mc_pool(workers: int) -> tuple[ProcessPoolExecutor | None, str | None]:
     return pool, spill
 
 
-def _mc_wind_down(pool: ProcessPoolExecutor | None, spill: str | None) -> None:
+def _mc_map(pool, fn: Callable, jobs: list) -> list:
+    """Shard fan-out on either pool flavour, preserving job order."""
+    if isinstance(pool, SupervisedPool):
+        return pool.run(fn, jobs)
+    return list(pool.map(fn, jobs))
+
+
+def _mc_wind_down(
+    pool: "ProcessPoolExecutor | SupervisedPool | None", spill: str | None
+) -> None:
     """Reap the sampler pool, then harvest and remove its spill files."""
     if pool is not None:
         pool.shutdown(cancel_futures=True)
@@ -395,14 +425,26 @@ def _checkpointed_codes(
         done.append(codes_arr)
         drawn += count
         if ckpt is not None:
-            ckpt.save(
-                kind="montecarlo",
-                fingerprint=fingerprint,
-                state={
-                    "codes": np.concatenate(done).tolist(),
-                    "rng_state": rng.bit_generator.state,
-                },
-            )
+            try:
+                ckpt.save(
+                    kind="montecarlo",
+                    fingerprint=fingerprint,
+                    state={
+                        "codes": np.concatenate(done).tolist(),
+                        "rng_state": rng.bit_generator.state,
+                    },
+                )
+            except CheckpointError as exc:
+                # A dead checkpoint must not kill a live draw: keep
+                # sampling without persistence.
+                get_logger().warning(
+                    kv(
+                        "checkpoint.disabled",
+                        path=str(ckpt.path),
+                        error=str(exc),
+                    )
+                )
+                ckpt = None
     return (done[0] if len(done) == 1 else np.concatenate(done)), reused
 
 
@@ -418,6 +460,7 @@ def sample_verdicts(
     resume: bool = False,
     checkpoint_every: int = 4096,
     store: "ResultStore | str | os.PathLike | None" = None,
+    resilience: RetryPolicy | None = None,
 ) -> CategoryProbabilities:
     """Sample alpha uniformly over the weight band and classify.
 
@@ -437,7 +480,10 @@ def sample_verdicts(
     ``checkpoint``/``resume``/``checkpoint_every`` enable crash-safe
     chunked sampling, and ``store`` persistent cross-run segment reuse
     (see the module docs); results are bit-identical with or without
-    them.
+    them. A ``resilience`` policy supervises the shard pool (crash
+    retry, heartbeat watchdog, respawn) — recovered draws stay
+    byte-identical because every shard job carries its own stream
+    position.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -458,7 +504,7 @@ def sample_verdicts(
         area = design.area_ratio(baseline)
         energy = design.energy_ratio(baseline)
         power = design.power_ratio(baseline)
-        pool, spill = _mc_pool(workers)
+        pool, spill = _mc_pool(workers, resilience)
 
         def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
             if pool is not None and count > 1:
@@ -467,7 +513,7 @@ def sample_verdicts(
                      lo, hi, area, energy, power)
                     for span_lo, span_hi in _mc_spans(count, workers)
                 ]
-                parts = list(pool.map(_verdict_shard, jobs))
+                parts = _mc_map(pool, _verdict_shard, jobs)
                 # Keep the parent's generator exactly where a serial
                 # draw would have left it (checkpoint states match).
                 if hi > lo:
@@ -522,6 +568,7 @@ def sample_measurement_noise(
     resume: bool = False,
     checkpoint_every: int = 4096,
     store: "ResultStore | str | os.PathLike | None" = None,
+    resilience: RetryPolicy | None = None,
 ) -> CategoryProbabilities:
     """Verdict robustness to *measurement* uncertainty (paper §2).
 
@@ -545,7 +592,9 @@ def sample_measurement_noise(
     chunked sampling, and ``store`` persistent cross-run segment reuse
     (the stored post-segment generator state is what makes this work
     for the ziggurat's data-dependent stream consumption — see the
-    module docs); results are bit-identical with or without them.
+    module docs); results are bit-identical with or without them. A
+    ``resilience`` policy supervises the shard pool exactly as in
+    :func:`sample_verdicts`.
     """
     if samples < 1:
         raise ValidationError(f"samples must be >= 1, got {samples}")
@@ -571,7 +620,7 @@ def sample_measurement_noise(
         area_ratio = design.area_ratio(baseline)
         energy_ratio = design.energy_ratio(baseline)
         power_ratio = design.power_ratio(baseline)
-        pool, spill = _mc_pool(workers)
+        pool, spill = _mc_pool(workers, resilience)
 
         def draw(rng: np.random.Generator, start: int, count: int) -> np.ndarray:
             noise = rng.lognormal(mean=0.0, sigma=sigma_log, size=(count, 3))
@@ -581,7 +630,7 @@ def sample_measurement_noise(
                      area_ratio, energy_ratio, power_ratio)
                     for span_lo, span_hi in _mc_spans(count, workers)
                 ]
-                return np.concatenate(list(pool.map(_noise_shard, jobs)))
+                return np.concatenate(_mc_map(pool, _noise_shard, jobs))
             area = area_ratio * noise[:, 0]
             energy = energy_ratio * noise[:, 1]
             power = power_ratio * noise[:, 2]

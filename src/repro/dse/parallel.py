@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.errors import ConfigurationError, DomainError
 from ..obs import events as _events
+from ..resilience import containment as _containment
 
 __all__ = [
     "ColumnarBlock",
@@ -54,6 +55,8 @@ __all__ = [
     "init_columnar_worker",
     "pool_evaluate",
     "eval_shard",
+    "split_shard_job",
+    "shard_job_point",
 ]
 
 #: Bytes per grid point in a :class:`ColumnarBlock`:
@@ -305,6 +308,7 @@ def init_columnar_worker(
 def pool_evaluate(params: Mapping[str, object]):
     """Worker-side scalar factory call on the pool-shipped factory;
     ``DomainError`` travels back as a value, like the cache stores it."""
+    _containment.beat()
     try:
         return _STATE["factory"](params)
     except DomainError as exc:
@@ -327,6 +331,7 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
     into the reply so the parent can merge them without extra IPC.
     """
     start, stop, columns = job
+    _containment.beat()
     factory = _STATE["factory"]
     buf = _events.get_buffer()
     capture = buf.enabled
@@ -382,3 +387,31 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
             shm_s=shm_s,
         )
     return (start, stop, busy, os.getpid(), None, buf.drain() if capture else None)
+
+
+def split_shard_job(job):
+    """Halve one shard job for quarantine bisection, or ``None``.
+
+    ``job`` is the ``(start, stop, columns)`` tuple :func:`eval_shard`
+    takes; the halves slice the same column arrays, so bisection probes
+    evaluate exactly the rows the original shard would have. A
+    single-row shard is atomic (returns ``None``) — that row *is* the
+    candidate poison point.
+    """
+    start, stop, columns = job
+    if stop - start <= 1:
+        return None
+    mid = start + (stop - start) // 2
+    cut = mid - start
+    left = {name: np.asarray(col)[:cut] for name, col in columns.items()}
+    right = {name: np.asarray(col)[cut:] for name, col in columns.items()}
+    return ((start, mid, left), (mid, stop, right))
+
+
+def shard_job_point(job):
+    """The grid-point parameters of a single-row shard job (for the
+    quarantine ledger), or ``None`` for a multi-row shard."""
+    start, stop, columns = job
+    if stop - start != 1:
+        return None
+    return {name: np.asarray(col)[0].item() for name, col in columns.items()}

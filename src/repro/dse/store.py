@@ -60,10 +60,12 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.design import DesignPoint
-from ..core.errors import DomainError, ValidationError
+from ..core.errors import DomainError, QuarantinedPoint, ValidationError
 from ..obs import metrics as _metrics
 from ..obs.log import get_logger, kv
 from ..resilience.checkpoint import (
+    TRANSIENT_DISK_ERRNOS,
+    atomic_write_text,
     canonical_json,
     decode_outcomes,
     describe_factory,
@@ -152,6 +154,8 @@ class StoreStats:
     segments_written: int
     bytes_read: int
     bytes_written: int
+    recovered_objects: int = 0
+    disk_fallback: bool = False
 
     @property
     def hits(self) -> int:
@@ -179,6 +183,8 @@ class StoreStats:
             "segments_written": self.segments_written,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "recovered_objects": self.recovered_objects,
+            "disk_fallback": self.disk_fallback,
         }
 
 
@@ -244,6 +250,8 @@ class ResultStore:
         self._segments_written = 0
         self._bytes_read = 0
         self._bytes_written = 0
+        self._recovered_objects = 0
+        self._disk_disabled = False
         if self.root.exists():
             marker = self.root / MARKER_NAME
             if not marker.exists() and any(self.root.iterdir()):
@@ -275,6 +283,8 @@ class ResultStore:
             segments_written=self._segments_written,
             bytes_read=self._bytes_read,
             bytes_written=self._bytes_written,
+            recovered_objects=self._recovered_objects,
+            disk_fallback=self._disk_disabled,
         )
 
     def reset(self) -> None:
@@ -283,6 +293,7 @@ class ResultStore:
         self._corrupt = self._memory_evictions = 0
         self._objects_written = self._segments_written = 0
         self._bytes_read = self._bytes_written = 0
+        self._recovered_objects = 0
 
     def _count_hits(self, tier: str, n: int) -> None:
         if not n:
@@ -350,20 +361,46 @@ class ResultStore:
         if not marker.exists():
             self._write_document(marker, {"marker": STORE_FORMAT})
 
-    def _write_document(self, path: Path, payload: object) -> None:
+    def _write_document(self, path: Path, payload: object) -> bool:
         """Atomic checksummed write (temp → fsync → rename), the same
-        durability contract checkpoint files carry."""
+        durability contract checkpoint files carry.
+
+        Transient disk faults (EIO/ENOSPC) are retried inside
+        :func:`~repro.resilience.checkpoint.atomic_write_text`; when the
+        retry budget is exhausted the store degrades to memory-only for
+        the rest of the process instead of failing the sweep — reads
+        keep working, writes become no-ops (returning ``False``), and
+        the degradation is visible in stats and
+        ``focal_store_disk_fallback_total``.
+        """
+        if self._disk_disabled:
+            return False
         body = canonical_json(payload)
         document = canonical_json(
             {"format": STORE_FORMAT, "sha256": sha256_hex(body), "payload": payload}
         )
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(document)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, document)
+        except OSError as exc:
+            if exc.errno not in TRANSIENT_DISK_ERRNOS:
+                raise
+            self._disk_disabled = True
+            get_logger().warning(
+                kv(
+                    "store.disk_fallback",
+                    path=str(path),
+                    error=str(exc),
+                    action="store degraded to memory-only tier",
+                )
+            )
+            registry = _metrics.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "focal_store_disk_fallback_total",
+                    "result stores degraded to memory-only after disk faults",
+                ).inc()
+            return False
         self._bytes_written += len(document)
         registry = _metrics.get_registry()
         if registry.enabled:
@@ -371,6 +408,18 @@ class ResultStore:
                 "focal_store_bytes_written_total",
                 "bytes written to result-store files",
             ).inc(len(document))
+        return True
+
+    def _count_recovered(self, n: int) -> None:
+        if not n:
+            return
+        self._recovered_objects += n
+        registry = _metrics.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "focal_store_recovered_total",
+                "stored objects re-indexed after a lost/stale index",
+            ).inc(n)
 
     def _read_document(self, path: Path) -> dict | None:
         """The verified payload, or ``None`` (missing file is a plain
@@ -570,10 +619,12 @@ class ResultStore:
                 "removed_tmp": 0,
                 "removed_orphans": 0,
                 "removed_corrupt": 0,
+                "recovered_objects": 0,
                 "evicted_fingerprints": [],
                 "freed_bytes": 0,
                 "bytes": 0,
             }
+        recovered_before = self._recovered_objects
         before = _tree_bytes(self.root)
         for tmp in self.root.rglob("*.tmp.*"):
             tmp.unlink(missing_ok=True)
@@ -584,10 +635,15 @@ class ResultStore:
             corrupt_before = self._corrupt
             index = self._read_document(directory / "index.json")
             if index is None:
-                # No (valid) index: every object is unreachable.
+                # No (valid) index — but objects are self-describing, so
+                # a lost index is rebuildable from the surviving valid
+                # objects; only a fingerprint with nothing valid left is
+                # actually unreachable and removed.
                 removed_corrupt += self._corrupt - corrupt_before
-                _remove_tree(directory)
-                continue
+                index = self._rebuild_index(directory)
+                if index is None:
+                    _remove_tree(directory)
+                    continue
             referenced = {entry[0] for entry in index.get("points", {}).values()}
             referenced.update(index.get("chunks", {}).values())
             for obj in directory.glob("objects/*.json"):
@@ -616,6 +672,7 @@ class ResultStore:
         after = _tree_bytes(self.root)
         self._memory.clear()
         return {
+            "recovered_objects": self._recovered_objects - recovered_before,
             "removed_tmp": removed_tmp,
             "removed_orphans": removed_orphans,
             "removed_corrupt": removed_corrupt,
@@ -623,6 +680,52 @@ class ResultStore:
             "freed_bytes": max(0, before - after),
             "bytes": after,
         }
+
+    def _rebuild_index(self, directory: Path) -> dict | None:
+        """Rebuild a sweep index from its surviving object files.
+
+        Objects are self-describing (factory description, point keys,
+        outcomes), so a lost or corrupt index never strands committed
+        work — this is the same recovery
+        :class:`SweepStoreSession` performs on open, shared with ``gc``.
+        Returns ``None`` when no valid object survives.
+        """
+        points: dict[str, list] = {}
+        chunks: dict[str, str] = {}
+        factory = None
+        for path in sorted(directory.glob("objects/*.json")):
+            payload = self._read_document(path)
+            if payload is None:
+                continue
+            keys = payload.get("keys")
+            outcomes = payload.get("outcomes")
+            if (
+                not isinstance(keys, list)
+                or not isinstance(outcomes, list)
+                or len(keys) != len(outcomes)
+                or not isinstance(payload.get("factory"), str)
+            ):
+                continue
+            if factory is None:
+                factory = payload["factory"]
+            elif payload["factory"] != factory:
+                continue
+            chunks.setdefault(chunk_store_key(keys), path.stem)
+            for row, key in enumerate(keys):
+                points.setdefault(key, [path.stem, row])
+        if not chunks:
+            return None
+        index = {"factory": factory, "points": points, "chunks": chunks}
+        if self._write_document(directory / "index.json", index):
+            self._count_recovered(len(chunks))
+            get_logger().warning(
+                kv(
+                    "store.index_rebuilt",
+                    directory=str(directory),
+                    objects=len(chunks),
+                )
+            )
+        return index
 
 
 def _tree_bytes(root: Path) -> int:
@@ -679,6 +782,57 @@ class SweepStoreSession:
         self._bad_objects: set[str] = set()
         self._dirty = 0
         self._probed = False
+        self._recover_unindexed()
+
+    def _recover_unindexed(self) -> None:
+        """Re-index committed objects the index does not reference.
+
+        The index is flushed only every :data:`FLUSH_EVERY_CHUNKS`
+        stored chunks, so a crash between flushes (or a corrupt index)
+        leaves valid, fully written object files behind that the loaded
+        index has never heard of. Objects are self-describing, so they
+        are folded back in here — a resumed sweep re-reads them instead
+        of recomputing. The rebuilt entries flush with the next index
+        write.
+        """
+        objects_dir = self.directory / "objects"
+        if not objects_dir.is_dir():
+            return
+        referenced = {
+            entry[0]
+            for entry in self._points.values()
+            if isinstance(entry, (list, tuple)) and entry
+        }
+        referenced.update(self._chunks.values())
+        recovered = 0
+        for path in sorted(objects_dir.glob("*.json")):
+            if path.stem in referenced:
+                continue
+            payload = self.store._read_document(path)
+            if payload is None or payload.get("factory") != self.factory:
+                continue
+            keys = payload.get("keys")
+            outcomes = payload.get("outcomes")
+            if (
+                not isinstance(keys, list)
+                or not isinstance(outcomes, list)
+                or len(keys) != len(outcomes)
+            ):
+                continue
+            self._chunks.setdefault(chunk_store_key(keys), path.stem)
+            for row, key in enumerate(keys):
+                self._points.setdefault(key, [path.stem, row])
+            recovered += 1
+        if recovered:
+            self._dirty += 1
+            self.store._count_recovered(recovered)
+            get_logger().info(
+                kv(
+                    "store.recovered",
+                    factory=self.factory,
+                    objects=recovered,
+                )
+            )
 
     # -- reading -------------------------------------------------------
     def probe(self, chunk: Sequence[Mapping[str, object]]) -> ChunkProbe:
@@ -768,7 +922,15 @@ class SweepStoreSession:
         probe: ChunkProbe | None = None,
     ) -> None:
         """Store one fully evaluated chunk (idempotent: a chunk the
-        index already covers in full is not rewritten)."""
+        index already covers in full is not rewritten).
+
+        Chunks holding quarantined points are not stored: a
+        :class:`~repro.core.errors.QuarantinedPoint` is containment
+        state (the quarantine ledger's job), not a factory outcome, and
+        must not be served to a later sweep running without the ledger.
+        """
+        if any(isinstance(outcome, QuarantinedPoint) for outcome in outcomes):
+            return
         if probe is not None:
             keys, chunk_hash = probe.keys, probe.chunk_hash
         else:
@@ -784,8 +946,7 @@ class SweepStoreSession:
         object_id = sha256_hex(canonical_json(payload))
         self.store._ensure_root()
         path = self.directory / "objects" / f"{object_id}.json"
-        if not path.exists():
-            self.store._write_document(path, payload)
+        if not path.exists() and self.store._write_document(path, payload):
             self.store._objects_written += 1
         for row, key in enumerate(keys):
             self._points[key] = [object_id, row]

@@ -1,24 +1,31 @@
-"""The resilient execution layer: supervision, checkpointing, chaos.
+"""The resilient execution layer: supervision, containment, checkpointing, chaos.
 
 Production-scale DSE sweeps and Monte-Carlo studies run for hours over
 process pools; this package keeps them alive and honest:
 
 * :mod:`repro.resilience.policy` — :class:`RetryPolicy` (timeouts,
-  bounded retry with exponential backoff, respawn budget, degradation)
-  and :class:`SupervisionStats`;
+  bounded retry with seeded-jitter exponential backoff, respawn budget,
+  heartbeat watchdog deadline, quarantine budget, salvage mode,
+  degradation) and :class:`SupervisionStats`;
 * :mod:`repro.resilience.supervisor` — :class:`SupervisedPool`, the
   crash-tolerant ``ProcessPoolExecutor`` wrapper
   :class:`~repro.dse.batch.BatchExplorer` dispatches through;
+* :mod:`repro.resilience.containment` — failure containment: the
+  persisted poison-point :class:`QuarantineLedger`, the parent-side
+  :class:`HeartbeatMonitor` watchdog, and the :class:`FailureReport`
+  of a salvaged partial run;
 * :mod:`repro.resilience.checkpoint` — atomic, checksummed
   :class:`CheckpointStore` files enabling bit-exact ``--resume`` of
-  killed sweeps and samplers;
+  killed sweeps and samplers, with bounded retry on transient disk
+  faults (:func:`atomic_write_text`);
 * :mod:`repro.resilience.faults` — the deterministic fault-injection
   harness (:class:`FaultPlan`) behind the chaos test suite.
 
 Everything here is byte-transparent: supervision, checkpointing and
-resume never change a sweep's results, cache contents or ordering —
-the chaos suite and ``benchmarks/bench_resilience.py`` gate exactly
-that.
+resume never change a sweep's results, cache contents or ordering for
+any non-quarantined point — the chaos suite and
+``benchmarks/bench_resilience.py`` gate exactly that, and quarantine
+is always reported, never silent.
 
 See ``docs/ROBUSTNESS.md`` for the operational guide.
 """
@@ -28,10 +35,21 @@ from __future__ import annotations
 from .checkpoint import (
     CHECKPOINT_FORMAT,
     CheckpointStore,
+    atomic_write_text,
     decode_outcomes,
     describe_factory,
     encode_outcomes,
+    set_disk_fault_hook,
     sweep_fingerprint,
+)
+from .containment import (
+    INCOMPLETE,
+    QUARANTINE_FORMAT,
+    BisectOutcome,
+    FailureReport,
+    HeartbeatMonitor,
+    QuarantineLedger,
+    QuarantineSession,
 )
 from .faults import (
     FaultInjectingFactory,
@@ -52,10 +70,19 @@ __all__ = [
     "SupervisedPool",
     "CheckpointStore",
     "CHECKPOINT_FORMAT",
+    "atomic_write_text",
+    "set_disk_fault_hook",
     "sweep_fingerprint",
     "encode_outcomes",
     "decode_outcomes",
     "describe_factory",
+    "QUARANTINE_FORMAT",
+    "QuarantineLedger",
+    "QuarantineSession",
+    "FailureReport",
+    "HeartbeatMonitor",
+    "BisectOutcome",
+    "INCOMPLETE",
     "FaultPlan",
     "FaultSpec",
     "FaultInjectingFactory",

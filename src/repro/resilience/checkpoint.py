@@ -24,14 +24,16 @@ fault-free run.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..core.design import DesignPoint
-from ..core.errors import CheckpointError, DomainError
+from ..core.errors import CheckpointError, DomainError, QuarantinedPoint
 from ..obs import metrics as _metrics
 from ..obs.log import get_logger, kv
 
@@ -44,10 +46,90 @@ __all__ = [
     "describe_factory",
     "canonical_json",
     "sha256_hex",
+    "atomic_write_text",
+    "set_disk_fault_hook",
+    "TRANSIENT_DISK_ERRNOS",
 ]
 
 #: Format tag written into (and required from) every checkpoint file.
 CHECKPOINT_FORMAT = "focal-checkpoint/1"
+
+#: ``OSError`` errnos treated as transient disk faults: a wedged I/O
+#: path (EIO) or a momentarily full volume (ENOSPC) often clears within
+#: milliseconds; anything else (EACCES, EROFS, ...) is configuration
+#: and propagates immediately.
+TRANSIENT_DISK_ERRNOS = (errno.EIO, errno.ENOSPC)
+
+#: Bounded retry budget for transient disk faults, and the backoff base
+#: between attempts (doubled each retry).
+DISK_RETRIES = 3
+DISK_BACKOFF_S = 0.01
+
+# Chaos hook: when set (FaultPlan.disk_hook), every durable write calls
+# it first so the fault suite can inject OSError deterministically.
+_disk_fault_hook: Callable[[Path], None] | None = None
+
+
+def set_disk_fault_hook(hook: Callable[[Path], None] | None) -> None:
+    """Install (or clear, with ``None``) the durable-write fault hook.
+
+    Test-only seam used by :class:`repro.resilience.faults.FaultPlan`
+    to fire deterministic ``OSError`` faults inside
+    :func:`atomic_write_text` without mocking the filesystem.
+    """
+    global _disk_fault_hook
+    _disk_fault_hook = hook
+
+
+def atomic_write_text(
+    path: Path, text: str, *, sleep: Callable[[float], None] = time.sleep
+) -> None:
+    """Durably write *text* to *path*: write-temp, fsync, atomic rename.
+
+    Transient disk faults (:data:`TRANSIENT_DISK_ERRNOS`) are retried
+    up to :data:`DISK_RETRIES` times with doubling backoff, counting
+    ``focal_disk_retry_total`` per retry; a persistent fault — or any
+    non-transient ``OSError`` — propagates to the caller, which decides
+    whether the write is essential (checkpoints raise
+    :class:`CheckpointError`) or shed-able (the result store falls back
+    to its memory tier).
+    """
+    path = Path(path)
+    temp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    for attempt in range(DISK_RETRIES + 1):
+        try:
+            if _disk_fault_hook is not None:
+                _disk_fault_hook(path)
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+            return
+        except OSError as exc:
+            try:
+                temp.unlink()
+            except OSError:
+                pass
+            transient = exc.errno in TRANSIENT_DISK_ERRNOS
+            if not transient or attempt >= DISK_RETRIES:
+                raise
+            get_logger().warning(
+                kv(
+                    "disk.retry",
+                    path=str(path),
+                    errno=exc.errno,
+                    attempt=attempt + 1,
+                    error=str(exc),
+                )
+            )
+            registry = _metrics.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "focal_disk_retry_total",
+                    "transient OSError retries on durable writes",
+                ).inc()
+            sleep(DISK_BACKOFF_S * (2.0**attempt))
 
 
 class _CorruptCheckpoint(CheckpointError):
@@ -111,7 +193,13 @@ class CheckpointStore:
     # Saving
     # ------------------------------------------------------------------
     def save(self, *, kind: str, fingerprint: Mapping, state: Mapping) -> None:
-        """Atomically replace the file with a checksummed checkpoint."""
+        """Atomically replace the file with a checksummed checkpoint.
+
+        Transient disk faults (EIO/ENOSPC) are retried with bounded
+        backoff inside :func:`atomic_write_text`; a write that still
+        fails raises :class:`CheckpointError` so callers can decide to
+        continue without checkpointing rather than abort the run.
+        """
         payload = {"kind": kind, "fingerprint": fingerprint, "state": state}
         body = _canonical(payload)
         document = json.dumps(
@@ -122,13 +210,13 @@ class CheckpointStore:
             },
             default=str,
         )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
-        with open(temp, "w", encoding="utf-8") as handle:
-            handle.write(document)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self.path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(self.path, document)
+        except OSError as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} could not be written: {exc}"
+            ) from exc
         self._fsync_dir()
 
     def _fsync_dir(self) -> None:
@@ -293,10 +381,17 @@ def sweep_fingerprint(
 def encode_outcomes(
     outcomes: Sequence[DesignPoint | DomainError],
 ) -> list[list]:
-    """One JSON row per outcome: designs as float hex, errors by message."""
+    """One JSON row per outcome: designs as float hex, errors by message.
+
+    Quarantined points get their own tag (``"q"``) so a resumed sweep
+    restores them as :class:`QuarantinedPoint` — still an excluded
+    outcome, but one the engine keeps reporting as quarantined.
+    """
     rows: list[list] = []
     for outcome in outcomes:
-        if isinstance(outcome, DomainError):
+        if isinstance(outcome, QuarantinedPoint):
+            rows.append(["q", str(outcome)])
+        elif isinstance(outcome, DomainError):
             rows.append(["e", str(outcome)])
         else:
             rows.append(
@@ -329,6 +424,8 @@ def decode_outcomes(rows: Sequence[Sequence]) -> list[DesignPoint | DomainError]
                 )
             elif tag == "e":
                 outcomes.append(DomainError(row[1]))
+            elif tag == "q":
+                outcomes.append(QuarantinedPoint(row[1]))
             else:
                 raise ValueError(f"unknown outcome tag {tag!r}")
         except (ValueError, TypeError, IndexError) as exc:

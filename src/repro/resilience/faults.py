@@ -47,8 +47,13 @@ __all__ = [
     "corrupt_checkpoint",
 ]
 
-#: Fault kinds a :class:`FaultSpec` may carry.
-KINDS = ("crash", "hang", "error")
+#: Fault kinds a :class:`FaultSpec` may carry. The first three are
+#: single-fire transients (retry recovers them); ``poison`` crashes the
+#: worker *every* time its point is evaluated (only quarantine contains
+#: it), ``stale`` oversleeps without heartbeating (the watchdog's prey),
+#: and ``disk`` raises a transient ``OSError`` from the durable-write
+#: hook instead of firing at a grid point.
+KINDS = ("crash", "hang", "error", "poison", "stale", "disk")
 
 #: Exit status an injected worker crash dies with (visible in logs).
 CRASH_EXIT_CODE = 73
@@ -115,7 +120,10 @@ class FaultInjectingFactory:
     def __call__(self, params: Mapping[str, object]) -> DesignPoint:
         key = tuple(sorted(params.items()))
         for spec in self.specs:
-            if spec.key == key and self._claim(spec):
+            # Poison points are deterministic, not transient: they fire
+            # on every evaluation (no single-fire claim) — only
+            # quarantine can contain them.
+            if spec.key == key and (spec.kind == "poison" or self._claim(spec)):
                 self._fire(spec)
         return self.factory(params)  # type: ignore[operator]
 
@@ -132,11 +140,14 @@ class FaultInjectingFactory:
         return True
 
     def _fire(self, spec: FaultSpec) -> None:
-        if spec.kind == "crash":
+        if spec.kind in ("crash", "poison"):
             # A real worker death: no exception, no cleanup, just like
             # the OOM killer. The parent sees BrokenProcessPool.
             os._exit(CRASH_EXIT_CODE)
-        if spec.kind == "hang":
+        if spec.kind in ("hang", "stale"):
+            # Both oversleep; "stale" deliberately does so without
+            # heartbeating, so only the watchdog can tell it from a
+            # slow-but-alive worker.
             time.sleep(spec.arg)
             return
         raise InjectedFault(
@@ -160,7 +171,9 @@ class VectorFaultInjectingFactory(FaultInjectingFactory):
 
     def batch_arrays(self, columns: Mapping[str, np.ndarray]):
         for spec in self.specs:
-            if self._covers(columns, spec) and self._claim(spec):
+            if self._covers(columns, spec) and (
+                spec.kind == "poison" or self._claim(spec)
+            ):
                 self._fire(spec)
         return self.factory.batch_arrays(columns)  # type: ignore[attr-defined]
 
@@ -201,16 +214,23 @@ class FaultPlan:
         crashes: int = 0,
         hangs: int = 0,
         errors: int = 0,
+        poisons: int = 0,
+        stales: int = 0,
+        disk_errors: int = 0,
         hang_s: float = 30.0,
+        stale_s: float = 30.0,
     ) -> "FaultPlan":
         """Choose distinct injection points deterministically from *seed*.
 
         Points are drawn without replacement from the grid's cartesian
         order by a :func:`numpy.random.default_rng` stream, then
-        assigned kinds in crash/hang/error order — the whole plan is a
-        pure function of ``(grid, seed, counts)``.
+        assigned kinds in crash/hang/error/poison/stale order — the
+        whole plan is a pure function of ``(grid, seed, counts)``.
+        ``disk_errors`` are not grid points: each is one single-fire
+        transient ``OSError`` raised from the durable-write hook (see
+        :meth:`disk_hook`).
         """
-        total = crashes + hangs + errors
+        total = crashes + hangs + errors + poisons + stales
         points = list(grid)
         if total > len(points):
             raise ValidationError(
@@ -218,16 +238,63 @@ class FaultPlan:
             )
         rng = np.random.default_rng(seed)
         chosen = rng.choice(len(points), size=total, replace=False)
-        kinds = ["crash"] * crashes + ["hang"] * hangs + ["error"] * errors
+        kinds = (
+            ["crash"] * crashes
+            + ["hang"] * hangs
+            + ["error"] * errors
+            + ["poison"] * poisons
+            + ["stale"] * stales
+        )
+        args = {"hang": hang_s, "stale": stale_s}
         specs = tuple(
             FaultSpec(
                 kind=kind,
                 key=tuple(sorted(points[int(index)].items())),
-                arg=hang_s if kind == "hang" else 0.0,
+                arg=args.get(kind, 0.0),
             )
             for kind, index in zip(kinds, chosen)
         )
+        specs += tuple(
+            FaultSpec(kind="disk", key=(("disk", index),))
+            for index in range(disk_errors)
+        )
         return cls(seed=seed, state_dir=str(state_dir), specs=specs)
+
+    @property
+    def poison_points(self) -> list[dict]:
+        """The planned poison points as grid-point parameter dicts."""
+        return [dict(spec.key) for spec in self.specs if spec.kind == "poison"]
+
+    def disk_hook(self):
+        """A durable-write fault hook firing this plan's disk errors.
+
+        Install with :func:`repro.resilience.checkpoint.
+        set_disk_fault_hook`; each planned ``disk`` spec raises one
+        transient ``OSError(ENOSPC)`` from the next durable write
+        (single-fire markers in ``state_dir``, like every other fault).
+        Returns ``None`` when the plan holds no disk specs.
+        """
+        import errno
+
+        specs = [spec for spec in self.specs if spec.kind == "disk"]
+        if not specs:
+            return None
+        Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+        state_dir = self.state_dir
+
+        def hook(path: object) -> None:
+            for spec in specs:
+                marker = os.path.join(state_dir, spec.marker_name())
+                try:
+                    fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    continue
+                os.close(fd)
+                raise OSError(
+                    errno.ENOSPC, f"injected disk fault (writing {path})"
+                )
+
+        return hook
 
     def wrap(self, factory: object) -> FaultInjectingFactory:
         """The fault-injecting twin of *factory* (state dir is created).

@@ -14,9 +14,12 @@ schedules without real wall-clock waits.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from ..core.errors import ValidationError
 
@@ -50,6 +53,34 @@ class RetryPolicy:
         When ``False``, exhausting retries raises
         :class:`~repro.core.errors.WorkerPoolError` instead of degrading
         (for callers that must not silently lose parallelism).
+    backoff_jitter:
+        Fractional jitter on each backoff sleep: attempt ``k`` sleeps
+        ``backoff_s(k) * (1 + backoff_jitter * u)`` with ``u`` drawn
+        uniformly from ``[-1, 1)`` by a policy-private seeded generator.
+        Concurrent sweeps sharing a host therefore never retry in
+        lockstep, yet a fixed ``jitter_seed`` reproduces the exact sleep
+        schedule. ``0.0`` disables jitter.
+    jitter_seed:
+        Seed for the jitter stream; ``None`` (the default) seeds from
+        the process id, which de-synchronizes co-hosted sweeps while
+        staying deterministic within one process.
+    heartbeat_timeout_s:
+        Parent-side watchdog deadline: workers touch per-process
+        heartbeat files while evaluating, and a pool whose heartbeats
+        *all* go stale past this deadline is reaped (respawned)
+        immediately instead of waiting out ``chunk_timeout_s``. ``None``
+        disables the watchdog.
+    salvage:
+        When ``True``, an irrecoverable run (respawn budget gone, pool
+        unspawnable, degradation disabled) returns the completed work
+        plus :data:`~repro.resilience.containment.INCOMPLETE` sentinels
+        for the rest instead of raising, letting the sweep engine keep
+        every finished chunk and report a structured
+        :class:`~repro.resilience.containment.FailureReport`.
+    max_quarantine:
+        Poison-point budget per pool: how many points quarantine
+        bisection may isolate before giving up on containment and
+        falling through to degrade/salvage/raise.
     sleep:
         Backoff sleeper (monkeypoint for tests; defaults to
         :func:`time.sleep`).
@@ -61,6 +92,11 @@ class RetryPolicy:
     chunk_timeout_s: float | None = None
     max_respawns: int = 2
     degrade_in_process: bool = True
+    backoff_jitter: float = 0.1
+    jitter_seed: int | None = None
+    heartbeat_timeout_s: float | None = None
+    salvage: bool = False
+    max_quarantine: int = 16
     sleep: Callable[[float], None] = field(
         default=time.sleep, repr=False, compare=False
     )
@@ -86,10 +122,42 @@ class RetryPolicy:
             raise ValidationError(
                 f"max_respawns must be >= 0, got {self.max_respawns}"
             )
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValidationError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}"
+            )
+        if (
+            self.heartbeat_timeout_s is not None
+            and self.heartbeat_timeout_s <= 0.0
+        ):
+            raise ValidationError(
+                "heartbeat_timeout_s must be > 0 or None, "
+                f"got {self.heartbeat_timeout_s}"
+            )
+        if self.max_quarantine < 0:
+            raise ValidationError(
+                f"max_quarantine must be >= 0, got {self.max_quarantine}"
+            )
 
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before re-dispatch *attempt* (0-based)."""
-        return self.backoff_base_s * self.backoff_factor**attempt
+        """Backoff before re-dispatch *attempt* (0-based), with jitter.
+
+        The jitter draw comes from a policy-private generator seeded by
+        ``jitter_seed`` (process id when ``None``) — deterministic per
+        policy instance, de-synchronized across processes.
+        """
+        base = self.backoff_base_s * self.backoff_factor**attempt
+        if not self.backoff_jitter:
+            return base
+        rng = getattr(self, "_jitter_rng", None)
+        if rng is None:
+            seed = self.jitter_seed if self.jitter_seed is not None else os.getpid()
+            rng = np.random.default_rng(seed)
+            # The frozen dataclass cannot grow fields; the generator is
+            # runtime state, deliberately outside equality and repr.
+            object.__setattr__(self, "_jitter_rng", rng)
+        offset = self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return base * (1.0 + offset)
 
 
 #: The stock policy ``focal sweep`` runs under: a couple of retries with
@@ -114,6 +182,10 @@ class SupervisionStats:
     respawns: int = 0
     degraded_batches: int = 0
     pool_degraded: bool = False
+    quarantined: int = 0
+    bisect_probes: int = 0
+    watchdog_reaps: int = 0
+    salvaged: int = 0
 
     @property
     def faults(self) -> int:
@@ -129,11 +201,21 @@ class SupervisionStats:
             "respawns": self.respawns,
             "degraded_batches": self.degraded_batches,
             "pool_degraded": self.pool_degraded,
+            "quarantined": self.quarantined,
+            "bisect_probes": self.bisect_probes,
+            "watchdog_reaps": self.watchdog_reaps,
+            "salvaged": self.salvaged,
         }
 
     def summary(self) -> str:
         """One human line for CLI output (empty when nothing happened)."""
-        if not self.faults and not self.pool_degraded:
+        if not (
+            self.faults
+            or self.pool_degraded
+            or self.quarantined
+            or self.watchdog_reaps
+            or self.salvaged
+        ):
             return ""
         parts = [
             f"supervisor: {self.faults} faults "
@@ -142,8 +224,14 @@ class SupervisionStats:
             f"{self.retries} retries",
             f"{self.respawns} pool respawns",
         ]
+        if self.watchdog_reaps:
+            parts.append(f"{self.watchdog_reaps} watchdog reaps")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} points quarantined")
         if self.degraded_batches:
             parts.append(f"{self.degraded_batches} batches ran in-process")
         if self.pool_degraded:
             parts.append("pool degraded")
+        if self.salvaged:
+            parts.append(f"{self.salvaged} batches salvaged incomplete")
         return ", ".join(parts)

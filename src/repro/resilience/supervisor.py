@@ -9,43 +9,88 @@ executor with the recovery ladder long design-space sweeps need:
 1. **bounded retry with exponential backoff** — a chunk whose dispatch
    fails (worker crash, transient factory exception, timeout) is
    re-dispatched up to :attr:`~repro.resilience.policy.RetryPolicy.
-   max_retries` times;
-2. **pool respawn** — a ``BrokenProcessPool`` or a chunk timeout kills
-   and recreates the executor (terminating any hung worker processes),
-   re-dispatching only the failed work, never the chunks that already
-   completed;
-3. **graceful degradation** — when the pool is irrecoverable (respawn
+   max_retries` times; with ``heartbeat_timeout_s`` set, a parent-side
+   watchdog reaps a pool whose worker heartbeats have *all* gone stale
+   instead of waiting out the blunt ``chunk_timeout_s``;
+2. **pool respawn** — a ``BrokenProcessPool``, a chunk timeout or a
+   watchdog reap kills and recreates the executor (terminating any
+   hung worker processes), re-dispatching only the failed work, never
+   the chunks that already completed;
+3. **poison-point quarantine** — when the retry budget is exhausted
+   and a :class:`~repro.resilience.containment.QuarantineSession` is
+   attached, the failing batch is bisected to isolate the minimal
+   crashing point set; those points are recorded in the quarantine
+   ledger and their slots filled with :class:`~repro.core.errors.
+   QuarantinedPoint` markers so the sweep continues without them;
+4. **graceful degradation** — when the pool is irrecoverable (respawn
    budget exhausted, or the OS refuses new processes), remaining work
    runs in-process, so the sweep finishes correctly, just slower. A
    genuine, repeatable factory bug is *not* retried away: the final
-   in-process attempt re-raises it.
+   in-process attempt re-raises it;
+5. **salvage** — under ``RetryPolicy(salvage=True,
+   degrade_in_process=False)`` an irrecoverable pool fills the failed
+   slots with :data:`~repro.resilience.containment.INCOMPLETE`
+   sentinels instead of raising, letting the caller keep the completed
+   prefix and report a structured failure.
 
 Every recovery action is counted in :class:`~repro.resilience.policy.
 SupervisionStats` and surfaced through the ``focal_retry_*`` /
-``focal_degraded_*`` metrics when :mod:`repro.obs.metrics` is enabled.
+``focal_degraded_*`` / ``focal_quarantine_*`` / ``focal_watchdog_*``
+metrics when :mod:`repro.obs.metrics` is enabled.
 
 Results are returned in job order and are byte-identical to an
-unsupervised run: supervision only re-executes pure factory calls, it
-never reorders or drops them.
+unsupervised run for every non-quarantined point: supervision only
+re-executes pure factory calls, it never reorders them, and removal by
+quarantine is always reported, never silent.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..core.errors import ValidationError, WorkerPoolError
 from ..obs import events as _events
 from ..obs import metrics as _metrics
+from . import containment as _containment
+from .containment import (
+    INCOMPLETE,
+    BisectOutcome,
+    HeartbeatMonitor,
+    QuarantineSession,
+)
 from .policy import DEFAULT_POLICY, RetryPolicy, SupervisionStats
 
 __all__ = ["SupervisedPool"]
 
+#: Internal signal: bisection gave up (budget, unspawnable pool, or an
+#: indescribable job) — fall through to the next recovery rung.
+_ABORT = object()
+
 
 def _run_batch(fn: Callable, jobs: Sequence) -> list:
-    """Worker-side batch evaluation (module-level, hence picklable)."""
-    return [fn(job) for job in jobs]
+    """Worker-side batch evaluation (module-level, hence picklable).
+
+    Beats the heartbeat between jobs so the parent watchdog sees a
+    pool that is slow-but-alive as alive (no-op without a monitor).
+    """
+    results = []
+    for job in jobs:
+        _containment.beat()
+        results.append(fn(job))
+    return results
+
+
+def _init_with_heartbeat(
+    hb_dir: str, initializer: Callable | None, initargs: tuple
+) -> None:
+    """Pool initializer wrapper: arm the heartbeat, then chain through."""
+    _containment.arm_heartbeat(hb_dir)
+    if initializer is not None:
+        initializer(*initargs)
 
 
 class SupervisedPool:
@@ -57,7 +102,8 @@ class SupervisedPool:
         Maximum worker processes (>= 1).
     policy:
         The :class:`~repro.resilience.policy.RetryPolicy` governing
-        timeouts, retries, respawns and degradation.
+        timeouts, retries, respawns, quarantine, salvage and
+        degradation.
     executor_factory:
         The executor constructor, ``ProcessPoolExecutor`` by default.
         Tests inject thread pools or deliberately failing factories
@@ -69,6 +115,14 @@ class SupervisedPool:
         once per pool instead of once per job. The caller is
         responsible for mirroring the state in its own process when
         jobs must also run in-process (degradation).
+    monitor:
+        The parent-side :class:`~repro.resilience.containment.
+        HeartbeatMonitor`; auto-created when the policy sets
+        ``heartbeat_timeout_s`` and none is supplied.
+    quarantine:
+        A :class:`~repro.resilience.containment.QuarantineSession`
+        enabling the poison-point bisection rung; ``None`` (the
+        default) skips that rung.
     """
 
     def __init__(
@@ -78,6 +132,8 @@ class SupervisedPool:
         executor_factory: Callable[..., Executor] = ProcessPoolExecutor,
         initializer: Callable | None = None,
         initargs: tuple = (),
+        monitor: HeartbeatMonitor | None = None,
+        quarantine: QuarantineSession | None = None,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -89,6 +145,15 @@ class SupervisedPool:
         self._initargs = initargs
         self._executor: Executor | None = None
         self._degraded = False
+        # Respawns already explained by a successful quarantine: once a
+        # poison point is excised, the crashes it caused say nothing
+        # about the pool's health, so they stop counting against the
+        # respawn budget.
+        self._respawns_forgiven = 0
+        if monitor is None and policy.heartbeat_timeout_s is not None:
+            monitor = HeartbeatMonitor()
+        self._monitor = monitor
+        self._quarantine = quarantine
 
     # ------------------------------------------------------------------
     # Public interface
@@ -98,13 +163,37 @@ class SupervisedPool:
         """Whether the pool is irrecoverable (all work runs in-process)."""
         return self._degraded
 
-    def run(self, fn: Callable, jobs: Sequence) -> list:
+    @property
+    def quarantine(self) -> QuarantineSession | None:
+        """The attached quarantine session, if any."""
+        return self._quarantine
+
+    def run(
+        self,
+        fn: Callable,
+        jobs: Sequence,
+        *,
+        splitter: Callable | None = None,
+        describe: Callable[[object], Mapping | None] | None = None,
+    ) -> list:
         """Evaluate ``fn`` over *jobs* on the pool, in job order.
 
         The jobs of one call are split into up to ``workers`` contiguous
         batches dispatched concurrently; a failed batch walks the
         recovery ladder described in the module docs. Exceptions that
         survive every recovery path propagate unchanged.
+
+        *splitter* and *describe* feed the quarantine-bisection rung:
+        ``splitter(job)`` returns a pair of half-sized sub-jobs (or
+        ``None`` for an atomic, single-point job) and ``describe(job)``
+        returns an atomic job's grid-point parameters for the ledger.
+        Without a quarantine session both are ignored. The returned
+        list holds one reply per job; a bisected multi-point job's slot
+        is a :class:`~repro.resilience.containment.BisectOutcome`
+        wrapping its recovered sub-replies, a quarantined point's slot
+        a :class:`~repro.core.errors.QuarantinedPoint`, and a salvaged
+        (never completed) job's slot :data:`~repro.resilience.
+        containment.INCOMPLETE`.
         """
         jobs = list(jobs)
         if not jobs:
@@ -115,17 +204,42 @@ class SupervisedPool:
         attempt = 0
         while pending:
             if self._degraded or self._ensure_executor() is None:
-                self._run_in_process(fn, batches, results, pending)
+                # attempt > 0 means the pending batches already failed
+                # this run; on a fresh call they are merely unevaluated
+                # and bisection must probe before splitting them.
+                self._last_resort(
+                    fn,
+                    batches,
+                    results,
+                    pending,
+                    splitter,
+                    describe,
+                    known_failing=attempt > 0,
+                )
                 break
-            futures = {
-                index: self._executor.submit(_run_batch, fn, batches[index])
-                for index in pending
-            }
-            _, not_done = wait(
-                futures.values(), timeout=self.policy.chunk_timeout_s
-            )
+            # submit() raises BrokenProcessPool *synchronously* when a
+            # worker dies between two submits of the same round (a
+            # poison job grabbed off the queue can kill the pool before
+            # the loop finishes) — the unsubmitted batches walk the
+            # ladder as crashes like everything else.
+            futures: dict[int, object] = {}
+            dispatch_broken = False
+            for index in pending:
+                try:
+                    futures[index] = self._executor.submit(
+                        _run_batch, fn, batches[index]
+                    )
+                except BrokenProcessPool:
+                    dispatch_broken = True
+                    break
+            not_done = self._wait_for(list(futures.values()))
             failed: list[int] = []
-            pool_hurt = False
+            pool_hurt = dispatch_broken
+            for index in pending:
+                if index not in futures:
+                    failed.append(index)
+                    self.stats.crashes += 1
+                    self._count_fault("crash")
             for index, future in futures.items():
                 if future in not_done:
                     failed.append(index)
@@ -151,7 +265,7 @@ class SupervisedPool:
                 # replace it before re-dispatching anything.
                 self._respawn()
             if attempt >= self.policy.max_retries:
-                self._run_in_process(fn, batches, results, failed)
+                self._last_resort(fn, batches, results, failed, splitter, describe)
                 break
             self.stats.retries += len(failed)
             self._event("pool.retry", batches=len(failed), attempt=attempt)
@@ -169,6 +283,8 @@ class SupervisedPool:
         ``KeyboardInterrupt`` included — leaves no orphans behind.
         """
         self._kill_executor(cancel_futures=cancel_futures)
+        if self._monitor is not None:
+            self._monitor.cleanup()
 
     # Context-manager sugar so call sites mirror ProcessPoolExecutor.
     def __enter__(self) -> "SupervisedPool":
@@ -177,6 +293,44 @@ class SupervisedPool:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.shutdown()
         return False
+
+    # ------------------------------------------------------------------
+    # Waiting: chunk timeout + heartbeat watchdog
+    # ------------------------------------------------------------------
+    def _wait_for(self, futures: list) -> set:
+        """The futures still pending when the pool must be declared hurt.
+
+        Without a watchdog this is one blocking :func:`wait` bounded by
+        ``chunk_timeout_s``. With ``heartbeat_timeout_s`` set, the wait
+        polls and reaps as soon as every worker heartbeat is stale —
+        a slow-but-alive pool (fresh beats) keeps running right up to
+        ``chunk_timeout_s``, a hung one is replaced after one heartbeat
+        deadline.
+        """
+        heartbeat = self.policy.heartbeat_timeout_s
+        if heartbeat is None or self._monitor is None:
+            _, not_done = wait(futures, timeout=self.policy.chunk_timeout_s)
+            return not_done
+        deadline = (
+            time.monotonic() + self.policy.chunk_timeout_s
+            if self.policy.chunk_timeout_s is not None
+            else None
+        )
+        poll = max(0.01, min(heartbeat / 4.0, 0.25))
+        while True:
+            _, not_done = wait(futures, timeout=poll)
+            if not not_done:
+                return not_done
+            if self._monitor.stale(heartbeat):
+                self.stats.watchdog_reaps += 1
+                self._event("pool.reap", reason="stale-heartbeat")
+                self._inc(
+                    "focal_watchdog_reaps_total",
+                    "worker pools reaped on stale heartbeats",
+                )
+                return not_done
+            if deadline is not None and time.monotonic() >= deadline:
+                return not_done
 
     # ------------------------------------------------------------------
     # Recovery ladder internals
@@ -200,7 +354,14 @@ class SupervisedPool:
             # test-injected executor factories with a bare
             # ``max_workers`` signature keep working.
             kwargs: dict = {"max_workers": self.workers}
-            if self._initializer is not None:
+            if self._monitor is not None:
+                kwargs["initializer"] = _init_with_heartbeat
+                kwargs["initargs"] = (
+                    self._monitor.arm(),
+                    self._initializer,
+                    self._initargs,
+                )
+            elif self._initializer is not None:
                 kwargs["initializer"] = self._initializer
                 kwargs["initargs"] = self._initargs
             try:
@@ -212,10 +373,15 @@ class SupervisedPool:
     def _respawn(self) -> None:
         """Replace a broken/hung executor, within the respawn budget."""
         self._kill_executor(cancel_futures=True)
+        if self._monitor is not None:
+            self._monitor.clear()
         self.stats.respawns += 1
         self._event("pool.respawn", respawns=self.stats.respawns)
         self._inc("focal_pool_respawn_total", "worker pool respawns")
-        if self.stats.respawns > self.policy.max_respawns:
+        if (
+            self.stats.respawns - self._respawns_forgiven
+            > self.policy.max_respawns
+        ):
             self._declare_degraded()
 
     def _declare_degraded(self) -> None:
@@ -227,6 +393,176 @@ class SupervisedPool:
             "focal_degraded_pool_total", "worker pools declared irrecoverable"
         )
 
+    def _last_resort(
+        self,
+        fn: Callable,
+        batches: list[list],
+        results: list[list | None],
+        indices: Sequence[int],
+        splitter: Callable | None,
+        describe: Callable | None,
+        *,
+        known_failing: bool = True,
+    ) -> None:
+        """Retry budget gone: quarantine-bisect, degrade, salvage or raise.
+
+        Quarantine outranks degradation: bisection runs even on a pool
+        already declared degraded — a poison point's own crashes are
+        often what burned the respawn budget, and degrading would replay
+        the killer in this process. An unspawnable executor makes every
+        probe abort, falling through to degrade/salvage as before.
+        """
+        indices = list(indices)
+        if self._quarantine is not None and describe is not None:
+            remaining: list[int] = []
+            for index in indices:
+                replies = self._bisect_group(
+                    fn,
+                    batches[index],
+                    splitter,
+                    describe,
+                    probe_first=not known_failing,
+                )
+                if replies is _ABORT:
+                    remaining.append(index)
+                else:
+                    results[index] = replies
+            indices = remaining
+            if not indices:
+                # Every failing batch is explained by quarantined
+                # points, so the respawns their crashes burned no
+                # longer indict the pool — refund the budget and
+                # retract any degradation verdict those crashes caused.
+                self._respawns_forgiven = self.stats.respawns
+                if self._degraded:
+                    self._degraded = False
+                    self.stats.pool_degraded = False
+                return
+        if self.policy.degrade_in_process:
+            self._run_in_process(fn, batches, results, indices)
+            return
+        if self.policy.salvage:
+            self._salvage(batches, results, indices)
+            return
+        raise WorkerPoolError(
+            f"worker pool failed {len(indices)} batch(es) after "
+            f"{self.policy.max_retries} retries and in-process "
+            "degradation is disabled by policy"
+        )
+
+    # -- poison-point bisection ----------------------------------------
+    def _bisect_group(
+        self,
+        fn: Callable,
+        jobs: list,
+        splitter: Callable | None,
+        describe: Callable,
+        *,
+        probe_first: bool = True,
+    ) -> list | object:
+        """Per-job replies for a failing job group, or :data:`_ABORT`.
+
+        Classic halving: a group that probes clean returns its results
+        wholesale; a failing group of more than one job splits in two;
+        a failing single job is either split further via *splitter*
+        (columnar shards down to single rows, wrapped in a
+        :class:`BisectOutcome`) or quarantined as the isolated poison
+        point. Probe crashes replace the executor without consuming
+        the respawn budget — bisection deliberately crashes workers.
+        """
+        if probe_first:
+            status, payload = self._probe(fn, jobs)
+            if status == "ok":
+                return payload
+            if status == "abort":
+                return _ABORT
+            kind = payload
+        else:
+            kind = "crash"
+        if len(jobs) > 1:
+            mid = len(jobs) // 2
+            left = self._bisect_group(fn, jobs[:mid], splitter, describe)
+            if left is _ABORT:
+                return _ABORT
+            right = self._bisect_group(fn, jobs[mid:], splitter, describe)
+            if right is _ABORT:
+                return _ABORT
+            return left + right
+        job = jobs[0]
+        subjobs = splitter(job) if splitter is not None else None
+        if subjobs:
+            inner = self._bisect_group(fn, list(subjobs), splitter, describe)
+            if inner is _ABORT:
+                return _ABORT
+            return [BisectOutcome(tuple(self._flatten_replies(inner)))]
+        if self.stats.quarantined >= self.policy.max_quarantine:
+            self._event("pool.quarantine_budget", budget=self.policy.max_quarantine)
+            return _ABORT
+        params = describe(job)
+        if params is None:
+            return _ABORT
+        marker = self._quarantine.quarantine(
+            params,
+            kind=kind,
+            reason=f"isolated by bisection after retry budget ({kind})",
+        )
+        self.stats.quarantined += 1
+        self._event("pool.quarantine", kind=kind)
+        return [marker]
+
+    @staticmethod
+    def _flatten_replies(replies: list) -> list:
+        """Inline nested :class:`BisectOutcome` layers, drop quarantine
+        markers (the quarantined rows are already in the ledger; the
+        engine re-derives their identity from the session)."""
+        flat: list = []
+        for reply in replies:
+            if isinstance(reply, BisectOutcome):
+                flat.extend(SupervisedPool._flatten_replies(list(reply.replies)))
+            elif not isinstance(reply, Exception):
+                flat.append(reply)
+        return flat
+
+    def _probe(self, fn: Callable, jobs: list) -> tuple[str, object]:
+        """One bisection probe: ``("ok", results)``, ``("fail", kind)``
+        or ``("abort", None)`` when no executor can be spawned."""
+        executor = self._ensure_executor()
+        if executor is None:
+            return "abort", None
+        self.stats.bisect_probes += 1
+        future = executor.submit(_run_batch, fn, jobs)
+        timeout = self.policy.chunk_timeout_s
+        if timeout is None and self.policy.heartbeat_timeout_s is not None:
+            timeout = self.policy.heartbeat_timeout_s * 4.0
+        try:
+            return "ok", future.result(timeout=timeout)
+        except BrokenProcessPool:
+            self.stats.crashes += 1
+            self._count_fault("crash")
+            self._respawn_for_bisect()
+            return "fail", "crash"
+        except FuturesTimeoutError:
+            self.stats.timeouts += 1
+            self._count_fault("timeout")
+            self._respawn_for_bisect()
+            return "fail", "hang"
+        except Exception:
+            self.stats.transient_errors += 1
+            self._count_fault("error")
+            return "fail", "error"
+
+    def _respawn_for_bisect(self) -> None:
+        """Replace the executor after a probe crash/hang.
+
+        Deliberately outside the respawn budget: bisection *expects* to
+        crash workers while narrowing in on the poison point, and must
+        not burn the budget that guards against genuinely flaky pools.
+        """
+        self._kill_executor(cancel_futures=True)
+        if self._monitor is not None:
+            self._monitor.clear()
+
+    # -- degrade / salvage ---------------------------------------------
     def _run_in_process(
         self,
         fn: Callable,
@@ -234,13 +570,7 @@ class SupervisedPool:
         results: list[list | None],
         indices: Sequence[int],
     ) -> None:
-        """The last rung: evaluate *indices* in this process."""
-        if not self.policy.degrade_in_process:
-            raise WorkerPoolError(
-                f"worker pool failed {len(indices)} batch(es) after "
-                f"{self.policy.max_retries} retries and in-process "
-                "degradation is disabled by policy"
-            )
+        """The degradation rung: evaluate *indices* in this process."""
         for index in indices:
             results[index] = [fn(job) for job in batches[index]]
             self.stats.degraded_batches += 1
@@ -248,6 +578,22 @@ class SupervisedPool:
                 "focal_degraded_batches_total",
                 "work batches evaluated in-process after pool failure",
             )
+
+    def _salvage(
+        self,
+        batches: list[list],
+        results: list[list | None],
+        indices: Sequence[int],
+    ) -> None:
+        """Fill never-completed slots with :data:`INCOMPLETE` sentinels."""
+        for index in indices:
+            results[index] = [INCOMPLETE] * len(batches[index])
+            self.stats.salvaged += 1
+        self._event("pool.salvage", batches=len(indices))
+        self._inc(
+            "focal_salvage_runs_total",
+            "irrecoverable runs salvaged as partial results",
+        )
 
     def _kill_executor(self, *, cancel_futures: bool) -> None:
         """Shut the executor down without waiting on hung workers.

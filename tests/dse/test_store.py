@@ -216,14 +216,26 @@ class TestCorruption:
         assert probe.missing == [0, 1, 2, 3]
         assert store.stats().corrupt == 1
 
-    def test_corrupt_index_is_an_empty_store(self, tmp_path):
+    def test_corrupt_index_recovers_committed_objects(self, tmp_path):
+        # The index is a cache of the object directory, not the source
+        # of truth: losing it must not strand the committed objects.
         chunk = self._populated(tmp_path)
         (index,) = tmp_path.glob("sweeps/*/index.json")
         index.write_text("ni!")
         store = ResultStore(tmp_path)
         probe = _session(store).probe(chunk)
-        assert probe.missing == [0, 1, 2, 3]
+        assert probe.complete
         assert store.stats().corrupt == 1
+        assert store.stats().recovered_objects == 1  # one 4-point chunk object
+
+    def test_missing_index_recovers_committed_objects(self, tmp_path):
+        chunk = self._populated(tmp_path)
+        (index,) = tmp_path.glob("sweeps/*/index.json")
+        index.unlink()
+        store = ResultStore(tmp_path)
+        probe = _session(store).probe(chunk)
+        assert probe.complete
+        assert store.stats().recovered_objects == 1  # one 4-point chunk object
 
 
 class TestMemoryTier:

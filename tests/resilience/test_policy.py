@@ -15,10 +15,27 @@ class TestRetryPolicy:
         assert DEFAULT_POLICY.degrade_in_process is True
 
     def test_backoff_is_exponential(self):
-        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=3.0)
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=3.0, backoff_jitter=0.0
+        )
         assert policy.backoff_s(0) == pytest.approx(0.1)
         assert policy.backoff_s(1) == pytest.approx(0.3)
         assert policy.backoff_s(2) == pytest.approx(0.9)
+
+    def test_backoff_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=3.0, backoff_jitter=0.25,
+            jitter_seed=7,
+        )
+        twin = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=3.0, backoff_jitter=0.25,
+            jitter_seed=7,
+        )
+        for attempt, base in enumerate((0.1, 0.3, 0.9)):
+            delay = policy.backoff_s(attempt)
+            assert base * 0.75 <= delay <= base * 1.25
+            # Same seed, same draw sequence: retries are reproducible.
+            assert delay == twin.backoff_s(attempt)
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -29,6 +46,10 @@ class TestRetryPolicy:
             {"chunk_timeout_s": 0.0},
             {"chunk_timeout_s": -1.0},
             {"max_respawns": -1},
+            {"backoff_jitter": -0.1},
+            {"backoff_jitter": 1.5},
+            {"heartbeat_timeout_s": 0.0},
+            {"max_quarantine": -1},
         ],
     )
     def test_rejects_bad_values(self, kwargs):

@@ -75,6 +75,7 @@ class TestRetryLadder:
             max_retries=3,
             backoff_base_s=0.1,
             backoff_factor=2.0,
+            backoff_jitter=0.0,
             sleep=sleeps.append,
         )
         flaky = Flaky(failures=2)

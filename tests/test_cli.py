@@ -497,3 +497,136 @@ class TestParallelTelemetry:
         capsys.readouterr()
         assert main(["profile", str(target)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSweepContainment:
+    """The exit-code contract: 0 clean, 3 salvaged, 4 quarantined."""
+
+    @staticmethod
+    def _poison_ledger(path, params):
+        """A ledger already naming *params* poison for the CLI factory."""
+        from repro.dse.factories import SymmetricMulticoreFactory
+        from repro.resilience import QuarantineLedger, describe_factory
+
+        ledger = QuarantineLedger(path)
+        ledger.record(
+            describe_factory(SymmetricMulticoreFactory()),
+            params,
+            kind="poison",
+            reason="planted by test",
+        )
+        return ledger
+
+    def test_clean_sweep_with_ledger_exits_zero(self, tmp_path, capsys):
+        ledger = tmp_path / "poison.json"
+        assert (
+            main(
+                ["sweep", "--max-cores", "8", "--quarantine", str(ledger)]
+            )
+            == 0
+        )
+        assert "quarantine:" not in capsys.readouterr().out
+
+    def test_known_poison_points_exit_four(self, tmp_path, capsys):
+        # The CLI grid is geometric cores x fractions; cores come out of
+        # geometric_range as floats.
+        ledger = tmp_path / "poison.json"
+        self._poison_ledger(ledger, {"cores": 2.0, "f": 0.5})
+        code = main(
+            [
+                "sweep",
+                "--max-cores",
+                "8",
+                "--fractions",
+                "0.5",
+                "0.9",
+                "--quarantine",
+                str(ledger),
+            ]
+        )
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "quarantine: 1 poison point(s) excluded" in out
+        assert str(ledger) in out
+
+    def test_quarantined_sweep_excludes_only_the_poison_point(
+        self, tmp_path, capsys
+    ):
+        args = ["sweep", "--max-cores", "8", "--fractions", "0.5"]
+        assert main(args) == 0
+        clean = capsys.readouterr().out
+
+        ledger = tmp_path / "poison.json"
+        self._poison_ledger(ledger, {"cores": 4.0, "f": 0.5})
+        assert main(args + ["--quarantine", str(ledger)]) == 4
+        poisoned = capsys.readouterr().out
+        # 4 cores x 1 fraction = 4 designs clean, 3 with one quarantined.
+        assert "4 designs" in clean
+        assert "3 designs" in poisoned
+
+    def test_salvaged_run_exits_three(self, tmp_path, capsys, monkeypatch):
+        """--salvage + an irrecoverable pool: exit 3, report printed."""
+        import repro.dse.batch as batch_mod
+        from repro.resilience import FailureReport
+
+        report = FailureReport(
+            reason="irrecoverable worker pool; completed prefix salvaged",
+            error="injected",
+            completed_chunks=1,
+            total_chunks=4,
+            completed_points=16,
+            pending_points=48,
+            checkpoint=str(tmp_path / "sweep.ckpt"),
+        )
+        real = batch_mod.BatchExplorer.explore_arrays
+
+        def salvaged(self, grid, **kwargs):
+            result = real(self, grid, **kwargs)
+            import dataclasses
+
+            return dataclasses.replace(result, failure=report)
+
+        monkeypatch.setattr(batch_mod.BatchExplorer, "explore_arrays", salvaged)
+        code = main(
+            ["sweep", "--max-cores", "8", "--workers", "2", "--salvage"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "salvaged: 1/4 chunks" in out
+        assert "resume from" in out
+
+    def test_salvage_outranks_quarantine(self, tmp_path, capsys, monkeypatch):
+        """A partial result is reported before which points were lost."""
+        import repro.dse.batch as batch_mod
+        from repro.resilience import FailureReport
+
+        report = FailureReport(
+            reason="r", error="e", completed_chunks=0, total_chunks=1,
+            completed_points=0, pending_points=8,
+        )
+        real = batch_mod.BatchExplorer.explore_arrays
+
+        def salvaged(self, grid, **kwargs):
+            import dataclasses
+
+            result = real(self, grid, **kwargs)
+            return dataclasses.replace(
+                result,
+                failure=report,
+                quarantined=({"cores": 2.0, "f": 0.5},),
+            )
+
+        monkeypatch.setattr(batch_mod.BatchExplorer, "explore_arrays", salvaged)
+        assert main(["sweep", "--max-cores", "8"]) == 3
+
+    def test_salvage_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--salvage", "--quarantine", "p.json"]
+        )
+        assert args.salvage is True
+        assert args.quarantine == "p.json"
+
+    def test_exit_code_contract_is_documented(self):
+        doc = main.__doc__
+        for needle in ("``0``", "``2``", "``3``", "``4``", "``130``"):
+            assert needle in doc
