@@ -14,12 +14,15 @@ Times the paths the batch engine replaces —
   at >= 5x);
 * 100k-sample Monte-Carlo verdict classification, scalar
   per-sample loop vs :func:`~repro.core.batch.classify_arrays`;
-* the parallel-columnar engine (``workers=4``) against the
-  single-process columnar path on a 100k-point grid through a
-  deliberately compute-heavy iterative fixed-point factory, with an
-  exact-parity gate (``max_abs_ncf_diff == 0.0``, identical category
-  counts and cache contents) and a >= 2x speedup gate that CI enforces
-  on hosts with at least 4 CPUs;
+* the parallel-columnar engine at its ``workers="auto"`` operating
+  point against the single-process columnar path on a 100k-point grid
+  through a deliberately compute-heavy iterative fixed-point factory,
+  with an exact-parity gate (``max_abs_ncf_diff == 0.0``, identical
+  category counts and cache contents) and a **never-slower** speedup
+  gate enforced on every host: >= 1.0 anywhere, >= 2.0 on hosts with
+  at least 4 CPUs. A forced ``workers=4`` pool is timed alongside as
+  an advisory figure, and serial/static/work-stealing schedules are
+  cross-checked for identical result, cache and checkpoint bytes;
 * the persistent result store (``repro.dse.store``): a warm re-sweep
   of a 20k-point compute-heavy grid served entirely from disk against
   the cold columnar run that populated it (>= 10x gate, enforced on
@@ -72,8 +75,20 @@ PARALLEL_GRID = ParameterGrid(
     }
 )
 PARALLEL_WORKERS = 4
-PARALLEL_SPEEDUP_GATE = 2.0
+#: Never-slower, always enforced: the ``workers="auto"`` operating
+#: point may not lose to ``workers=0`` on any host, and on real
+#: multicore (>= 4 CPUs) it must win by at least 2x.
+PARALLEL_SPEEDUP_GATE_MULTICORE = 2.0
 FIXED_POINT_ITERS = 2500
+#: Smaller grid for the schedule byte-identity cross-check (three full
+#: sweeps; identity is geometry-independent, so keep them cheap).
+SCHEDULE_GRID = ParameterGrid(
+    {
+        "cores": list(range(1, 101)),
+        "f": linear_range(0.50, 0.99, 100),
+    }
+)
+SCHEDULE_ITERS = 500
 
 #: Store operating point: 20,000 points through a kernel heavy enough
 #: (~60k fixed-point iterations per chunk) that the warm path's
@@ -290,10 +305,10 @@ def test_montecarlo_end_to_end(benchmark, emit):
 
 
 # ----------------------------------------------------------------------
-# Parallel-columnar engine: workers=4 vs single-process columnar
+# Parallel-columnar engine: auto operating point + forced pool advisory
 # ----------------------------------------------------------------------
-def _timed_parallel_sweep(workers: int):
-    factory = IterativeFixedPointFactory(iters=FIXED_POINT_ITERS)
+def _timed_parallel_sweep(workers, grid=PARALLEL_GRID, iters=FIXED_POINT_ITERS):
+    factory = IterativeFixedPointFactory(iters=iters)
     explorer = BatchExplorer(
         factory=factory,
         baseline=BASELINE,
@@ -303,67 +318,155 @@ def _timed_parallel_sweep(workers: int):
         workers=workers,
     )
     start = time.perf_counter()
-    sweep = explorer.explore_arrays(PARALLEL_GRID)
+    sweep = explorer.explore_arrays(grid)
     return sweep, explorer, time.perf_counter() - start
 
 
-def test_parallel_columnar_sweep(benchmark, emit):
-    """Time the pool against the single process and gate exact parity.
+def _sweep_bytes(sweep) -> tuple:
+    return (
+        sweep.ncf_fixed_work.tobytes(),
+        sweep.ncf_fixed_time.tobytes(),
+        sweep.perf.tobytes(),
+        sweep.codes.tobytes(),
+    )
 
-    The speedup gate only *fails* on hosts with >= 4 CPUs (CI runners);
-    the parity gates — bit-identical NCFs, identical category counts
-    and cache contents — are enforced everywhere, always.  Both sweeps
-    are timed with the same wall-clock probe; ``benchmark.pedantic``
-    (one round — a sweep takes seconds) keeps the test selected under
-    ``--benchmark-only``.
+
+def test_parallel_columnar_sweep(benchmark, emit):
+    """The never-slower gate: ``workers="auto"`` vs ``workers=0``.
+
+    Enforced on **every** host, always. Auto calibrates on the first
+    chunk and engages a pool only when dispatch can win; when it
+    declines (few CPUs, cheap kernel), the sweep *is* the serial
+    columnar path — asserted byte-identical here, so the speedup is
+    1.0 by construction, not by luck of the timer. When it engages, the
+    measured speedup must clear the tiered gate: >= 1.0 anywhere
+    (auto may never lose), >= 2.0 on real multicore (>= 4 CPUs). The
+    forced ``workers=4`` pool is also timed as an advisory figure —
+    on starved hosts it documents *why* auto declining is correct (this
+    is the configuration that once benchmarked at 0.69x on 1 CPU).
+
+    Parity gates — bit-identical NCFs, identical category counts and
+    cache contents — are enforced everywhere, for both the auto and the
+    forced-pool sweep.
     """
+    cpus = os.cpu_count() or 1
     serial_sweep, serial_explorer, serial_s = _timed_parallel_sweep(0)
     assert serial_explorer.last_sweep.mode == "columnar"
-    par_sweep, par_explorer, parallel_s = benchmark.pedantic(
-        lambda: _timed_parallel_sweep(PARALLEL_WORKERS), rounds=1, iterations=1
+    auto_sweep, auto_explorer, auto_s = benchmark.pedantic(
+        lambda: _timed_parallel_sweep("auto"), rounds=1, iterations=1
     )
-    assert par_explorer.last_sweep.mode == "parallel-columnar"
-
-    max_diff = max(
-        float(np.max(np.abs(par_sweep.ncf_fixed_work - serial_sweep.ncf_fixed_work))),
-        float(np.max(np.abs(par_sweep.ncf_fixed_time - serial_sweep.ncf_fixed_time))),
-    )
-    counts_equal = (
-        par_sweep.category_counts() == serial_sweep.category_counts()
-    )
-    cache_equal = dict(par_explorer.cache._entries) == dict(
+    auto_engine = auto_explorer.last_sweep
+    auto_engaged = auto_engine.workers > 0
+    assert _sweep_bytes(auto_sweep) == _sweep_bytes(serial_sweep)
+    assert dict(auto_explorer.cache._entries) == dict(
         serial_explorer.cache._entries
     )
-    speedup = serial_s / parallel_s
-    gate_enforced = (os.cpu_count() or 1) >= PARALLEL_WORKERS
+    # Declined auto runs the exact serial code path: the honest speedup
+    # is definitionally 1.0 (byte-equality above is the proof), and
+    # timing noise between two identical runs is not a regression.
+    speedup = serial_s / auto_s if auto_engaged else 1.0
+    gate = PARALLEL_SPEEDUP_GATE_MULTICORE if cpus >= 4 else 1.0
+
+    forced_sweep, forced_explorer, forced_s = _timed_parallel_sweep(
+        PARALLEL_WORKERS
+    )
+    assert forced_explorer.last_sweep.mode == "parallel-columnar"
+    max_diff = max(
+        float(np.max(np.abs(forced_sweep.ncf_fixed_work - serial_sweep.ncf_fixed_work))),
+        float(np.max(np.abs(forced_sweep.ncf_fixed_time - serial_sweep.ncf_fixed_time))),
+    )
+    counts_equal = (
+        forced_sweep.category_counts() == serial_sweep.category_counts()
+    )
+    cache_equal = dict(forced_explorer.cache._entries) == dict(
+        serial_explorer.cache._entries
+    )
     _RESULTS.update(
         {
             "parallel_grid_points": len(PARALLEL_GRID),
-            "parallel_workers": PARALLEL_WORKERS,
             "parallel_kernel_iters": FIXED_POINT_ITERS,
+            "parallel_cpus": cpus,
             "sweep_columnar_s": serial_s,
-            "sweep_parallel_columnar_s": parallel_s,
+            "sweep_auto_s": auto_s,
+            "parallel_auto_engaged": auto_engaged,
+            "parallel_auto_workers": auto_engine.workers,
             "parallel_speedup": speedup,
-            "parallel_speedup_gate": PARALLEL_SPEEDUP_GATE,
-            "parallel_gate_enforced": gate_enforced,
+            "parallel_speedup_gate": gate,
+            "parallel_gate_enforced": True,
             "parallel_max_abs_ncf_diff": max_diff,
             "parallel_category_counts_equal": counts_equal,
             "parallel_cache_entries_equal": cache_equal,
-            "parallel_worker_utilization": par_explorer.last_sweep.worker_utilization,
-            "parallel_shm_bytes": par_explorer.last_sweep.shm_bytes,
+            "parallel_workers": PARALLEL_WORKERS,
+            "sweep_parallel_columnar_s": forced_s,
+            "parallel_forced_speedup": serial_s / forced_s,
+            "parallel_forced_gate_enforced": False,
+            "parallel_worker_utilization": forced_explorer.last_sweep.worker_utilization,
+            "parallel_shm_bytes": forced_explorer.last_sweep.shm_bytes,
+            "parallel_scheduler": forced_explorer.last_sweep.scheduler,
         }
     )
     assert max_diff == 0.0
     assert counts_equal
     assert cache_equal
-    if gate_enforced:
-        assert speedup >= PARALLEL_SPEEDUP_GATE
-    gate_note = (
-        "gated" if gate_enforced else f"recorded only, {os.cpu_count()} CPU host"
+    assert speedup >= gate, (
+        f"auto operating point lost to serial: {speedup:.2f}x < {gate:g}x "
+        f"({cpus} CPUs, auto -> {auto_engine.workers or 'serial'})"
     )
     emit(
-        f"parallel-columnar: {len(PARALLEL_GRID)} points, "
-        f"{PARALLEL_WORKERS} workers, {speedup:.2f}x vs columnar ({gate_note})"
+        f"parallel-columnar auto: {len(PARALLEL_GRID)} points, auto -> "
+        f"{auto_engine.workers or 'serial'} on {cpus} CPUs, {speedup:.2f}x "
+        f"(gate >= {gate:g}x, enforced); forced {PARALLEL_WORKERS} workers: "
+        f"{serial_s / forced_s:.2f}x (advisory)"
+    )
+
+
+def test_parallel_schedule_byte_identity(emit, tmp_path):
+    """Serial, static shards and work-stealing shards must be fully
+    interchangeable: identical result bytes, identical cache contents,
+    identical checkpoint bytes (the fingerprint deliberately excludes
+    workers/scheduler/spill, so a checkpoint written under any schedule
+    resumes under any other)."""
+    runs = {}
+    for key, kwargs in (
+        ("serial", dict(workers=0)),
+        ("static", dict(workers=2, scheduler="static")),
+        ("steal", dict(workers=2, scheduler="steal")),
+    ):
+        factory = IterativeFixedPointFactory(iters=SCHEDULE_ITERS)
+        explorer = BatchExplorer(
+            factory=factory,
+            baseline=BASELINE,
+            weight=EMBODIED_DOMINATED,
+            cache=FactoryCache(factory),
+            chunk_size=2048,
+            **kwargs,
+        )
+        ckpt = tmp_path / f"{key}.ckpt"
+        sweep = explorer.explore_arrays(SCHEDULE_GRID, checkpoint=ckpt)
+        runs[key] = {
+            "bytes": _sweep_bytes(sweep),
+            "cache": dict(explorer.cache._entries),
+            "ckpt": ckpt.read_bytes(),
+        }
+    reference = runs["serial"]
+    bytes_equal = all(r["bytes"] == reference["bytes"] for r in runs.values())
+    cache_equal = all(r["cache"] == reference["cache"] for r in runs.values())
+    ckpt_equal = all(r["ckpt"] == reference["ckpt"] for r in runs.values())
+    _RESULTS.update(
+        {
+            "schedule_grid_points": len(SCHEDULE_GRID),
+            "schedule_bytes_identical": bytes_equal,
+            "schedule_cache_entries_equal": cache_equal,
+            "schedule_checkpoint_bytes_equal": ckpt_equal,
+        }
+    )
+    assert bytes_equal
+    assert cache_equal
+    assert ckpt_equal
+    emit(
+        f"schedule identity: {len(SCHEDULE_GRID)} points x "
+        "{serial, static, steal} -> identical result, cache and "
+        "checkpoint bytes"
     )
 
 

@@ -50,6 +50,21 @@ from .studies.registry import run_study, study_names
 __all__ = ["main", "build_parser"]
 
 
+def _workers_arg(value: str) -> "int | str":
+    """``--workers`` accepts a pool size or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
 def _add_global_options(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
     """The observability options every subcommand accepts.
 
@@ -233,13 +248,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=0,
+        metavar="N|auto",
         help=(
-            "process-pool workers (0 = in-process); a cold sweep of a "
-            "vector factory runs parallel-columnar: chunk-aligned grid "
-            "shards ship to workers as columns and results return via "
-            "shared memory"
+            "process-pool workers (0 = in-process, 'auto' = calibrate: "
+            "time the first chunk and engage a pool only when the "
+            "dispatch math wins); a cold sweep of a vector factory runs "
+            "parallel-columnar: the grid resides in shared memory and "
+            "chunk-aligned shards return results via shared memory"
+        ),
+    )
+    sweep.add_argument(
+        "--scheduler",
+        choices=("steal", "static"),
+        default="steal",
+        help=(
+            "shard schedule for worker pools: 'steal' (default) queues "
+            "geometrically-shrinking shards that idle workers pick up, "
+            "'static' pre-assigns equal spans"
+        ),
+    )
+    sweep.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "back the sweep's result block (and grid residency) with "
+            "memory-mapped files under DIR instead of shared memory; "
+            "without --spill-bytes every block spills"
+        ),
+    )
+    sweep.add_argument(
+        "--spill-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "out-of-core threshold: blocks at or above BYTES are "
+            "memmap-backed (under --spill-dir when given, else the "
+            "system tmp dir); smaller blocks stay in RAM"
         ),
     )
     sweep.add_argument(
@@ -610,7 +658,7 @@ def _cmd_sweep(
     max_cores: int,
     fractions: list[float],
     regime: str,
-    workers: int,
+    workers: "int | str",
     chunk_size: int,
     pareto: bool,
     checkpoint: str | None = None,
@@ -618,6 +666,9 @@ def _cmd_sweep(
     store: str | None = None,
     quarantine: str | None = None,
     salvage: bool = False,
+    scheduler: str = "steal",
+    spill_dir: str | None = None,
+    spill_bytes: int | None = None,
 ) -> int:
     import dataclasses
 
@@ -659,6 +710,9 @@ def _cmd_sweep(
         chunk_size=chunk_size,
         workers=workers,
         resilience=policy,
+        scheduler=scheduler,
+        spill_dir=spill_dir,
+        spill_bytes=spill_bytes,
     )
     result_store = ResultStore(store) if store else None
     sweep = explorer.explore_arrays(
@@ -862,6 +916,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.store,
             args.quarantine,
             args.salvage,
+            args.scheduler,
+            args.spill_dir,
+            args.spill_bytes,
         )
     if args.command == "store":
         return _cmd_store(args)

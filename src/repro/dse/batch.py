@@ -102,6 +102,7 @@ from ..resilience.containment import (
     INCOMPLETE,
     BisectOutcome,
     FailureReport,
+    HeartbeatMonitor,
     QuarantineLedger,
     QuarantineSession,
 )
@@ -346,6 +347,8 @@ class _ParallelPlan:
         spans: list[tuple[int, int]],
         spill_dir: str | None = None,
         planned: set[int] | None = None,
+        arena: "_parallel.GridArena | None" = None,
+        scheduler: str = "steal",
     ) -> None:
         self.chunks = chunks
         self.chunk_size = chunk_size
@@ -362,8 +365,16 @@ class _ParallelPlan:
         #: Crash-spill directory for worker events (None when telemetry
         #: is off) — collected and removed when the sweep winds down.
         self.spill_dir = spill_dir
-        #: Captured at setup — the block is released before stats are cut.
-        self.shm_bytes = block.nbytes
+        #: The published input-grid columns (None when the axes cannot
+        #: be hosted — jobs then carry their columns by value).
+        self.arena = arena
+        self.scheduler = scheduler
+        #: Captured at setup — the segments are released before stats
+        #: are cut.
+        self.shm_bytes = block.nbytes + (arena.nbytes if arena else 0)
+        self.spill_nbytes = block.spill_nbytes + (
+            arena.spill_nbytes if arena else 0
+        )
         self.kernel_wall = 0.0
         self.busy = 0.0
 
@@ -371,6 +382,11 @@ class _ParallelPlan:
     def shard_points(self) -> int:
         """The largest dispatched span, in grid points."""
         return max((hi - lo for lo, hi in self.spans), default=0)
+
+    @property
+    def tail_shard_points(self) -> int:
+        """The smallest dispatched span, in grid points."""
+        return min((hi - lo for lo, hi in self.spans), default=0)
 
     def points(self, lo: int, hi: int) -> list[Mapping[str, object]]:
         """The grid-point dicts of span ``[lo, hi)`` (chunk-aligned)."""
@@ -389,6 +405,8 @@ class _ParallelPlan:
 
     def release(self) -> None:
         self.block.release()
+        if self.arena is not None:
+            self.arena.release()
 
 
 @dataclass(frozen=True)
@@ -466,6 +484,21 @@ def is_vector_factory(factory: object) -> bool:
 #: The two engine modes that run the columnar kernels.
 COLUMNAR_MODES = ("columnar", "parallel-columnar")
 
+# ``workers="auto"`` calibration knobs. The heuristic projects the
+# serial sweep time from one in-process chunk and engages the pool only
+# when dispatch can win by a clear margin — the cost model is
+# deliberately pessimistic about the pool (spawn cost per worker,
+# margin over break-even), so a wrong guess errs toward the serial
+# columnar path, which is never slower than itself.
+#: Projected serial seconds below which a pool can never pay off.
+AUTO_MIN_SERIAL_S = 0.5
+#: Assumed process spawn + initializer cost per worker, seconds.
+AUTO_SPAWN_S = 0.06
+#: The projected parallel time must beat serial by this factor.
+AUTO_MARGIN = 1.3
+#: Auto never picks more workers than this (diminishing returns).
+AUTO_MAX_WORKERS = 8
+
 
 @dataclass(frozen=True)
 class SweepEngineStats:
@@ -495,6 +528,16 @@ class SweepEngineStats:
     shard_points: int = 0
     shm_bytes: int = 0
     worker_utilization: float = 0.0
+    #: Shard scheduling of a parallel-columnar sweep ("steal" or
+    #: "static"; "" otherwise), the smallest dispatched shard in grid
+    #: points (the steal tail), and spill-file bytes backing the
+    #: sweep's segments (0 unless out-of-core).
+    scheduler: str = ""
+    tail_shard_points: int = 0
+    spill_bytes: int = 0
+    #: True when ``workers="auto"`` resolved this sweep's worker count
+    #: (``workers`` then records the calibrated choice).
+    auto_workers: bool = False
     #: Point provenance: memo_points came from the FactoryCache,
     #: fresh_points actually ran the factory/kernels this sweep, and
     #: the store_* fields (persistent-store sweeps only; store_used
@@ -533,12 +576,21 @@ class SweepEngineStats:
             f"engine: {self.mode} path, {self.grid_points} pts in "
             f"{self.seconds:.3f} s ({self.evals_per_s:,.0f} evals/s)"
         )
-        if self.shards:
+        if self.auto_workers:
             line += (
-                f", {self.shards} shards (<= {self.shard_points} pts) x "
-                f"{self.workers} workers, "
+                f", workers auto->{self.workers}"
+                if self.workers
+                else ", workers auto->serial"
+            )
+        if self.shards:
+            sched = f", {self.scheduler}" if self.scheduler else ""
+            line += (
+                f", {self.shards} shards (<= {self.shard_points} pts{sched}) "
+                f"x {self.workers} workers, "
                 f"{self.worker_utilization:.0%} kernel utilization"
             )
+        if self.spill_bytes:
+            line += f", {self.spill_bytes / 1e6:.1f} MB spilled"
         if self.fallback_points:
             line += f", {self.fallback_points} scalar-fallback pts"
         if self.store_used:
@@ -568,6 +620,9 @@ class SweepEngineStats:
             "memo_points": self.memo_points,
             "fresh_points": self.fresh_points,
         }
+        if self.auto_workers:
+            payload["auto_workers"] = True
+            payload["workers"] = self.workers
         if self.shards:
             payload.update(
                 workers=self.workers,
@@ -575,7 +630,11 @@ class SweepEngineStats:
                 shard_points=self.shard_points,
                 shm_bytes=self.shm_bytes,
                 worker_utilization=self.worker_utilization,
+                scheduler=self.scheduler,
+                tail_shard_points=self.tail_shard_points,
             )
+        if self.spill_bytes:
+            payload["spill_bytes"] = self.spill_bytes
         if self.store_used:
             payload.update(
                 store_chunks=self.store_chunks,
@@ -670,7 +729,29 @@ class BatchExplorer:
         ``ProcessPoolExecutor`` with this many workers. Factories must
         then be picklable (module-level functions); the pool only pays
         off when a single factory call is expensive relative to ~1 ms
-        of IPC per chunk.
+        of IPC per chunk. The string ``"auto"`` calibrates instead of
+        guessing: the first chunk is timed in-process and the pool
+        engages only when the projected serial time is large enough
+        for dispatch to win (otherwise the sweep runs the columnar
+        ``workers=0`` path — never slower than serial by construction).
+        The calibration chunk's arrays are reused, so auto costs no
+        extra kernel work on the sweep it serves.
+    scheduler:
+        Shard scheduling for the parallel-columnar path. ``"steal"``
+        (the default) plans geometrically shrinking chunk-aligned
+        shards and submits one executor future each, so idle workers
+        pull the next shard off the shared call queue the moment they
+        finish one; ``"static"`` keeps the legacy fixed
+        shards-per-worker spans.
+    spill_dir, spill_bytes:
+        Out-of-core policy. When ``spill_bytes`` is set, any shared
+        sweep segment (result block, resident grid columns) at or above
+        that many bytes is backed by a ``numpy.memmap``-style file
+        instead of shared memory; a bare ``spill_dir`` (threshold
+        unset) spills every segment. Files land under ``spill_dir``
+        (a temp dir when only the threshold is given) and are removed
+        when the sweep winds down. Results are byte-identical to the
+        in-RAM path.
     cache:
         A :class:`FactoryCache` to (re)use; by default a private one is
         created, so repeated sweeps — ``subgrid`` pins, tornado runs —
@@ -688,9 +769,12 @@ class BatchExplorer:
     baseline: DesignPoint
     weight: E2OWeight
     chunk_size: int = 1024
-    workers: int = 0
+    workers: int | str = 0
     cache: FactoryCache = field(default=None)  # type: ignore[assignment]
     resilience: RetryPolicy | None = None
+    scheduler: str = "steal"
+    spill_dir: str | os.PathLike | None = None
+    spill_bytes: int | None = None
     #: Engine execution snapshot of the most recent sweep (set by
     #: explore_arrays/count_categories; None before the first sweep).
     last_sweep: SweepEngineStats | None = field(
@@ -701,16 +785,115 @@ class BatchExplorer:
     last_supervision: SupervisionStats | None = field(
         default=None, init=False, compare=False, repr=False
     )
+    #: Worker count the current/most recent sweep resolved to (equals
+    #: ``workers`` unless ``workers="auto"`` calibrated a choice).
+    _active_workers: int | None = field(
+        default=None, init=False, compare=False, repr=False
+    )
+    #: Calibration leftovers of an auto sweep: ``(points, arrays)`` of
+    #: the first chunk, reused so calibration costs no extra kernels.
+    _cal: "tuple[int, DesignArrays] | None" = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
             raise ValidationError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
             )
-        if self.workers < 0:
+        if isinstance(self.workers, str):
+            if self.workers != "auto":
+                raise ValidationError(
+                    f"workers must be an int >= 0 or 'auto', got "
+                    f"{self.workers!r}"
+                )
+        elif self.workers < 0:
             raise ValidationError(f"workers must be >= 0, got {self.workers}")
+        if self.scheduler not in ("steal", "static"):
+            raise ValidationError(
+                f"scheduler must be 'steal' or 'static', got "
+                f"{self.scheduler!r}"
+            )
+        if self.spill_bytes is not None and self.spill_bytes < 0:
+            raise ValidationError(
+                f"spill_bytes must be >= 0, got {self.spill_bytes}"
+            )
         if self.cache is None:
             object.__setattr__(self, "cache", FactoryCache(self.factory))
+
+    # ------------------------------------------------------------------
+    # Worker-count resolution (the ``workers="auto"`` calibration)
+    # ------------------------------------------------------------------
+    @property
+    def _pool_workers(self) -> int:
+        """The worker count in effect: the resolved choice during a
+        sweep, else the configured int (0 while ``"auto"`` is
+        unresolved — the conservative reading)."""
+        if self._active_workers is not None:
+            return self._active_workers
+        return self.workers if isinstance(self.workers, int) else 0
+
+    @staticmethod
+    def _cpu_count() -> int:
+        try:
+            return len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+
+    @staticmethod
+    def _auto_decision(serial_est_s: float, cpus: int) -> int:
+        """Workers the calibration picks for a projected serial time."""
+        if cpus < 2 or serial_est_s < AUTO_MIN_SERIAL_S:
+            return 0
+        candidate = min(cpus, AUTO_MAX_WORKERS)
+        parallel_est = serial_est_s / candidate + AUTO_SPAWN_S * candidate
+        return candidate if serial_est_s > AUTO_MARGIN * parallel_est else 0
+
+    def _activate_workers(self, grid: ParameterGrid) -> int:
+        """Resolve ``workers`` for this sweep, calibrating ``"auto"``.
+
+        Auto on a cold :class:`VectorFactory` times the first chunk's
+        ``batch_arrays`` in-process and projects the serial sweep time;
+        the pool engages only when dispatch can win by a margin, so the
+        auto path is never slower than ``workers=0`` (when it declines,
+        it *is* the ``workers=0`` path, and the calibration arrays are
+        reused for the first chunk). A warm cache or a scalar-only
+        factory resolves to 0 — the memoized scalar path is already a
+        dict probe per point.
+        """
+        object.__setattr__(self, "_cal", None)
+        if self.workers != "auto":
+            object.__setattr__(self, "_active_workers", self.workers)
+            return self.workers
+        resolved = 0
+        if len(self.cache) == 0 and is_vector_factory(self.factory):
+            chunk = next(_chunked(iter(grid), self.chunk_size), [])
+            if not chunk:
+                object.__setattr__(self, "_active_workers", 0)
+                return 0
+            columns = self._chunk_columns(chunk)
+            begin = time.perf_counter()
+            arrays = self.factory.batch_arrays(columns)
+            elapsed = time.perf_counter() - begin
+            if len(arrays) != len(chunk):
+                raise ConfigurationError(
+                    f"batch_arrays returned {len(arrays)} rows for a "
+                    f"{len(chunk)}-point chunk"
+                )
+            serial_est = elapsed / max(1, len(chunk)) * len(grid)
+            resolved = self._auto_decision(serial_est, self._cpu_count())
+            object.__setattr__(self, "_cal", (len(chunk), arrays))
+        object.__setattr__(self, "_active_workers", resolved)
+        return resolved
+
+    def _take_cal_arrays(self, chunk_len: int) -> "DesignArrays | None":
+        """The calibration chunk's arrays, if they cover exactly this
+        first chunk (consumed — reuse is single-shot)."""
+        cal = self._cal
+        object.__setattr__(self, "_cal", None)
+        if cal is not None and cal[0] == chunk_len:
+            return cal[1]
+        return None
 
     # ------------------------------------------------------------------
     # Factory evaluation (cached, optionally parallel)
@@ -796,8 +979,8 @@ class BatchExplorer:
         sweep start.
         """
         if len(self.cache) == 0 and is_vector_factory(self.factory):
-            return "parallel-columnar" if self.workers else "columnar"
-        return "scalar-pool" if self.workers else "scalar"
+            return "parallel-columnar" if self._pool_workers else "columnar"
+        return "scalar-pool" if self._pool_workers else "scalar"
 
     @staticmethod
     def _chunk_columns(
@@ -895,33 +1078,65 @@ class BatchExplorer:
         parent_block: "_parallel.ColumnarBlock | None" = None,
         capture: bool = False,
         quarantine: "QuarantineSession | None" = None,
+        parent_grid: "_parallel.GridArena | None" = None,
+        scratch_dir: "str | None" = None,
     ) -> "ProcessPoolExecutor | SupervisedPool":
         """A worker pool whose *initializer* ships per-pool state once.
 
         The parent mirrors the worker state first (its own factory and
-        its own block object, never a second shm attachment), so
+        its own block/arena objects, never a second shm attachment), so
         SupervisedPool in-process degradation — and thread-pool
         executors injected by tests — evaluate exactly what the worker
         processes would. With *capture* the parent's own event buffer
         is armed too (no spill — the parent cannot crash out from under
         itself), so degraded in-process shards leave the same timeline
-        events a worker would.
+        events a worker would. *scratch_dir* (out-of-core sweeps) roots
+        the heartbeat watchdog's files under the sweep's spill dir.
         """
-        _parallel.set_worker_state(self.factory, parent_block)
+        _parallel.set_worker_state(self.factory, parent_block, parent_grid)
         _events.init_worker(capture, None)
         if self.resilience is not None:
+            monitor = None
+            if (
+                scratch_dir is not None
+                and self.resilience.heartbeat_timeout_s is not None
+            ):
+                monitor = HeartbeatMonitor(base_dir=scratch_dir)
             return SupervisedPool(
-                self.workers,
+                self._pool_workers,
                 self.resilience,
                 initializer=initializer,
                 initargs=initargs,
                 quarantine=quarantine,
+                monitor=monitor,
             )
         return ProcessPoolExecutor(
-            max_workers=self.workers,
+            max_workers=self._pool_workers,
             initializer=initializer,
             initargs=initargs,
         )
+
+    def _grid_columns(self, grid: ParameterGrid) -> dict[str, np.ndarray]:
+        """One full-grid NumPy column per axis, by stride arithmetic.
+
+        Grid iteration is row-major over the cartesian product, so
+        point ``i`` takes value ``axis[(i // stride) % len(axis)]``
+        where an axis's stride is the product of the later axes' sizes
+        — the same construction :meth:`_count_columnar` relies on.
+        """
+        names = list(grid.axes)
+        values = [np.asarray(grid.axes[name]) for name in names]
+        sizes = [v.shape[0] for v in values]
+        strides = [1] * len(names)
+        for axis in range(len(names) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * sizes[axis + 1]
+        rows = np.arange(len(grid))
+        return {
+            name: axis_values[(rows // stride) % size]
+            for name, axis_values, stride, size in zip(
+                names, values, strides, sizes
+            )
+        }
 
     def _parallel_setup(
         self,
@@ -930,9 +1145,11 @@ class BatchExplorer:
         probes: "dict[int, ChunkProbe] | None" = None,
         qsession: "QuarantineSession | None" = None,
         blocked: "set[int] | None" = None,
+        grid: "ParameterGrid | None" = None,
     ) -> _ParallelPlan:
-        """Allocate the sweep's shared block, plan the shard spans over
-        the still-pending chunks, and spawn the pool.
+        """Allocate the sweep's shared block, publish the input grid
+        columns, plan the shard spans over the still-pending chunks,
+        and spawn the pool.
 
         The first *restored* chunks came from a checkpoint, and chunks
         whose *probe* found any stored rows are resolved in the parent
@@ -944,9 +1161,15 @@ class BatchExplorer:
         rows pre-filtered. That keeps resume and store reuse bit-exact
         and free of redundant kernel work. A sweep with no pending
         chunk gets no pool at all.
+
+        When ``workers="auto"`` calibrated on the first chunk and that
+        chunk is still pending, its arrays are written into the block
+        up front and the chunk is dropped from the dispatch spans —
+        calibration cost no extra kernel work.
         """
         total = sum(len(chunk) for chunk in chunks)
-        block = _parallel.ColumnarBlock.allocate(total)
+        spill_kw = dict(spill_dir=self.spill_dir, spill_bytes=self.spill_bytes)
+        block = _parallel.ColumnarBlock.allocate(total, **spill_kw)
         pending: set[int] = set()
         for index in range(restored, len(chunks)):
             if blocked and index in blocked:
@@ -954,6 +1177,16 @@ class BatchExplorer:
             probe = probes.get(index) if probes else None
             if probe is None or not probe.hit_points:
                 pending.add(index)
+        planned = set(pending)
+        if chunks and 0 in pending:
+            cal = self._take_cal_arrays(len(chunks[0]))
+            if cal is not None:
+                # Prefill the calibration chunk: its rows read back via
+                # chunk_arrays like any dispatched chunk's would.
+                block.write(
+                    0, len(chunks[0]), cal.area, cal.perf, cal.power, cal.valid
+                )
+                pending.discard(0)
         runs: list[tuple[int, int]] = []
         for index in sorted(pending):
             lo = index * self.chunk_size
@@ -962,17 +1195,39 @@ class BatchExplorer:
                 runs[-1] = (runs[-1][0], hi)
             else:
                 runs.append((lo, hi))
-        spans = _parallel.plan_shard_runs(runs, self.chunk_size, self.workers)
+        planner = (
+            _parallel.plan_steal_runs
+            if self.scheduler == "steal"
+            else _parallel.plan_shard_runs
+        )
+        spans = planner(runs, self.chunk_size, self._pool_workers)
+        arena = None
+        if spans and grid is not None:
+            arena = _parallel.GridArena.publish(
+                self._grid_columns(grid), **spill_kw
+            )
         pool = None
         capture = _events.get_log().enabled
-        spill = _events.make_spill_dir() if capture and spans else None
+        scratch = (
+            os.fspath(self.spill_dir) if self.spill_dir is not None else None
+        )
+        spill = (
+            _events.make_spill_dir(base=scratch) if capture and spans else None
+        )
         if spans:
+            grid_descriptor = (
+                (arena.name, arena.layout, arena.total)
+                if arena is not None
+                else None
+            )
             pool = self._make_pool(
                 _parallel.init_columnar_worker,
-                (self.factory, block.name, total, capture, spill),
+                (self.factory, block.name, total, capture, spill, grid_descriptor),
                 parent_block=block,
                 capture=capture,
                 quarantine=qsession,
+                parent_grid=arena,
+                scratch_dir=scratch,
             )
         return _ParallelPlan(
             chunks,
@@ -981,7 +1236,9 @@ class BatchExplorer:
             pool,
             spans,
             spill_dir=spill,
-            planned=pending,
+            planned=planned,
+            arena=arena,
+            scheduler=self.scheduler,
         )
 
     def _parallel_kernels(
@@ -1002,16 +1259,24 @@ class BatchExplorer:
             return
         registry = _metrics.get_registry()
         log = _events.get_log()
-        jobs = [
-            (lo, hi, self._chunk_columns(plan.points(lo, hi)))
-            for lo, hi in plan.spans
-        ]
+        if plan.arena is not None:
+            # Resident grid: a job is three integers; workers slice
+            # their columns from the published arena locally.
+            jobs = [(lo, hi, seq) for seq, (lo, hi) in enumerate(plan.spans)]
+        else:
+            jobs = [
+                (lo, hi, self._chunk_columns(plan.points(lo, hi)))
+                for lo, hi in plan.spans
+            ]
         with tracer.span(
             "kernels",
             shards=len(jobs),
             shard_points=plan.shard_points,
-            workers=self.workers,
+            workers=self._pool_workers,
             shm_bytes=plan.shm_bytes,
+            scheduler=plan.scheduler,
+            grid_resident=plan.arena is not None,
+            spill_bytes=plan.spill_nbytes,
         ):
             begin = time.perf_counter()
             if isinstance(plan.pool, SupervisedPool):
@@ -1020,6 +1285,7 @@ class BatchExplorer:
                     jobs,
                     splitter=_parallel.split_shard_job,
                     describe=_parallel.shard_job_point,
+                    schedule="queue" if plan.scheduler == "steal" else "batch",
                 )
             else:
                 replies = plan.pool.map(_parallel.eval_shard, jobs)
@@ -1116,6 +1382,7 @@ class BatchExplorer:
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()
         observing = tracer.enabled or registry.enabled
+        workers = self._activate_workers(grid)
         mode = self._resolve_mode()
         ckpt = CheckpointStore.coerce(checkpoint)
         if resume and ckpt is None:
@@ -1158,7 +1425,7 @@ class BatchExplorer:
             "sweep",
             grid_points=len(grid),
             chunk_size=self.chunk_size,
-            workers=self.workers,
+            workers=workers,
             mode=mode,
         ) as sweep_span:
             start_s = time.perf_counter()
@@ -1189,13 +1456,18 @@ class BatchExplorer:
                             )
                         }
                     plan = self._parallel_setup(
-                        chunks, len(restored_chunks), probes, qsession, blocked
+                        chunks,
+                        len(restored_chunks),
+                        probes,
+                        qsession,
+                        blocked,
+                        grid=grid,
                     )
                     pool = plan.pool
                     self._parallel_kernels(plan, tracer)
                     chunk_stream: Iterable = enumerate(plan.chunks)
                 else:
-                    if self.workers:
+                    if workers:
                         pool = self._make_pool(
                             _parallel.init_factory_worker,
                             (self.factory,),
@@ -1321,7 +1593,7 @@ class BatchExplorer:
                         # flushed but never got to reply with.
                         _events.get_log().collect_spill(plan.spill_dir)
                         _events.cleanup_spill_dir(plan.spill_dir)
-                if self.workers:
+                if workers:
                     _parallel.clear_worker_state()
             self._record_supervision(pool, sweep_span)
             if not designs and failure is None:
@@ -1416,7 +1688,14 @@ class BatchExplorer:
                     chunk, plan.chunk_arrays(index), qsession
                 )
             elif mode in COLUMNAR_MODES:
-                outcomes = self._vector_chunk(chunk)
+                cal = self._take_cal_arrays(len(chunk)) if index == 0 else None
+                if cal is not None:
+                    # workers="auto" declined the pool; the calibration
+                    # already ran this chunk's kernels — reuse, don't
+                    # recompute.
+                    outcomes = self._outcomes_from_arrays(chunk, cal)
+                else:
+                    outcomes = self._vector_chunk(chunk)
             else:
                 outcomes = self._evaluate_chunk(chunk, pool)
             if session is not None:
@@ -1538,7 +1817,7 @@ class BatchExplorer:
                 cached=cached,
                 evals_per_s=points / seconds if seconds > 0 else float("inf"),
             )
-            if self.workers:
+            if self._pool_workers:
                 # Fan-out share: the fraction of this chunk that went
                 # to the worker pool rather than the memo.
                 chunk_span.set(
@@ -1578,17 +1857,24 @@ class BatchExplorer:
             grid_points if not vector and is_vector_factory(self.factory) else 0
         )
         extras: dict[str, object] = {}
+        if self.workers == "auto":
+            extras["auto_workers"] = True
+            extras["workers"] = self._pool_workers
         if plan is not None and plan.spans:
-            wall = plan.kernel_wall * self.workers
-            extras = {
-                "workers": self.workers,
-                "shards": len(plan.spans),
-                "shard_points": plan.shard_points,
-                "shm_bytes": plan.shm_bytes,
-                "worker_utilization": (
+            wall = plan.kernel_wall * self._pool_workers
+            extras.update(
+                workers=self._pool_workers,
+                shards=len(plan.spans),
+                shard_points=plan.shard_points,
+                shm_bytes=plan.shm_bytes,
+                worker_utilization=(
                     min(1.0, plan.busy / wall) if wall > 0 else 0.0
                 ),
-            }
+                scheduler=plan.scheduler,
+                tail_shard_points=plan.tail_shard_points,
+            )
+        if plan is not None and plan.spill_nbytes:
+            extras["spill_bytes"] = plan.spill_nbytes
         if use is not None:
             extras.update(
                 store_used=True,
@@ -1694,6 +1980,22 @@ class BatchExplorer:
                     "worker busy seconds / (kernel wall x workers), "
                     "last parallel-columnar sweep",
                 ).set(engine.worker_utilization)
+                if engine.scheduler == "steal":
+                    registry.counter(
+                        "focal_steal_shards_total",
+                        "shards dispatched through the work-stealing "
+                        "queue scheduler",
+                    ).inc(engine.shards)
+                    registry.gauge(
+                        "focal_steal_tail_shard_points",
+                        "smallest (tail) shard of the last work-stealing "
+                        "sweep, in grid points",
+                    ).set(engine.tail_shard_points)
+            registry.gauge(
+                "focal_spill_bytes",
+                "spill-file bytes backing the last sweep's shared "
+                "segments (0 = fully in-RAM)",
+            ).set(engine.spill_bytes)
             if engine.store_used:
                 registry.counter(
                     "focal_store_sweep_points_total",
@@ -1776,7 +2078,7 @@ class BatchExplorer:
         no per-point dicts, DesignPoints or cache writes at all (the
         cache stays cold; use :meth:`explore_arrays` to warm it).
         """
-        if self.workers:
+        if self._activate_workers(grid):
             return self.explore_arrays(grid).category_counts()
         tracer = _trace.get_tracer()
         registry = _metrics.get_registry()

@@ -49,6 +49,7 @@ from ..obs.log import get_logger, kv
 from ..resilience.checkpoint import CheckpointStore
 from ..resilience.policy import RetryPolicy
 from ..resilience.supervisor import SupervisedPool
+from . import parallel as _parallel
 from .store import ResultStore
 
 __all__ = [
@@ -195,15 +196,32 @@ def _point_fields(point: DesignPoint) -> dict:
     }
 
 
+#: Smallest sample span the guided scheduler will dispatch — keeps the
+#: shrinking tail from degenerating into single-sample futures.
+_MC_MIN_SPAN = 64
+
+
 def _mc_spans(count: int, workers: int) -> list[tuple[int, int]]:
     """Contiguous ``[lo, hi)`` spans splitting *count* samples across a
-    pool — a few shards per worker, so stragglers rebalance."""
-    shards = max(1, min(workers * 4, count))
-    size, extra = divmod(count, shards)
+    pool with guided (geometric) sizing — the same policy the sweep
+    engine's work-stealing planner uses: early spans are big (low
+    dispatch overhead while every worker is busy), later spans shrink
+    so the tail rebalances across whichever workers free up first.
+
+    Safe for both samplers at any partition: verdict shards position
+    their generators per span with ``advance``, and noise shards
+    receive parent-drawn noise slices, so the concatenated codes are
+    byte-identical to the serial draw regardless of span geometry.
+    """
     spans: list[tuple[int, int]] = []
     lo = 0
-    for index in range(shards):
-        hi = lo + size + (1 if index < extra else 0)
+    while lo < count:
+        remaining = count - lo
+        take = max(
+            _MC_MIN_SPAN,
+            remaining // (max(1, workers) * _parallel.STEAL_FACTOR),
+        )
+        hi = min(count, lo + take)
         spans.append((lo, hi))
         lo = hi
     return spans
@@ -316,9 +334,15 @@ def _mc_pool(
 
 
 def _mc_map(pool, fn: Callable, jobs: list) -> list:
-    """Shard fan-out on either pool flavour, preserving job order."""
+    """Shard fan-out on either pool flavour, preserving job order.
+
+    Supervised pools dispatch one shard per future (``schedule="queue"``)
+    so the executor's shared call queue doubles as the steal queue: an
+    idle worker picks up the next pending shard the moment it finishes
+    its own, matching the sweep engine's work-stealing scheduler.
+    """
     if isinstance(pool, SupervisedPool):
-        return pool.run(fn, jobs)
+        return pool.run(fn, jobs, schedule="queue")
     return list(pool.map(fn, jobs))
 
 

@@ -9,17 +9,27 @@ This module provides the plumbing that composes them:
 * :class:`ColumnarBlock` — one flat buffer holding the sweep's
   area/perf/power/valid columns for *every* grid point, backed by a
   ``multiprocessing.shared_memory`` segment when the platform provides
-  one and by private process memory otherwise (the pickle-array
-  fallback);
-* :func:`plan_shards` — contiguous, chunk-aligned ``[lo, hi)`` spans of
-  the grid, a few per worker so stragglers rebalance;
+  one, by an mmapped spill file when the sweep opts into out-of-core
+  operation (``spill_dir=`` / spill threshold), and by private process
+  memory otherwise (the pickle-array fallback);
+* :class:`GridArena` — the sweep's *input* grid columns published once
+  into a read-only sibling segment, so a shard job shrinks to
+  ``(lo, hi, seq)`` and workers slice the resident columns locally
+  instead of unpickling their slice from every task message;
+* :func:`plan_shards` / :func:`plan_steal_runs` — contiguous,
+  chunk-aligned ``[lo, hi)`` spans of the grid: the former statically
+  sized (a few per worker), the latter geometrically shrinking toward
+  the tail so one future per shard on the executor's shared call queue
+  behaves like a work-stealing scheduler — idle workers pull the next
+  shard, and stragglers can at most hold one tail-sized shard;
 * worker-side state and entry points — the factory (and the shared
-  block) ship **once per pool** through :func:`init_factory_worker` /
-  :func:`init_columnar_worker`; per-job payloads are only parameter
-  dicts (scalar pool path) or axis columns (columnar path), and results
-  come back as writes into the shared block (or compact numeric arrays
-  when shared memory is unavailable). No ``DesignPoint`` ever crosses
-  the process boundary.
+  segments) ship **once per pool** through :func:`init_factory_worker`
+  / :func:`init_columnar_worker`; per-job payloads are parameter dicts
+  (scalar pool path), ``(lo, hi, seq)`` index triples (resident grid),
+  or axis columns (the no-shm fallback), and results come back as
+  writes into the shared block (or compact numeric arrays when shared
+  memory is unavailable). No ``DesignPoint`` ever crosses the process
+  boundary.
 
 Everything here is byte-neutral: the kernels run unchanged, the parent
 re-reads the same float64/bool columns the single-process path would
@@ -34,7 +44,9 @@ module-level functions the workers do.
 
 from __future__ import annotations
 
+import mmap
 import os
+import tempfile
 import time
 from typing import Callable, Mapping
 
@@ -46,8 +58,10 @@ from ..resilience import containment as _containment
 
 __all__ = [
     "ColumnarBlock",
+    "GridArena",
     "plan_shards",
     "plan_shard_runs",
+    "plan_steal_runs",
     "live_blocks",
     "set_worker_state",
     "clear_worker_state",
@@ -63,12 +77,25 @@ __all__ = [
 #: three float64 result columns plus one bool validity flag.
 BYTES_PER_POINT = 3 * 8 + 1
 
-#: How many shards each worker is offered: a few per worker, so a slow
-#: shard (or a respawned worker) rebalances instead of stalling the pool.
+#: How many shards each worker is offered by the *static* planner: a few
+#: per worker, so a slow shard (or a respawned worker) rebalances
+#: instead of stalling the pool.
 SHARDS_PER_WORKER = 4
 
-#: Names of shared-memory segments this process created and has not yet
-#: unlinked — the leak detector the interrupt-hygiene tests assert on.
+#: Guided-scheduling divisor for :func:`plan_steal_runs`: each shard
+#: takes ``remaining_chunks // (workers * STEAL_FACTOR)`` chunks, so
+#: early shards are large (low dispatch overhead) and tail shards
+#: shrink geometrically down to one chunk (a straggler can only hold
+#: the queue for one chunk's worth of work).
+STEAL_FACTOR = 2
+
+#: Handle prefix distinguishing mmapped spill files from raw
+#: shared-memory segment names in ``ColumnarBlock.name`` / ``attach``.
+FILE_PREFIX = "file:"
+
+#: Handles (shm segment names and ``file:`` spill paths) this process
+#: created and has not yet unlinked — the leak detector the
+#: interrupt-hygiene tests assert on.
 _LIVE_NAMES: set[str] = set()
 
 #: Per-process worker state, installed once per pool by the initializers
@@ -77,8 +104,119 @@ _STATE: dict = {}
 
 
 def live_blocks() -> frozenset[str]:
-    """Shared-memory segment names created here and not yet unlinked."""
+    """Segment handles created here and not yet unlinked (shm names
+    plus ``file:`` spill paths)."""
     return frozenset(_LIVE_NAMES)
+
+
+class _FileMap:
+    """An mmapped spill file with the same surface as ``SharedMemory``.
+
+    Exposes ``name`` (a ``file:``-prefixed handle), ``size``, ``buf``,
+    ``close()`` and ``unlink()``, so :class:`ColumnarBlock` and
+    :class:`GridArena` treat the out-of-core backing exactly like a
+    shared-memory segment. Both sides map the file ``MAP_SHARED``, so
+    worker writes are visible to the parent through the page cache
+    without any explicit flush.
+    """
+
+    def __init__(self, path: str, size: int, create: bool) -> None:
+        self.path = path
+        self.name = FILE_PREFIX + path
+        self.size = size
+        if create:
+            with open(path, "wb") as handle:
+                handle.truncate(size)
+        self._file = open(path, "r+b")
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), size)
+        except Exception:
+            self._file.close()
+            raise
+        self.buf: memoryview | None = memoryview(self._mmap)
+
+    def close(self) -> None:
+        buf, self.buf = self.buf, None
+        if buf is not None:
+            buf.release()
+        self._mmap.close()
+        self._file.close()
+
+    def unlink(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            raise
+        except OSError:  # pragma: no cover - spill dir torn down first
+            pass
+
+
+def _spill_path(spill_dir: str | os.PathLike | None, tag: str) -> str:
+    if spill_dir is not None:
+        os.makedirs(spill_dir, exist_ok=True)
+    fd, path = tempfile.mkstemp(
+        prefix=f"focal-{tag}-", suffix=".bin", dir=spill_dir
+    )
+    os.close(fd)
+    return path
+
+
+def _should_spill(
+    nbytes: int,
+    spill_dir: str | os.PathLike | None,
+    spill_bytes: int | None,
+) -> bool:
+    """Whether a segment of *nbytes* goes out-of-core.
+
+    A ``spill_bytes`` threshold spills any segment at or above it; a
+    bare ``spill_dir`` (no threshold) opts every segment into the
+    memmap backing.
+    """
+    if spill_bytes is not None:
+        return nbytes >= spill_bytes
+    return spill_dir is not None
+
+
+def _create_segment(
+    nbytes: int,
+    tag: str,
+    spill_dir: str | os.PathLike | None,
+    spill_bytes: int | None,
+):
+    """A new shared segment: spill file when configured, else shm.
+
+    Returns ``None`` when neither backing is available — callers fall
+    back to private memory (block) or per-job columns (grid).
+    """
+    if _should_spill(nbytes, spill_dir, spill_bytes):
+        try:
+            return _FileMap(_spill_path(spill_dir, tag), nbytes, create=True)
+        except Exception:
+            pass
+    try:
+        from multiprocessing import shared_memory
+
+        return shared_memory.SharedMemory(create=True, size=nbytes)
+    except Exception:
+        return None
+
+
+def _attach_segment(handle: str, nbytes: int):
+    """Attach to a parent-created segment by its handle.
+
+    On Python < 3.13 shm attachment re-registers the segment with the
+    ``resource_tracker`` (python/cpython#82300). Pool workers are
+    children of the sweep's parent and share its tracker process, where
+    registrations collapse into one set entry — so the re-register is
+    harmless, and explicitly unregistering here would be wrong: it
+    would strip the *parent's* registration and make its ``unlink``
+    complain about an unknown name.
+    """
+    if handle.startswith(FILE_PREFIX):
+        return _FileMap(handle[len(FILE_PREFIX) :], nbytes, create=False)
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=handle)
 
 
 class ColumnarBlock:
@@ -87,8 +225,9 @@ class ColumnarBlock:
     Layout over ``total`` points: ``area``/``perf``/``power`` as
     consecutive float64 columns, then ``valid`` as a bool column. The
     buffer is a shared-memory segment when available (workers write
-    their shard rows directly) and private memory otherwise (workers
-    return arrays by pickle and the parent writes them).
+    their shard rows directly), an mmapped spill file when the sweep
+    opts into out-of-core operation, and private memory otherwise
+    (workers return arrays by pickle and the parent writes them).
     """
 
     def __init__(self, total: int, shm, owner: bool) -> None:
@@ -112,50 +251,60 @@ class ColumnarBlock:
         )
 
     @classmethod
-    def allocate(cls, total: int) -> "ColumnarBlock":
-        """A new block, shared-memory backed when the platform allows.
+    def allocate(
+        cls,
+        total: int,
+        *,
+        spill_dir: str | os.PathLike | None = None,
+        spill_bytes: int | None = None,
+    ) -> "ColumnarBlock":
+        """A new block: spill file when the out-of-core policy selects
+        one, else shared memory when the platform allows.
 
-        Any failure to create the segment (no /dev/shm, size limits,
-        sandboxing) silently selects the private-memory fallback — the
-        sweep then pays pickling for result columns, nothing else
-        changes.
+        Any failure to create a shared segment (no /dev/shm, size
+        limits, sandboxing) silently selects the private-memory
+        fallback — the sweep then pays pickling for result columns,
+        nothing else changes.
         """
-        try:
-            from multiprocessing import shared_memory
-
-            shm = shared_memory.SharedMemory(
-                create=True, size=max(1, total * BYTES_PER_POINT)
-            )
-        except Exception:
+        shm = _create_segment(
+            max(1, total * BYTES_PER_POINT), "block", spill_dir, spill_bytes
+        )
+        if shm is None:
             return cls(total, None, owner=True)
         _LIVE_NAMES.add(shm.name)
         return cls(total, shm, owner=True)
 
     @classmethod
     def attach(cls, name: str, total: int) -> "ColumnarBlock":
-        """Attach to the parent's segment (worker-side).
-
-        On Python < 3.13 attachment re-registers the segment with the
-        ``resource_tracker`` (python/cpython#82300). Pool workers are
-        children of the sweep's parent and share its tracker process,
-        where registrations collapse into one set entry — so the
-        re-register is harmless, and explicitly unregistering here
-        would be wrong: it would strip the *parent's* registration and
-        make its ``unlink`` complain about an unknown name.
-        """
-        from multiprocessing import shared_memory
-
-        return cls(total, shared_memory.SharedMemory(name=name), owner=False)
+        """Attach to the parent's segment (worker-side)."""
+        return cls(
+            total,
+            _attach_segment(name, max(1, total * BYTES_PER_POINT)),
+            owner=False,
+        )
 
     @property
     def name(self) -> str | None:
-        """Segment name (``None`` for the private-memory fallback)."""
+        """Segment handle (``None`` for the private-memory fallback):
+        a raw shm name, or a ``file:``-prefixed spill path."""
         return self._shm.name if self._shm is not None else None
 
     @property
+    def backing(self) -> str:
+        """``"shm"``, ``"file"`` or ``"local"``."""
+        if self._shm is None:
+            return "local"
+        return "file" if isinstance(self._shm, _FileMap) else "shm"
+
+    @property
     def nbytes(self) -> int:
-        """Shared-memory bytes backing the block (0 for the fallback)."""
-        return self._shm.size if self._shm is not None else 0
+        """Shared-memory bytes backing the block (0 otherwise)."""
+        return self._shm.size if self.backing == "shm" else 0
+
+    @property
+    def spill_nbytes(self) -> int:
+        """Spill-file bytes backing the block (0 unless out-of-core)."""
+        return self._shm.size if self.backing == "file" else 0
 
     def write(
         self,
@@ -204,6 +353,144 @@ class ColumnarBlock:
             _LIVE_NAMES.discard(shm.name)
 
 
+#: Axis dtypes a :class:`GridArena` can host: bool, signed/unsigned
+#: integer, float. Anything else (strings, objects) keeps the legacy
+#: column-shipping job payloads.
+_ARENA_KINDS = "biuf"
+
+
+def _arena_layout(
+    columns: Mapping[str, np.ndarray],
+) -> tuple[list[tuple[str, str, int]], int] | None:
+    """Pack axis columns into ``(name, dtype, offset)`` triples plus the
+    total byte size, or ``None`` when a column cannot be hosted."""
+    layout: list[tuple[str, str, int]] = []
+    offset = 0
+    for name, col in columns.items():
+        arr = np.asarray(col)
+        if arr.ndim != 1 or arr.dtype.kind not in _ARENA_KINDS:
+            return None
+        offset = -(-offset // 16) * 16  # 16-byte align every column
+        layout.append((name, arr.dtype.str, offset))
+        offset += arr.nbytes
+    return layout, max(1, offset)
+
+
+class GridArena:
+    """The sweep's *input* grid columns, resident in one shared segment.
+
+    Published once per sweep by the parent; workers attach through the
+    pool initializer and slice ``[lo, hi)`` locally, so a shard job is
+    three integers instead of a pickled column dict. Views handed out
+    by :meth:`columns` are read-only — a factory scribbling on its
+    inputs would otherwise corrupt every other shard's rows.
+    """
+
+    def __init__(
+        self,
+        segment,
+        layout: list[tuple[str, str, int]],
+        total: int,
+        owner: bool,
+    ) -> None:
+        self._seg = segment
+        self._owner = owner
+        self.layout = layout
+        self.total = total
+        self._cols: dict[str, np.ndarray] = {}
+        for name, dtype, offset in layout:
+            view = np.frombuffer(
+                segment.buf, dtype=np.dtype(dtype), count=total, offset=offset
+            )
+            self._cols[name] = view
+
+    @classmethod
+    def publish(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        *,
+        spill_dir: str | os.PathLike | None = None,
+        spill_bytes: int | None = None,
+    ) -> "GridArena | None":
+        """Copy *columns* into a new shared segment, or ``None`` when
+        the columns cannot be hosted (non-numeric axes) or no shared
+        backing is available — the sweep then ships columns per job."""
+        if not columns:
+            return None
+        packed = _arena_layout(columns)
+        if packed is None:
+            return None
+        layout, nbytes = packed
+        total = len(next(iter(columns.values()))) if columns else 0
+        segment = _create_segment(nbytes, "grid", spill_dir, spill_bytes)
+        if segment is None:
+            return None
+        _LIVE_NAMES.add(segment.name)
+        arena = cls(segment, layout, total, owner=True)
+        for name, col in columns.items():
+            arena._cols[name][:] = np.asarray(col)
+        return arena
+
+    @classmethod
+    def attach(
+        cls, handle: str, layout: list[tuple[str, str, int]], total: int
+    ) -> "GridArena":
+        """Attach to the parent's published grid (worker-side)."""
+        _, _, last_offset = layout[-1]
+        last_size = total * np.dtype(layout[-1][1]).itemsize
+        return cls(
+            _attach_segment(handle, max(1, last_offset + last_size)),
+            layout,
+            total,
+            owner=False,
+        )
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    @property
+    def backing(self) -> str:
+        return "file" if isinstance(self._seg, _FileMap) else "shm"
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory bytes backing the arena (0 when spilled)."""
+        return self._seg.size if self.backing == "shm" else 0
+
+    @property
+    def spill_nbytes(self) -> int:
+        """Spill-file bytes backing the arena (0 unless out-of-core)."""
+        return self._seg.size if self.backing == "file" else 0
+
+    def columns(self, lo: int, hi: int) -> dict[str, np.ndarray]:
+        """Read-only views of rows ``[lo, hi)`` of every axis column."""
+        out: dict[str, np.ndarray] = {}
+        for name, view in self._cols.items():
+            sliced = view[lo:hi]
+            sliced.flags.writeable = False
+            out[name] = sliced
+        return out
+
+    def release(self) -> None:
+        """Drop the views, close the mapping and (as the owner) unlink
+        the segment. Safe to call more than once."""
+        seg, self._seg = self._seg, None
+        self._cols = {}
+        if seg is None:
+            return
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+        if self._owner:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _LIVE_NAMES.discard(seg.name)
+
+
 def plan_shards(
     total: int, start: int, chunk_size: int, workers: int
 ) -> list[tuple[int, int]]:
@@ -222,8 +509,7 @@ def plan_shards(
 def plan_shard_runs(
     runs: list[tuple[int, int]], chunk_size: int, workers: int
 ) -> list[tuple[int, int]]:
-    """Shard spans over arbitrary pending point *runs*, not just a
-    suffix of the grid.
+    """Statically sized shard spans over arbitrary pending point *runs*.
 
     Checkpoint resume skips a prefix, but a persistent result store can
     satisfy *any* subset of chunks — what remains to evaluate is a list
@@ -249,11 +535,53 @@ def plan_shard_runs(
     ]
 
 
+def plan_steal_runs(
+    runs: list[tuple[int, int]], chunk_size: int, workers: int
+) -> list[tuple[int, int]]:
+    """Guided shard spans for the work-stealing scheduler.
+
+    Same coverage contract as :func:`plan_shard_runs` (chunk-aligned,
+    never straddling a run), but sized geometrically: each successive
+    shard takes ``remaining_chunks // (workers * STEAL_FACTOR)`` chunks
+    (never less than one). Early shards are large — few task messages
+    while every worker is busy anyway — and tail shards shrink toward
+    single chunks, so when the queue drains, no worker can be left
+    holding more than one chunk of work while the others idle. One
+    executor future per span turns the pool's shared call queue into
+    the steal queue: whichever worker goes idle first pulls the next
+    span.
+    """
+    pending: list[tuple[int, int, int]] = []
+    remaining = 0
+    for lo, hi in runs:
+        if hi > lo:
+            chunks = -(-(hi - lo) // chunk_size)
+            pending.append((lo, hi, chunks))
+            remaining += chunks
+    divisor = max(1, workers) * STEAL_FACTOR
+    spans: list[tuple[int, int]] = []
+    for lo, hi, chunks in pending:
+        cursor = lo
+        left = chunks
+        while left > 0:
+            take = min(left, max(1, remaining // divisor))
+            span_hi = min(cursor + take * chunk_size, hi)
+            spans.append((cursor, span_hi))
+            cursor = span_hi
+            left -= take
+            remaining -= take
+    return spans
+
+
 # ----------------------------------------------------------------------
 # Worker-side state and entry points
 # ----------------------------------------------------------------------
-def set_worker_state(factory: Callable, block: ColumnarBlock | None) -> None:
-    """Install this process's sweep state (factory + optional block).
+def set_worker_state(
+    factory: Callable,
+    block: ColumnarBlock | None,
+    grid: GridArena | None = None,
+) -> None:
+    """Install this process's sweep state (factory + shared segments).
 
     Called by the pool initializers in each worker and by the parent
     before dispatch, so in-process degradation and thread-pool
@@ -261,6 +589,7 @@ def set_worker_state(factory: Callable, block: ColumnarBlock | None) -> None:
     """
     _STATE["factory"] = factory
     _STATE["block"] = block
+    _STATE["grid"] = grid
 
 
 def clear_worker_state() -> None:
@@ -284,9 +613,12 @@ def init_columnar_worker(
     total: int,
     capture: bool = False,
     spill_dir: str | None = None,
+    grid: tuple[str, list[tuple[str, str, int]], int] | None = None,
 ) -> None:
     """Pool initializer for the columnar path: factory plus one
-    attachment to the parent's shared block (when it has one).
+    attachment each to the parent's result block and published grid
+    arena (when it has them). *grid* is a ``(handle, layout, total)``
+    descriptor — three small values, shipped once per worker.
 
     With *capture* the worker's event buffer is armed first, so the
     shared-memory attach itself lands on the timeline (``worker.init``).
@@ -295,14 +627,16 @@ def init_columnar_worker(
     buf = _events.get_buffer()
     t0 = buf.now()
     block = ColumnarBlock.attach(shm_name, total) if shm_name else None
+    arena = GridArena.attach(*grid) if grid is not None else None
     buf.add(
         "worker.init",
         start=t0,
         dur_s=buf.now() - t0,
         attach_s=buf.now() - t0,
         shm=bool(shm_name),
+        grid=arena is not None,
     )
-    set_worker_state(factory, block)
+    set_worker_state(factory, block, arena)
 
 
 def pool_evaluate(params: Mapping[str, object]):
@@ -315,10 +649,31 @@ def pool_evaluate(params: Mapping[str, object]):
         return exc
 
 
-def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
+def _shard_columns(job) -> tuple[int, int, Mapping[str, np.ndarray], int | None]:
+    """Resolve a shard job to its columns.
+
+    A job is ``(start, stop, payload)`` where the payload is either the
+    column dict itself (legacy / no-arena fallback) or the shard's
+    sequence number, in which case the columns are sliced from the
+    process-resident :class:`GridArena`.
+    """
+    start, stop, payload = job
+    if isinstance(payload, Mapping):
+        return start, stop, payload, None
+    arena = _STATE.get("grid")
+    if arena is None:
+        raise ConfigurationError(
+            "resident shard job dispatched to a worker without a grid arena"
+        )
+    return start, stop, arena.columns(start, stop), payload
+
+
+def eval_shard(job):
     """Run the vector kernel over one shard's columns.
 
-    ``job`` is ``(start, stop, columns)``. The factory's
+    ``job`` is ``(start, stop, seq)`` when the grid is resident in a
+    :class:`GridArena` (workers slice their columns locally) or
+    ``(start, stop, columns)`` in the fallback. The factory's
     ``batch_arrays`` output lands in the shared block's rows
     ``[start, stop)`` when a block is attached; otherwise the columns
     are returned by value. Either way the reply is
@@ -330,8 +685,8 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
     ``shard``/``factory.compute``/``shm.write`` duration events, drained
     into the reply so the parent can merge them without extra IPC.
     """
-    start, stop, columns = job
     _containment.beat()
+    start, stop, columns, seq = _shard_columns(job)
     factory = _STATE["factory"]
     buf = _events.get_buffer()
     capture = buf.enabled
@@ -357,6 +712,7 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
                 dur_s=end - t0,
                 lo=start,
                 hi=stop,
+                seq=seq,
                 points=stop - start,
                 compute_s=busy,
                 shm_s=0.0,
@@ -382,6 +738,7 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
             dur_s=end - t0,
             lo=start,
             hi=stop,
+            seq=seq,
             points=stop - start,
             compute_s=busy,
             shm_s=shm_s,
@@ -392,26 +749,30 @@ def eval_shard(job: tuple[int, int, Mapping[str, np.ndarray]]):
 def split_shard_job(job):
     """Halve one shard job for quarantine bisection, or ``None``.
 
-    ``job`` is the ``(start, stop, columns)`` tuple :func:`eval_shard`
-    takes; the halves slice the same column arrays, so bisection probes
-    evaluate exactly the rows the original shard would have. A
-    single-row shard is atomic (returns ``None``) — that row *is* the
-    candidate poison point.
+    ``job`` is the tuple :func:`eval_shard` takes. Resident-grid jobs
+    split by index arithmetic alone; fallback jobs slice the same
+    column arrays, so bisection probes evaluate exactly the rows the
+    original shard would have. A single-row shard is atomic (returns
+    ``None``) — that row *is* the candidate poison point.
     """
-    start, stop, columns = job
+    start, stop, payload = job
     if stop - start <= 1:
         return None
     mid = start + (stop - start) // 2
+    if not isinstance(payload, Mapping):
+        return ((start, mid, payload), (mid, stop, payload))
     cut = mid - start
-    left = {name: np.asarray(col)[:cut] for name, col in columns.items()}
-    right = {name: np.asarray(col)[cut:] for name, col in columns.items()}
+    left = {name: np.asarray(col)[:cut] for name, col in payload.items()}
+    right = {name: np.asarray(col)[cut:] for name, col in payload.items()}
     return ((start, mid, left), (mid, stop, right))
 
 
 def shard_job_point(job):
     """The grid-point parameters of a single-row shard job (for the
     quarantine ledger), or ``None`` for a multi-row shard."""
-    start, stop, columns = job
+    start, stop, payload = job
     if stop - start != 1:
         return None
-    return {name: np.asarray(col)[0].item() for name, col in columns.items()}
+    if not isinstance(payload, Mapping):
+        payload = _STATE["grid"].columns(start, stop)
+    return {name: np.asarray(col)[0].item() for name, col in payload.items()}

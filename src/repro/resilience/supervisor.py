@@ -175,13 +175,20 @@ class SupervisedPool:
         *,
         splitter: Callable | None = None,
         describe: Callable[[object], Mapping | None] | None = None,
+        schedule: str = "batch",
     ) -> list:
         """Evaluate ``fn`` over *jobs* on the pool, in job order.
 
-        The jobs of one call are split into up to ``workers`` contiguous
-        batches dispatched concurrently; a failed batch walks the
-        recovery ladder described in the module docs. Exceptions that
-        survive every recovery path propagate unchanged.
+        With ``schedule="batch"`` (the default) the jobs of one call
+        are split into up to ``workers`` contiguous batches dispatched
+        concurrently — static assignment, one future per batch. With
+        ``schedule="queue"`` every job becomes its own future on the
+        executor's shared call queue, so idle workers pull the next job
+        the moment they finish one (work stealing); the recovery ladder
+        then operates at per-job granularity. Either way a failed
+        batch walks the recovery ladder described in the module docs.
+        Exceptions that survive every recovery path propagate
+        unchanged.
 
         *splitter* and *describe* feed the quarantine-bisection rung:
         ``splitter(job)`` returns a pair of half-sized sub-jobs (or
@@ -195,10 +202,16 @@ class SupervisedPool:
         (never completed) job's slot :data:`~repro.resilience.
         containment.INCOMPLETE`.
         """
+        if schedule not in ("batch", "queue"):
+            raise ValidationError(
+                f"schedule must be 'batch' or 'queue', got {schedule!r}"
+            )
         jobs = list(jobs)
         if not jobs:
             return []
-        batches = self._split(jobs)
+        batches = (
+            [[job] for job in jobs] if schedule == "queue" else self._split(jobs)
+        )
         results: list[list | None] = [None] * len(batches)
         pending = list(range(len(batches)))
         attempt = 0

@@ -6,6 +6,24 @@ import pytest
 
 from repro.core.design import DesignPoint
 from repro.core.scenario import EMBODIED_DOMINATED, OPERATIONAL_DOMINATED
+from repro.dse import parallel as _parallel
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_leaked_segments():
+    """Leak detector: after the whole suite, every shared-memory
+    segment and spill file any test created must have been released.
+
+    ``_LIVE_NAMES`` tracks allocations (shm names and ``file:`` spill
+    paths) process-wide; a non-empty set here points at the test — or
+    engine ``finally`` path — that dropped a block or arena without
+    ``release()``.
+    """
+    yield
+    assert _parallel.live_blocks() == frozenset(), (
+        "leaked shared segments / spill files: "
+        f"{sorted(_parallel.live_blocks())}"
+    )
 
 
 @pytest.fixture

@@ -168,18 +168,25 @@ class TestEdgeGeometry:
 
 class TestSharedMemoryFallback:
     def test_pickle_fallback_is_bit_exact(self, baseline, monkeypatch):
-        # Force the private-memory fallback: allocation "fails" and the
-        # engine must ship result columns back by pickle instead.
+        # Force the private-memory fallback (a host with no usable
+        # shared segments at all): block allocation "fails", the grid
+        # arena cannot publish, and the engine must ship grid columns
+        # out and result columns back by pickle instead.
         real_allocate = parallel.ColumnarBlock.allocate.__func__
 
-        def no_shm(cls, total):
-            block = real_allocate(cls, total)
+        def no_shm(cls, total, **kwargs):
+            block = real_allocate(cls, total, **kwargs)
             if block._shm is not None:
                 block.release()
             return cls(total, None, owner=True)
 
         monkeypatch.setattr(
             parallel.ColumnarBlock, "allocate", classmethod(no_shm)
+        )
+        monkeypatch.setattr(
+            parallel.GridArena,
+            "publish",
+            classmethod(lambda cls, columns, **kwargs: None),
         )
         reference = _explorer(
             SymmetricMulticoreFactory(), baseline

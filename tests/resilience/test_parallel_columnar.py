@@ -228,8 +228,8 @@ class TestParallelInterruptHygiene:
         created: list = []
         real_allocate = parallel.ColumnarBlock.allocate.__func__
 
-        def recording(cls, total):
-            block = real_allocate(cls, total)
+        def recording(cls, total, **kwargs):
+            block = real_allocate(cls, total, **kwargs)
             created.append(block.name)
             return block
 

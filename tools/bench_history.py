@@ -33,6 +33,13 @@ DEFAULT_THRESHOLD = 0.20
 #: node_roster keys that make timings comparable between two runs.
 SIGNATURE_KEYS = ("platform", "machine", "python", "numpy", "cpu_count")
 
+#: Figures that must be present AND enforced in a bench's results —
+#: a run that demotes one of these to advisory (``*_gate_enforced:
+#: false``) or drops it entirely fails the gate. ``parallel_speedup``
+#: is the never-slower contract of the ``workers="auto"`` operating
+#: point: it is meaningful (and promised >= 1.0) on every host.
+REQUIRED_ENFORCED = {"dse": ("parallel_speedup",)}
+
 
 def node_signature(node: dict) -> tuple:
     """The hashable platform identity timings are comparable within."""
@@ -159,6 +166,16 @@ def main(argv: list[str] | None = None) -> int:
     if not runs:
         print(f"bench-history: no BENCH_*.json under {args.root}, nothing to do")
         return 0
+    missing = [
+        f"{run['bench']}: {key} must be recorded with its gate enforced"
+        for run in runs
+        for key in REQUIRED_ENFORCED.get(run["bench"], ())
+        if key not in speedup_keys(run["results"])
+    ]
+    if missing:
+        for line in missing:
+            print(f"bench-history: MISSING {line}")
+        return 1
     history = load_history(args.history)
     regressions = find_regressions(runs, history, args.threshold)
     if not args.check_only:
